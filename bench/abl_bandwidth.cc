@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Ablation: memory-bandwidth sensitivity (§3: for sparse problems
+ * "we expect their performance to be directly related to the memory
+ * bandwidth"; the paper's design point matches a 288 GB/s GDDR5 part).
+ * Sweeps the bandwidth budget and reports SpMV and SymGS cycles: the
+ * streaming kernels scale until the compute/issue side or the
+ * dependence chain takes over.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "common/random.hh"
+#include "sparse/generators.hh"
+
+using namespace alr;
+using namespace alr::bench;
+
+int
+main()
+{
+    std::printf("== Ablation: memory-bandwidth sweep ==\n\n");
+
+    Rng rng(11);
+    CsrMatrix dense = gen::blockStructured(8192, 8, 5, 1.0, rng);
+    CsrMatrix banded = gen::banded(8192, 12, 0.9, rng);
+
+    Table table({"GB/s", "SpMV Mcyc (dense blocks)", "SpMV speedup",
+                 "SymGS Mcyc (banded)", "SymGS speedup"});
+
+    double spmvBase = 0.0, gsBase = 0.0;
+    for (double bw : {36.0, 72.0, 144.0, 288.0, 576.0, 1152.0}) {
+        AccelParams p;
+        p.memBandwidthGBs = bw;
+        Accelerator acc(p);
+
+        acc.loadSpmvOnly(dense);
+        acc.resetStats();
+        acc.spmv(DenseVector(dense.cols(), 1.0));
+        double spmv_c = double(acc.engine().totalCycles());
+
+        acc.loadPde(banded);
+        acc.resetStats();
+        DenseVector b(banded.rows(), 1.0), x(banded.rows(), 0.0);
+        acc.symgsSweep(b, x, GsSweep::Symmetric);
+        double gs_c = double(acc.engine().totalCycles());
+
+        if (spmvBase == 0.0) {
+            spmvBase = spmv_c;
+            gsBase = gs_c;
+        }
+        table.addRow({fmt(bw, 0), fmt(spmv_c / 1e6, 2),
+                      fmt(spmvBase / spmv_c, 2), fmt(gs_c / 1e6, 2),
+                      fmt(gsBase / gs_c, 2)});
+    }
+    table.print();
+
+    std::printf("\nSpMV scales with bandwidth until the omega-wide issue\n"
+                "rate saturates (64 B/cycle at omega = 8, i.e. 160 GB/s\n"
+                "at 2.5 GHz); SymGS stops scaling earlier because the\n"
+                "D-SymGS dependence chain, not the stream, becomes the\n"
+                "critical path -- the exact bottleneck the paper's\n"
+                "transformation attacks.\n");
+    return 0;
+}

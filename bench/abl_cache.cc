@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Ablation: local-cache size sweep (Table 5 uses 1 KB).  Smaller caches
+ * thrash on the vector-chunk working set and push misses into DRAM
+ * traffic; beyond the working set, extra capacity buys nothing.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+
+using namespace alr;
+using namespace alr::bench;
+
+int
+main()
+{
+    std::printf("== Ablation: local-cache size sweep (SpMV) ==\n\n");
+
+    auto suite = scientificSuite();
+    Table table({"cache bytes", "miss rate %", "extra DRAM MB",
+                 "SpMV Mcycles"});
+
+    for (uint32_t bytes : {256u, 512u, 1024u, 4096u, 16384u, 65536u}) {
+        AccelParams p;
+        p.cacheBytes = bytes;
+        Accelerator acc(p);
+
+        double hits = 0.0, misses = 0.0, cycles = 0.0, extra = 0.0;
+        for (const Dataset &d : suite) {
+            acc.loadSpmvOnly(d.matrix);
+            acc.resetStats();
+            DenseVector x(d.matrix.cols(), 1.0);
+            acc.spmv(x);
+            hits += acc.engine().rcu().cache().hits();
+            misses += acc.engine().rcu().cache().misses();
+            cycles += double(acc.engine().totalCycles());
+            extra += acc.engine().memory().randomAccesses() *
+                     double(p.cacheLineBytes);
+        }
+        table.addRow({std::to_string(bytes),
+                      fmt(100.0 * misses / (hits + misses), 1),
+                      fmt(extra / 1e6, 2), fmt(cycles / 1e6, 2)});
+    }
+    table.print();
+
+    std::printf("\nTable 5's 1 KB cache covers the chunk working set of\n"
+                "banded/stencil matrices; scattered matrices keep missing\n"
+                "at any practical size, which the prefetched streaming\n"
+                "hides at the cost of extra DRAM traffic.\n");
+    return 0;
+}

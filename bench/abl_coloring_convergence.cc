@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Ablation: what row reordering (coloring) costs the GPU baseline in
+ * *convergence*.  Coloring permutes the Gauss-Seidel update order,
+ * which weakens the SymGS preconditioner; the paper's fairness note
+ * ("we include necessary optimizations") glosses over this, so we
+ * quantify it: PCG iterations with the natural-order preconditioner
+ * vs the color-major-order one on the same systems.
+ */
+
+#include <cstdio>
+#include <numeric>
+
+#include "baselines/coloring.hh"
+#include "bench/bench_util.hh"
+#include "kernels/pcg.hh"
+
+using namespace alr;
+using namespace alr::bench;
+
+namespace {
+
+/** Permutation grouping rows color by color (the GPU's sweep order). */
+std::vector<Index>
+colorMajorOrder(const CsrMatrix &a)
+{
+    ColoringResult c = greedyColoring(a);
+    std::vector<Index> perm(a.rows());
+    std::iota(perm.begin(), perm.end(), Index(0));
+    std::stable_sort(perm.begin(), perm.end(), [&](Index x, Index y) {
+        return c.color[x] < c.color[y];
+    });
+    return perm;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("== Ablation: convergence cost of coloring the SymGS "
+                "preconditioner ==\n\n");
+
+    Table table({"dataset", "iters natural", "iters colored",
+                 "extra iters %"});
+
+    double sum = 0.0;
+    int count = 0;
+    for (const Dataset &d : scientificSuite()) {
+        DenseVector b(d.matrix.rows(), 1.0);
+        PcgOptions opts;
+        opts.tolerance = 1e-8;
+        opts.maxIterations = 400;
+
+        PcgResult natural = pcgSolve(d.matrix, b, opts);
+
+        CsrMatrix colored = d.matrix.permuted(colorMajorOrder(d.matrix));
+        DenseVector bc(d.matrix.rows(), 1.0); // b is constant: unchanged
+        PcgResult reordered = pcgSolve(colored, bc, opts);
+
+        double extra = 100.0 *
+                       (double(reordered.iterations) -
+                        double(natural.iterations)) /
+                       double(natural.iterations);
+        sum += extra;
+        ++count;
+        table.addRow({d.name, std::to_string(natural.iterations),
+                      std::to_string(reordered.iterations),
+                      fmt(extra, 1)});
+    }
+    table.addRow({"average", "", "", fmt(sum / count, 1)});
+    table.print();
+
+    std::printf("\nColor-major sweeps visit neighbours out of order, so\n"
+                "the preconditioner transfers less information per sweep\n"
+                "and PCG pays extra iterations -- a cost the GPU baseline\n"
+                "bears that Alrescha's natural-order execution avoids.\n");
+    return 0;
+}

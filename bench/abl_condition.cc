@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Extension analysis: Lanczos condition-number estimates vs measured
+ * PCG iteration counts across the scientific suite.  CG theory bounds
+ * iterations by O(sqrt(kappa) log(1/eps)); this harness checks that
+ * the suite's measured iteration counts track the estimate, tying the
+ * eigen substrate to the solver stack.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "kernels/eigen.hh"
+#include "kernels/pcg.hh"
+
+using namespace alr;
+using namespace alr::bench;
+
+int
+main()
+{
+    std::printf("== Extension: condition number vs PCG iterations ==\n\n");
+
+    Table table({"dataset", "kappa (Lanczos)", "sqrt(kappa)",
+                 "PCG iters (no precond)", "PCG iters (SymGS)"});
+
+    for (const Dataset &d : scientificSuite()) {
+        LanczosOptions lo;
+        lo.steps = 40;
+        LanczosResult spec = lanczos(d.matrix, lo);
+
+        DenseVector b(d.matrix.rows(), 1.0);
+        PcgOptions plain;
+        plain.precondition = false;
+        plain.tolerance = 1e-8;
+        plain.maxIterations = 1000;
+        PcgOptions pre = plain;
+        pre.precondition = true;
+
+        PcgResult r0 = pcgSolve(d.matrix, b, plain);
+        PcgResult r1 = pcgSolve(d.matrix, b, pre);
+
+        table.addRow({d.name, fmt(spec.conditionNumber, 1),
+                      fmt(std::sqrt(spec.conditionNumber), 1),
+                      std::to_string(r0.iterations),
+                      std::to_string(r1.iterations)});
+    }
+    table.print();
+
+    std::printf("\nUnpreconditioned iterations scale with sqrt(kappa);\n"
+                "the SymGS preconditioner (the kernel Alrescha\n"
+                "accelerates) compresses the spectrum and cuts the\n"
+                "count -- why SymGS throughput decides PCG time.\n");
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Ablation: frontier-driven graph rounds (Table 1's "frontier vector"
+ * operand) vs dense rounds.  On high-diameter graphs (road networks)
+ * almost every round touches a thin wavefront, so skipping blocks with
+ * inactive source chunks removes nearly all the traffic; on
+ * small-diameter social graphs most chunks go active within a couple
+ * of rounds and the win shrinks.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+
+using namespace alr;
+using namespace alr::bench;
+
+int
+main()
+{
+    std::printf("== Ablation: frontier-driven vs dense graph rounds "
+                "==\n\n");
+
+    Table table({"dataset", "kernel", "dense Mcyc", "frontier Mcyc",
+                 "speedup"});
+    std::vector<double> speedups;
+
+    AccelParams dense;
+    dense.frontierSkipping = false;
+    AccelParams front;
+    front.frontierSkipping = true;
+
+    for (const Dataset &d : graphSuite()) {
+        for (const char *kernel : {"BFS", "SSSP"}) {
+            Accelerator a1(dense), a2(front);
+            a1.loadGraph(d.matrix);
+            a2.loadGraph(d.matrix);
+            bool isBfs = std::string(kernel) == "BFS";
+
+            a1.resetStats();
+            GraphResult r1 = isBfs ? a1.bfs(0) : a1.sssp(0);
+            double c1 = double(a1.engine().totalCycles());
+
+            a2.resetStats();
+            GraphResult r2 = isBfs ? a2.bfs(0) : a2.sssp(0);
+            double c2 = double(a2.engine().totalCycles());
+
+            if (r1.values != r2.values)
+                std::printf("!! result mismatch on %s/%s\n",
+                            d.name.c_str(), kernel);
+
+            speedups.push_back(c1 / c2);
+            table.addRow({d.name, kernel, fmt(c1 / 1e6, 2),
+                          fmt(c2 / 1e6, 2), fmt(c1 / c2, 2)});
+        }
+    }
+    table.addRow({"geo-mean", "", "", "", fmt(geoMean(speedups), 2)});
+    table.print();
+
+    std::printf("\nFrontier skipping is free in hardware -- the chunk\n"
+                "activity bits live beside the configuration table --\n"
+                "and turns Bellman-Ford-style dense rounds into\n"
+                "work-efficient traversal.\n");
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Ablation: host-side matrix reordering (RCM) before the locally-dense
+ * encoding.  The paper's preprocessing reformats the matrix on the
+ * host; a bandwidth-reducing pass raises in-block fill, cutting the
+ * dense-block padding the accelerator streams.  Evaluated on scrambled
+ * variants of the scientific suite (natural orderings are already
+ * near-banded).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "common/random.hh"
+#include "sparse/pattern_stats.hh"
+#include "sparse/reorder.hh"
+
+using namespace alr;
+using namespace alr::bench;
+
+int
+main()
+{
+    std::printf("== Ablation: RCM reordering before encoding ==\n\n");
+
+    Rng rng(42);
+    Accelerator acc;
+    Table table({"dataset", "fill scrambled", "fill RCM",
+                 "SymGS Mcyc scrambled", "SymGS Mcyc RCM", "speedup"});
+
+    std::vector<double> speedups;
+    for (const Dataset &d : scientificSuite()) {
+        // Scramble: a random symmetric permutation destroys locality,
+        // standing in for matrices that arrive badly ordered.
+        std::vector<Index> shuffle;
+        for (auto v : rng.permutation(d.matrix.rows()))
+            shuffle.push_back(v);
+        CsrMatrix scrambled = d.matrix.permuted(shuffle);
+        CsrMatrix restored =
+            scrambled.permuted(reverseCuthillMcKee(scrambled));
+
+        auto run = [&](const CsrMatrix &a) {
+            acc.loadPde(a);
+            acc.resetStats();
+            DenseVector b(a.rows(), 1.0), x(a.rows(), 0.0);
+            acc.symgsSweep(b, x, GsSweep::Symmetric);
+            return double(acc.engine().totalCycles());
+        };
+
+        double fill0 = analyzePattern(scrambled, 8).blockDensity;
+        double fill1 = analyzePattern(restored, 8).blockDensity;
+        double c0 = run(scrambled);
+        double c1 = run(restored);
+        speedups.push_back(c0 / c1);
+        table.addRow({d.name, fmt(fill0, 3), fmt(fill1, 3),
+                      fmt(c0 / 1e6, 2), fmt(c1 / 1e6, 2),
+                      fmt(c0 / c1, 2)});
+    }
+    table.addRow({"geo-mean", "", "", "", "", fmt(geoMean(speedups), 2)});
+    table.print();
+
+    std::printf("\nRCM recovers the locality the locally-dense format\n"
+                "depends on: block fill rises and the streamed padding\n"
+                "(and with it SymGS time) drops.\n");
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Ablation (extension): multi-RHS SpMM amortization.  The matrix
+ * payload streams once per call regardless of the RHS count, so the
+ * per-RHS cost of memory-bound SpMV drops toward the compute bound as
+ * k grows -- the block-Krylov / multiple-vector use case.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "common/random.hh"
+
+using namespace alr;
+using namespace alr::bench;
+
+int
+main()
+{
+    std::printf("== Ablation: SpMM right-hand-side sweep ==\n\n");
+
+    Accelerator acc;
+    Table table({"k (RHS)", "cycles/RHS (geo-mean)",
+                 "vs k=1", "DRAM bytes/RHS"});
+
+    Rng rng(1);
+    auto suite = scientificSuite();
+    double base = 0.0;
+    for (size_t k : {1u, 2u, 4u, 8u, 16u}) {
+        std::vector<double> per_rhs, bytes_rhs;
+        for (const Dataset &d : suite) {
+            acc.loadSpmvOnly(d.matrix);
+            std::vector<DenseVector> xs(
+                k, DenseVector(d.matrix.cols(), 1.0));
+            acc.resetStats();
+            acc.spmm(xs);
+            per_rhs.push_back(double(acc.engine().totalCycles()) /
+                              double(k));
+            bytes_rhs.push_back(acc.engine().memory().bytesStreamed() /
+                                double(k));
+        }
+        double mean = geoMean(per_rhs);
+        if (base == 0.0)
+            base = mean;
+        table.addRow({std::to_string(k), fmt(mean / 1e3, 1) + " kcyc",
+                      fmt(base / mean, 2) + "x",
+                      fmt(geoMean(bytes_rhs) / 1e6, 2) + " MB"});
+    }
+    table.print();
+
+    std::printf("\nEach doubling of k halves the streamed bytes per RHS\n"
+                "until the omega-lane issue rate dominates; the locally-\n"
+                "dense format makes the reuse free because the stream\n"
+                "order is identical for every RHS.\n");
+    return 0;
+}

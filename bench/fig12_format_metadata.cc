@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Figure 12: metadata-per-nonzero spectrum of storage formats (CSR,
+ * ELL, DIA, BCSR, Alrescha) across matrix structure classes, plus each
+ * format's padding overhead -- the tradeoff the locally-dense format
+ * navigates.
+ */
+
+#include <cstdio>
+
+#include "alrescha/format.hh"
+#include "bench/bench_util.hh"
+#include "common/random.hh"
+#include "sparse/bcsr.hh"
+#include "sparse/dia.hh"
+#include "sparse/ell.hh"
+#include "sparse/generators.hh"
+
+using namespace alr;
+using namespace alr::bench;
+
+namespace {
+
+struct Probe
+{
+    std::string name;
+    CsrMatrix matrix;
+};
+
+} // namespace
+
+int
+main()
+{
+    std::printf("== Figure 12: metadata bytes per non-zero across "
+                "formats ==\n\n");
+
+    Rng rng(12);
+    std::vector<Probe> probes;
+    probes.push_back({"tridiagonal", gen::tridiagonal(4096)});
+    probes.push_back({"banded", gen::banded(4096, 8, 0.9, rng)});
+    probes.push_back({"stencil-2d", gen::stencil2d(64, 64, 5)});
+    probes.push_back({"stencil-3d", gen::stencil3d(16, 16, 16, 27)});
+    probes.push_back({"block-structured",
+                      gen::blockStructured(4096, 8, 4, 0.8, rng)});
+    probes.push_back({"random", gen::randomSpd(4096, 8, rng)});
+    probes.push_back({"power-law-graph",
+                      gen::powerLawGraph(4096, 12, 0.9, rng)});
+
+    Table table({"matrix", "CSR B/nnz", "DIA B/nnz", "ELL B/nnz",
+                 "BCSR8 B/nnz", "Alrescha B/nnz", "Alrescha pad x"});
+    for (const Probe &p : probes) {
+        const CsrMatrix &a = p.matrix;
+        double nnz = double(a.nnz());
+
+        DiaMatrix dia = DiaMatrix::fromCsr(a);
+        EllMatrix ell = EllMatrix::fromCsr(a);
+        BcsrMatrix bcsr = BcsrMatrix::fromCsr(a, 8);
+        auto ld = LocallyDenseMatrix::encode(a, 8, LdLayout::Plain);
+
+        table.addRow(
+            {p.name, fmt(a.metadataBytes() / nnz),
+             fmt(dia.metadataBytes() / nnz),
+             fmt(ell.metadataBytes() / nnz),
+             fmt(bcsr.metadataBytes() / nnz),
+             fmt(ld.metadataBytes() / nnz),
+             fmt(double(ld.streamBytes()) / (nnz * sizeof(Value)))});
+    }
+    table.print();
+
+    std::printf("\npaper: CSR pays the most metadata per non-zero, DIA\n"
+                "the least on banded structure; Alrescha matches BCSR's\n"
+                "metadata budget while its payload cost depends on the\n"
+                "in-block fill (the pad factor column).\n");
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 15: PCG speedup over the row-reordered GPU implementation on
+ * the scientific suite (bars) with bandwidth utilization (lines), and
+ * the Memristive PDE accelerator [25] as the hardware comparator.
+ *
+ * Times compare one PCG iteration (symmetric SymGS sweep + SpMV +
+ * BLAS-1): both sides run the same algorithm, so per-iteration time is
+ * the figure's regime.
+ */
+
+#include <cstdio>
+
+#include "baselines/gpu_model.hh"
+#include "baselines/memristive.hh"
+#include "bench/bench_util.hh"
+
+using namespace alr;
+using namespace alr::bench;
+
+int
+main()
+{
+    std::printf("== Figure 15: PCG speedup over GPU (scientific suite) "
+                "==\n\n");
+
+    GpuModel gpu;
+    MemristiveModel mem;
+    Accelerator acc;
+
+    Table table({"dataset", "Alrescha x", "Memristive x", "Alr BW util",
+                 "Mem BW util"});
+    std::vector<double> alr_speedups, mem_speedups;
+
+    for (const Dataset &d : scientificSuite()) {
+        double gpu_t = gpu.pcgIterationSeconds(d.matrix);
+        double alr_t = alreschaPcgIterationSeconds(d.matrix, acc);
+        double mem_t = mem.pcgIterationSeconds(d.matrix);
+
+        double alr_x = gpu_t / alr_t;
+        double mem_x = gpu_t / mem_t;
+        alr_speedups.push_back(alr_x);
+        mem_speedups.push_back(mem_x);
+
+        table.addRow({d.name, fmt(alr_x, 1), fmt(mem_x, 1),
+                      fmt(acc.report().bandwidthUtilization, 2),
+                      fmt(mem.bandwidthUtilization(d.matrix), 2)});
+    }
+    table.addRow({"geo-mean", fmt(geoMean(alr_speedups), 1),
+                  fmt(geoMean(mem_speedups), 1), "", ""});
+    table.print();
+
+    std::printf("\npaper: Alrescha averages 15.6x over the GPU and about\n"
+                "twice the Memristive accelerator's speedup; both track\n"
+                "memory-bandwidth utilization, and Alrescha utilizes more\n"
+                "of it because resolving the SymGS dependences keeps the\n"
+                "stream busy.\n");
+    return 0;
+}

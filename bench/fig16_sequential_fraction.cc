@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 16: percentage of sequential operations in PCG -- the
+ * row-reordered GPU baseline vs Alrescha.
+ *
+ * Metric definitions (see DESIGN.md): for the GPU, each row's FLOPs are
+ * sequential in proportion to how far its color falls short of filling
+ * the machine; for Alrescha, sequential FLOPs are those executed by the
+ * serialized D-SymGS data paths, measured by the engine.
+ */
+
+#include <cstdio>
+
+#include "baselines/gpu_model.hh"
+#include "bench/bench_util.hh"
+
+using namespace alr;
+using namespace alr::bench;
+
+int
+main()
+{
+    std::printf("== Figure 16: sequential-operation fraction, GPU "
+                "(row-reordered) vs Alrescha ==\n\n");
+
+    GpuModel gpu;
+    Accelerator acc;
+    Table table({"dataset", "GPU seq %", "Alrescha seq %"});
+
+    double gpuSum = 0.0, alrSum = 0.0;
+    auto suite = scientificSuite();
+    for (const Dataset &d : suite) {
+        double gpuFrac = gpu.sequentialFraction(d.matrix);
+
+        acc.loadPde(d.matrix);
+        acc.resetStats();
+        DenseVector b(d.matrix.rows(), 1.0);
+        DenseVector x(d.matrix.rows(), 0.0);
+        acc.symgsSweep(b, x, GsSweep::Symmetric);
+        double alrFrac = acc.engine().sequentialOpFraction();
+
+        gpuSum += gpuFrac;
+        alrSum += alrFrac;
+        table.addRow({d.name, fmt(100.0 * gpuFrac, 1),
+                      fmt(100.0 * alrFrac, 1)});
+    }
+    double n = double(suite.size());
+    table.addRow({"average", fmt(100.0 * gpuSum / n, 1),
+                  fmt(100.0 * alrSum / n, 1)});
+    table.print();
+
+    std::printf("\npaper: the GPU implementation still averages 60.9%%\n"
+                "sequential operations after row reordering; Alrescha's\n"
+                "transformation leaves only 23.1%% (the diagonal-block\n"
+                "D-SymGS work).\n");
+    return 0;
+}

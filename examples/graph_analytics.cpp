@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Graph analytics on Alrescha: build a social-network-like graph, run
+ * BFS, SSSP and PageRank through the accelerator's dense data paths,
+ * verify against classical algorithms, and report telemetry.
+ *
+ *   ./graph_analytics [vertices] [avg_degree]
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "alrescha/accelerator.hh"
+#include "common/random.hh"
+#include "kernels/graph.hh"
+#include "sparse/generators.hh"
+
+using namespace alr;
+
+int
+main(int argc, char **argv)
+{
+    Index n = argc > 1 ? Index(std::atoi(argv[1])) : 4096;
+    Index deg = argc > 2 ? Index(std::atoi(argv[2])) : 12;
+
+    Rng rng(7);
+    CsrMatrix g = gen::powerLawGraph(n, deg, 0.9, rng, /*locality=*/0.6);
+    std::printf("graph: %u vertices, %u edges\n", g.rows(), g.nnz());
+
+    Accelerator acc;
+    acc.loadGraph(g);
+
+    // BFS from vertex 0.
+    acc.resetStats();
+    GraphResult bfs = acc.bfs(0);
+    Index reached = 0;
+    for (Value d : bfs.values)
+        reached += std::isfinite(d);
+    DenseVector bfsRef = bfsReference(g, 0);
+    std::printf("\nBFS   : %u reached, %d rounds, %.2f us, verified %s\n",
+                reached, bfs.rounds, acc.engine().seconds() * 1e6,
+                bfs.values == bfsRef ? "OK" : "MISMATCH");
+
+    // SSSP from vertex 0.
+    acc.resetStats();
+    GraphResult sssp = acc.sssp(0);
+    DenseVector dijkstra = ssspReference(g, 0);
+    Value worst = 0.0;
+    for (size_t i = 0; i < dijkstra.size(); ++i) {
+        if (std::isfinite(dijkstra[i]))
+            worst = std::max(worst,
+                             std::abs(sssp.values[i] - dijkstra[i]));
+    }
+    std::printf("SSSP  : %d rounds, %.2f us, max error vs Dijkstra "
+                "%.2e\n",
+                sssp.rounds, acc.engine().seconds() * 1e6, worst);
+
+    // PageRank.
+    acc.resetStats();
+    GraphResult pr = acc.pagerank();
+    auto top = [&](int k) {
+        std::vector<Index> idx(g.rows());
+        for (Index v = 0; v < g.rows(); ++v)
+            idx[v] = v;
+        std::partial_sort(idx.begin(), idx.begin() + k, idx.end(),
+                          [&](Index a, Index b) {
+                              return pr.values[a] > pr.values[b];
+                          });
+        return idx;
+    };
+    std::printf("PR    : %d rounds, %.2f us\n", pr.rounds,
+                acc.engine().seconds() * 1e6);
+    std::printf("top-5 vertices by rank:");
+    for (int i = 0; i < 5; ++i) {
+        Index v = top(5)[i];
+        std::printf("  %u (%.4f)", v, pr.values[v]);
+    }
+    std::printf("\n");
+
+    AccelReport r = acc.report();
+    std::printf("\nPR telemetry: %.1f KB from DRAM, %.1f%% bandwidth, "
+                "%.2f uJ\n",
+                r.bytesFromMemory / 1024.0,
+                100.0 * r.bandwidthUtilization, r.energyJoules * 1e6);
+    return 0;
+}

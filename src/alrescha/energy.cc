@@ -1,0 +1,25 @@
+#include "alrescha/energy.hh"
+
+#include "alrescha/sim/engine.hh"
+
+namespace alr {
+
+EnergyBreakdown
+EnergyModel::evaluate(const Engine &engine) const
+{
+    constexpr double pj = 1e-12;
+
+    EnergyBreakdown e;
+    e.dram = engine.memory().totalBytes() * _params.dramPjPerByte * pj;
+    e.sram = engine.rcu().cache().accesses() * _params.sramPjPerAccess * pj;
+    e.compute = (engine.fcu().mulOps() * _params.mulPj +
+                 engine.fcu().addOps() * _params.addPj +
+                 engine.fcu().reduceOps() * _params.addPj +
+                 engine.rcu().peOps() * _params.pePj) *
+                pj;
+    e.reconfig = engine.rcu().reconfigurations() * _params.switchPj * pj;
+    e.staticEnergy = engine.seconds() * _params.staticWatts;
+    return e;
+}
+
+} // namespace alr

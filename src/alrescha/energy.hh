@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Event-based energy model (paper §5.4).
+ *
+ * The paper models Alrescha's components with a TSMC 28 nm standard-cell
+ * and SRAM library; here each architectural event carries a per-event
+ * energy drawn from published 28/32 nm numbers.  Absolute joules are
+ * approximate -- Fig 19's *ratios* against the CPU/GPU baselines are the
+ * reproduction target.
+ */
+
+#ifndef ALR_ALRESCHA_ENERGY_HH
+#define ALR_ALRESCHA_ENERGY_HH
+
+namespace alr {
+
+class Engine;
+
+/** Per-event energies (picojoules) and static power. */
+struct EnergyParams
+{
+    /** DRAM traffic: ~7.5 pJ/bit for GDDR5-class interfaces. */
+    double dramPjPerByte = 60.0;
+    /** Local SRAM cache, per chunk access. */
+    double sramPjPerAccess = 10.0;
+    /** Double-precision multiply (28 nm). */
+    double mulPj = 12.0;
+    /** Double-precision add / min (reduce engines). */
+    double addPj = 5.0;
+    /** LUT-based PE operation (divide/subtract stages). */
+    double pePj = 8.0;
+    /** One configurable-switch rewrite. */
+    double switchPj = 100.0;
+    /** Leakage + clock tree for the small accelerator. */
+    double staticWatts = 0.2;
+};
+
+/** Energy totals by component (joules). */
+struct EnergyBreakdown
+{
+    double dram = 0.0;
+    double sram = 0.0;
+    double compute = 0.0;
+    double reconfig = 0.0;
+    double staticEnergy = 0.0;
+
+    double total() const
+    {
+        return dram + sram + compute + reconfig + staticEnergy;
+    }
+};
+
+/** Computes an EnergyBreakdown from an engine's event counters. */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(const EnergyParams &params = {})
+        : _params(params)
+    {
+    }
+
+    const EnergyParams &params() const { return _params; }
+
+    EnergyBreakdown evaluate(const Engine &engine) const;
+
+  private:
+    EnergyParams _params;
+};
+
+} // namespace alr
+
+#endif // ALR_ALRESCHA_ENERGY_HH

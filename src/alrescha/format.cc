@@ -1,0 +1,256 @@
+#include "alrescha/format.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/binary_io.hh"
+#include "common/logging.hh"
+#include "sparse/coo.hh"
+
+namespace alr {
+
+int64_t
+LocallyDenseMatrix::payloadPosition(LdLayout layout, bool diagonal,
+                                    bool upper, Index omega, Index lr,
+                                    Index lc)
+{
+    if (layout == LdLayout::Plain)
+        return int64_t(lr) * omega + lc;
+    if (!diagonal) {
+        if (upper)
+            return int64_t(lr) * omega + (omega - 1 - lc);
+        return int64_t(lr) * omega + lc;
+    }
+    // SymGs diagonal block: diagonal element excluded; the remaining row
+    // is stored right-to-left (r2l access order, Fig 8/10).
+    if (lr == lc)
+        return -1;
+    Index in_row = lc > lr ? (omega - 1 - lc) : (omega - 2 - lc);
+    return int64_t(lr) * (omega - 1) + in_row;
+}
+
+namespace {
+
+int64_t
+payloadPos(LdLayout layout, bool diagonal, bool upper, Index omega,
+           Index lr, Index lc)
+{
+    return LocallyDenseMatrix::payloadPosition(layout, diagonal, upper,
+                                               omega, lr, lc);
+}
+
+} // namespace
+
+LocallyDenseMatrix
+LocallyDenseMatrix::encode(const CsrMatrix &csr, Index omega,
+                           LdLayout layout)
+{
+    ALR_ASSERT(omega > 0, "block width must be positive");
+    if (layout == LdLayout::SymGs) {
+        ALR_ASSERT(csr.rows() == csr.cols(),
+                   "SymGs layout requires a square matrix");
+    }
+
+    LocallyDenseMatrix ld;
+    ld._rows = csr.rows();
+    ld._cols = csr.cols();
+    ld._omega = omega;
+    ld._layout = layout;
+    ld._nnz = csr.nnz();
+    ld._blockRows = (csr.rows() + omega - 1) / omega;
+    ld._blockRowPtr.assign(ld._blockRows + 1, 0);
+
+    if (layout == LdLayout::SymGs) {
+        ld._diag.assign(csr.rows(), 0.0);
+        DenseVector diag = csr.diagonal();
+        for (Index r = 0; r < csr.rows(); ++r) {
+            ALR_ASSERT(diag[r] != 0.0, "SymGs needs non-zero diagonal "
+                       "(row %u)", r);
+            ld._diag[r] = diag[r];
+        }
+    }
+
+    const auto &rowPtr = csr.rowPtr();
+    const auto &colIdx = csr.colIdx();
+    const auto &vals = csr.vals();
+
+    for (Index br = 0; br < ld._blockRows; ++br) {
+        // Collect the non-empty blocks of this block row.
+        std::map<Index, std::vector<Triplet>> byBlockCol;
+        Index rLo = br * omega;
+        Index rHi = std::min<Index>(rLo + omega, csr.rows());
+        for (Index r = rLo; r < rHi; ++r) {
+            for (Index k = rowPtr[r]; k < rowPtr[r + 1]; ++k) {
+                Index bc = colIdx[k] / omega;
+                byBlockCol[bc].push_back(
+                    {r - rLo, colIdx[k] - bc * omega, vals[k]});
+            }
+        }
+        // SymGs layout always materializes the diagonal block so every
+        // block row ends in a D-SymGS data path.
+        if (layout == LdLayout::SymGs)
+            byBlockCol[br];
+
+        // Emit off-diagonal blocks in ascending column order, then the
+        // diagonal block (SymGs layout), or plain ascending order.
+        std::vector<Index> order;
+        for (const auto &[bc, ents] : byBlockCol) {
+            if (layout == LdLayout::SymGs && bc == br)
+                continue;
+            order.push_back(bc);
+        }
+        if (layout == LdLayout::SymGs)
+            order.push_back(br);
+
+        for (Index bc : order) {
+            LdBlockInfo blk;
+            blk.blockRow = br;
+            blk.blockCol = bc;
+            blk.offset = ld._stream.size();
+            bool diagBlk = layout == LdLayout::SymGs && bc == br;
+            blk.size = diagBlk ? omega * (omega - 1) : omega * omega;
+            ld._stream.resize(ld._stream.size() + blk.size, 0.0);
+            for (const Triplet &t : byBlockCol[bc]) {
+                if (diagBlk && t.row == t.col)
+                    continue; // lives in the separated diagonal
+                int64_t pos = payloadPos(layout, diagBlk, bc > br, omega,
+                                         t.row, t.col);
+                ALR_ASSERT(pos >= 0, "unstorable element");
+                ld._stream[blk.offset + size_t(pos)] = t.val;
+            }
+            ld._blocks.push_back(blk);
+        }
+        ld._blockRowPtr[br + 1] = Index(ld._blocks.size());
+    }
+    return ld;
+}
+
+CsrMatrix
+LocallyDenseMatrix::decode() const
+{
+    CooMatrix coo(_rows, _cols);
+    for (const LdBlockInfo &blk : _blocks) {
+        for (Index lr = 0; lr < _omega; ++lr) {
+            Index r = blk.blockRow * _omega + lr;
+            if (r >= _rows)
+                break;
+            for (Index lc = 0; lc < _omega; ++lc) {
+                Index c = blk.blockCol * _omega + lc;
+                if (c >= _cols)
+                    continue;
+                Value v = blockValue(blk, lr, lc);
+                if (v != 0.0)
+                    coo.add(r, c, v);
+            }
+        }
+    }
+    return CsrMatrix::fromCoo(coo);
+}
+
+Value
+LocallyDenseMatrix::blockValue(const LdBlockInfo &blk, Index lr,
+                               Index lc) const
+{
+    ALR_ASSERT(lr < _omega && lc < _omega, "in-block index out of range");
+    bool diagBlk = _layout == LdLayout::SymGs && blk.isDiagonal();
+    if (diagBlk && lr == lc) {
+        Index r = blk.blockRow * _omega + lr;
+        return r < _rows ? _diag[r] : 0.0;
+    }
+    int64_t pos = payloadPos(_layout, diagBlk, blk.blockCol > blk.blockRow,
+                             _omega, lr, lc);
+    return _stream[blk.offset + size_t(pos)];
+}
+
+size_t
+LocallyDenseMatrix::metadataBytes() const
+{
+    return _blockRowPtr.size() * sizeof(Index) +
+           _blocks.size() * sizeof(Index);
+}
+
+double
+LocallyDenseMatrix::blockDensity() const
+{
+    if (_stream.empty())
+        return 0.0;
+    size_t slots = _stream.size() +
+                   (_layout == LdLayout::SymGs ? _rows : 0);
+    return double(_nnz) / double(slots);
+}
+
+
+LocallyDenseMatrix
+LocallyDenseMatrix::assemble(Index rows, Index cols, Index omega,
+                             LdLayout layout, Index nnz,
+                             std::vector<LdBlockInfo> blocks,
+                             std::vector<Index> block_row_ptr,
+                             std::vector<Value> stream, DenseVector diag)
+{
+    ALR_ASSERT(omega > 0, "block width must be positive");
+    Index block_rows = (rows + omega - 1) / omega;
+    ALR_ASSERT(block_row_ptr.size() == block_rows + 1,
+               "block row pointer length mismatch");
+    for (const LdBlockInfo &blk : blocks) {
+        ALR_ASSERT(blk.offset + blk.size <= stream.size(),
+                   "block outside payload stream");
+    }
+    ALR_ASSERT(layout != LdLayout::SymGs || diag.size() == rows,
+               "SymGs layout needs a full diagonal");
+
+    LocallyDenseMatrix ld;
+    ld._rows = rows;
+    ld._cols = cols;
+    ld._omega = omega;
+    ld._blockRows = block_rows;
+    ld._nnz = nnz;
+    ld._layout = layout;
+    ld._blocks = std::move(blocks);
+    ld._blockRowPtr = std::move(block_row_ptr);
+    ld._stream = std::move(stream);
+    ld._diag = std::move(diag);
+    return ld;
+}
+
+void
+LocallyDenseMatrix::serialize(std::ostream &out) const
+{
+    bio::writePod<uint32_t>(out, _rows);
+    bio::writePod<uint32_t>(out, _cols);
+    bio::writePod<uint32_t>(out, _omega);
+    bio::writePod<uint32_t>(out, _blockRows);
+    bio::writePod<uint32_t>(out, _nnz);
+    bio::writePod<uint8_t>(out, uint8_t(_layout));
+    bio::writeVec(out, _blocks);
+    bio::writeVec(out, _blockRowPtr);
+    bio::writeVec(out, _stream);
+    bio::writeVec(out, _diag);
+}
+
+LocallyDenseMatrix
+LocallyDenseMatrix::deserialize(std::istream &in)
+{
+    LocallyDenseMatrix ld;
+    ld._rows = bio::readPod<uint32_t>(in);
+    ld._cols = bio::readPod<uint32_t>(in);
+    ld._omega = bio::readPod<uint32_t>(in);
+    ld._blockRows = bio::readPod<uint32_t>(in);
+    ld._nnz = bio::readPod<uint32_t>(in);
+    uint8_t layout = bio::readPod<uint8_t>(in);
+    if (layout > uint8_t(LdLayout::SymGs))
+        throw std::runtime_error("bad layout tag");
+    ld._layout = LdLayout(layout);
+    ld._blocks = bio::readVec<LdBlockInfo>(in);
+    ld._blockRowPtr = bio::readVec<Index>(in);
+    ld._stream = bio::readVec<Value>(in);
+    ld._diag = bio::readVec<Value>(in);
+    if (ld._omega == 0 || ld._blockRowPtr.size() != ld._blockRows + 1)
+        throw std::runtime_error("inconsistent locally-dense header");
+    for (const LdBlockInfo &blk : ld._blocks) {
+        if (blk.offset + blk.size > ld._stream.size())
+            throw std::runtime_error("block outside payload stream");
+    }
+    return ld;
+}
+
+} // namespace alr

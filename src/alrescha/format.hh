@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Alrescha's locally-dense storage format (paper §4.5, Fig 13).
+ *
+ * The format adapts BCSR (same metadata budget: one pointer per block row,
+ * one column index per stored block) but re-arranges payload so the memory
+ * stream arrives in exactly the order the compute engine consumes it:
+ *
+ * - Block order: within a block row, all off-diagonal blocks first
+ *   (ascending block column), then the diagonal block last (SymGS layout).
+ * - In-block value order (SymGS layout):
+ *     - lower-triangle blocks (bc < br): row-major, left-to-right;
+ *     - upper-triangle blocks (bc > br): row-major with each row reversed
+ *       ("stored in the opposite order of their original locations");
+ *     - diagonal blocks: the diagonal element of each row is excluded
+ *       (stored separately, §4.5 "The Diagonal Elements") and the
+ *       remaining row is stored right-to-left, matching the r2l access
+ *       order in the configuration table (Fig 8) and the shift-register
+ *       operand rotation of the D-SymGS data path (Fig 10).
+ * - Plain layout (SpMV / graph kernels): blocks row-major, values
+ *   row-major left-to-right, diagonal kept in place.
+ *
+ * Blocks are stored dense, so streamed bytes exceed useful payload by the
+ * in-block fill factor -- the bandwidth-utilization effect of Fig 15.
+ */
+
+#ifndef ALR_ALRESCHA_FORMAT_HH
+#define ALR_ALRESCHA_FORMAT_HH
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "sparse/csr.hh"
+
+namespace alr {
+
+/** Which payload arrangement the matrix was encoded with. */
+enum class LdLayout { Plain, SymGs };
+
+/** Descriptor of one stored block, in stream order. */
+struct LdBlockInfo
+{
+    Index blockRow = 0;
+    Index blockCol = 0;
+    /** Offset of the block payload within stream(). */
+    size_t offset = 0;
+    /** Payload length: omega^2, or omega*(omega-1) for SymGs diagonals. */
+    Index size = 0;
+
+    bool isDiagonal() const { return blockRow == blockCol; }
+};
+
+/**
+ * A sparse matrix encoded in the Alrescha locally-dense format.
+ *
+ * stream() is the exact byte order the accelerator reads from memory;
+ * blocks() describe it.  The block descriptors correspond to the
+ * configuration-table metadata that is programmed once and never
+ * streamed (§4.5 "Meta Data").
+ */
+class LocallyDenseMatrix
+{
+  public:
+    LocallyDenseMatrix() = default;
+
+    /** Encode @p csr with block width @p omega in the given layout. */
+    static LocallyDenseMatrix encode(const CsrMatrix &csr, Index omega,
+                                     LdLayout layout);
+
+    /** Reconstruct the logical matrix (round-trip identity with encode). */
+    CsrMatrix decode() const;
+
+    Index rows() const { return _rows; }
+    Index cols() const { return _cols; }
+    Index omega() const { return _omega; }
+    LdLayout layout() const { return _layout; }
+    Index blockRows() const { return _blockRows; }
+
+    const std::vector<LdBlockInfo> &blocks() const { return _blocks; }
+    const std::vector<Value> &stream() const { return _stream; }
+
+    /** Separated diagonal (SymGs layout only; rows() entries). */
+    const DenseVector &diagonal() const { return _diag; }
+
+    /**
+     * Logical value A(blockRow*omega + lr, blockCol*omega + lc) for a
+     * stored block, decoding the in-block ordering.  For SymGs diagonal
+     * blocks lr == lc returns the separated diagonal value.
+     */
+    Value blockValue(const LdBlockInfo &blk, Index lr, Index lc) const;
+
+    /** Number of represented (logical) non-zeros. */
+    Index scalarNnz() const { return _nnz; }
+
+    /** Metadata bytes: block-row pointers + block-column indices. */
+    size_t metadataBytes() const;
+
+    /** Bytes streamed from memory per pass over the matrix. */
+    size_t streamBytes() const { return _stream.size() * sizeof(Value); }
+
+    /** Useful payload / streamed payload: the Fig 15 utilization bound. */
+    double blockDensity() const;
+
+    /** Binary (de)serialization for the program image (§4, Fig 7). */
+    void serialize(std::ostream &out) const;
+    /** Throws std::runtime_error on malformed input. */
+    static LocallyDenseMatrix deserialize(std::istream &in);
+
+    /**
+     * Payload position of in-block element (lr, lc) under the format's
+     * ordering rules, or -1 when the element lives in the separated
+     * diagonal.  Exposed for alternative encoders (StreamingEncoder).
+     */
+    static int64_t payloadPosition(LdLayout layout, bool diagonal,
+                                   bool upper, Index omega, Index lr,
+                                   Index lc);
+
+    /**
+     * Assemble from pre-built parts (validating consistency); the
+     * back door used by alternative encoders.  Panics on malformed
+     * parts.
+     */
+    static LocallyDenseMatrix
+    assemble(Index rows, Index cols, Index omega, LdLayout layout,
+             Index nnz, std::vector<LdBlockInfo> blocks,
+             std::vector<Index> block_row_ptr, std::vector<Value> stream,
+             DenseVector diag);
+
+  private:
+    Index _rows = 0;
+    Index _cols = 0;
+    Index _omega = 0;
+    Index _blockRows = 0;
+    Index _nnz = 0;
+    LdLayout _layout = LdLayout::Plain;
+    std::vector<LdBlockInfo> _blocks;
+    std::vector<Index> _blockRowPtr;
+    std::vector<Value> _stream;
+    DenseVector _diag;
+};
+
+} // namespace alr
+
+#endif // ALR_ALRESCHA_FORMAT_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Scale-out execution: a row-partitioned array of Alrescha engines
+ * (future-work territory the paper's conclusion gestures at with
+ * "enables using high-bandwidth memory at low cost").
+ *
+ * The matrix's block rows are split contiguously across P engines,
+ * each with its own memory channel and local cache; engines run the
+ * same program over their slice in parallel.  The data-parallel
+ * kernels (SpMV/SpMM and the graph rounds) partition cleanly: each
+ * round costs the slowest engine plus broadcasting the shared vector
+ * over the inter-engine interconnect.  SymGS does NOT scale this way
+ * -- its dependence chain is global, which is exactly the paper's
+ * point -- so the multi-accelerator rejects it.
+ */
+
+#ifndef ALR_ALRESCHA_MULTI_HH
+#define ALR_ALRESCHA_MULTI_HH
+
+#include <memory>
+#include <vector>
+
+#include "alrescha/accelerator.hh"
+
+namespace alr {
+
+/** Scale-out configuration. */
+struct MultiParams
+{
+    /** Engine count (each a full Alrescha instance). */
+    int numEngines = 4;
+    /** Per-engine configuration (own memory channel each). */
+    AccelParams engine;
+    /** Inter-engine interconnect bandwidth for vector broadcast (GB/s). */
+    double interconnectGBs = 512.0;
+    /** Fixed synchronization cost per collective (cycles). */
+    int barrierCycles = 200;
+};
+
+/** Telemetry for a scale-out run. */
+struct MultiReport
+{
+    uint64_t cycles = 0;
+    double seconds = 0.0;
+    /** Cycles in the slowest engine's compute. */
+    uint64_t computeCycles = 0;
+    /** Cycles spent broadcasting shared vectors + barriers. */
+    uint64_t commCycles = 0;
+    double energyJoules = 0.0;
+};
+
+class MultiAccelerator
+{
+  public:
+    explicit MultiAccelerator(const MultiParams &params = {});
+
+    int numEngines() const { return int(_parts.size()); }
+
+    /** Partition a general matrix across engines for SpMV/SpMM. */
+    void loadSpmv(const CsrMatrix &a);
+
+    /** Partition a directed adjacency for the graph kernels. */
+    void loadGraph(const CsrMatrix &adj);
+
+    /** y = A x across all engines. */
+    DenseVector spmv(const DenseVector &x);
+
+    /** Graph kernels (rounds to fixpoint, as on one engine). */
+    GraphResult bfs(Index source);
+    GraphResult sssp(Index source);
+    GraphResult pagerank(const PageRankOptions &opts = {});
+
+    /** Telemetry accumulated since the last resetStats(). */
+    MultiReport report() const;
+    void resetStats();
+
+    /** Row range [begin, end) owned by engine @p p. */
+    std::pair<Index, Index> slice(int p) const;
+
+  private:
+    struct Partition
+    {
+        std::unique_ptr<Accelerator> accel;
+        Index rowBegin = 0;
+        Index rowEnd = 0;
+    };
+
+    /** Cycles to broadcast @p bytes to every engine + barrier. */
+    uint64_t broadcastCycles(double bytes) const;
+
+    void partitionRows(Index rows);
+    DenseVector relaxRounds(const DenseVector &init, KernelType kernel,
+                            int *rounds);
+
+    MultiParams _params;
+    std::vector<Partition> _parts;
+    std::vector<Index> _outDegrees;
+    Index _rows = 0;
+    bool _graphLoaded = false;
+
+    uint64_t _commCycles = 0;
+};
+
+} // namespace alr
+
+#endif // ALR_ALRESCHA_MULTI_HH

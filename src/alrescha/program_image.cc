@@ -1,0 +1,108 @@
+#include "alrescha/program_image.hh"
+
+#include <fstream>
+
+#include "common/binary_io.hh"
+#include "common/logging.hh"
+
+namespace alr {
+
+namespace {
+
+constexpr uint32_t kMagic = 0xA15ECA01; // "Alrescha", version 1
+
+} // namespace
+
+void
+saveProgramImage(std::ostream &out, const ProgramImage &image)
+{
+    bio::writePod<uint32_t>(out, kMagic);
+    image.matrix.serialize(out);
+    bio::writePod<uint32_t>(out, uint32_t(image.tables.size()));
+    for (const ConfigTable &t : image.tables)
+        t.serialize(out);
+}
+
+ProgramImage
+loadProgramImage(std::istream &in)
+{
+    if (bio::readPod<uint32_t>(in) != kMagic)
+        throw std::runtime_error("not an Alrescha program image");
+
+    ProgramImage image;
+    image.matrix = LocallyDenseMatrix::deserialize(in);
+    uint32_t tables = bio::readPod<uint32_t>(in);
+    if (tables > 16)
+        throw std::runtime_error("implausible table count");
+    for (uint32_t i = 0; i < tables; ++i) {
+        ConfigTable t = ConfigTable::deserialize(in);
+        if (t.omega() != image.matrix.omega())
+            throw std::runtime_error("table/matrix omega mismatch");
+        image.tables.push_back(std::move(t));
+    }
+    return image;
+}
+
+void
+saveProgramImageFile(const std::string &path, const ProgramImage &image)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fatal("cannot create program image '%s'", path.c_str());
+    saveProgramImage(out, image);
+    if (!out)
+        fatal("failed writing program image '%s'", path.c_str());
+}
+
+ProgramImage
+loadProgramImageFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot open program image '%s'", path.c_str());
+    try {
+        return loadProgramImage(in);
+    } catch (const std::exception &e) {
+        fatal("%s: %s", path.c_str(), e.what());
+    }
+}
+
+ProgramImage
+buildPdeProgram(const CsrMatrix &a, Index omega, bool reorder)
+{
+    ProgramImage image;
+    image.matrix =
+        LocallyDenseMatrix::encode(a, omega, LdLayout::SymGs);
+    image.tables.push_back(ConfigTable::convert(
+        KernelType::SymGS, image.matrix, reorder, GsSweep::Forward));
+    image.tables.push_back(ConfigTable::convert(
+        KernelType::SymGS, image.matrix, reorder, GsSweep::Backward));
+    image.tables.push_back(
+        ConfigTable::convert(KernelType::SpMV, image.matrix));
+    return image;
+}
+
+ProgramImage
+buildGraphProgram(const CsrMatrix &adj, Index omega)
+{
+    ProgramImage image;
+    image.matrix = LocallyDenseMatrix::encode(adj.transposed(), omega,
+                                              LdLayout::Plain);
+    for (KernelType k : {KernelType::BFS, KernelType::SSSP,
+                         KernelType::PageRank, KernelType::SpMV}) {
+        image.tables.push_back(ConfigTable::convert(k, image.matrix));
+    }
+    return image;
+}
+
+ProgramImage
+buildSpmvProgram(const CsrMatrix &a, Index omega)
+{
+    ProgramImage image;
+    image.matrix = LocallyDenseMatrix::encode(a, omega, LdLayout::Plain);
+    image.tables.push_back(
+        ConfigTable::convert(KernelType::SpMV, image.matrix));
+    return image;
+}
+
+} // namespace alr

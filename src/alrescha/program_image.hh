@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The binary program image (paper §4, Fig 7): the host converts the
+ * sparse kernels into dense data paths and "generates a binary file"
+ * that is written into the accelerator's configuration table through
+ * the program interface, while the reformatted matrix goes through the
+ * data interface.
+ *
+ * A ProgramImage bundles exactly those two artifacts -- the encoded
+ * locally-dense matrix and its configuration tables -- so preprocessing
+ * can be done once, saved, and later programmed into any Accelerator.
+ */
+
+#ifndef ALR_ALRESCHA_PROGRAM_IMAGE_HH
+#define ALR_ALRESCHA_PROGRAM_IMAGE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "alrescha/config_table.hh"
+#include "alrescha/format.hh"
+
+namespace alr {
+
+/** The host's preprocessing output for one matrix. */
+struct ProgramImage
+{
+    LocallyDenseMatrix matrix;
+    std::vector<ConfigTable> tables;
+};
+
+/** Serialize to a binary stream (magic + version header). */
+void saveProgramImage(std::ostream &out, const ProgramImage &image);
+
+/**
+ * Parse a binary stream written by saveProgramImage.  Throws
+ * std::runtime_error on malformed input.
+ */
+ProgramImage loadProgramImage(std::istream &in);
+
+/** File variants; call fatal() on I/O or parse failure. */
+void saveProgramImageFile(const std::string &path,
+                          const ProgramImage &image);
+ProgramImage loadProgramImageFile(const std::string &path);
+
+/**
+ * Convenience: run the full host preprocessing for a kernel set.
+ * For SymGS kernels the image holds {forward, backward, SpMV} tables;
+ * for graph kernels {BFS, SSSP, PR, SpMV} over the transposed
+ * adjacency; for plain SpMV a single table.
+ */
+ProgramImage buildPdeProgram(const CsrMatrix &a, Index omega,
+                             bool reorder = true);
+ProgramImage buildGraphProgram(const CsrMatrix &adj, Index omega);
+ProgramImage buildSpmvProgram(const CsrMatrix &a, Index omega);
+
+} // namespace alr
+
+#endif // ALR_ALRESCHA_PROGRAM_IMAGE_HH

@@ -1,0 +1,85 @@
+#include "alrescha/sim/cache.hh"
+
+#include "common/logging.hh"
+
+namespace alr {
+
+CacheModel::CacheModel(const AccelParams &params, MemoryModel *memory)
+    : _params(params), _memory(memory)
+{
+    ALR_ASSERT(memory != nullptr, "cache needs a memory model");
+    uint32_t nlines =
+        std::max<uint32_t>(1, params.cacheBytes / params.cacheLineBytes);
+    _lines.assign(nlines, Line{});
+}
+
+uint64_t
+CacheModel::touch(CacheVec vec, Index chunk)
+{
+    // Direct-mapped: hash (vec, chunk) onto a line.
+    size_t idx = (size_t(vec) * 0x9e3779b9u + chunk) % _lines.size();
+    Line &line = _lines[idx];
+    if (line.valid && line.vec == vec && line.chunk == chunk) {
+        ++_hits;
+        return 0;
+    }
+    ++_misses;
+    line.valid = true;
+    line.vec = vec;
+    line.chunk = chunk;
+    return _memory->recordRandomAccess();
+}
+
+uint64_t
+CacheModel::read(CacheVec vec, Index chunk, bool on_critical_path)
+{
+    ++_reads;
+    // Port occupancy: the SRAM is pipelined, accepting one access per
+    // cycle; cacheLatency is the (hidden or exposed) access latency.
+    _busyCycles += 1.0;
+    uint64_t fill = touch(vec, chunk);
+    if (!on_critical_path) {
+        // Prefetched: the miss costs bandwidth (the line fill shares
+        // the pipe with the block stream), never latency.
+        return fill > 0 ? _memory->streamCycles(_params.cacheLineBytes)
+                        : 0;
+    }
+    if (fill > 0)
+        return fill + uint64_t(_params.cacheLatency);
+    return uint64_t(_params.cacheLatency);
+}
+
+uint64_t
+CacheModel::write(CacheVec vec, Index chunk)
+{
+    ++_writes;
+    _busyCycles += 1.0;
+    // Writes are buffered; allocation happens off the critical path.
+    touch(vec, chunk);
+    return 0;
+}
+
+void
+CacheModel::reset()
+{
+    for (Line &line : _lines)
+        line.valid = false;
+    _reads.reset();
+    _writes.reset();
+    _hits.reset();
+    _misses.reset();
+    _busyCycles.reset();
+}
+
+void
+CacheModel::registerStats(stats::StatGroup &group)
+{
+    group.registerScalar("cache.reads", &_reads, "chunk reads");
+    group.registerScalar("cache.writes", &_writes, "chunk writes");
+    group.registerScalar("cache.hits", &_hits, "line hits");
+    group.registerScalar("cache.misses", &_misses, "line misses");
+    group.registerScalar("cache.busy_cycles", &_busyCycles,
+                         "cycles the cache port was occupied");
+}
+
+} // namespace alr

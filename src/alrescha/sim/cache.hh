@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The RCU local cache (Table 5: 1 KB, 64-byte lines, 4-cycle access).
+ *
+ * It holds the addressable vector operands (x^t, x^{t-1}, b, the
+ * separated diagonal).  Chunks of omega doubles map to lines; the model
+ * is direct-mapped over (vector id, chunk index).  Hits during streaming
+ * runs are prefetched and overlap with compute; misses stall for the
+ * DRAM fill latency.
+ */
+
+#ifndef ALR_ALRESCHA_SIM_CACHE_HH
+#define ALR_ALRESCHA_SIM_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "alrescha/params.hh"
+#include "alrescha/sim/memory.hh"
+#include "common/stats.hh"
+
+namespace alr {
+
+/** Identifies which logical vector a cache access touches. */
+enum class CacheVec : uint8_t { Xt, Xprev, B, Diag, Out, Aux };
+
+class CacheModel
+{
+  public:
+    CacheModel(const AccelParams &params, MemoryModel *memory);
+
+    /**
+     * Access the chunk @p chunk of vector @p vec.  Returns the stall
+     * cycles on the critical path.
+     *
+     * Streaming-mode reads (@p on_critical_path false) never stall:
+     * the configuration table is programmed ahead of time, so the RCU
+     * prefetches upcoming chunks while blocks stream (§4.5 "the whole
+     * available memory bandwidth is utilized only for streaming
+     * payload"); a miss only adds its line fill to the memory traffic,
+     * and the few contention cycles are returned for the engine to
+     * charge against the stream.  Dependent reads (D-SymGS operands)
+     * pay the access latency, plus the full DRAM fill on a miss.
+     */
+    uint64_t read(CacheVec vec, Index chunk, bool on_critical_path);
+
+    /** Write a chunk back; writes allocate. */
+    uint64_t write(CacheVec vec, Index chunk);
+
+    double reads() const { return _reads.value(); }
+    double writes() const { return _writes.value(); }
+    double hits() const { return _hits.value(); }
+    double misses() const { return _misses.value(); }
+    double accesses() const { return _reads.value() + _writes.value(); }
+    /** Cycles the cache port was occupied (Fig 18's cache-time metric). */
+    double busyCycles() const { return _busyCycles.value(); }
+
+    void reset();
+    void registerStats(stats::StatGroup &group);
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        CacheVec vec = CacheVec::Xt;
+        Index chunk = 0;
+    };
+
+    uint64_t touch(CacheVec vec, Index chunk);
+
+    AccelParams _params;
+    MemoryModel *_memory;
+    std::vector<Line> _lines;
+
+    stats::Scalar _reads;
+    stats::Scalar _writes;
+    stats::Scalar _hits;
+    stats::Scalar _misses;
+    stats::Scalar _busyCycles;
+};
+
+} // namespace alr
+
+#endif // ALR_ALRESCHA_SIM_CACHE_HH

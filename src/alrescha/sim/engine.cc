@@ -1,0 +1,678 @@
+#include "alrescha/sim/engine.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+#include "common/trace.hh"
+
+namespace alr {
+
+Engine::Engine(const AccelParams &params)
+    : _params(params), _memory(params), _fcu(params),
+      _rcu(params, &_memory), _stats("alrescha")
+{
+    _stats.registerScalar("cycles", &_cycles, "total execution cycles");
+    _stats.registerScalar("cycles_seq", &_seqCycles,
+                          "cycles in serialized D-SymGS paths");
+    _stats.registerScalar("cycles_par", &_parCycles,
+                          "cycles in pipelined data paths");
+    _stats.registerScalar("flops_seq", &_seqFlops,
+                          "useful FLOPs in serialized paths");
+    _stats.registerScalar("flops_par", &_parFlops,
+                          "useful FLOPs in pipelined paths");
+    _stats.registerScalar("useful_bytes", &_usefulBytes,
+                          "streamed bytes carrying non-zero payload");
+    _stats.registerScalar("runs", &_runs, "engine run invocations");
+    _memory.registerStats(_stats);
+    _fcu.registerStats(_stats);
+    _rcu.registerStats(_stats);
+}
+
+void
+Engine::program(const LocallyDenseMatrix *ld, const ConfigTable *table)
+{
+    ALR_ASSERT(ld != nullptr && table != nullptr, "null program");
+    ALR_ASSERT(ld->omega() == table->omega(), "omega mismatch");
+    ALR_ASSERT(table->entries().empty() ||
+                   table->entries().size() <= ld->blocks().size(),
+               "table references more blocks than stored");
+    _ld = ld;
+    _table = table;
+}
+
+uint64_t
+Engine::streamBlockCycles(const LdBlockInfo &blk) const
+{
+    // One block row of omega operands issues per cycle; the memory pipe
+    // may be the slower side for wide blocks.
+    uint64_t compute = _params.omega;
+    uint64_t mem = _memory.streamCycles(uint64_t(blk.size) * sizeof(Value));
+    return std::max(compute, mem);
+}
+
+uint64_t
+Engine::streamRowsCycles(Index rows_streamed) const
+{
+    // With row skipping only the occupied block rows cross the bus and
+    // occupy FCU issue slots.
+    uint64_t bytes =
+        uint64_t(rows_streamed) * _params.omega * sizeof(Value);
+    return std::max<uint64_t>(rows_streamed, _memory.streamCycles(bytes));
+}
+
+void
+Engine::addTiming(RunTiming *timing, const RunTiming &delta)
+{
+    _cycles += double(delta.cycles);
+    _seqCycles += double(delta.seqCycles);
+    _parCycles += double(delta.parCycles);
+    ++_runs;
+    if (timing)
+        *timing = delta;
+}
+
+DenseVector
+Engine::runSpmv(const DenseVector &x, RunTiming *timing)
+{
+    ALR_ASSERT(_ld && _table, "engine not programmed");
+    ALR_ASSERT(_table->kernel() == KernelType::SpMV,
+               "table was converted for %s", toString(_table->kernel()));
+    ALR_ASSERT(x.size() == _ld->cols(), "operand length mismatch");
+
+    const Index omega = _params.omega;
+    DenseVector y(_ld->rows(), 0.0);
+    RunTiming t;
+    bool filled = false;
+    int64_t curRow = -1;
+
+    std::vector<Value> rowVals(omega), xChunk(omega);
+    for (const ConfigEntry &e : _table->entries()) {
+        const LdBlockInfo &blk = _ld->blocks()[e.blockId];
+        uint64_t cfg = _rcu.reconfigure(e.dp);
+        if (cfg) {
+            t.cycles += cfg;
+            filled = false;
+        }
+        if (!filled) {
+            t.cycles += uint64_t(_fcu.fillLatency(ReduceOp::Sum));
+            filled = true;
+        }
+        if (int64_t(blk.blockRow) != curRow) {
+            if (curRow >= 0)
+                t.cycles += _rcu.cache().write(CacheVec::Out,
+                                               Index(curRow));
+            curRow = blk.blockRow;
+        }
+
+        t.cycles += _rcu.cache().read(CacheVec::Xt, blk.blockCol, false);
+
+        Index c0 = blk.blockCol * omega;
+        for (Index lc = 0; lc < omega; ++lc) {
+            Index c = c0 + lc;
+            xChunk[lc] = c < _ld->cols() ? x[c] : 0.0;
+        }
+        Index occupied = 0;
+        for (Index lr = 0; lr < omega; ++lr) {
+            Index r = blk.blockRow * omega + lr;
+            if (r >= _ld->rows())
+                break;
+            Index useful = 0;
+            for (Index lc = 0; lc < omega; ++lc) {
+                rowVals[lc] = _ld->blockValue(blk, lr, lc);
+                if (rowVals[lc] != 0.0)
+                    ++useful;
+            }
+            if (useful == 0 && _params.skipEmptyBlockRows)
+                continue;
+            ++occupied;
+            y[r] += _fcu.vectorReduce(rowVals, xChunk, VecOp::Mul,
+                                      ReduceOp::Sum);
+            _parFlops += 2.0 * useful;
+            _usefulBytes += double(useful) * sizeof(Value);
+        }
+        uint64_t bc;
+        if (_params.skipEmptyBlockRows) {
+            _memory.recordStream(uint64_t(occupied) * omega *
+                                 sizeof(Value));
+            bc = streamRowsCycles(occupied);
+        } else {
+            _memory.recordStream(uint64_t(blk.size) * sizeof(Value));
+            bc = streamBlockCycles(blk);
+        }
+        t.cycles += bc;
+        t.parCycles += bc;
+    }
+    if (curRow >= 0)
+        t.cycles += _rcu.cache().write(CacheVec::Out, Index(curRow));
+    t.cycles += uint64_t(_params.drainCycles());
+    ALR_TRACE("spmv: %zu paths, %llu cycles",
+              _table->entries().size(),
+              (unsigned long long)t.cycles);
+    addTiming(timing, t);
+    return y;
+}
+
+std::vector<DenseVector>
+Engine::runSpmm(const std::vector<DenseVector> &xs, RunTiming *timing)
+{
+    ALR_ASSERT(_ld && _table, "engine not programmed");
+    ALR_ASSERT(_table->kernel() == KernelType::SpMV,
+               "table was converted for %s", toString(_table->kernel()));
+    ALR_ASSERT(!xs.empty(), "spmm needs at least one right-hand side");
+    for (const DenseVector &x : xs)
+        ALR_ASSERT(x.size() == _ld->cols(), "operand length mismatch");
+
+    const Index omega = _params.omega;
+    const size_t k = xs.size();
+    std::vector<DenseVector> ys(k, DenseVector(_ld->rows(), 0.0));
+    RunTiming t;
+    bool filled = false;
+    int64_t curRow = -1;
+
+    std::vector<Value> rowVals(omega);
+    std::vector<DenseVector> chunks(k, DenseVector(omega, 0.0));
+    for (const ConfigEntry &e : _table->entries()) {
+        const LdBlockInfo &blk = _ld->blocks()[e.blockId];
+        uint64_t cfg = _rcu.reconfigure(e.dp);
+        if (cfg) {
+            t.cycles += cfg;
+            filled = false;
+        }
+        if (!filled) {
+            t.cycles += uint64_t(_fcu.fillLatency(ReduceOp::Sum));
+            filled = true;
+        }
+        if (int64_t(blk.blockRow) != curRow) {
+            if (curRow >= 0) {
+                for (size_t j = 0; j < k; ++j)
+                    t.cycles += _rcu.cache().write(CacheVec::Out,
+                                                   Index(curRow));
+            }
+            curRow = blk.blockRow;
+        }
+
+        // One chunk read per RHS (distinct cache lines).
+        for (size_t j = 0; j < k; ++j)
+            t.cycles += _rcu.cache().read(CacheVec::Xt, blk.blockCol,
+                                          false);
+
+        Index c0 = blk.blockCol * omega;
+        for (size_t j = 0; j < k; ++j) {
+            for (Index lc = 0; lc < omega; ++lc) {
+                Index c = c0 + lc;
+                chunks[j][lc] = c < _ld->cols() ? xs[j][c] : 0.0;
+            }
+        }
+        Index occupied = 0;
+        for (Index lr = 0; lr < omega; ++lr) {
+            Index r = blk.blockRow * omega + lr;
+            if (r >= _ld->rows())
+                break;
+            Index useful = 0;
+            for (Index lc = 0; lc < omega; ++lc) {
+                rowVals[lc] = _ld->blockValue(blk, lr, lc);
+                if (rowVals[lc] != 0.0)
+                    ++useful;
+            }
+            if (useful == 0 && _params.skipEmptyBlockRows)
+                continue;
+            ++occupied;
+            for (size_t j = 0; j < k; ++j) {
+                ys[j][r] += _fcu.vectorReduce(rowVals, chunks[j],
+                                              VecOp::Mul, ReduceOp::Sum);
+                _parFlops += 2.0 * useful;
+            }
+            // The payload is useful once; the reuse is the win.
+            _usefulBytes += double(useful) * sizeof(Value);
+        }
+        // The block streams once; its rows issue once per RHS.
+        Index streamedRows =
+            _params.skipEmptyBlockRows ? occupied : omega;
+        _memory.recordStream(uint64_t(streamedRows) * omega *
+                             sizeof(Value));
+        uint64_t mem = _memory.streamCycles(uint64_t(streamedRows) *
+                                            omega * sizeof(Value));
+        uint64_t issue = uint64_t(streamedRows) * k;
+        uint64_t bc = std::max(mem, issue);
+        t.cycles += bc;
+        t.parCycles += bc;
+    }
+    if (curRow >= 0) {
+        for (size_t j = 0; j < k; ++j)
+            t.cycles += _rcu.cache().write(CacheVec::Out, Index(curRow));
+    }
+    t.cycles += uint64_t(_params.drainCycles());
+    addTiming(timing, t);
+    return ys;
+}
+
+void
+Engine::runSymgsSweep(const DenseVector &b, DenseVector &x,
+                      RunTiming *timing)
+{
+    ALR_ASSERT(_ld && _table, "engine not programmed");
+    ALR_ASSERT(_table->kernel() == KernelType::SymGS,
+               "table was converted for %s", toString(_table->kernel()));
+    ALR_ASSERT(_table->reordered(),
+               "only reordered SymGS tables are executable: the link "
+               "stack needs every GEMV of a block row before its D-SymGS");
+    ALR_ASSERT(b.size() == _ld->rows() && x.size() == _ld->rows(),
+               "operand length mismatch");
+
+    const Index omega = _params.omega;
+    const DenseVector &diag = _ld->diagonal();
+    bool backward = _table->direction() == GsSweep::Backward;
+    RunTiming t;
+    bool filled = false;
+
+    std::vector<Value> rowVals(omega), xChunk(omega), partials(omega);
+
+    /**
+     * Timing: two overlapping timelines.  The memory stream never
+     * stalls ("uninterrupted streaming"): GEMV blocks of later block
+     * rows stream and pipeline while a D-SymGS chain drains, their
+     * partials queueing on the link stack.  The serialized chain
+     * advances at the recurrence critical path -- the stale lanes of
+     * each row's dot product are precomputed in the pipelined tree, so
+     * one step is multiply (ALU) + subtract + divide (PEs) before
+     * x_j^t rotates into the next row's operands (Fig 10).  The sweep
+     * finishes when the slower timeline does.
+     */
+    uint64_t stream_t = 0; // streaming/pipelined front
+    uint64_t dep_t = 0;    // completion of the dependence chain
+    int stepLat =
+        _params.aluLatency + 2 * _params.peLatency;
+
+    for (const ConfigEntry &e : _table->entries()) {
+        const LdBlockInfo &blk = _ld->blocks()[e.blockId];
+        uint64_t cfg = _rcu.reconfigure(e.dp);
+        if (cfg) {
+            stream_t += cfg;
+            filled = false;
+        }
+
+        if (e.dp == DataPathType::Gemv) {
+            if (!filled) {
+                stream_t += uint64_t(_fcu.fillLatency(ReduceOp::Sum));
+                filled = true;
+            }
+            CacheVec vec = e.op == OperandPort::Port1 ? CacheVec::Xt
+                                                      : CacheVec::Xprev;
+            stream_t += _rcu.cache().read(vec, blk.blockCol, false);
+
+            Index c0 = blk.blockCol * omega;
+            for (Index lc = 0; lc < omega; ++lc) {
+                Index c = c0 + lc;
+                xChunk[lc] = c < _ld->cols() ? x[c] : 0.0;
+            }
+            Index occupied = 0;
+            for (Index lr = 0; lr < omega; ++lr) {
+                Index r = blk.blockRow * omega + lr;
+                if (r >= _ld->rows()) {
+                    partials[lr] = 0.0;
+                    continue;
+                }
+                Index useful = 0;
+                for (Index lc = 0; lc < omega; ++lc) {
+                    rowVals[lc] = _ld->blockValue(blk, lr, lc);
+                    if (rowVals[lc] != 0.0)
+                        ++useful;
+                }
+                if (useful == 0 && _params.skipEmptyBlockRows) {
+                    partials[lr] = 0.0;
+                    continue;
+                }
+                ++occupied;
+                partials[lr] = _fcu.vectorReduce(rowVals, xChunk,
+                                                 VecOp::Mul, ReduceOp::Sum);
+                _parFlops += 2.0 * useful;
+                _usefulBytes += double(useful) * sizeof(Value);
+            }
+            if (_params.skipEmptyBlockRows) {
+                _memory.recordStream(uint64_t(occupied) * omega *
+                                     sizeof(Value));
+                stream_t += streamRowsCycles(occupied);
+            } else {
+                _memory.recordStream(uint64_t(blk.size) * sizeof(Value));
+                stream_t += streamBlockCycles(blk);
+            }
+            _rcu.linkStack().push(partials);
+        } else {
+            ALR_ASSERT(e.dp == DataPathType::DSymgs,
+                       "unexpected data path in SymGS table");
+            // The diagonal block runs serialized: each row's result
+            // rotates into the next row's operands (Fig 10).
+            Index br = blk.blockRow;
+            Index r0 = br * omega;
+            _memory.recordStream(uint64_t(blk.size) * sizeof(Value));
+            stream_t += streamBlockCycles(blk);
+            Index validRows = std::min<Index>(omega, _ld->rows() - r0);
+            // b arrives through its FIFO, streamed once per sweep.
+            _memory.recordStream(uint64_t(validRows) * sizeof(Value));
+            _usefulBytes += double(validRows) * sizeof(Value);
+
+            // The chain starts once this block row's partials are
+            // through the tree and the previous chain link finished.
+            uint64_t diag_read = _rcu.cache().read(CacheVec::Diag, br,
+                                                   true);
+            uint64_t start =
+                std::max(stream_t + uint64_t(_params.pipelineDepth()),
+                         dep_t) +
+                diag_read;
+            uint64_t chain = 0;
+
+            DenseVector acc = _rcu.linkStack().popAccumulate(omega);
+            for (Index step = 0; step < omega; ++step) {
+                Index lr = backward ? omega - 1 - step : step;
+                Index r = r0 + lr;
+                if (r >= _ld->rows())
+                    continue;
+                Index useful = 0;
+                for (Index lc = 0; lc < omega; ++lc) {
+                    if (lc == lr) {
+                        rowVals[lc] = 0.0;
+                        xChunk[lc] = 0.0;
+                        continue;
+                    }
+                    Index c = r0 + lc;
+                    rowVals[lc] = _ld->blockValue(blk, lr, lc);
+                    xChunk[lc] = c < _ld->rows() ? x[c] : 0.0;
+                    if (rowVals[lc] != 0.0)
+                        ++useful;
+                }
+                Value sum = acc[lr] +
+                            _fcu.vectorReduce(rowVals, xChunk, VecOp::Mul,
+                                              ReduceOp::Sum);
+                _rcu.peOp(); // subtract
+                _rcu.peOp(); // divide
+                x[r] = (b[r] - sum) / diag[r];
+                chain += uint64_t(stepLat);
+                _seqFlops += 2.0 * useful + 2.0;
+                _usefulBytes += double(useful + 2) * sizeof(Value);
+            }
+            dep_t = start + chain + _rcu.cache().write(CacheVec::Xt, br);
+            t.seqCycles += chain;
+            filled = false; // tree was used in single-shot mode
+        }
+    }
+    t.parCycles = stream_t;
+    t.cycles = std::max(stream_t, dep_t) + uint64_t(_params.drainCycles());
+    ALR_TRACE("symgs(%s): stream %llu cycles, chain %llu cycles",
+              backward ? "bwd" : "fwd", (unsigned long long)stream_t,
+              (unsigned long long)dep_t);
+    addTiming(timing, t);
+}
+
+DenseVector
+Engine::runRelaxRound(const DenseVector &dist, RunTiming *timing)
+{
+    return relaxImpl(dist, false, nullptr, timing);
+}
+
+DenseVector
+Engine::runRelaxRound(const DenseVector &dist,
+                      const std::vector<uint8_t> &active_chunks,
+                      RunTiming *timing)
+{
+    return relaxImpl(dist, false, &active_chunks, timing);
+}
+
+DenseVector
+Engine::runLabelRound(const DenseVector &labels, RunTiming *timing)
+{
+    return relaxImpl(labels, true, nullptr, timing);
+}
+
+DenseVector
+Engine::runLabelRound(const DenseVector &labels,
+                      const std::vector<uint8_t> &active_chunks,
+                      RunTiming *timing)
+{
+    return relaxImpl(labels, true, &active_chunks, timing);
+}
+
+DenseVector
+Engine::relaxImpl(const DenseVector &dist, bool zero_addend,
+                  const std::vector<uint8_t> *active_chunks,
+                  RunTiming *timing)
+{
+    ALR_ASSERT(_ld && _table, "engine not programmed");
+    ALR_ASSERT(_table->kernel() == KernelType::BFS ||
+                   _table->kernel() == KernelType::SSSP,
+               "table was converted for %s", toString(_table->kernel()));
+    ALR_ASSERT(dist.size() == _ld->rows(), "operand length mismatch");
+
+    const Index omega = _params.omega;
+    const bool hops = _table->kernel() == KernelType::BFS;
+    constexpr Value inf = std::numeric_limits<Value>::infinity();
+
+    DenseVector cand(_ld->rows(), inf);
+    RunTiming t;
+    bool filled = false;
+    int64_t curRow = -1;
+
+    std::vector<Value> srcDist(omega), addend(omega);
+    std::vector<uint8_t> valid(omega);
+    if (active_chunks) {
+        ALR_ASSERT(active_chunks->size() >=
+                       (_ld->cols() + omega - 1) / omega,
+                   "frontier mask too short");
+    }
+    for (const ConfigEntry &e : _table->entries()) {
+        const LdBlockInfo &blk = _ld->blocks()[e.blockId];
+        // Frontier skipping: an inactive source chunk cannot improve
+        // any candidate, so the block never leaves memory.
+        if (active_chunks && !(*active_chunks)[blk.blockCol])
+            continue;
+        uint64_t cfg = _rcu.reconfigure(e.dp);
+        if (cfg) {
+            t.cycles += cfg;
+            filled = false;
+        }
+        if (!filled) {
+            t.cycles += uint64_t(_fcu.fillLatency(ReduceOp::Min));
+            filled = true;
+        }
+        if (int64_t(blk.blockRow) != curRow) {
+            if (curRow >= 0) {
+                // Assign phase: compare with the old distance chunk and
+                // write back (Table 1, phase 3).
+                t.cycles += _rcu.cache().read(CacheVec::Out,
+                                              Index(curRow), false);
+                t.cycles += _rcu.cache().write(CacheVec::Out,
+                                               Index(curRow));
+            }
+            curRow = blk.blockRow;
+        }
+
+        t.cycles += _rcu.cache().read(CacheVec::Xt, blk.blockCol, false);
+
+        Index c0 = blk.blockCol * omega;
+        Index occupied = 0;
+        for (Index lr = 0; lr < omega; ++lr) {
+            Index r = blk.blockRow * omega + lr;
+            if (r >= _ld->rows())
+                break;
+            Index useful = 0;
+            for (Index lc = 0; lc < omega; ++lc) {
+                Index src = c0 + lc;
+                Value w = _ld->blockValue(blk, lr, lc);
+                bool present = w != 0.0 && src < _ld->cols();
+                valid[lc] = present;
+                srcDist[lc] = present ? dist[src] : inf;
+                addend[lc] = zero_addend ? 0.0 : (hops ? 1.0 : w);
+                if (present)
+                    ++useful;
+            }
+            if (useful == 0 && _params.skipEmptyBlockRows)
+                continue;
+            ++occupied;
+            Value m = _fcu.vectorReduce(srcDist, addend, VecOp::Add,
+                                        ReduceOp::Min, valid);
+            cand[r] = std::min(cand[r], m);
+            _parFlops += 2.0 * useful;
+            _usefulBytes += double(useful) * sizeof(Value);
+        }
+        uint64_t bc;
+        if (_params.skipEmptyBlockRows) {
+            _memory.recordStream(uint64_t(occupied) * omega *
+                                 sizeof(Value));
+            bc = streamRowsCycles(occupied);
+        } else {
+            _memory.recordStream(uint64_t(blk.size) * sizeof(Value));
+            bc = streamBlockCycles(blk);
+        }
+        t.cycles += bc;
+        t.parCycles += bc;
+    }
+    if (curRow >= 0) {
+        t.cycles += _rcu.cache().read(CacheVec::Out, Index(curRow), false);
+        t.cycles += _rcu.cache().write(CacheVec::Out, Index(curRow));
+    }
+    t.cycles += uint64_t(_params.drainCycles());
+    addTiming(timing, t);
+
+    DenseVector next(dist.size());
+    for (size_t v = 0; v < dist.size(); ++v)
+        next[v] = std::min(dist[v], cand[v]);
+    return next;
+}
+
+DenseVector
+Engine::runPrRound(const DenseVector &rank,
+                   const std::vector<Index> &outdeg, RunTiming *timing)
+{
+    ALR_ASSERT(_ld && _table, "engine not programmed");
+    ALR_ASSERT(_table->kernel() == KernelType::PageRank,
+               "table was converted for %s", toString(_table->kernel()));
+    ALR_ASSERT(rank.size() == _ld->rows() &&
+                   outdeg.size() == _ld->rows(),
+               "operand length mismatch");
+
+    const Index omega = _params.omega;
+    DenseVector sums(_ld->rows(), 0.0);
+    RunTiming t;
+    bool filled = false;
+    int64_t curRow = -1;
+
+    std::vector<Value> contrib(omega), pattern(omega);
+    for (const ConfigEntry &e : _table->entries()) {
+        const LdBlockInfo &blk = _ld->blocks()[e.blockId];
+        uint64_t cfg = _rcu.reconfigure(e.dp);
+        if (cfg) {
+            t.cycles += cfg;
+            filled = false;
+        }
+        if (!filled) {
+            t.cycles += uint64_t(_fcu.fillLatency(ReduceOp::Sum));
+            filled = true;
+        }
+        if (int64_t(blk.blockRow) != curRow) {
+            if (curRow >= 0)
+                t.cycles += _rcu.cache().write(CacheVec::Out,
+                                               Index(curRow));
+            curRow = blk.blockRow;
+        }
+
+        // rank chunk (port1) and out-degree chunk (port2, Table 1).
+        t.cycles += _rcu.cache().read(CacheVec::Xt, blk.blockCol, false);
+        t.cycles += _rcu.cache().read(CacheVec::Aux, blk.blockCol, false);
+
+        Index c0 = blk.blockCol * omega;
+        for (Index lc = 0; lc < omega; ++lc) {
+            Index src = c0 + lc;
+            if (src < _ld->rows() && outdeg[src] > 0) {
+                contrib[lc] = rank[src] / Value(outdeg[src]);
+                _rcu.peOp(); // the phase-1 division (overlapped)
+            } else {
+                contrib[lc] = 0.0;
+            }
+        }
+        Index occupied = 0;
+        for (Index lr = 0; lr < omega; ++lr) {
+            Index r = blk.blockRow * omega + lr;
+            if (r >= _ld->rows())
+                break;
+            Index useful = 0;
+            for (Index lc = 0; lc < omega; ++lc) {
+                pattern[lc] =
+                    _ld->blockValue(blk, lr, lc) != 0.0 ? 1.0 : 0.0;
+                if (pattern[lc] != 0.0)
+                    ++useful;
+            }
+            if (useful == 0 && _params.skipEmptyBlockRows)
+                continue;
+            ++occupied;
+            sums[r] += _fcu.vectorReduce(pattern, contrib, VecOp::Mul,
+                                         ReduceOp::Sum);
+            _parFlops += 2.0 * useful;
+            _usefulBytes += double(useful) * sizeof(Value);
+        }
+        uint64_t bc;
+        if (_params.skipEmptyBlockRows) {
+            _memory.recordStream(uint64_t(occupied) * omega *
+                                 sizeof(Value));
+            bc = streamRowsCycles(occupied);
+        } else {
+            _memory.recordStream(uint64_t(blk.size) * sizeof(Value));
+            bc = streamBlockCycles(blk);
+        }
+        t.cycles += bc;
+        t.parCycles += bc;
+    }
+    if (curRow >= 0)
+        t.cycles += _rcu.cache().write(CacheVec::Out, Index(curRow));
+    t.cycles += uint64_t(_params.drainCycles());
+    addTiming(timing, t);
+    return sums;
+}
+
+double
+Engine::sequentialOpFraction() const
+{
+    double total = _seqFlops.value() + _parFlops.value();
+    return total > 0.0 ? _seqFlops.value() / total : 0.0;
+}
+
+double
+Engine::seconds() const
+{
+    return _cycles.value() * _params.secondsPerCycle();
+}
+
+double
+Engine::bandwidthUtilization() const
+{
+    double cycles = _cycles.value();
+    if (cycles <= 0.0)
+        return 0.0;
+    return _usefulBytes.value() / (cycles * _params.bytesPerCycle());
+}
+
+double
+Engine::cacheTimeFraction() const
+{
+    double cycles = _cycles.value();
+    if (cycles <= 0.0)
+        return 0.0;
+    return _rcu.cache().busyCycles() / cycles;
+}
+
+void
+Engine::reset()
+{
+    _memory.reset();
+    _fcu.reset();
+    _rcu.reset();
+    _cycles.reset();
+    _seqCycles.reset();
+    _parCycles.reset();
+    _seqFlops.reset();
+    _parFlops.reset();
+    _usefulBytes.reset();
+    _runs.reset();
+}
+
+} // namespace alr

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * The Alrescha execution engine: walks a configuration table against a
+ * locally-dense matrix stream, computing real results (verified against
+ * the reference kernels) while accounting cycles the way the paper's
+ * microarchitecture spends them:
+ *
+ * - GEMV-class data paths (GEMV, D-BFS, D-SSSP, D-PR) are fully
+ *   pipelined: one block row per cycle after the tree fills, bounded by
+ *   the memory stream rate.
+ * - D-SymGS serializes: each in-block row waits for the previous row's
+ *   result to rotate into the multiplier operands (ALU + tree + PE
+ *   subtract/divide latency per step).
+ * - Data-path switches drain the reduction tree while the RCU switch is
+ *   reprogrammed; only configuration time beyond the drain stalls.
+ * - Vector chunks come from the RCU local cache; misses stall for the
+ *   DRAM fill.  Matrix payload always streams sequentially.
+ */
+
+#ifndef ALR_ALRESCHA_SIM_ENGINE_HH
+#define ALR_ALRESCHA_SIM_ENGINE_HH
+
+#include <memory>
+
+#include "alrescha/config_table.hh"
+#include "alrescha/format.hh"
+#include "alrescha/params.hh"
+#include "alrescha/sim/fcu.hh"
+#include "alrescha/sim/memory.hh"
+#include "alrescha/sim/rcu.hh"
+#include "common/stats.hh"
+
+namespace alr {
+
+/** Timing outcome of one engine run. */
+struct RunTiming
+{
+    uint64_t cycles = 0;
+    /** Cycles spent in serialized D-SymGS data paths. */
+    uint64_t seqCycles = 0;
+    /** Cycles spent in pipelined (GEMV-class) data paths. */
+    uint64_t parCycles = 0;
+};
+
+class Engine
+{
+  public:
+    explicit Engine(const AccelParams &params = {});
+
+    const AccelParams &params() const { return _params; }
+
+    /** Attach the streamed matrix and its configuration table. */
+    void program(const LocallyDenseMatrix *ld, const ConfigTable *table);
+
+    /** SpMV / graph tables: y = A x (table kernel SpMV). */
+    DenseVector runSpmv(const DenseVector &x, RunTiming *timing = nullptr);
+
+    /**
+     * SpMM: Y = A X for k right-hand sides, streaming each matrix
+     * block once and issuing its rows once per RHS -- the block
+     * payload cost amortizes over k, so memory-bound SpMV turns
+     * compute-bound as k grows (an extension of the paper's SpMV).
+     */
+    std::vector<DenseVector> runSpmm(const std::vector<DenseVector> &xs,
+                                     RunTiming *timing = nullptr);
+
+    /**
+     * One Gauss-Seidel sweep in the table's direction; @p x enters as
+     * the previous iterate and leaves updated (table kernel SymGS).
+     */
+    void runSymgsSweep(const DenseVector &b, DenseVector &x,
+                       RunTiming *timing = nullptr);
+
+    /**
+     * One min-plus relaxation round over the programmed matrix (which
+     * must be the *transposed* adjacency so each output row reduces over
+     * in-edges): next[v] = min(dist[v], min_u dist[u] + w(u,v)).
+     * D-BFS uses hop counts (unit addend); D-SSSP uses edge weights.
+     */
+    DenseVector runRelaxRound(const DenseVector &dist,
+                              RunTiming *timing = nullptr);
+
+    /**
+     * Frontier-aware variant (Table 1's "frontier vector" operand):
+     * blocks whose source chunk has no active vertex are skipped
+     * entirely -- safe for monotone min-relaxations because a block's
+     * unchanged contribution is already folded into @p dist.
+     * @p active_chunks has one flag per omega-wide chunk.
+     */
+    DenseVector runRelaxRound(const DenseVector &dist,
+                              const std::vector<uint8_t> &active_chunks,
+                              RunTiming *timing = nullptr);
+
+    /**
+     * One min-label propagation round (connected components, an
+     * extension kernel): next[v] = min(label[v], min_u label[u]) over
+     * in-edges.  Uses the D-BFS data path with a zero addend.
+     */
+    DenseVector runLabelRound(const DenseVector &labels,
+                              RunTiming *timing = nullptr);
+
+    /** Frontier-aware label round (see runRelaxRound overload). */
+    DenseVector runLabelRound(const DenseVector &labels,
+                              const std::vector<uint8_t> &active_chunks,
+                              RunTiming *timing = nullptr);
+
+    /**
+     * One PageRank propagation round over the transposed adjacency:
+     * returns sums[v] = sum over in-edges (rank[u] / outdeg[u]).  The
+     * per-chunk divisions run on the RCU PEs.
+     */
+    DenseVector runPrRound(const DenseVector &rank,
+                           const std::vector<Index> &outdeg,
+                           RunTiming *timing = nullptr);
+
+    /** Cumulative cycle count across runs since the last reset. */
+    uint64_t totalCycles() const { return uint64_t(_cycles.value()); }
+    uint64_t seqCycles() const { return uint64_t(_seqCycles.value()); }
+    uint64_t parCycles() const { return uint64_t(_parCycles.value()); }
+
+    /** Useful FLOPs executed in serialized / pipelined paths (Fig 16). */
+    double seqFlops() const { return _seqFlops.value(); }
+    double parFlops() const { return _parFlops.value(); }
+    double sequentialOpFraction() const;
+
+    /** Wall-clock seconds for the cumulative cycles. */
+    double seconds() const;
+
+    /**
+     * Useful traffic (non-zero payload + vector operands) over the full
+     * bandwidth-time product: Fig 15's utilization metric.  Zero padding
+     * inside locally-dense blocks streams but is not useful, which is
+     * why utilization tracks in-block density.
+     */
+    double bandwidthUtilization() const;
+    /** Fraction of execution time the cache port was busy (Fig 18). */
+    double cacheTimeFraction() const;
+
+    MemoryModel &memory() { return _memory; }
+    Fcu &fcu() { return _fcu; }
+    Rcu &rcu() { return _rcu; }
+    const MemoryModel &memory() const { return _memory; }
+    const Fcu &fcu() const { return _fcu; }
+    const Rcu &rcu() const { return _rcu; }
+
+    /** Reset all counters and cached state (matrix stays programmed). */
+    void reset();
+
+    stats::StatGroup &statGroup() { return _stats; }
+
+  private:
+    DenseVector relaxImpl(const DenseVector &dist, bool zero_addend,
+                          const std::vector<uint8_t> *active_chunks,
+                          RunTiming *timing);
+
+    uint64_t streamBlockCycles(const LdBlockInfo &blk) const;
+    uint64_t streamRowsCycles(Index rows_streamed) const;
+
+    void addTiming(RunTiming *timing, const RunTiming &delta);
+
+    AccelParams _params;
+    MemoryModel _memory;
+    Fcu _fcu;
+    Rcu _rcu;
+
+    const LocallyDenseMatrix *_ld = nullptr;
+    const ConfigTable *_table = nullptr;
+
+    stats::Scalar _cycles;
+    stats::Scalar _seqCycles;
+    stats::Scalar _parCycles;
+    stats::Scalar _seqFlops;
+    stats::Scalar _parFlops;
+    stats::Scalar _usefulBytes;
+    stats::Scalar _runs;
+
+    stats::StatGroup _stats;
+};
+
+} // namespace alr
+
+#endif // ALR_ALRESCHA_SIM_ENGINE_HH

@@ -1,0 +1,70 @@
+#include "alrescha/sim/fcu.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace alr {
+
+Value
+Fcu::vectorReduce(std::span<const Value> a, std::span<const Value> b,
+                  VecOp op, ReduceOp reduce,
+                  std::span<const uint8_t> lane_valid)
+{
+    ALR_ASSERT(a.size() == b.size(), "FCU lane-count mismatch");
+    ALR_ASSERT(lane_valid.empty() || lane_valid.size() == a.size(),
+               "lane-valid mask size mismatch");
+
+    Value acc = reduce == ReduceOp::Sum
+                    ? 0.0
+                    : std::numeric_limits<Value>::infinity();
+    for (size_t lane = 0; lane < a.size(); ++lane) {
+        if (!lane_valid.empty() && !lane_valid[lane])
+            continue;
+        Value v;
+        if (op == VecOp::Mul) {
+            v = a[lane] * b[lane];
+            ++_mulOps;
+        } else {
+            v = a[lane] + b[lane];
+            ++_addOps;
+        }
+        ++_aluOps;
+        if (reduce == ReduceOp::Sum)
+            acc += v;
+        else
+            acc = std::min(acc, v);
+        ++_reduceOps;
+    }
+    return acc;
+}
+
+int
+Fcu::fillLatency(ReduceOp reduce) const
+{
+    int re = reduce == ReduceOp::Sum ? _params.reSumLatency
+                                     : _params.reMinLatency;
+    return _params.aluLatency + _params.treeDepth() * re;
+}
+
+void
+Fcu::reset()
+{
+    _aluOps.reset();
+    _reduceOps.reset();
+    _mulOps.reset();
+    _addOps.reset();
+}
+
+void
+Fcu::registerStats(stats::StatGroup &group)
+{
+    group.registerScalar("fcu.alu_ops", &_aluOps, "phase-1 ALU operations");
+    group.registerScalar("fcu.reduce_ops", &_reduceOps,
+                         "reduce-engine operations");
+    group.registerScalar("fcu.mul_ops", &_mulOps, "multiplications");
+    group.registerScalar("fcu.add_ops", &_addOps, "additions");
+}
+
+} // namespace alr

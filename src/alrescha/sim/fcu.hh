@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The fixed compute unit (paper §4.3, Fig 9a): omega multiplier ALUs
+ * feeding a fully-pipelined tree of reduce engines.  The interconnect is
+ * fixed for every data path; only the phase-1 operation (multiply or
+ * add) and the reduction (sum or min) differ per path.
+ *
+ * The functional methods compute real values; the op counters drive the
+ * energy model and the Fig 16 sequential-fraction metric.
+ */
+
+#ifndef ALR_ALRESCHA_SIM_FCU_HH
+#define ALR_ALRESCHA_SIM_FCU_HH
+
+#include <span>
+
+#include "alrescha/params.hh"
+#include "common/stats.hh"
+
+namespace alr {
+
+/** Phase-1 element-wise operation (Table 1). */
+enum class VecOp : uint8_t { Mul, Add };
+
+/** Phase-2 reduction (Table 1). */
+enum class ReduceOp : uint8_t { Sum, Min };
+
+class Fcu
+{
+  public:
+    explicit Fcu(const AccelParams &params) : _params(params) {}
+
+    /**
+     * One block-row pass through the ALUs and the reduction tree:
+     * reduce(op(a_i, b_i)) over lanes where @p lane_valid holds (absent
+     * edges do not participate in a Min reduction).  @p lane_valid may
+     * be empty, meaning all lanes participate.
+     */
+    Value vectorReduce(std::span<const Value> a, std::span<const Value> b,
+                       VecOp op, ReduceOp reduce,
+                       std::span<const uint8_t> lane_valid = {});
+
+    /** Pipeline fill latency for a path using the given reduction. */
+    int fillLatency(ReduceOp reduce) const;
+
+    /** Issue interval between block rows in steady state (cycles). */
+    int rowIssueCycles() const { return 1; }
+
+    double aluOps() const { return _aluOps.value(); }
+    double reduceOps() const { return _reduceOps.value(); }
+    double mulOps() const { return _mulOps.value(); }
+    double addOps() const { return _addOps.value(); }
+
+    void reset();
+    void registerStats(stats::StatGroup &group);
+
+  private:
+    AccelParams _params;
+    stats::Scalar _aluOps;
+    stats::Scalar _reduceOps;
+    stats::Scalar _mulOps;
+    stats::Scalar _addOps;
+};
+
+} // namespace alr
+
+#endif // ALR_ALRESCHA_SIM_FCU_HH

@@ -1,0 +1,50 @@
+#include "alrescha/sim/link_stack.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace alr {
+
+void
+LinkStack::push(DenseVector partials)
+{
+    _stack.push_back(std::move(partials));
+    ++_pushes;
+    _maxDepth.set(std::max(_maxDepth.value(), double(_stack.size())));
+}
+
+DenseVector
+LinkStack::popAccumulate(Index omega)
+{
+    DenseVector acc(omega, 0.0);
+    while (!_stack.empty()) {
+        const DenseVector &top = _stack.back();
+        ALR_ASSERT(top.size() == omega, "link-stack width mismatch");
+        for (Index i = 0; i < omega; ++i)
+            acc[i] += top[i];
+        _stack.pop_back();
+        ++_pops;
+    }
+    return acc;
+}
+
+void
+LinkStack::reset()
+{
+    _stack.clear();
+    _pushes.reset();
+    _pops.reset();
+    _maxDepth.reset();
+}
+
+void
+LinkStack::registerStats(stats::StatGroup &group)
+{
+    group.registerScalar("link.pushes", &_pushes, "GEMV partials pushed");
+    group.registerScalar("link.pops", &_pops, "partials popped by D-SymGS");
+    group.registerScalar("link.max_depth", &_maxDepth,
+                         "deepest stack occupancy");
+}
+
+} // namespace alr

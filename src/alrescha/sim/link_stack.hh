@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The link buffer: a LIFO stack in the RCU that carries intermediate
+ * GEMV results into the successive D-SymGS data path (paper §4.4,
+ * Fig 11).  GEMV pushes one omega-wide partial-sum vector per block;
+ * D-SymGS pops and accumulates everything pushed for its block row.
+ */
+
+#ifndef ALR_ALRESCHA_SIM_LINK_STACK_HH
+#define ALR_ALRESCHA_SIM_LINK_STACK_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "sparse/types.hh"
+
+namespace alr {
+
+class LinkStack
+{
+  public:
+    /** Push the omega partial sums of one GEMV block. */
+    void push(DenseVector partials);
+
+    /**
+     * Pop every pending entry (LIFO) and return their element-wise sum,
+     * an @p omega-long vector.  Returns zeros when the stack is empty
+     * (a block row with no off-diagonal blocks).
+     */
+    DenseVector popAccumulate(Index omega);
+
+    bool empty() const { return _stack.empty(); }
+    size_t depth() const { return _stack.size(); }
+
+    double pushes() const { return _pushes.value(); }
+    double pops() const { return _pops.value(); }
+    double maxDepth() const { return _maxDepth.value(); }
+
+    void reset();
+    void registerStats(stats::StatGroup &group);
+
+  private:
+    std::vector<DenseVector> _stack;
+    stats::Scalar _pushes;
+    stats::Scalar _pops;
+    stats::Scalar _maxDepth;
+};
+
+} // namespace alr
+
+#endif // ALR_ALRESCHA_SIM_LINK_STACK_HH

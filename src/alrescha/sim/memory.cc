@@ -1,0 +1,45 @@
+#include "alrescha/sim/memory.hh"
+
+#include <cmath>
+
+namespace alr {
+
+uint64_t
+MemoryModel::streamCycles(uint64_t bytes) const
+{
+    double bpc = _params.bytesPerCycle();
+    return uint64_t(std::ceil(double(bytes) / bpc));
+}
+
+uint64_t
+MemoryModel::recordRandomAccess()
+{
+    ++_randomAccesses;
+    return uint64_t(_params.dramLatency) +
+           streamCycles(_params.cacheLineBytes);
+}
+
+double
+MemoryModel::totalBytes() const
+{
+    return _bytesStreamed.value() +
+           _randomAccesses.value() * double(_params.cacheLineBytes);
+}
+
+void
+MemoryModel::reset()
+{
+    _bytesStreamed.reset();
+    _randomAccesses.reset();
+}
+
+void
+MemoryModel::registerStats(stats::StatGroup &group)
+{
+    group.registerScalar("mem.bytes_streamed", &_bytesStreamed,
+                         "sequential payload bytes streamed from DRAM");
+    group.registerScalar("mem.random_accesses", &_randomAccesses,
+                         "random line fetches (cache misses)");
+}
+
+} // namespace alr

@@ -1,0 +1,71 @@
+#include "alrescha/sim/rcu.hh"
+
+#include <algorithm>
+
+#include "common/trace.hh"
+
+namespace alr {
+
+Rcu::Rcu(const AccelParams &params, MemoryModel *memory)
+    : _params(params), _cache(params, memory)
+{
+}
+
+uint64_t
+Rcu::reconfigure(DataPathType dp)
+{
+    if (_current && *_current == dp)
+        return 0;
+
+    uint64_t charged = 0;
+    if (_current) {
+        // The tree drains while the switch is rewritten; only config
+        // time beyond the drain is exposed (paper §4.4).
+        int drain = _params.drainCycles();
+        int exposed = std::max(0, _params.configCycles - drain);
+        charged = uint64_t(drain + exposed);
+        _reconfigStall += double(exposed);
+        ++_reconfigs;
+    } else {
+        // First configuration: programming phase, charge config time.
+        charged = uint64_t(_params.configCycles);
+        ++_reconfigs;
+    }
+    ALR_TRACE("rcu: reconfigure -> %s (%llu cycles)", toString(dp),
+              (unsigned long long)charged);
+    _current = dp;
+    return charged;
+}
+
+uint64_t
+Rcu::peOp()
+{
+    ++_peOps;
+    return uint64_t(_params.peLatency);
+}
+
+void
+Rcu::reset()
+{
+    _cache.reset();
+    _linkStack.reset();
+    _current.reset();
+    _reconfigs.reset();
+    _reconfigStall.reset();
+    _peOps.reset();
+}
+
+void
+Rcu::registerStats(stats::StatGroup &group)
+{
+    group.registerScalar("rcu.reconfigurations", &_reconfigs,
+                         "configurable-switch rewrites");
+    group.registerScalar("rcu.reconfig_stall_cycles", &_reconfigStall,
+                         "reconfiguration cycles not hidden by draining");
+    group.registerScalar("rcu.pe_ops", &_peOps,
+                         "LUT processing-element operations");
+    _cache.registerStats(group);
+    _linkStack.registerStats(group);
+}
+
+} // namespace alr

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The reconfigurable compute unit (paper §4.3-4.4, Fig 9b-d): local
+ * cache, FIFOs, the link stack, LUT-based processing elements, and the
+ * configurable switch that rewires them per data path.
+ *
+ * Only the RCU is reconfigured when the data path changes; the switch
+ * reprogramming overlaps with draining the FCU's reduction tree, so the
+ * net stall is max(0, configCycles - drainCycles).
+ */
+
+#ifndef ALR_ALRESCHA_SIM_RCU_HH
+#define ALR_ALRESCHA_SIM_RCU_HH
+
+#include <optional>
+
+#include "alrescha/config_table.hh"
+#include "alrescha/params.hh"
+#include "alrescha/sim/cache.hh"
+#include "alrescha/sim/link_stack.hh"
+
+namespace alr {
+
+class Rcu
+{
+  public:
+    Rcu(const AccelParams &params, MemoryModel *memory);
+
+    /**
+     * Switch the configurable switch to @p dp.  Returns the cycles
+     * charged: zero when already configured; otherwise the reduction
+     * tree drain time plus any exposed reconfiguration cycles.
+     */
+    uint64_t reconfigure(DataPathType dp);
+
+    /** Currently configured data path, if any. */
+    std::optional<DataPathType> configured() const { return _current; }
+
+    CacheModel &cache() { return _cache; }
+    const CacheModel &cache() const { return _cache; }
+    LinkStack &linkStack() { return _linkStack; }
+    const LinkStack &linkStack() const { return _linkStack; }
+
+    /** A LUT PE operation (divide/subtract); returns its latency. */
+    uint64_t peOp();
+
+    double reconfigurations() const { return _reconfigs.value(); }
+    double reconfigStallCycles() const { return _reconfigStall.value(); }
+    double peOps() const { return _peOps.value(); }
+
+    void reset();
+    void registerStats(stats::StatGroup &group);
+
+  private:
+    AccelParams _params;
+    CacheModel _cache;
+    LinkStack _linkStack;
+    std::optional<DataPathType> _current;
+
+    stats::Scalar _reconfigs;
+    stats::Scalar _reconfigStall;
+    stats::Scalar _peOps;
+};
+
+} // namespace alr
+
+#endif // ALR_ALRESCHA_SIM_RCU_HH

@@ -1,0 +1,164 @@
+#include "alrescha/streaming_encoder.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace alr {
+
+StreamingEncoder::StreamingEncoder(Index rows, Index cols, Index omega,
+                                   LdLayout layout)
+    : _rows(rows), _cols(cols), _omega(omega), _layout(layout)
+{
+    ALR_ASSERT(omega > 0, "block width must be positive");
+    if (layout == LdLayout::SymGs) {
+        ALR_ASSERT(rows == cols, "SymGs layout requires a square matrix");
+        _diag.assign(rows, 0.0);
+    }
+    _blockRowPtr.push_back(0);
+}
+
+void
+StreamingEncoder::add(Index row, Index col, Value v)
+{
+    ALR_ASSERT(!_finished, "encoder already finished");
+    ALR_ASSERT(row < _rows && col < _cols, "entry (%u,%u) out of range",
+               row, col);
+    ALR_ASSERT(row / _omega >= _currentBlockRow,
+               "block rows must arrive in order (row %u after block row "
+               "%u closed)", row, _currentBlockRow);
+
+    // Entering a later block row completes all earlier ones.
+    while (row / _omega > _currentBlockRow)
+        flushBlockRow();
+
+    ++_nnz;
+    bool diagElem = _layout == LdLayout::SymGs && row == col;
+    if (diagElem) {
+        _diag[row] = v;
+        // The diagonal block must still exist for the D-SymGS path.
+        _open.try_emplace(_currentBlockRow);
+        _peakOpenBlocks = std::max(_peakOpenBlocks, _open.size());
+        return;
+    }
+
+    Index bc = col / _omega;
+    bool diagBlk = _layout == LdLayout::SymGs && bc == _currentBlockRow;
+    auto [it, inserted] = _open.try_emplace(bc);
+    if (inserted)
+        _peakOpenBlocks = std::max(_peakOpenBlocks, _open.size());
+    auto &payload = it->second;
+    size_t want = diagBlk ? size_t(_omega) * (_omega - 1)
+                          : size_t(_omega) * _omega;
+    if (payload.empty())
+        payload.assign(want, 0.0);
+
+    int64_t pos = LocallyDenseMatrix::payloadPosition(
+        _layout, diagBlk, bc > _currentBlockRow, _omega, row % _omega,
+        col % _omega);
+    ALR_ASSERT(pos >= 0, "unstorable element");
+    payload[size_t(pos)] = v;
+}
+
+void
+StreamingEncoder::flushBlockRow()
+{
+    // SymGs block rows always carry their diagonal block.
+    if (_layout == LdLayout::SymGs &&
+        _currentBlockRow * _omega < _rows) {
+        _open.try_emplace(_currentBlockRow);
+    }
+
+    std::vector<Index> order;
+    for (const auto &[bc, payload] : _open) {
+        if (_layout == LdLayout::SymGs && bc == _currentBlockRow)
+            continue;
+        order.push_back(bc);
+    }
+    if (_layout == LdLayout::SymGs &&
+        _open.count(_currentBlockRow))
+        order.push_back(_currentBlockRow);
+
+    for (Index bc : order) {
+        auto &payload = _open[bc];
+        bool diagBlk =
+            _layout == LdLayout::SymGs && bc == _currentBlockRow;
+        size_t want = diagBlk ? size_t(_omega) * (_omega - 1)
+                              : size_t(_omega) * _omega;
+        if (payload.empty())
+            payload.assign(want, 0.0);
+
+        LdBlockInfo blk;
+        blk.blockRow = _currentBlockRow;
+        blk.blockCol = bc;
+        blk.offset = _stream.size();
+        blk.size = Index(want);
+        _stream.insert(_stream.end(), payload.begin(), payload.end());
+        _blocks.push_back(blk);
+    }
+    _open.clear();
+    _blockRowPtr.push_back(Index(_blocks.size()));
+    ++_currentBlockRow;
+}
+
+LocallyDenseMatrix
+StreamingEncoder::finish()
+{
+    ALR_ASSERT(!_finished, "encoder already finished");
+    _finished = true;
+    Index blockRows = (_rows + _omega - 1) / _omega;
+    while (_currentBlockRow < blockRows)
+        flushBlockRow();
+
+    if (_layout == LdLayout::SymGs) {
+        for (Index r = 0; r < _rows; ++r)
+            ALR_ASSERT(_diag[r] != 0.0,
+                       "SymGs needs non-zero diagonal (row %u)", r);
+    }
+    return LocallyDenseMatrix::assemble(
+        _rows, _cols, _omega, _layout, _nnz, std::move(_blocks),
+        std::move(_blockRowPtr), std::move(_stream), std::move(_diag));
+}
+
+LocallyDenseMatrix
+StreamingEncoder::encodeCsr(const CsrMatrix &csr, Index omega,
+                            LdLayout layout)
+{
+    StreamingEncoder enc(csr.rows(), csr.cols(), omega, layout);
+    for (Index r = 0; r < csr.rows(); ++r) {
+        for (Index k = csr.rowPtr()[r]; k < csr.rowPtr()[r + 1]; ++k)
+            enc.add(r, csr.colIdx()[k], csr.vals()[k]);
+    }
+    return enc.finish();
+}
+
+LocallyDenseMatrix
+StreamingEncoder::encodeBcsr(const BcsrMatrix &bcsr, LdLayout layout)
+{
+    // Pure payload reordering: the block structure is reused as-is.
+    Index omega = bcsr.blockSize();
+    StreamingEncoder enc(bcsr.rows(), bcsr.cols(), omega, layout);
+    for (Index br = 0; br < bcsr.blockRows(); ++br) {
+        for (Index k = bcsr.blockRowPtr()[br];
+             k < bcsr.blockRowPtr()[br + 1]; ++k) {
+            Index bc = bcsr.blockColIdx()[k];
+            const Value *payload = bcsr.blockData(k);
+            for (Index lr = 0; lr < omega; ++lr) {
+                Index r = br * omega + lr;
+                if (r >= bcsr.rows())
+                    break;
+                for (Index lc = 0; lc < omega; ++lc) {
+                    Index c = bc * omega + lc;
+                    if (c >= bcsr.cols())
+                        continue;
+                    Value v = payload[size_t(lr) * omega + lc];
+                    if (v != 0.0)
+                        enc.add(r, c, v);
+                }
+            }
+        }
+    }
+    return enc.finish();
+}
+
+} // namespace alr

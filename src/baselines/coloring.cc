@@ -1,0 +1,86 @@
+#include "baselines/coloring.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace alr {
+
+ColoringResult
+greedyColoring(const CsrMatrix &a)
+{
+    ALR_ASSERT(a.rows() == a.cols(), "coloring needs a square matrix");
+    Index n = a.rows();
+    CsrMatrix at = a.transposed();
+
+    ColoringResult res;
+    res.color.assign(n, ~Index(0));
+
+    std::vector<char> used;
+    for (Index r = 0; r < n; ++r) {
+        used.assign(res.numColors + 1, 0);
+        auto mark = [&](const CsrMatrix &m) {
+            for (Index k = m.rowPtr()[r]; k < m.rowPtr()[r + 1]; ++k) {
+                Index c = m.colIdx()[k];
+                if (c != r && res.color[c] != ~Index(0))
+                    used[std::min<Index>(res.color[c], res.numColors)] = 1;
+            }
+        };
+        mark(a);
+        mark(at);
+        Index pick = 0;
+        while (pick < res.numColors && used[pick])
+            ++pick;
+        res.color[r] = pick;
+        res.numColors = std::max(res.numColors, pick + 1);
+    }
+    res.colorSizes.assign(res.numColors, 0);
+    for (Index r = 0; r < n; ++r)
+        ++res.colorSizes[res.color[r]];
+    return res;
+}
+
+LevelSchedule
+levelSchedule(const CsrMatrix &a)
+{
+    ALR_ASSERT(a.rows() == a.cols(), "level schedule needs square matrix");
+    Index n = a.rows();
+
+    LevelSchedule res;
+    res.level.assign(n, 0);
+    for (Index r = 0; r < n; ++r) {
+        Index lvl = 0;
+        for (Index k = a.rowPtr()[r]; k < a.rowPtr()[r + 1]; ++k) {
+            Index c = a.colIdx()[k];
+            if (c < r)
+                lvl = std::max(lvl, res.level[c] + 1);
+        }
+        res.level[r] = lvl;
+        res.numLevels = std::max(res.numLevels, lvl + 1);
+    }
+    res.levelSizes.assign(res.numLevels, 0);
+    for (Index r = 0; r < n; ++r)
+        ++res.levelSizes[res.level[r]];
+    return res;
+}
+
+double
+coloredSequentialFraction(const CsrMatrix &a,
+                          const ColoringResult &coloring,
+                          Index min_parallel)
+{
+    ALR_ASSERT(min_parallel > 0, "min_parallel must be positive");
+    double seq_ops = 0.0;
+    double total_ops = 0.0;
+    for (Index r = 0; r < a.rows(); ++r) {
+        double ops = 2.0 * a.rowNnz(r);
+        total_ops += ops;
+        double occupancy =
+            std::min(1.0, double(coloring.colorSizes[coloring.color[r]]) /
+                              double(min_parallel));
+        seq_ops += ops * (1.0 - occupancy);
+    }
+    return total_ops > 0.0 ? seq_ops / total_ops : 0.0;
+}
+
+} // namespace alr

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Greedy graph coloring and dependency level scheduling: the software
+ * parallelization techniques behind the paper's GPU baseline (row
+ * reordering / matrix coloring [8]) and the Fig 16 sequential-operation
+ * metric.
+ */
+
+#ifndef ALR_BASELINES_COLORING_HH
+#define ALR_BASELINES_COLORING_HH
+
+#include <vector>
+
+#include "sparse/csr.hh"
+
+namespace alr {
+
+/** Outcome of greedy coloring on the symmetrized adjacency of A. */
+struct ColoringResult
+{
+    /** Color of each row. */
+    std::vector<Index> color;
+    Index numColors = 0;
+    /** Rows per color. */
+    std::vector<Index> colorSizes;
+};
+
+/**
+ * Greedy first-fit coloring of the row-conflict graph: rows i and j
+ * conflict when A(i,j) != 0 or A(j,i) != 0 (they cannot run in the same
+ * Gauss-Seidel wave).  Rows in one color form an independent set.
+ */
+ColoringResult greedyColoring(const CsrMatrix &a);
+
+/** Dependency wavefronts of the forward Gauss-Seidel sweep. */
+struct LevelSchedule
+{
+    /** Level of each row: 1 + max level over lower-triangle neighbours. */
+    std::vector<Index> level;
+    Index numLevels = 0;
+    std::vector<Index> levelSizes;
+};
+
+/** Level scheduling on the strictly-lower-triangular dependency DAG. */
+LevelSchedule levelSchedule(const CsrMatrix &a);
+
+/**
+ * Fig 16's GPU-side metric under our stated definition: each row's
+ * FLOPs count as sequential in proportion to how far its color falls
+ * short of filling the machine -- a row in a color of size s
+ * contributes (1 - min(1, s / min_parallel)) of its operations to the
+ * sequential total.  Colors that saturate the GPU contribute nothing;
+ * singleton colors contribute everything, which is what row
+ * reordering cannot fix.
+ */
+double coloredSequentialFraction(const CsrMatrix &a,
+                                 const ColoringResult &coloring,
+                                 Index min_parallel);
+
+} // namespace alr
+
+#endif // ALR_BASELINES_COLORING_HH

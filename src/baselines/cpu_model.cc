@@ -1,0 +1,87 @@
+#include "baselines/cpu_model.hh"
+
+#include <algorithm>
+
+namespace alr {
+
+double
+CpuModel::streamSeconds(double bytes) const
+{
+    return bytes / (_params.bandwidthGBs * 1e9 * _params.effStream);
+}
+
+double
+CpuModel::gatherSeconds(double accesses, int active_cores) const
+{
+    double mlp = double(_params.mlpPerCore) * active_cores;
+    return accesses * _params.memLatencySec / mlp;
+}
+
+double
+CpuModel::spmvSeconds(const CsrMatrix &a) const
+{
+    double stream =
+        double(a.nnz()) * (sizeof(Value) + sizeof(Index)) +
+        double(a.rows()) * (sizeof(Index) + sizeof(Value));
+    // Vector gathers miss for large matrices; overlap with streaming is
+    // limited, so take the max of the two bounds.
+    double gathers = double(a.nnz());
+    return std::max(streamSeconds(stream),
+                    gatherSeconds(gathers, _params.cores));
+}
+
+double
+CpuModel::symgsSweepSeconds(const CsrMatrix &a) const
+{
+    // The forward sweep's row dependence serializes onto one core;
+    // within a row the core still overlaps its gathers.  Symmetric
+    // sweep doubles it.
+    double stream =
+        double(a.nnz()) * (sizeof(Value) + sizeof(Index));
+    double gathers = double(a.nnz());
+    double one = std::max(streamSeconds(stream), gatherSeconds(gathers, 1));
+    return 2.0 * one;
+}
+
+double
+CpuModel::pcgIterationSeconds(const CsrMatrix &a) const
+{
+    double blas1 =
+        streamSeconds(5.0 * 2.0 * double(a.rows()) * sizeof(Value));
+    return symgsSweepSeconds(a) + spmvSeconds(a) + blas1;
+}
+
+double
+CpuModel::bfsSeconds(const CsrMatrix &g, int rounds) const
+{
+    // GridGraph-style traversal with per-round active-block filtering:
+    // work-efficient across the traversal (1.5x revisit factor), with
+    // a per-round pass over the grid's block index.
+    double stream =
+        1.5 * double(g.nnz()) * (sizeof(Index) + sizeof(Value));
+    double gathers = 1.5 * double(g.nnz());
+    double per_round_index =
+        double(rounds) * double(g.rows()) * sizeof(Index) /
+        (_params.bandwidthGBs * 1e9 * _params.effStream);
+    return std::max(streamSeconds(stream),
+                    gatherSeconds(gathers, _params.cores)) +
+           per_round_index;
+}
+
+double
+CpuModel::ssspSeconds(const CsrMatrix &g, int rounds) const
+{
+    return bfsSeconds(g, rounds);
+}
+
+double
+CpuModel::pagerankSeconds(const CsrMatrix &g, int rounds) const
+{
+    double stream = double(g.nnz()) * (sizeof(Index) + sizeof(Value)) +
+                    3.0 * double(g.rows()) * sizeof(Value);
+    double gathers = double(g.nnz());
+    return rounds * std::max(streamSeconds(stream),
+                             gatherSeconds(gathers, _params.cores));
+}
+
+} // namespace alr

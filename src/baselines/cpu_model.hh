@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Behavioral model of the paper's CPU baseline (Table 4): an 8-core
+ * Xeon E5-2630 v3 with 59 GB/s of DDR4, running GridGraph/CuSha-style
+ * graph frameworks and a reference PCG.
+ *
+ * Regular streams run at a fraction of peak bandwidth; irregular gathers
+ * are latency-bound with limited memory-level parallelism per core.  The
+ * SymGS sweep is dependence-serialized onto one core.
+ */
+
+#ifndef ALR_BASELINES_CPU_MODEL_HH
+#define ALR_BASELINES_CPU_MODEL_HH
+
+#include "sparse/csr.hh"
+
+namespace alr {
+
+/** Xeon E5-2630 v3-like configuration (paper Table 4). */
+struct CpuParams
+{
+    double bandwidthGBs = 59.0;
+    double effStream = 0.6;
+    /** DRAM latency for dependent gathers (seconds). */
+    double memLatencySec = 80e-9;
+    /**
+     * Outstanding misses a core sustains on dependent irregular
+     * accesses with random updates (graph/SpMV gathers).  Far below
+     * the MSHR count: pointer chasing and store ordering cap it.
+     */
+    int mlpPerCore = 4;
+    int cores = 8;
+    /** Average package power under memory-bound load (watts). */
+    double avgPowerWatts = 85.0;
+    /** Peak double-precision throughput (FLOP/s). */
+    double peakFlops = 3.07e11;
+};
+
+class CpuModel
+{
+  public:
+    explicit CpuModel(const CpuParams &params = {}) : _params(params) {}
+
+    const CpuParams &params() const { return _params; }
+
+    /** CSR SpMV across all cores. */
+    double spmvSeconds(const CsrMatrix &a) const;
+
+    /** Symmetric Gauss-Seidel sweep: dependence-bound on one core. */
+    double symgsSweepSeconds(const CsrMatrix &a) const;
+
+    /** One PCG iteration. */
+    double pcgIterationSeconds(const CsrMatrix &a) const;
+
+    /** GridGraph/CuSha-like graph kernels (edge streaming per round). */
+    double bfsSeconds(const CsrMatrix &g, int rounds) const;
+    double ssspSeconds(const CsrMatrix &g, int rounds) const;
+    double pagerankSeconds(const CsrMatrix &g, int rounds) const;
+
+    double energyJoules(double seconds) const
+    {
+        return seconds * _params.avgPowerWatts;
+    }
+
+  private:
+    double streamSeconds(double bytes) const;
+    double gatherSeconds(double accesses, int active_cores) const;
+
+    CpuParams _params;
+};
+
+} // namespace alr
+
+#endif // ALR_BASELINES_CPU_MODEL_HH

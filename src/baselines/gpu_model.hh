@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Behavioral model of the paper's GPU baseline (Table 4): an NVIDIA
+ * Tesla K40c running cuSPARSE PCG with ELL storage and row-reordering /
+ * coloring for SymGS, and Gunrock for the graph kernels.
+ *
+ * The model is a calibrated roofline: kernels move their format's bytes
+ * at an effectiveness factor (regular streams vs irregular gathers),
+ * every kernel launch costs a fixed overhead, and a colored SymGS runs
+ * one launch per color with an underutilization penalty for colors too
+ * small to fill the machine.  The paper models its competitor hardware
+ * the same way (§5.1).
+ */
+
+#ifndef ALR_BASELINES_GPU_MODEL_HH
+#define ALR_BASELINES_GPU_MODEL_HH
+
+#include "baselines/coloring.hh"
+#include "sparse/csr.hh"
+
+namespace alr {
+
+/** K40c-like configuration (paper Table 4). */
+struct GpuParams
+{
+    double bandwidthGBs = 288.0;
+    /** Achievable fraction of peak bandwidth for regular streaming. */
+    double effStream = 0.75;
+    /** Achievable fraction for irregular gathers/scatters. */
+    double effIrregular = 0.35;
+    /** Kernel launch + synchronization overhead (seconds). */
+    double launchOverheadSec = 5e-6;
+    /** Rows needed to saturate the machine (occupancy knee). */
+    Index minRowsToSaturate = 16384;
+    /**
+     * Machine-fill threshold for the Fig 16 sequential-op metric,
+     * expressed as a fraction of the matrix rows.  The paper's
+     * matrices run 100k-3M rows against ~30k GPU threads (a ~0.3
+     * median ratio); our suites are scaled down ~20x, so the metric
+     * keeps the matrix-to-machine ratio rather than the absolute
+     * thread count.  A floor avoids degeneracy on tiny inputs.
+     */
+    double minParallelFraction = 0.3;
+    Index minParallelFloor = 256;
+    /** Average board power for memory-bound kernels (watts). */
+    double avgPowerWatts = 120.0;
+    /** Peak double-precision throughput (FLOP/s). */
+    double peakFlops = 1.43e12;
+    /** Bytes of ELL metadata per stored slot (column index). */
+    double metaBytesPerSlot = 4.0;
+    /**
+     * Bytes actually moved per 8-byte vector gather.  At the paper's
+     * dataset scale the x vector (tens of MB) misses the L2, so every
+     * gather costs a 32-byte memory transaction.
+     */
+    double gatherTransactionBytes = 32.0;
+};
+
+class GpuModel
+{
+  public:
+    explicit GpuModel(const GpuParams &params = {}) : _params(params) {}
+
+    const GpuParams &params() const { return _params; }
+
+    /** ELL-format SpMV time for one product. */
+    double spmvSeconds(const CsrMatrix &a) const;
+
+    /**
+     * One symmetric (forward + backward) SymGS sweep using coloring:
+     * one launch per color per direction, with small colors paying the
+     * occupancy penalty.
+     */
+    double symgsSweepSeconds(const CsrMatrix &a) const;
+
+    /** One PCG iteration: SymGS preconditioner + SpMV + BLAS-1 traffic. */
+    double pcgIterationSeconds(const CsrMatrix &a) const;
+
+    /** Fig 16 metric for the row-reordered GPU implementation. */
+    double sequentialFraction(const CsrMatrix &a) const;
+
+    /** Gunrock-like graph kernels: per-round frontier traffic + launch. */
+    double bfsSeconds(const CsrMatrix &g, int rounds) const;
+    double ssspSeconds(const CsrMatrix &g, int rounds) const;
+    double pagerankSeconds(const CsrMatrix &g, int rounds) const;
+
+    /** Energy at the average memory-bound power. */
+    double energyJoules(double seconds) const
+    {
+        return seconds * _params.avgPowerWatts;
+    }
+
+  private:
+    double bytesPerSecondStream() const;
+    double bytesPerSecondIrregular() const;
+    /** Time to process rows moving @p stream_bytes + @p gather_bytes. */
+    double trafficSeconds(double stream_bytes, double gather_bytes) const;
+
+    GpuParams _params;
+};
+
+} // namespace alr
+
+#endif // ALR_BASELINES_GPU_MODEL_HH

@@ -1,0 +1,39 @@
+#include "baselines/graphr.hh"
+
+#include <algorithm>
+#include <set>
+
+namespace alr {
+
+double
+GraphRModel::countBlocks(const CsrMatrix &g) const
+{
+    std::set<std::pair<Index, Index>> blocks;
+    for (Index r = 0; r < g.rows(); ++r) {
+        for (Index k = g.rowPtr()[r]; k < g.rowPtr()[r + 1]; ++k) {
+            blocks.emplace(r / _params.blockSize,
+                           g.colIdx()[k] / _params.blockSize);
+        }
+    }
+    return double(blocks.size());
+}
+
+double
+GraphRModel::roundSeconds(const CsrMatrix &g) const
+{
+    double blocks = countBlocks(g);
+    // Each block is programmed into a crossbar then computed; crossbars
+    // work in parallel.  The 4x4 COO payload (value + 2 coordinates per
+    // non-zero, dense 16-slot blocks) also crosses the memory bus.
+    double crossbar_time = blocks *
+                           (_params.writeSec + _params.computeSec) /
+                           double(_params.crossbars);
+    double bytes = blocks * double(_params.blockSize) *
+                       double(_params.blockSize) * sizeof(Value) +
+                   double(g.nnz()) * 2.0 * sizeof(Index);
+    double stream_time =
+        bytes / (_params.bandwidthGBs * 1e9 * _params.effStream);
+    return std::max(crossbar_time, stream_time);
+}
+
+} // namespace alr

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Behavioral model of GraphR [24] (HPCA 2018), the ReRAM-based graph
+ * accelerator of Fig 17.
+ *
+ * GraphR processes the adjacency matrix as 4x4 COO blocks loaded into
+ * ReRAM crossbars: each block pays a crossbar write (programming) plus
+ * an analog compute read.  Many crossbars operate in parallel; block
+ * loads also consume memory bandwidth.  Latency constants follow the
+ * GraphR paper's reported ReRAM read/write timings.
+ */
+
+#ifndef ALR_BASELINES_GRAPHR_HH
+#define ALR_BASELINES_GRAPHR_HH
+
+#include "sparse/csr.hh"
+
+namespace alr {
+
+struct GraphRParams
+{
+    /** GraphR's storage granularity (paper Table 2): 4x4 COO blocks. */
+    Index blockSize = 4;
+    /** Crossbar write (programming) latency per block (seconds). */
+    double writeSec = 50.88e-9;
+    /** Crossbar analog compute latency per block (seconds). */
+    double computeSec = 29.31e-9;
+    /** Crossbars operating in parallel. */
+    int crossbars = 64;
+    /** Equalized memory bandwidth budget (§5.1). */
+    double bandwidthGBs = 288.0;
+    double effStream = 0.6;
+    double avgPowerWatts = 18.0;
+};
+
+class GraphRModel
+{
+  public:
+    explicit GraphRModel(const GraphRParams &params = {})
+        : _params(params)
+    {
+    }
+
+    const GraphRParams &params() const { return _params; }
+
+    /** Non-empty blockSize x blockSize blocks in @p g. */
+    double countBlocks(const CsrMatrix &g) const;
+
+    /** One pass over the whole graph (one relaxation round). */
+    double roundSeconds(const CsrMatrix &g) const;
+
+    /**
+     * GraphR processes active subgraphs per round; across a traversal
+     * it touches each block a small constant number of times (1.5x),
+     * plus a fixed controller scan per round.
+     */
+    double bfsSeconds(const CsrMatrix &g, int rounds) const
+    {
+        return 1.5 * roundSeconds(g) + rounds * 2e-6;
+    }
+    double ssspSeconds(const CsrMatrix &g, int rounds) const
+    {
+        return 1.5 * roundSeconds(g) + rounds * 2e-6;
+    }
+    /** PageRank rounds are dense by nature. */
+    double pagerankSeconds(const CsrMatrix &g, int rounds) const
+    {
+        return rounds * roundSeconds(g);
+    }
+
+    double energyJoules(double seconds) const
+    {
+        return seconds * _params.avgPowerWatts;
+    }
+
+  private:
+    GraphRParams _params;
+};
+
+} // namespace alr
+
+#endif // ALR_BASELINES_GRAPHR_HH

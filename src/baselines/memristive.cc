@@ -1,0 +1,87 @@
+#include "baselines/memristive.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.hh"
+
+namespace alr {
+
+double
+MemristiveModel::blocksOf(const CsrMatrix &a, Index size) const
+{
+    std::set<std::pair<Index, Index>> blocks;
+    for (Index r = 0; r < a.rows(); ++r) {
+        for (Index k = a.rowPtr()[r]; k < a.rowPtr()[r + 1]; ++k)
+            blocks.emplace(r / size, a.colIdx()[k] / size);
+    }
+    return double(blocks.size());
+}
+
+Index
+MemristiveModel::chooseBlockSize(const CsrMatrix &a) const
+{
+    ALR_ASSERT(!_params.blockSizes.empty(), "no candidate block sizes");
+    // Pick the size with the best streamed-bytes x crossbar-time
+    // tradeoff for one pass.
+    Index best = _params.blockSizes.front();
+    double best_cost = -1.0;
+    for (Index size : _params.blockSizes) {
+        double blocks = blocksOf(a, size);
+        double bytes = blocks * double(size) * size * sizeof(Value);
+        double stream =
+            bytes / (_params.bandwidthGBs * 1e9 * _params.effStream);
+        double xbar = blocks * (_params.writeSec + _params.computeSec) /
+                      double(_params.crossbars);
+        double cost = std::max(stream, xbar);
+        if (best_cost < 0.0 || cost < best_cost) {
+            best_cost = cost;
+            best = size;
+        }
+    }
+    return best;
+}
+
+double
+MemristiveModel::passSeconds(const CsrMatrix &a) const
+{
+    Index size = chooseBlockSize(a);
+    double blocks = blocksOf(a, size);
+    double bytes = blocks * double(size) * size * sizeof(Value);
+    double stream =
+        bytes / (_params.bandwidthGBs * 1e9 * _params.effStream);
+    double xbar = blocks * (_params.writeSec + _params.computeSec) /
+                  double(_params.crossbars);
+    return std::max(stream, xbar);
+}
+
+double
+MemristiveModel::gsSweepSeconds(const CsrMatrix &a) const
+{
+    // The streaming/compute pass plus a serial chain of the
+    // diagonal-region crossbars: each diagonal block depends on its
+    // predecessor's results, so their compute latencies do not
+    // parallelize (writes are preloaded while earlier blocks compute).
+    Index size = chooseBlockSize(a);
+    double diag_blocks = double((a.rows() + size - 1) / size);
+    double chain = diag_blocks * _params.computeSec;
+    return passSeconds(a) + chain;
+}
+
+double
+MemristiveModel::pcgIterationSeconds(const CsrMatrix &a) const
+{
+    return 2.0 * gsSweepSeconds(a) + passSeconds(a);
+}
+
+double
+MemristiveModel::bandwidthUtilization(const CsrMatrix &a) const
+{
+    // Useful payload over total bus time at the full budget.
+    double useful = double(a.nnz()) * sizeof(Value);
+    double seconds = passSeconds(a);
+    double budget = _params.bandwidthGBs * 1e9;
+    return seconds > 0.0 ? useful / (seconds * budget) : 0.0;
+}
+
+} // namespace alr

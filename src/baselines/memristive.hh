@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Behavioral model of the Memristive scientific-computing accelerator
+ * [25] (Feinberg et al., ISCA 2018), Fig 15's comparator.
+ *
+ * The design maps matrix regions onto large memristive crossbars using
+ * multi-size blocks (64x64 up to 512x512, paper Table 2).  Large blocks
+ * amortize crossbar programming but waste bandwidth and crossbar area
+ * when sparse regions fill them poorly -- exactly the effect Fig 15
+ * shows: both accelerators track bandwidth utilization, but Alrescha's
+ * 8x8 blocks keep in-block density (and hence utilization) higher.
+ */
+
+#ifndef ALR_BASELINES_MEMRISTIVE_HH
+#define ALR_BASELINES_MEMRISTIVE_HH
+
+#include <vector>
+
+#include "sparse/csr.hh"
+
+namespace alr {
+
+struct MemristiveParams
+{
+    /** Candidate block sizes; the model picks the best fit per matrix. */
+    std::vector<Index> blockSizes = {64, 128, 256, 512};
+    /** Crossbar programming latency per block (seconds). */
+    double writeSec = 200e-9;
+    /** Analog matrix-vector compute latency per block (seconds). */
+    double computeSec = 100e-9;
+    /** Parallel crossbars. */
+    int crossbars = 32;
+    /** Equalized memory bandwidth budget (§5.1). */
+    double bandwidthGBs = 288.0;
+    double effStream = 0.7;
+    double avgPowerWatts = 30.0;
+};
+
+class MemristiveModel
+{
+  public:
+    explicit MemristiveModel(const MemristiveParams &params = {})
+        : _params(params)
+    {
+    }
+
+    const MemristiveParams &params() const { return _params; }
+
+    /** Block size the model selects for @p a (densest non-empty blocks). */
+    Index chooseBlockSize(const CsrMatrix &a) const;
+
+    /** One parallel pass over the matrix (an SpMV). */
+    double passSeconds(const CsrMatrix &a) const;
+
+    /**
+     * One Gauss-Seidel half-sweep.  The design does not restructure
+     * the dependence chain (paper Table 2: "Resolving Limited
+     * Parallelism: no"), so the diagonal-region crossbars execute as a
+     * serial chain on top of the streaming pass.
+     */
+    double gsSweepSeconds(const CsrMatrix &a) const;
+
+    /** One PCG iteration: symmetric GS sweep (2 half-sweeps) + SpMV. */
+    double pcgIterationSeconds(const CsrMatrix &a) const;
+
+    /** Achieved fraction of the bandwidth budget for one pass. */
+    double bandwidthUtilization(const CsrMatrix &a) const;
+
+    double energyJoules(double seconds) const
+    {
+        return seconds * _params.avgPowerWatts;
+    }
+
+  private:
+    double blocksOf(const CsrMatrix &a, Index size) const;
+
+    MemristiveParams _params;
+};
+
+} // namespace alr
+
+#endif // ALR_BASELINES_MEMRISTIVE_HH

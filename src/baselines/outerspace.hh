@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Behavioral model of OuterSPACE [18] (HPCA 2018) restricted to SpMV,
+ * the paper's Fig 18 comparator.
+ *
+ * OuterSPACE computes with outer products: each vector element x[c]
+ * multiplies column c of the matrix once (good reuse of x), but the
+ * resulting partial products scatter into the output rows through the
+ * local cache hierarchy -- random accesses that the paper identifies as
+ * its bottleneck ("it produces random access to a local cache").
+ */
+
+#ifndef ALR_BASELINES_OUTERSPACE_HH
+#define ALR_BASELINES_OUTERSPACE_HH
+
+#include "sparse/csr.hh"
+
+namespace alr {
+
+/** OuterSPACE-like configuration, on the paper's equalized budget. */
+struct OuterSpaceParams
+{
+    /** Same memory bandwidth budget as Alrescha (§5.1). */
+    double bandwidthGBs = 288.0;
+    double effStream = 0.8;
+    /** Local scratchpad access time per scatter (seconds). */
+    double cacheAccessSec = 1.2e-9;
+    /** Parallel cache banks absorbing scatters. */
+    int cacheBanks = 8;
+    /** Fraction of scatters that conflict on a bank. */
+    double bankConflictRate = 0.6;
+    double avgPowerWatts = 24.0;
+};
+
+class OuterSpaceModel
+{
+  public:
+    explicit OuterSpaceModel(const OuterSpaceParams &params = {})
+        : _params(params)
+    {
+    }
+
+    const OuterSpaceParams &params() const { return _params; }
+
+    /** One SpMV via outer products. */
+    double spmvSeconds(const CsrMatrix &a) const;
+
+    /** Fraction of execution time spent on local-cache accesses
+     *  (Fig 18's secondary axis). */
+    double cacheTimeFraction(const CsrMatrix &a) const;
+
+    double energyJoules(double seconds) const
+    {
+        return seconds * _params.avgPowerWatts;
+    }
+
+  private:
+    double streamSeconds(const CsrMatrix &a) const;
+    double scatterSeconds(const CsrMatrix &a) const;
+
+    OuterSpaceParams _params;
+};
+
+} // namespace alr
+
+#endif // ALR_BASELINES_OUTERSPACE_HH

@@ -1,0 +1,33 @@
+#include "baselines/platforms.hh"
+
+namespace alr {
+
+double
+hpcgGflops(const Platform &p)
+{
+    return p.bandwidthGBs * p.hpcgBwEfficiency * kHpcgFlopsPerByte;
+}
+
+double
+hpcgPeakFraction(const Platform &p)
+{
+    return p.peakGflops > 0.0 ? hpcgGflops(p) / p.peakGflops : 0.0;
+}
+
+const std::vector<Platform> &
+platformRoster()
+{
+    static const std::vector<Platform> roster = {
+        {"NVIDIA K20", true, 1170.0, 208.0, 0.45},
+        {"NVIDIA K40c", true, 1430.0, 288.0, 0.45},
+        {"NVIDIA M40", true, 213.0, 288.0, 0.45},
+        {"NVIDIA P100", true, 4700.0, 732.0, 0.50},
+        {"Xeon E5-2630 v3", false, 307.0, 59.0, 0.40},
+        {"Xeon E5-2690 v3", false, 480.0, 68.0, 0.40},
+        {"Xeon Phi 7250", false, 3050.0, 115.2, 0.35},
+        {"POWER8", false, 560.0, 192.0, 0.40},
+    };
+    return roster;
+}
+
+} // namespace alr

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The platform roster behind Fig 6: HPCG-style achieved performance as
+ * a fraction of peak for a range of CPUs and GPUs.
+ *
+ * HPCG is bandwidth-bound: achieved FLOP/s ~= effective bandwidth x the
+ * benchmark's arithmetic intensity (about 1/6 FLOP per byte for CSR
+ * SpMV/SymGS with 8-byte values and 4-byte indices).
+ */
+
+#ifndef ALR_BASELINES_PLATFORMS_HH
+#define ALR_BASELINES_PLATFORMS_HH
+
+#include <string>
+#include <vector>
+
+namespace alr {
+
+/** One CPU/GPU platform in the Fig 6 spectrum. */
+struct Platform
+{
+    std::string name;
+    bool isGpu = false;
+    /** Peak double-precision throughput (GFLOP/s). */
+    double peakGflops = 0.0;
+    /** Peak memory bandwidth (GB/s). */
+    double bandwidthGBs = 0.0;
+    /** Achievable bandwidth fraction on HPCG's irregular kernels. */
+    double hpcgBwEfficiency = 0.45;
+};
+
+/** FLOPs HPCG extracts per byte moved (2 FLOPs per 12-byte entry). */
+constexpr double kHpcgFlopsPerByte = 2.0 / 12.0;
+
+/** Modeled HPCG GFLOP/s for @p p. */
+double hpcgGflops(const Platform &p);
+
+/** Fig 6's metric: achieved HPCG performance / peak. */
+double hpcgPeakFraction(const Platform &p);
+
+/** The platform roster (Kepler/Pascal GPUs, Xeon/Phi CPUs). */
+const std::vector<Platform> &platformRoster();
+
+} // namespace alr
+
+#endif // ALR_BASELINES_PLATFORMS_HH

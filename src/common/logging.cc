@@ -1,0 +1,120 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace alr {
+
+namespace {
+
+bool captureEnabled = false;
+std::string captureBuffer;
+
+const char *
+levelTag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn:   return "warn";
+      case LogLevel::Fatal:  return "fatal";
+      case LogLevel::Panic:  return "panic";
+    }
+    return "?";
+}
+
+void
+vlogMessage(LogLevel level, const char *fmt, va_list args)
+{
+    char body[4096];
+    vsnprintf(body, sizeof(body), fmt, args);
+
+    if (captureEnabled &&
+        (level == LogLevel::Inform || level == LogLevel::Warn)) {
+        captureBuffer += levelTag(level);
+        captureBuffer += ": ";
+        captureBuffer += body;
+        captureBuffer += '\n';
+        return;
+    }
+
+    std::fprintf(level == LogLevel::Inform ? stdout : stderr,
+                 "%s: %s\n", levelTag(level), body);
+}
+
+} // namespace
+
+void
+logMessage(LogLevel level, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vlogMessage(level, fmt, args);
+    va_end(args);
+    if (level == LogLevel::Fatal)
+        std::exit(1);
+    if (level == LogLevel::Panic)
+        std::abort();
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vlogMessage(LogLevel::Panic, fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vlogMessage(LogLevel::Fatal, fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vlogMessage(LogLevel::Warn, fmt, args);
+    va_end(args);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vlogMessage(LogLevel::Inform, fmt, args);
+    va_end(args);
+}
+
+void
+panicAssert(const char *cond, const char *file, int line, const char *fmt,
+            ...)
+{
+    char body[4096];
+    va_list args;
+    va_start(args, fmt);
+    vsnprintf(body, sizeof(body), fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "panic: assertion '%s' failed at %s:%d: %s\n",
+                 cond, file, line, body);
+    std::abort();
+}
+
+std::string
+setLogCapture(bool capture)
+{
+    std::string old = std::move(captureBuffer);
+    captureBuffer.clear();
+    captureEnabled = capture;
+    return old;
+}
+
+} // namespace alr

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Error-reporting and status-message helpers in the gem5 tradition.
+ *
+ * panic() flags internal invariant violations (a bug in this library) and
+ * aborts; fatal() flags unusable user input (bad configuration, malformed
+ * matrix file) and exits cleanly; warn()/inform() report conditions the
+ * user should know about without stopping the run.
+ */
+
+#ifndef ALR_COMMON_LOGGING_HH
+#define ALR_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace alr {
+
+/** Severity levels understood by the log sink. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+/**
+ * Emit a formatted message at @p level.  Fatal exits with status 1; Panic
+ * calls std::abort() so a debugger or core dump captures the state.
+ */
+[[gnu::format(printf, 2, 3)]]
+void logMessage(LogLevel level, const char *fmt, ...);
+
+/** Abort: an invariant inside the library has been violated. */
+[[noreturn, gnu::format(printf, 1, 2)]]
+void panic(const char *fmt, ...);
+
+/** Exit: the user supplied input the library cannot continue with. */
+[[noreturn, gnu::format(printf, 1, 2)]]
+void fatal(const char *fmt, ...);
+
+/** Non-fatal: something is suspicious but the run can continue. */
+[[gnu::format(printf, 1, 2)]]
+void warn(const char *fmt, ...);
+
+/** Status message with no connotation of incorrect behaviour. */
+[[gnu::format(printf, 1, 2)]]
+void inform(const char *fmt, ...);
+
+/**
+ * Redirect warn()/inform() into an internal buffer (used by tests); panic
+ * and fatal always reach stderr.  Returns the previously captured text and
+ * clears the buffer when called with @p capture false.
+ */
+std::string setLogCapture(bool capture);
+
+/** Implementation hook for ALR_ASSERT; always aborts. */
+[[noreturn, gnu::format(printf, 4, 5)]]
+void panicAssert(const char *cond, const char *file, int line,
+                 const char *fmt, ...);
+
+/** Check @p cond and panic with a formatted message if it does not hold. */
+#define ALR_ASSERT(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::alr::panicAssert(#cond, __FILE__, __LINE__, __VA_ARGS__);     \
+    } while (0)
+
+} // namespace alr
+
+#endif // ALR_COMMON_LOGGING_HH

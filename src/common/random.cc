@@ -1,0 +1,114 @@
+#include "common/random.hh"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/logging.hh"
+
+namespace alr {
+
+namespace {
+
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &s : _state)
+        s = splitmix64(sm);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(_state[1] * 5, 7) * 9;
+    const uint64_t t = _state[1] << 17;
+
+    _state[2] ^= _state[0];
+    _state[3] ^= _state[1];
+    _state[1] ^= _state[2];
+    _state[0] ^= _state[3];
+    _state[2] ^= t;
+    _state[3] = rotl(_state[3], 45);
+
+    return result;
+}
+
+uint64_t
+Rng::nextRange(uint64_t bound)
+{
+    ALR_ASSERT(bound > 0, "empty range");
+    // Rejection sampling to avoid modulo bias.
+    uint64_t threshold = -bound % bound;
+    for (;;) {
+        uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+double
+Rng::nextDouble()
+{
+    return double(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::nextDouble(double lo, double hi)
+{
+    return lo + (hi - lo) * nextDouble();
+}
+
+double
+Rng::nextGaussian()
+{
+    if (_haveSpare) {
+        _haveSpare = false;
+        return _spare;
+    }
+    double u = 0.0;
+    while (u == 0.0)
+        u = nextDouble();
+    double v = nextDouble();
+    double mag = std::sqrt(-2.0 * std::log(u));
+    _spare = mag * std::sin(2.0 * std::numbers::pi * v);
+    _haveSpare = true;
+    return mag * std::cos(2.0 * std::numbers::pi * v);
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+std::vector<uint32_t>
+Rng::permutation(uint32_t n)
+{
+    std::vector<uint32_t> perm(n);
+    for (uint32_t i = 0; i < n; ++i)
+        perm[i] = i;
+    for (uint32_t i = n; i > 1; --i) {
+        uint32_t j = uint32_t(nextRange(i));
+        std::swap(perm[i - 1], perm[j]);
+    }
+    return perm;
+}
+
+} // namespace alr

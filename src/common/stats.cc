@@ -1,0 +1,144 @@
+#include "common/stats.hh"
+
+#include <cmath>
+#include <iomanip>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace alr::stats {
+
+void
+Distribution::sample(double v)
+{
+    if (_count == 0) {
+        _min = v;
+        _max = v;
+    } else {
+        _min = std::min(_min, v);
+        _max = std::max(_max, v);
+    }
+    ++_count;
+    _sum += v;
+    _sqsum += v * v;
+}
+
+void
+Distribution::reset()
+{
+    *this = Distribution();
+}
+
+double
+Distribution::mean() const
+{
+    return _count ? _sum / double(_count) : 0.0;
+}
+
+double
+Distribution::variance() const
+{
+    if (_count < 2)
+        return 0.0;
+    double m = mean();
+    return std::max(0.0, _sqsum / double(_count) - m * m);
+}
+
+void
+StatGroup::registerScalar(const std::string &stat_name, Scalar *stat,
+                          const std::string &desc)
+{
+    ALR_ASSERT(stat != nullptr, "null scalar '%s'", stat_name.c_str());
+    ALR_ASSERT(!_entries.count(stat_name), "duplicate stat '%s'",
+               stat_name.c_str());
+    Entry e;
+    e.scalar = stat;
+    e.desc = desc;
+    _entries.emplace(stat_name, std::move(e));
+}
+
+void
+StatGroup::registerFormula(const std::string &stat_name,
+                           std::function<double()> formula,
+                           const std::string &desc)
+{
+    ALR_ASSERT(!_entries.count(stat_name), "duplicate stat '%s'",
+               stat_name.c_str());
+    Entry e;
+    e.formula = std::move(formula);
+    e.desc = desc;
+    _entries.emplace(stat_name, std::move(e));
+}
+
+void
+StatGroup::registerDistribution(const std::string &stat_name,
+                                Distribution *stat, const std::string &desc)
+{
+    ALR_ASSERT(stat != nullptr, "null distribution '%s'", stat_name.c_str());
+    ALR_ASSERT(!_entries.count(stat_name), "duplicate stat '%s'",
+               stat_name.c_str());
+    Entry e;
+    e.dist = stat;
+    e.desc = desc;
+    _entries.emplace(stat_name, std::move(e));
+}
+
+double
+StatGroup::lookup(const std::string &stat_name) const
+{
+    auto it = _entries.find(stat_name);
+    if (it == _entries.end())
+        panic("unknown stat '%s.%s'", _name.c_str(), stat_name.c_str());
+    const Entry &e = it->second;
+    if (e.scalar)
+        return e.scalar->value();
+    if (e.dist)
+        return e.dist->mean();
+    return e.formula();
+}
+
+bool
+StatGroup::has(const std::string &stat_name) const
+{
+    return _entries.count(stat_name) != 0;
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &[name, e] : _entries) {
+        if (e.scalar)
+            e.scalar->reset();
+        if (e.dist)
+            e.dist->reset();
+    }
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &[name, e] : _entries) {
+        os << std::left << std::setw(40) << (_name + "." + name);
+        if (e.scalar) {
+            os << std::setw(20) << e.scalar->value();
+        } else if (e.dist) {
+            os << "mean=" << e.dist->mean() << " min=" << e.dist->min()
+               << " max=" << e.dist->max() << " n=" << e.dist->count();
+        } else {
+            os << std::setw(20) << e.formula();
+        }
+        os << " # " << e.desc << "\n";
+    }
+}
+
+std::vector<std::string>
+StatGroup::statNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(_entries.size());
+    for (const auto &[name, e] : _entries)
+        names.push_back(name);
+    return names;
+}
+
+} // namespace alr::stats

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * A small gem5-flavoured statistics package.
+ *
+ * Simulator components own Scalar / Formula / Distribution stats registered
+ * in a StatGroup; a StatGroup can be dumped as a human-readable table or
+ * queried programmatically by benches and tests.
+ */
+
+#ifndef ALR_COMMON_STATS_HH
+#define ALR_COMMON_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace alr::stats {
+
+/** A named, monotonically accumulating scalar counter. */
+class Scalar
+{
+  public:
+    Scalar() = default;
+
+    Scalar &operator+=(double v) { _value += v; return *this; }
+    Scalar &operator++() { _value += 1.0; return *this; }
+    void set(double v) { _value = v; }
+    void reset() { _value = 0.0; }
+
+    double value() const { return _value; }
+    operator double() const { return _value; }
+
+  private:
+    double _value = 0.0;
+};
+
+/**
+ * A running distribution: tracks count, sum, min, max, and sum of squares
+ * so mean and variance are available without storing samples.
+ */
+class Distribution
+{
+  public:
+    void sample(double v);
+    void reset();
+
+    uint64_t count() const { return _count; }
+    double sum() const { return _sum; }
+    double min() const { return _min; }
+    double max() const { return _max; }
+    double mean() const;
+    double variance() const;
+
+  private:
+    uint64_t _count = 0;
+    double _sum = 0.0;
+    double _sqsum = 0.0;
+    double _min = 0.0;
+    double _max = 0.0;
+};
+
+/**
+ * A named collection of statistics.  Components register their counters at
+ * construction time; dump() renders the canonical stats listing.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : _name(std::move(name)) {}
+
+    /** Register a scalar under @p stat_name with a describing @p desc. */
+    void registerScalar(const std::string &stat_name, Scalar *stat,
+                        const std::string &desc);
+    /** Register a derived value computed on demand at dump time. */
+    void registerFormula(const std::string &stat_name,
+                         std::function<double()> formula,
+                         const std::string &desc);
+    /** Register a distribution. */
+    void registerDistribution(const std::string &stat_name,
+                              Distribution *stat, const std::string &desc);
+
+    /** Look up any registered value by name (formulas are evaluated). */
+    double lookup(const std::string &stat_name) const;
+    /** True if @p stat_name was registered as any stat kind. */
+    bool has(const std::string &stat_name) const;
+
+    /** Reset all registered scalars and distributions. */
+    void resetAll();
+
+    /** Render "group.stat  value  # desc" lines. */
+    void dump(std::ostream &os) const;
+
+    const std::string &name() const { return _name; }
+    std::vector<std::string> statNames() const;
+
+  private:
+    struct Entry
+    {
+        Scalar *scalar = nullptr;
+        Distribution *dist = nullptr;
+        std::function<double()> formula;
+        std::string desc;
+    };
+
+    std::string _name;
+    std::map<std::string, Entry> _entries;
+};
+
+} // namespace alr::stats
+
+#endif // ALR_COMMON_STATS_HH

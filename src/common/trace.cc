@@ -1,0 +1,40 @@
+#include "common/trace.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <ostream>
+
+namespace alr::trace {
+
+namespace {
+
+std::ostream *sink = nullptr;
+
+} // namespace
+
+void
+setSink(std::ostream *os)
+{
+    sink = os;
+}
+
+bool
+enabled()
+{
+    return sink != nullptr;
+}
+
+void
+emit(const char *fmt, ...)
+{
+    if (!sink)
+        return;
+    char line[1024];
+    va_list args;
+    va_start(args, fmt);
+    vsnprintf(line, sizeof(line), fmt, args);
+    va_end(args);
+    *sink << line << '\n';
+}
+
+} // namespace alr::trace

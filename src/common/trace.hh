@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Execution tracing in the gem5 DPRINTF tradition: a process-wide sink
+ * that components write formatted event lines to.  Disabled (null
+ * sink) by default; the ALR_TRACE macro keeps the cost of a disabled
+ * trace to one branch.
+ */
+
+#ifndef ALR_COMMON_TRACE_HH
+#define ALR_COMMON_TRACE_HH
+
+#include <iosfwd>
+
+namespace alr::trace {
+
+/** Route trace output to @p os; nullptr disables tracing. */
+void setSink(std::ostream *os);
+
+/** True when a sink is attached. */
+bool enabled();
+
+/** Emit one formatted trace line (newline appended). */
+[[gnu::format(printf, 1, 2)]]
+void emit(const char *fmt, ...);
+
+} // namespace alr::trace
+
+/** Trace an event; compiled to a single branch when disabled. */
+#define ALR_TRACE(...)                                                    \
+    do {                                                                  \
+        if (::alr::trace::enabled())                                      \
+            ::alr::trace::emit(__VA_ARGS__);                              \
+    } while (0)
+
+#endif // ALR_COMMON_TRACE_HH

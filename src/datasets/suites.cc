@@ -1,0 +1,97 @@
+#include "datasets/suites.hh"
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "sparse/generators.hh"
+
+namespace alr {
+
+std::vector<Dataset>
+scientificSuite(Index scale)
+{
+    ALR_ASSERT(scale >= 1, "scale must be at least 1");
+    Rng rng(0xA15ECA);
+
+    std::vector<Dataset> suite;
+    // Electromagnetics: 3D 27-point discretization (2cubes_sphere-like).
+    suite.push_back({"em-sphere", "electromagnetics",
+                     gen::stencil3d(24 * scale, 24, 24, 27)});
+    // Thermal: large 2D 5-point grid (thermal2/ecology2-like).
+    suite.push_back({"thermal-grid", "thermal",
+                     gen::stencil2d(128 * scale, 128, 5)});
+    // Parabolic FEM: 2D 9-point grid.
+    suite.push_back({"parabolic-fem", "fluid dynamics",
+                     gen::stencil2d(96 * scale, 96, 9)});
+    // Structural FEM: dense 8-wide band (boneS01/shipsec-like blocks).
+    suite.push_back({"structural-band", "structural",
+                     gen::banded(16384 * scale, 12, 0.9, rng)});
+    // CFD: wider, partially filled band (cfd2-like).
+    suite.push_back({"cfd-band", "fluid dynamics",
+                     gen::banded(16384 * scale, 24, 0.45, rng)});
+    // Circuit simulation: near-diagonal with random long-range coupling
+    // (G2_circuit-like): block-structured around the diagonal.
+    suite.push_back({"circuit-sim", "circuit simulation",
+                     gen::blockStructured(16384 * scale, 8, 3, 0.5, rng)});
+    // Economics: clustered long-range couplings (mac_econ-like):
+    // sparse blocks scattered off the diagonal, low in-block fill.
+    suite.push_back({"econ-random", "economics",
+                     gen::blockStructured(16384 * scale, 8, 4, 0.25,
+                                          rng)});
+    // Chemical: 3D 7-point stencil (chem_master-like).
+    suite.push_back({"chem-3d", "chemical",
+                     gen::stencil3d(24 * scale, 24, 24, 7)});
+    // Acoustics: block-dense local coupling.
+    suite.push_back({"acoustic-blocks", "acoustics",
+                     gen::blockStructured(16384 * scale, 8, 5, 0.8, rng)});
+    // Material science: mixed band + random.
+    suite.push_back({"material-band", "material",
+                     gen::banded(12288 * scale, 6, 0.7, rng)});
+    return suite;
+}
+
+std::vector<Dataset>
+graphSuite(Index scale)
+{
+    ALR_ASSERT(scale >= 1, "scale must be at least 1");
+    Rng rng(0x6AF0);
+
+    int kron_scale = 12;
+    for (Index s = scale; s > 1; s /= 2)
+        ++kron_scale;
+
+    std::vector<Dataset> suite;
+    // Social networks: heavy-tailed degree distributions with the
+    // community clustering real crawls exhibit (locality parameter).
+    suite.push_back({"orkut-like", "social",
+                     gen::powerLawGraph(8192 * scale, 24, 0.9, rng, 0.7)});
+    suite.push_back({"hollywood-like", "collaboration",
+                     gen::powerLawGraph(6144 * scale, 32, 1.0, rng, 0.8)});
+    // Synthetic Kronecker (kron-g500-logn21 regime).
+    suite.push_back({"kron-like", "kronecker",
+                     gen::rmat(kron_scale, 16, rng)});
+    // Road network: near-planar grid, huge diameter (few shortcuts so
+    // the long-diameter regime survives).
+    suite.push_back({"roadnet-like", "road",
+                     gen::roadGrid(96 * scale, 85, 0.003, rng)});
+    suite.push_back({"livejournal-like", "social",
+                     gen::powerLawGraph(10240 * scale, 14, 0.85, rng, 0.6)});
+    suite.push_back({"youtube-like", "social",
+                     gen::powerLawGraph(8192 * scale, 5, 1.1, rng, 0.5)});
+    suite.push_back({"pokec-like", "social",
+                     gen::powerLawGraph(7168 * scale, 18, 0.8, rng, 0.6)});
+    suite.push_back({"stackoverflow-like", "interaction",
+                     gen::powerLawGraph(9216 * scale, 13, 0.95, rng, 0.55)});
+    return suite;
+}
+
+const Dataset &
+findDataset(const std::vector<Dataset> &suite, const std::string &name)
+{
+    for (const Dataset &d : suite) {
+        if (d.name == name)
+            return d;
+    }
+    panic("no dataset named '%s'", name.c_str());
+}
+
+} // namespace alr

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Named synthetic dataset suites standing in for the paper's evaluation
+ * inputs: the SuiteSparse scientific matrices of Fig 14 and the SNAP
+ * graphs of Table 3.  Each entry reproduces the structural regime its
+ * namesake occupies (diagonal concentration, block fill, degree
+ * distribution), scaled to laptop-friendly sizes; see DESIGN.md's
+ * substitution table.
+ */
+
+#ifndef ALR_DATASETS_SUITES_HH
+#define ALR_DATASETS_SUITES_HH
+
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hh"
+
+namespace alr {
+
+/** A named benchmark matrix with its application category. */
+struct Dataset
+{
+    std::string name;
+    std::string category;
+    CsrMatrix matrix;
+};
+
+/**
+ * Scientific (PDE) suite mirroring Fig 14: circuit simulation,
+ * electromagnetics, fluid dynamics, structural, 2D/3D thermal,
+ * economics, chemical, acoustics.  All SPD so PCG converges.
+ * @p scale multiplies problem dimensions (1 = default test size).
+ */
+std::vector<Dataset> scientificSuite(Index scale = 1);
+
+/**
+ * Graph suite mirroring Table 3: Kronecker (kron-g500-like), road
+ * network, and power-law social/web graphs.
+ */
+std::vector<Dataset> graphSuite(Index scale = 1);
+
+/** Find a dataset by name (panics if missing). */
+const Dataset &findDataset(const std::vector<Dataset> &suite,
+                           const std::string &name);
+
+} // namespace alr
+
+#endif // ALR_DATASETS_SUITES_HH

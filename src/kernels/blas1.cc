@@ -1,0 +1,51 @@
+#include "kernels/blas1.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace alr {
+
+Value
+dot(const DenseVector &x, const DenseVector &y)
+{
+    ALR_ASSERT(x.size() == y.size(), "dot length mismatch");
+    Value acc = 0.0;
+    for (size_t i = 0; i < x.size(); ++i)
+        acc += x[i] * y[i];
+    return acc;
+}
+
+void
+axpy(Value alpha, const DenseVector &x, DenseVector &y)
+{
+    ALR_ASSERT(x.size() == y.size(), "axpy length mismatch");
+    for (size_t i = 0; i < x.size(); ++i)
+        y[i] += alpha * x[i];
+}
+
+void
+xpby(const DenseVector &x, Value beta, DenseVector &y)
+{
+    ALR_ASSERT(x.size() == y.size(), "xpby length mismatch");
+    for (size_t i = 0; i < x.size(); ++i)
+        y[i] = x[i] + beta * y[i];
+}
+
+Value
+norm2(const DenseVector &x)
+{
+    return std::sqrt(dot(x, x));
+}
+
+Value
+maxAbsDiff(const DenseVector &x, const DenseVector &y)
+{
+    ALR_ASSERT(x.size() == y.size(), "maxAbsDiff length mismatch");
+    Value m = 0.0;
+    for (size_t i = 0; i < x.size(); ++i)
+        m = std::max(m, std::abs(x[i] - y[i]));
+    return m;
+}
+
+} // namespace alr

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Dense BLAS-1 helpers used by the iterative solvers (dot, axpy, norms).
+ * The paper notes these kernels are a tiny fraction of PCG time; they run
+ * on the host in this reproduction.
+ */
+
+#ifndef ALR_KERNELS_BLAS1_HH
+#define ALR_KERNELS_BLAS1_HH
+
+#include "sparse/types.hh"
+
+namespace alr {
+
+/** Inner product <x, y>. */
+Value dot(const DenseVector &x, const DenseVector &y);
+
+/** y := alpha * x + y. */
+void axpy(Value alpha, const DenseVector &x, DenseVector &y);
+
+/** y := x + beta * y (the PCG direction update). */
+void xpby(const DenseVector &x, Value beta, DenseVector &y);
+
+/** Euclidean norm. */
+Value norm2(const DenseVector &x);
+
+/** Max-norm distance between two vectors (sizes must match). */
+Value maxAbsDiff(const DenseVector &x, const DenseVector &y);
+
+} // namespace alr
+
+#endif // ALR_KERNELS_BLAS1_HH

@@ -1,0 +1,180 @@
+#include "kernels/eigen.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "kernels/blas1.hh"
+#include "kernels/spmv.hh"
+
+namespace alr {
+
+namespace {
+
+DenseVector
+randomUnit(Index n, uint64_t seed)
+{
+    Rng rng(seed);
+    DenseVector v(n);
+    for (auto &e : v)
+        e = rng.nextDouble(-1.0, 1.0);
+    Value norm = norm2(v);
+    ALR_ASSERT(norm > 0.0, "degenerate random vector");
+    for (auto &e : v)
+        e /= norm;
+    return v;
+}
+
+} // namespace
+
+PowerResult
+powerIterationWith(const EigenSpmvFn &spmv_fn, Index n,
+                   const PowerOptions &opts)
+{
+    ALR_ASSERT(bool(spmv_fn), "power iteration requires an spmv kernel");
+    ALR_ASSERT(n > 0, "empty operator");
+
+    PowerResult res;
+    res.eigenvector = randomUnit(n, opts.seed);
+
+    Value prev = 0.0;
+    for (int it = 0; it < opts.maxIterations; ++it) {
+        DenseVector w = spmv_fn(res.eigenvector);
+        // Rayleigh quotient (v is unit length).
+        res.eigenvalue = dot(res.eigenvector, w);
+        Value norm = norm2(w);
+        if (norm == 0.0)
+            break; // v is in the null space; eigenvalue 0
+        for (auto &e : w)
+            e /= norm;
+        res.eigenvector = std::move(w);
+        res.iterations = it + 1;
+        if (it > 0 &&
+            std::abs(res.eigenvalue - prev) <=
+                opts.tolerance * std::abs(res.eigenvalue)) {
+            res.converged = true;
+            break;
+        }
+        prev = res.eigenvalue;
+    }
+    return res;
+}
+
+PowerResult
+powerIteration(const CsrMatrix &a, const PowerOptions &opts)
+{
+    ALR_ASSERT(a.rows() == a.cols(), "needs a square matrix");
+    return powerIterationWith(
+        [&a](const DenseVector &x) { return spmv(a, x); }, a.rows(),
+        opts);
+}
+
+std::vector<Value>
+tridiagonalEigenvalues(const std::vector<Value> &alpha,
+                       const std::vector<Value> &beta)
+{
+    ALR_ASSERT(!alpha.empty(), "empty tridiagonal matrix");
+    ALR_ASSERT(beta.size() + 1 == alpha.size(),
+               "off-diagonal length mismatch");
+    int m = int(alpha.size());
+
+    // Gershgorin bounds.
+    Value lo = alpha[0], hi = alpha[0];
+    for (int i = 0; i < m; ++i) {
+        Value r = (i > 0 ? std::abs(beta[size_t(i) - 1]) : 0.0) +
+                  (i + 1 < m ? std::abs(beta[size_t(i)]) : 0.0);
+        lo = std::min(lo, alpha[size_t(i)] - r);
+        hi = std::max(hi, alpha[size_t(i)] + r);
+    }
+
+    // Sturm count: eigenvalues strictly below x.
+    auto countBelow = [&](Value x) {
+        int count = 0;
+        Value d = 1.0;
+        for (int i = 0; i < m; ++i) {
+            Value beta2 =
+                i > 0 ? beta[size_t(i) - 1] * beta[size_t(i) - 1] : 0.0;
+            d = alpha[size_t(i)] - x - beta2 / d;
+            // A zero pivot means x hits an eigenvalue of the leading
+            // submatrix; perturb it negative *before* counting so the
+            // Sturm count stays non-decreasing in x.
+            if (d == 0.0)
+                d = -1e-300;
+            if (d < 0.0)
+                ++count;
+        }
+        return count;
+    };
+
+    auto eig = std::vector<Value>(static_cast<size_t>(m));
+    for (int k = 0; k < m; ++k) {
+        Value a0 = lo, b0 = hi;
+        for (int it = 0; it < 200 && b0 - a0 > 1e-13 * (1.0 + std::abs(b0));
+             ++it) {
+            Value mid = 0.5 * (a0 + b0);
+            if (countBelow(mid) > k)
+                b0 = mid;
+            else
+                a0 = mid;
+        }
+        eig[size_t(k)] = 0.5 * (a0 + b0);
+    }
+    std::sort(eig.begin(), eig.end());
+    return eig;
+}
+
+LanczosResult
+lanczosWith(const EigenSpmvFn &spmv_fn, Index n,
+            const LanczosOptions &opts)
+{
+    ALR_ASSERT(bool(spmv_fn), "lanczos requires an spmv kernel");
+    ALR_ASSERT(n > 0, "empty operator");
+    int m = std::min<int>(opts.steps, int(n));
+
+    std::vector<DenseVector> v;
+    v.push_back(randomUnit(n, opts.seed));
+    std::vector<Value> alpha, beta;
+
+    LanczosResult res;
+    for (int j = 0; j < m; ++j) {
+        DenseVector w = spmv_fn(v[size_t(j)]);
+        Value a_j = dot(w, v[size_t(j)]);
+        alpha.push_back(a_j);
+        axpy(-a_j, v[size_t(j)], w);
+        if (j > 0)
+            axpy(-beta.back(), v[size_t(j) - 1], w);
+        // Full reorthogonalization keeps the Ritz values honest on
+        // small problems.
+        for (const DenseVector &vi : v)
+            axpy(-dot(w, vi), vi, w);
+
+        res.steps = j + 1;
+        Value b_j = norm2(w);
+        if (j + 1 == m || b_j < 1e-12)
+            break; // subspace exhausted
+        beta.push_back(b_j);
+        for (auto &e : w)
+            e /= b_j;
+        v.push_back(std::move(w));
+    }
+
+    beta.resize(alpha.size() - 1);
+    std::vector<Value> ritz = tridiagonalEigenvalues(alpha, beta);
+    res.lambdaMax = ritz.back();
+    res.lambdaMin = ritz.front();
+    res.conditionNumber =
+        res.lambdaMin != 0.0 ? res.lambdaMax / res.lambdaMin : 0.0;
+    return res;
+}
+
+LanczosResult
+lanczos(const CsrMatrix &a, const LanczosOptions &opts)
+{
+    ALR_ASSERT(a.rows() == a.cols(), "needs a square matrix");
+    return lanczosWith(
+        [&a](const DenseVector &x) { return spmv(a, x); }, a.rows(),
+        opts);
+}
+
+} // namespace alr

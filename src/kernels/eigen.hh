@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Sparse eigenvalue estimation: power iteration (dominant eigenpair)
+ * and the Lanczos process (extremal eigenvalues of symmetric
+ * matrices).  Both are SpMV-driven, so they run on the accelerator
+ * via the pluggable-kernel pattern; Lanczos additionally yields
+ * condition-number estimates that predict PCG iteration counts on the
+ * scientific suite.
+ */
+
+#ifndef ALR_KERNELS_EIGEN_HH
+#define ALR_KERNELS_EIGEN_HH
+
+#include <functional>
+
+#include "sparse/csr.hh"
+
+namespace alr {
+
+using EigenSpmvFn = std::function<DenseVector(const DenseVector &)>;
+
+/** Result of a power-iteration run. */
+struct PowerResult
+{
+    /** Dominant eigenvalue estimate (by magnitude). */
+    Value eigenvalue = 0.0;
+    /** Unit eigenvector estimate. */
+    DenseVector eigenvector;
+    int iterations = 0;
+    bool converged = false;
+};
+
+struct PowerOptions
+{
+    int maxIterations = 1000;
+    Value tolerance = 1e-10;
+    uint64_t seed = 12345;
+};
+
+/** Power iteration through a user-supplied SpMV. */
+PowerResult powerIterationWith(const EigenSpmvFn &spmv_fn, Index n,
+                               const PowerOptions &opts = {});
+
+/** Host convenience wrapper. */
+PowerResult powerIteration(const CsrMatrix &a,
+                           const PowerOptions &opts = {});
+
+/** Extremal-eigenvalue estimates from the Lanczos process. */
+struct LanczosResult
+{
+    /** Largest and smallest eigenvalue estimates (Ritz values). */
+    Value lambdaMax = 0.0;
+    Value lambdaMin = 0.0;
+    /** Condition-number estimate lambdaMax / lambdaMin (SPD input). */
+    Value conditionNumber = 0.0;
+    /** Krylov steps actually taken (early breakdown shortens it). */
+    int steps = 0;
+};
+
+struct LanczosOptions
+{
+    /** Krylov subspace dimension. */
+    int steps = 50;
+    uint64_t seed = 54321;
+};
+
+/**
+ * Lanczos tridiagonalization with full reorthogonalization, followed
+ * by eigenvalues of the tridiagonal matrix via bisection.  @p a must
+ * be symmetric for the Ritz values to be meaningful.
+ */
+LanczosResult lanczosWith(const EigenSpmvFn &spmv_fn, Index n,
+                          const LanczosOptions &opts = {});
+
+/** Host convenience wrapper. */
+LanczosResult lanczos(const CsrMatrix &a, const LanczosOptions &opts = {});
+
+/**
+ * Eigenvalues of a symmetric tridiagonal matrix (diagonal @p alpha,
+ * off-diagonal @p beta, beta.size() == alpha.size()-1) by bisection
+ * with Sturm sequence counts; returned ascending.
+ */
+std::vector<Value> tridiagonalEigenvalues(const std::vector<Value> &alpha,
+                                          const std::vector<Value> &beta);
+
+} // namespace alr
+
+#endif // ALR_KERNELS_EIGEN_HH

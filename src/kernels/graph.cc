@@ -1,0 +1,222 @@
+#include "kernels/graph.hh"
+
+#include <cmath>
+#include <queue>
+
+#include "common/logging.hh"
+
+namespace alr {
+
+namespace {
+
+void
+checkSource(const CsrMatrix &adj, Index source)
+{
+    ALR_ASSERT(adj.rows() == adj.cols(), "adjacency must be square");
+    ALR_ASSERT(source < adj.rows(), "source %u out of range", source);
+}
+
+} // namespace
+
+DenseVector
+bfsReference(const CsrMatrix &adj, Index source)
+{
+    checkSource(adj, source);
+    DenseVector dist(adj.rows(), kInf);
+    dist[source] = 0.0;
+    std::queue<Index> frontier;
+    frontier.push(source);
+    while (!frontier.empty()) {
+        Index u = frontier.front();
+        frontier.pop();
+        for (Index k = adj.rowPtr()[u]; k < adj.rowPtr()[u + 1]; ++k) {
+            Index v = adj.colIdx()[k];
+            if (dist[v] == kInf) {
+                dist[v] = dist[u] + 1.0;
+                frontier.push(v);
+            }
+        }
+    }
+    return dist;
+}
+
+DenseVector
+bfsLinAlg(const CsrMatrix &adj, Index source, int *rounds)
+{
+    checkSource(adj, source);
+    DenseVector dist(adj.rows(), kInf);
+    dist[source] = 0.0;
+    int round = 0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        ++round;
+        DenseVector next = dist;
+        for (Index u = 0; u < adj.rows(); ++u) {
+            if (dist[u] == kInf)
+                continue;
+            for (Index k = adj.rowPtr()[u]; k < adj.rowPtr()[u + 1]; ++k) {
+                Index v = adj.colIdx()[k];
+                if (dist[u] + 1.0 < next[v]) {
+                    next[v] = dist[u] + 1.0;
+                    changed = true;
+                }
+            }
+        }
+        dist = std::move(next);
+    }
+    if (rounds)
+        *rounds = round;
+    return dist;
+}
+
+DenseVector
+ssspReference(const CsrMatrix &adj, Index source)
+{
+    checkSource(adj, source);
+    DenseVector dist(adj.rows(), kInf);
+    dist[source] = 0.0;
+
+    using Item = std::pair<Value, Index>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+    heap.push({0.0, source});
+    while (!heap.empty()) {
+        auto [d, u] = heap.top();
+        heap.pop();
+        if (d > dist[u])
+            continue;
+        for (Index k = adj.rowPtr()[u]; k < adj.rowPtr()[u + 1]; ++k) {
+            Index v = adj.colIdx()[k];
+            Value w = adj.vals()[k];
+            ALR_ASSERT(w >= 0.0, "Dijkstra needs non-negative weights");
+            if (d + w < dist[v]) {
+                dist[v] = d + w;
+                heap.push({dist[v], v});
+            }
+        }
+    }
+    return dist;
+}
+
+DenseVector
+ssspLinAlg(const CsrMatrix &adj, Index source, int *rounds)
+{
+    checkSource(adj, source);
+    DenseVector dist(adj.rows(), kInf);
+    dist[source] = 0.0;
+    int round = 0;
+    bool changed = true;
+    // Bellman-Ford: at most |V| - 1 productive rounds on negative-free
+    // graphs; the fixpoint check terminates earlier in practice.
+    while (changed && round <= int(adj.rows())) {
+        changed = false;
+        ++round;
+        DenseVector next = dist;
+        for (Index u = 0; u < adj.rows(); ++u) {
+            if (dist[u] == kInf)
+                continue;
+            for (Index k = adj.rowPtr()[u]; k < adj.rowPtr()[u + 1]; ++k) {
+                Index v = adj.colIdx()[k];
+                if (dist[u] + adj.vals()[k] < next[v]) {
+                    next[v] = dist[u] + adj.vals()[k];
+                    changed = true;
+                }
+            }
+        }
+        dist = std::move(next);
+    }
+    if (rounds)
+        *rounds = round;
+    return dist;
+}
+
+DenseVector
+pagerank(const CsrMatrix &adj, const PageRankOptions &opts, int *rounds)
+{
+    ALR_ASSERT(adj.rows() == adj.cols(), "adjacency must be square");
+    Index n = adj.rows();
+    if (n == 0)
+        return {};
+
+    std::vector<Index> degree = outDegrees(adj);
+    DenseVector rank(n, 1.0 / double(n));
+    int it = 0;
+    for (; it < opts.maxIterations; ++it) {
+        DenseVector next(n, 0.0);
+        Value dangling = 0.0;
+        for (Index u = 0; u < n; ++u) {
+            if (degree[u] == 0) {
+                dangling += rank[u];
+                continue;
+            }
+            Value share = rank[u] / Value(degree[u]);
+            for (Index k = adj.rowPtr()[u]; k < adj.rowPtr()[u + 1]; ++k)
+                next[adj.colIdx()[k]] += share;
+        }
+        Value base = (1.0 - opts.damping) / Value(n) +
+                     opts.damping * dangling / Value(n);
+        Value delta = 0.0;
+        for (Index v = 0; v < n; ++v) {
+            Value nv = base + opts.damping * next[v];
+            delta += std::abs(nv - rank[v]);
+            rank[v] = nv;
+        }
+        if (delta < opts.tolerance) {
+            ++it;
+            break;
+        }
+    }
+    if (rounds)
+        *rounds = it;
+    return rank;
+}
+
+std::vector<Index>
+outDegrees(const CsrMatrix &adj)
+{
+    std::vector<Index> degree(adj.rows());
+    for (Index u = 0; u < adj.rows(); ++u)
+        degree[u] = adj.rowNnz(u);
+    return degree;
+}
+
+DenseVector
+connectedComponentsReference(const CsrMatrix &adj)
+{
+    ALR_ASSERT(adj.rows() == adj.cols(), "adjacency must be square");
+    Index n = adj.rows();
+
+    // Union-find with path halving.
+    std::vector<Index> parent(n);
+    for (Index v = 0; v < n; ++v)
+        parent[v] = v;
+    auto find = [&](Index v) {
+        while (parent[v] != v) {
+            parent[v] = parent[parent[v]];
+            v = parent[v];
+        }
+        return v;
+    };
+    for (Index u = 0; u < n; ++u) {
+        for (Index k = adj.rowPtr()[u]; k < adj.rowPtr()[u + 1]; ++k) {
+            Index a = find(u);
+            Index b = find(adj.colIdx()[k]);
+            if (a != b)
+                parent[std::max(a, b)] = std::min(a, b);
+        }
+    }
+    // Label every vertex with the minimum id in its component.
+    std::vector<Index> minId(n);
+    for (Index v = 0; v < n; ++v)
+        minId[v] = v;
+    for (Index v = 0; v < n; ++v) {
+        Index root = find(v);
+        minId[root] = std::min(minId[root], v);
+    }
+    DenseVector labels(n);
+    for (Index v = 0; v < n; ++v)
+        labels[v] = Value(minId[find(v)]);
+    return labels;
+}
+
+} // namespace alr

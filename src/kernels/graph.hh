@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Reference graph kernels: BFS, SSSP, and PageRank in both classical and
+ * linear-algebra (iterative relaxation) formulations.
+ *
+ * The adjacency convention follows the paper's Figure 5: A(u, v) is the
+ * weight of the directed edge u -> v.  The linear-algebra forms are the
+ * semantics Alrescha's dense data paths implement (Table 1); the classical
+ * forms (queue BFS, Dijkstra, power iteration) are the independent oracles
+ * the tests compare both against.
+ */
+
+#ifndef ALR_KERNELS_GRAPH_HH
+#define ALR_KERNELS_GRAPH_HH
+
+#include <limits>
+
+#include "sparse/csr.hh"
+
+namespace alr {
+
+/** Distance value meaning "unreached". */
+constexpr Value kInf = std::numeric_limits<Value>::infinity();
+
+/** Hop distances from @p source via classical queue BFS. */
+DenseVector bfsReference(const CsrMatrix &adj, Index source);
+
+/**
+ * Hop distances via iterative min-plus relaxation with unit weights
+ * (dist_i = min(dist_i, min_j dist_j + 1) until fixpoint): the D-BFS data
+ * path semantics.  Returns the distance vector and reports the number of
+ * relaxation rounds via @p rounds when non-null.
+ */
+DenseVector bfsLinAlg(const CsrMatrix &adj, Index source,
+                      int *rounds = nullptr);
+
+/** Shortest path lengths from @p source via Dijkstra (weights >= 0). */
+DenseVector ssspReference(const CsrMatrix &adj, Index source);
+
+/** Shortest paths via Bellman-Ford relaxation: the D-SSSP semantics. */
+DenseVector ssspLinAlg(const CsrMatrix &adj, Index source,
+                       int *rounds = nullptr);
+
+/** Options for PageRank. */
+struct PageRankOptions
+{
+    Value damping = 0.85;
+    int maxIterations = 100;
+    Value tolerance = 1e-10;
+};
+
+/**
+ * PageRank by power iteration on the column-stochastic transition matrix
+ * built from the adjacency pattern (weights ignored; dangling vertices
+ * redistribute uniformly).  Returns ranks summing to 1.
+ */
+DenseVector pagerank(const CsrMatrix &adj, const PageRankOptions &opts = {},
+                     int *rounds = nullptr);
+
+/** Out-degree of every vertex (count of stored out-edges). */
+std::vector<Index> outDegrees(const CsrMatrix &adj);
+
+/**
+ * Connected components treating every edge as undirected (union-find):
+ * returns, per vertex, the minimum vertex id of its component -- the
+ * fixpoint min-label propagation converges to on symmetric graphs.
+ */
+DenseVector connectedComponentsReference(const CsrMatrix &adj);
+
+} // namespace alr
+
+#endif // ALR_KERNELS_GRAPH_HH

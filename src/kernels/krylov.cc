@@ -1,0 +1,226 @@
+#include "kernels/krylov.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "kernels/blas1.hh"
+#include "kernels/spmv.hh"
+
+namespace alr {
+
+KrylovResult
+bicgstabSolveWith(const SpmvFn &spmv_fn, const DenseVector &b,
+                  const KrylovOptions &opts)
+{
+    ALR_ASSERT(bool(spmv_fn), "bicgstab requires an spmv kernel");
+    size_t n = b.size();
+
+    KrylovResult res;
+    res.x.assign(n, 0.0);
+
+    DenseVector r = b; // r = b - A*0
+    Value normb = norm2(b);
+    if (normb == 0.0) {
+        res.converged = true;
+        return res;
+    }
+
+    DenseVector rhat = r; // shadow residual
+    DenseVector p(n, 0.0), v(n, 0.0);
+    Value rho = 1.0, alpha = 1.0, omega = 1.0;
+
+    for (int it = 0; it < opts.maxIterations; ++it) {
+        Value rho_new = dot(rhat, r);
+        if (rho_new == 0.0)
+            break; // breakdown
+        if (it == 0) {
+            p = r;
+        } else {
+            Value beta = (rho_new / rho) * (alpha / omega);
+            for (size_t i = 0; i < n; ++i)
+                p[i] = r[i] + beta * (p[i] - omega * v[i]);
+        }
+        rho = rho_new;
+
+        v = spmv_fn(p);
+        Value rhat_v = dot(rhat, v);
+        if (rhat_v == 0.0)
+            break;
+        alpha = rho / rhat_v;
+
+        DenseVector s = r;
+        axpy(-alpha, v, s);
+        Value norms = norm2(s);
+        if (norms / normb < opts.tolerance) {
+            axpy(alpha, p, res.x);
+            res.iterations = it + 1;
+            res.relResidual = norms / normb;
+            res.history.push_back(res.relResidual);
+            res.converged = true;
+            return res;
+        }
+
+        DenseVector t = spmv_fn(s);
+        Value tt = dot(t, t);
+        if (tt == 0.0)
+            break;
+        omega = dot(t, s) / tt;
+
+        axpy(alpha, p, res.x);
+        axpy(omega, s, res.x);
+        r = s;
+        axpy(-omega, t, r);
+
+        res.iterations = it + 1;
+        res.relResidual = norm2(r) / normb;
+        res.history.push_back(res.relResidual);
+        if (res.relResidual < opts.tolerance) {
+            res.converged = true;
+            return res;
+        }
+        if (omega == 0.0)
+            break;
+    }
+    return res;
+}
+
+KrylovResult
+bicgstabSolve(const CsrMatrix &a, const DenseVector &b,
+              const KrylovOptions &opts)
+{
+    ALR_ASSERT(a.rows() == a.cols(), "bicgstab needs a square matrix");
+    ALR_ASSERT(b.size() == a.rows(), "rhs length mismatch");
+    return bicgstabSolveWith(
+        [&a](const DenseVector &x) { return spmv(a, x); }, b, opts);
+}
+
+KrylovResult
+gmresSolveWith(const SpmvFn &spmv_fn, const DenseVector &b,
+               const GmresOptions &opts)
+{
+    ALR_ASSERT(bool(spmv_fn), "gmres requires an spmv kernel");
+    ALR_ASSERT(opts.restart >= 1, "gmres restart must be positive");
+    size_t n = b.size();
+    int m = opts.restart;
+
+    KrylovResult res;
+    res.x.assign(n, 0.0);
+    Value normb = norm2(b);
+    if (normb == 0.0) {
+        res.converged = true;
+        return res;
+    }
+
+    while (res.iterations < opts.maxIterations) {
+        // r = b - A x
+        DenseVector r = spmv_fn(res.x);
+        for (size_t i = 0; i < n; ++i)
+            r[i] = b[i] - r[i];
+        Value beta = norm2(r);
+        res.relResidual = beta / normb;
+        if (res.relResidual < opts.tolerance) {
+            res.converged = true;
+            return res;
+        }
+
+        // Arnoldi with Givens-rotation QR of the Hessenberg matrix.
+        std::vector<DenseVector> v;
+        v.reserve(size_t(m) + 1);
+        DenseVector v0 = r;
+        for (auto &e : v0)
+            e /= beta;
+        v.push_back(std::move(v0));
+
+        std::vector<std::vector<Value>> h; // h[j] has j+2 entries
+        std::vector<Value> cs, sn;
+        DenseVector g(size_t(m) + 1, 0.0);
+        g[0] = beta;
+
+        int j = 0;
+        for (; j < m && res.iterations < opts.maxIterations; ++j) {
+            ++res.iterations;
+            DenseVector w = spmv_fn(v[size_t(j)]);
+            std::vector<Value> hj(size_t(j) + 2, 0.0);
+            // Modified Gram-Schmidt.
+            for (int i = 0; i <= j; ++i) {
+                hj[size_t(i)] = dot(w, v[size_t(i)]);
+                axpy(-hj[size_t(i)], v[size_t(i)], w);
+            }
+            hj[size_t(j) + 1] = norm2(w);
+
+            // Apply previous Givens rotations to the new column.
+            for (int i = 0; i < j; ++i) {
+                Value tmp = cs[size_t(i)] * hj[size_t(i)] +
+                            sn[size_t(i)] * hj[size_t(i) + 1];
+                hj[size_t(i) + 1] = -sn[size_t(i)] * hj[size_t(i)] +
+                                    cs[size_t(i)] * hj[size_t(i) + 1];
+                hj[size_t(i)] = tmp;
+            }
+            // New rotation annihilating the subdiagonal.
+            Value denom = std::hypot(hj[size_t(j)], hj[size_t(j) + 1]);
+            if (denom == 0.0) {
+                h.push_back(std::move(hj));
+                ++j;
+                break;
+            }
+            cs.push_back(hj[size_t(j)] / denom);
+            sn.push_back(hj[size_t(j) + 1] / denom);
+            hj[size_t(j)] = denom;
+            hj[size_t(j) + 1] = 0.0;
+            g[size_t(j) + 1] = -sn.back() * g[size_t(j)];
+            g[size_t(j)] = cs.back() * g[size_t(j)];
+            h.push_back(std::move(hj));
+
+            res.relResidual = std::abs(g[size_t(j) + 1]) / normb;
+            res.history.push_back(res.relResidual);
+            if (res.relResidual < opts.tolerance) {
+                ++j;
+                break;
+            }
+            if (h.back()[size_t(j) + 1] == 0.0 && j + 1 < m) {
+                // Lucky breakdown: exact subspace found.
+                ++j;
+                break;
+            }
+            DenseVector vn = w;
+            for (auto &e : vn)
+                e /= h.back()[size_t(j) + 1];
+            v.push_back(std::move(vn));
+        }
+
+        // Back substitution: solve the j x j triangular system.
+        std::vector<Value> y(size_t(j), 0.0);
+        for (int i = j - 1; i >= 0; --i) {
+            Value acc = g[size_t(i)];
+            for (int k = i + 1; k < j; ++k)
+                acc -= h[size_t(k)][size_t(i)] * y[size_t(k)];
+            y[size_t(i)] = acc / h[size_t(i)][size_t(i)];
+        }
+        for (int i = 0; i < j; ++i)
+            axpy(y[size_t(i)], v[size_t(i)], res.x);
+
+        if (res.relResidual < opts.tolerance) {
+            res.converged = true;
+            return res;
+        }
+    }
+    // Final residual check.
+    DenseVector r = spmv_fn(res.x);
+    for (size_t i = 0; i < n; ++i)
+        r[i] = b[i] - r[i];
+    res.relResidual = norm2(r) / normb;
+    res.converged = res.relResidual < opts.tolerance;
+    return res;
+}
+
+KrylovResult
+gmresSolve(const CsrMatrix &a, const DenseVector &b,
+           const GmresOptions &opts)
+{
+    ALR_ASSERT(a.rows() == a.cols(), "gmres needs a square matrix");
+    ALR_ASSERT(b.size() == a.rows(), "rhs length mismatch");
+    return gmresSolveWith(
+        [&a](const DenseVector &x) { return spmv(a, x); }, b, opts);
+}
+
+} // namespace alr

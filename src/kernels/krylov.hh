@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Krylov solvers beyond CG: BiCGSTAB and restarted GMRES for general
+ * (nonsymmetric) systems.  Both are SpMV-dominated, so they run on the
+ * accelerator through the same pluggable-kernel pattern as pcgSolveWith
+ * -- extending the paper's PCG use case to the wider family of sparse
+ * iterative methods.
+ */
+
+#ifndef ALR_KERNELS_KRYLOV_HH
+#define ALR_KERNELS_KRYLOV_HH
+
+#include <functional>
+
+#include "sparse/csr.hh"
+
+namespace alr {
+
+/** Shared result type for the nonsymmetric solvers. */
+struct KrylovResult
+{
+    DenseVector x;
+    Value relResidual = 0.0;
+    int iterations = 0;
+    bool converged = false;
+    std::vector<Value> history;
+};
+
+struct KrylovOptions
+{
+    int maxIterations = 500;
+    Value tolerance = 1e-9;
+};
+
+/** The matrix-vector product provider (host or accelerator). */
+using SpmvFn = std::function<DenseVector(const DenseVector &)>;
+
+/**
+ * BiCGSTAB (van der Vorst): smooth-converging CG-like method for
+ * nonsymmetric systems; two SpMVs per iteration.
+ */
+KrylovResult bicgstabSolveWith(const SpmvFn &spmv_fn, const DenseVector &b,
+                               const KrylovOptions &opts = {});
+
+/** Host convenience wrapper. */
+KrylovResult bicgstabSolve(const CsrMatrix &a, const DenseVector &b,
+                           const KrylovOptions &opts = {});
+
+struct GmresOptions : KrylovOptions
+{
+    /** Restart length (Krylov subspace dimension per cycle). */
+    int restart = 30;
+};
+
+/**
+ * GMRES(m) with Arnoldi orthogonalization and Givens-rotation QR of
+ * the Hessenberg matrix; one SpMV per inner iteration.
+ */
+KrylovResult gmresSolveWith(const SpmvFn &spmv_fn, const DenseVector &b,
+                            const GmresOptions &opts = {});
+
+/** Host convenience wrapper. */
+KrylovResult gmresSolve(const CsrMatrix &a, const DenseVector &b,
+                        const GmresOptions &opts = {});
+
+} // namespace alr
+
+#endif // ALR_KERNELS_KRYLOV_HH

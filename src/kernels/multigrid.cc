@@ -1,0 +1,231 @@
+#include "kernels/multigrid.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "kernels/smoothers.hh"
+#include "sparse/algebra.hh"
+#include "sparse/coo.hh"
+#include "kernels/spmv.hh"
+#include "kernels/symgs.hh"
+#include "sparse/generators.hh"
+
+namespace alr {
+
+namespace {
+
+Index
+gridId(Index x, Index y, Index z, Index nx, Index ny)
+{
+    return (z * ny + y) * nx + x;
+}
+
+/**
+ * Bi/trilinear prolongation matrix P (fine x coarse): each fine point
+ * interpolates from its surrounding coarse points with per-dimension
+ * hat weights (1 at a coincident point, 1/2 one step away).
+ */
+CsrMatrix
+buildProlongation(const MgLevel &fine, const MgLevel &coarse)
+{
+    auto hat = [](Index f, Index c_pos) -> Value {
+        int64_t d = int64_t(f) - 2 * int64_t(c_pos);
+        if (d == 0)
+            return 1.0;
+        if (d == 1 || d == -1)
+            return 0.5;
+        return 0.0;
+    };
+    bool is2d = fine.nz == coarse.nz && fine.nz == 1;
+    CooMatrix p(fine.points(), coarse.points());
+    for (Index z = 0; z < fine.nz; ++z) {
+        for (Index y = 0; y < fine.ny; ++y) {
+            for (Index x = 0; x < fine.nx; ++x) {
+                Index fid = gridId(x, y, z, fine.nx, fine.ny);
+                for (Index cz = 0; cz < coarse.nz; ++cz) {
+                    Value wz = is2d ? (cz == z ? 1.0 : 0.0)
+                                    : hat(z, cz);
+                    if (wz == 0.0)
+                        continue;
+                    for (Index cy = 0; cy < coarse.ny; ++cy) {
+                        Value wy = hat(y, cy);
+                        if (wy == 0.0)
+                            continue;
+                        for (Index cx = 0; cx < coarse.nx; ++cx) {
+                            Value wx = hat(x, cx);
+                            if (wx == 0.0)
+                                continue;
+                            p.add(fid,
+                                  gridId(cx, cy, cz, coarse.nx,
+                                         coarse.ny),
+                                  wx * wy * wz);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return CsrMatrix::fromCoo(p);
+}
+
+} // namespace
+
+GeometricMultigrid::GeometricMultigrid(Index nx, Index ny, Index nz,
+                                       int points, int num_levels,
+                                       MgTransfer transfer)
+    : _transfer(transfer)
+{
+    ALR_ASSERT(num_levels >= 1, "need at least one level");
+    ALR_ASSERT(nx >= 2 && ny >= 2 && nz >= 1, "grid too small");
+    bool is2d = nz == 1;
+    ALR_ASSERT(is2d ? (points == 5 || points == 9)
+                    : (points == 7 || points == 27),
+               "unsupported stencil");
+
+    Index cx = nx, cy = ny, cz = nz;
+    for (int l = 0; l < num_levels; ++l) {
+        MgLevel level;
+        level.nx = cx;
+        level.ny = cy;
+        level.nz = cz;
+        level.a = is2d ? gen::stencil2d(cx, cy, points)
+                       : gen::stencil3d(cx, cy, cz, points);
+        _levels.push_back(std::move(level));
+
+        bool divisible = cx % 2 == 0 && cy % 2 == 0 &&
+                         (is2d || cz % 2 == 0) && cx >= 4 && cy >= 4 &&
+                         (is2d || cz >= 4);
+        if (l + 1 < num_levels && !divisible)
+            break; // hierarchy stops where the grid stops halving
+        cx /= 2;
+        cy /= 2;
+        if (!is2d)
+            cz /= 2;
+    }
+
+    if (_transfer == MgTransfer::FullWeighting) {
+        // Galerkin coarse operators: A_{l+1} = R A_l P with
+        // R = P^T / 2^d (full weighting).
+        double dims = is2d ? 2.0 : 3.0;
+        double rscale = 1.0 / std::pow(2.0, dims);
+        for (size_t l = 0; l + 1 < _levels.size(); ++l) {
+            CsrMatrix p = buildProlongation(_levels[l], _levels[l + 1]);
+            CsrMatrix r = scale(p.transposed(), rscale);
+            _levels[l + 1].a = spgemm(r, spgemm(_levels[l].a, p));
+            _prolong.push_back(std::move(p));
+        }
+    }
+}
+
+const MgLevel &
+GeometricMultigrid::level(int l) const
+{
+    ALR_ASSERT(l >= 0 && l < numLevels(), "level %d out of %d", l,
+               numLevels());
+    return _levels[size_t(l)];
+}
+
+DenseVector
+GeometricMultigrid::restrictToCoarse(int fine_level,
+                                     const DenseVector &fine) const
+{
+    const MgLevel &f = level(fine_level);
+    const MgLevel &c = level(fine_level + 1);
+    ALR_ASSERT(fine.size() == f.points(), "fine vector length mismatch");
+
+    if (_transfer == MgTransfer::FullWeighting) {
+        // r_c = P^T r_f / 2^d.
+        const CsrMatrix &p = _prolong[size_t(fine_level)];
+        double rscale = f.nz == c.nz ? 0.25 : 0.125;
+        DenseVector coarse(c.points(), 0.0);
+        for (Index r = 0; r < p.rows(); ++r) {
+            for (Index k = p.rowPtr()[r]; k < p.rowPtr()[r + 1]; ++k)
+                coarse[p.colIdx()[k]] += rscale * p.vals()[k] * fine[r];
+        }
+        return coarse;
+    }
+
+    DenseVector coarse(c.points(), 0.0);
+    for (Index z = 0; z < c.nz; ++z) {
+        for (Index y = 0; y < c.ny; ++y) {
+            for (Index x = 0; x < c.nx; ++x) {
+                Index fz = f.nz == c.nz ? z : 2 * z;
+                coarse[gridId(x, y, z, c.nx, c.ny)] =
+                    fine[gridId(2 * x, 2 * y, fz, f.nx, f.ny)];
+            }
+        }
+    }
+    return coarse;
+}
+
+void
+GeometricMultigrid::prolongAndAdd(int fine_level,
+                                  const DenseVector &coarse,
+                                  DenseVector &fine) const
+{
+    const MgLevel &f = level(fine_level);
+    const MgLevel &c = level(fine_level + 1);
+    ALR_ASSERT(coarse.size() == c.points(), "coarse length mismatch");
+    ALR_ASSERT(fine.size() == f.points(), "fine length mismatch");
+
+    if (_transfer == MgTransfer::FullWeighting) {
+        const CsrMatrix &p = _prolong[size_t(fine_level)];
+        for (Index r = 0; r < p.rows(); ++r) {
+            for (Index k = p.rowPtr()[r]; k < p.rowPtr()[r + 1]; ++k)
+                fine[r] += p.vals()[k] * coarse[p.colIdx()[k]];
+        }
+        return;
+    }
+
+    for (Index z = 0; z < c.nz; ++z) {
+        for (Index y = 0; y < c.ny; ++y) {
+            for (Index x = 0; x < c.nx; ++x) {
+                Index fz = f.nz == c.nz ? z : 2 * z;
+                fine[gridId(2 * x, 2 * y, fz, f.nx, f.ny)] +=
+                    coarse[gridId(x, y, z, c.nx, c.ny)];
+            }
+        }
+    }
+}
+
+DenseVector
+GeometricMultigrid::vcycleAt(int level_index, const DenseVector &r,
+                             const MgSmoother &smoother, int pre_sweeps,
+                             int post_sweeps) const
+{
+    const MgLevel &lvl = level(level_index);
+    DenseVector z(lvl.points(), 0.0);
+    for (int s = 0; s < pre_sweeps; ++s)
+        smoother(level_index, lvl, r, z);
+
+    if (level_index + 1 < numLevels()) {
+        DenseVector res = residual(lvl.a, r, z);
+        DenseVector rc = restrictToCoarse(level_index, res);
+        DenseVector zc = vcycleAt(level_index + 1, rc, smoother,
+                                  pre_sweeps, post_sweeps);
+        prolongAndAdd(level_index, zc, z);
+        for (int s = 0; s < post_sweeps; ++s)
+            smoother(level_index, lvl, r, z);
+    }
+    return z;
+}
+
+DenseVector
+GeometricMultigrid::vcycle(const DenseVector &r,
+                           const MgSmoother &smoother, int pre_sweeps,
+                           int post_sweeps) const
+{
+    ALR_ASSERT(bool(smoother), "null smoother");
+    return vcycleAt(0, r, smoother, pre_sweeps, post_sweeps);
+}
+
+MgSmoother
+GeometricMultigrid::hostSymGsSmoother()
+{
+    return [](int, const MgLevel &lvl, const DenseVector &b,
+              DenseVector &x) {
+        gaussSeidelSweep(lvl.a, b, x, GsSweep::Symmetric);
+    };
+}
+
+} // namespace alr

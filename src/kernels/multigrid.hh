@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Geometric multigrid on regular 2D/3D stencil grids, in the style of
+ * HPCG's preconditioner: a V-cycle with SymGS smoothing, injection
+ * restriction, and injection-add prolongation over a hierarchy of
+ * rediscretized operators.
+ *
+ * The smoother is pluggable so the same driver runs on the host
+ * (reference) or routes every sweep through the Alrescha accelerator
+ * (examples/hpcg_like.cpp) -- the paper's PCG (Fig 2) is the one-level
+ * special case.
+ */
+
+#ifndef ALR_KERNELS_MULTIGRID_HH
+#define ALR_KERNELS_MULTIGRID_HH
+
+#include <functional>
+#include <vector>
+
+#include "sparse/csr.hh"
+
+namespace alr {
+
+/** One level of the grid hierarchy. */
+struct MgLevel
+{
+    CsrMatrix a;
+    Index nx = 0;
+    Index ny = 0;
+    Index nz = 0;
+
+    Index points() const { return nx * ny * nz; }
+};
+
+/**
+ * A smoother application: improve @p x toward solving
+ * level.a x = b in place.  @p level_index identifies the level so an
+ * accelerated smoother can dispatch to a pre-loaded engine.
+ */
+using MgSmoother = std::function<void(
+    int level_index, const MgLevel &level, const DenseVector &b,
+    DenseVector &x)>;
+
+/** Inter-grid transfer scheme. */
+enum class MgTransfer
+{
+    /**
+     * HPCG-style: restriction samples even points, prolongation adds
+     * coarse values back to them, coarse operators are rediscretized.
+     * Cheap and faithful to the paper's benchmark context, but weak as
+     * a standalone iteration.
+     */
+    Injection,
+    /**
+     * Textbook multigrid: bi/trilinear interpolation P, full-weighting
+     * restriction R = P^T / 2^d, and Galerkin coarse operators
+     * A_c = R A P built with SpGEMM.  A strong standalone solver.
+     */
+    FullWeighting,
+};
+
+class GeometricMultigrid
+{
+  public:
+    /**
+     * Build @p num_levels levels from an nx x ny x nz grid with a
+     * @p points -point stencil (5/9 for nz == 1, 7/27 otherwise).
+     * Dimensions must halve cleanly; fewer levels are built when they
+     * stop dividing (at least one).
+     */
+    GeometricMultigrid(Index nx, Index ny, Index nz, int points,
+                       int num_levels,
+                       MgTransfer transfer = MgTransfer::Injection);
+
+    int numLevels() const { return int(_levels.size()); }
+    const MgLevel &level(int l) const;
+    /** The finest-level operator (the system matrix). */
+    const CsrMatrix &fineMatrix() const { return _levels.front().a; }
+
+    /** Injection: sample the fine vector at even grid points. */
+    DenseVector restrictToCoarse(int fine_level,
+                                 const DenseVector &fine) const;
+
+    /** Injection-add: scatter coarse values back to their fine points. */
+    void prolongAndAdd(int fine_level, const DenseVector &coarse,
+                       DenseVector &fine) const;
+
+    /**
+     * One V-cycle applied as a preconditioner: returns z approximating
+     * A^{-1} r from a zero initial guess, running @p pre_sweeps and
+     * @p post_sweeps smoother applications per level.
+     */
+    DenseVector vcycle(const DenseVector &r, const MgSmoother &smoother,
+                       int pre_sweeps = 1, int post_sweeps = 1) const;
+
+    /** The default host smoother: one symmetric Gauss-Seidel sweep. */
+    static MgSmoother hostSymGsSmoother();
+
+    MgTransfer transfer() const { return _transfer; }
+
+  private:
+    DenseVector vcycleAt(int level_index, const DenseVector &r,
+                         const MgSmoother &smoother, int pre_sweeps,
+                         int post_sweeps) const;
+
+    MgTransfer _transfer = MgTransfer::Injection;
+    std::vector<MgLevel> _levels;
+    /** Prolongation operators, one per fine level (FullWeighting). */
+    std::vector<CsrMatrix> _prolong;
+};
+
+} // namespace alr
+
+#endif // ALR_KERNELS_MULTIGRID_HH

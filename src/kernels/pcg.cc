@@ -1,0 +1,78 @@
+#include "kernels/pcg.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "kernels/blas1.hh"
+#include "kernels/spmv.hh"
+#include "kernels/symgs.hh"
+
+namespace alr {
+
+PcgResult
+pcgSolveWith(const PcgKernels &kernels, const DenseVector &b, Index n,
+             const PcgOptions &opts)
+{
+    ALR_ASSERT(bool(kernels.spmv), "pcg requires an spmv kernel");
+    ALR_ASSERT(b.size() == n, "rhs length mismatch");
+
+    PcgResult res;
+    res.x.assign(n, 0.0);
+
+    DenseVector r = b; // r = b - A*0
+    Value normb = norm2(b);
+    if (normb == 0.0) {
+        res.converged = true;
+        return res;
+    }
+
+    DenseVector p;
+    Value rtz_old = 0.0;
+    for (int it = 0; it < opts.maxIterations; ++it) {
+        DenseVector z = kernels.precond ? kernels.precond(r) : r;
+        Value rtz = dot(r, z);
+        if (it == 0) {
+            p = z;
+        } else {
+            Value beta = rtz / rtz_old;
+            xpby(z, beta, p);
+        }
+        rtz_old = rtz;
+
+        DenseVector ap = kernels.spmv(p);
+        Value pap = dot(p, ap);
+        ALR_ASSERT(pap != 0.0, "breakdown: p^T A p == 0");
+        Value alpha = rtz / pap;
+        axpy(alpha, p, res.x);
+        axpy(-alpha, ap, r);
+
+        res.iterations = it + 1;
+        Value rel = norm2(r) / normb;
+        res.history.push_back(rel);
+        res.relResidual = rel;
+        if (rel < opts.tolerance) {
+            res.converged = true;
+            break;
+        }
+    }
+    return res;
+}
+
+PcgResult
+pcgSolve(const CsrMatrix &a, const DenseVector &b, const PcgOptions &opts)
+{
+    ALR_ASSERT(a.rows() == a.cols(), "pcg needs a square matrix");
+
+    PcgKernels kernels;
+    kernels.spmv = [&a](const DenseVector &x) { return spmv(a, x); };
+    if (opts.precondition) {
+        kernels.precond = [&a](const DenseVector &r) {
+            DenseVector z(r.size(), 0.0);
+            gaussSeidelSweep(a, r, z, GsSweep::Symmetric);
+            return z;
+        };
+    }
+    return pcgSolveWith(kernels, b, a.rows(), opts);
+}
+
+} // namespace alr

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Preconditioned conjugate gradient (paper Fig 2), with a symmetric
+ * Gauss-Seidel preconditioner as in HPCG.
+ */
+
+#ifndef ALR_KERNELS_PCG_HH
+#define ALR_KERNELS_PCG_HH
+
+#include <functional>
+
+#include "sparse/csr.hh"
+
+namespace alr {
+
+/** Result of a PCG solve. */
+struct PcgResult
+{
+    DenseVector x;
+    /** Relative residual ||b - Ax|| / ||b|| at exit. */
+    Value relResidual = 0.0;
+    /** Iterations actually executed. */
+    int iterations = 0;
+    bool converged = false;
+    /** Residual history, one entry per iteration. */
+    std::vector<Value> history;
+};
+
+/** Options controlling the solve. */
+struct PcgOptions
+{
+    int maxIterations = 500;
+    Value tolerance = 1e-9;
+    /** Use the SymGS preconditioner (true = the HPCG configuration). */
+    bool precondition = true;
+};
+
+/**
+ * Solve A x = b with (preconditioned) CG from initial guess zero.
+ * @p a must be symmetric positive definite for convergence guarantees.
+ *
+ * The optional @p spmv_hook and @p symgs_hook let callers observe or
+ * redirect the two dominant kernels (the accelerator-backed solver in
+ * examples/ routes them through the Alrescha engine).
+ */
+PcgResult pcgSolve(const CsrMatrix &a, const DenseVector &b,
+                   const PcgOptions &opts = {});
+
+/** Kernel providers so the same driver can run on host or accelerator. */
+struct PcgKernels
+{
+    std::function<DenseVector(const DenseVector &)> spmv;
+    /** Applies one symmetric GS sweep to A z = r from z = 0. */
+    std::function<DenseVector(const DenseVector &)> precond;
+};
+
+/** PCG with user-supplied kernel implementations. */
+PcgResult pcgSolveWith(const PcgKernels &kernels, const DenseVector &b,
+                       Index n, const PcgOptions &opts = {});
+
+} // namespace alr
+
+#endif // ALR_KERNELS_PCG_HH

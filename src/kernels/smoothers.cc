@@ -1,0 +1,97 @@
+#include "kernels/smoothers.hh"
+
+#include "common/logging.hh"
+#include "kernels/spmv.hh"
+
+namespace alr {
+
+void
+jacobiSweep(const CsrMatrix &a, const DenseVector &b, DenseVector &x,
+            Value weight)
+{
+    ALR_ASSERT(a.rows() == a.cols(), "Jacobi needs a square matrix");
+    ALR_ASSERT(b.size() == a.rows() && x.size() == a.rows(),
+               "operand length mismatch");
+
+    DenseVector next = x;
+    for (Index r = 0; r < a.rows(); ++r) {
+        Value diag = 0.0;
+        Value acc = b[r];
+        for (Index k = a.rowPtr()[r]; k < a.rowPtr()[r + 1]; ++k) {
+            Index c = a.colIdx()[k];
+            if (c == r)
+                diag = a.vals()[k];
+            acc -= a.vals()[k] * x[c];
+        }
+        ALR_ASSERT(diag != 0.0, "zero diagonal at row %u", r);
+        next[r] = x[r] + weight * acc / diag;
+    }
+    x = std::move(next);
+}
+
+void
+sorSweep(const CsrMatrix &a, const DenseVector &b, DenseVector &x,
+         Value omega_r)
+{
+    ALR_ASSERT(omega_r > 0.0 && omega_r < 2.0,
+               "SOR requires 0 < omega < 2");
+    ALR_ASSERT(a.rows() == a.cols(), "SOR needs a square matrix");
+
+    for (Index r = 0; r < a.rows(); ++r) {
+        Value diag = 0.0;
+        Value acc = b[r];
+        for (Index k = a.rowPtr()[r]; k < a.rowPtr()[r + 1]; ++k) {
+            Index c = a.colIdx()[k];
+            if (c == r)
+                diag = a.vals()[k];
+            else
+                acc -= a.vals()[k] * x[c];
+        }
+        ALR_ASSERT(diag != 0.0, "zero diagonal at row %u", r);
+        x[r] = (1.0 - omega_r) * x[r] + omega_r * acc / diag;
+    }
+}
+
+DenseVector
+residual(const CsrMatrix &a, const DenseVector &b, const DenseVector &x)
+{
+    DenseVector r = spmv(a, x);
+    for (size_t i = 0; i < r.size(); ++i)
+        r[i] = b[i] - r[i];
+    return r;
+}
+
+void
+chebyshevSmooth(const CsrMatrix &a, const DenseVector &b, DenseVector &x,
+                Value lambda_min, Value lambda_max, int degree)
+{
+    ALR_ASSERT(a.rows() == a.cols(), "Chebyshev needs a square matrix");
+    ALR_ASSERT(lambda_max > lambda_min && lambda_min > 0.0,
+               "Chebyshev needs a positive eigenvalue interval");
+    ALR_ASSERT(degree >= 1, "degree must be at least 1");
+
+    // Standard three-term recurrence on the shifted/scaled interval.
+    Value theta = 0.5 * (lambda_max + lambda_min);
+    Value delta = 0.5 * (lambda_max - lambda_min);
+    Value sigma = theta / delta;
+    Value rho = 1.0 / sigma;
+
+    DenseVector r = residual(a, b, x);
+    DenseVector d(r.size());
+    for (size_t i = 0; i < r.size(); ++i)
+        d[i] = r[i] / theta;
+
+    for (int k = 0; k < degree; ++k) {
+        for (size_t i = 0; i < x.size(); ++i)
+            x[i] += d[i];
+        if (k + 1 == degree)
+            break;
+        r = residual(a, b, x);
+        Value rho_new = 1.0 / (2.0 * sigma - rho);
+        for (size_t i = 0; i < d.size(); ++i)
+            d[i] = rho_new * rho * d[i] + 2.0 * rho_new / delta * r[i];
+        rho = rho_new;
+    }
+}
+
+} // namespace alr

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Classical stationary smoothers beyond Gauss-Seidel: (weighted)
+ * Jacobi and SOR.  They serve as comparison points for the SymGS
+ * smoother the paper accelerates, and as alternative multigrid
+ * smoothers.
+ */
+
+#ifndef ALR_KERNELS_SMOOTHERS_HH
+#define ALR_KERNELS_SMOOTHERS_HH
+
+#include "sparse/csr.hh"
+
+namespace alr {
+
+/**
+ * One weighted-Jacobi sweep: x := x + w D^{-1} (b - A x).  Fully
+ * parallel (no dependences) but converges slower than Gauss-Seidel;
+ * w = 1 is plain Jacobi, w ~ 2/3 the classic smoothing choice.
+ */
+void jacobiSweep(const CsrMatrix &a, const DenseVector &b, DenseVector &x,
+                 Value weight = 1.0);
+
+/**
+ * One forward SOR sweep with relaxation factor @p omega_r in (0, 2):
+ * omega_r = 1 reduces to forward Gauss-Seidel.
+ */
+void sorSweep(const CsrMatrix &a, const DenseVector &b, DenseVector &x,
+              Value omega_r);
+
+/** Residual r = b - A x. */
+DenseVector residual(const CsrMatrix &a, const DenseVector &b,
+                     const DenseVector &x);
+
+/**
+ * Chebyshev polynomial smoother of degree @p degree over the
+ * eigenvalue interval [lambda_min, lambda_max] (estimates from
+ * kernels/eigen.hh).  Dependence-free like Jacobi -- only SpMVs --
+ * which is why the HPCG literature proposes it as the GPU-friendly
+ * alternative to the SymGS sweeps Alrescha accelerates natively.
+ */
+void chebyshevSmooth(const CsrMatrix &a, const DenseVector &b,
+                     DenseVector &x, Value lambda_min, Value lambda_max,
+                     int degree);
+
+} // namespace alr
+
+#endif // ALR_KERNELS_SMOOTHERS_HH

@@ -1,0 +1,31 @@
+#include "kernels/spmv.hh"
+
+#include "common/logging.hh"
+
+namespace alr {
+
+DenseVector
+spmv(const CsrMatrix &a, const DenseVector &x)
+{
+    ALR_ASSERT(x.size() == a.cols(), "spmv operand length mismatch");
+    DenseVector y(a.rows(), 0.0);
+    for (Index r = 0; r < a.rows(); ++r) {
+        Value acc = 0.0;
+        for (Index k = a.rowPtr()[r]; k < a.rowPtr()[r + 1]; ++k)
+            acc += a.vals()[k] * x[a.colIdx()[k]];
+        y[r] = acc;
+    }
+    return y;
+}
+
+DenseVector
+spmvAdd(const CsrMatrix &a, const DenseVector &x, const DenseVector &y0)
+{
+    ALR_ASSERT(y0.size() == a.rows(), "spmvAdd accumulator mismatch");
+    DenseVector y = spmv(a, x);
+    for (Index r = 0; r < a.rows(); ++r)
+        y[r] += y0[r];
+    return y;
+}
+
+} // namespace alr

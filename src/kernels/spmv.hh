@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Reference sparse matrix-vector multiply (paper Eq. 1).  The golden
+ * implementation every accelerator/baseline model is verified against.
+ */
+
+#ifndef ALR_KERNELS_SPMV_HH
+#define ALR_KERNELS_SPMV_HH
+
+#include "sparse/csr.hh"
+
+namespace alr {
+
+/** y = A x. */
+DenseVector spmv(const CsrMatrix &a, const DenseVector &x);
+
+/** y = y0 + A x (fused accumulate form used inside PCG). */
+DenseVector spmvAdd(const CsrMatrix &a, const DenseVector &x,
+                    const DenseVector &y0);
+
+} // namespace alr
+
+#endif // ALR_KERNELS_SPMV_HH

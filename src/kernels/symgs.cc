@@ -1,0 +1,56 @@
+#include "kernels/symgs.hh"
+
+#include "common/logging.hh"
+
+namespace alr {
+
+namespace {
+
+void
+sweepOneRow(const CsrMatrix &a, const DenseVector &b, DenseVector &x,
+            Index r)
+{
+    Value diag = 0.0;
+    Value acc = b[r];
+    for (Index k = a.rowPtr()[r]; k < a.rowPtr()[r + 1]; ++k) {
+        Index c = a.colIdx()[k];
+        if (c == r)
+            diag = a.vals()[k];
+        else
+            acc -= a.vals()[k] * x[c];
+    }
+    ALR_ASSERT(diag != 0.0, "zero diagonal at row %u", r);
+    x[r] = acc / diag;
+}
+
+} // namespace
+
+void
+gaussSeidelSweep(const CsrMatrix &a, const DenseVector &b, DenseVector &x,
+                 GsSweep sweep)
+{
+    ALR_ASSERT(a.rows() == a.cols(), "Gauss-Seidel needs a square matrix");
+    ALR_ASSERT(b.size() == a.rows() && x.size() == a.rows(),
+               "Gauss-Seidel operand length mismatch");
+
+    if (sweep == GsSweep::Forward || sweep == GsSweep::Symmetric) {
+        for (Index r = 0; r < a.rows(); ++r)
+            sweepOneRow(a, b, x, r);
+    }
+    if (sweep == GsSweep::Backward || sweep == GsSweep::Symmetric) {
+        for (Index r = a.rows(); r > 0; --r)
+            sweepOneRow(a, b, x, r - 1);
+    }
+}
+
+DenseVector
+symgs(const CsrMatrix &a, const DenseVector &b, const DenseVector &x0,
+      int iters)
+{
+    DenseVector x = x0;
+    for (int i = 0; i < iters; ++i)
+        gaussSeidelSweep(a, b, x, GsSweep::Symmetric);
+    return x;
+}
+
+} // namespace alr

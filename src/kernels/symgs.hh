@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Reference Gauss-Seidel smoother (paper Eq. 2/3).
+ *
+ * The forward sweep updates x in place row by row, using already-updated
+ * values for columns before the current row (x^t) and previous-iteration
+ * values after it (x^{t-1}) -- exactly the dependence pattern that makes
+ * SymGS the bottleneck the paper attacks.  The symmetric variant (HPCG's
+ * preconditioner) runs a forward then a backward sweep.
+ */
+
+#ifndef ALR_KERNELS_SYMGS_HH
+#define ALR_KERNELS_SYMGS_HH
+
+#include "sparse/csr.hh"
+
+namespace alr {
+
+/** Sweep direction for one Gauss-Seidel pass. */
+enum class GsSweep { Forward, Backward, Symmetric };
+
+/**
+ * One Gauss-Seidel sweep over A x = b, updating @p x in place.
+ * A must be square with a non-zero diagonal (panics otherwise).
+ */
+void gaussSeidelSweep(const CsrMatrix &a, const DenseVector &b,
+                      DenseVector &x, GsSweep sweep);
+
+/**
+ * Run @p iters symmetric sweeps starting from @p x0 and return the
+ * result (the SymGS kernel as used in the paper's PCG).
+ */
+DenseVector symgs(const CsrMatrix &a, const DenseVector &b,
+                  const DenseVector &x0, int iters = 1);
+
+} // namespace alr
+
+#endif // ALR_KERNELS_SYMGS_HH

@@ -1,0 +1,105 @@
+#include "sparse/algebra.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "sparse/coo.hh"
+
+namespace alr {
+
+CsrMatrix
+add(const CsrMatrix &a, const CsrMatrix &b, Value alpha, Value beta)
+{
+    ALR_ASSERT(a.rows() == b.rows() && a.cols() == b.cols(),
+               "add: dimension mismatch");
+    CooMatrix coo(a.rows(), a.cols());
+    for (Index r = 0; r < a.rows(); ++r) {
+        for (Index k = a.rowPtr()[r]; k < a.rowPtr()[r + 1]; ++k)
+            coo.add(r, a.colIdx()[k], alpha * a.vals()[k]);
+        for (Index k = b.rowPtr()[r]; k < b.rowPtr()[r + 1]; ++k)
+            coo.add(r, b.colIdx()[k], beta * b.vals()[k]);
+    }
+    return CsrMatrix::fromCoo(coo);
+}
+
+CsrMatrix
+scale(const CsrMatrix &a, Value alpha)
+{
+    CsrMatrix c = a;
+    for (Value &v : c.vals())
+        v *= alpha;
+    return c;
+}
+
+CsrMatrix
+spgemm(const CsrMatrix &a, const CsrMatrix &b)
+{
+    ALR_ASSERT(a.cols() == b.rows(), "spgemm: inner dimension mismatch");
+
+    // Gustavson: accumulate each output row in a dense scratch array
+    // with a touched-column list.
+    std::vector<Value> acc(b.cols(), 0.0);
+    std::vector<Index> touched;
+    CooMatrix coo(a.rows(), b.cols());
+
+    for (Index i = 0; i < a.rows(); ++i) {
+        touched.clear();
+        for (Index ka = a.rowPtr()[i]; ka < a.rowPtr()[i + 1]; ++ka) {
+            Index k = a.colIdx()[ka];
+            Value av = a.vals()[ka];
+            for (Index kb = b.rowPtr()[k]; kb < b.rowPtr()[k + 1];
+                 ++kb) {
+                Index j = b.colIdx()[kb];
+                if (acc[j] == 0.0)
+                    touched.push_back(j);
+                acc[j] += av * b.vals()[kb];
+            }
+        }
+        for (Index j : touched) {
+            if (acc[j] != 0.0)
+                coo.add(i, j, acc[j]);
+            acc[j] = 0.0;
+        }
+    }
+    return CsrMatrix::fromCoo(coo);
+}
+
+Value
+frobeniusNorm(const CsrMatrix &a)
+{
+    Value sum = 0.0;
+    for (Value v : a.vals())
+        sum += v * v;
+    return std::sqrt(sum);
+}
+
+Value
+maxAbsDifference(const CsrMatrix &a, const CsrMatrix &b)
+{
+    ALR_ASSERT(a.rows() == b.rows() && a.cols() == b.cols(),
+               "dimension mismatch");
+    Value worst = 0.0;
+    auto scan = [&](const CsrMatrix &m, const CsrMatrix &other) {
+        for (Index r = 0; r < m.rows(); ++r) {
+            for (Index k = m.rowPtr()[r]; k < m.rowPtr()[r + 1]; ++k) {
+                Index c = m.colIdx()[k];
+                worst = std::max(worst,
+                                 std::abs(m.vals()[k] - other.at(r, c)));
+            }
+        }
+    };
+    scan(a, b);
+    scan(b, a);
+    return worst;
+}
+
+CsrMatrix
+identity(Index n)
+{
+    CooMatrix coo(n, n);
+    for (Index i = 0; i < n; ++i)
+        coo.add(i, i, 1.0);
+    return CsrMatrix::fromCoo(coo);
+}
+
+} // namespace alr

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Sparse-matrix algebra over CSR: addition, scaling, sparse
+ * matrix-matrix products (SpGEMM), and norms.  Used by the multigrid
+ * substrate (Galerkin products) and by tests constructing derived
+ * operators.
+ */
+
+#ifndef ALR_SPARSE_ALGEBRA_HH
+#define ALR_SPARSE_ALGEBRA_HH
+
+#include "sparse/csr.hh"
+
+namespace alr {
+
+/** C = alpha * A + beta * B (dimensions must match). */
+CsrMatrix add(const CsrMatrix &a, const CsrMatrix &b, Value alpha = 1.0,
+              Value beta = 1.0);
+
+/** C = alpha * A. */
+CsrMatrix scale(const CsrMatrix &a, Value alpha);
+
+/** C = A * B via the classical row-by-row Gustavson algorithm. */
+CsrMatrix spgemm(const CsrMatrix &a, const CsrMatrix &b);
+
+/** Frobenius norm. */
+Value frobeniusNorm(const CsrMatrix &a);
+
+/** Max |A - B| over the union pattern (dimensions must match). */
+Value maxAbsDifference(const CsrMatrix &a, const CsrMatrix &b);
+
+/** Sparse identity of size n. */
+CsrMatrix identity(Index n);
+
+} // namespace alr
+
+#endif // ALR_SPARSE_ALGEBRA_HH

@@ -1,0 +1,117 @@
+#include "sparse/bcsr.hh"
+
+#include <cmath>
+#include <map>
+
+#include "common/logging.hh"
+#include "sparse/coo.hh"
+#include "sparse/csr.hh"
+
+namespace alr {
+
+BcsrMatrix
+BcsrMatrix::fromCsr(const CsrMatrix &csr, Index omega)
+{
+    ALR_ASSERT(omega > 0, "block width must be positive");
+
+    BcsrMatrix b;
+    b._rows = csr.rows();
+    b._cols = csr.cols();
+    b._omega = omega;
+    b._blockRows = (csr.rows() + omega - 1) / omega;
+    b._blockCols = (csr.cols() + omega - 1) / omega;
+    b._blockRowPtr.assign(b._blockRows + 1, 0);
+
+    // Discover non-empty blocks per block row, then fill payloads.
+    const auto &rowPtr = csr.rowPtr();
+    const auto &colIdx = csr.colIdx();
+    const auto &vals = csr.vals();
+
+    for (Index br = 0; br < b._blockRows; ++br) {
+        // Map block column -> dense payload for this block row.
+        std::map<Index, std::vector<Value>> rowBlocks;
+        Index rLo = br * omega;
+        Index rHi = std::min<Index>(rLo + omega, csr.rows());
+        for (Index r = rLo; r < rHi; ++r) {
+            for (Index k = rowPtr[r]; k < rowPtr[r + 1]; ++k) {
+                Index bc = colIdx[k] / omega;
+                auto &payload = rowBlocks[bc];
+                if (payload.empty())
+                    payload.assign(size_t(omega) * omega, 0.0);
+                Index lr = r - rLo;
+                Index lc = colIdx[k] - bc * omega;
+                payload[size_t(lr) * omega + lc] = vals[k];
+            }
+        }
+        b._blockRowPtr[br + 1] =
+            b._blockRowPtr[br] + Index(rowBlocks.size());
+        for (auto &[bc, payload] : rowBlocks) {
+            b._blockColIdx.push_back(bc);
+            b._blockVals.insert(b._blockVals.end(), payload.begin(),
+                                payload.end());
+        }
+    }
+    return b;
+}
+
+CsrMatrix
+BcsrMatrix::toCsr() const
+{
+    CooMatrix coo(_rows, _cols);
+    for (Index br = 0; br < _blockRows; ++br) {
+        for (Index k = _blockRowPtr[br]; k < _blockRowPtr[br + 1]; ++k) {
+            Index bc = _blockColIdx[k];
+            const Value *payload = blockData(k);
+            for (Index lr = 0; lr < _omega; ++lr) {
+                Index r = br * _omega + lr;
+                if (r >= _rows)
+                    break;
+                for (Index lc = 0; lc < _omega; ++lc) {
+                    Index c = bc * _omega + lc;
+                    if (c >= _cols)
+                        break;
+                    Value v = payload[size_t(lr) * _omega + lc];
+                    if (v != 0.0)
+                        coo.add(r, c, v);
+                }
+            }
+        }
+    }
+    return CsrMatrix::fromCoo(coo);
+}
+
+const Value *
+BcsrMatrix::blockData(Index b) const
+{
+    ALR_ASSERT(b < numBlocks(), "block index %u out of %u", b, numBlocks());
+    return &_blockVals[size_t(b) * _omega * _omega];
+}
+
+Index
+BcsrMatrix::scalarNnz(Value tol) const
+{
+    Index n = 0;
+    for (Value v : _blockVals) {
+        if (std::abs(v) > tol)
+            ++n;
+    }
+    return n;
+}
+
+double
+BcsrMatrix::blockDensity() const
+{
+    if (numBlocks() == 0)
+        return 0.0;
+    return double(scalarNnz()) /
+           (double(numBlocks()) * _omega * _omega);
+}
+
+size_t
+BcsrMatrix::metadataBytes() const
+{
+    return _blockRowPtr.size() * sizeof(Index) +
+           _blockColIdx.size() * sizeof(Index);
+}
+
+} // namespace alr

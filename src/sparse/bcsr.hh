@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Blocked CSR (BCSR): the format the paper's locally-dense format adapts
+ * (§4.5, Fig 13).  Non-zero omega x omega blocks are stored densely with
+ * one column index per block and one pointer per block row.
+ */
+
+#ifndef ALR_SPARSE_BCSR_HH
+#define ALR_SPARSE_BCSR_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "sparse/types.hh"
+
+namespace alr {
+
+class CsrMatrix;
+
+/**
+ * BCSR matrix with square blocks of width blockSize().  The matrix logical
+ * dimensions need not be multiples of the block width; edge blocks are
+ * zero-padded.  Block values are stored row-major within each block.
+ */
+class BcsrMatrix
+{
+  public:
+    BcsrMatrix() = default;
+
+    /** Build from CSR with block width @p omega (> 0). */
+    static BcsrMatrix fromCsr(const CsrMatrix &csr, Index omega);
+
+    CsrMatrix toCsr() const;
+
+    Index rows() const { return _rows; }
+    Index cols() const { return _cols; }
+    Index blockSize() const { return _omega; }
+    /** Number of block rows: ceil(rows / omega). */
+    Index blockRows() const { return _blockRows; }
+    Index blockCols() const { return _blockCols; }
+    /** Number of stored (non-empty) blocks. */
+    Index numBlocks() const { return Index(_blockColIdx.size()); }
+
+    const std::vector<Index> &blockRowPtr() const { return _blockRowPtr; }
+    const std::vector<Index> &blockColIdx() const { return _blockColIdx; }
+    /** Block payloads, numBlocks x omega^2, block-row-major. */
+    const std::vector<Value> &blockVals() const { return _blockVals; }
+
+    /** Pointer to the omega^2 values of stored block @p b. */
+    const Value *blockData(Index b) const;
+
+    /** Count of structurally non-zero scalars inside stored blocks. */
+    Index scalarNnz(Value tol = 0.0) const;
+
+    /** Mean fill of stored blocks: scalarNnz / (numBlocks * omega^2). */
+    double blockDensity() const;
+
+    /** Metadata bytes: block row pointers + block column indices. */
+    size_t metadataBytes() const;
+    /** Payload bytes: the dense block storage (including padded zeros). */
+    size_t payloadBytes() const { return _blockVals.size() * sizeof(Value); }
+
+    bool operator==(const BcsrMatrix &o) const = default;
+
+  private:
+    Index _rows = 0;
+    Index _cols = 0;
+    Index _omega = 0;
+    Index _blockRows = 0;
+    Index _blockCols = 0;
+    std::vector<Index> _blockRowPtr;
+    std::vector<Index> _blockColIdx;
+    std::vector<Value> _blockVals;
+};
+
+} // namespace alr
+
+#endif // ALR_SPARSE_BCSR_HH

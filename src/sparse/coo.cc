@@ -1,0 +1,111 @@
+#include "sparse/coo.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/logging.hh"
+#include "sparse/dense.hh"
+
+namespace alr {
+
+void
+CooMatrix::add(Index r, Index c, Value v)
+{
+    ALR_ASSERT(r < _rows && c < _cols, "triplet (%u,%u) out of %ux%u",
+               r, c, _rows, _cols);
+    _triplets.push_back({r, c, v});
+}
+
+void
+CooMatrix::canonicalize()
+{
+    std::sort(_triplets.begin(), _triplets.end(),
+              [](const Triplet &a, const Triplet &b) {
+                  return a.row != b.row ? a.row < b.row : a.col < b.col;
+              });
+
+    std::vector<Triplet> merged;
+    merged.reserve(_triplets.size());
+    for (const Triplet &t : _triplets) {
+        if (!merged.empty() && merged.back().row == t.row &&
+            merged.back().col == t.col) {
+            merged.back().val += t.val;
+        } else {
+            merged.push_back(t);
+        }
+    }
+    std::erase_if(merged, [](const Triplet &t) { return t.val == 0.0; });
+    _triplets = std::move(merged);
+}
+
+bool
+CooMatrix::isCanonical() const
+{
+    for (size_t i = 1; i < _triplets.size(); ++i) {
+        const Triplet &a = _triplets[i - 1];
+        const Triplet &b = _triplets[i];
+        bool ordered = a.row < b.row || (a.row == b.row && a.col < b.col);
+        if (!ordered)
+            return false;
+    }
+    return true;
+}
+
+CooMatrix
+CooMatrix::transposed() const
+{
+    CooMatrix t(_cols, _rows);
+    t._triplets.reserve(_triplets.size());
+    for (const Triplet &e : _triplets)
+        t._triplets.push_back({e.col, e.row, e.val});
+    t.canonicalize();
+    return t;
+}
+
+DenseMatrix
+CooMatrix::toDense() const
+{
+    DenseMatrix dense(_rows, _cols, 0.0);
+    for (const Triplet &t : _triplets)
+        dense(t.row, t.col) += t.val;
+    return dense;
+}
+
+void
+CooMatrix::makeSpd(Value margin)
+{
+    ALR_ASSERT(_rows == _cols, "SPD requires a square matrix");
+    canonicalize();
+
+    // Symmetrize: A := (A + A^T) / 2.
+    CooMatrix t = transposed();
+    for (Triplet &e : _triplets)
+        e.val *= 0.5;
+    for (const Triplet &e : t._triplets)
+        _triplets.push_back({e.row, e.col, e.val * 0.5});
+    canonicalize();
+
+    // Raise the diagonal above the off-diagonal row sums.
+    std::vector<Value> rowAbs(_rows, 0.0);
+    for (const Triplet &e : _triplets) {
+        if (e.row != e.col)
+            rowAbs[e.row] += std::abs(e.val);
+    }
+    std::map<Index, Value> diag;
+    for (const Triplet &e : _triplets) {
+        if (e.row == e.col)
+            diag[e.row] = e.val;
+    }
+    std::erase_if(_triplets,
+                  [](const Triplet &e) { return e.row == e.col; });
+    for (Index r = 0; r < _rows; ++r) {
+        Value want = rowAbs[r] + margin;
+        auto it = diag.find(r);
+        Value have = it == diag.end() ? 0.0 : std::abs(it->second);
+        _triplets.push_back({r, r, std::max(want, have)});
+    }
+    canonicalize();
+}
+
+} // namespace alr

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Coordinate-format sparse matrix: the interchange format every other
+ * representation converts through.
+ */
+
+#ifndef ALR_SPARSE_COO_HH
+#define ALR_SPARSE_COO_HH
+
+#include <vector>
+
+#include "sparse/types.hh"
+
+namespace alr {
+
+class DenseMatrix;
+
+/**
+ * A sparse matrix as an unordered list of (row, col, value) triplets.
+ *
+ * Invariant after canonicalize(): triplets sorted row-major, no duplicate
+ * coordinates, no explicit zeros.
+ */
+class CooMatrix
+{
+  public:
+    CooMatrix() = default;
+    CooMatrix(Index rows, Index cols) : _rows(rows), _cols(cols) {}
+
+    Index rows() const { return _rows; }
+    Index cols() const { return _cols; }
+    Index nnz() const { return Index(_triplets.size()); }
+
+    const std::vector<Triplet> &triplets() const { return _triplets; }
+    std::vector<Triplet> &triplets() { return _triplets; }
+
+    /** Append one entry. Bounds are checked. */
+    void add(Index r, Index c, Value v);
+
+    /** Sort row-major, merge duplicates (summing), drop exact zeros. */
+    void canonicalize();
+
+    /** True if sorted row-major with unique coordinates. */
+    bool isCanonical() const;
+
+    /** Transposed copy (canonicalized). */
+    CooMatrix transposed() const;
+
+    /** Materialize as dense (rows x cols must be modest). */
+    DenseMatrix toDense() const;
+
+    /**
+     * Make the matrix symmetric positive definite for PCG testing:
+     * A := (A + A^T)/2 with the diagonal raised above the row sums
+     * (strict diagonal dominance).
+     */
+    void makeSpd(Value margin = 1.0);
+
+    bool operator==(const CooMatrix &o) const = default;
+
+  private:
+    Index _rows = 0;
+    Index _cols = 0;
+    std::vector<Triplet> _triplets;
+};
+
+} // namespace alr
+
+#endif // ALR_SPARSE_COO_HH

@@ -1,0 +1,54 @@
+#include "sparse/csc.hh"
+
+#include "common/logging.hh"
+#include "sparse/coo.hh"
+#include "sparse/csr.hh"
+
+namespace alr {
+
+CscMatrix
+CscMatrix::fromCoo(const CooMatrix &coo)
+{
+    // A CSC of A is the CSR of A^T with rows/cols swapped back.
+    CsrMatrix csrT = CsrMatrix::fromCoo(coo.transposed());
+
+    CscMatrix csc;
+    csc._rows = coo.rows();
+    csc._cols = coo.cols();
+    csc._colPtr = csrT.rowPtr();
+    csc._rowIdx = csrT.colIdx();
+    csc._vals = csrT.vals();
+    return csc;
+}
+
+CscMatrix
+CscMatrix::fromCsr(const CsrMatrix &csr)
+{
+    return fromCoo(csr.toCoo());
+}
+
+CooMatrix
+CscMatrix::toCoo() const
+{
+    CooMatrix coo(_rows, _cols);
+    for (Index c = 0; c < _cols; ++c) {
+        for (Index k = _colPtr[c]; k < _colPtr[c + 1]; ++k)
+            coo.add(_rowIdx[k], c, _vals[k]);
+    }
+    coo.canonicalize();
+    return coo;
+}
+
+CsrMatrix
+CscMatrix::toCsr() const
+{
+    return CsrMatrix::fromCoo(toCoo());
+}
+
+size_t
+CscMatrix::metadataBytes() const
+{
+    return _colPtr.size() * sizeof(Index) + _rowIdx.size() * sizeof(Index);
+}
+
+} // namespace alr

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Compressed sparse column format.  Used by column-oriented kernels (the
+ * paper's graph kernels traverse columns of the adjacency matrix) and by
+ * the OuterSPACE baseline's outer-product formulation.
+ */
+
+#ifndef ALR_SPARSE_CSC_HH
+#define ALR_SPARSE_CSC_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "sparse/types.hh"
+
+namespace alr {
+
+class CooMatrix;
+class CsrMatrix;
+
+/** CSC matrix: colPtr has cols()+1 entries; row indices sorted per column. */
+class CscMatrix
+{
+  public:
+    CscMatrix() = default;
+
+    static CscMatrix fromCoo(const CooMatrix &coo);
+    static CscMatrix fromCsr(const CsrMatrix &csr);
+
+    CooMatrix toCoo() const;
+    CsrMatrix toCsr() const;
+
+    Index rows() const { return _rows; }
+    Index cols() const { return _cols; }
+    Index nnz() const { return Index(_vals.size()); }
+
+    const std::vector<Index> &colPtr() const { return _colPtr; }
+    const std::vector<Index> &rowIdx() const { return _rowIdx; }
+    const std::vector<Value> &vals() const { return _vals; }
+
+    Index colNnz(Index c) const { return _colPtr[c + 1] - _colPtr[c]; }
+
+    size_t metadataBytes() const;
+
+    bool operator==(const CscMatrix &o) const = default;
+
+  private:
+    Index _rows = 0;
+    Index _cols = 0;
+    std::vector<Index> _colPtr;
+    std::vector<Index> _rowIdx;
+    std::vector<Value> _vals;
+};
+
+} // namespace alr
+
+#endif // ALR_SPARSE_CSC_HH

@@ -1,0 +1,133 @@
+#include "sparse/csr.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "sparse/coo.hh"
+#include "sparse/dense.hh"
+
+namespace alr {
+
+CsrMatrix
+CsrMatrix::fromCoo(const CooMatrix &coo)
+{
+    CooMatrix canon = coo;
+    canon.canonicalize();
+
+    CsrMatrix csr;
+    csr._rows = canon.rows();
+    csr._cols = canon.cols();
+    csr._rowPtr.assign(csr._rows + 1, 0);
+    csr._colIdx.reserve(canon.nnz());
+    csr._vals.reserve(canon.nnz());
+
+    for (const Triplet &t : canon.triplets())
+        ++csr._rowPtr[t.row + 1];
+    for (Index r = 0; r < csr._rows; ++r)
+        csr._rowPtr[r + 1] += csr._rowPtr[r];
+    for (const Triplet &t : canon.triplets()) {
+        csr._colIdx.push_back(t.col);
+        csr._vals.push_back(t.val);
+    }
+    return csr;
+}
+
+CsrMatrix
+CsrMatrix::fromDense(const DenseMatrix &dense, Value tol)
+{
+    return fromCoo(dense.toCoo(tol));
+}
+
+CooMatrix
+CsrMatrix::toCoo() const
+{
+    CooMatrix coo(_rows, _cols);
+    for (Index r = 0; r < _rows; ++r) {
+        for (Index k = _rowPtr[r]; k < _rowPtr[r + 1]; ++k)
+            coo.add(r, _colIdx[k], _vals[k]);
+    }
+    return coo;
+}
+
+DenseMatrix
+CsrMatrix::toDense() const
+{
+    DenseMatrix dense(_rows, _cols, 0.0);
+    for (Index r = 0; r < _rows; ++r) {
+        for (Index k = _rowPtr[r]; k < _rowPtr[r + 1]; ++k)
+            dense(r, _colIdx[k]) = _vals[k];
+    }
+    return dense;
+}
+
+Value
+CsrMatrix::at(Index r, Index c) const
+{
+    ALR_ASSERT(r < _rows && c < _cols, "index (%u,%u) out of %ux%u",
+               r, c, _rows, _cols);
+    auto begin = _colIdx.begin() + _rowPtr[r];
+    auto end = _colIdx.begin() + _rowPtr[r + 1];
+    auto it = std::lower_bound(begin, end, c);
+    if (it == end || *it != c)
+        return 0.0;
+    return _vals[size_t(it - _colIdx.begin())];
+}
+
+DenseVector
+CsrMatrix::diagonal() const
+{
+    Index n = std::min(_rows, _cols);
+    DenseVector diag(n, 0.0);
+    for (Index r = 0; r < n; ++r)
+        diag[r] = at(r, r);
+    return diag;
+}
+
+CsrMatrix
+CsrMatrix::transposed() const
+{
+    return fromCoo(toCoo().transposed());
+}
+
+bool
+CsrMatrix::isSymmetric(Value tol) const
+{
+    if (_rows != _cols)
+        return false;
+    for (Index r = 0; r < _rows; ++r) {
+        for (Index k = _rowPtr[r]; k < _rowPtr[r + 1]; ++k) {
+            Index c = _colIdx[k];
+            if (std::abs(_vals[k] - at(c, r)) > tol)
+                return false;
+        }
+    }
+    return true;
+}
+
+size_t
+CsrMatrix::metadataBytes() const
+{
+    return _rowPtr.size() * sizeof(Index) + _colIdx.size() * sizeof(Index);
+}
+
+CsrMatrix
+CsrMatrix::permuted(const std::vector<Index> &perm) const
+{
+    ALR_ASSERT(_rows == _cols, "symmetric permutation requires square");
+    ALR_ASSERT(perm.size() == _rows, "permutation length mismatch");
+
+    // inverse[old] = new
+    std::vector<Index> inverse(_rows);
+    for (Index newIdx = 0; newIdx < _rows; ++newIdx)
+        inverse[perm[newIdx]] = newIdx;
+
+    CooMatrix coo(_rows, _cols);
+    for (Index r = 0; r < _rows; ++r) {
+        for (Index k = _rowPtr[r]; k < _rowPtr[r + 1]; ++k)
+            coo.add(inverse[r], inverse[_colIdx[k]], _vals[k]);
+    }
+    return fromCoo(coo);
+}
+
+} // namespace alr

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Compressed sparse row format: the working representation of the
+ * reference kernels and the source format for Alrescha's converter.
+ */
+
+#ifndef ALR_SPARSE_CSR_HH
+#define ALR_SPARSE_CSR_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "sparse/types.hh"
+
+namespace alr {
+
+class CooMatrix;
+class DenseMatrix;
+
+/**
+ * CSR matrix: rowPtr has rows()+1 entries; the column indices of row r are
+ * colIdx[rowPtr[r] .. rowPtr[r+1]) sorted ascending.
+ */
+class CsrMatrix
+{
+  public:
+    CsrMatrix() = default;
+
+    static CsrMatrix fromCoo(const CooMatrix &coo);
+    static CsrMatrix fromDense(const DenseMatrix &dense, Value tol = 0.0);
+
+    CooMatrix toCoo() const;
+    DenseMatrix toDense() const;
+
+    Index rows() const { return _rows; }
+    Index cols() const { return _cols; }
+    Index nnz() const { return Index(_vals.size()); }
+
+    const std::vector<Index> &rowPtr() const { return _rowPtr; }
+    const std::vector<Index> &colIdx() const { return _colIdx; }
+    const std::vector<Value> &vals() const { return _vals; }
+    std::vector<Value> &vals() { return _vals; }
+
+    /** Number of non-zeros in row @p r. */
+    Index rowNnz(Index r) const { return _rowPtr[r + 1] - _rowPtr[r]; }
+
+    /** Value at (r, c), zero if not stored (binary search). */
+    Value at(Index r, Index c) const;
+
+    /** The diagonal as a dense vector (missing entries are zero). */
+    DenseVector diagonal() const;
+
+    /** Transposed copy. */
+    CsrMatrix transposed() const;
+
+    /** True if structurally and numerically symmetric within @p tol. */
+    bool isSymmetric(Value tol = 0.0) const;
+
+    /** Metadata footprint in bytes: rowPtr + colIdx (Fig 12's metric). */
+    size_t metadataBytes() const;
+    /** Payload footprint in bytes: the value array. */
+    size_t payloadBytes() const { return _vals.size() * sizeof(Value); }
+
+    /** Symmetric permutation A' = P A P^T given new order perm[new]=old. */
+    CsrMatrix permuted(const std::vector<Index> &perm) const;
+
+    bool operator==(const CsrMatrix &o) const = default;
+
+  private:
+    Index _rows = 0;
+    Index _cols = 0;
+    std::vector<Index> _rowPtr;
+    std::vector<Index> _colIdx;
+    std::vector<Value> _vals;
+};
+
+} // namespace alr
+
+#endif // ALR_SPARSE_CSR_HH

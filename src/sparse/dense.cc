@@ -1,0 +1,72 @@
+#include "sparse/dense.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "sparse/coo.hh"
+
+namespace alr {
+
+DenseMatrix::DenseMatrix(Index rows, Index cols, Value init)
+    : _rows(rows), _cols(cols), _data(size_t(rows) * cols, init)
+{
+}
+
+Value &
+DenseMatrix::at(Index r, Index c)
+{
+    ALR_ASSERT(r < _rows && c < _cols, "index (%u,%u) out of %ux%u",
+               r, c, _rows, _cols);
+    return _data[size_t(r) * _cols + c];
+}
+
+Value
+DenseMatrix::at(Index r, Index c) const
+{
+    ALR_ASSERT(r < _rows && c < _cols, "index (%u,%u) out of %ux%u",
+               r, c, _rows, _cols);
+    return _data[size_t(r) * _cols + c];
+}
+
+Index
+DenseMatrix::nnz(Value tol) const
+{
+    Index n = 0;
+    for (Value v : _data) {
+        if (std::abs(v) > tol)
+            ++n;
+    }
+    return n;
+}
+
+DenseVector
+DenseMatrix::multiply(const DenseVector &x) const
+{
+    ALR_ASSERT(x.size() == _cols, "operand length %zu != cols %u",
+               x.size(), _cols);
+    DenseVector y(_rows, 0.0);
+    for (Index r = 0; r < _rows; ++r) {
+        Value acc = 0.0;
+        for (Index c = 0; c < _cols; ++c)
+            acc += (*this)(r, c) * x[c];
+        y[r] = acc;
+    }
+    return y;
+}
+
+CooMatrix
+DenseMatrix::toCoo(Value tol) const
+{
+    CooMatrix coo(_rows, _cols);
+    for (Index r = 0; r < _rows; ++r) {
+        for (Index c = 0; c < _cols; ++c) {
+            Value v = (*this)(r, c);
+            if (std::abs(v) > tol)
+                coo.add(r, c, v);
+        }
+    }
+    coo.canonicalize();
+    return coo;
+}
+
+} // namespace alr

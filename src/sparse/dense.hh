@@ -1,0 +1,60 @@
+/**
+ * @file
+ * A minimal row-major dense matrix used as the ground truth in tests and
+ * as the payload container for locally-dense blocks.
+ */
+
+#ifndef ALR_SPARSE_DENSE_HH
+#define ALR_SPARSE_DENSE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "sparse/types.hh"
+
+namespace alr {
+
+class CooMatrix;
+
+/** Row-major dense matrix. */
+class DenseMatrix
+{
+  public:
+    DenseMatrix() = default;
+    DenseMatrix(Index rows, Index cols, Value init = 0.0);
+
+    Index rows() const { return _rows; }
+    Index cols() const { return _cols; }
+
+    Value &at(Index r, Index c);
+    Value at(Index r, Index c) const;
+
+    Value &operator()(Index r, Index c) { return _data[size_t(r) * _cols + c]; }
+    Value operator()(Index r, Index c) const
+    {
+        return _data[size_t(r) * _cols + c];
+    }
+
+    const std::vector<Value> &data() const { return _data; }
+    std::vector<Value> &data() { return _data; }
+
+    /** Count of entries whose magnitude exceeds @p tol. */
+    Index nnz(Value tol = 0.0) const;
+
+    /** Dense mat-vec: y = A x. */
+    DenseVector multiply(const DenseVector &x) const;
+
+    /** Convert to coordinate form, dropping entries with |v| <= tol. */
+    CooMatrix toCoo(Value tol = 0.0) const;
+
+    bool operator==(const DenseMatrix &o) const = default;
+
+  private:
+    Index _rows = 0;
+    Index _cols = 0;
+    std::vector<Value> _data;
+};
+
+} // namespace alr
+
+#endif // ALR_SPARSE_DENSE_HH

@@ -1,0 +1,71 @@
+#include "sparse/dia.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hh"
+#include "sparse/coo.hh"
+#include "sparse/csr.hh"
+
+namespace alr {
+
+DiaMatrix
+DiaMatrix::fromCsr(const CsrMatrix &csr)
+{
+    DiaMatrix d;
+    d._rows = csr.rows();
+    d._cols = csr.cols();
+    d._nnz = csr.nnz();
+
+    std::map<int64_t, Index> diagSlot;
+    for (Index r = 0; r < csr.rows(); ++r) {
+        for (Index k = csr.rowPtr()[r]; k < csr.rowPtr()[r + 1]; ++k) {
+            int64_t off = int64_t(csr.colIdx()[k]) - int64_t(r);
+            diagSlot.emplace(off, 0);
+        }
+    }
+    Index slot = 0;
+    for (auto &[off, s] : diagSlot) {
+        s = slot++;
+        d._offsets.push_back(off);
+    }
+
+    d._diags.assign(size_t(d._offsets.size()) * d._rows, 0.0);
+    for (Index r = 0; r < csr.rows(); ++r) {
+        for (Index k = csr.rowPtr()[r]; k < csr.rowPtr()[r + 1]; ++k) {
+            int64_t off = int64_t(csr.colIdx()[k]) - int64_t(r);
+            Index s = diagSlot[off];
+            d._diags[size_t(s) * d._rows + r] = csr.vals()[k];
+        }
+    }
+    return d;
+}
+
+CsrMatrix
+DiaMatrix::toCsr() const
+{
+    CooMatrix coo(_rows, _cols);
+    for (Index s = 0; s < numDiagonals(); ++s) {
+        int64_t off = _offsets[s];
+        for (Index r = 0; r < _rows; ++r) {
+            int64_t c = int64_t(r) + off;
+            if (c < 0 || c >= int64_t(_cols))
+                continue;
+            Value v = _diags[size_t(s) * _rows + r];
+            if (v != 0.0)
+                coo.add(r, Index(c), v);
+        }
+    }
+    return CsrMatrix::fromCoo(coo);
+}
+
+double
+DiaMatrix::padOverhead() const
+{
+    size_t slots = _diags.size();
+    if (slots == 0)
+        return 0.0;
+    return double(slots - _nnz) / double(slots);
+}
+
+} // namespace alr

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Diagonal (DIA) format: non-zeros stored along matrix diagonals.  Ideal
+ * when the pattern is banded (Fig 12's low-metadata end of the spectrum).
+ */
+
+#ifndef ALR_SPARSE_DIA_HH
+#define ALR_SPARSE_DIA_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "sparse/types.hh"
+
+namespace alr {
+
+class CsrMatrix;
+
+/**
+ * DIA matrix: offsets() lists occupied diagonals (col - row, so 0 is the
+ * main diagonal); diag d of length rows() is stored densely, entry r
+ * holding A(r, r + offset) or 0 when out of range / absent.
+ */
+class DiaMatrix
+{
+  public:
+    DiaMatrix() = default;
+
+    static DiaMatrix fromCsr(const CsrMatrix &csr);
+    CsrMatrix toCsr() const;
+
+    Index rows() const { return _rows; }
+    Index cols() const { return _cols; }
+    Index numDiagonals() const { return Index(_offsets.size()); }
+    Index nnz() const { return _nnz; }
+
+    const std::vector<int64_t> &offsets() const { return _offsets; }
+    const std::vector<Value> &diags() const { return _diags; }
+
+    /** Metadata bytes: one offset per stored diagonal. */
+    size_t metadataBytes() const
+    {
+        return _offsets.size() * sizeof(int64_t);
+    }
+    /** Payload bytes including in-diagonal padding. */
+    size_t payloadBytes() const { return _diags.size() * sizeof(Value); }
+    /** Fraction of stored slots that are padding. */
+    double padOverhead() const;
+
+    bool operator==(const DiaMatrix &o) const = default;
+
+  private:
+    Index _rows = 0;
+    Index _cols = 0;
+    Index _nnz = 0;
+    std::vector<int64_t> _offsets;
+    std::vector<Value> _diags; // numDiagonals x rows, diagonal-major
+};
+
+} // namespace alr
+
+#endif // ALR_SPARSE_DIA_HH

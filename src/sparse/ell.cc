@@ -1,0 +1,59 @@
+#include "sparse/ell.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "sparse/coo.hh"
+#include "sparse/csr.hh"
+
+namespace alr {
+
+EllMatrix
+EllMatrix::fromCsr(const CsrMatrix &csr)
+{
+    EllMatrix e;
+    e._rows = csr.rows();
+    e._cols = csr.cols();
+    e._nnz = csr.nnz();
+
+    for (Index r = 0; r < csr.rows(); ++r)
+        e._width = std::max(e._width, csr.rowNnz(r));
+
+    e._colIdx.assign(size_t(e._rows) * e._width, kPad);
+    e._vals.assign(size_t(e._rows) * e._width, 0.0);
+    for (Index r = 0; r < csr.rows(); ++r) {
+        Index slot = 0;
+        for (Index k = csr.rowPtr()[r]; k < csr.rowPtr()[r + 1]; ++k) {
+            e._colIdx[size_t(r) * e._width + slot] = csr.colIdx()[k];
+            e._vals[size_t(r) * e._width + slot] = csr.vals()[k];
+            ++slot;
+        }
+    }
+    return e;
+}
+
+CsrMatrix
+EllMatrix::toCsr() const
+{
+    CooMatrix coo(_rows, _cols);
+    for (Index r = 0; r < _rows; ++r) {
+        for (Index s = 0; s < _width; ++s) {
+            Index c = _colIdx[size_t(r) * _width + s];
+            if (c == kPad)
+                continue;
+            coo.add(r, c, _vals[size_t(r) * _width + s]);
+        }
+    }
+    return CsrMatrix::fromCoo(coo);
+}
+
+double
+EllMatrix::padOverhead() const
+{
+    size_t slots = _vals.size();
+    if (slots == 0)
+        return 0.0;
+    return double(slots - _nnz) / double(slots);
+}
+
+} // namespace alr

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * ELLPACK-ITPACK (ELL) format: every row padded to the maximum row length.
+ * The paper's GPU baseline implements SymGS with ELL (Table 4), and Fig 12
+ * places ELL on the metadata-per-nonzero spectrum.
+ */
+
+#ifndef ALR_SPARSE_ELL_HH
+#define ALR_SPARSE_ELL_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "sparse/types.hh"
+
+namespace alr {
+
+class CsrMatrix;
+
+/**
+ * ELL matrix: colIdx/vals are rows() x rowWidth() arrays stored row-major;
+ * slots past a row's nnz hold the sentinel column kPad and value 0.
+ */
+class EllMatrix
+{
+  public:
+    static constexpr Index kPad = ~Index(0);
+
+    EllMatrix() = default;
+
+    static EllMatrix fromCsr(const CsrMatrix &csr);
+    CsrMatrix toCsr() const;
+
+    Index rows() const { return _rows; }
+    Index cols() const { return _cols; }
+    /** Padded row width = max row nnz. */
+    Index rowWidth() const { return _width; }
+    /** True (unpadded) non-zero count. */
+    Index nnz() const { return _nnz; }
+
+    const std::vector<Index> &colIdx() const { return _colIdx; }
+    const std::vector<Value> &vals() const { return _vals; }
+
+    /** Metadata bytes: the padded column-index array. */
+    size_t metadataBytes() const { return _colIdx.size() * sizeof(Index); }
+    /** Payload bytes including padding. */
+    size_t payloadBytes() const { return _vals.size() * sizeof(Value); }
+    /** Fraction of stored slots that are padding. */
+    double padOverhead() const;
+
+    bool operator==(const EllMatrix &o) const = default;
+
+  private:
+    Index _rows = 0;
+    Index _cols = 0;
+    Index _width = 0;
+    Index _nnz = 0;
+    std::vector<Index> _colIdx;
+    std::vector<Value> _vals;
+};
+
+} // namespace alr
+
+#endif // ALR_SPARSE_ELL_HH

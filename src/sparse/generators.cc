@@ -1,0 +1,295 @@
+#include "sparse/generators.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "sparse/coo.hh"
+
+namespace alr::gen {
+
+namespace {
+
+/** Flatten (x, y, z) grid coordinates to a row index. */
+Index
+gridId(Index x, Index y, Index z, Index nx, Index ny)
+{
+    return (z * ny + y) * nx + x;
+}
+
+} // namespace
+
+CsrMatrix
+stencil3d(Index nx, Index ny, Index nz, int points)
+{
+    ALR_ASSERT(points == 7 || points == 27, "3D stencil is 7 or 27 points");
+    Index n = nx * ny * nz;
+    CooMatrix coo(n, n);
+
+    for (Index z = 0; z < nz; ++z) {
+        for (Index y = 0; y < ny; ++y) {
+            for (Index x = 0; x < nx; ++x) {
+                Index row = gridId(x, y, z, nx, ny);
+                for (int dz = -1; dz <= 1; ++dz) {
+                    for (int dy = -1; dy <= 1; ++dy) {
+                        for (int dx = -1; dx <= 1; ++dx) {
+                            if (points == 7 &&
+                                std::abs(dx) + std::abs(dy) + std::abs(dz) > 1)
+                                continue;
+                            int64_t xx = int64_t(x) + dx;
+                            int64_t yy = int64_t(y) + dy;
+                            int64_t zz = int64_t(z) + dz;
+                            if (xx < 0 || xx >= int64_t(nx) || yy < 0 ||
+                                yy >= int64_t(ny) || zz < 0 ||
+                                zz >= int64_t(nz))
+                                continue;
+                            Index col = gridId(Index(xx), Index(yy),
+                                               Index(zz), nx, ny);
+                            if (col == row)
+                                coo.add(row, col, Value(points - 1));
+                            else
+                                coo.add(row, col, -1.0);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    coo.canonicalize();
+    return CsrMatrix::fromCoo(coo);
+}
+
+CsrMatrix
+stencil2d(Index nx, Index ny, int points)
+{
+    ALR_ASSERT(points == 5 || points == 9, "2D stencil is 5 or 9 points");
+    Index n = nx * ny;
+    CooMatrix coo(n, n);
+    for (Index y = 0; y < ny; ++y) {
+        for (Index x = 0; x < nx; ++x) {
+            Index row = y * nx + x;
+            for (int dy = -1; dy <= 1; ++dy) {
+                for (int dx = -1; dx <= 1; ++dx) {
+                    if (points == 5 && std::abs(dx) + std::abs(dy) > 1)
+                        continue;
+                    int64_t xx = int64_t(x) + dx;
+                    int64_t yy = int64_t(y) + dy;
+                    if (xx < 0 || xx >= int64_t(nx) || yy < 0 ||
+                        yy >= int64_t(ny))
+                        continue;
+                    Index col = Index(yy) * nx + Index(xx);
+                    coo.add(row, col, col == row ? Value(points - 1) : -1.0);
+                }
+            }
+        }
+    }
+    coo.canonicalize();
+    return CsrMatrix::fromCoo(coo);
+}
+
+CsrMatrix
+banded(Index n, Index half_band, double fill, Rng &rng)
+{
+    CooMatrix coo(n, n);
+    for (Index r = 0; r < n; ++r) {
+        for (int64_t off = -int64_t(half_band); off <= int64_t(half_band);
+             ++off) {
+            int64_t c = int64_t(r) + off;
+            if (c < 0 || c >= int64_t(n))
+                continue;
+            if (off == 0 || rng.nextBool(fill))
+                coo.add(r, Index(c), rng.nextDouble(-1.0, 1.0));
+        }
+    }
+    coo.makeSpd();
+    return CsrMatrix::fromCoo(coo);
+}
+
+CsrMatrix
+blockStructured(Index n, Index omega, Index blocks_per_block_row,
+                double in_block_fill, Rng &rng)
+{
+    ALR_ASSERT(omega > 0 && n % omega == 0,
+               "n must be a multiple of omega");
+    Index bn = n / omega;
+    CooMatrix coo(n, n);
+
+    auto fillBlock = [&](Index br, Index bc) {
+        for (Index lr = 0; lr < omega; ++lr) {
+            for (Index lc = 0; lc < omega; ++lc) {
+                bool on_diag = br == bc && lr == lc;
+                if (on_diag || rng.nextBool(in_block_fill)) {
+                    coo.add(br * omega + lr, bc * omega + lc,
+                            rng.nextDouble(-1.0, 1.0));
+                }
+            }
+        }
+    };
+
+    for (Index br = 0; br < bn; ++br) {
+        fillBlock(br, br);
+        Index extra = blocks_per_block_row > 0 ? blocks_per_block_row - 1 : 0;
+        for (Index e = 0; e < extra && bn > 1; ++e) {
+            Index bc = Index(rng.nextRange(bn));
+            if (bc == br)
+                bc = (bc + 1) % bn;
+            fillBlock(br, bc);
+        }
+    }
+    coo.makeSpd();
+    return CsrMatrix::fromCoo(coo);
+}
+
+CsrMatrix
+randomSpd(Index n, Index nnz_per_row, Rng &rng)
+{
+    CooMatrix coo(n, n);
+    for (Index r = 0; r < n; ++r) {
+        coo.add(r, r, 1.0);
+        for (Index k = 0; k + 1 < nnz_per_row; ++k)
+            coo.add(r, Index(rng.nextRange(n)), rng.nextDouble(-1.0, 1.0));
+    }
+    coo.makeSpd();
+    return CsrMatrix::fromCoo(coo);
+}
+
+CsrMatrix
+randomSparse(Index rows, Index cols, Index nnz_per_row, Rng &rng)
+{
+    CooMatrix coo(rows, cols);
+    for (Index r = 0; r < rows; ++r) {
+        for (Index k = 0; k < nnz_per_row; ++k)
+            coo.add(r, Index(rng.nextRange(cols)),
+                    rng.nextDouble(0.1, 1.0));
+    }
+    coo.canonicalize();
+    return CsrMatrix::fromCoo(coo);
+}
+
+CsrMatrix
+rmat(int scale, Index edge_factor, Rng &rng, double a, double b, double c)
+{
+    ALR_ASSERT(scale > 0 && scale < 31, "rmat scale out of range");
+    double d = 1.0 - a - b - c;
+    ALR_ASSERT(d >= 0.0, "rmat probabilities exceed 1");
+
+    Index n = Index(1) << scale;
+    uint64_t edges = uint64_t(edge_factor) * n;
+    CooMatrix coo(n, n);
+    for (uint64_t e = 0; e < edges; ++e) {
+        Index row = 0, col = 0;
+        for (int level = 0; level < scale; ++level) {
+            double p = rng.nextDouble();
+            int quad = p < a ? 0 : p < a + b ? 1 : p < a + b + c ? 2 : 3;
+            row = (row << 1) | Index(quad >> 1);
+            col = (col << 1) | Index(quad & 1);
+        }
+        if (row == col)
+            continue;
+        coo.add(row, col, rng.nextDouble(1.0, 10.0));
+    }
+    coo.canonicalize();
+    return CsrMatrix::fromCoo(coo);
+}
+
+CsrMatrix
+roadGrid(Index w, Index h, double extra_frac, Rng &rng)
+{
+    Index n = w * h;
+    CooMatrix coo(n, n);
+    auto id = [&](Index x, Index y) { return y * w + x; };
+    for (Index y = 0; y < h; ++y) {
+        for (Index x = 0; x < w; ++x) {
+            Index u = id(x, y);
+            if (x + 1 < w) {
+                Value wgt = rng.nextDouble(1.0, 10.0);
+                coo.add(u, id(x + 1, y), wgt);
+                coo.add(id(x + 1, y), u, wgt);
+            }
+            if (y + 1 < h) {
+                Value wgt = rng.nextDouble(1.0, 10.0);
+                coo.add(u, id(x, y + 1), wgt);
+                coo.add(id(x, y + 1), u, wgt);
+            }
+        }
+    }
+    uint64_t extras = uint64_t(extra_frac * n);
+    for (uint64_t e = 0; e < extras; ++e) {
+        Index u = Index(rng.nextRange(n));
+        Index v = Index(rng.nextRange(n));
+        if (u == v)
+            continue;
+        Value wgt = rng.nextDouble(1.0, 10.0);
+        coo.add(u, v, wgt);
+        coo.add(v, u, wgt);
+    }
+    coo.canonicalize();
+    return CsrMatrix::fromCoo(coo);
+}
+
+CsrMatrix
+powerLawGraph(Index n, Index avg_degree, double alpha, Rng &rng,
+              double locality, Index community)
+{
+    ALR_ASSERT(n > 1, "graph needs at least two vertices");
+    ALR_ASSERT(locality >= 0.0 && locality <= 1.0, "bad locality");
+    ALR_ASSERT(community > 0, "community size must be positive");
+
+    // Zipf-distributed attractiveness per vertex; endpoints sampled with
+    // probability proportional to attractiveness so both in- and
+    // out-degree distributions are heavy tailed.  Attractiveness is
+    // assigned to shuffled ranks so hubs are spread across communities.
+    std::vector<uint32_t> rank = rng.permutation(n);
+    std::vector<double> cumul(n);
+    double total = 0.0;
+    for (Index v = 0; v < n; ++v)
+        total += 1.0 / std::pow(double(v) + 1.0, alpha);
+    double run = 0.0;
+    for (Index v = 0; v < n; ++v) {
+        run += 1.0 / std::pow(double(rank[v]) + 1.0, alpha) / total;
+        cumul[v] = run;
+    }
+    // Normalize the last entry against accumulated rounding.
+    cumul[n - 1] = 1.0;
+    auto draw = [&]() {
+        double p = rng.nextDouble();
+        auto it = std::lower_bound(cumul.begin(), cumul.end(), p);
+        return Index(it - cumul.begin());
+    };
+
+    uint64_t edges = uint64_t(avg_degree) * n;
+    CooMatrix coo(n, n);
+    for (uint64_t e = 0; e < edges; ++e) {
+        Index u = draw();
+        Index v;
+        if (rng.nextBool(locality)) {
+            // Intra-community edge: uniform within u's ID block.
+            Index base = (u / community) * community;
+            Index span = std::min<Index>(community, n - base);
+            v = base + Index(rng.nextRange(span));
+        } else {
+            v = draw();
+        }
+        if (u == v)
+            continue;
+        coo.add(u, v, rng.nextDouble(1.0, 10.0));
+    }
+    coo.canonicalize();
+    return CsrMatrix::fromCoo(coo);
+}
+
+CsrMatrix
+tridiagonal(Index n, Value diag, Value off)
+{
+    CooMatrix coo(n, n);
+    for (Index r = 0; r < n; ++r) {
+        coo.add(r, r, diag);
+        if (r > 0)
+            coo.add(r, r - 1, off);
+        if (r + 1 < n)
+            coo.add(r, r + 1, off);
+    }
+    return CsrMatrix::fromCoo(coo);
+}
+
+} // namespace alr::gen

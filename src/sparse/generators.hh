@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Synthetic matrix and graph generators.
+ *
+ * These stand in for the SuiteSparse matrices of Fig 14 and the SNAP
+ * graphs of Table 3 in an offline environment.  Each generator controls
+ * the structural property the paper's results actually depend on:
+ * diagonal concentration, locally-dense block fill, in-row parallelism,
+ * and degree distribution.
+ */
+
+#ifndef ALR_SPARSE_GENERATORS_HH
+#define ALR_SPARSE_GENERATORS_HH
+
+#include "common/random.hh"
+#include "sparse/csr.hh"
+
+namespace alr::gen {
+
+/**
+ * 3D Poisson-like stencil discretization on an nx x ny x nz grid, the
+ * HPCG problem class.  @p points is 7 or 27.  SPD with the standard
+ * (points-1) diagonal and -1 couplings.
+ */
+CsrMatrix stencil3d(Index nx, Index ny, Index nz, int points = 27);
+
+/** 2D stencil on an nx x ny grid; @p points is 5 or 9. */
+CsrMatrix stencil2d(Index nx, Index ny, int points = 5);
+
+/**
+ * Banded matrix: each row holds the diagonal plus off-diagonal entries at
+ * offsets within [-half_band, half_band], each present with probability
+ * @p fill.  Made SPD so PCG converges.
+ */
+CsrMatrix banded(Index n, Index half_band, double fill, Rng &rng);
+
+/**
+ * Block-structured SPD matrix: the block grid (width @p omega) has
+ * @p blocks_per_block_row non-empty blocks per block row (the diagonal
+ * block always present) and each non-empty block is filled with density
+ * @p in_block_fill.  This directly controls Alrescha's bandwidth
+ * utilization and sequential fraction.
+ */
+CsrMatrix blockStructured(Index n, Index omega, Index blocks_per_block_row,
+                          double in_block_fill, Rng &rng);
+
+/** Uniform random sparse SPD matrix with ~nnz_per_row entries per row. */
+CsrMatrix randomSpd(Index n, Index nnz_per_row, Rng &rng);
+
+/** Uniform random rectangular sparse matrix (not symmetrized). */
+CsrMatrix randomSparse(Index rows, Index cols, Index nnz_per_row, Rng &rng);
+
+/**
+ * R-MAT / Kronecker directed graph (kron-g500-like): 2^scale vertices,
+ * ~edge_factor * 2^scale edges, partition probabilities (a, b, c) with
+ * d = 1-a-b-c.  Edge weights uniform in [1, 10].  Self loops dropped,
+ * duplicates merged.
+ */
+CsrMatrix rmat(int scale, Index edge_factor, Rng &rng, double a = 0.57,
+               double b = 0.19, double c = 0.19);
+
+/**
+ * Road-network-like graph: a w x h 4-neighbour grid with @p extra_frac
+ * random shortcut edges; weights uniform in [1, 10].  Mean degree ~4,
+ * huge diameter -- the roadnet-CA regime.
+ */
+CsrMatrix roadGrid(Index w, Index h, double extra_frac, Rng &rng);
+
+/**
+ * Power-law (social-network-like) directed graph: out-degrees drawn from
+ * a Zipf(alpha) distribution with the given average degree, endpoints
+ * preferentially attached.  LiveJournal/orkut/pokec regime.
+ *
+ * @p locality is the fraction of edges kept inside the source vertex's
+ * community (a contiguous ID range of @p community vertices).  Real
+ * social/web crawls exhibit exactly this clustered structure, which is
+ * what gives blocked storage formats their in-block fill; a locality of
+ * zero reproduces a structureless configuration model.
+ */
+CsrMatrix powerLawGraph(Index n, Index avg_degree, double alpha, Rng &rng,
+                        double locality = 0.0, Index community = 64);
+
+/** Strictly lower+upper triangular chain matrix for dependency testing. */
+CsrMatrix tridiagonal(Index n, Value diag = 2.0, Value off = -1.0);
+
+} // namespace alr::gen
+
+#endif // ALR_SPARSE_GENERATORS_HH

@@ -1,0 +1,114 @@
+#include "sparse/mmio.hh"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/logging.hh"
+
+namespace alr {
+
+namespace {
+
+[[noreturn]] void
+malformed(const std::string &why)
+{
+    throw std::runtime_error("matrix market: " + why);
+}
+
+} // namespace
+
+CooMatrix
+readMatrixMarket(std::istream &in)
+{
+    std::string line;
+    if (!std::getline(in, line))
+        malformed("empty stream");
+
+    std::istringstream header(line);
+    std::string banner, object, format, field, symmetry;
+    header >> banner >> object >> format >> field >> symmetry;
+    if (banner != "%%MatrixMarket")
+        malformed("missing %%MatrixMarket banner");
+    if (object != "matrix" || format != "coordinate")
+        malformed("only coordinate matrices are supported");
+    bool pattern = field == "pattern";
+    if (field != "real" && field != "integer" && field != "pattern")
+        malformed("unsupported field type '" + field + "'");
+    bool symmetric = symmetry == "symmetric";
+    bool skew = symmetry == "skew-symmetric";
+    if (!symmetric && !skew && symmetry != "general")
+        malformed("unsupported symmetry '" + symmetry + "'");
+
+    // Skip comments.
+    do {
+        if (!std::getline(in, line))
+            malformed("missing size line");
+    } while (!line.empty() && line[0] == '%');
+
+    std::istringstream size(line);
+    long rows = 0, cols = 0, entries = 0;
+    size >> rows >> cols >> entries;
+    if (rows <= 0 || cols <= 0 || entries < 0)
+        malformed("bad size line '" + line + "'");
+
+    CooMatrix coo{Index(rows), Index(cols)};
+    for (long i = 0; i < entries; ++i) {
+        if (!std::getline(in, line))
+            malformed("truncated entry list");
+        if (line.empty()) {
+            --i;
+            continue;
+        }
+        std::istringstream entry(line);
+        long r = 0, c = 0;
+        double v = 1.0;
+        entry >> r >> c;
+        if (!pattern)
+            entry >> v;
+        if (entry.fail() || r < 1 || c < 1 || r > rows || c > cols)
+            malformed("bad entry '" + line + "'");
+        coo.add(Index(r - 1), Index(c - 1), v);
+        if ((symmetric || skew) && r != c)
+            coo.add(Index(c - 1), Index(r - 1), skew ? -v : v);
+    }
+    coo.canonicalize();
+    return coo;
+}
+
+CooMatrix
+readMatrixMarketFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open matrix file '%s'", path.c_str());
+    try {
+        return readMatrixMarket(in);
+    } catch (const std::exception &e) {
+        fatal("%s: %s", path.c_str(), e.what());
+    }
+}
+
+void
+writeMatrixMarket(std::ostream &out, const CooMatrix &coo)
+{
+    CooMatrix canon = coo;
+    canon.canonicalize();
+    out << "%%MatrixMarket matrix coordinate real general\n";
+    out << canon.rows() << " " << canon.cols() << " " << canon.nnz()
+        << "\n";
+    out.precision(17);
+    for (const Triplet &t : canon.triplets())
+        out << (t.row + 1) << " " << (t.col + 1) << " " << t.val << "\n";
+}
+
+void
+writeMatrixMarketFile(const std::string &path, const CooMatrix &coo)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot create matrix file '%s'", path.c_str());
+    writeMatrixMarket(out, coo);
+}
+
+} // namespace alr

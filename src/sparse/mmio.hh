@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Matrix Market (.mtx) coordinate-format reader/writer, covering the
+ * general/symmetric x real/pattern/integer variants used by SuiteSparse.
+ */
+
+#ifndef ALR_SPARSE_MMIO_HH
+#define ALR_SPARSE_MMIO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/coo.hh"
+
+namespace alr {
+
+/**
+ * Parse a Matrix Market coordinate stream into COO form.  Symmetric and
+ * skew-symmetric files are expanded to both triangles; pattern files get
+ * unit values.  Calls fatal() on malformed input from a file path API and
+ * throws std::runtime_error from the stream API so tests can probe errors.
+ */
+CooMatrix readMatrixMarket(std::istream &in);
+
+/** Read a .mtx file from @p path (fatal() if unreadable/malformed). */
+CooMatrix readMatrixMarketFile(const std::string &path);
+
+/** Write @p coo as a general real coordinate Matrix Market stream. */
+void writeMatrixMarket(std::ostream &out, const CooMatrix &coo);
+
+/** Write @p coo to @p path (fatal() if the file cannot be created). */
+void writeMatrixMarketFile(const std::string &path, const CooMatrix &coo);
+
+} // namespace alr
+
+#endif // ALR_SPARSE_MMIO_HH

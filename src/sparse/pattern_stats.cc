@@ -1,0 +1,50 @@
+#include "sparse/pattern_stats.hh"
+
+#include <cmath>
+#include <set>
+
+#include "common/logging.hh"
+
+namespace alr {
+
+PatternStats
+analyzePattern(const CsrMatrix &csr, Index omega)
+{
+    ALR_ASSERT(omega > 0, "block width must be positive");
+
+    PatternStats s;
+    s.rows = csr.rows();
+    s.cols = csr.cols();
+    s.nnz = csr.nnz();
+    if (s.rows == 0 || s.cols == 0)
+        return s;
+    s.density = double(s.nnz) / (double(s.rows) * double(s.cols));
+
+    Index diag_band = 0;
+    Index diag_block = 0;
+    std::set<std::pair<Index, Index>> blocks;
+    for (Index r = 0; r < csr.rows(); ++r) {
+        s.maxRowNnz = std::max(s.maxRowNnz, csr.rowNnz(r));
+        for (Index k = csr.rowPtr()[r]; k < csr.rowPtr()[r + 1]; ++k) {
+            Index c = csr.colIdx()[k];
+            Index dist = r > c ? r - c : c - r;
+            s.bandwidth = std::max(s.bandwidth, dist);
+            if (dist < omega)
+                ++diag_band;
+            if (r / omega == c / omega)
+                ++diag_block;
+            blocks.emplace(r / omega, c / omega);
+        }
+    }
+    s.meanRowNnz = double(s.nnz) / double(s.rows);
+    s.diagFraction = s.nnz ? double(diag_band) / double(s.nnz) : 0.0;
+    s.diagBlockFraction = s.nnz ? double(diag_block) / double(s.nnz) : 0.0;
+    s.nonEmptyBlocks = Index(blocks.size());
+    if (!blocks.empty()) {
+        s.blockDensity = double(s.nnz) /
+                         (double(blocks.size()) * omega * omega);
+    }
+    return s;
+}
+
+} // namespace alr

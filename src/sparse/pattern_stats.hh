@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Structural analytics over sparsity patterns: the quantities the paper's
+ * discussion turns on (diagonal concentration, block fill, row spread).
+ */
+
+#ifndef ALR_SPARSE_PATTERN_STATS_HH
+#define ALR_SPARSE_PATTERN_STATS_HH
+
+#include "sparse/csr.hh"
+
+namespace alr {
+
+/** Summary of a sparsity pattern. */
+struct PatternStats
+{
+    Index rows = 0;
+    Index cols = 0;
+    Index nnz = 0;
+    /** nnz / (rows * cols). */
+    double density = 0.0;
+    /** Maximum |col - row| over stored entries. */
+    Index bandwidth = 0;
+    /** Mean/max non-zeros per row. */
+    double meanRowNnz = 0.0;
+    Index maxRowNnz = 0;
+    /** Fraction of nnz with |col - row| < given block width (diagonal band). */
+    double diagFraction = 0.0;
+    /** Fraction of nnz inside diagonal omega-blocks (row/omega==col/omega). */
+    double diagBlockFraction = 0.0;
+    /** Mean fill of the non-empty omega-blocks. */
+    double blockDensity = 0.0;
+    /** Number of non-empty omega-blocks. */
+    Index nonEmptyBlocks = 0;
+};
+
+/** Compute PatternStats for @p csr at block width @p omega. */
+PatternStats analyzePattern(const CsrMatrix &csr, Index omega);
+
+} // namespace alr
+
+#endif // ALR_SPARSE_PATTERN_STATS_HH

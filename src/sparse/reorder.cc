@@ -1,0 +1,118 @@
+#include "sparse/reorder.hh"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "common/logging.hh"
+
+namespace alr {
+
+std::vector<Index>
+reverseCuthillMcKee(const CsrMatrix &a)
+{
+    ALR_ASSERT(a.rows() == a.cols(), "RCM needs a square matrix");
+    Index n = a.rows();
+    CsrMatrix at = a.transposed();
+
+    // Symmetrized neighbour lists and degrees.
+    auto neighbours = [&](Index r, auto &&fn) {
+        for (Index k = a.rowPtr()[r]; k < a.rowPtr()[r + 1]; ++k) {
+            if (a.colIdx()[k] != r)
+                fn(a.colIdx()[k]);
+        }
+        for (Index k = at.rowPtr()[r]; k < at.rowPtr()[r + 1]; ++k) {
+            if (at.colIdx()[k] != r)
+                fn(at.colIdx()[k]);
+        }
+    };
+    std::vector<Index> degree(n, 0);
+    for (Index r = 0; r < n; ++r) {
+        Index d = 0;
+        neighbours(r, [&](Index) { ++d; });
+        degree[r] = d;
+    }
+
+    std::vector<char> visited(n, 0);
+    std::vector<Index> order;
+    order.reserve(n);
+
+    // Vertices sorted by degree: component seeds in min-degree order.
+    std::vector<Index> byDegree(n);
+    std::iota(byDegree.begin(), byDegree.end(), Index(0));
+    std::sort(byDegree.begin(), byDegree.end(),
+              [&](Index x, Index y) { return degree[x] < degree[y]; });
+
+    std::vector<Index> scratch;
+    for (Index seed : byDegree) {
+        if (visited[seed])
+            continue;
+        std::queue<Index> frontier;
+        frontier.push(seed);
+        visited[seed] = 1;
+        while (!frontier.empty()) {
+            Index u = frontier.front();
+            frontier.pop();
+            order.push_back(u);
+            scratch.clear();
+            neighbours(u, [&](Index v) {
+                if (!visited[v]) {
+                    visited[v] = 1;
+                    scratch.push_back(v);
+                }
+            });
+            std::sort(scratch.begin(), scratch.end(),
+                      [&](Index x, Index y) {
+                          return degree[x] < degree[y];
+                      });
+            // Duplicates possible when (u,v) and (v,u) both stored; the
+            // visited flag above already dedupes.
+            for (Index v : scratch)
+                frontier.push(v);
+        }
+    }
+    ALR_ASSERT(order.size() == n, "RCM missed vertices");
+    std::reverse(order.begin(), order.end());
+    return order;
+}
+
+std::vector<Index>
+degreeDescending(const CsrMatrix &a)
+{
+    std::vector<Index> perm(a.rows());
+    std::iota(perm.begin(), perm.end(), Index(0));
+    std::stable_sort(perm.begin(), perm.end(), [&](Index x, Index y) {
+        return a.rowNnz(x) > a.rowNnz(y);
+    });
+    return perm;
+}
+
+std::vector<Index>
+identityOrder(Index n)
+{
+    std::vector<Index> perm(n);
+    std::iota(perm.begin(), perm.end(), Index(0));
+    return perm;
+}
+
+DenseVector
+permuteVector(const DenseVector &v, const std::vector<Index> &perm)
+{
+    ALR_ASSERT(v.size() == perm.size(), "permutation length mismatch");
+    DenseVector out(v.size());
+    for (size_t i = 0; i < perm.size(); ++i)
+        out[i] = v[perm[i]];
+    return out;
+}
+
+DenseVector
+unpermuteVector(const DenseVector &v, const std::vector<Index> &perm)
+{
+    ALR_ASSERT(v.size() == perm.size(), "permutation length mismatch");
+    DenseVector out(v.size());
+    for (size_t i = 0; i < perm.size(); ++i)
+        out[perm[i]] = v[i];
+    return out;
+}
+
+} // namespace alr

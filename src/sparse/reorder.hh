@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Symmetric row/column reordering passes the host can apply before
+ * encoding the locally-dense format.  Bandwidth-reducing orders pull
+ * non-zeros toward the diagonal, which raises in-block fill -- the
+ * quantity Alrescha's bandwidth utilization (Fig 15) tracks.
+ */
+
+#ifndef ALR_SPARSE_REORDER_HH
+#define ALR_SPARSE_REORDER_HH
+
+#include <vector>
+
+#include "sparse/csr.hh"
+
+namespace alr {
+
+/**
+ * Reverse Cuthill-McKee ordering of the symmetrized pattern of @p a.
+ * Returns perm with perm[new] = old; apply with CsrMatrix::permuted.
+ * Disconnected components are ordered one after another, each seeded
+ * from a minimum-degree vertex.
+ */
+std::vector<Index> reverseCuthillMcKee(const CsrMatrix &a);
+
+/** Degree-descending order (hubs first): clusters power-law graphs. */
+std::vector<Index> degreeDescending(const CsrMatrix &a);
+
+/** The identity permutation. */
+std::vector<Index> identityOrder(Index n);
+
+/**
+ * Apply @p perm (perm[new] = old) to a right-hand-side / solution
+ * vector so it matches a permuted system.
+ */
+DenseVector permuteVector(const DenseVector &v,
+                          const std::vector<Index> &perm);
+
+/** Undo permuteVector. */
+DenseVector unpermuteVector(const DenseVector &v,
+                            const std::vector<Index> &perm);
+
+} // namespace alr
+
+#endif // ALR_SPARSE_REORDER_HH

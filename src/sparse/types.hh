@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Shared scalar and index typedefs for the sparse-matrix library.
+ */
+
+#ifndef ALR_SPARSE_TYPES_HH
+#define ALR_SPARSE_TYPES_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace alr {
+
+/** Row/column index type.  32 bits covers every dataset in the paper. */
+using Index = uint32_t;
+
+/** Matrix/vector element type: the paper uses double precision (64-bit). */
+using Value = double;
+
+/** A dense vector of Values. */
+using DenseVector = std::vector<Value>;
+
+/** One non-zero entry in coordinate form. */
+struct Triplet
+{
+    Index row = 0;
+    Index col = 0;
+    Value val = 0.0;
+
+    bool operator==(const Triplet &o) const = default;
+};
+
+} // namespace alr
+
+#endif // ALR_SPARSE_TYPES_HH

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * CSR algebra tests: add/scale/SpGEMM against dense arithmetic, norms,
+ * and algebraic identities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "sparse/algebra.hh"
+#include "sparse/coo.hh"
+#include "sparse/dense.hh"
+#include "sparse/generators.hh"
+
+namespace alr {
+namespace {
+
+DenseMatrix
+denseProduct(const DenseMatrix &a, const DenseMatrix &b)
+{
+    DenseMatrix c(a.rows(), b.cols(), 0.0);
+    for (Index i = 0; i < a.rows(); ++i) {
+        for (Index k = 0; k < a.cols(); ++k) {
+            for (Index j = 0; j < b.cols(); ++j)
+                c(i, j) += a(i, k) * b(k, j);
+        }
+    }
+    return c;
+}
+
+TEST(Algebra, AddMatchesDense)
+{
+    Rng rng(1);
+    CsrMatrix a = gen::randomSparse(12, 15, 3, rng);
+    CsrMatrix b = gen::randomSparse(12, 15, 4, rng);
+    CsrMatrix c = add(a, b, 2.0, -0.5);
+    DenseMatrix da = a.toDense(), db = b.toDense();
+    for (Index i = 0; i < 12; ++i) {
+        for (Index j = 0; j < 15; ++j)
+            EXPECT_NEAR(c.at(i, j), 2.0 * da(i, j) - 0.5 * db(i, j),
+                        1e-12);
+    }
+}
+
+TEST(Algebra, AddWithSelfInverseIsZero)
+{
+    Rng rng(2);
+    CsrMatrix a = gen::randomSparse(10, 10, 3, rng);
+    CsrMatrix z = add(a, a, 1.0, -1.0);
+    EXPECT_EQ(z.nnz(), 0u);
+}
+
+TEST(Algebra, ScaleMultipliesValues)
+{
+    Rng rng(3);
+    CsrMatrix a = gen::randomSparse(8, 8, 3, rng);
+    CsrMatrix s = scale(a, 3.0);
+    for (Index i = 0; i < a.nnz(); ++i)
+        EXPECT_DOUBLE_EQ(s.vals()[i], 3.0 * a.vals()[i]);
+}
+
+TEST(Algebra, SpgemmMatchesDense)
+{
+    Rng rng(4);
+    CsrMatrix a = gen::randomSparse(9, 13, 4, rng);
+    CsrMatrix b = gen::randomSparse(13, 7, 3, rng);
+    CsrMatrix c = spgemm(a, b);
+    DenseMatrix want = denseProduct(a.toDense(), b.toDense());
+    for (Index i = 0; i < 9; ++i) {
+        for (Index j = 0; j < 7; ++j)
+            EXPECT_NEAR(c.at(i, j), want(i, j), 1e-12);
+    }
+}
+
+TEST(Algebra, IdentityIsMultiplicativeNeutral)
+{
+    Rng rng(5);
+    CsrMatrix a = gen::randomSparse(11, 11, 4, rng);
+    EXPECT_LT(maxAbsDifference(spgemm(a, identity(11)), a), 1e-14);
+    EXPECT_LT(maxAbsDifference(spgemm(identity(11), a), a), 1e-14);
+}
+
+TEST(Algebra, SpgemmAssociativity)
+{
+    Rng rng(6);
+    CsrMatrix a = gen::randomSparse(6, 8, 3, rng);
+    CsrMatrix b = gen::randomSparse(8, 5, 3, rng);
+    CsrMatrix c = gen::randomSparse(5, 7, 2, rng);
+    CsrMatrix left = spgemm(spgemm(a, b), c);
+    CsrMatrix right = spgemm(a, spgemm(b, c));
+    EXPECT_LT(maxAbsDifference(left, right), 1e-10);
+}
+
+TEST(Algebra, TransposeProductIsSymmetric)
+{
+    Rng rng(7);
+    CsrMatrix a = gen::randomSparse(10, 6, 3, rng);
+    CsrMatrix ata = spgemm(a.transposed(), a);
+    EXPECT_TRUE(ata.isSymmetric(1e-12));
+}
+
+TEST(Algebra, FrobeniusNorm)
+{
+    CooMatrix coo(2, 2);
+    coo.add(0, 0, 3.0);
+    coo.add(1, 1, 4.0);
+    EXPECT_DOUBLE_EQ(frobeniusNorm(CsrMatrix::fromCoo(coo)), 5.0);
+}
+
+TEST(AlgebraDeath, DimensionMismatchPanics)
+{
+    Rng rng(8);
+    CsrMatrix a = gen::randomSparse(4, 5, 2, rng);
+    CsrMatrix b = gen::randomSparse(4, 5, 2, rng);
+    EXPECT_DEATH(spgemm(a, b), "inner dimension");
+}
+
+} // namespace
+} // namespace alr

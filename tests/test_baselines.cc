@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Baseline-model tests: coloring/level-schedule validity, monotonic
+ * timing models, and the qualitative orderings the paper's evaluation
+ * depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/coloring.hh"
+#include "sparse/coo.hh"
+#include "baselines/cpu_model.hh"
+#include "baselines/gpu_model.hh"
+#include "baselines/graphr.hh"
+#include "baselines/memristive.hh"
+#include "baselines/outerspace.hh"
+#include "baselines/platforms.hh"
+#include "common/random.hh"
+#include "sparse/generators.hh"
+
+namespace alr {
+namespace {
+
+TEST(Coloring, ProducesValidIndependentSets)
+{
+    Rng rng(1);
+    CsrMatrix a = gen::randomSpd(120, 6, rng);
+    ColoringResult c = greedyColoring(a);
+    ASSERT_EQ(c.color.size(), a.rows());
+    for (Index r = 0; r < a.rows(); ++r) {
+        for (Index k = a.rowPtr()[r]; k < a.rowPtr()[r + 1]; ++k) {
+            Index col = a.colIdx()[k];
+            if (col != r) {
+                EXPECT_NE(c.color[r], c.color[col])
+                    << "conflicting rows " << r << "," << col;
+            }
+        }
+    }
+    Index total = 0;
+    for (Index s : c.colorSizes)
+        total += s;
+    EXPECT_EQ(total, a.rows());
+}
+
+TEST(Coloring, TridiagonalNeedsTwoColors)
+{
+    CsrMatrix a = gen::tridiagonal(50);
+    ColoringResult c = greedyColoring(a);
+    EXPECT_EQ(c.numColors, 2u);
+}
+
+TEST(LevelSchedule, RespectsDependencies)
+{
+    Rng rng(2);
+    CsrMatrix a = gen::banded(80, 4, 0.7, rng);
+    LevelSchedule ls = levelSchedule(a);
+    for (Index r = 0; r < a.rows(); ++r) {
+        for (Index k = a.rowPtr()[r]; k < a.rowPtr()[r + 1]; ++k) {
+            Index c = a.colIdx()[k];
+            if (c < r) {
+                EXPECT_GT(ls.level[r], ls.level[c]);
+            }
+        }
+    }
+}
+
+TEST(LevelSchedule, DiagonalMatrixIsOneLevel)
+{
+    CooMatrix coo(10, 10);
+    for (Index i = 0; i < 10; ++i)
+        coo.add(i, i, 1.0);
+    LevelSchedule ls = levelSchedule(CsrMatrix::fromCoo(coo));
+    EXPECT_EQ(ls.numLevels, 1u);
+}
+
+TEST(LevelSchedule, ChainIsFullySequential)
+{
+    CsrMatrix a = gen::tridiagonal(30);
+    LevelSchedule ls = levelSchedule(a);
+    EXPECT_EQ(ls.numLevels, 30u);
+}
+
+TEST(SequentialFraction, BoundsAndMonotonicity)
+{
+    Rng rng(3);
+    CsrMatrix a = gen::randomSpd(100, 5, rng);
+    ColoringResult c = greedyColoring(a);
+    // Machines filled by a single row see no sequential ops.
+    EXPECT_DOUBLE_EQ(coloredSequentialFraction(a, c, 1), 0.0);
+    // Wider machines leave more of each color underfilled.
+    double prev = 0.0;
+    for (Index width : {8u, 64u, 512u, 4096u}) {
+        double frac = coloredSequentialFraction(a, c, width);
+        EXPECT_GE(frac, prev);
+        EXPECT_LE(frac, 1.0);
+        prev = frac;
+    }
+    EXPECT_GT(prev, 0.5); // tiny colors cannot fill a 4096-wide machine
+}
+
+TEST(GpuModel, SpmvTimeGrowsWithMatrix)
+{
+    Rng rng(4);
+    GpuModel gpu;
+    CsrMatrix small = gen::randomSpd(256, 6, rng);
+    CsrMatrix large = gen::randomSpd(2048, 6, rng);
+    EXPECT_LT(gpu.spmvSeconds(small), gpu.spmvSeconds(large));
+}
+
+TEST(GpuModel, SymGsDominatedByLaunchesOnIrregularMatrices)
+{
+    Rng rng(5);
+    GpuModel gpu;
+    // Irregular conflicts -> many small colors -> launch-bound SymGS.
+    CsrMatrix irregular = gen::randomSpd(1024, 10, rng);
+    double symgs = gpu.symgsSweepSeconds(irregular);
+    double spmv = gpu.spmvSeconds(irregular);
+    EXPECT_GT(symgs, spmv);
+}
+
+TEST(GpuModel, SequentialFractionHigherForConflictHeavyMatrices)
+{
+    Rng rng(6);
+    GpuModel gpu;
+    CsrMatrix stencil = gen::stencil2d(32, 32, 5);
+    CsrMatrix irregular = gen::randomSpd(1024, 10, rng);
+    EXPECT_LT(gpu.sequentialFraction(stencil),
+              gpu.sequentialFraction(irregular));
+}
+
+TEST(GpuModel, PcgIterationIncludesAllKernels)
+{
+    Rng rng(7);
+    CsrMatrix a = gen::banded(512, 8, 0.7, rng);
+    GpuModel gpu;
+    EXPECT_GT(gpu.pcgIterationSeconds(a),
+              gpu.symgsSweepSeconds(a) + gpu.spmvSeconds(a) - 1e-12);
+}
+
+TEST(CpuModel, SlowerThanGpuOnStreamingKernels)
+{
+    Rng rng(8);
+    CsrMatrix a = gen::randomSpd(4096, 8, rng);
+    CpuModel cpu;
+    GpuModel gpu;
+    EXPECT_GT(cpu.spmvSeconds(a), gpu.spmvSeconds(a));
+}
+
+TEST(CpuModel, TraversalIsWorkEfficient)
+{
+    // BFS across the whole traversal touches each edge O(1) times:
+    // 10x the rounds must cost far less than 10x the time (only the
+    // per-round index scan grows).
+    Rng rng(9);
+    CsrMatrix g = gen::rmat(10, 8, rng);
+    CpuModel cpu;
+    EXPECT_LT(cpu.bfsSeconds(g, 10), 2.0 * cpu.bfsSeconds(g, 1));
+    EXPECT_GT(cpu.bfsSeconds(g, 10), cpu.bfsSeconds(g, 1));
+    // PageRank rounds stay dense and linear.
+    EXPECT_NEAR(cpu.pagerankSeconds(g, 10),
+                10.0 * cpu.pagerankSeconds(g, 1), 1e-12);
+}
+
+TEST(OuterSpace, CacheBoundOnScatterHeavyMatrices)
+{
+    Rng rng(10);
+    CsrMatrix a = gen::randomSpd(4096, 12, rng);
+    OuterSpaceModel os;
+    double frac = os.cacheTimeFraction(a);
+    EXPECT_GT(frac, 0.3);
+    EXPECT_LE(frac, 1.0);
+    EXPECT_GT(os.spmvSeconds(a), 0.0);
+}
+
+TEST(GraphR, BlockCountBetweenNnzBoundAndTotal)
+{
+    Rng rng(11);
+    CsrMatrix g = gen::rmat(9, 6, rng);
+    GraphRModel gr;
+    double blocks = gr.countBlocks(g);
+    EXPECT_GE(blocks, double(g.nnz()) / 16.0);
+    EXPECT_LE(blocks, double(g.nnz()));
+}
+
+TEST(GraphR, TraversalWorkEfficientButPrDense)
+{
+    Rng rng(12);
+    CsrMatrix g = gen::roadGrid(30, 30, 0.05, rng);
+    GraphRModel gr;
+    EXPECT_GT(gr.roundSeconds(g), 0.0);
+    // BFS grows only by the per-round controller scan...
+    EXPECT_LT(gr.bfsSeconds(g, 70) - gr.bfsSeconds(g, 7), 7e-4);
+    // ...while PageRank rounds stay dense and linear.
+    EXPECT_NEAR(gr.pagerankSeconds(g, 7), 7.0 * gr.roundSeconds(g),
+                1e-12);
+}
+
+TEST(Memristive, LargeBlocksWasteBandwidthOnSparseMatrices)
+{
+    Rng rng(13);
+    // Sparse banded matrix: 8-wide blocks stay much denser than 64+.
+    CsrMatrix a = gen::banded(4096, 6, 0.6, rng);
+    MemristiveModel mem;
+    EXPECT_LT(mem.bandwidthUtilization(a), 0.5);
+    EXPECT_GT(mem.passSeconds(a), 0.0);
+}
+
+TEST(Memristive, ChoosesSmallestBlocksForScatteredMatrices)
+{
+    Rng rng(14);
+    CsrMatrix a = gen::randomSpd(2048, 4, rng);
+    MemristiveModel mem;
+    EXPECT_EQ(mem.chooseBlockSize(a), 64u);
+}
+
+TEST(Platforms, HpcgFractionIsTiny)
+{
+    for (const Platform &p : platformRoster()) {
+        double frac = hpcgPeakFraction(p);
+        EXPECT_GT(frac, 0.0) << p.name;
+        EXPECT_LT(frac, 0.2) << p.name; // Fig 6: single-digit percents
+    }
+}
+
+TEST(Platforms, RosterHasCpusAndGpus)
+{
+    bool cpu = false, gpu = false;
+    for (const Platform &p : platformRoster()) {
+        cpu |= !p.isGpu;
+        gpu |= p.isGpu;
+    }
+    EXPECT_TRUE(cpu);
+    EXPECT_TRUE(gpu);
+}
+
+} // namespace
+} // namespace alr

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for the common substrate: logging capture, the stats package,
+ * and the deterministic PRNG.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+
+namespace alr {
+namespace {
+
+TEST(Logging, CaptureCollectsWarnAndInform)
+{
+    setLogCapture(true);
+    warn("watch out %d", 7);
+    inform("hello %s", "world");
+    std::string captured = setLogCapture(false);
+    EXPECT_NE(captured.find("warn: watch out 7"), std::string::npos);
+    EXPECT_NE(captured.find("info: hello world"), std::string::npos);
+}
+
+TEST(Logging, AssertPassesOnTrueCondition)
+{
+    ALR_ASSERT(1 + 1 == 2, "math works");
+    SUCCEED();
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom %d", 42), "boom 42");
+}
+
+TEST(LoggingDeath, AssertAbortsWithContext)
+{
+    EXPECT_DEATH(ALR_ASSERT(false, "value was %d", 3), "value was 3");
+}
+
+TEST(Stats, ScalarAccumulates)
+{
+    stats::Scalar s;
+    s += 2.5;
+    ++s;
+    EXPECT_DOUBLE_EQ(s.value(), 3.5);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(Stats, DistributionTracksMoments)
+{
+    stats::Distribution d;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        d.sample(v);
+    EXPECT_EQ(d.count(), 4u);
+    EXPECT_DOUBLE_EQ(d.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 4.0);
+    EXPECT_NEAR(d.variance(), 1.25, 1e-12);
+}
+
+TEST(Stats, GroupLookupAndDump)
+{
+    stats::StatGroup g("unit");
+    stats::Scalar a;
+    a += 7.0;
+    g.registerScalar("a", &a, "a counter");
+    g.registerFormula("twice_a", [&a] { return 2.0 * a.value(); },
+                      "derived");
+    EXPECT_TRUE(g.has("a"));
+    EXPECT_FALSE(g.has("b"));
+    EXPECT_DOUBLE_EQ(g.lookup("a"), 7.0);
+    EXPECT_DOUBLE_EQ(g.lookup("twice_a"), 14.0);
+
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("unit.a"), std::string::npos);
+    EXPECT_NE(os.str().find("# a counter"), std::string::npos);
+}
+
+TEST(Stats, GroupResetClearsScalars)
+{
+    stats::StatGroup g("unit");
+    stats::Scalar a;
+    a += 3.0;
+    g.registerScalar("a", &a, "");
+    g.resetAll();
+    EXPECT_DOUBLE_EQ(a.value(), 0.0);
+}
+
+TEST(StatsDeath, DuplicateRegistrationPanics)
+{
+    stats::StatGroup g("unit");
+    stats::Scalar a;
+    g.registerScalar("a", &a, "");
+    EXPECT_DEATH(g.registerScalar("a", &a, ""), "duplicate");
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, RangeRespectsBound)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.nextRange(13), 13u);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(8);
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.nextDouble();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, GaussianHasReasonableMoments)
+{
+    Rng rng(9);
+    double sum = 0.0, sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double v = rng.nextGaussian();
+        sum += v;
+        sq += v * v;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.05);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, PermutationIsAPermutation)
+{
+    Rng rng(10);
+    auto perm = rng.permutation(50);
+    std::vector<bool> seen(50, false);
+    for (auto v : perm) {
+        ASSERT_LT(v, 50u);
+        EXPECT_FALSE(seen[v]);
+        seen[v] = true;
+    }
+}
+
+TEST(Rng, BernoulliTracksProbability)
+{
+    Rng rng(11);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.nextBool(0.3);
+    EXPECT_NEAR(double(hits) / n, 0.3, 0.02);
+}
+
+} // namespace
+} // namespace alr

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Algorithm 1 conversion tests, including the paper's Fig 8 example
+ * (n = 9, omega = 3) and the reordering / direction variants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "alrescha/config_table.hh"
+#include "common/random.hh"
+#include "sparse/coo.hh"
+#include "sparse/generators.hh"
+
+namespace alr {
+namespace {
+
+/**
+ * The Fig 8 matrix: a 9x9 SymGS example with block width 3 whose block
+ * pattern has off-diagonal blocks around a full block diagonal.  We use
+ * block rows {0: blocks (0,0),(0,1); 1: (1,0),(1,1),(1,2); 2: (2,1),(2,2)}.
+ */
+CsrMatrix
+fig8Matrix()
+{
+    CooMatrix coo(9, 9);
+    auto fillBlock = [&](Index br, Index bc) {
+        for (Index lr = 0; lr < 3; ++lr) {
+            for (Index lc = 0; lc < 3; ++lc) {
+                Index r = br * 3 + lr;
+                Index c = bc * 3 + lc;
+                coo.add(r, c, r == c ? 10.0 : 1.0);
+            }
+        }
+    };
+    fillBlock(0, 0);
+    fillBlock(0, 1);
+    fillBlock(1, 0);
+    fillBlock(1, 1);
+    fillBlock(1, 2);
+    fillBlock(2, 1);
+    fillBlock(2, 2);
+    return CsrMatrix::fromCoo(coo);
+}
+
+TEST(ConfigTable, Fig8SymGsSequence)
+{
+    CsrMatrix a = fig8Matrix();
+    auto ld = LocallyDenseMatrix::encode(a, 3, LdLayout::SymGs);
+    ConfigTable t = ConfigTable::convert(KernelType::SymGS, ld);
+
+    // Expected data-path sequence (reordered): per block row all GEMVs
+    // then one D-SymGS.
+    ASSERT_EQ(t.entries().size(), 7u);
+    auto dp = [&](size_t i) { return t.entries()[i].dp; };
+    EXPECT_EQ(dp(0), DataPathType::Gemv);   // (0,1)
+    EXPECT_EQ(dp(1), DataPathType::DSymgs); // (0,0)
+    EXPECT_EQ(dp(2), DataPathType::Gemv);   // (1,0)
+    EXPECT_EQ(dp(3), DataPathType::Gemv);   // (1,2)
+    EXPECT_EQ(dp(4), DataPathType::DSymgs); // (1,1)
+    EXPECT_EQ(dp(5), DataPathType::Gemv);   // (2,1)
+    EXPECT_EQ(dp(6), DataPathType::DSymgs); // (2,2)
+}
+
+TEST(ConfigTable, Fig8PortsAndOrders)
+{
+    CsrMatrix a = fig8Matrix();
+    auto ld = LocallyDenseMatrix::encode(a, 3, LdLayout::SymGs);
+    ConfigTable t = ConfigTable::convert(KernelType::SymGS, ld);
+
+    const auto &e = t.entries();
+    // Block (0,1): above the diagonal -> x^{t-1} (port2), l2r.
+    EXPECT_EQ(e[0].op, OperandPort::Port2);
+    EXPECT_EQ(e[0].order, AccessOrder::L2R);
+    EXPECT_EQ(e[0].inxIn, 3u);
+    EXPECT_EQ(e[0].inxOut, -1); // link stack, no cache write
+    // D-SymGS for block row 0: r2l, writes chunk 0.
+    EXPECT_EQ(e[1].order, AccessOrder::R2L);
+    EXPECT_EQ(e[1].inxOut, 0);
+    // Block (1,0): below the diagonal -> x^t (port1).
+    EXPECT_EQ(e[2].op, OperandPort::Port1);
+    // Block (1,2): above -> port2.
+    EXPECT_EQ(e[3].op, OperandPort::Port2);
+}
+
+TEST(ConfigTable, Fig8MetadataBits)
+{
+    CsrMatrix a = fig8Matrix();
+    auto ld = LocallyDenseMatrix::encode(a, 3, LdLayout::SymGs);
+    ConfigTable t = ConfigTable::convert(KernelType::SymGS, ld);
+    // n/omega = 3 block rows -> ceil(log2 3) = 2 address bits, twice,
+    // plus 3 control bits.
+    EXPECT_EQ(t.bitsPerEntry(), 2u * 2u + 3u);
+}
+
+TEST(ConfigTable, SpmvUsesSingleDataPath)
+{
+    Rng rng(1);
+    CsrMatrix a = gen::randomSpd(32, 4, rng);
+    auto ld = LocallyDenseMatrix::encode(a, 8, LdLayout::Plain);
+    ConfigTable t = ConfigTable::convert(KernelType::SpMV, ld);
+    ASSERT_EQ(t.entries().size(), ld.blocks().size());
+    for (const auto &e : t.entries()) {
+        EXPECT_EQ(e.dp, DataPathType::Gemv);
+        EXPECT_EQ(e.op, OperandPort::Port1);
+        EXPECT_GE(e.inxOut, 0);
+    }
+    EXPECT_EQ(t.switchCount(), 0u);
+}
+
+TEST(ConfigTable, GraphKernelsMapToTheirPaths)
+{
+    Rng rng(2);
+    CsrMatrix g = gen::rmat(6, 4, rng);
+    auto ld = LocallyDenseMatrix::encode(g.transposed(), 8,
+                                         LdLayout::Plain);
+    EXPECT_EQ(ConfigTable::convert(KernelType::BFS, ld)
+                  .entries()
+                  .front()
+                  .dp,
+              DataPathType::DBfs);
+    EXPECT_EQ(ConfigTable::convert(KernelType::SSSP, ld)
+                  .entries()
+                  .front()
+                  .dp,
+              DataPathType::DSssp);
+    EXPECT_EQ(ConfigTable::convert(KernelType::PageRank, ld)
+                  .entries()
+                  .front()
+                  .dp,
+              DataPathType::DPr);
+}
+
+TEST(ConfigTable, NaturalOrderViolatesLinkStackDependence)
+{
+    // Without the reordering, the D-SymGS of every two-sided block row
+    // appears before the GEMVs of its upper-triangle blocks -- whose
+    // partial sums it needs.  That is exactly why only reordered tables
+    // are executable; the natural order exists for the ablation counts.
+    Rng rng(3);
+    CsrMatrix a = gen::banded(64, 10, 0.8, rng);
+    auto ld = LocallyDenseMatrix::encode(a, 8, LdLayout::SymGs);
+    ConfigTable ordered =
+        ConfigTable::convert(KernelType::SymGS, ld, true);
+    ConfigTable natural =
+        ConfigTable::convert(KernelType::SymGS, ld, false);
+    EXPECT_EQ(ordered.entries().size(), natural.entries().size());
+    EXPECT_TRUE(ordered.reordered());
+    EXPECT_FALSE(natural.reordered());
+
+    bool violation = false;
+    Index curRow = 0;
+    bool diagSeen = false;
+    for (const auto &e : natural.entries()) {
+        const auto &blk = ld.blocks()[e.blockId];
+        if (blk.blockRow != curRow) {
+            curRow = blk.blockRow;
+            diagSeen = false;
+        }
+        if (e.dp == DataPathType::DSymgs)
+            diagSeen = true;
+        else if (diagSeen)
+            violation = true;
+    }
+    EXPECT_TRUE(violation);
+}
+
+TEST(ConfigTable, ReorderedGemvsPrecedeTheirDSymgs)
+{
+    // The executability invariant behind the link stack: within every
+    // block row, all GEMVs come before the D-SymGS.
+    Rng rng(30);
+    CsrMatrix a = gen::blockStructured(64, 8, 4, 0.6, rng);
+    auto ld = LocallyDenseMatrix::encode(a, 8, LdLayout::SymGs);
+    ConfigTable t = ConfigTable::convert(KernelType::SymGS, ld, true);
+    bool diagSeen = false;
+    Index curRow = 0;
+    for (const auto &e : t.entries()) {
+        const auto &blk = ld.blocks()[e.blockId];
+        if (blk.blockRow != curRow) {
+            EXPECT_TRUE(diagSeen);
+            curRow = blk.blockRow;
+            diagSeen = false;
+        }
+        if (e.dp == DataPathType::DSymgs)
+            diagSeen = true;
+        else
+            EXPECT_FALSE(diagSeen) << "GEMV after D-SymGS in block row "
+                                   << blk.blockRow;
+    }
+    EXPECT_TRUE(diagSeen);
+}
+
+TEST(ConfigTable, ReorderedHasAtMostTwoSwitchesPerBlockRow)
+{
+    Rng rng(4);
+    CsrMatrix a = gen::blockStructured(96, 8, 5, 0.5, rng);
+    auto ld = LocallyDenseMatrix::encode(a, 8, LdLayout::SymGs);
+    ConfigTable t = ConfigTable::convert(KernelType::SymGS, ld, true);
+    EXPECT_LE(t.switchCount(), 2u * ld.blockRows());
+}
+
+TEST(ConfigTable, BackwardSweepVisitsRowsDescendingWithSwappedPorts)
+{
+    CsrMatrix a = fig8Matrix();
+    auto ld = LocallyDenseMatrix::encode(a, 3, LdLayout::SymGs);
+    ConfigTable t = ConfigTable::convert(KernelType::SymGS, ld, true,
+                                         GsSweep::Backward);
+    ASSERT_EQ(t.entries().size(), 7u);
+    // First block row visited is the last one.
+    Index firstRow =
+        ld.blocks()[t.entries().front().blockId].blockRow;
+    EXPECT_EQ(firstRow, 2u);
+    // Block (2,1): below the diagonal; in a backward sweep chunk 1 is
+    // not yet updated -> port2.
+    const auto &e0 = t.entries()[0];
+    EXPECT_EQ(ld.blocks()[e0.blockId].blockCol, 1u);
+    EXPECT_EQ(e0.op, OperandPort::Port2);
+}
+
+TEST(ConfigTable, CountsByType)
+{
+    CsrMatrix a = fig8Matrix();
+    auto ld = LocallyDenseMatrix::encode(a, 3, LdLayout::SymGs);
+    ConfigTable t = ConfigTable::convert(KernelType::SymGS, ld);
+    EXPECT_EQ(t.countOf(DataPathType::Gemv), 4u);
+    EXPECT_EQ(t.countOf(DataPathType::DSymgs), 3u);
+}
+
+TEST(ConfigTable, TableBytesGrowWithEntries)
+{
+    Rng rng(5);
+    CsrMatrix small = gen::randomSpd(24, 3, rng);
+    CsrMatrix large = gen::randomSpd(96, 6, rng);
+    auto lds = LocallyDenseMatrix::encode(small, 8, LdLayout::SymGs);
+    auto ldl = LocallyDenseMatrix::encode(large, 8, LdLayout::SymGs);
+    auto ts = ConfigTable::convert(KernelType::SymGS, lds);
+    auto tl = ConfigTable::convert(KernelType::SymGS, ldl);
+    EXPECT_LT(ts.tableBytes(), tl.tableBytes());
+}
+
+} // namespace
+} // namespace alr

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Dataset-suite tests: the synthetic stand-ins must be structurally
+ * usable (SPD scientific matrices, connected-enough graphs) and
+ * deterministic across calls.
+ */
+
+#include <gtest/gtest.h>
+
+#include "datasets/suites.hh"
+#include "kernels/graph.hh"
+#include "kernels/pcg.hh"
+#include "kernels/spmv.hh"
+#include "sparse/pattern_stats.hh"
+
+namespace alr {
+namespace {
+
+TEST(ScientificSuite, HasTenCategorizedEntries)
+{
+    auto suite = scientificSuite();
+    EXPECT_EQ(suite.size(), 10u);
+    for (const Dataset &d : suite) {
+        EXPECT_FALSE(d.name.empty());
+        EXPECT_FALSE(d.category.empty());
+        EXPECT_GT(d.matrix.nnz(), 0u);
+        EXPECT_EQ(d.matrix.rows(), d.matrix.cols()) << d.name;
+    }
+}
+
+TEST(ScientificSuite, AllMatricesAreSymmetricWithPositiveDiagonal)
+{
+    for (const Dataset &d : scientificSuite()) {
+        EXPECT_TRUE(d.matrix.isSymmetric(1e-9)) << d.name;
+        for (Index r = 0; r < d.matrix.rows(); ++r)
+            ASSERT_GT(d.matrix.at(r, r), 0.0) << d.name << " row " << r;
+    }
+}
+
+TEST(ScientificSuite, PcgConvergesOnEveryEntry)
+{
+    for (const Dataset &d : scientificSuite()) {
+        DenseVector b(d.matrix.rows(), 1.0);
+        PcgOptions opts;
+        opts.maxIterations = 300;
+        opts.tolerance = 1e-8;
+        PcgResult res = pcgSolve(d.matrix, b, opts);
+        EXPECT_TRUE(res.converged) << d.name << " rel residual "
+                                   << res.relResidual;
+    }
+}
+
+TEST(ScientificSuite, CoversArangeOfBlockDensities)
+{
+    double lo = 1.0, hi = 0.0;
+    for (const Dataset &d : scientificSuite()) {
+        PatternStats s = analyzePattern(d.matrix, 8);
+        lo = std::min(lo, s.blockDensity);
+        hi = std::max(hi, s.blockDensity);
+    }
+    // The paper's point: speedups vary with the non-zero distribution,
+    // so the suite must span sparse-in-block to dense-in-block regimes.
+    EXPECT_LT(lo, 0.3);
+    EXPECT_GT(hi, 0.6);
+}
+
+TEST(GraphSuite, HasEightEntriesMatchingTable3Families)
+{
+    auto suite = graphSuite();
+    EXPECT_EQ(suite.size(), 8u);
+    bool road = false, kron = false, social = false;
+    for (const Dataset &d : suite) {
+        EXPECT_GT(d.matrix.nnz(), 0u);
+        road |= d.category == "road";
+        kron |= d.category == "kronecker";
+        social |= d.category == "social";
+    }
+    EXPECT_TRUE(road);
+    EXPECT_TRUE(kron);
+    EXPECT_TRUE(social);
+}
+
+TEST(GraphSuite, RoadNetworkHasLowDegreeAndHighDiameter)
+{
+    auto suite = graphSuite();
+    const Dataset &road = findDataset(suite, "roadnet-like");
+    PatternStats s = analyzePattern(road.matrix, 8);
+    EXPECT_LT(s.meanRowNnz, 5.0);
+
+    int rounds = 0;
+    bfsLinAlg(road.matrix, 0, &rounds);
+    EXPECT_GT(rounds, 50); // long-diameter regime
+}
+
+TEST(GraphSuite, SocialGraphsAreSkewed)
+{
+    auto suite = graphSuite();
+    const Dataset &orkut = findDataset(suite, "orkut-like");
+    PatternStats s = analyzePattern(orkut.matrix, 8);
+    EXPECT_GT(double(s.maxRowNnz), 8.0 * s.meanRowNnz);
+}
+
+TEST(Suites, DeterministicAcrossCalls)
+{
+    auto a = scientificSuite();
+    auto b = scientificSuite();
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].matrix, b[i].matrix) << a[i].name;
+}
+
+TEST(SuitesDeath, FindRejectsUnknownName)
+{
+    auto suite = graphSuite();
+    EXPECT_DEATH(findDataset(suite, "does-not-exist"), "no dataset");
+}
+
+} // namespace
+} // namespace alr

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Eigen-solver tests: closed-form spectra, power iteration vs Lanczos
+ * agreement, tridiagonal bisection, and accelerated SpMV integration.
+ */
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "alrescha/accelerator.hh"
+#include "common/random.hh"
+#include "kernels/eigen.hh"
+#include "sparse/coo.hh"
+#include "sparse/generators.hh"
+
+namespace alr {
+namespace {
+
+TEST(TridiagEigen, DiagonalMatrixIsItsDiagonal)
+{
+    std::vector<Value> alpha = {3.0, -1.0, 7.0};
+    std::vector<Value> beta = {0.0, 0.0};
+    auto eig = tridiagonalEigenvalues(alpha, beta);
+    EXPECT_NEAR(eig[0], -1.0, 1e-9);
+    EXPECT_NEAR(eig[1], 3.0, 1e-9);
+    EXPECT_NEAR(eig[2], 7.0, 1e-9);
+}
+
+TEST(TridiagEigen, KnownTwoByTwo)
+{
+    // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+    auto eig = tridiagonalEigenvalues({2.0, 2.0}, {1.0});
+    EXPECT_NEAR(eig[0], 1.0, 1e-9);
+    EXPECT_NEAR(eig[1], 3.0, 1e-9);
+}
+
+TEST(TridiagEigen, DiscreteLaplacianClosedForm)
+{
+    // The n-point 1D Laplacian (2, -1) has eigenvalues
+    // 2 - 2 cos(k pi / (n+1)).
+    const int n = 12;
+    std::vector<Value> alpha(n, 2.0), beta(n - 1, -1.0);
+    auto eig = tridiagonalEigenvalues(alpha, beta);
+    for (int k = 1; k <= n; ++k) {
+        Value want =
+            2.0 - 2.0 * std::cos(std::numbers::pi * k / (n + 1));
+        EXPECT_NEAR(eig[size_t(k) - 1], want, 1e-8);
+    }
+}
+
+TEST(Power, FindsDominantEigenvalueOfDiagonal)
+{
+    CooMatrix coo(4, 4);
+    coo.add(0, 0, 1.0);
+    coo.add(1, 1, -2.0);
+    coo.add(2, 2, 5.0); // dominant
+    coo.add(3, 3, 3.0);
+    PowerResult res = powerIteration(CsrMatrix::fromCoo(coo));
+    EXPECT_TRUE(res.converged);
+    EXPECT_NEAR(res.eigenvalue, 5.0, 1e-7);
+    EXPECT_NEAR(std::abs(res.eigenvector[2]), 1.0, 1e-5);
+}
+
+TEST(Power, MatchesLanczosMaxOnSpdMatrix)
+{
+    Rng rng(1);
+    CsrMatrix a = gen::banded(60, 4, 0.8, rng);
+    PowerResult p = powerIteration(a);
+    LanczosResult l = lanczos(a);
+    EXPECT_TRUE(p.converged);
+    EXPECT_NEAR(p.eigenvalue, l.lambdaMax,
+                1e-5 * std::abs(l.lambdaMax));
+}
+
+TEST(Lanczos, LaplacianSpectrumEndpoints)
+{
+    // 1D chain Laplacian-like tridiagonal matrix as CSR.
+    CsrMatrix a = gen::tridiagonal(40); // (2, -1)
+    LanczosResult res = lanczos(a);
+    Value lamMax = 2.0 - 2.0 * std::cos(std::numbers::pi * 40 / 41.0);
+    Value lamMin = 2.0 - 2.0 * std::cos(std::numbers::pi / 41.0);
+    EXPECT_NEAR(res.lambdaMax, lamMax, 1e-6);
+    EXPECT_NEAR(res.lambdaMin, lamMin, 1e-6);
+}
+
+TEST(Lanczos, ConditionNumberOfIdentityIsOne)
+{
+    CooMatrix coo(10, 10);
+    for (Index i = 0; i < 10; ++i)
+        coo.add(i, i, 1.0);
+    LanczosResult res = lanczos(CsrMatrix::fromCoo(coo));
+    EXPECT_NEAR(res.conditionNumber, 1.0, 1e-9);
+}
+
+TEST(Lanczos, SpdMatricesHavePositiveSpectrum)
+{
+    Rng rng(2);
+    CsrMatrix a = gen::randomSpd(50, 4, rng);
+    LanczosResult res = lanczos(a);
+    EXPECT_GT(res.lambdaMin, 0.0);
+    EXPECT_GT(res.lambdaMax, res.lambdaMin);
+    EXPECT_GT(res.conditionNumber, 1.0);
+}
+
+TEST(Eigen, RunsOnAcceleratedSpmv)
+{
+    Rng rng(3);
+    CsrMatrix a = gen::banded(64, 5, 0.8, rng);
+    Accelerator acc;
+    acc.loadSpmvOnly(a);
+    auto fn = [&acc](const DenseVector &x) { return acc.spmv(x); };
+
+    LanczosResult onAccel = lanczosWith(fn, a.rows());
+    LanczosResult onHost = lanczos(a);
+    EXPECT_NEAR(onAccel.lambdaMax, onHost.lambdaMax,
+                1e-8 * std::abs(onHost.lambdaMax));
+    EXPECT_NEAR(onAccel.lambdaMin, onHost.lambdaMin,
+                1e-6 * std::abs(onHost.lambdaMax));
+    EXPECT_GT(acc.report().cycles, 0u);
+}
+
+TEST(EigenDeath, RejectsMismatchedTridiagonal)
+{
+    EXPECT_DEATH(tridiagonalEigenvalues({1.0, 2.0}, {}), "mismatch");
+}
+
+} // namespace
+} // namespace alr

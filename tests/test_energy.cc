@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Energy-model tests: component accounting, monotonicity in work, and
+ * the qualitative ordering against the CPU/GPU baselines (Fig 19).
+ */
+
+#include <gtest/gtest.h>
+
+#include "alrescha/accelerator.hh"
+#include "baselines/cpu_model.hh"
+#include "baselines/gpu_model.hh"
+#include "common/random.hh"
+#include "sparse/generators.hh"
+
+namespace alr {
+namespace {
+
+TEST(Energy, ZeroWorkZeroDynamicEnergy)
+{
+    Engine engine;
+    EnergyModel model;
+    EnergyBreakdown e = model.evaluate(engine);
+    EXPECT_DOUBLE_EQ(e.dram, 0.0);
+    EXPECT_DOUBLE_EQ(e.sram, 0.0);
+    EXPECT_DOUBLE_EQ(e.compute, 0.0);
+    EXPECT_DOUBLE_EQ(e.total(), 0.0);
+}
+
+TEST(Energy, MonotonicInWork)
+{
+    Rng rng(1);
+    CsrMatrix small = gen::blockStructured(128, 8, 3, 0.8, rng);
+    CsrMatrix large = gen::blockStructured(512, 8, 3, 0.8, rng);
+
+    Accelerator a1, a2;
+    a1.loadSpmvOnly(small);
+    a2.loadSpmvOnly(large);
+    a1.spmv(DenseVector(128, 1.0));
+    a2.spmv(DenseVector(512, 1.0));
+
+    EXPECT_LT(a1.report().energyJoules, a2.report().energyJoules);
+}
+
+TEST(Energy, DramDominatesForStreamingKernels)
+{
+    Rng rng(2);
+    CsrMatrix a = gen::blockStructured(1024, 8, 4, 0.9, rng);
+    Accelerator acc;
+    acc.loadSpmvOnly(a);
+    acc.spmv(DenseVector(1024, 1.0));
+
+    EnergyBreakdown e = acc.report().energy;
+    // Off-chip traffic costs far more per byte than on-chip compute.
+    EXPECT_GT(e.dram, e.compute);
+    EXPECT_GT(e.dram, e.sram);
+}
+
+TEST(Energy, CustomParamsScaleComponents)
+{
+    Rng rng(3);
+    CsrMatrix a = gen::blockStructured(256, 8, 3, 0.8, rng);
+
+    EnergyParams cheap;
+    EnergyParams costly = cheap;
+    costly.dramPjPerByte *= 10.0;
+
+    Accelerator a1({}, cheap), a2({}, costly);
+    a1.loadSpmvOnly(a);
+    a2.loadSpmvOnly(a);
+    a1.spmv(DenseVector(256, 1.0));
+    a2.spmv(DenseVector(256, 1.0));
+
+    EXPECT_NEAR(a2.report().energy.dram,
+                10.0 * a1.report().energy.dram, 1e-12);
+    EXPECT_NEAR(a2.report().energy.compute, a1.report().energy.compute,
+                1e-15);
+}
+
+TEST(Energy, AlreschaBeatsGpuAndCpuOnSpmv)
+{
+    // The Fig 19 ordering: CPU >> GPU >> Alrescha.  Absolute ratios are
+    // bench territory; this test pins the ordering itself.
+    Rng rng(4);
+    CsrMatrix a = gen::blockStructured(4096, 8, 4, 0.8, rng);
+
+    Accelerator acc;
+    acc.loadSpmvOnly(a);
+    acc.spmv(DenseVector(a.cols(), 1.0));
+    double accEnergy = acc.report().energyJoules;
+
+    GpuModel gpu;
+    CpuModel cpu;
+    double gpuEnergy = gpu.energyJoules(gpu.spmvSeconds(a));
+    double cpuEnergy = cpu.energyJoules(cpu.spmvSeconds(a));
+
+    EXPECT_LT(accEnergy, gpuEnergy);
+    EXPECT_LT(gpuEnergy, cpuEnergy);
+}
+
+TEST(Energy, ReconfigurationEnergyCountsSwitches)
+{
+    Rng rng(5);
+    CsrMatrix a = gen::banded(256, 10, 0.8, rng);
+    Accelerator acc;
+    acc.loadPde(a);
+    DenseVector b(256, 1.0), x(256, 0.0);
+    acc.symgsSweep(b, x, GsSweep::Symmetric);
+
+    EnergyBreakdown e = acc.report().energy;
+    EXPECT_GT(e.reconfig, 0.0);
+    double expected = acc.engine().rcu().reconfigurations() * 100.0e-12;
+    EXPECT_NEAR(e.reconfig, expected, 1e-15);
+}
+
+} // namespace
+} // namespace alr

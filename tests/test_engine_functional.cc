@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Functional-equivalence tests: the cycle-level engine must produce the
+ * same numbers as the golden reference kernels for every kernel, matrix
+ * family, and block width (the core verification contract of DESIGN.md).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "alrescha/accelerator.hh"
+#include "common/random.hh"
+#include "kernels/blas1.hh"
+#include "kernels/graph.hh"
+#include "kernels/spmv.hh"
+#include "kernels/symgs.hh"
+#include "sparse/generators.hh"
+
+namespace alr {
+namespace {
+
+DenseVector
+randomVector(Index n, uint64_t seed)
+{
+    Rng rng(seed);
+    DenseVector v(n);
+    for (auto &e : v)
+        e = rng.nextDouble(-1.0, 1.0);
+    return v;
+}
+
+void
+expectNear(const DenseVector &got, const DenseVector &want, Value tol)
+{
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+        if (std::isinf(want[i])) {
+            EXPECT_TRUE(std::isinf(got[i])) << "index " << i;
+        } else {
+            EXPECT_NEAR(got[i], want[i], tol) << "index " << i;
+        }
+    }
+}
+
+AccelParams
+paramsWithOmega(Index omega)
+{
+    AccelParams p;
+    p.omega = omega;
+    return p;
+}
+
+TEST(EngineSpmv, MatchesReferenceOnStencil)
+{
+    CsrMatrix a = gen::stencil2d(9, 9, 5);
+    Accelerator acc;
+    acc.loadSpmvOnly(a);
+    DenseVector x = randomVector(a.cols(), 1);
+    expectNear(acc.spmv(x), spmv(a, x), 1e-10);
+}
+
+TEST(EngineSpmv, MatchesReferenceOnRectangular)
+{
+    Rng rng(2);
+    CsrMatrix a = gen::randomSparse(37, 23, 5, rng);
+    Accelerator acc;
+    acc.loadSpmvOnly(a);
+    DenseVector x = randomVector(23, 3);
+    expectNear(acc.spmv(x), spmv(a, x), 1e-10);
+}
+
+TEST(EngineSpmv, WorksThroughPdeLayoutToo)
+{
+    // loadPde builds an SpMV table over the SymGs layout; the separated
+    // diagonal must still participate in the product.
+    Rng rng(4);
+    CsrMatrix a = gen::randomSpd(45, 5, rng);
+    Accelerator acc;
+    acc.loadPde(a);
+    DenseVector x = randomVector(45, 5);
+    expectNear(acc.spmv(x), spmv(a, x), 1e-10);
+}
+
+TEST(EngineSymGs, ForwardSweepMatchesReference)
+{
+    Rng rng(6);
+    CsrMatrix a = gen::banded(50, 4, 0.6, rng);
+    Accelerator acc;
+    acc.loadPde(a);
+
+    DenseVector b = randomVector(50, 7);
+    DenseVector xAcc = randomVector(50, 8);
+    DenseVector xRef = xAcc;
+
+    acc.symgsSweep(b, xAcc, GsSweep::Forward);
+    gaussSeidelSweep(a, b, xRef, GsSweep::Forward);
+    expectNear(xAcc, xRef, 1e-10);
+}
+
+TEST(EngineSymGs, BackwardSweepMatchesReference)
+{
+    Rng rng(9);
+    CsrMatrix a = gen::banded(41, 3, 0.7, rng);
+    Accelerator acc;
+    acc.loadPde(a);
+
+    DenseVector b = randomVector(41, 10);
+    DenseVector xAcc = randomVector(41, 11);
+    DenseVector xRef = xAcc;
+
+    acc.symgsSweep(b, xAcc, GsSweep::Backward);
+    gaussSeidelSweep(a, b, xRef, GsSweep::Backward);
+    expectNear(xAcc, xRef, 1e-10);
+}
+
+TEST(EngineSymGs, SymmetricSweepMatchesReference)
+{
+    CsrMatrix a = gen::stencil2d(7, 7, 9);
+    Accelerator acc;
+    acc.loadPde(a);
+
+    DenseVector b = randomVector(49, 12);
+    DenseVector xAcc(49, 0.0), xRef(49, 0.0);
+    acc.symgsSweep(b, xAcc, GsSweep::Symmetric);
+    gaussSeidelSweep(a, b, xRef, GsSweep::Symmetric);
+    expectNear(xAcc, xRef, 1e-10);
+}
+
+TEST(EnginePcg, ConvergesLikeHostSolver)
+{
+    CsrMatrix a = gen::stencil3d(4, 4, 4, 27);
+    DenseVector xTrue = randomVector(64, 13);
+    DenseVector b = spmv(a, xTrue);
+
+    Accelerator acc;
+    acc.loadPde(a);
+    PcgResult ra = acc.pcg(b);
+    PcgResult rh = pcgSolve(a, b);
+
+    EXPECT_TRUE(ra.converged);
+    EXPECT_LT(maxAbsDiff(ra.x, xTrue), 1e-6);
+    // Same algorithm, same preconditioner: iteration counts match to
+    // within floating-point reassociation slack.
+    EXPECT_NEAR(double(ra.iterations), double(rh.iterations), 2.0);
+}
+
+TEST(EngineGraph, BfsMatchesReference)
+{
+    Rng rng(14);
+    CsrMatrix g = gen::rmat(7, 6, rng);
+    Accelerator acc;
+    acc.loadGraph(g);
+    GraphResult res = acc.bfs(0);
+    expectNear(res.values, bfsReference(g, 0), 0.0);
+    EXPECT_GE(res.rounds, 1);
+}
+
+TEST(EngineGraph, BfsOnGridMatchesReference)
+{
+    Rng rng(15);
+    CsrMatrix g = gen::roadGrid(9, 7, 0.05, rng);
+    Accelerator acc;
+    acc.loadGraph(g);
+    expectNear(acc.bfs(5).values, bfsReference(g, 5), 0.0);
+}
+
+TEST(EngineGraph, SsspMatchesDijkstra)
+{
+    Rng rng(16);
+    CsrMatrix g = gen::rmat(7, 5, rng);
+    Accelerator acc;
+    acc.loadGraph(g);
+    expectNear(acc.sssp(1).values, ssspReference(g, 1), 1e-9);
+}
+
+TEST(EngineGraph, SsspOnRoadGridMatchesDijkstra)
+{
+    Rng rng(17);
+    CsrMatrix g = gen::roadGrid(8, 8, 0.1, rng);
+    Accelerator acc;
+    acc.loadGraph(g);
+    expectNear(acc.sssp(0).values, ssspReference(g, 0), 1e-9);
+}
+
+TEST(EngineGraph, PagerankMatchesPowerIteration)
+{
+    Rng rng(18);
+    CsrMatrix g = gen::powerLawGraph(120, 6, 0.8, rng);
+    Accelerator acc;
+    acc.loadGraph(g);
+    PageRankOptions opts;
+    GraphResult res = acc.pagerank(opts);
+    DenseVector ref = pagerank(g, opts);
+    expectNear(res.values, ref, 1e-6);
+
+    Value total = 0.0;
+    for (Value v : res.values)
+        total += v;
+    EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+/**
+ * Property sweep: every kernel agrees with its reference across block
+ * widths and random seeds.
+ */
+class EngineSweep
+    : public ::testing::TestWithParam<std::tuple<Index, uint64_t>>
+{
+};
+
+TEST_P(EngineSweep, SymGsForwardAgrees)
+{
+    auto [omega, seed] = GetParam();
+    Rng rng(seed);
+    CsrMatrix a = gen::randomSpd(53, 5, rng);
+    Accelerator acc(paramsWithOmega(omega));
+    acc.loadPde(a);
+    DenseVector b = randomVector(53, seed + 1);
+    DenseVector xAcc = randomVector(53, seed + 2);
+    DenseVector xRef = xAcc;
+    acc.symgsSweep(b, xAcc, GsSweep::Forward);
+    gaussSeidelSweep(a, b, xRef, GsSweep::Forward);
+    expectNear(xAcc, xRef, 1e-9);
+}
+
+TEST_P(EngineSweep, SpmvAgrees)
+{
+    auto [omega, seed] = GetParam();
+    Rng rng(seed + 50);
+    CsrMatrix a = gen::randomSparse(47, 31, 6, rng);
+    Accelerator acc(paramsWithOmega(omega));
+    acc.loadSpmvOnly(a);
+    DenseVector x = randomVector(31, seed + 3);
+    expectNear(acc.spmv(x), spmv(a, x), 1e-9);
+}
+
+TEST_P(EngineSweep, GraphKernelsAgree)
+{
+    auto [omega, seed] = GetParam();
+    Rng rng(seed + 99);
+    CsrMatrix g = gen::rmat(6, 5, rng);
+    Accelerator acc(paramsWithOmega(omega));
+    acc.loadGraph(g);
+    expectNear(acc.bfs(0).values, bfsReference(g, 0), 0.0);
+    expectNear(acc.sssp(0).values, ssspReference(g, 0), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OmegaSeeds, EngineSweep,
+    ::testing::Combine(::testing::Values<Index>(2, 3, 4, 5, 8, 16),
+                       ::testing::Values<uint64_t>(21, 22, 23)));
+
+} // namespace
+} // namespace alr

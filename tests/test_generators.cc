@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Structural-property tests for the synthetic matrix/graph generators.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "kernels/graph.hh"
+#include "sparse/generators.hh"
+#include "sparse/pattern_stats.hh"
+
+namespace alr {
+namespace {
+
+TEST(Stencil3d, SevenPointStructure)
+{
+    CsrMatrix a = gen::stencil3d(4, 4, 4, 7);
+    EXPECT_EQ(a.rows(), 64u);
+    EXPECT_TRUE(a.isSymmetric(0.0));
+    // Interior point has exactly 7 entries.
+    Index interior = (1 * 4 + 1) * 4 + 1;
+    EXPECT_EQ(a.rowNnz(interior), 7u);
+    // Diagonal dominates.
+    EXPECT_DOUBLE_EQ(a.at(interior, interior), 6.0);
+}
+
+TEST(Stencil3d, TwentySevenPointStructure)
+{
+    CsrMatrix a = gen::stencil3d(5, 5, 5, 27);
+    Index interior = (2 * 5 + 2) * 5 + 2;
+    EXPECT_EQ(a.rowNnz(interior), 27u);
+    EXPECT_TRUE(a.isSymmetric(0.0));
+}
+
+TEST(Stencil2d, FiveAndNinePoint)
+{
+    CsrMatrix a5 = gen::stencil2d(6, 6, 5);
+    CsrMatrix a9 = gen::stencil2d(6, 6, 9);
+    Index interior = 2 * 6 + 3;
+    EXPECT_EQ(a5.rowNnz(interior), 5u);
+    EXPECT_EQ(a9.rowNnz(interior), 9u);
+    EXPECT_GT(a9.nnz(), a5.nnz());
+}
+
+TEST(Banded, RespectsBandAndSpd)
+{
+    Rng rng(1);
+    CsrMatrix a = gen::banded(100, 5, 0.8, rng);
+    EXPECT_TRUE(a.isSymmetric(1e-12));
+    PatternStats s = analyzePattern(a, 8);
+    EXPECT_LE(s.bandwidth, 5u);
+    for (Index r = 0; r < a.rows(); ++r)
+        EXPECT_GT(a.at(r, r), 0.0);
+}
+
+TEST(BlockStructured, ControlsBlockCountAndFill)
+{
+    Rng rng(2);
+    CsrMatrix a = gen::blockStructured(128, 8, 3, 0.9, rng);
+    EXPECT_EQ(a.rows(), 128u);
+    EXPECT_TRUE(a.isSymmetric(1e-12));
+    PatternStats s = analyzePattern(a, 8);
+    // Dense blocks: high in-block fill.
+    EXPECT_GT(s.blockDensity, 0.0);
+}
+
+TEST(RandomSpd, DiagonalNeverZero)
+{
+    Rng rng(3);
+    CsrMatrix a = gen::randomSpd(60, 5, rng);
+    for (Index r = 0; r < a.rows(); ++r)
+        EXPECT_NE(a.at(r, r), 0.0);
+    EXPECT_TRUE(a.isSymmetric(1e-12));
+}
+
+TEST(Rmat, SizeAndSkew)
+{
+    Rng rng(4);
+    CsrMatrix g = gen::rmat(10, 8, rng);
+    EXPECT_EQ(g.rows(), 1024u);
+    // Kronecker graphs are skewed: max degree far above the mean.
+    PatternStats s = analyzePattern(g, 8);
+    EXPECT_GT(double(s.maxRowNnz), 4.0 * s.meanRowNnz);
+    // No self loops.
+    for (Index r = 0; r < g.rows(); ++r)
+        EXPECT_DOUBLE_EQ(g.at(r, r), 0.0);
+}
+
+TEST(RoadGrid, DegreeAndConnectivity)
+{
+    Rng rng(5);
+    CsrMatrix g = gen::roadGrid(12, 10, 0.0, rng);
+    EXPECT_EQ(g.rows(), 120u);
+    PatternStats s = analyzePattern(g, 8);
+    // 4-neighbour grid: mean degree slightly under 4.
+    EXPECT_GT(s.meanRowNnz, 3.0);
+    EXPECT_LE(s.maxRowNnz, 4u);
+    // Connected: BFS reaches everything.
+    DenseVector dist = bfsReference(g, 0);
+    for (Value d : dist)
+        EXPECT_TRUE(std::isfinite(d));
+}
+
+TEST(PowerLaw, HeavyTail)
+{
+    Rng rng(6);
+    CsrMatrix g = gen::powerLawGraph(2000, 8, 1.0, rng);
+    std::vector<Index> deg = outDegrees(g);
+    Index maxDeg = 0;
+    double sum = 0.0;
+    for (Index d : deg) {
+        maxDeg = std::max(maxDeg, d);
+        sum += d;
+    }
+    double mean = sum / deg.size();
+    EXPECT_GT(double(maxDeg), 10.0 * mean);
+}
+
+TEST(PowerLaw, WeightsArePositive)
+{
+    Rng rng(7);
+    CsrMatrix g = gen::powerLawGraph(500, 6, 0.9, rng);
+    for (Value v : g.vals())
+        EXPECT_GT(v, 0.0);
+}
+
+TEST(Tridiagonal, ExactStructure)
+{
+    CsrMatrix a = gen::tridiagonal(10);
+    EXPECT_EQ(a.nnz(), 28u);
+    EXPECT_DOUBLE_EQ(a.at(4, 4), 2.0);
+    EXPECT_DOUBLE_EQ(a.at(4, 5), -1.0);
+    EXPECT_DOUBLE_EQ(a.at(4, 3), -1.0);
+    EXPECT_DOUBLE_EQ(a.at(4, 6), 0.0);
+}
+
+TEST(Generators, Deterministic)
+{
+    Rng r1(99), r2(99);
+    CsrMatrix a = gen::randomSpd(40, 4, r1);
+    CsrMatrix b = gen::randomSpd(40, 4, r2);
+    EXPECT_EQ(a, b);
+}
+
+} // namespace
+} // namespace alr

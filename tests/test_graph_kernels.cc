@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Graph reference-kernel tests: classical vs linear-algebra formulations
+ * agree, and both satisfy the algorithms' invariants.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "kernels/graph.hh"
+#include "sparse/coo.hh"
+#include "sparse/generators.hh"
+
+namespace alr {
+namespace {
+
+void
+expectSame(const DenseVector &a, const DenseVector &b, Value tol)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        if (std::isinf(a[i])) {
+            EXPECT_TRUE(std::isinf(b[i])) << i;
+        } else {
+            EXPECT_NEAR(a[i], b[i], tol) << i;
+        }
+    }
+}
+
+CsrMatrix
+smallDigraph()
+{
+    // A -> B -> C -> D with a shortcut A -> C and weights.
+    CooMatrix coo(4, 4);
+    coo.add(0, 1, 1.0);
+    coo.add(1, 2, 2.0);
+    coo.add(2, 3, 1.0);
+    coo.add(0, 2, 5.0);
+    return CsrMatrix::fromCoo(coo);
+}
+
+TEST(Bfs, HandComputedDistances)
+{
+    DenseVector d = bfsReference(smallDigraph(), 0);
+    EXPECT_DOUBLE_EQ(d[0], 0.0);
+    EXPECT_DOUBLE_EQ(d[1], 1.0);
+    EXPECT_DOUBLE_EQ(d[2], 1.0); // via shortcut
+    EXPECT_DOUBLE_EQ(d[3], 2.0);
+}
+
+TEST(Bfs, UnreachableStaysInfinite)
+{
+    CooMatrix coo(3, 3);
+    coo.add(0, 1, 1.0);
+    CsrMatrix g = CsrMatrix::fromCoo(coo);
+    DenseVector d = bfsReference(g, 0);
+    EXPECT_TRUE(std::isinf(d[2]));
+}
+
+TEST(Bfs, LinAlgMatchesClassicalOnRandomGraphs)
+{
+    for (uint64_t seed = 0; seed < 6; ++seed) {
+        Rng rng(seed);
+        CsrMatrix g = gen::rmat(8, 4, rng);
+        int rounds = 0;
+        expectSame(bfsLinAlg(g, 0, &rounds), bfsReference(g, 0), 0.0);
+        EXPECT_GE(rounds, 1);
+    }
+}
+
+TEST(Sssp, HandComputedShortestPaths)
+{
+    DenseVector d = ssspReference(smallDigraph(), 0);
+    EXPECT_DOUBLE_EQ(d[0], 0.0);
+    EXPECT_DOUBLE_EQ(d[1], 1.0);
+    EXPECT_DOUBLE_EQ(d[2], 3.0); // 1 + 2 beats the 5.0 shortcut
+    EXPECT_DOUBLE_EQ(d[3], 4.0);
+}
+
+TEST(Sssp, BellmanFordMatchesDijkstra)
+{
+    for (uint64_t seed = 10; seed < 16; ++seed) {
+        Rng rng(seed);
+        CsrMatrix g = gen::roadGrid(10, 9, 0.1, rng);
+        expectSame(ssspLinAlg(g, 3), ssspReference(g, 3), 1e-12);
+    }
+}
+
+TEST(Sssp, TriangleInequalityHolds)
+{
+    Rng rng(20);
+    CsrMatrix g = gen::rmat(7, 6, rng);
+    DenseVector d = ssspReference(g, 0);
+    for (Index u = 0; u < g.rows(); ++u) {
+        if (std::isinf(d[u]))
+            continue;
+        for (Index k = g.rowPtr()[u]; k < g.rowPtr()[u + 1]; ++k) {
+            Index v = g.colIdx()[k];
+            EXPECT_LE(d[v], d[u] + g.vals()[k] + 1e-12);
+        }
+    }
+}
+
+TEST(PageRank, SumsToOne)
+{
+    Rng rng(30);
+    CsrMatrix g = gen::powerLawGraph(300, 5, 0.9, rng);
+    DenseVector r = pagerank(g);
+    Value total = 0.0;
+    for (Value v : r)
+        total += v;
+    EXPECT_NEAR(total, 1.0, 1e-8);
+}
+
+TEST(PageRank, UniformOnSymmetricCycle)
+{
+    // A directed ring: perfectly symmetric, so all ranks equal.
+    CooMatrix coo(6, 6);
+    for (Index i = 0; i < 6; ++i)
+        coo.add(i, (i + 1) % 6, 1.0);
+    CsrMatrix g = CsrMatrix::fromCoo(coo);
+    DenseVector r = pagerank(g);
+    for (Value v : r)
+        EXPECT_NEAR(v, 1.0 / 6.0, 1e-9);
+}
+
+TEST(PageRank, SinkAttractsRank)
+{
+    // Star into vertex 0: it must outrank the leaves.
+    CooMatrix coo(5, 5);
+    for (Index i = 1; i < 5; ++i)
+        coo.add(i, 0, 1.0);
+    coo.add(0, 1, 1.0); // keep 0 non-dangling
+    CsrMatrix g = CsrMatrix::fromCoo(coo);
+    DenseVector r = pagerank(g);
+    for (Index i = 2; i < 5; ++i)
+        EXPECT_GT(r[0], r[i]);
+}
+
+TEST(PageRank, DanglingMassIsRedistributed)
+{
+    // Vertex 1 is dangling; ranks must still sum to 1.
+    CooMatrix coo(3, 3);
+    coo.add(0, 1, 1.0);
+    coo.add(2, 0, 1.0);
+    CsrMatrix g = CsrMatrix::fromCoo(coo);
+    DenseVector r = pagerank(g);
+    Value total = 0.0;
+    for (Value v : r)
+        total += v;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(OutDegrees, CountsStoredEdges)
+{
+    CsrMatrix g = smallDigraph();
+    auto deg = outDegrees(g);
+    EXPECT_EQ(deg[0], 2u);
+    EXPECT_EQ(deg[1], 1u);
+    EXPECT_EQ(deg[3], 0u);
+}
+
+} // namespace
+} // namespace alr

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Reference-kernel validation: SpMV against dense multiply, Gauss-Seidel
+ * convergence properties, and full PCG solves on SPD systems.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "kernels/blas1.hh"
+#include "kernels/pcg.hh"
+#include "kernels/spmv.hh"
+#include "kernels/symgs.hh"
+#include "sparse/coo.hh"
+#include "sparse/dense.hh"
+#include "sparse/generators.hh"
+
+namespace alr {
+namespace {
+
+DenseVector
+randomVector(Index n, uint64_t seed)
+{
+    Rng rng(seed);
+    DenseVector v(n);
+    for (auto &e : v)
+        e = rng.nextDouble(-1.0, 1.0);
+    return v;
+}
+
+TEST(Blas1, DotAxpyNorm)
+{
+    DenseVector x = {1.0, 2.0, 3.0};
+    DenseVector y = {4.0, -5.0, 6.0};
+    EXPECT_DOUBLE_EQ(dot(x, y), 12.0);
+    axpy(2.0, x, y);
+    EXPECT_DOUBLE_EQ(y[0], 6.0);
+    EXPECT_DOUBLE_EQ(y[1], -1.0);
+    EXPECT_DOUBLE_EQ(y[2], 12.0);
+    EXPECT_DOUBLE_EQ(norm2({3.0, 4.0}), 5.0);
+    xpby(x, 0.5, y);
+    EXPECT_DOUBLE_EQ(y[0], 4.0);
+}
+
+TEST(Spmv, MatchesDenseMultiply)
+{
+    Rng rng(1);
+    CsrMatrix a = gen::randomSparse(20, 15, 4, rng);
+    DenseVector x = randomVector(15, 2);
+    DenseVector ys = spmv(a, x);
+    DenseVector yd = a.toDense().multiply(x);
+    ASSERT_EQ(ys.size(), yd.size());
+    for (size_t i = 0; i < ys.size(); ++i)
+        EXPECT_NEAR(ys[i], yd[i], 1e-12);
+}
+
+TEST(Spmv, AddAccumulates)
+{
+    Rng rng(3);
+    CsrMatrix a = gen::randomSparse(10, 10, 3, rng);
+    DenseVector x = randomVector(10, 4);
+    DenseVector y0 = randomVector(10, 5);
+    DenseVector y = spmvAdd(a, x, y0);
+    DenseVector base = spmv(a, x);
+    for (Index i = 0; i < 10; ++i)
+        EXPECT_NEAR(y[i], base[i] + y0[i], 1e-12);
+}
+
+TEST(SymGs, ExactOnDiagonalMatrix)
+{
+    // For a diagonal matrix one sweep solves exactly.
+    CooMatrix coo(4, 4);
+    for (Index i = 0; i < 4; ++i)
+        coo.add(i, i, Value(i + 1));
+    CsrMatrix a = CsrMatrix::fromCoo(coo);
+    DenseVector b = {1.0, 4.0, 9.0, 16.0};
+    DenseVector x(4, 0.0);
+    gaussSeidelSweep(a, b, x, GsSweep::Forward);
+    for (Index i = 0; i < 4; ++i)
+        EXPECT_DOUBLE_EQ(x[i], b[i] / Value(i + 1));
+}
+
+TEST(SymGs, ForwardSweepMatchesManualTridiagonal)
+{
+    // 3x3 tridiagonal, hand-computed forward sweep from x = 0.
+    CsrMatrix a = gen::tridiagonal(3); // diag 2, off -1
+    DenseVector b = {1.0, 2.0, 3.0};
+    DenseVector x(3, 0.0);
+    gaussSeidelSweep(a, b, x, GsSweep::Forward);
+    EXPECT_DOUBLE_EQ(x[0], 0.5);
+    EXPECT_DOUBLE_EQ(x[1], 1.25);
+    EXPECT_DOUBLE_EQ(x[2], 2.125);
+}
+
+TEST(SymGs, IterationConvergesOnSpdSystem)
+{
+    Rng rng(6);
+    CsrMatrix a = gen::banded(40, 3, 0.7, rng);
+    DenseVector xTrue = randomVector(40, 7);
+    DenseVector b = spmv(a, xTrue);
+    DenseVector x(40, 0.0);
+    Value prev = 1e30;
+    for (int it = 0; it < 50; ++it) {
+        gaussSeidelSweep(a, b, x, GsSweep::Symmetric);
+        DenseVector r = spmv(a, x);
+        for (Index i = 0; i < 40; ++i)
+            r[i] -= b[i];
+        Value res = norm2(r);
+        EXPECT_LE(res, prev * (1.0 + 1e-12));
+        prev = res;
+    }
+    EXPECT_LT(prev, 1e-6);
+}
+
+TEST(SymGs, SymmetricSweepEqualsForwardThenBackward)
+{
+    Rng rng(8);
+    CsrMatrix a = gen::banded(25, 2, 0.8, rng);
+    DenseVector b = randomVector(25, 9);
+    DenseVector x1(25, 0.1), x2(25, 0.1);
+    gaussSeidelSweep(a, b, x1, GsSweep::Symmetric);
+    gaussSeidelSweep(a, b, x2, GsSweep::Forward);
+    gaussSeidelSweep(a, b, x2, GsSweep::Backward);
+    for (Index i = 0; i < 25; ++i)
+        EXPECT_DOUBLE_EQ(x1[i], x2[i]);
+}
+
+TEST(Pcg, SolvesIdentityInOneIteration)
+{
+    CooMatrix coo(5, 5);
+    for (Index i = 0; i < 5; ++i)
+        coo.add(i, i, 1.0);
+    CsrMatrix a = CsrMatrix::fromCoo(coo);
+    DenseVector b = {1.0, 2.0, 3.0, 4.0, 5.0};
+    PcgResult res = pcgSolve(a, b);
+    EXPECT_TRUE(res.converged);
+    EXPECT_LE(res.iterations, 2);
+    for (Index i = 0; i < 5; ++i)
+        EXPECT_NEAR(res.x[i], b[i], 1e-9);
+}
+
+TEST(Pcg, SolvesPoisson2d)
+{
+    CsrMatrix a = gen::stencil2d(12, 12, 5);
+    DenseVector xTrue = randomVector(144, 10);
+    DenseVector b = spmv(a, xTrue);
+    PcgResult res = pcgSolve(a, b);
+    EXPECT_TRUE(res.converged);
+    EXPECT_LT(maxAbsDiff(res.x, xTrue), 1e-6);
+}
+
+TEST(Pcg, SolvesPoisson3dStencil27)
+{
+    CsrMatrix a = gen::stencil3d(6, 6, 6, 27);
+    DenseVector xTrue = randomVector(216, 11);
+    DenseVector b = spmv(a, xTrue);
+    PcgResult res = pcgSolve(a, b);
+    EXPECT_TRUE(res.converged);
+    EXPECT_LT(maxAbsDiff(res.x, xTrue), 1e-6);
+}
+
+TEST(Pcg, PreconditioningReducesIterations)
+{
+    CsrMatrix a = gen::stencil2d(16, 16, 5);
+    DenseVector b(256, 1.0);
+    PcgOptions plain;
+    plain.precondition = false;
+    PcgOptions pre;
+    pre.precondition = true;
+    PcgResult r0 = pcgSolve(a, b, plain);
+    PcgResult r1 = pcgSolve(a, b, pre);
+    EXPECT_TRUE(r0.converged);
+    EXPECT_TRUE(r1.converged);
+    EXPECT_LT(r1.iterations, r0.iterations);
+}
+
+TEST(Pcg, ResidualHistoryIsRecorded)
+{
+    CsrMatrix a = gen::stencil2d(8, 8, 5);
+    DenseVector b(64, 1.0);
+    PcgResult res = pcgSolve(a, b);
+    ASSERT_EQ(int(res.history.size()), res.iterations);
+    EXPECT_LT(res.history.back(), 1e-9);
+}
+
+/** Property sweep: PCG recovers random solutions on random SPD systems. */
+class PcgProperty : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(PcgProperty, RecoversSolution)
+{
+    Rng rng(GetParam());
+    CsrMatrix a = gen::randomSpd(30 + Index(GetParam() % 20), 5, rng);
+    DenseVector xTrue = randomVector(a.rows(), GetParam() + 100);
+    DenseVector b = spmv(a, xTrue);
+    PcgResult res = pcgSolve(a, b);
+    EXPECT_TRUE(res.converged);
+    EXPECT_LT(maxAbsDiff(res.x, xTrue), 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PcgProperty,
+                         ::testing::Range<uint64_t>(20, 32));
+
+} // namespace
+} // namespace alr

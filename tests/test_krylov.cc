@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Krylov-solver and extension-kernel tests: BiCGSTAB/GMRES on host and
+ * accelerator, sparse triangular solves on the D-SymGS machinery, and
+ * connected components by min-label propagation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "alrescha/accelerator.hh"
+#include "common/random.hh"
+#include "kernels/blas1.hh"
+#include "kernels/graph.hh"
+#include "kernels/krylov.hh"
+#include "kernels/spmv.hh"
+#include "sparse/coo.hh"
+#include "sparse/generators.hh"
+
+namespace alr {
+namespace {
+
+DenseVector
+randomVector(Index n, uint64_t seed)
+{
+    Rng rng(seed);
+    DenseVector v(n);
+    for (auto &e : v)
+        e = rng.nextDouble(-1.0, 1.0);
+    return v;
+}
+
+/** A diagonally dominant but *nonsymmetric* system. */
+CsrMatrix
+nonsymmetricSystem(Index n, uint64_t seed)
+{
+    Rng rng(seed);
+    CooMatrix coo(n, n);
+    for (Index r = 0; r < n; ++r) {
+        Value offsum = 0.0;
+        for (Index k = 0; k < 4; ++k) {
+            Index c = Index(rng.nextRange(n));
+            if (c == r)
+                continue;
+            Value v = rng.nextDouble(-1.0, 1.0);
+            coo.add(r, c, v);
+            offsum += std::abs(v);
+        }
+        coo.add(r, r, offsum + 1.0);
+    }
+    coo.canonicalize();
+    return CsrMatrix::fromCoo(coo);
+}
+
+TEST(Bicgstab, SolvesNonsymmetricSystem)
+{
+    CsrMatrix a = nonsymmetricSystem(80, 1);
+    DenseVector xTrue = randomVector(80, 2);
+    DenseVector b = spmv(a, xTrue);
+    KrylovResult res = bicgstabSolve(a, b);
+    EXPECT_TRUE(res.converged);
+    EXPECT_LT(maxAbsDiff(res.x, xTrue), 1e-6);
+}
+
+TEST(Bicgstab, SolvesSpdSystemToo)
+{
+    CsrMatrix a = gen::stencil2d(10, 10, 5);
+    DenseVector xTrue = randomVector(100, 3);
+    DenseVector b = spmv(a, xTrue);
+    KrylovResult res = bicgstabSolve(a, b);
+    EXPECT_TRUE(res.converged);
+    EXPECT_LT(maxAbsDiff(res.x, xTrue), 1e-6);
+}
+
+TEST(Bicgstab, ZeroRhsConvergesImmediately)
+{
+    CsrMatrix a = nonsymmetricSystem(20, 4);
+    KrylovResult res = bicgstabSolve(a, DenseVector(20, 0.0));
+    EXPECT_TRUE(res.converged);
+    EXPECT_EQ(res.iterations, 0);
+}
+
+TEST(Gmres, SolvesNonsymmetricSystem)
+{
+    CsrMatrix a = nonsymmetricSystem(60, 5);
+    DenseVector xTrue = randomVector(60, 6);
+    DenseVector b = spmv(a, xTrue);
+    KrylovResult res = gmresSolve(a, b);
+    EXPECT_TRUE(res.converged) << "residual " << res.relResidual;
+    EXPECT_LT(maxAbsDiff(res.x, xTrue), 1e-6);
+}
+
+TEST(Gmres, RestartsStillConverge)
+{
+    CsrMatrix a = nonsymmetricSystem(90, 7);
+    DenseVector xTrue = randomVector(90, 8);
+    DenseVector b = spmv(a, xTrue);
+    GmresOptions opts;
+    opts.restart = 5; // force many restart cycles
+    opts.maxIterations = 2000;
+    KrylovResult res = gmresSolve(a, b, opts);
+    EXPECT_TRUE(res.converged);
+    EXPECT_LT(maxAbsDiff(res.x, xTrue), 1e-5);
+}
+
+TEST(Gmres, FullSubspaceIsDirectSolve)
+{
+    // With restart >= n, GMRES solves in at most n inner iterations.
+    CsrMatrix a = nonsymmetricSystem(24, 9);
+    DenseVector b = randomVector(24, 10);
+    GmresOptions opts;
+    opts.restart = 24;
+    KrylovResult res = gmresSolve(a, b, opts);
+    EXPECT_TRUE(res.converged);
+    EXPECT_LE(res.iterations, 24);
+}
+
+TEST(Krylov, AcceleratedSolversMatchHost)
+{
+    CsrMatrix a = nonsymmetricSystem(48, 11);
+    DenseVector xTrue = randomVector(48, 12);
+    DenseVector b = spmv(a, xTrue);
+
+    Accelerator acc;
+    acc.loadSpmvOnly(a);
+    KrylovResult bi = acc.bicgstab(b);
+    EXPECT_TRUE(bi.converged);
+    EXPECT_LT(maxAbsDiff(bi.x, xTrue), 1e-6);
+
+    KrylovResult gm = acc.gmres(b);
+    EXPECT_TRUE(gm.converged);
+    EXPECT_LT(maxAbsDiff(gm.x, xTrue), 1e-6);
+    EXPECT_GT(acc.report().cycles, 0u);
+}
+
+TEST(Sptrsv, LowerSolveIsExactInOneSweep)
+{
+    // Build a lower-triangular system with unit-ish diagonal.
+    Rng rng(13);
+    CooMatrix coo(40, 40);
+    for (Index r = 0; r < 40; ++r) {
+        coo.add(r, r, 2.0 + rng.nextDouble());
+        for (Index k = 0; k < 3 && r > 0; ++k)
+            coo.add(r, Index(rng.nextRange(r)), rng.nextDouble(-1.0, 1.0));
+    }
+    coo.canonicalize();
+    CsrMatrix l = CsrMatrix::fromCoo(coo);
+
+    DenseVector xTrue = randomVector(40, 14);
+    DenseVector b = spmv(l, xTrue);
+
+    Accelerator acc;
+    acc.loadPde(l);
+    DenseVector x = acc.sptrsvLower(b);
+    EXPECT_LT(maxAbsDiff(x, xTrue), 1e-10);
+}
+
+TEST(Sptrsv, UpperSolveIsExactInOneSweep)
+{
+    Rng rng(15);
+    CooMatrix coo(40, 40);
+    for (Index r = 0; r < 40; ++r) {
+        coo.add(r, r, 2.0 + rng.nextDouble());
+        for (Index k = 0; k < 3 && r + 1 < 40; ++k) {
+            Index c = r + 1 + Index(rng.nextRange(40 - r - 1));
+            coo.add(r, c, rng.nextDouble(-1.0, 1.0));
+        }
+    }
+    coo.canonicalize();
+    CsrMatrix u = CsrMatrix::fromCoo(coo);
+
+    DenseVector xTrue = randomVector(40, 16);
+    DenseVector b = spmv(u, xTrue);
+
+    Accelerator acc;
+    acc.loadPde(u);
+    DenseVector x = acc.sptrsvUpper(b);
+    EXPECT_LT(maxAbsDiff(x, xTrue), 1e-10);
+}
+
+TEST(Components, ReferenceFindsDisjointChains)
+{
+    CooMatrix coo(7, 7);
+    coo.add(0, 1, 1.0);
+    coo.add(1, 0, 1.0);
+    coo.add(2, 3, 1.0);
+    coo.add(3, 2, 1.0);
+    coo.add(3, 4, 1.0);
+    coo.add(4, 3, 1.0);
+    CsrMatrix g = CsrMatrix::fromCoo(coo);
+    DenseVector labels = connectedComponentsReference(g);
+    EXPECT_DOUBLE_EQ(labels[0], 0.0);
+    EXPECT_DOUBLE_EQ(labels[1], 0.0);
+    EXPECT_DOUBLE_EQ(labels[2], 2.0);
+    EXPECT_DOUBLE_EQ(labels[4], 2.0);
+    EXPECT_DOUBLE_EQ(labels[5], 5.0); // isolated
+    EXPECT_DOUBLE_EQ(labels[6], 6.0);
+}
+
+TEST(Components, AcceleratorMatchesReferenceOnSymmetricGraphs)
+{
+    Rng rng(17);
+    CsrMatrix g = gen::roadGrid(12, 9, 0.0, rng);
+    Accelerator acc;
+    acc.loadGraph(g);
+    GraphResult res = acc.connectedComponents();
+    EXPECT_EQ(res.values, connectedComponentsReference(g));
+    EXPECT_GE(res.rounds, 1);
+}
+
+TEST(Components, MultipleComponentsOnAccelerator)
+{
+    // Two disjoint grids glued into one adjacency matrix.
+    Rng rng(18);
+    CsrMatrix g1 = gen::roadGrid(5, 4, 0.0, rng);
+    CooMatrix coo(40, 40);
+    for (Index r = 0; r < 20; ++r) {
+        for (Index k = g1.rowPtr()[r]; k < g1.rowPtr()[r + 1]; ++k) {
+            coo.add(r, g1.colIdx()[k], g1.vals()[k]);
+            coo.add(r + 20, g1.colIdx()[k] + 20, g1.vals()[k]);
+        }
+    }
+    CsrMatrix g = CsrMatrix::fromCoo(coo);
+
+    Accelerator acc;
+    acc.loadGraph(g);
+    GraphResult res = acc.connectedComponents();
+    for (Index v = 0; v < 20; ++v) {
+        EXPECT_DOUBLE_EQ(res.values[v], 0.0);
+        EXPECT_DOUBLE_EQ(res.values[v + 20], 20.0);
+    }
+}
+
+} // namespace
+} // namespace alr

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Matrix Market reader/writer tests, including symmetric/pattern
+ * variants and malformed-input rejection.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "sparse/coo.hh"
+#include "sparse/csr.hh"
+#include "sparse/generators.hh"
+#include "sparse/mmio.hh"
+
+namespace alr {
+namespace {
+
+TEST(Mmio, WriteReadRoundTrip)
+{
+    Rng rng(1);
+    CsrMatrix a = gen::randomSparse(20, 14, 3, rng);
+    CooMatrix coo = a.toCoo();
+
+    std::stringstream ss;
+    writeMatrixMarket(ss, coo);
+    CooMatrix back = readMatrixMarket(ss);
+    EXPECT_EQ(back, coo);
+}
+
+TEST(Mmio, ReadsGeneralRealFile)
+{
+    std::stringstream ss;
+    ss << "%%MatrixMarket matrix coordinate real general\n"
+       << "% a comment line\n"
+       << "3 3 2\n"
+       << "1 2 1.5\n"
+       << "3 1 -2.0\n";
+    CooMatrix coo = readMatrixMarket(ss);
+    EXPECT_EQ(coo.rows(), 3u);
+    EXPECT_EQ(coo.nnz(), 2u);
+    EXPECT_DOUBLE_EQ(CsrMatrix::fromCoo(coo).at(0, 1), 1.5);
+    EXPECT_DOUBLE_EQ(CsrMatrix::fromCoo(coo).at(2, 0), -2.0);
+}
+
+TEST(Mmio, ExpandsSymmetricFiles)
+{
+    std::stringstream ss;
+    ss << "%%MatrixMarket matrix coordinate real symmetric\n"
+       << "3 3 2\n"
+       << "2 1 4.0\n"
+       << "3 3 7.0\n";
+    CooMatrix coo = readMatrixMarket(ss);
+    CsrMatrix a = CsrMatrix::fromCoo(coo);
+    EXPECT_DOUBLE_EQ(a.at(1, 0), 4.0);
+    EXPECT_DOUBLE_EQ(a.at(0, 1), 4.0);
+    EXPECT_DOUBLE_EQ(a.at(2, 2), 7.0);
+    EXPECT_EQ(a.nnz(), 3u);
+}
+
+TEST(Mmio, ExpandsSkewSymmetric)
+{
+    std::stringstream ss;
+    ss << "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+       << "2 2 1\n"
+       << "2 1 3.0\n";
+    CsrMatrix a = CsrMatrix::fromCoo(readMatrixMarket(ss));
+    EXPECT_DOUBLE_EQ(a.at(1, 0), 3.0);
+    EXPECT_DOUBLE_EQ(a.at(0, 1), -3.0);
+}
+
+TEST(Mmio, PatternFilesGetUnitValues)
+{
+    std::stringstream ss;
+    ss << "%%MatrixMarket matrix coordinate pattern general\n"
+       << "2 2 2\n"
+       << "1 1\n"
+       << "2 2\n";
+    CsrMatrix a = CsrMatrix::fromCoo(readMatrixMarket(ss));
+    EXPECT_DOUBLE_EQ(a.at(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(a.at(1, 1), 1.0);
+}
+
+TEST(Mmio, RejectsMissingBanner)
+{
+    std::stringstream ss;
+    ss << "not a matrix\n1 1 0\n";
+    EXPECT_THROW(readMatrixMarket(ss), std::runtime_error);
+}
+
+TEST(Mmio, RejectsArrayFormat)
+{
+    std::stringstream ss;
+    ss << "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n";
+    EXPECT_THROW(readMatrixMarket(ss), std::runtime_error);
+}
+
+TEST(Mmio, RejectsOutOfRangeIndices)
+{
+    std::stringstream ss;
+    ss << "%%MatrixMarket matrix coordinate real general\n"
+       << "2 2 1\n"
+       << "3 1 1.0\n";
+    EXPECT_THROW(readMatrixMarket(ss), std::runtime_error);
+}
+
+TEST(Mmio, RejectsTruncatedEntryList)
+{
+    std::stringstream ss;
+    ss << "%%MatrixMarket matrix coordinate real general\n"
+       << "2 2 2\n"
+       << "1 1 1.0\n";
+    EXPECT_THROW(readMatrixMarket(ss), std::runtime_error);
+}
+
+TEST(Mmio, FileRoundTrip)
+{
+    Rng rng(2);
+    CsrMatrix a = gen::randomSpd(25, 4, rng);
+    std::string path = ::testing::TempDir() + "/alr_mmio_test.mtx";
+    writeMatrixMarketFile(path, a.toCoo());
+    CooMatrix back = readMatrixMarketFile(path);
+    EXPECT_EQ(CsrMatrix::fromCoo(back), a);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace alr

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Geometric-multigrid tests: hierarchy construction, transfer-operator
+ * identities, V-cycle convergence, and MG-PCG iteration reduction --
+ * including with the smoother routed through the Alrescha engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "alrescha/accelerator.hh"
+#include "kernels/blas1.hh"
+#include "kernels/multigrid.hh"
+#include "kernels/pcg.hh"
+#include "kernels/smoothers.hh"
+#include "kernels/spmv.hh"
+
+namespace alr {
+namespace {
+
+TEST(Multigrid, BuildsRequestedHierarchy)
+{
+    GeometricMultigrid mg(16, 16, 16, 27, 3);
+    ASSERT_EQ(mg.numLevels(), 3);
+    EXPECT_EQ(mg.level(0).points(), 4096u);
+    EXPECT_EQ(mg.level(1).points(), 512u);
+    EXPECT_EQ(mg.level(2).points(), 64u);
+}
+
+TEST(Multigrid, StopsWhenGridStopsHalving)
+{
+    GeometricMultigrid mg(4, 4, 4, 7, 6);
+    EXPECT_LT(mg.numLevels(), 6);
+    EXPECT_GE(mg.numLevels(), 1);
+}
+
+TEST(Multigrid, Works2d)
+{
+    GeometricMultigrid mg(32, 32, 1, 5, 3);
+    ASSERT_EQ(mg.numLevels(), 3);
+    EXPECT_EQ(mg.level(1).points(), 256u);
+}
+
+TEST(Multigrid, RestrictionSamplesEvenPoints)
+{
+    GeometricMultigrid mg(8, 8, 1, 5, 2);
+    DenseVector fine(64);
+    for (Index i = 0; i < 64; ++i)
+        fine[i] = Value(i);
+    DenseVector coarse = mg.restrictToCoarse(0, fine);
+    ASSERT_EQ(coarse.size(), 16u);
+    // Coarse (x, y) samples fine (2x, 2y).
+    EXPECT_DOUBLE_EQ(coarse[0], fine[0]);
+    EXPECT_DOUBLE_EQ(coarse[1], fine[2]);
+    EXPECT_DOUBLE_EQ(coarse[4], fine[16]);
+}
+
+TEST(Multigrid, ProlongThenRestrictIsIdentity)
+{
+    GeometricMultigrid mg(16, 16, 1, 5, 2);
+    DenseVector coarse(64);
+    for (Index i = 0; i < 64; ++i)
+        coarse[i] = Value(i) * 0.5;
+    DenseVector fine(256, 0.0);
+    mg.prolongAndAdd(0, coarse, fine);
+    EXPECT_EQ(mg.restrictToCoarse(0, fine), coarse);
+}
+
+TEST(Multigrid, VcycleIterationConvergesInFewerApplications)
+{
+    // Stationary iteration z += M(b - A z): the V-cycle preconditioner
+    // must need far fewer applications than plain SymGS smoothing to
+    // reach tolerance on a Poisson problem, where smooth error kills
+    // single-level smoothers.
+    GeometricMultigrid mg(32, 32, 1, 5, 3, MgTransfer::FullWeighting);
+    const CsrMatrix &a = mg.fineMatrix();
+    DenseVector b(a.rows(), 1.0);
+    Value normb = norm2(b);
+
+    auto applications = [&](auto &&apply) {
+        DenseVector z(a.rows(), 0.0);
+        for (int it = 1; it <= 500; ++it) {
+            apply(z);
+            if (norm2(residual(a, b, z)) < 1e-8 * normb)
+                return it;
+        }
+        return 500;
+    };
+
+    int cycles = applications([&](DenseVector &z) {
+        DenseVector r = residual(a, b, z);
+        DenseVector dz =
+            mg.vcycle(r, GeometricMultigrid::hostSymGsSmoother());
+        axpy(1.0, dz, z);
+    });
+    int sweeps = applications([&](DenseVector &z) {
+        gaussSeidelSweep(a, b, z, GsSweep::Symmetric);
+    });
+
+    EXPECT_LT(cycles, sweeps / 3);
+}
+
+TEST(Multigrid, GalerkinCoarseOperatorsAreSymmetric)
+{
+    GeometricMultigrid mg(16, 16, 16, 27, 3, MgTransfer::FullWeighting);
+    for (int l = 0; l < mg.numLevels(); ++l) {
+        EXPECT_TRUE(mg.level(l).a.isSymmetric(1e-9)) << "level " << l;
+        // Galerkin coarsening keeps a usable diagonal.
+        for (Index r = 0; r < mg.level(l).a.rows(); ++r)
+            ASSERT_NE(mg.level(l).a.at(r, r), 0.0);
+    }
+}
+
+TEST(Multigrid, PcgWithVcyclePreconditionerConvergesFaster)
+{
+    GeometricMultigrid mg(16, 16, 16, 27, 3);
+    const CsrMatrix &a = mg.fineMatrix();
+    DenseVector xTrue(a.rows(), 1.0);
+    DenseVector b = spmv(a, xTrue);
+
+    PcgKernels mgk;
+    mgk.spmv = [&](const DenseVector &x) { return spmv(a, x); };
+    mgk.precond = [&](const DenseVector &r) {
+        return mg.vcycle(r, GeometricMultigrid::hostSymGsSmoother());
+    };
+    PcgResult mgres = pcgSolveWith(mgk, b, a.rows());
+    PcgResult flat = pcgSolve(a, b);
+
+    EXPECT_TRUE(mgres.converged);
+    EXPECT_LE(mgres.iterations, flat.iterations);
+    EXPECT_LT(maxAbsDiff(mgres.x, xTrue), 1e-6);
+}
+
+TEST(Multigrid, AcceleratedSmootherMatchesHostSmoother)
+{
+    GeometricMultigrid mg(16, 16, 1, 5, 2);
+
+    std::vector<std::unique_ptr<Accelerator>> accel;
+    for (int l = 0; l < mg.numLevels(); ++l) {
+        accel.push_back(std::make_unique<Accelerator>());
+        accel.back()->loadPde(mg.level(l).a);
+    }
+    MgSmoother onAccel = [&](int l, const MgLevel &, const DenseVector &b,
+                             DenseVector &x) {
+        accel[size_t(l)]->symgsSweep(b, x, GsSweep::Symmetric);
+    };
+
+    DenseVector r(mg.fineMatrix().rows(), 1.0);
+    DenseVector zh =
+        mg.vcycle(r, GeometricMultigrid::hostSymGsSmoother());
+    DenseVector za = mg.vcycle(r, onAccel);
+    ASSERT_EQ(zh.size(), za.size());
+    for (size_t i = 0; i < zh.size(); ++i)
+        EXPECT_NEAR(zh[i], za[i], 1e-9);
+}
+
+TEST(MultigridDeath, LevelOutOfRangePanics)
+{
+    GeometricMultigrid mg(8, 8, 1, 5, 2);
+    EXPECT_DEATH(mg.level(5), "out of");
+}
+
+} // namespace
+} // namespace alr

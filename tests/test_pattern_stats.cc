@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Pattern-analytics tests: the structural quantities driving the
+ * paper's discussion (bandwidth, diagonal fraction, block density).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "sparse/coo.hh"
+#include "sparse/generators.hh"
+#include "sparse/pattern_stats.hh"
+
+namespace alr {
+namespace {
+
+TEST(PatternStats, TridiagonalBasics)
+{
+    CsrMatrix a = gen::tridiagonal(16);
+    PatternStats s = analyzePattern(a, 4);
+    EXPECT_EQ(s.rows, 16u);
+    EXPECT_EQ(s.nnz, 46u);
+    EXPECT_EQ(s.bandwidth, 1u);
+    EXPECT_EQ(s.maxRowNnz, 3u);
+    EXPECT_DOUBLE_EQ(s.diagFraction, 1.0); // everything within the band
+}
+
+TEST(PatternStats, DiagBlockFractionOnPureDiagonal)
+{
+    CooMatrix coo(16, 16);
+    for (Index i = 0; i < 16; ++i)
+        coo.add(i, i, 1.0);
+    PatternStats s = analyzePattern(CsrMatrix::fromCoo(coo), 4);
+    EXPECT_DOUBLE_EQ(s.diagBlockFraction, 1.0);
+    EXPECT_EQ(s.nonEmptyBlocks, 4u);
+    EXPECT_DOUBLE_EQ(s.blockDensity, 16.0 / (4.0 * 16.0));
+}
+
+TEST(PatternStats, OffDiagonalEntryDetected)
+{
+    CooMatrix coo(16, 16);
+    for (Index i = 0; i < 16; ++i)
+        coo.add(i, i, 1.0);
+    coo.add(0, 15, 1.0);
+    PatternStats s = analyzePattern(CsrMatrix::fromCoo(coo), 4);
+    EXPECT_EQ(s.bandwidth, 15u);
+    EXPECT_LT(s.diagBlockFraction, 1.0);
+}
+
+TEST(PatternStats, DensityIsExact)
+{
+    Rng rng(1);
+    CsrMatrix a = gen::randomSparse(20, 30, 4, rng);
+    PatternStats s = analyzePattern(a, 8);
+    EXPECT_DOUBLE_EQ(s.density, double(a.nnz()) / (20.0 * 30.0));
+    EXPECT_DOUBLE_EQ(s.meanRowNnz, double(a.nnz()) / 20.0);
+}
+
+TEST(PatternStats, BlockDensityDropsWithLargerBlocks)
+{
+    Rng rng(2);
+    CsrMatrix a = gen::banded(256, 4, 0.8, rng);
+    PatternStats s8 = analyzePattern(a, 8);
+    PatternStats s32 = analyzePattern(a, 32);
+    // The §5.2 rationale for omega = 8: bigger blocks dilute fill.
+    EXPECT_GT(s8.blockDensity, s32.blockDensity);
+}
+
+TEST(PatternStats, EmptyMatrix)
+{
+    CsrMatrix a = CsrMatrix::fromCoo(CooMatrix(4, 4));
+    PatternStats s = analyzePattern(a, 2);
+    EXPECT_EQ(s.nnz, 0u);
+    EXPECT_DOUBLE_EQ(s.blockDensity, 0.0);
+    EXPECT_EQ(s.nonEmptyBlocks, 0u);
+}
+
+} // namespace
+} // namespace alr

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Cross-module property sweeps: randomized invariants spanning the
+ * whole stack -- format/metadata identities, engine-vs-reference
+ * agreement under composed transformations (reordering, block-width
+ * change, serialization), timing monotonicity, and energy accounting.
+ * Each property runs over a range of random seeds via TEST_P.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "alrescha/accelerator.hh"
+#include "alrescha/program_image.hh"
+#include "common/random.hh"
+#include "kernels/blas1.hh"
+#include "kernels/graph.hh"
+#include "kernels/spmv.hh"
+#include "kernels/symgs.hh"
+#include "sparse/algebra.hh"
+#include "sparse/bcsr.hh"
+#include "sparse/generators.hh"
+#include "sparse/pattern_stats.hh"
+#include "sparse/reorder.hh"
+
+namespace alr {
+namespace {
+
+class Seeded : public ::testing::TestWithParam<uint64_t>
+{
+  protected:
+    Rng rng{GetParam()};
+
+    DenseVector
+    randomVector(Index n)
+    {
+        DenseVector v(n);
+        for (auto &e : v)
+            e = rng.nextDouble(-1.0, 1.0);
+        return v;
+    }
+};
+
+/** The locally-dense encoding never changes the represented matrix,
+ *  for any layout and any block width. */
+TEST_P(Seeded, EncodingIsLossless)
+{
+    CsrMatrix a = gen::randomSpd(30 + Index(GetParam() % 37), 5, rng);
+    for (Index omega : {2u, 5u, 8u, 13u}) {
+        EXPECT_EQ(
+            LocallyDenseMatrix::encode(a, omega, LdLayout::Plain).decode(),
+            a);
+        EXPECT_EQ(
+            LocallyDenseMatrix::encode(a, omega, LdLayout::SymGs).decode(),
+            a);
+    }
+}
+
+/** Metadata equals BCSR's for every block width (the §4.5 claim). */
+TEST_P(Seeded, MetadataAlwaysMatchesBcsr)
+{
+    CsrMatrix a = gen::randomSparse(64, 64, 6, rng);
+    for (Index omega : {4u, 8u, 16u}) {
+        auto ld = LocallyDenseMatrix::encode(a, omega, LdLayout::Plain);
+        EXPECT_EQ(ld.metadataBytes(),
+                  BcsrMatrix::fromCsr(a, omega).metadataBytes());
+    }
+}
+
+/** SymGS on the accelerator commutes with symmetric permutation:
+ *  solving the permuted system gives the permuted sweep result. */
+TEST_P(Seeded, SymGsCommutesWithRcm)
+{
+    CsrMatrix a = gen::banded(60, 5, 0.7, rng);
+    DenseVector b = randomVector(60);
+
+    auto perm = reverseCuthillMcKee(a);
+    CsrMatrix ap = a.permuted(perm);
+    DenseVector bp = permuteVector(b, perm);
+
+    // Reference forward sweep on the permuted system...
+    DenseVector xp(60, 0.0);
+    gaussSeidelSweep(ap, bp, xp, GsSweep::Forward);
+
+    // ...must equal the accelerator's sweep on the same system.
+    Accelerator acc;
+    acc.loadPde(ap);
+    DenseVector xa(60, 0.0);
+    acc.symgsSweep(bp, xa, GsSweep::Forward);
+    for (Index i = 0; i < 60; ++i)
+        EXPECT_NEAR(xa[i], xp[i], 1e-10);
+}
+
+/** Serialization round trips preserve engine behaviour exactly. */
+TEST_P(Seeded, ProgramImagePreservesExecution)
+{
+    CsrMatrix a = gen::banded(48, 4, 0.8, rng);
+    DenseVector x = randomVector(48);
+
+    Accelerator direct;
+    direct.loadSpmvOnly(a);
+    DenseVector want = direct.spmv(x);
+
+    std::stringstream ss;
+    saveProgramImage(ss, buildSpmvProgram(a, 8));
+    ProgramImage image = loadProgramImage(ss);
+    Engine engine;
+    engine.program(&image.matrix, &image.tables[0]);
+    EXPECT_EQ(engine.runSpmv(x), want);
+}
+
+/** Cycles are monotone in matrix size for a fixed structure class. */
+TEST_P(Seeded, CyclesMonotoneInProblemSize)
+{
+    uint64_t prev = 0;
+    for (Index n : {128u, 256u, 512u}) {
+        CsrMatrix a = gen::banded(n, 4, 0.8, rng);
+        Accelerator acc;
+        acc.loadPde(a);
+        DenseVector b(n, 1.0), x(n, 0.0);
+        acc.symgsSweep(b, x, GsSweep::Symmetric);
+        EXPECT_GT(acc.engine().totalCycles(), prev);
+        prev = acc.engine().totalCycles();
+    }
+}
+
+/** Energy components are consistent: total equals the sum of parts
+ *  and every part is non-negative. */
+TEST_P(Seeded, EnergyAccountingIsConsistent)
+{
+    CsrMatrix a = gen::randomSpd(96, 6, rng);
+    Accelerator acc;
+    acc.loadPde(a);
+    DenseVector b(96, 1.0), x(96, 0.0);
+    acc.symgsSweep(b, x, GsSweep::Symmetric);
+    acc.spmv(x);
+
+    EnergyBreakdown e = acc.report().energy;
+    EXPECT_GE(e.dram, 0.0);
+    EXPECT_GE(e.sram, 0.0);
+    EXPECT_GE(e.compute, 0.0);
+    EXPECT_GE(e.reconfig, 0.0);
+    EXPECT_GE(e.staticEnergy, 0.0);
+    EXPECT_NEAR(e.total(),
+                e.dram + e.sram + e.compute + e.reconfig +
+                    e.staticEnergy,
+                1e-18);
+}
+
+/** The engine's useful-byte count never exceeds total traffic. */
+TEST_P(Seeded, UsefulBytesBoundedByTraffic)
+{
+    CsrMatrix a = gen::blockStructured(128, 8, 3,
+                                       0.2 + 0.1 * double(GetParam() % 7),
+                                       rng);
+    Accelerator acc;
+    acc.loadSpmvOnly(a);
+    acc.spmv(DenseVector(128, 1.0));
+    double useful =
+        acc.engine().statGroup().lookup("useful_bytes");
+    EXPECT_LE(useful, acc.engine().memory().totalBytes() + 1e-9);
+    EXPECT_GT(useful, 0.0);
+}
+
+/** Graph kernels are invariant under vertex relabeling. */
+TEST_P(Seeded, BfsInvariantUnderRelabeling)
+{
+    CsrMatrix g = gen::rmat(6, 5, rng);
+    std::vector<Index> perm;
+    for (auto v : rng.permutation(g.rows()))
+        perm.push_back(v);
+    CsrMatrix gp = g.permuted(perm);
+
+    // source s in g corresponds to the position of s in perm.
+    Index s = 0;
+    Index sp = 0;
+    for (Index i = 0; i < gp.rows(); ++i) {
+        if (perm[i] == s)
+            sp = i;
+    }
+
+    Accelerator a1, a2;
+    a1.loadGraph(g);
+    a2.loadGraph(gp);
+    DenseVector d1 = a1.bfs(s).values;
+    DenseVector d2 = a2.bfs(sp).values;
+    for (Index i = 0; i < gp.rows(); ++i)
+        EXPECT_EQ(d2[i], d1[perm[i]]);
+}
+
+/** A^T (A x) computed on the accelerator equals the Gram product. */
+TEST_P(Seeded, SpmvComposesWithSpgemm)
+{
+    CsrMatrix a = gen::randomSparse(24, 18, 4, rng);
+    CsrMatrix gram = spgemm(a.transposed(), a); // 18 x 18
+    DenseVector x = randomVector(18);
+
+    Accelerator acc;
+    acc.loadSpmvOnly(a);
+    DenseVector ax = acc.spmv(x);
+    acc.loadSpmvOnly(a.transposed());
+    DenseVector atax = acc.spmv(ax);
+
+    DenseVector want = spmv(gram, x);
+    for (Index i = 0; i < 18; ++i)
+        EXPECT_NEAR(atax[i], want[i], 1e-10);
+}
+
+/** PCG on the accelerator solves every SPD structure class. */
+TEST_P(Seeded, PcgSolvesAcrossStructureClasses)
+{
+    std::vector<CsrMatrix> systems;
+    systems.push_back(gen::banded(64, 4, 0.7, rng));
+    systems.push_back(gen::blockStructured(64, 8, 3, 0.6, rng));
+    systems.push_back(gen::randomSpd(64, 5, rng));
+    for (const CsrMatrix &a : systems) {
+        DenseVector xTrue = randomVector(a.rows());
+        DenseVector b = spmv(a, xTrue);
+        Accelerator acc;
+        acc.loadPde(a);
+        PcgResult res = acc.pcg(b);
+        EXPECT_TRUE(res.converged);
+        EXPECT_LT(maxAbsDiff(res.x, xTrue), 1e-5);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Seeded,
+                         ::testing::Range<uint64_t>(1000, 1010));
+
+} // namespace
+} // namespace alr

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Stationary-smoother tests: Jacobi/SOR correctness, convergence, and
+ * the classical relationships between them and Gauss-Seidel.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "kernels/blas1.hh"
+#include "kernels/eigen.hh"
+#include "kernels/multigrid.hh"
+#include "kernels/smoothers.hh"
+#include "kernels/spmv.hh"
+#include "kernels/symgs.hh"
+#include "sparse/coo.hh"
+#include "sparse/generators.hh"
+
+namespace alr {
+namespace {
+
+Value
+residualNorm(const CsrMatrix &a, const DenseVector &b,
+             const DenseVector &x)
+{
+    return norm2(residual(a, b, x));
+}
+
+TEST(Jacobi, ExactOnDiagonalSystem)
+{
+    CooMatrix coo(3, 3);
+    coo.add(0, 0, 2.0);
+    coo.add(1, 1, 4.0);
+    coo.add(2, 2, 8.0);
+    CsrMatrix a = CsrMatrix::fromCoo(coo);
+    DenseVector b = {2.0, 8.0, 32.0};
+    DenseVector x(3, 0.0);
+    jacobiSweep(a, b, x);
+    EXPECT_DOUBLE_EQ(x[0], 1.0);
+    EXPECT_DOUBLE_EQ(x[1], 2.0);
+    EXPECT_DOUBLE_EQ(x[2], 4.0);
+}
+
+TEST(Jacobi, ConvergesOnDiagonallyDominantSystem)
+{
+    Rng rng(1);
+    CsrMatrix a = gen::banded(60, 3, 0.7, rng);
+    DenseVector b(60, 1.0);
+    DenseVector x(60, 0.0);
+    Value prev = residualNorm(a, b, x);
+    for (int it = 0; it < 60; ++it)
+        jacobiSweep(a, b, x);
+    EXPECT_LT(residualNorm(a, b, x), 1e-6 * prev);
+}
+
+TEST(Jacobi, WeightedConvergesWhereUnitOscillates)
+{
+    // Weighted Jacobi damps high-frequency error on the Poisson
+    // operator; w = 2/3 must reduce the residual monotonically.
+    CsrMatrix a = gen::stencil2d(12, 12, 5);
+    DenseVector b(144, 1.0);
+    DenseVector x(144, 0.0);
+    Value prev = 1e300;
+    for (int it = 0; it < 30; ++it) {
+        jacobiSweep(a, b, x, 2.0 / 3.0);
+        Value res = residualNorm(a, b, x);
+        EXPECT_LE(res, prev * (1.0 + 1e-12));
+        prev = res;
+    }
+}
+
+TEST(Sor, UnitRelaxationEqualsGaussSeidel)
+{
+    Rng rng(2);
+    CsrMatrix a = gen::banded(40, 4, 0.8, rng);
+    DenseVector b(40, 0.5);
+    DenseVector x1(40, 0.1), x2(40, 0.1);
+    sorSweep(a, b, x1, 1.0);
+    gaussSeidelSweep(a, b, x2, GsSweep::Forward);
+    for (Index i = 0; i < 40; ++i)
+        EXPECT_DOUBLE_EQ(x1[i], x2[i]);
+}
+
+TEST(Sor, OverRelaxationAcceleratesPoisson)
+{
+    // On the 2D Poisson operator, SOR with omega ~ 1.5 converges in
+    // fewer sweeps than Gauss-Seidel.
+    CsrMatrix a = gen::stencil2d(16, 16, 5);
+    DenseVector b(256, 1.0);
+
+    auto sweepsToTol = [&](Value omega_r) {
+        DenseVector x(256, 0.0);
+        int sweeps = 0;
+        while (residualNorm(a, b, x) > 1e-8 && sweeps < 2000) {
+            sorSweep(a, b, x, omega_r);
+            ++sweeps;
+        }
+        return sweeps;
+    };
+    int gs = sweepsToTol(1.0);
+    int sor = sweepsToTol(1.5);
+    EXPECT_LT(sor, gs);
+}
+
+TEST(Sor, GaussSeidelBeatsJacobiInSweeps)
+{
+    Rng rng(3);
+    CsrMatrix a = gen::banded(80, 3, 0.8, rng);
+    DenseVector b(80, 1.0);
+
+    DenseVector xj(80, 0.0), xg(80, 0.0);
+    for (int it = 0; it < 10; ++it) {
+        jacobiSweep(a, b, xj);
+        gaussSeidelSweep(a, b, xg, GsSweep::Forward);
+    }
+    EXPECT_LT(residualNorm(a, b, xg), residualNorm(a, b, xj));
+}
+
+TEST(Residual, ZeroAtExactSolution)
+{
+    Rng rng(4);
+    CsrMatrix a = gen::banded(30, 2, 0.9, rng);
+    DenseVector x(30, 0.7);
+    DenseVector b = spmv(a, x);
+    EXPECT_LT(norm2(residual(a, b, x)), 1e-12);
+}
+
+TEST(SorDeath, RejectsOutOfRangeRelaxation)
+{
+    CsrMatrix a = gen::tridiagonal(4);
+    DenseVector b(4, 1.0), x(4, 0.0);
+    EXPECT_DEATH(sorSweep(a, b, x, 2.5), "omega");
+}
+
+TEST(Chebyshev, ReducesResidualOnPoisson)
+{
+    CsrMatrix a = gen::stencil2d(16, 16, 5);
+    LanczosResult spec = lanczos(a);
+    DenseVector b(256, 1.0);
+    DenseVector x(256, 0.0);
+    Value before = residualNorm(a, b, x);
+    // Full-spectrum interval: the convergence factor per sweep is
+    // ~2((sqrt(k)-1)/(sqrt(k)+1))^d; degree 20 comfortably beats 5x.
+    chebyshevSmooth(a, b, x, spec.lambdaMin, spec.lambdaMax, 20);
+    EXPECT_LT(residualNorm(a, b, x), 0.2 * before);
+}
+
+TEST(Chebyshev, HigherDegreeSmoothsMore)
+{
+    CsrMatrix a = gen::stencil2d(12, 12, 5);
+    LanczosResult spec = lanczos(a);
+    DenseVector b(144, 1.0);
+
+    auto residualAfter = [&](int degree) {
+        DenseVector x(144, 0.0);
+        chebyshevSmooth(a, b, x, spec.lambdaMin, spec.lambdaMax,
+                        degree);
+        return residualNorm(a, b, x);
+    };
+    EXPECT_LT(residualAfter(8), residualAfter(2));
+    EXPECT_LT(residualAfter(16), residualAfter(8));
+}
+
+TEST(Chebyshev, WorksAsMultigridSmoother)
+{
+    // A Chebyshev-smoothed V-cycle must still beat plain smoothing.
+    GeometricMultigrid mg(16, 16, 1, 5, 2, MgTransfer::FullWeighting);
+    std::vector<LanczosResult> spec;
+    for (int l = 0; l < mg.numLevels(); ++l)
+        spec.push_back(lanczos(mg.level(l).a));
+
+    MgSmoother cheb = [&](int l, const MgLevel &lvl, const DenseVector &b,
+                          DenseVector &x) {
+        chebyshevSmooth(lvl.a, b, x, spec[size_t(l)].lambdaMax / 10.0,
+                        spec[size_t(l)].lambdaMax, 3);
+    };
+    const CsrMatrix &a = mg.fineMatrix();
+    DenseVector b(a.rows(), 1.0);
+    DenseVector z = mg.vcycle(b, cheb);
+    DenseVector zj(a.rows(), 0.0);
+    jacobiSweep(a, b, zj, 2.0 / 3.0);
+    jacobiSweep(a, b, zj, 2.0 / 3.0);
+    EXPECT_LT(norm2(residual(a, b, z)), norm2(residual(a, b, zj)));
+}
+
+TEST(ChebyshevDeath, RejectsBadInterval)
+{
+    CsrMatrix a = gen::tridiagonal(4);
+    DenseVector b(4, 1.0), x(4, 0.0);
+    EXPECT_DEATH(chebyshevSmooth(a, b, x, 3.0, 1.0, 4), "interval");
+}
+
+} // namespace
+} // namespace alr

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Round-trip and invariant tests for every sparse storage format.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "sparse/bcsr.hh"
+#include "sparse/coo.hh"
+#include "sparse/csc.hh"
+#include "sparse/csr.hh"
+#include "sparse/dense.hh"
+#include "sparse/dia.hh"
+#include "sparse/ell.hh"
+#include "sparse/generators.hh"
+
+namespace alr {
+namespace {
+
+CooMatrix
+randomCoo(Index rows, Index cols, Index entries, uint64_t seed)
+{
+    Rng rng(seed);
+    CooMatrix coo(rows, cols);
+    for (Index i = 0; i < entries; ++i) {
+        coo.add(Index(rng.nextRange(rows)), Index(rng.nextRange(cols)),
+                rng.nextDouble(-5.0, 5.0));
+    }
+    coo.canonicalize();
+    return coo;
+}
+
+TEST(Coo, CanonicalizeSortsAndMerges)
+{
+    CooMatrix coo(3, 3);
+    coo.add(2, 1, 1.0);
+    coo.add(0, 0, 2.0);
+    coo.add(2, 1, 3.0);
+    coo.add(1, 2, -1.0);
+    coo.canonicalize();
+    ASSERT_EQ(coo.nnz(), 3u);
+    EXPECT_TRUE(coo.isCanonical());
+    EXPECT_EQ(coo.triplets()[2].val, 4.0); // merged duplicate
+}
+
+TEST(Coo, CanonicalizeDropsExplicitZeros)
+{
+    CooMatrix coo(2, 2);
+    coo.add(0, 0, 1.0);
+    coo.add(0, 1, 2.0);
+    coo.add(0, 1, -2.0); // cancels
+    coo.canonicalize();
+    EXPECT_EQ(coo.nnz(), 1u);
+}
+
+TEST(Coo, TransposeIsInvolution)
+{
+    CooMatrix coo = randomCoo(17, 23, 60, 1);
+    EXPECT_EQ(coo.transposed().transposed(), coo);
+}
+
+TEST(Coo, MakeSpdYieldsSymmetricDominantMatrix)
+{
+    CooMatrix coo = randomCoo(20, 20, 80, 2);
+    coo.makeSpd();
+    CsrMatrix csr = CsrMatrix::fromCoo(coo);
+    EXPECT_TRUE(csr.isSymmetric(1e-12));
+    for (Index r = 0; r < csr.rows(); ++r) {
+        Value offsum = 0.0;
+        for (Index k = csr.rowPtr()[r]; k < csr.rowPtr()[r + 1]; ++k) {
+            if (csr.colIdx()[k] != r)
+                offsum += std::abs(csr.vals()[k]);
+        }
+        EXPECT_GE(csr.at(r, r), offsum) << "row " << r;
+    }
+}
+
+TEST(Dense, MultiplyMatchesManual)
+{
+    DenseMatrix a(2, 3);
+    a(0, 0) = 1.0; a(0, 1) = 2.0; a(0, 2) = 3.0;
+    a(1, 0) = -1.0; a(1, 2) = 4.0;
+    DenseVector x = {1.0, 2.0, 3.0};
+    DenseVector y = a.multiply(x);
+    EXPECT_DOUBLE_EQ(y[0], 14.0);
+    EXPECT_DOUBLE_EQ(y[1], 11.0);
+}
+
+TEST(Csr, RoundTripThroughCoo)
+{
+    CooMatrix coo = randomCoo(31, 19, 120, 3);
+    CsrMatrix csr = CsrMatrix::fromCoo(coo);
+    EXPECT_EQ(csr.toCoo(), coo);
+}
+
+TEST(Csr, AtFindsStoredAndMissingEntries)
+{
+    CooMatrix coo(4, 4);
+    coo.add(1, 2, 5.5);
+    CsrMatrix csr = CsrMatrix::fromCoo(coo);
+    EXPECT_DOUBLE_EQ(csr.at(1, 2), 5.5);
+    EXPECT_DOUBLE_EQ(csr.at(2, 1), 0.0);
+}
+
+TEST(Csr, TransposeMatchesDense)
+{
+    CooMatrix coo = randomCoo(12, 9, 40, 4);
+    CsrMatrix csr = CsrMatrix::fromCoo(coo);
+    DenseMatrix d = csr.toDense();
+    CsrMatrix t = csr.transposed();
+    for (Index r = 0; r < csr.rows(); ++r) {
+        for (Index c = 0; c < csr.cols(); ++c)
+            EXPECT_DOUBLE_EQ(t.at(c, r), d(r, c));
+    }
+}
+
+TEST(Csr, SymmetricPermutationPreservesSpectrumDiagonal)
+{
+    Rng rng(5);
+    CsrMatrix csr = gen::randomSpd(24, 4, rng);
+    std::vector<Index> perm;
+    for (auto v : rng.permutation(24))
+        perm.push_back(v);
+    CsrMatrix p = csr.permuted(perm);
+    ASSERT_EQ(p.nnz(), csr.nnz());
+    // A'(i, j) == A(perm[i], perm[j]).
+    for (Index i = 0; i < 24; ++i) {
+        for (Index j = 0; j < 24; ++j)
+            EXPECT_DOUBLE_EQ(p.at(i, j), csr.at(perm[i], perm[j]));
+    }
+}
+
+TEST(Csr, MetadataBytesMatchesStructure)
+{
+    CooMatrix coo = randomCoo(10, 10, 30, 6);
+    CsrMatrix csr = CsrMatrix::fromCoo(coo);
+    EXPECT_EQ(csr.metadataBytes(),
+              (csr.rows() + 1 + csr.nnz()) * sizeof(Index));
+}
+
+TEST(Csc, RoundTripAndColumnAccess)
+{
+    CooMatrix coo = randomCoo(15, 11, 50, 7);
+    CscMatrix csc = CscMatrix::fromCoo(coo);
+    EXPECT_EQ(csc.toCoo(), coo);
+    Index total = 0;
+    for (Index c = 0; c < csc.cols(); ++c)
+        total += csc.colNnz(c);
+    EXPECT_EQ(total, coo.nnz());
+}
+
+TEST(Csc, FromCsrMatchesFromCoo)
+{
+    CooMatrix coo = randomCoo(9, 14, 35, 8);
+    CsrMatrix csr = CsrMatrix::fromCoo(coo);
+    EXPECT_EQ(CscMatrix::fromCsr(csr), CscMatrix::fromCoo(coo));
+}
+
+class BcsrRoundTrip : public ::testing::TestWithParam<Index>
+{
+};
+
+TEST_P(BcsrRoundTrip, PreservesMatrix)
+{
+    Index omega = GetParam();
+    CooMatrix coo = randomCoo(37, 37, 200, 9);
+    CsrMatrix csr = CsrMatrix::fromCoo(coo);
+    BcsrMatrix b = BcsrMatrix::fromCsr(csr, omega);
+    EXPECT_EQ(b.toCsr(), csr);
+    EXPECT_EQ(b.scalarNnz(), csr.nnz());
+    EXPECT_GT(b.blockDensity(), 0.0);
+    EXPECT_LE(b.blockDensity(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockWidths, BcsrRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 8, 16));
+
+TEST(Bcsr, DenseBlocksAreFullyDense)
+{
+    // A fully dense small matrix blocks to density 1.
+    DenseMatrix d(8, 8, 1.0);
+    CsrMatrix csr = CsrMatrix::fromDense(d);
+    BcsrMatrix b = BcsrMatrix::fromCsr(csr, 4);
+    EXPECT_EQ(b.numBlocks(), 4u);
+    EXPECT_DOUBLE_EQ(b.blockDensity(), 1.0);
+}
+
+TEST(Ell, RoundTripAndPadding)
+{
+    CooMatrix coo = randomCoo(21, 21, 70, 10);
+    CsrMatrix csr = CsrMatrix::fromCoo(coo);
+    EllMatrix e = EllMatrix::fromCsr(csr);
+    EXPECT_EQ(e.toCsr(), csr);
+    Index maxRow = 0;
+    for (Index r = 0; r < csr.rows(); ++r)
+        maxRow = std::max(maxRow, csr.rowNnz(r));
+    EXPECT_EQ(e.rowWidth(), maxRow);
+    EXPECT_GE(e.padOverhead(), 0.0);
+    EXPECT_LT(e.padOverhead(), 1.0);
+}
+
+TEST(Ell, UniformRowsHaveNoPadding)
+{
+    CsrMatrix tri = gen::tridiagonal(16);
+    EllMatrix e = EllMatrix::fromCsr(tri);
+    // Interior rows have 3 entries, boundary rows 2: padding exists but
+    // is tiny.
+    EXPECT_EQ(e.rowWidth(), 3u);
+    EXPECT_LT(e.padOverhead(), 0.1);
+}
+
+TEST(Dia, RoundTripBanded)
+{
+    CsrMatrix tri = gen::tridiagonal(25);
+    DiaMatrix d = DiaMatrix::fromCsr(tri);
+    EXPECT_EQ(d.numDiagonals(), 3u);
+    EXPECT_EQ(d.toCsr(), tri);
+    EXPECT_EQ(d.metadataBytes(), 3 * sizeof(int64_t));
+}
+
+TEST(Dia, RoundTripGeneral)
+{
+    CooMatrix coo = randomCoo(18, 18, 60, 11);
+    CsrMatrix csr = CsrMatrix::fromCoo(coo);
+    DiaMatrix d = DiaMatrix::fromCsr(csr);
+    EXPECT_EQ(d.toCsr(), csr);
+}
+
+/** Property sweep: all formats agree through CSR on random matrices. */
+class FormatAgreement : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(FormatAgreement, AllFormatsRoundTrip)
+{
+    CooMatrix coo = randomCoo(26, 26, 150, GetParam());
+    CsrMatrix csr = CsrMatrix::fromCoo(coo);
+    EXPECT_EQ(CscMatrix::fromCsr(csr).toCsr(), csr);
+    EXPECT_EQ(BcsrMatrix::fromCsr(csr, 8).toCsr(), csr);
+    EXPECT_EQ(EllMatrix::fromCsr(csr).toCsr(), csr);
+    EXPECT_EQ(DiaMatrix::fromCsr(csr).toCsr(), csr);
+    EXPECT_EQ(CsrMatrix::fromDense(csr.toDense()), csr);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FormatAgreement,
+                         ::testing::Range<uint64_t>(100, 112));
+
+} // namespace
+} // namespace alr

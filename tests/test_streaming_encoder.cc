@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Streaming-encoder tests: single-pass bounded-memory encoding must
+ * reproduce the batch encoder exactly for both layouts, the BCSR fast
+ * path must agree, and the working set must stay bounded (the §4
+ * "conversion while data streams" claim).
+ */
+
+#include <gtest/gtest.h>
+
+#include "alrescha/streaming_encoder.hh"
+#include "common/random.hh"
+#include "sparse/generators.hh"
+
+namespace alr {
+namespace {
+
+void
+expectSameEncoding(const LocallyDenseMatrix &a,
+                   const LocallyDenseMatrix &b)
+{
+    EXPECT_EQ(a.rows(), b.rows());
+    EXPECT_EQ(a.omega(), b.omega());
+    EXPECT_EQ(a.layout(), b.layout());
+    EXPECT_EQ(a.stream(), b.stream());
+    EXPECT_EQ(a.diagonal(), b.diagonal());
+    ASSERT_EQ(a.blocks().size(), b.blocks().size());
+    for (size_t i = 0; i < a.blocks().size(); ++i) {
+        EXPECT_EQ(a.blocks()[i].blockRow, b.blocks()[i].blockRow);
+        EXPECT_EQ(a.blocks()[i].blockCol, b.blocks()[i].blockCol);
+        EXPECT_EQ(a.blocks()[i].offset, b.blocks()[i].offset);
+        EXPECT_EQ(a.blocks()[i].size, b.blocks()[i].size);
+    }
+    EXPECT_EQ(a.metadataBytes(), b.metadataBytes());
+}
+
+class StreamingSweep : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(StreamingSweep, MatchesBatchEncoderBothLayouts)
+{
+    Rng rng(GetParam());
+    CsrMatrix a = gen::randomSpd(45 + Index(GetParam() % 20), 5, rng);
+    for (Index omega : {3u, 8u}) {
+        expectSameEncoding(
+            StreamingEncoder::encodeCsr(a, omega, LdLayout::Plain),
+            LocallyDenseMatrix::encode(a, omega, LdLayout::Plain));
+        expectSameEncoding(
+            StreamingEncoder::encodeCsr(a, omega, LdLayout::SymGs),
+            LocallyDenseMatrix::encode(a, omega, LdLayout::SymGs));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamingSweep,
+                         ::testing::Range<uint64_t>(50, 58));
+
+TEST(StreamingEncoder, BcsrFastPathAgrees)
+{
+    Rng rng(1);
+    CsrMatrix a = gen::banded(96, 7, 0.8, rng);
+    BcsrMatrix bcsr = BcsrMatrix::fromCsr(a, 8);
+    expectSameEncoding(
+        StreamingEncoder::encodeBcsr(bcsr, LdLayout::SymGs),
+        LocallyDenseMatrix::encode(a, 8, LdLayout::SymGs));
+    expectSameEncoding(
+        StreamingEncoder::encodeBcsr(bcsr, LdLayout::Plain),
+        LocallyDenseMatrix::encode(a, 8, LdLayout::Plain));
+}
+
+TEST(StreamingEncoder, WorkingSetBoundedByBandwidth)
+{
+    // A banded matrix keeps at most ceil(band/omega)*2 + 1 open blocks
+    // regardless of matrix size: the claim that conversion streams.
+    Rng rng(2);
+    for (Index n : {256u, 1024u, 4096u}) {
+        CsrMatrix a = gen::banded(n, 8, 0.9, rng);
+        StreamingEncoder enc(n, n, 8, LdLayout::SymGs);
+        for (Index r = 0; r < n; ++r) {
+            for (Index k = a.rowPtr()[r]; k < a.rowPtr()[r + 1]; ++k)
+                enc.add(r, a.colIdx()[k], a.vals()[k]);
+        }
+        enc.finish();
+        EXPECT_LE(enc.peakOpenBlocks(), 4u) << "n = " << n;
+    }
+}
+
+TEST(StreamingEncoder, DecodedMatrixRoundTrips)
+{
+    Rng rng(3);
+    CsrMatrix a = gen::blockStructured(64, 8, 3, 0.6, rng);
+    auto ld = StreamingEncoder::encodeCsr(a, 8, LdLayout::SymGs);
+    EXPECT_EQ(ld.decode(), a);
+}
+
+TEST(StreamingEncoderDeath, RejectsOutOfOrderBlockRows)
+{
+    StreamingEncoder enc(32, 32, 8, LdLayout::Plain);
+    enc.add(20, 3, 1.0); // opens block row 2, closing 0 and 1
+    EXPECT_DEATH(enc.add(2, 5, 1.0), "order");
+}
+
+TEST(StreamingEncoderDeath, DoubleFinishPanics)
+{
+    StreamingEncoder enc(8, 8, 4, LdLayout::Plain);
+    enc.add(0, 0, 1.0);
+    enc.finish();
+    EXPECT_DEATH(enc.finish(), "finished");
+}
+
+TEST(StreamingEncoder, EmptyMatrixProducesNoBlocks)
+{
+    StreamingEncoder enc(16, 16, 8, LdLayout::Plain);
+    auto ld = enc.finish();
+    EXPECT_TRUE(ld.blocks().empty());
+    EXPECT_EQ(ld.scalarNnz(), 0u);
+}
+
+} // namespace
+} // namespace alr

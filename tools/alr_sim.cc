@@ -1,0 +1,347 @@
+/**
+ * @file
+ * alr_sim: command-line driver for the Alrescha simulator.
+ *
+ * Load a matrix (Matrix Market file, a saved program image, or a
+ * generator spec), run a kernel, and print the result summary plus the
+ * full statistics dump.  Examples:
+ *
+ *   alr_sim --gen stencil3d:16 --kernel pcg
+ *   alr_sim --matrix system.mtx --kernel symgs --omega 16
+ *   alr_sim --gen rmat:10 --kernel bfs --source 3
+ *   alr_sim --gen stencil2d:64 --kernel spmv --save prog.alr
+ *   alr_sim --image prog.alr --kernel spmv
+ *   alr_sim --gen banded:4096 --kernel pcg --rcm --stats
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <string>
+
+#include "alrescha/accelerator.hh"
+#include "alrescha/program_image.hh"
+#include "kernels/eigen.hh"
+#include "common/logging.hh"
+#include "common/trace.hh"
+#include "common/random.hh"
+#include "kernels/graph.hh"
+#include "sparse/generators.hh"
+#include "sparse/mmio.hh"
+#include "sparse/pattern_stats.hh"
+#include "sparse/reorder.hh"
+
+using namespace alr;
+
+namespace {
+
+struct Options
+{
+    std::string matrixPath;
+    std::string imagePath;
+    std::string genSpec;
+    std::string savePath;
+    std::string tracePath;
+    std::string kernel = "spmv";
+    Index omega = 8;
+    Index source = 0;
+    bool rcm = false;
+    bool dumpStats = false;
+    bool json = false;
+    int maxIterations = 500;
+};
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: alr_sim [--matrix F.mtx | --image F.alr | --gen SPEC]\n"
+        "               [--kernel spmv|symgs|pcg|bicgstab|gmres|\n"
+        "                         bfs|sssp|pr|cc|eigen]\n"
+        "               [--omega N] [--source V] [--rcm] [--stats] [--json]\n"
+        "               [--iters N] [--save F.alr] [--trace F.log]\n"
+        "  SPEC: stencil2d:N | stencil3d:N | banded:N | rmat:SCALE |\n"
+        "        roadgrid:N | powerlaw:N\n");
+    std::exit(2);
+}
+
+CsrMatrix
+generate(const std::string &spec)
+{
+    auto colon = spec.find(':');
+    if (colon == std::string::npos)
+        fatal("generator spec needs NAME:SIZE, got '%s'", spec.c_str());
+    std::string name = spec.substr(0, colon);
+    long size = std::atol(spec.c_str() + colon + 1);
+    if (size <= 0)
+        fatal("bad generator size in '%s'", spec.c_str());
+
+    Rng rng(1234);
+    if (name == "stencil2d")
+        return gen::stencil2d(Index(size), Index(size), 5);
+    if (name == "stencil3d")
+        return gen::stencil3d(Index(size), Index(size), Index(size), 27);
+    if (name == "banded")
+        return gen::banded(Index(size), 12, 0.8, rng);
+    if (name == "rmat")
+        return gen::rmat(int(size), 8, rng);
+    if (name == "roadgrid")
+        return gen::roadGrid(Index(size), Index(size), 0.01, rng);
+    if (name == "powerlaw")
+        return gen::powerLawGraph(Index(size), 12, 0.9, rng, 0.6);
+    fatal("unknown generator '%s'", name.c_str());
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--matrix") {
+            opt.matrixPath = next();
+        } else if (arg == "--image") {
+            opt.imagePath = next();
+        } else if (arg == "--gen") {
+            opt.genSpec = next();
+        } else if (arg == "--save") {
+            opt.savePath = next();
+        } else if (arg == "--trace") {
+            opt.tracePath = next();
+        } else if (arg == "--kernel") {
+            opt.kernel = next();
+        } else if (arg == "--omega") {
+            opt.omega = Index(std::atoi(next().c_str()));
+        } else if (arg == "--source") {
+            opt.source = Index(std::atoi(next().c_str()));
+        } else if (arg == "--iters") {
+            opt.maxIterations = std::atoi(next().c_str());
+        } else if (arg == "--rcm") {
+            opt.rcm = true;
+        } else if (arg == "--stats") {
+            opt.dumpStats = true;
+        } else if (arg == "--json") {
+            opt.json = true;
+        } else {
+            usage();
+        }
+    }
+    int sources = !opt.matrixPath.empty() + !opt.imagePath.empty() +
+                  !opt.genSpec.empty();
+    if (sources != 1)
+        usage();
+    return opt;
+}
+
+void
+printJsonReport(const Accelerator &acc, const Options &opt)
+{
+    AccelReport r = acc.report();
+    std::printf("{\n");
+    std::printf("  \"kernel\": \"%s\",\n", opt.kernel.c_str());
+    std::printf("  \"omega\": %u,\n", opt.omega);
+    std::printf("  \"cycles\": %llu,\n", (unsigned long long)r.cycles);
+    std::printf("  \"seconds\": %.9g,\n", r.seconds);
+    std::printf("  \"dram_bytes\": %.0f,\n", r.bytesFromMemory);
+    std::printf("  \"bandwidth_utilization\": %.6f,\n",
+                r.bandwidthUtilization);
+    std::printf("  \"sequential_op_fraction\": %.6f,\n",
+                r.sequentialOpFraction);
+    std::printf("  \"reconfigurations\": %.0f,\n", r.reconfigurations);
+    std::printf("  \"energy_joules\": %.9g,\n", r.energyJoules);
+    std::printf("  \"energy_breakdown\": {\"dram\": %.9g, "
+                "\"sram\": %.9g, \"compute\": %.9g, "
+                "\"reconfig\": %.9g, \"static\": %.9g}\n",
+                r.energy.dram, r.energy.sram, r.energy.compute,
+                r.energy.reconfig, r.energy.staticEnergy);
+    std::printf("}\n");
+}
+
+void
+printReport(const Accelerator &acc)
+{
+    AccelReport r = acc.report();
+    std::printf("\ncycles               %llu\n",
+                (unsigned long long)r.cycles);
+    std::printf("time                 %.3f us\n", r.seconds * 1e6);
+    std::printf("DRAM traffic         %.1f KB\n",
+                r.bytesFromMemory / 1024.0);
+    std::printf("bandwidth utilized   %.1f%%\n",
+                100.0 * r.bandwidthUtilization);
+    std::printf("sequential ops       %.1f%%\n",
+                100.0 * r.sequentialOpFraction);
+    std::printf("reconfigurations     %.0f\n", r.reconfigurations);
+    std::printf("energy               %.3f uJ (dram %.1f%%, sram %.1f%%, "
+                "compute %.1f%%)\n",
+                r.energyJoules * 1e6, 100.0 * r.energy.dram / r.energyJoules,
+                100.0 * r.energy.sram / r.energyJoules,
+                100.0 * r.energy.compute / r.energyJoules);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parse(argc, argv);
+
+    std::ofstream traceFile;
+    if (!opt.tracePath.empty()) {
+        traceFile.open(opt.tracePath);
+        if (!traceFile)
+            fatal("cannot create trace file '%s'", opt.tracePath.c_str());
+        trace::setSink(&traceFile);
+    }
+
+    bool isGraph = opt.kernel == "bfs" || opt.kernel == "sssp" ||
+                   opt.kernel == "pr" || opt.kernel == "cc";
+
+    AccelParams params;
+    params.omega = opt.omega;
+    Accelerator acc(params);
+
+    CsrMatrix a;
+    if (!opt.imagePath.empty()) {
+        // Pre-built program image: decode the matrix back for the
+        // host-side checks, then reload through the normal path so all
+        // kernels are available.
+        ProgramImage image = loadProgramImageFile(opt.imagePath);
+        a = image.matrix.decode();
+        std::printf("program image: omega=%u, %zu tables, %zu blocks\n",
+                    image.matrix.omega(), image.tables.size(),
+                    image.matrix.blocks().size());
+        if (image.matrix.layout() == LdLayout::SymGs)
+            acc.loadPde(a);
+        else if (isGraph)
+            acc.loadGraph(a.transposed()); // image stored adj^T
+        else
+            acc.loadSpmvOnly(a);
+    } else {
+        a = !opt.matrixPath.empty()
+                ? CsrMatrix::fromCoo(readMatrixMarketFile(opt.matrixPath))
+                : generate(opt.genSpec);
+        if (opt.rcm) {
+            auto perm = reverseCuthillMcKee(a);
+            a = a.permuted(perm);
+            inform("applied RCM reordering");
+        }
+        if (isGraph)
+            acc.loadGraph(a);
+        else if (opt.kernel == "spmv" || opt.kernel == "bicgstab" ||
+                 opt.kernel == "gmres" || opt.kernel == "eigen")
+            acc.loadSpmvOnly(a);
+        else
+            acc.loadPde(a);
+    }
+
+    if (!opt.json) {
+        PatternStats ps = analyzePattern(a, opt.omega);
+        std::printf("matrix: %u x %u, %u nnz, bandwidth %u, block fill "
+                    "%.3f\n",
+                    a.rows(), a.cols(), a.nnz(), ps.bandwidth,
+                    ps.blockDensity);
+    }
+
+    if (!opt.savePath.empty()) {
+        ProgramImage image =
+            isGraph ? buildGraphProgram(a, opt.omega)
+            : opt.kernel == "spmv"
+                ? buildSpmvProgram(a, opt.omega)
+                : buildPdeProgram(a, opt.omega);
+        saveProgramImageFile(opt.savePath, image);
+        std::printf("saved program image to %s\n", opt.savePath.c_str());
+    }
+
+    if (opt.kernel == "spmv") {
+        DenseVector x(a.cols(), 1.0);
+        DenseVector y = acc.spmv(x);
+        Value checksum = 0.0;
+        for (Value v : y)
+            checksum += v;
+        if (!opt.json)
+            std::printf("spmv checksum %.6g\n", checksum);
+    } else if (opt.kernel == "symgs") {
+        DenseVector b(a.rows(), 1.0), x(a.rows(), 0.0);
+        acc.symgsSweep(b, x, GsSweep::Symmetric);
+        if (!opt.json)
+            std::printf("symgs sweep done, x[0] = %.6g\n", x[0]);
+    } else if (opt.kernel == "pcg") {
+        DenseVector b(a.rows(), 1.0);
+        PcgOptions po;
+        po.maxIterations = opt.maxIterations;
+        PcgResult res = acc.pcg(b, po);
+        if (!opt.json)
+            std::printf("pcg: %s in %d iterations, residual %.3e\n",
+                        res.converged ? "converged" : "NOT converged",
+                        res.iterations, res.relResidual);
+    } else if (opt.kernel == "bfs") {
+        GraphResult res = acc.bfs(opt.source);
+        Index reached = 0;
+        for (Value d : res.values)
+            reached += d != kInf;
+        if (!opt.json)
+            std::printf("bfs: %u reached in %d rounds\n", reached,
+                        res.rounds);
+    } else if (opt.kernel == "sssp") {
+        GraphResult res = acc.sssp(opt.source);
+        if (!opt.json)
+            std::printf("sssp: %d rounds\n", res.rounds);
+    } else if (opt.kernel == "pr") {
+        GraphResult res = acc.pagerank();
+        if (!opt.json)
+            std::printf("pagerank: %d rounds\n", res.rounds);
+    } else if (opt.kernel == "cc") {
+        GraphResult res = acc.connectedComponents();
+        std::set<long> roots;
+        for (Value v : res.values)
+            roots.insert(long(v));
+        if (!opt.json)
+            std::printf("components: %zu in %d rounds\n", roots.size(),
+                        res.rounds);
+    } else if (opt.kernel == "bicgstab") {
+        KrylovResult res = acc.bicgstab(DenseVector(a.rows(), 1.0));
+        if (!opt.json)
+            std::printf("bicgstab: %s in %d iterations, residual %.3e\n",
+                        res.converged ? "converged" : "NOT converged",
+                        res.iterations, res.relResidual);
+    } else if (opt.kernel == "gmres") {
+        KrylovResult res = acc.gmres(DenseVector(a.rows(), 1.0));
+        if (!opt.json)
+            std::printf("gmres: %s in %d iterations, residual %.3e\n",
+                        res.converged ? "converged" : "NOT converged",
+                        res.iterations, res.relResidual);
+    } else if (opt.kernel == "eigen") {
+        auto fn = [&acc](const DenseVector &x) { return acc.spmv(x); };
+        LanczosResult res = lanczosWith(fn, a.rows());
+        if (!opt.json)
+            std::printf("lanczos: lambda in [%.6g, %.6g], cond %.3g "
+                        "(%d steps)\n",
+                        res.lambdaMin, res.lambdaMax,
+                        res.conditionNumber, res.steps);
+    } else {
+        fatal("unknown kernel '%s'", opt.kernel.c_str());
+    }
+
+    if (opt.json)
+        printJsonReport(acc, opt);
+    else
+        printReport(acc);
+    if (opt.dumpStats) {
+        std::printf("\n");
+        acc.engine().statGroup().dump(std::cout);
+    }
+    if (!opt.tracePath.empty()) {
+        trace::setSink(nullptr);
+        std::printf("trace written to %s\n", opt.tracePath.c_str());
+    }
+    return 0;
+}
