@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_bandwidth.dir/abl_bandwidth.cc.o"
+  "CMakeFiles/abl_bandwidth.dir/abl_bandwidth.cc.o.d"
+  "abl_bandwidth"
+  "abl_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_coloring_convergence.dir/abl_coloring_convergence.cc.o"
+  "CMakeFiles/abl_coloring_convergence.dir/abl_coloring_convergence.cc.o.d"
+  "abl_coloring_convergence"
+  "abl_coloring_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_coloring_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

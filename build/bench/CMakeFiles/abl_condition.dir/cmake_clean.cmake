@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_condition.dir/abl_condition.cc.o"
+  "CMakeFiles/abl_condition.dir/abl_condition.cc.o.d"
+  "abl_condition"
+  "abl_condition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_condition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

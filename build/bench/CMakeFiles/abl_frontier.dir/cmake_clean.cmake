@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_frontier.dir/abl_frontier.cc.o"
+  "CMakeFiles/abl_frontier.dir/abl_frontier.cc.o.d"
+  "abl_frontier"
+  "abl_frontier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_frontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_rcm_reorder.dir/abl_rcm_reorder.cc.o"
+  "CMakeFiles/abl_rcm_reorder.dir/abl_rcm_reorder.cc.o.d"
+  "abl_rcm_reorder"
+  "abl_rcm_reorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_rcm_reorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_reconfig_cost.dir/abl_reconfig_cost.cc.o"
+  "CMakeFiles/abl_reconfig_cost.dir/abl_reconfig_cost.cc.o.d"
+  "abl_reconfig_cost"
+  "abl_reconfig_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_reconfig_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

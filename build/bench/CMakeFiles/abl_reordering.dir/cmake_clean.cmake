@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_reordering.dir/abl_reordering.cc.o"
+  "CMakeFiles/abl_reordering.dir/abl_reordering.cc.o.d"
+  "abl_reordering"
+  "abl_reordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_reordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

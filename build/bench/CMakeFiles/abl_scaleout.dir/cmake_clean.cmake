@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_scaleout.dir/abl_scaleout.cc.o"
+  "CMakeFiles/abl_scaleout.dir/abl_scaleout.cc.o.d"
+  "abl_scaleout"
+  "abl_scaleout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_scaleout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_spmm.dir/abl_spmm.cc.o"
+  "CMakeFiles/abl_spmm.dir/abl_spmm.cc.o.d"
+  "abl_spmm"
+  "abl_spmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_spmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

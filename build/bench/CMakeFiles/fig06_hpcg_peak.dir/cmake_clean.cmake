@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_hpcg_peak.dir/fig06_hpcg_peak.cc.o"
+  "CMakeFiles/fig06_hpcg_peak.dir/fig06_hpcg_peak.cc.o.d"
+  "fig06_hpcg_peak"
+  "fig06_hpcg_peak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_hpcg_peak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_format_metadata.dir/fig12_format_metadata.cc.o"
+  "CMakeFiles/fig12_format_metadata.dir/fig12_format_metadata.cc.o.d"
+  "fig12_format_metadata"
+  "fig12_format_metadata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_format_metadata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

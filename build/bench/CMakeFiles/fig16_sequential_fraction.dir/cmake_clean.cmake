@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_sequential_fraction.dir/fig16_sequential_fraction.cc.o"
+  "CMakeFiles/fig16_sequential_fraction.dir/fig16_sequential_fraction.cc.o.d"
+  "fig16_sequential_fraction"
+  "fig16_sequential_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_sequential_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_graph_speedup.dir/fig17_graph_speedup.cc.o"
+  "CMakeFiles/fig17_graph_speedup.dir/fig17_graph_speedup.cc.o.d"
+  "fig17_graph_speedup"
+  "fig17_graph_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_graph_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl01_kernels.dir/tbl01_kernels.cc.o"
+  "CMakeFiles/tbl01_kernels.dir/tbl01_kernels.cc.o.d"
+  "tbl01_kernels"
+  "tbl01_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl01_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

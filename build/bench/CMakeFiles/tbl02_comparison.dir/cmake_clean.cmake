@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl02_comparison.dir/tbl02_comparison.cc.o"
+  "CMakeFiles/tbl02_comparison.dir/tbl02_comparison.cc.o.d"
+  "tbl02_comparison"
+  "tbl02_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl02_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_datasets.dir/tbl_datasets.cc.o"
+  "CMakeFiles/tbl_datasets.dir/tbl_datasets.cc.o.d"
+  "tbl_datasets"
+  "tbl_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eigenspectrum.dir/eigenspectrum.cpp.o"
+  "CMakeFiles/eigenspectrum.dir/eigenspectrum.cpp.o.d"
+  "eigenspectrum"
+  "eigenspectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eigenspectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

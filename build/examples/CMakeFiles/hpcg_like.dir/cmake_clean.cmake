@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcg_like.dir/hpcg_like.cpp.o"
+  "CMakeFiles/hpcg_like.dir/hpcg_like.cpp.o.d"
+  "hpcg_like"
+  "hpcg_like.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcg_like.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcg_solver.dir/pcg_solver.cpp.o"
+  "CMakeFiles/pcg_solver.dir/pcg_solver.cpp.o.d"
+  "pcg_solver"
+  "pcg_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcg_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/coloring.cc" "src/CMakeFiles/alr_baselines.dir/baselines/coloring.cc.o" "gcc" "src/CMakeFiles/alr_baselines.dir/baselines/coloring.cc.o.d"
+  "/root/repo/src/baselines/cpu_model.cc" "src/CMakeFiles/alr_baselines.dir/baselines/cpu_model.cc.o" "gcc" "src/CMakeFiles/alr_baselines.dir/baselines/cpu_model.cc.o.d"
+  "/root/repo/src/baselines/gpu_model.cc" "src/CMakeFiles/alr_baselines.dir/baselines/gpu_model.cc.o" "gcc" "src/CMakeFiles/alr_baselines.dir/baselines/gpu_model.cc.o.d"
+  "/root/repo/src/baselines/graphr.cc" "src/CMakeFiles/alr_baselines.dir/baselines/graphr.cc.o" "gcc" "src/CMakeFiles/alr_baselines.dir/baselines/graphr.cc.o.d"
+  "/root/repo/src/baselines/memristive.cc" "src/CMakeFiles/alr_baselines.dir/baselines/memristive.cc.o" "gcc" "src/CMakeFiles/alr_baselines.dir/baselines/memristive.cc.o.d"
+  "/root/repo/src/baselines/outerspace.cc" "src/CMakeFiles/alr_baselines.dir/baselines/outerspace.cc.o" "gcc" "src/CMakeFiles/alr_baselines.dir/baselines/outerspace.cc.o.d"
+  "/root/repo/src/baselines/platforms.cc" "src/CMakeFiles/alr_baselines.dir/baselines/platforms.cc.o" "gcc" "src/CMakeFiles/alr_baselines.dir/baselines/platforms.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/alr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alr_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alr_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

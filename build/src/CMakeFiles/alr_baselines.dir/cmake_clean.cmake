@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alr_baselines.dir/baselines/coloring.cc.o"
+  "CMakeFiles/alr_baselines.dir/baselines/coloring.cc.o.d"
+  "CMakeFiles/alr_baselines.dir/baselines/cpu_model.cc.o"
+  "CMakeFiles/alr_baselines.dir/baselines/cpu_model.cc.o.d"
+  "CMakeFiles/alr_baselines.dir/baselines/gpu_model.cc.o"
+  "CMakeFiles/alr_baselines.dir/baselines/gpu_model.cc.o.d"
+  "CMakeFiles/alr_baselines.dir/baselines/graphr.cc.o"
+  "CMakeFiles/alr_baselines.dir/baselines/graphr.cc.o.d"
+  "CMakeFiles/alr_baselines.dir/baselines/memristive.cc.o"
+  "CMakeFiles/alr_baselines.dir/baselines/memristive.cc.o.d"
+  "CMakeFiles/alr_baselines.dir/baselines/outerspace.cc.o"
+  "CMakeFiles/alr_baselines.dir/baselines/outerspace.cc.o.d"
+  "CMakeFiles/alr_baselines.dir/baselines/platforms.cc.o"
+  "CMakeFiles/alr_baselines.dir/baselines/platforms.cc.o.d"
+  "libalr_baselines.a"
+  "libalr_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alr_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alr_common.dir/common/logging.cc.o"
+  "CMakeFiles/alr_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/alr_common.dir/common/random.cc.o"
+  "CMakeFiles/alr_common.dir/common/random.cc.o.d"
+  "CMakeFiles/alr_common.dir/common/stats.cc.o"
+  "CMakeFiles/alr_common.dir/common/stats.cc.o.d"
+  "CMakeFiles/alr_common.dir/common/trace.cc.o"
+  "CMakeFiles/alr_common.dir/common/trace.cc.o.d"
+  "libalr_common.a"
+  "libalr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alrescha/accelerator.cc" "src/CMakeFiles/alr_core.dir/alrescha/accelerator.cc.o" "gcc" "src/CMakeFiles/alr_core.dir/alrescha/accelerator.cc.o.d"
+  "/root/repo/src/alrescha/config_table.cc" "src/CMakeFiles/alr_core.dir/alrescha/config_table.cc.o" "gcc" "src/CMakeFiles/alr_core.dir/alrescha/config_table.cc.o.d"
+  "/root/repo/src/alrescha/energy.cc" "src/CMakeFiles/alr_core.dir/alrescha/energy.cc.o" "gcc" "src/CMakeFiles/alr_core.dir/alrescha/energy.cc.o.d"
+  "/root/repo/src/alrescha/format.cc" "src/CMakeFiles/alr_core.dir/alrescha/format.cc.o" "gcc" "src/CMakeFiles/alr_core.dir/alrescha/format.cc.o.d"
+  "/root/repo/src/alrescha/multi.cc" "src/CMakeFiles/alr_core.dir/alrescha/multi.cc.o" "gcc" "src/CMakeFiles/alr_core.dir/alrescha/multi.cc.o.d"
+  "/root/repo/src/alrescha/program_image.cc" "src/CMakeFiles/alr_core.dir/alrescha/program_image.cc.o" "gcc" "src/CMakeFiles/alr_core.dir/alrescha/program_image.cc.o.d"
+  "/root/repo/src/alrescha/sim/cache.cc" "src/CMakeFiles/alr_core.dir/alrescha/sim/cache.cc.o" "gcc" "src/CMakeFiles/alr_core.dir/alrescha/sim/cache.cc.o.d"
+  "/root/repo/src/alrescha/sim/engine.cc" "src/CMakeFiles/alr_core.dir/alrescha/sim/engine.cc.o" "gcc" "src/CMakeFiles/alr_core.dir/alrescha/sim/engine.cc.o.d"
+  "/root/repo/src/alrescha/sim/fcu.cc" "src/CMakeFiles/alr_core.dir/alrescha/sim/fcu.cc.o" "gcc" "src/CMakeFiles/alr_core.dir/alrescha/sim/fcu.cc.o.d"
+  "/root/repo/src/alrescha/sim/link_stack.cc" "src/CMakeFiles/alr_core.dir/alrescha/sim/link_stack.cc.o" "gcc" "src/CMakeFiles/alr_core.dir/alrescha/sim/link_stack.cc.o.d"
+  "/root/repo/src/alrescha/sim/memory.cc" "src/CMakeFiles/alr_core.dir/alrescha/sim/memory.cc.o" "gcc" "src/CMakeFiles/alr_core.dir/alrescha/sim/memory.cc.o.d"
+  "/root/repo/src/alrescha/sim/rcu.cc" "src/CMakeFiles/alr_core.dir/alrescha/sim/rcu.cc.o" "gcc" "src/CMakeFiles/alr_core.dir/alrescha/sim/rcu.cc.o.d"
+  "/root/repo/src/alrescha/streaming_encoder.cc" "src/CMakeFiles/alr_core.dir/alrescha/streaming_encoder.cc.o" "gcc" "src/CMakeFiles/alr_core.dir/alrescha/streaming_encoder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/alr_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alr_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alr_core.dir/alrescha/accelerator.cc.o"
+  "CMakeFiles/alr_core.dir/alrescha/accelerator.cc.o.d"
+  "CMakeFiles/alr_core.dir/alrescha/config_table.cc.o"
+  "CMakeFiles/alr_core.dir/alrescha/config_table.cc.o.d"
+  "CMakeFiles/alr_core.dir/alrescha/energy.cc.o"
+  "CMakeFiles/alr_core.dir/alrescha/energy.cc.o.d"
+  "CMakeFiles/alr_core.dir/alrescha/format.cc.o"
+  "CMakeFiles/alr_core.dir/alrescha/format.cc.o.d"
+  "CMakeFiles/alr_core.dir/alrescha/multi.cc.o"
+  "CMakeFiles/alr_core.dir/alrescha/multi.cc.o.d"
+  "CMakeFiles/alr_core.dir/alrescha/program_image.cc.o"
+  "CMakeFiles/alr_core.dir/alrescha/program_image.cc.o.d"
+  "CMakeFiles/alr_core.dir/alrescha/sim/cache.cc.o"
+  "CMakeFiles/alr_core.dir/alrescha/sim/cache.cc.o.d"
+  "CMakeFiles/alr_core.dir/alrescha/sim/engine.cc.o"
+  "CMakeFiles/alr_core.dir/alrescha/sim/engine.cc.o.d"
+  "CMakeFiles/alr_core.dir/alrescha/sim/fcu.cc.o"
+  "CMakeFiles/alr_core.dir/alrescha/sim/fcu.cc.o.d"
+  "CMakeFiles/alr_core.dir/alrescha/sim/link_stack.cc.o"
+  "CMakeFiles/alr_core.dir/alrescha/sim/link_stack.cc.o.d"
+  "CMakeFiles/alr_core.dir/alrescha/sim/memory.cc.o"
+  "CMakeFiles/alr_core.dir/alrescha/sim/memory.cc.o.d"
+  "CMakeFiles/alr_core.dir/alrescha/sim/rcu.cc.o"
+  "CMakeFiles/alr_core.dir/alrescha/sim/rcu.cc.o.d"
+  "CMakeFiles/alr_core.dir/alrescha/streaming_encoder.cc.o"
+  "CMakeFiles/alr_core.dir/alrescha/streaming_encoder.cc.o.d"
+  "libalr_core.a"
+  "libalr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

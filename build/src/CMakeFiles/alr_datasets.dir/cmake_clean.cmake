@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alr_datasets.dir/datasets/suites.cc.o"
+  "CMakeFiles/alr_datasets.dir/datasets/suites.cc.o.d"
+  "libalr_datasets.a"
+  "libalr_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alr_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libalr_datasets.a"
+)

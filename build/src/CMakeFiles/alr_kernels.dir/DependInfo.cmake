@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/blas1.cc" "src/CMakeFiles/alr_kernels.dir/kernels/blas1.cc.o" "gcc" "src/CMakeFiles/alr_kernels.dir/kernels/blas1.cc.o.d"
+  "/root/repo/src/kernels/eigen.cc" "src/CMakeFiles/alr_kernels.dir/kernels/eigen.cc.o" "gcc" "src/CMakeFiles/alr_kernels.dir/kernels/eigen.cc.o.d"
+  "/root/repo/src/kernels/graph.cc" "src/CMakeFiles/alr_kernels.dir/kernels/graph.cc.o" "gcc" "src/CMakeFiles/alr_kernels.dir/kernels/graph.cc.o.d"
+  "/root/repo/src/kernels/krylov.cc" "src/CMakeFiles/alr_kernels.dir/kernels/krylov.cc.o" "gcc" "src/CMakeFiles/alr_kernels.dir/kernels/krylov.cc.o.d"
+  "/root/repo/src/kernels/multigrid.cc" "src/CMakeFiles/alr_kernels.dir/kernels/multigrid.cc.o" "gcc" "src/CMakeFiles/alr_kernels.dir/kernels/multigrid.cc.o.d"
+  "/root/repo/src/kernels/pcg.cc" "src/CMakeFiles/alr_kernels.dir/kernels/pcg.cc.o" "gcc" "src/CMakeFiles/alr_kernels.dir/kernels/pcg.cc.o.d"
+  "/root/repo/src/kernels/smoothers.cc" "src/CMakeFiles/alr_kernels.dir/kernels/smoothers.cc.o" "gcc" "src/CMakeFiles/alr_kernels.dir/kernels/smoothers.cc.o.d"
+  "/root/repo/src/kernels/spmv.cc" "src/CMakeFiles/alr_kernels.dir/kernels/spmv.cc.o" "gcc" "src/CMakeFiles/alr_kernels.dir/kernels/spmv.cc.o.d"
+  "/root/repo/src/kernels/symgs.cc" "src/CMakeFiles/alr_kernels.dir/kernels/symgs.cc.o" "gcc" "src/CMakeFiles/alr_kernels.dir/kernels/symgs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/alr_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alr_kernels.dir/kernels/blas1.cc.o"
+  "CMakeFiles/alr_kernels.dir/kernels/blas1.cc.o.d"
+  "CMakeFiles/alr_kernels.dir/kernels/eigen.cc.o"
+  "CMakeFiles/alr_kernels.dir/kernels/eigen.cc.o.d"
+  "CMakeFiles/alr_kernels.dir/kernels/graph.cc.o"
+  "CMakeFiles/alr_kernels.dir/kernels/graph.cc.o.d"
+  "CMakeFiles/alr_kernels.dir/kernels/krylov.cc.o"
+  "CMakeFiles/alr_kernels.dir/kernels/krylov.cc.o.d"
+  "CMakeFiles/alr_kernels.dir/kernels/multigrid.cc.o"
+  "CMakeFiles/alr_kernels.dir/kernels/multigrid.cc.o.d"
+  "CMakeFiles/alr_kernels.dir/kernels/pcg.cc.o"
+  "CMakeFiles/alr_kernels.dir/kernels/pcg.cc.o.d"
+  "CMakeFiles/alr_kernels.dir/kernels/smoothers.cc.o"
+  "CMakeFiles/alr_kernels.dir/kernels/smoothers.cc.o.d"
+  "CMakeFiles/alr_kernels.dir/kernels/spmv.cc.o"
+  "CMakeFiles/alr_kernels.dir/kernels/spmv.cc.o.d"
+  "CMakeFiles/alr_kernels.dir/kernels/symgs.cc.o"
+  "CMakeFiles/alr_kernels.dir/kernels/symgs.cc.o.d"
+  "libalr_kernels.a"
+  "libalr_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alr_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

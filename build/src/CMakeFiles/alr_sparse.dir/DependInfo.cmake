@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/algebra.cc" "src/CMakeFiles/alr_sparse.dir/sparse/algebra.cc.o" "gcc" "src/CMakeFiles/alr_sparse.dir/sparse/algebra.cc.o.d"
+  "/root/repo/src/sparse/bcsr.cc" "src/CMakeFiles/alr_sparse.dir/sparse/bcsr.cc.o" "gcc" "src/CMakeFiles/alr_sparse.dir/sparse/bcsr.cc.o.d"
+  "/root/repo/src/sparse/coo.cc" "src/CMakeFiles/alr_sparse.dir/sparse/coo.cc.o" "gcc" "src/CMakeFiles/alr_sparse.dir/sparse/coo.cc.o.d"
+  "/root/repo/src/sparse/csc.cc" "src/CMakeFiles/alr_sparse.dir/sparse/csc.cc.o" "gcc" "src/CMakeFiles/alr_sparse.dir/sparse/csc.cc.o.d"
+  "/root/repo/src/sparse/csr.cc" "src/CMakeFiles/alr_sparse.dir/sparse/csr.cc.o" "gcc" "src/CMakeFiles/alr_sparse.dir/sparse/csr.cc.o.d"
+  "/root/repo/src/sparse/dense.cc" "src/CMakeFiles/alr_sparse.dir/sparse/dense.cc.o" "gcc" "src/CMakeFiles/alr_sparse.dir/sparse/dense.cc.o.d"
+  "/root/repo/src/sparse/dia.cc" "src/CMakeFiles/alr_sparse.dir/sparse/dia.cc.o" "gcc" "src/CMakeFiles/alr_sparse.dir/sparse/dia.cc.o.d"
+  "/root/repo/src/sparse/ell.cc" "src/CMakeFiles/alr_sparse.dir/sparse/ell.cc.o" "gcc" "src/CMakeFiles/alr_sparse.dir/sparse/ell.cc.o.d"
+  "/root/repo/src/sparse/generators.cc" "src/CMakeFiles/alr_sparse.dir/sparse/generators.cc.o" "gcc" "src/CMakeFiles/alr_sparse.dir/sparse/generators.cc.o.d"
+  "/root/repo/src/sparse/mmio.cc" "src/CMakeFiles/alr_sparse.dir/sparse/mmio.cc.o" "gcc" "src/CMakeFiles/alr_sparse.dir/sparse/mmio.cc.o.d"
+  "/root/repo/src/sparse/pattern_stats.cc" "src/CMakeFiles/alr_sparse.dir/sparse/pattern_stats.cc.o" "gcc" "src/CMakeFiles/alr_sparse.dir/sparse/pattern_stats.cc.o.d"
+  "/root/repo/src/sparse/reorder.cc" "src/CMakeFiles/alr_sparse.dir/sparse/reorder.cc.o" "gcc" "src/CMakeFiles/alr_sparse.dir/sparse/reorder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/alr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alr_sparse.dir/sparse/algebra.cc.o"
+  "CMakeFiles/alr_sparse.dir/sparse/algebra.cc.o.d"
+  "CMakeFiles/alr_sparse.dir/sparse/bcsr.cc.o"
+  "CMakeFiles/alr_sparse.dir/sparse/bcsr.cc.o.d"
+  "CMakeFiles/alr_sparse.dir/sparse/coo.cc.o"
+  "CMakeFiles/alr_sparse.dir/sparse/coo.cc.o.d"
+  "CMakeFiles/alr_sparse.dir/sparse/csc.cc.o"
+  "CMakeFiles/alr_sparse.dir/sparse/csc.cc.o.d"
+  "CMakeFiles/alr_sparse.dir/sparse/csr.cc.o"
+  "CMakeFiles/alr_sparse.dir/sparse/csr.cc.o.d"
+  "CMakeFiles/alr_sparse.dir/sparse/dense.cc.o"
+  "CMakeFiles/alr_sparse.dir/sparse/dense.cc.o.d"
+  "CMakeFiles/alr_sparse.dir/sparse/dia.cc.o"
+  "CMakeFiles/alr_sparse.dir/sparse/dia.cc.o.d"
+  "CMakeFiles/alr_sparse.dir/sparse/ell.cc.o"
+  "CMakeFiles/alr_sparse.dir/sparse/ell.cc.o.d"
+  "CMakeFiles/alr_sparse.dir/sparse/generators.cc.o"
+  "CMakeFiles/alr_sparse.dir/sparse/generators.cc.o.d"
+  "CMakeFiles/alr_sparse.dir/sparse/mmio.cc.o"
+  "CMakeFiles/alr_sparse.dir/sparse/mmio.cc.o.d"
+  "CMakeFiles/alr_sparse.dir/sparse/pattern_stats.cc.o"
+  "CMakeFiles/alr_sparse.dir/sparse/pattern_stats.cc.o.d"
+  "CMakeFiles/alr_sparse.dir/sparse/reorder.cc.o"
+  "CMakeFiles/alr_sparse.dir/sparse/reorder.cc.o.d"
+  "libalr_sparse.a"
+  "libalr_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alr_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_config_table.dir/test_config_table.cc.o"
+  "CMakeFiles/test_config_table.dir/test_config_table.cc.o.d"
+  "test_config_table"
+  "test_config_table.pdb"
+  "test_config_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_config_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_timing.dir/test_engine_timing.cc.o"
+  "CMakeFiles/test_engine_timing.dir/test_engine_timing.cc.o.d"
+  "test_engine_timing"
+  "test_engine_timing.pdb"
+  "test_engine_timing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ld_format.dir/test_ld_format.cc.o"
+  "CMakeFiles/test_ld_format.dir/test_ld_format.cc.o.d"
+  "test_ld_format"
+  "test_ld_format.pdb"
+  "test_ld_format[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ld_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

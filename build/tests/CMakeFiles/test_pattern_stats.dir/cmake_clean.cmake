@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pattern_stats.dir/test_pattern_stats.cc.o"
+  "CMakeFiles/test_pattern_stats.dir/test_pattern_stats.cc.o.d"
+  "test_pattern_stats"
+  "test_pattern_stats.pdb"
+  "test_pattern_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pattern_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

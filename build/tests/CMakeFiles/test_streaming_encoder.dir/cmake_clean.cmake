@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_streaming_encoder.dir/test_streaming_encoder.cc.o"
+  "CMakeFiles/test_streaming_encoder.dir/test_streaming_encoder.cc.o.d"
+  "test_streaming_encoder"
+  "test_streaming_encoder.pdb"
+  "test_streaming_encoder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_streaming_encoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alr_sim.dir/alr_sim.cc.o"
+  "CMakeFiles/alr_sim.dir/alr_sim.cc.o.d"
+  "alr_sim"
+  "alr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

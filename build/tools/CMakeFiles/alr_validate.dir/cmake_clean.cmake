@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alr_validate.dir/alr_validate.cc.o"
+  "CMakeFiles/alr_validate.dir/alr_validate.cc.o.d"
+  "alr_validate"
+  "alr_validate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alr_validate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
