@@ -3,58 +3,81 @@
  * Ablation: host preprocessing cost (§4).  The paper argues the
  * one-time conversion (reformatting + Algorithm 1) is linear in nnz
  * and therefore amortized by the iterative algorithms.  This harness
- * measures wall-clock encode + convert time across problem sizes and
- * reports the cost in units of accelerated PCG iterations.
+ * measures wall-clock encode + convert time across problem sizes,
+ * reports the cost in units of accelerated PCG iterations, and
+ * contrasts the serial pipeline against the parallel one (ALR_THREADS
+ * / hardware concurrency workers over independent block rows).
  */
 
 #include <chrono>
 #include <cstdio>
 
 #include "bench/bench_util.hh"
+#include "common/thread_pool.hh"
 #include "sparse/generators.hh"
 
 using namespace alr;
 using namespace alr::bench;
 
+namespace {
+
+/** Wall-clock ms of one full encode + convert pass on @p pool. */
+double
+preprocessMs(const CsrMatrix &a, ThreadPool &pool)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    auto ld = LocallyDenseMatrix::encode(a, 8, LdLayout::SymGs, &pool);
+    auto fwd = ConfigTable::convert(KernelType::SymGS, ld, true,
+                                    GsSweep::Forward, &pool);
+    auto bwd = ConfigTable::convert(KernelType::SymGS, ld, true,
+                                    GsSweep::Backward, &pool);
+    auto mv = ConfigTable::convert(KernelType::SpMV, ld, true,
+                                   GsSweep::Forward, &pool);
+    auto t1 = std::chrono::steady_clock::now();
+    (void)fwd;
+    (void)bwd;
+    (void)mv;
+    return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+} // namespace
+
 int
 main()
 {
-    std::printf("== Ablation: host preprocessing cost ==\n\n");
+    int threads = ThreadPool::defaultThreadCount();
+    ThreadPool serial(1);
+    ThreadPool parallel(threads);
 
-    Table table({"grid", "nnz", "encode+convert ms", "ns/nnz",
-                 "PCG iter ms (accel)", "amortized after"});
+    std::printf("== Ablation: host preprocessing cost (%d threads) ==\n\n",
+                threads);
+
+    Table table({"grid", "nnz", "serial ms", "parallel ms", "speedup",
+                 "ns/nnz (par)", "PCG iter ms (accel)",
+                 "amortized after"});
 
     Accelerator acc;
     for (Index side : {8u, 12u, 16u, 20u, 24u, 28u}) {
         CsrMatrix a = gen::stencil3d(side, side, side, 27);
 
-        auto t0 = std::chrono::steady_clock::now();
-        auto ld = LocallyDenseMatrix::encode(a, 8, LdLayout::SymGs);
-        auto fwd = ConfigTable::convert(KernelType::SymGS, ld, true,
-                                        GsSweep::Forward);
-        auto bwd = ConfigTable::convert(KernelType::SymGS, ld, true,
-                                        GsSweep::Backward);
-        auto mv = ConfigTable::convert(KernelType::SpMV, ld);
-        auto t1 = std::chrono::steady_clock::now();
-        double ms =
-            std::chrono::duration<double, std::milli>(t1 - t0).count();
-        (void)fwd;
-        (void)bwd;
-        (void)mv;
+        double serial_ms = preprocessMs(a, serial);
+        double par_ms = preprocessMs(a, parallel);
 
-        double iter_ms =
-            alreschaPcgIterationSeconds(a, acc) * 1e3;
+        double iter_ms = alreschaPcgIterationSeconds(a, acc) * 1e3;
         char grid[32];
         std::snprintf(grid, sizeof(grid), "%ux%ux%u", side, side, side);
-        table.addRow({grid, std::to_string(a.nnz()), fmt(ms, 2),
-                      fmt(ms * 1e6 / double(a.nnz()), 1),
+        table.addRow({grid, std::to_string(a.nnz()), fmt(serial_ms, 2),
+                      fmt(par_ms, 2), fmt(serial_ms / par_ms, 2),
+                      fmt(par_ms * 1e6 / double(a.nnz()), 1),
                       fmt(iter_ms, 3),
-                      fmt(ms / iter_ms, 1) + " iters"});
+                      fmt(par_ms / iter_ms, 1) + " iters"});
     }
     table.print();
 
     std::printf("\nThe ns/nnz column staying flat demonstrates the\n"
                 "linear-time claim; typical solves run hundreds of\n"
-                "iterations, amortizing the one-time cost.\n");
+                "iterations, amortizing the one-time cost.  The speedup\n"
+                "column shows the parallel pipeline's gain (block rows\n"
+                "are independent; results are bit-identical to serial).\n");
     return 0;
 }

@@ -10,35 +10,53 @@
 #include "baselines/gpu_model.hh"
 #include "baselines/outerspace.hh"
 #include "bench/bench_util.hh"
+#include "common/thread_pool.hh"
 
 using namespace alr;
 using namespace alr::bench;
 
 namespace {
 
+struct Measurement
+{
+    double alr_speedup = 0.0;
+    double os_speedup = 0.0;
+    double alr_cache_pct = 0.0;
+    double os_cache_pct = 0.0;
+};
+
 void
 runSuite(const std::vector<Dataset> &suite, const char *label,
          std::vector<double> &alr_speedups)
 {
-    GpuModel gpu;
-    OuterSpaceModel os;
-    Accelerator acc;
-
     std::printf("-- %s datasets --\n", label);
     Table table({"dataset", "Alrescha x", "OuterSPACE x",
                  "Alr cache-time %", "OS cache-time %"});
-    std::vector<double> os_speedups;
-    for (const Dataset &d : suite) {
+
+    // The datasets are independent: sweep them on the host pool, one
+    // simulator/model set per task, and emit rows in suite order.
+    std::vector<Measurement> rows(suite.size());
+    parallelFor(0, suite.size(), [&](size_t i) {
+        const Dataset &d = suite[i];
+        GpuModel gpu;
+        OuterSpaceModel os;
+        Accelerator acc;
         double gpu_t = gpu.spmvSeconds(d.matrix);
         double alr_t = alreschaSpmvSeconds(d.matrix, acc);
         double os_t = os.spmvSeconds(d.matrix);
+        rows[i] = {gpu_t / alr_t, gpu_t / os_t,
+                   100.0 * acc.report().cacheTimeFraction,
+                   100.0 * os.cacheTimeFraction(d.matrix)};
+    });
 
-        alr_speedups.push_back(gpu_t / alr_t);
-        os_speedups.push_back(gpu_t / os_t);
-        table.addRow(
-            {d.name, fmt(gpu_t / alr_t, 1), fmt(gpu_t / os_t, 1),
-             fmt(100.0 * acc.report().cacheTimeFraction, 1),
-             fmt(100.0 * os.cacheTimeFraction(d.matrix), 1)});
+    std::vector<double> os_speedups;
+    for (size_t i = 0; i < suite.size(); ++i) {
+        const Measurement &m = rows[i];
+        alr_speedups.push_back(m.alr_speedup);
+        os_speedups.push_back(m.os_speedup);
+        table.addRow({suite[i].name, fmt(m.alr_speedup, 1),
+                      fmt(m.os_speedup, 1), fmt(m.alr_cache_pct, 1),
+                      fmt(m.os_cache_pct, 1)});
     }
     table.addRow({"geo-mean", fmt(geoMean(alr_speedups), 1),
                   fmt(geoMean(os_speedups), 1), "", ""});

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.hh"
+#include "common/thread_pool.hh"
 #include "sparse/pattern_stats.hh"
 
 using namespace alr;
@@ -21,8 +22,14 @@ printSuite(const std::vector<Dataset> &suite, const char *title)
     std::printf("-- %s --\n", title);
     Table table({"dataset", "category", "rows", "nnz", "mean deg",
                  "max deg", "bandwidth", "diag-block %", "block fill"});
-    for (const Dataset &d : suite) {
-        PatternStats s = analyzePattern(d.matrix, 8);
+    // Analyze the suite in parallel; rows print in suite order.
+    std::vector<PatternStats> stats(suite.size());
+    parallelFor(0, suite.size(), [&](size_t i) {
+        stats[i] = analyzePattern(suite[i].matrix, 8);
+    });
+    for (size_t i = 0; i < suite.size(); ++i) {
+        const Dataset &d = suite[i];
+        const PatternStats &s = stats[i];
         table.addRow({d.name, d.category, std::to_string(s.rows),
                       std::to_string(s.nnz), fmt(s.meanRowNnz, 1),
                       std::to_string(s.maxRowNnz),

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 #include "kernels/blas1.hh"
 
 namespace alr {
@@ -19,19 +20,30 @@ Accelerator::requireLoaded() const
     ALR_ASSERT(_ld != nullptr, "no matrix loaded");
 }
 
+ThreadPool *
+Accelerator::hostPool()
+{
+    if (_params.hostThreads <= 0)
+        return nullptr; // encode/convert fall back to the global pool
+    if (!_hostPool || _hostPool->threadCount() != _params.hostThreads)
+        _hostPool = std::make_unique<ThreadPool>(_params.hostThreads);
+    return _hostPool.get();
+}
+
 void
 Accelerator::loadPde(const CsrMatrix &a)
 {
     ALR_ASSERT(a.rows() == a.cols(), "PDE systems are square");
-    _ld = std::make_unique<LocallyDenseMatrix>(
-        LocallyDenseMatrix::encode(a, _params.omega, LdLayout::SymGs));
+    ThreadPool *pool = hostPool();
+    _ld = std::make_unique<LocallyDenseMatrix>(LocallyDenseMatrix::encode(
+        a, _params.omega, LdLayout::SymGs, pool));
     bool reorder = _params.reorderDataPaths;
     _symgsFwd = std::make_unique<ConfigTable>(ConfigTable::convert(
-        KernelType::SymGS, *_ld, reorder, GsSweep::Forward));
+        KernelType::SymGS, *_ld, reorder, GsSweep::Forward, pool));
     _symgsBwd = std::make_unique<ConfigTable>(ConfigTable::convert(
-        KernelType::SymGS, *_ld, reorder, GsSweep::Backward));
-    _spmvTable = std::make_unique<ConfigTable>(
-        ConfigTable::convert(KernelType::SpMV, *_ld));
+        KernelType::SymGS, *_ld, reorder, GsSweep::Backward, pool));
+    _spmvTable = std::make_unique<ConfigTable>(ConfigTable::convert(
+        KernelType::SpMV, *_ld, true, GsSweep::Forward, pool));
     _bfsTable.reset();
     _ssspTable.reset();
     _prTable.reset();
@@ -41,10 +53,11 @@ Accelerator::loadPde(const CsrMatrix &a)
 void
 Accelerator::loadSpmvOnly(const CsrMatrix &a)
 {
-    _ld = std::make_unique<LocallyDenseMatrix>(
-        LocallyDenseMatrix::encode(a, _params.omega, LdLayout::Plain));
-    _spmvTable = std::make_unique<ConfigTable>(
-        ConfigTable::convert(KernelType::SpMV, *_ld));
+    ThreadPool *pool = hostPool();
+    _ld = std::make_unique<LocallyDenseMatrix>(LocallyDenseMatrix::encode(
+        a, _params.omega, LdLayout::Plain, pool));
+    _spmvTable = std::make_unique<ConfigTable>(ConfigTable::convert(
+        KernelType::SpMV, *_ld, true, GsSweep::Forward, pool));
     _symgsFwd.reset();
     _symgsBwd.reset();
     _bfsTable.reset();
@@ -59,16 +72,17 @@ Accelerator::loadGraph(const CsrMatrix &adj)
     ALR_ASSERT(adj.rows() == adj.cols(), "adjacency must be square");
     _outDegrees = outDegrees(adj);
     CsrMatrix adjT = adj.transposed();
-    _ld = std::make_unique<LocallyDenseMatrix>(
-        LocallyDenseMatrix::encode(adjT, _params.omega, LdLayout::Plain));
-    _bfsTable = std::make_unique<ConfigTable>(
-        ConfigTable::convert(KernelType::BFS, *_ld));
-    _ssspTable = std::make_unique<ConfigTable>(
-        ConfigTable::convert(KernelType::SSSP, *_ld));
-    _prTable = std::make_unique<ConfigTable>(
-        ConfigTable::convert(KernelType::PageRank, *_ld));
-    _spmvTable = std::make_unique<ConfigTable>(
-        ConfigTable::convert(KernelType::SpMV, *_ld));
+    ThreadPool *pool = hostPool();
+    _ld = std::make_unique<LocallyDenseMatrix>(LocallyDenseMatrix::encode(
+        adjT, _params.omega, LdLayout::Plain, pool));
+    _bfsTable = std::make_unique<ConfigTable>(ConfigTable::convert(
+        KernelType::BFS, *_ld, true, GsSweep::Forward, pool));
+    _ssspTable = std::make_unique<ConfigTable>(ConfigTable::convert(
+        KernelType::SSSP, *_ld, true, GsSweep::Forward, pool));
+    _prTable = std::make_unique<ConfigTable>(ConfigTable::convert(
+        KernelType::PageRank, *_ld, true, GsSweep::Forward, pool));
+    _spmvTable = std::make_unique<ConfigTable>(ConfigTable::convert(
+        KernelType::SpMV, *_ld, true, GsSweep::Forward, pool));
     _symgsFwd.reset();
     _symgsBwd.reset();
 }

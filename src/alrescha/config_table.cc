@@ -5,6 +5,7 @@
 
 #include "common/binary_io.hh"
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 
 namespace alr {
 
@@ -49,7 +50,7 @@ kernelDataPath(KernelType k)
 
 ConfigTable
 ConfigTable::convert(KernelType kernel, const LocallyDenseMatrix &ld,
-                     bool reorder, GsSweep direction)
+                     bool reorder, GsSweep direction, ThreadPool *pool)
 {
     ALR_ASSERT(direction != GsSweep::Symmetric,
                "a table encodes one sweep; run forward then backward");
@@ -93,7 +94,13 @@ ConfigTable::convert(KernelType kernel, const LocallyDenseMatrix &ld,
                          });
     }
 
-    for (Index id : visit) {
+    // Each entry is a pure function of its block, so the table fills in
+    // parallel into pre-sized slots; slot order is the visit order, the
+    // same entries a serial conversion appends.
+    table._entries.resize(visit.size());
+    ThreadPool &tp = pool ? *pool : ThreadPool::global();
+    tp.parallelFor(0, visit.size(), [&](size_t i) {
+        Index id = visit[i];
         const LdBlockInfo &blk = blocks[id];
         ConfigEntry e;
         e.blockId = id;
@@ -126,8 +133,8 @@ ConfigTable::convert(KernelType kernel, const LocallyDenseMatrix &ld,
             e.order = AccessOrder::R2L;
             e.op = OperandPort::Port2;
         }
-        table._entries.push_back(e);
-    }
+        table._entries[i] = e;
+    });
     return table;
 }
 
@@ -176,7 +183,18 @@ ConfigTable::serialize(std::ostream &out) const
     bio::writePod<uint8_t>(out, _reordered ? 1 : 0);
     bio::writePod<uint32_t>(out, _omega);
     bio::writePod<uint32_t>(out, _n);
-    bio::writeVec(out, _entries);
+    // Field-by-field, not raw struct memory: ConfigEntry has padding
+    // with indeterminate bytes, and serialized tables must be
+    // byte-for-byte deterministic across host thread counts.
+    bio::writePod<uint64_t>(out, uint64_t(_entries.size()));
+    for (const ConfigEntry &e : _entries) {
+        bio::writePod<uint8_t>(out, uint8_t(e.dp));
+        bio::writePod<uint32_t>(out, e.inxIn);
+        bio::writePod<int64_t>(out, e.inxOut);
+        bio::writePod<uint8_t>(out, uint8_t(e.order));
+        bio::writePod<uint8_t>(out, uint8_t(e.op));
+        bio::writePod<uint32_t>(out, e.blockId);
+    }
 }
 
 ConfigTable
@@ -194,7 +212,25 @@ ConfigTable::deserialize(std::istream &in)
     t._reordered = reordered != 0;
     t._omega = bio::readPod<uint32_t>(in);
     t._n = bio::readPod<uint32_t>(in);
-    t._entries = bio::readVec<ConfigEntry>(in);
+    uint64_t nentries = bio::readPod<uint64_t>(in);
+    if (nentries > (uint64_t(1) << 32))
+        throw std::runtime_error("binary vector implausibly large");
+    t._entries.resize(size_t(nentries));
+    for (ConfigEntry &e : t._entries) {
+        uint8_t dp = bio::readPod<uint8_t>(in);
+        e.inxIn = bio::readPod<uint32_t>(in);
+        e.inxOut = bio::readPod<int64_t>(in);
+        uint8_t order = bio::readPod<uint8_t>(in);
+        uint8_t op = bio::readPod<uint8_t>(in);
+        e.blockId = bio::readPod<uint32_t>(in);
+        if (dp > uint8_t(DataPathType::DPr) ||
+            order > uint8_t(AccessOrder::R2L) ||
+            op > uint8_t(OperandPort::Port2))
+            throw std::runtime_error("bad config-table entry");
+        e.dp = DataPathType(dp);
+        e.order = AccessOrder(order);
+        e.op = OperandPort(op);
+    }
     return t;
 }
 

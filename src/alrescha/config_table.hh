@@ -76,11 +76,17 @@ class ConfigTable
      * false the paths follow ascending block-column order with the
      * diagonal inline, which multiplies the number of data-path switches
      * (the reordering ablation).
+     *
+     * Each table entry depends only on its own block, so entries are
+     * filled in parallel on @p pool (nullptr = the process-wide pool)
+     * into pre-sized slots; the result is identical to a serial
+     * conversion for any thread count.
      */
     static ConfigTable convert(KernelType kernel,
                                const LocallyDenseMatrix &ld,
                                bool reorder = true,
-                               GsSweep direction = GsSweep::Forward);
+                               GsSweep direction = GsSweep::Forward,
+                               ThreadPool *pool = nullptr);
 
     KernelType kernel() const { return _kernel; }
     /** Sweep direction (meaningful for SymGS tables only). */

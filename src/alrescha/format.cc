@@ -5,6 +5,7 @@
 
 #include "common/binary_io.hh"
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 #include "sparse/coo.hh"
 
 namespace alr {
@@ -39,11 +40,75 @@ payloadPos(LdLayout layout, bool diagonal, bool upper, Index omega,
                                                omega, lr, lc);
 }
 
+/** One block row's encoded blocks, offsets relative to its own stream. */
+struct RowChunk
+{
+    std::vector<LdBlockInfo> blocks;
+    std::vector<Value> stream;
+};
+
+RowChunk
+encodeBlockRow(const CsrMatrix &csr, Index omega, LdLayout layout,
+               Index br)
+{
+    const auto &rowPtr = csr.rowPtr();
+    const auto &colIdx = csr.colIdx();
+    const auto &vals = csr.vals();
+
+    // Collect the non-empty blocks of this block row.
+    std::map<Index, std::vector<Triplet>> byBlockCol;
+    Index rLo = br * omega;
+    Index rHi = std::min<Index>(rLo + omega, csr.rows());
+    for (Index r = rLo; r < rHi; ++r) {
+        for (Index k = rowPtr[r]; k < rowPtr[r + 1]; ++k) {
+            Index bc = colIdx[k] / omega;
+            byBlockCol[bc].push_back(
+                {r - rLo, colIdx[k] - bc * omega, vals[k]});
+        }
+    }
+    // SymGs layout always materializes the diagonal block so every
+    // block row ends in a D-SymGS data path.
+    if (layout == LdLayout::SymGs)
+        byBlockCol[br];
+
+    // Emit off-diagonal blocks in ascending column order, then the
+    // diagonal block (SymGs layout), or plain ascending order.
+    std::vector<Index> order;
+    for (const auto &[bc, ents] : byBlockCol) {
+        if (layout == LdLayout::SymGs && bc == br)
+            continue;
+        order.push_back(bc);
+    }
+    if (layout == LdLayout::SymGs)
+        order.push_back(br);
+
+    RowChunk chunk;
+    for (Index bc : order) {
+        LdBlockInfo blk;
+        blk.blockRow = br;
+        blk.blockCol = bc;
+        blk.offset = chunk.stream.size();
+        bool diagBlk = layout == LdLayout::SymGs && bc == br;
+        blk.size = diagBlk ? omega * (omega - 1) : omega * omega;
+        chunk.stream.resize(chunk.stream.size() + blk.size, 0.0);
+        for (const Triplet &t : byBlockCol[bc]) {
+            if (diagBlk && t.row == t.col)
+                continue; // lives in the separated diagonal
+            int64_t pos = payloadPos(layout, diagBlk, bc > br, omega,
+                                     t.row, t.col);
+            ALR_ASSERT(pos >= 0, "unstorable element");
+            chunk.stream[blk.offset + size_t(pos)] = t.val;
+        }
+        chunk.blocks.push_back(blk);
+    }
+    return chunk;
+}
+
 } // namespace
 
 LocallyDenseMatrix
 LocallyDenseMatrix::encode(const CsrMatrix &csr, Index omega,
-                           LdLayout layout)
+                           LdLayout layout, ThreadPool *pool)
 {
     ALR_ASSERT(omega > 0, "block width must be positive");
     if (layout == LdLayout::SymGs) {
@@ -70,58 +135,38 @@ LocallyDenseMatrix::encode(const CsrMatrix &csr, Index omega,
         }
     }
 
-    const auto &rowPtr = csr.rowPtr();
-    const auto &colIdx = csr.colIdx();
-    const auto &vals = csr.vals();
+    ThreadPool &tp = pool ? *pool : ThreadPool::global();
 
+    // Block rows are independent: encode each into its own chunk, then
+    // merge in block-row order.  With one thread the chunks are built
+    // and appended in exactly the serial order, so the merged arrays
+    // are bit-for-bit what the historical serial loop produced.
+    std::vector<RowChunk> chunks(ld._blockRows);
+    tp.parallelFor(0, ld._blockRows, [&](size_t br) {
+        chunks[br] = encodeBlockRow(csr, omega, layout, Index(br));
+    });
+
+    // Prefix sums give every chunk its slot in the final arrays.
+    std::vector<size_t> blockBase(ld._blockRows + 1, 0);
+    std::vector<size_t> streamBase(ld._blockRows + 1, 0);
     for (Index br = 0; br < ld._blockRows; ++br) {
-        // Collect the non-empty blocks of this block row.
-        std::map<Index, std::vector<Triplet>> byBlockCol;
-        Index rLo = br * omega;
-        Index rHi = std::min<Index>(rLo + omega, csr.rows());
-        for (Index r = rLo; r < rHi; ++r) {
-            for (Index k = rowPtr[r]; k < rowPtr[r + 1]; ++k) {
-                Index bc = colIdx[k] / omega;
-                byBlockCol[bc].push_back(
-                    {r - rLo, colIdx[k] - bc * omega, vals[k]});
-            }
-        }
-        // SymGs layout always materializes the diagonal block so every
-        // block row ends in a D-SymGS data path.
-        if (layout == LdLayout::SymGs)
-            byBlockCol[br];
-
-        // Emit off-diagonal blocks in ascending column order, then the
-        // diagonal block (SymGs layout), or plain ascending order.
-        std::vector<Index> order;
-        for (const auto &[bc, ents] : byBlockCol) {
-            if (layout == LdLayout::SymGs && bc == br)
-                continue;
-            order.push_back(bc);
-        }
-        if (layout == LdLayout::SymGs)
-            order.push_back(br);
-
-        for (Index bc : order) {
-            LdBlockInfo blk;
-            blk.blockRow = br;
-            blk.blockCol = bc;
-            blk.offset = ld._stream.size();
-            bool diagBlk = layout == LdLayout::SymGs && bc == br;
-            blk.size = diagBlk ? omega * (omega - 1) : omega * omega;
-            ld._stream.resize(ld._stream.size() + blk.size, 0.0);
-            for (const Triplet &t : byBlockCol[bc]) {
-                if (diagBlk && t.row == t.col)
-                    continue; // lives in the separated diagonal
-                int64_t pos = payloadPos(layout, diagBlk, bc > br, omega,
-                                         t.row, t.col);
-                ALR_ASSERT(pos >= 0, "unstorable element");
-                ld._stream[blk.offset + size_t(pos)] = t.val;
-            }
-            ld._blocks.push_back(blk);
-        }
-        ld._blockRowPtr[br + 1] = Index(ld._blocks.size());
+        blockBase[br + 1] = blockBase[br] + chunks[br].blocks.size();
+        streamBase[br + 1] = streamBase[br] + chunks[br].stream.size();
+        ld._blockRowPtr[br + 1] = Index(blockBase[br + 1]);
     }
+
+    ld._blocks.resize(blockBase[ld._blockRows]);
+    ld._stream.resize(streamBase[ld._blockRows]);
+    tp.parallelFor(0, ld._blockRows, [&](size_t br) {
+        RowChunk &chunk = chunks[br];
+        for (size_t i = 0; i < chunk.blocks.size(); ++i) {
+            LdBlockInfo blk = chunk.blocks[i];
+            blk.offset += streamBase[br];
+            ld._blocks[blockBase[br] + i] = blk;
+        }
+        std::copy(chunk.stream.begin(), chunk.stream.end(),
+                  ld._stream.begin() + std::ptrdiff_t(streamBase[br]));
+    });
     return ld;
 }
 
@@ -221,7 +266,17 @@ LocallyDenseMatrix::serialize(std::ostream &out) const
     bio::writePod<uint32_t>(out, _blockRows);
     bio::writePod<uint32_t>(out, _nnz);
     bio::writePod<uint8_t>(out, uint8_t(_layout));
-    bio::writeVec(out, _blocks);
+    // Block descriptors are written field by field rather than as raw
+    // struct memory: LdBlockInfo has padding whose bytes are
+    // indeterminate, and the serialized form must be byte-for-byte
+    // deterministic (the parallel-encode tests compare it directly).
+    bio::writePod<uint64_t>(out, uint64_t(_blocks.size()));
+    for (const LdBlockInfo &blk : _blocks) {
+        bio::writePod<uint32_t>(out, blk.blockRow);
+        bio::writePod<uint32_t>(out, blk.blockCol);
+        bio::writePod<uint64_t>(out, uint64_t(blk.offset));
+        bio::writePod<uint32_t>(out, blk.size);
+    }
     bio::writeVec(out, _blockRowPtr);
     bio::writeVec(out, _stream);
     bio::writeVec(out, _diag);
@@ -240,7 +295,16 @@ LocallyDenseMatrix::deserialize(std::istream &in)
     if (layout > uint8_t(LdLayout::SymGs))
         throw std::runtime_error("bad layout tag");
     ld._layout = LdLayout(layout);
-    ld._blocks = bio::readVec<LdBlockInfo>(in);
+    uint64_t nblocks = bio::readPod<uint64_t>(in);
+    if (nblocks > (uint64_t(1) << 32))
+        throw std::runtime_error("binary vector implausibly large");
+    ld._blocks.resize(size_t(nblocks));
+    for (LdBlockInfo &blk : ld._blocks) {
+        blk.blockRow = bio::readPod<uint32_t>(in);
+        blk.blockCol = bio::readPod<uint32_t>(in);
+        blk.offset = size_t(bio::readPod<uint64_t>(in));
+        blk.size = bio::readPod<uint32_t>(in);
+    }
     ld._blockRowPtr = bio::readVec<Index>(in);
     ld._stream = bio::readVec<Value>(in);
     ld._diag = bio::readVec<Value>(in);

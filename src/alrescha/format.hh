@@ -35,6 +35,8 @@
 
 namespace alr {
 
+class ThreadPool;
+
 /** Which payload arrangement the matrix was encoded with. */
 enum class LdLayout { Plain, SymGs };
 
@@ -64,9 +66,17 @@ class LocallyDenseMatrix
   public:
     LocallyDenseMatrix() = default;
 
-    /** Encode @p csr with block width @p omega in the given layout. */
+    /**
+     * Encode @p csr with block width @p omega in the given layout.
+     *
+     * Block rows are encoded independently on @p pool (nullptr = the
+     * process-wide pool, sized by ALR_THREADS) and merged in block-row
+     * order, so the result is bit-for-bit identical to a single-thread
+     * encode.
+     */
     static LocallyDenseMatrix encode(const CsrMatrix &csr, Index omega,
-                                     LdLayout layout);
+                                     LdLayout layout,
+                                     ThreadPool *pool = nullptr);
 
     /** Reconstruct the logical matrix (round-trip identity with encode). */
     CsrMatrix decode() const;

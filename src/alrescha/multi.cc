@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 #include "sparse/coo.hh"
 
 namespace alr {
@@ -62,8 +63,12 @@ MultiAccelerator::loadSpmv(const CsrMatrix &a)
     ALR_ASSERT(a.rows() == a.cols(),
                "scale-out partitioning assumes a square operand");
     partitionRows(a.rows());
-    for (auto &p : _parts)
+    // Partitions slice and preprocess independently; each worker only
+    // touches its own engine, so loading is embarrassingly parallel.
+    parallelFor(0, _parts.size(), [&](size_t i) {
+        Partition &p = _parts[i];
         p.accel->loadSpmvOnly(rowSlice(a, p.rowBegin, p.rowEnd));
+    });
     _graphLoaded = false;
     _commCycles = 0;
 }
@@ -78,7 +83,8 @@ MultiAccelerator::loadGraph(const CsrMatrix &adj)
     // Engine p owns the destinations in its row range: give it the
     // edges whose target lands there, so its transposed slice covers
     // exactly its block rows.
-    for (auto &p : _parts) {
+    parallelFor(0, _parts.size(), [&](size_t i) {
+        Partition &p = _parts[i];
         CooMatrix coo(adj.rows(), adj.cols());
         for (Index u = 0; u < adj.rows(); ++u) {
             for (Index k = adj.rowPtr()[u]; k < adj.rowPtr()[u + 1];
@@ -89,7 +95,7 @@ MultiAccelerator::loadGraph(const CsrMatrix &adj)
             }
         }
         p.accel->loadGraph(CsrMatrix::fromCoo(coo));
-    }
+    });
     _graphLoaded = true;
     _commCycles = 0;
 }
@@ -110,20 +116,27 @@ MultiAccelerator::spmv(const DenseVector &x)
     ALR_ASSERT(x.size() == _rows, "operand length mismatch");
 
     // Broadcast x, run every slice, keep the slowest engine's time.
+    // Engines simulate on pool workers; each writes only its own row
+    // range of y and its own timing slot, so the merged result is
+    // identical to the serial sweep.
     uint64_t comm = broadcastCycles(double(x.size()) * sizeof(Value));
-    uint64_t slowest = 0;
     DenseVector y(_rows, 0.0);
-    for (auto &p : _parts) {
+    std::vector<uint64_t> cycles(_parts.size(), 0);
+    parallelFor(0, _parts.size(), [&](size_t i) {
+        Partition &p = _parts[i];
         if (p.rowBegin == p.rowEnd)
-            continue;
+            return;
         RunTiming t;
         p.accel->engine().program(&p.accel->matrix(),
                                   &p.accel->table(KernelType::SpMV));
         DenseVector part = p.accel->engine().runSpmv(x, &t);
-        slowest = std::max(slowest, t.cycles);
+        cycles[i] = t.cycles;
         for (Index r = p.rowBegin; r < p.rowEnd; ++r)
             y[r] = part[r];
-    }
+    });
+    uint64_t slowest = 0;
+    for (uint64_t c : cycles)
+        slowest = std::max(slowest, c);
     _commCycles += comm;
     (void)slowest; // folded into each engine's counters; see report()
     return y;
@@ -141,15 +154,17 @@ MultiAccelerator::relaxRounds(const DenseVector &init, KernelType kernel,
         _commCycles +=
             broadcastCycles(double(dist.size()) * sizeof(Value));
         DenseVector next = dist;
-        for (auto &p : _parts) {
+        // Each partition relaxes its own row range of next in parallel.
+        parallelFor(0, _parts.size(), [&](size_t i) {
+            Partition &p = _parts[i];
             if (p.rowBegin == p.rowEnd)
-                continue;
+                return;
             p.accel->engine().program(&p.accel->matrix(),
                                       &p.accel->table(kernel));
             DenseVector part = p.accel->engine().runRelaxRound(dist);
             for (Index r = p.rowBegin; r < p.rowEnd; ++r)
                 next[r] = std::min(next[r], part[r]);
-        }
+        });
         if (next == dist)
             break;
         dist = std::move(next);
@@ -191,9 +206,11 @@ MultiAccelerator::pagerank(const PageRankOptions &opts)
     for (int it = 0; it < opts.maxIterations; ++it) {
         _commCycles += broadcastCycles(double(n) * sizeof(Value));
         DenseVector sums(n, 0.0);
-        for (auto &p : _parts) {
+        // Partitions accumulate into disjoint row ranges of sums.
+        parallelFor(0, _parts.size(), [&](size_t i) {
+            Partition &p = _parts[i];
             if (p.rowBegin == p.rowEnd)
-                continue;
+                return;
             p.accel->engine().program(
                 &p.accel->matrix(),
                 &p.accel->table(KernelType::PageRank));
@@ -201,7 +218,7 @@ MultiAccelerator::pagerank(const PageRankOptions &opts)
                 p.accel->engine().runPrRound(res.values, _outDegrees);
             for (Index r = p.rowBegin; r < p.rowEnd; ++r)
                 sums[r] += part[r];
-        }
+        });
         Value dangling = 0.0;
         for (Index v = 0; v < n; ++v) {
             if (_outDegrees[v] == 0)

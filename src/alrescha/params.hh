@@ -78,6 +78,15 @@ struct AccelParams
      */
     bool frontierSkipping = true;
 
+    /**
+     * Worker threads for the host preprocessing pipeline (locally-dense
+     * encoding + Algorithm 1 conversion).  0 uses the process-wide pool
+     * sized by the ALR_THREADS environment variable (or hardware
+     * concurrency); a positive value gives this accelerator a private
+     * pool of that size.  Results are thread-count independent.
+     */
+    int hostThreads = 0;
+
     /** Bytes the memory system delivers per core cycle. */
     double bytesPerCycle() const { return memBandwidthGBs / clockGhz; }
 

@@ -9,7 +9,9 @@ namespace alr {
 
 namespace {
 
-constexpr uint32_t kMagic = 0xA15ECA01; // "Alrescha", version 1
+// "Alrescha", version 2: v2 serializes block descriptors and table
+// entries field by field (padding-free) instead of as raw structs.
+constexpr uint32_t kMagic = 0xA15ECA02;
 
 } // namespace
 

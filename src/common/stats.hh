@@ -10,6 +10,7 @@
 #ifndef ALR_COMMON_STATS_HH
 #define ALR_COMMON_STATS_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -19,27 +20,52 @@
 
 namespace alr::stats {
 
-/** A named, monotonically accumulating scalar counter. */
+/**
+ * A named, monotonically accumulating scalar counter.
+ *
+ * Updates are lock-free atomics so engines running on pool workers
+ * (multi-engine scale-out, parallel benches) cannot lose or corrupt
+ * increments even when a counter is shared.  Relaxed ordering is
+ * enough: counters are only read for reporting after the parallel
+ * region joins.
+ */
 class Scalar
 {
   public:
     Scalar() = default;
+    Scalar(const Scalar &o) : _value(o.value()) {}
+    Scalar &operator=(const Scalar &o)
+    {
+        set(o.value());
+        return *this;
+    }
 
-    Scalar &operator+=(double v) { _value += v; return *this; }
-    Scalar &operator++() { _value += 1.0; return *this; }
-    void set(double v) { _value = v; }
-    void reset() { _value = 0.0; }
+    Scalar &operator+=(double v) { add(v); return *this; }
+    Scalar &operator++() { add(1.0); return *this; }
+    void add(double v)
+    {
+        double cur = _value.load(std::memory_order_relaxed);
+        while (!_value.compare_exchange_weak(cur, cur + v,
+                                             std::memory_order_relaxed)) {
+        }
+    }
+    void set(double v) { _value.store(v, std::memory_order_relaxed); }
+    void reset() { set(0.0); }
 
-    double value() const { return _value; }
-    operator double() const { return _value; }
+    double value() const { return _value.load(std::memory_order_relaxed); }
+    operator double() const { return value(); }
 
   private:
-    double _value = 0.0;
+    std::atomic<double> _value{0.0};
 };
 
 /**
  * A running distribution: tracks count, sum, min, max, and sum of squares
  * so mean and variance are available without storing samples.
+ *
+ * Unlike Scalar, sampling is not atomic: a Distribution must be owned
+ * by one engine (one thread) at a time; parallel engines each own
+ * their instance and results are merged at readout.
  */
 class Distribution
 {

@@ -1,40 +1,47 @@
 #include "common/trace.hh"
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
+#include <mutex>
 #include <ostream>
 
 namespace alr::trace {
 
 namespace {
 
-std::ostream *sink = nullptr;
+std::atomic<std::ostream *> sink{nullptr};
+std::mutex emit_mutex;
 
 } // namespace
 
 void
 setSink(std::ostream *os)
 {
-    sink = os;
+    sink.store(os, std::memory_order_release);
 }
 
 bool
 enabled()
 {
-    return sink != nullptr;
+    return sink.load(std::memory_order_acquire) != nullptr;
 }
 
 void
 emit(const char *fmt, ...)
 {
-    if (!sink)
+    std::ostream *os = sink.load(std::memory_order_acquire);
+    if (!os)
         return;
     char line[1024];
     va_list args;
     va_start(args, fmt);
     vsnprintf(line, sizeof(line), fmt, args);
     va_end(args);
-    *sink << line << '\n';
+    // Engines may trace concurrently (multi-engine scale-out); keep
+    // each event line intact.
+    std::lock_guard<std::mutex> lock(emit_mutex);
+    *os << line << '\n';
 }
 
 } // namespace alr::trace

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/logging.hh"
+#include "sparse/csr.hh"
 
 namespace alr {
 
@@ -16,13 +17,37 @@ malformed(const std::string &why)
     throw std::runtime_error("matrix market: " + why);
 }
 
+[[noreturn]] void
+malformedAt(long lineno, const std::string &why)
+{
+    malformed("line " + std::to_string(lineno) + ": " + why);
+}
+
+/** True when @p s has a non-whitespace token left to consume. */
+bool
+hasTrailingToken(std::istringstream &s)
+{
+    std::string extra;
+    return bool(s >> extra);
+}
+
 } // namespace
 
 CooMatrix
 readMatrixMarket(std::istream &in)
 {
     std::string line;
-    if (!std::getline(in, line))
+    long lineno = 0;
+    auto getLine = [&]() -> bool {
+        if (!std::getline(in, line))
+            return false;
+        ++lineno;
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        return true;
+    };
+
+    if (!getLine())
         malformed("empty stream");
 
     std::istringstream header(line);
@@ -40,26 +65,28 @@ readMatrixMarket(std::istream &in)
     if (!symmetric && !skew && symmetry != "general")
         malformed("unsupported symmetry '" + symmetry + "'");
 
-    // Skip comments.
+    // Skip comments and blank lines (both legal between the banner and
+    // the size line).
     do {
-        if (!std::getline(in, line))
+        if (!getLine())
             malformed("missing size line");
-    } while (!line.empty() && line[0] == '%');
+    } while (line.empty() || line[0] == '%');
 
     std::istringstream size(line);
     long rows = 0, cols = 0, entries = 0;
     size >> rows >> cols >> entries;
-    if (rows <= 0 || cols <= 0 || entries < 0)
-        malformed("bad size line '" + line + "'");
+    if (size.fail() || rows <= 0 || cols <= 0 || entries < 0 ||
+        hasTrailingToken(size))
+        malformedAt(lineno, "bad size line '" + line + "'");
 
     CooMatrix coo{Index(rows), Index(cols)};
     for (long i = 0; i < entries; ++i) {
-        if (!std::getline(in, line))
-            malformed("truncated entry list");
-        if (line.empty()) {
-            --i;
-            continue;
-        }
+        do {
+            if (!getLine())
+                malformedAt(lineno, "truncated entry list (" +
+                            std::to_string(i) + " of " +
+                            std::to_string(entries) + " entries read)");
+        } while (line.empty());
         std::istringstream entry(line);
         long r = 0, c = 0;
         double v = 1.0;
@@ -67,7 +94,10 @@ readMatrixMarket(std::istream &in)
         if (!pattern)
             entry >> v;
         if (entry.fail() || r < 1 || c < 1 || r > rows || c > cols)
-            malformed("bad entry '" + line + "'");
+            malformedAt(lineno, "bad entry '" + line + "'");
+        if (hasTrailingToken(entry))
+            malformedAt(lineno,
+                        "trailing tokens on entry '" + line + "'");
         coo.add(Index(r - 1), Index(c - 1), v);
         if ((symmetric || skew) && r != c)
             coo.add(Index(c - 1), Index(r - 1), skew ? -v : v);
@@ -94,10 +124,31 @@ writeMatrixMarket(std::ostream &out, const CooMatrix &coo)
 {
     CooMatrix canon = coo;
     canon.canonicalize();
-    out << "%%MatrixMarket matrix coordinate real general\n";
+
+    // Symmetric matrices are written in the Matrix Market symmetric
+    // form (lower triangle only): a write->read round trip then
+    // preserves nnz instead of doubling the off-diagonal entries.
+    bool symmetric = canon.rows() == canon.cols() && canon.nnz() > 0 &&
+                     CsrMatrix::fromCoo(canon).isSymmetric();
+
+    out << "%%MatrixMarket matrix coordinate real "
+        << (symmetric ? "symmetric" : "general") << "\n";
+    out.precision(17);
+    if (symmetric) {
+        Index stored = 0;
+        for (const Triplet &t : canon.triplets())
+            stored += t.row >= t.col;
+        out << canon.rows() << " " << canon.cols() << " " << stored
+            << "\n";
+        for (const Triplet &t : canon.triplets()) {
+            if (t.row >= t.col)
+                out << (t.row + 1) << " " << (t.col + 1) << " " << t.val
+                    << "\n";
+        }
+        return;
+    }
     out << canon.rows() << " " << canon.cols() << " " << canon.nnz()
         << "\n";
-    out.precision(17);
     for (const Triplet &t : canon.triplets())
         out << (t.row + 1) << " " << (t.col + 1) << " " << t.val << "\n";
 }

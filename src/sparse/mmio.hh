@@ -17,15 +17,23 @@ namespace alr {
 /**
  * Parse a Matrix Market coordinate stream into COO form.  Symmetric and
  * skew-symmetric files are expanded to both triangles; pattern files get
- * unit values.  Calls fatal() on malformed input from a file path API and
- * throws std::runtime_error from the stream API so tests can probe errors.
+ * unit values.  Blank lines around the size line and between entries are
+ * skipped; entry lines with trailing tokens are rejected, and parse
+ * errors report the 1-based line number.  Calls fatal() on malformed
+ * input from a file path API and throws std::runtime_error from the
+ * stream API so tests can probe errors.
  */
 CooMatrix readMatrixMarket(std::istream &in);
 
 /** Read a .mtx file from @p path (fatal() if unreadable/malformed). */
 CooMatrix readMatrixMarketFile(const std::string &path);
 
-/** Write @p coo as a general real coordinate Matrix Market stream. */
+/**
+ * Write @p coo as a real coordinate Matrix Market stream.  Numerically
+ * symmetric square matrices are emitted in the symmetric form (lower
+ * triangle only), so a write->read round trip preserves nnz and bytes;
+ * everything else is written as general.
+ */
 void writeMatrixMarket(std::ostream &out, const CooMatrix &coo);
 
 /** Write @p coo to @p path (fatal() if the file cannot be created). */

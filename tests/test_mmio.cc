@@ -114,6 +114,104 @@ TEST(Mmio, RejectsTruncatedEntryList)
     EXPECT_THROW(readMatrixMarket(ss), std::runtime_error);
 }
 
+TEST(Mmio, SymmetricMatrixWritesSymmetricForm)
+{
+    Rng rng(3);
+    CsrMatrix a = gen::randomSpd(24, 4, rng);
+    ASSERT_TRUE(a.isSymmetric());
+
+    std::stringstream ss;
+    writeMatrixMarket(ss, a.toCoo());
+    std::string text = ss.str();
+    EXPECT_NE(text.find("coordinate real symmetric"), std::string::npos);
+
+    // Stored entries are the lower triangle only: no doubling.
+    CooMatrix acoo = a.toCoo();
+    Index lower = 0;
+    for (const Triplet &t : acoo.triplets())
+        lower += t.row >= t.col;
+    std::istringstream count(text);
+    std::string line;
+    std::getline(count, line); // banner
+    std::getline(count, line); // size line
+    long rows = 0, cols = 0, stored = 0;
+    std::istringstream(line) >> rows >> cols >> stored;
+    EXPECT_EQ(Index(stored), lower);
+
+    // Round trip reproduces the matrix exactly (nnz preserved).
+    std::istringstream back(text);
+    CooMatrix coo = readMatrixMarket(back);
+    EXPECT_EQ(CsrMatrix::fromCoo(coo), a);
+
+    // A second write of the round-tripped matrix is byte-identical:
+    // the write->read->write cycle is stable.
+    std::stringstream again;
+    writeMatrixMarket(again, coo);
+    EXPECT_EQ(again.str(), text);
+}
+
+TEST(Mmio, NonSymmetricMatrixStaysGeneral)
+{
+    Rng rng(4);
+    CsrMatrix a = gen::randomSparse(12, 12, 3, rng);
+    ASSERT_FALSE(a.isSymmetric());
+    std::stringstream ss;
+    writeMatrixMarket(ss, a.toCoo());
+    EXPECT_NE(ss.str().find("coordinate real general"),
+              std::string::npos);
+    std::istringstream back(ss.str());
+    EXPECT_EQ(CsrMatrix::fromCoo(readMatrixMarket(back)), a);
+}
+
+TEST(Mmio, SkipsBlankLinesBeforeSizeLine)
+{
+    std::stringstream ss;
+    ss << "%%MatrixMarket matrix coordinate real general\n"
+       << "% comment\n"
+       << "\n"
+       << "2 2 1\n"
+       << "1 2 5.0\n";
+    CooMatrix coo = readMatrixMarket(ss);
+    EXPECT_EQ(coo.nnz(), 1u);
+    EXPECT_DOUBLE_EQ(CsrMatrix::fromCoo(coo).at(0, 1), 5.0);
+}
+
+TEST(Mmio, RejectsTrailingTokensOnEntryLines)
+{
+    std::stringstream ss;
+    ss << "%%MatrixMarket matrix coordinate real general\n"
+       << "2 2 1\n"
+       << "1 2 3.0 junk\n";
+    EXPECT_THROW(readMatrixMarket(ss), std::runtime_error);
+}
+
+TEST(Mmio, EntryErrorsReportLineNumber)
+{
+    std::stringstream ss;
+    ss << "%%MatrixMarket matrix coordinate real general\n"
+       << "% comment\n"
+       << "2 2 2\n"
+       << "1 1 1.0\n"
+       << "9 9 2.0\n";
+    try {
+        readMatrixMarket(ss);
+        FAIL() << "expected malformed-entry rejection";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("line 5"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(Mmio, RejectsTrailingTokensOnSizeLine)
+{
+    std::stringstream ss;
+    ss << "%%MatrixMarket matrix coordinate real general\n"
+       << "2 2 1 extra\n"
+       << "1 1 1.0\n";
+    EXPECT_THROW(readMatrixMarket(ss), std::runtime_error);
+}
+
 TEST(Mmio, FileRoundTrip)
 {
     Rng rng(2);

@@ -26,6 +26,7 @@
 #include "alrescha/program_image.hh"
 #include "kernels/eigen.hh"
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 #include "common/trace.hh"
 #include "common/random.hh"
 #include "kernels/graph.hh"
@@ -52,6 +53,7 @@ struct Options
     bool dumpStats = false;
     bool json = false;
     int maxIterations = 500;
+    int threads = 0;
 };
 
 void
@@ -63,7 +65,8 @@ usage()
         "               [--kernel spmv|symgs|pcg|bicgstab|gmres|\n"
         "                         bfs|sssp|pr|cc|eigen]\n"
         "               [--omega N] [--source V] [--rcm] [--stats] [--json]\n"
-        "               [--iters N] [--save F.alr] [--trace F.log]\n"
+        "               [--iters N] [--threads N] [--save F.alr]\n"
+        "               [--trace F.log]\n"
         "  SPEC: stencil2d:N | stencil3d:N | banded:N | rmat:SCALE |\n"
         "        roadgrid:N | powerlaw:N\n");
     std::exit(2);
@@ -125,6 +128,10 @@ parse(int argc, char **argv)
             opt.source = Index(std::atoi(next().c_str()));
         } else if (arg == "--iters") {
             opt.maxIterations = std::atoi(next().c_str());
+        } else if (arg == "--threads") {
+            opt.threads = std::atoi(next().c_str());
+            if (opt.threads <= 0)
+                usage();
         } else if (arg == "--rcm") {
             opt.rcm = true;
         } else if (arg == "--stats") {
@@ -193,6 +200,11 @@ int
 main(int argc, char **argv)
 {
     Options opt = parse(argc, argv);
+
+    // Host-preprocessing thread count: --threads beats ALR_THREADS
+    // beats hardware concurrency.
+    if (opt.threads > 0)
+        ThreadPool::setGlobalThreadCount(opt.threads);
 
     std::ofstream traceFile;
     if (!opt.tracePath.empty()) {

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Sanitizer CI pass for the Alrescha repo:
+#
+#   1. ASan + UBSan build, full ctest suite.
+#   2. TSan build, the parallel-pipeline tests (thread pool, parallel
+#      encode/convert determinism, multi-engine scale-out) with a high
+#      thread count to provoke races.
+#
+# Usage: tools/check_sanitizers.sh [build-dir-prefix]
+# Exits non-zero on any build failure, test failure, or sanitizer report.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+prefix="${1:-build-san}"
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+run_suite() {
+    local dir="$1" flags="$2" label="$3"
+    shift 3
+    echo "== ${label}: configuring ${dir} =="
+    cmake -B "${dir}" -S . \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_CXX_FLAGS="${flags}" \
+        -DCMAKE_EXE_LINKER_FLAGS="${flags}" >/dev/null
+    echo "== ${label}: building =="
+    cmake --build "${dir}" -j "${jobs}" >/dev/null
+    echo "== ${label}: testing =="
+    (cd "${dir}" && ctest --output-on-failure -j "${jobs}" "$@")
+}
+
+# Address + undefined-behaviour pass over the whole suite.
+run_suite "${prefix}-asan" \
+    "-fsanitize=address,undefined -fno-sanitize-recover=all" \
+    "ASan+UBSan"
+
+# Thread-sanitizer pass over the parallel pipeline.  ALR_THREADS=8
+# forces real concurrency even on small CI machines.
+ALR_THREADS=8 TSAN_OPTIONS="halt_on_error=1" run_suite "${prefix}-tsan" \
+    "-fsanitize=thread" \
+    "TSan" \
+    -R 'ThreadPool|ParallelPipeline|Multi|Mmio'
+
+echo "== sanitizers: all passes clean =="
