@@ -8,8 +8,10 @@
 #ifndef ALR_BENCH_BENCH_UTIL_HH
 #define ALR_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -93,6 +95,153 @@ geoMean(const std::vector<double> &xs)
     for (double x : xs)
         acc += std::log(x);
     return std::exp(acc / double(xs.size()));
+}
+
+/** Milliseconds elapsed since @p start (host wall clock). */
+inline double
+wallMsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+inline std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Shortest round-trippable representation of a finite double. */
+inline std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+/**
+ * Minimal insertion-ordered JSON builder for the machine-readable bench
+ * result files (BENCH_*.json).  Members serialize in the order they were
+ * added; nested objects/arrays nest via raw().  Not a parser, not
+ * general purpose -- just enough structure for the CI perf-smoke job to
+ * json.load the output.
+ */
+class JsonObject
+{
+  public:
+    JsonObject &raw(const std::string &key, std::string json)
+    {
+        _members.emplace_back(key, std::move(json));
+        return *this;
+    }
+
+    JsonObject &add(const std::string &key, const std::string &v)
+    {
+        return raw(key, "\"" + jsonEscape(v) + "\"");
+    }
+    JsonObject &add(const std::string &key, const char *v)
+    {
+        return add(key, std::string(v));
+    }
+    JsonObject &add(const std::string &key, double v)
+    {
+        return raw(key, jsonNumber(v));
+    }
+    JsonObject &add(const std::string &key, uint64_t v)
+    {
+        return raw(key, std::to_string(v));
+    }
+    JsonObject &add(const std::string &key, int v)
+    {
+        return raw(key, std::to_string(v));
+    }
+
+    std::string
+    dump(int indent = 0) const
+    {
+        std::string pad(size_t(indent) + 2, ' ');
+        std::string out = "{";
+        for (size_t i = 0; i < _members.size(); ++i) {
+            out += i ? ",\n" : "\n";
+            out += pad + "\"" + jsonEscape(_members[i].first) +
+                   "\": " + _members[i].second;
+        }
+        out += "\n" + std::string(size_t(indent), ' ') + "}";
+        return out;
+    }
+
+  private:
+    std::vector<std::pair<std::string, std::string>> _members;
+};
+
+/** Array counterpart: holds pre-serialized element values. */
+class JsonArray
+{
+  public:
+    JsonArray &raw(std::string json)
+    {
+        _elems.push_back(std::move(json));
+        return *this;
+    }
+    JsonArray &add(const JsonObject &obj, int indent = 0)
+    {
+        return raw(obj.dump(indent + 2));
+    }
+
+    std::string
+    dump(int indent = 0) const
+    {
+        if (_elems.empty())
+            return "[]";
+        std::string pad(size_t(indent) + 2, ' ');
+        std::string out = "[";
+        for (size_t i = 0; i < _elems.size(); ++i) {
+            out += i ? ",\n" : "\n";
+            out += pad + _elems[i];
+        }
+        out += "\n" + std::string(size_t(indent), ' ') + "]";
+        return out;
+    }
+
+  private:
+    std::vector<std::string> _elems;
+};
+
+/** Write @p root to @p path (with trailing newline); prints the path so
+ *  bench logs show where the machine-readable copy landed. */
+inline bool
+writeJsonFile(const std::string &path, const JsonObject &root)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+        return false;
+    }
+    out << root.dump() << "\n";
+    std::printf("wrote %s\n", path.c_str());
+    return bool(out);
 }
 
 /** Alrescha seconds for one PCG iteration (symmetric sweep + SpMV). */

@@ -31,11 +31,14 @@ main()
     Table table({"dataset", "Alrescha x", "Memristive x", "Alr BW util",
                  "Mem BW util"});
     std::vector<double> alr_speedups, mem_speedups;
+    JsonArray json_rows;
 
     for (const Dataset &d : scientificSuite()) {
+        auto start = std::chrono::steady_clock::now();
         double gpu_t = gpu.pcgIterationSeconds(d.matrix);
         double alr_t = alreschaPcgIterationSeconds(d.matrix, acc);
         double mem_t = mem.pcgIterationSeconds(d.matrix);
+        double wall_ms = wallMsSince(start);
 
         double alr_x = gpu_t / alr_t;
         double mem_x = gpu_t / mem_t;
@@ -45,10 +48,31 @@ main()
         table.addRow({d.name, fmt(alr_x, 1), fmt(mem_x, 1),
                       fmt(acc.report().bandwidthUtilization, 2),
                       fmt(mem.bandwidthUtilization(d.matrix), 2)});
+        JsonObject row;
+        row.add("name", d.name)
+            .add("suite", "scientific")
+            .add("wall_ms", wall_ms)
+            .add("cycles", acc.engine().totalCycles())
+            .add("bytes_streamed", acc.engine().memory().bytesStreamed())
+            .add("alrescha_speedup", alr_x)
+            .add("memristive_speedup", mem_x)
+            .add("alrescha_bw_utilization",
+                 acc.report().bandwidthUtilization);
+        json_rows.add(row, 2);
     }
     table.addRow({"geo-mean", fmt(geoMean(alr_speedups), 1),
                   fmt(geoMean(mem_speedups), 1), "", ""});
     table.print();
+
+    JsonObject geo;
+    geo.add("alrescha", geoMean(alr_speedups))
+        .add("memristive", geoMean(mem_speedups));
+    JsonObject root;
+    root.add("bench", "fig15_pcg_speedup")
+        .add("kernel", "pcg_iteration")
+        .raw("datasets", json_rows.dump(2))
+        .raw("geo_mean_speedup", geo.dump(2));
+    writeJsonFile("BENCH_pcg.json", root);
 
     std::printf("\npaper: Alrescha averages 15.6x over the GPU and about\n"
                 "twice the Memristive accelerator's speedup; both track\n"

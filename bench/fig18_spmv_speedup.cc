@@ -23,11 +23,14 @@ struct Measurement
     double os_speedup = 0.0;
     double alr_cache_pct = 0.0;
     double os_cache_pct = 0.0;
+    double wall_ms = 0.0;
+    uint64_t cycles = 0;
+    double bytes = 0.0;
 };
 
 void
 runSuite(const std::vector<Dataset> &suite, const char *label,
-         std::vector<double> &alr_speedups)
+         std::vector<double> &alr_speedups, JsonArray &json_rows)
 {
     std::printf("-- %s datasets --\n", label);
     Table table({"dataset", "Alrescha x", "OuterSPACE x",
@@ -41,12 +44,17 @@ runSuite(const std::vector<Dataset> &suite, const char *label,
         GpuModel gpu;
         OuterSpaceModel os;
         Accelerator acc;
+        auto start = std::chrono::steady_clock::now();
         double gpu_t = gpu.spmvSeconds(d.matrix);
         double alr_t = alreschaSpmvSeconds(d.matrix, acc);
         double os_t = os.spmvSeconds(d.matrix);
-        rows[i] = {gpu_t / alr_t, gpu_t / os_t,
+        rows[i] = {gpu_t / alr_t,
+                   gpu_t / os_t,
                    100.0 * acc.report().cacheTimeFraction,
-                   100.0 * os.cacheTimeFraction(d.matrix)};
+                   100.0 * os.cacheTimeFraction(d.matrix),
+                   wallMsSince(start),
+                   acc.engine().totalCycles(),
+                   acc.engine().memory().bytesStreamed()};
     });
 
     std::vector<double> os_speedups;
@@ -57,6 +65,16 @@ runSuite(const std::vector<Dataset> &suite, const char *label,
         table.addRow({suite[i].name, fmt(m.alr_speedup, 1),
                       fmt(m.os_speedup, 1), fmt(m.alr_cache_pct, 1),
                       fmt(m.os_cache_pct, 1)});
+        JsonObject row;
+        row.add("name", suite[i].name)
+            .add("suite", label)
+            .add("wall_ms", m.wall_ms)
+            .add("cycles", m.cycles)
+            .add("bytes_streamed", m.bytes)
+            .add("alrescha_speedup", m.alr_speedup)
+            .add("outerspace_speedup", m.os_speedup)
+            .add("alrescha_cache_time_pct", m.alr_cache_pct);
+        json_rows.add(row, 2);
     }
     table.addRow({"geo-mean", fmt(geoMean(alr_speedups), 1),
                   fmt(geoMean(os_speedups), 1), "", ""});
@@ -73,8 +91,18 @@ main()
                 "OuterSPACE ==\n\n");
 
     std::vector<double> sci, graph;
-    runSuite(scientificSuite(), "scientific", sci);
-    runSuite(graphSuite(), "graph", graph);
+    JsonArray json_rows;
+    runSuite(scientificSuite(), "scientific", sci, json_rows);
+    runSuite(graphSuite(), "graph", graph, json_rows);
+
+    JsonObject geo;
+    geo.add("scientific", geoMean(sci)).add("graph", geoMean(graph));
+    JsonObject root;
+    root.add("bench", "fig18_spmv_speedup")
+        .add("kernel", "spmv")
+        .raw("datasets", json_rows.dump(2))
+        .raw("geo_mean_speedup", geo.dump(2));
+    writeJsonFile("BENCH_spmv.json", root);
 
     std::printf("paper: Alrescha averages 6.9x (scientific) and 13.6x\n"
                 "(graph) over the GPU, beating OuterSPACE by about 1.7x;\n"

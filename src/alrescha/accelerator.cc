@@ -34,6 +34,10 @@ void
 Accelerator::loadPde(const CsrMatrix &a)
 {
     ALR_ASSERT(a.rows() == a.cols(), "PDE systems are square");
+    // The previous matrix/tables are about to be destroyed; schedules
+    // are keyed on their identity, so drop them before the addresses
+    // can be recycled.
+    _engine.invalidateSchedules();
     ThreadPool *pool = hostPool();
     _ld = std::make_unique<LocallyDenseMatrix>(LocallyDenseMatrix::encode(
         a, _params.omega, LdLayout::SymGs, pool));
@@ -53,6 +57,7 @@ Accelerator::loadPde(const CsrMatrix &a)
 void
 Accelerator::loadSpmvOnly(const CsrMatrix &a)
 {
+    _engine.invalidateSchedules();
     ThreadPool *pool = hostPool();
     _ld = std::make_unique<LocallyDenseMatrix>(LocallyDenseMatrix::encode(
         a, _params.omega, LdLayout::Plain, pool));
@@ -70,6 +75,7 @@ void
 Accelerator::loadGraph(const CsrMatrix &adj)
 {
     ALR_ASSERT(adj.rows() == adj.cols(), "adjacency must be square");
+    _engine.invalidateSchedules();
     _outDegrees = outDegrees(adj);
     CsrMatrix adjT = adj.transposed();
     ThreadPool *pool = hostPool();

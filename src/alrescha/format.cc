@@ -167,6 +167,7 @@ LocallyDenseMatrix::encode(const CsrMatrix &csr, Index omega,
         std::copy(chunk.stream.begin(), chunk.stream.end(),
                   ld._stream.begin() + std::ptrdiff_t(streamBase[br]));
     });
+    ld.buildLuts();
     return ld;
 }
 
@@ -192,18 +193,41 @@ LocallyDenseMatrix::decode() const
     return CsrMatrix::fromCoo(coo);
 }
 
+void
+LocallyDenseMatrix::buildLuts()
+{
+    size_t n = size_t(_omega) * _omega;
+    _lutOff[0].resize(n);
+    _lutOff[1].resize(n);
+    _lutDiag.resize(n);
+    for (Index lr = 0; lr < _omega; ++lr) {
+        for (Index lc = 0; lc < _omega; ++lc) {
+            size_t i = size_t(lr) * _omega + lc;
+            _lutOff[0][i] = int32_t(
+                payloadPos(_layout, false, false, _omega, lr, lc));
+            _lutOff[1][i] = int32_t(
+                payloadPos(_layout, false, true, _omega, lr, lc));
+            // Plain layout has no separated diagonal; its "diagonal"
+            // table is the ordinary row-major one.
+            _lutDiag[i] = int32_t(payloadPos(
+                _layout, _layout == LdLayout::SymGs, false, _omega, lr,
+                lc));
+        }
+    }
+}
+
 Value
 LocallyDenseMatrix::blockValue(const LdBlockInfo &blk, Index lr,
                                Index lc) const
 {
     ALR_ASSERT(lr < _omega && lc < _omega, "in-block index out of range");
     bool diagBlk = _layout == LdLayout::SymGs && blk.isDiagonal();
-    if (diagBlk && lr == lc) {
+    int32_t pos = payloadLut(diagBlk, blk.blockCol > blk.blockRow)
+        [size_t(lr) * _omega + lc];
+    if (pos < 0) {
         Index r = blk.blockRow * _omega + lr;
         return r < _rows ? _diag[r] : 0.0;
     }
-    int64_t pos = payloadPos(_layout, diagBlk, blk.blockCol > blk.blockRow,
-                             _omega, lr, lc);
     return _stream[blk.offset + size_t(pos)];
 }
 
@@ -254,6 +278,7 @@ LocallyDenseMatrix::assemble(Index rows, Index cols, Index omega,
     ld._blockRowPtr = std::move(block_row_ptr);
     ld._stream = std::move(stream);
     ld._diag = std::move(diag);
+    ld.buildLuts();
     return ld;
 }
 
@@ -314,6 +339,7 @@ LocallyDenseMatrix::deserialize(std::istream &in)
         if (blk.offset + blk.size > ld._stream.size())
             throw std::runtime_error("block outside payload stream");
     }
+    ld.buildLuts();
     return ld;
 }
 

@@ -28,6 +28,7 @@
 #define ALR_ALRESCHA_FORMAT_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <vector>
 
@@ -97,8 +98,30 @@ class LocallyDenseMatrix
      * Logical value A(blockRow*omega + lr, blockCol*omega + lc) for a
      * stored block, decoding the in-block ordering.  For SymGs diagonal
      * blocks lr == lc returns the separated diagonal value.
+     *
+     * A thin wrapper over the precomputed payload-position LUTs; hot
+     * loops (the schedule compiler) should grab payloadLut() once per
+     * block and index it directly instead of paying the per-element
+     * branching here.
      */
     Value blockValue(const LdBlockInfo &blk, Index lr, Index lc) const;
+
+    /**
+     * Precomputed omega x omega payload-position table for one in-block
+     * ordering case: entry [lr * omega + lc] is the payload offset of
+     * logical element (lr, lc) relative to the block's stream offset,
+     * or -1 when the element lives in the separated diagonal.
+     *
+     * @p diag_block selects the SymGs diagonal-block ordering (only
+     * meaningful for SymGs layout); @p upper the reversed-row ordering
+     * of upper-triangle blocks.  All four cases agree with
+     * payloadPosition() by construction.
+     */
+    const int32_t *payloadLut(bool diag_block, bool upper) const
+    {
+        return diag_block ? _lutDiag.data()
+                          : _lutOff[upper ? 1 : 0].data();
+    }
 
     /** Number of represented (logical) non-zeros. */
     Index scalarNnz() const { return _nnz; }
@@ -138,6 +161,9 @@ class LocallyDenseMatrix
              DenseVector diag);
 
   private:
+    /** Build the payload-position LUTs from payloadPosition(). */
+    void buildLuts();
+
     Index _rows = 0;
     Index _cols = 0;
     Index _omega = 0;
@@ -148,6 +174,9 @@ class LocallyDenseMatrix
     std::vector<Index> _blockRowPtr;
     std::vector<Value> _stream;
     DenseVector _diag;
+    /** Payload-position LUTs: off-diagonal [non-upper, upper] + diag. */
+    std::vector<int32_t> _lutOff[2];
+    std::vector<int32_t> _lutDiag;
 };
 
 } // namespace alr

@@ -68,6 +68,11 @@ MultiAccelerator::loadSpmv(const CsrMatrix &a)
     parallelFor(0, _parts.size(), [&](size_t i) {
         Partition &p = _parts[i];
         p.accel->loadSpmvOnly(rowSlice(a, p.rowBegin, p.rowEnd));
+        // Warm the execution schedule while still on the worker so the
+        // first spmv() call doesn't pay the per-partition compiles.
+        p.accel->engine().program(&p.accel->matrix(),
+                                  &p.accel->table(KernelType::SpMV));
+        p.accel->engine().prepareSchedule();
     });
     _graphLoaded = false;
     _commCycles = 0;

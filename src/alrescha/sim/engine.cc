@@ -5,9 +5,13 @@
 #include <limits>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 #include "common/trace.hh"
 
 namespace alr {
+
+/** Cached schedules kept per engine before evicting the oldest. */
+constexpr size_t kMaxCachedSchedules = 8;
 
 Engine::Engine(const AccelParams &params)
     : _params(params), _memory(params), _fcu(params),
@@ -30,6 +34,8 @@ Engine::Engine(const AccelParams &params)
     _rcu.registerStats(_stats);
 }
 
+Engine::~Engine() = default;
+
 void
 Engine::program(const LocallyDenseMatrix *ld, const ConfigTable *table)
 {
@@ -40,6 +46,77 @@ Engine::program(const LocallyDenseMatrix *ld, const ConfigTable *table)
                "table references more blocks than stored");
     _ld = ld;
     _table = table;
+}
+
+const ExecSchedule *
+Engine::scheduleFor()
+{
+    ALR_ASSERT(_ld && _table, "engine not programmed");
+    if (_table->kernel() != KernelType::SpMV &&
+        _table->kernel() != KernelType::SymGS)
+        return nullptr;
+    for (size_t i = 0; i < _schedules.size(); ++i) {
+        ScheduleSlot &slot = _schedules[i];
+        if (slot.ld != _ld || slot.table != _table)
+            continue;
+        bool fresh = slot.entryCount == _table->entries().size() &&
+                     slot.blockCount == _ld->blocks().size() &&
+                     slot.streamLen == _ld->stream().size() &&
+                     slot.kernel == _table->kernel() &&
+                     slot.omega == _ld->omega();
+        if (!fresh) {
+            // Same address, different shape: a recycled object the
+            // caller forgot to invalidate.  Drop the stale entry.
+            _schedules.erase(_schedules.begin() + std::ptrdiff_t(i));
+            break;
+        }
+        if (i != 0)
+            std::rotate(_schedules.begin(), _schedules.begin() + i,
+                        _schedules.begin() + i + 1);
+        return _schedules.front().sched.get();
+    }
+
+    ScheduleSlot slot;
+    slot.ld = _ld;
+    slot.table = _table;
+    slot.entryCount = _table->entries().size();
+    slot.blockCount = _ld->blocks().size();
+    slot.streamLen = _ld->stream().size();
+    slot.kernel = _table->kernel();
+    slot.omega = _ld->omega();
+    slot.sched = std::make_unique<ExecSchedule>(
+        compileSchedule(*_ld, *_table, _params));
+    ++_scheduleCompiles;
+    _schedules.insert(_schedules.begin(), std::move(slot));
+    if (_schedules.size() > kMaxCachedSchedules)
+        _schedules.pop_back();
+    return _schedules.front().sched.get();
+}
+
+const ExecSchedule *
+Engine::prepareSchedule()
+{
+    if (!_params.useSchedule)
+        return nullptr;
+    return scheduleFor();
+}
+
+void
+Engine::invalidateSchedules()
+{
+    _schedules.clear();
+}
+
+ThreadPool *
+Engine::enginePool()
+{
+    if (_params.engineThreads == 1)
+        return nullptr;
+    if (_params.engineThreads <= 0)
+        return &ThreadPool::global();
+    if (!_privatePool)
+        _privatePool = std::make_unique<ThreadPool>(_params.engineThreads);
+    return _privatePool.get();
 }
 
 uint64_t
@@ -81,11 +158,16 @@ Engine::runSpmv(const DenseVector &x, RunTiming *timing)
                "table was converted for %s", toString(_table->kernel()));
     ALR_ASSERT(x.size() == _ld->cols(), "operand length mismatch");
 
+    if (_params.useSchedule)
+        return runSpmvScheduled(*scheduleFor(), x, timing);
+
     const Index omega = _params.omega;
     DenseVector y(_ld->rows(), 0.0);
     RunTiming t;
     bool filled = false;
     int64_t curRow = -1;
+    double parFlops = 0.0, usefulBytes = 0.0;
+    FcuOpCounts fcuOps;
 
     std::vector<Value> rowVals(omega), xChunk(omega);
     for (const ConfigEntry &e : _table->entries()) {
@@ -128,9 +210,9 @@ Engine::runSpmv(const DenseVector &x, RunTiming *timing)
                 continue;
             ++occupied;
             y[r] += _fcu.vectorReduce(rowVals, xChunk, VecOp::Mul,
-                                      ReduceOp::Sum);
-            _parFlops += 2.0 * useful;
-            _usefulBytes += double(useful) * sizeof(Value);
+                                      ReduceOp::Sum, {}, &fcuOps);
+            parFlops += 2.0 * useful;
+            usefulBytes += double(useful) * sizeof(Value);
         }
         uint64_t bc;
         if (_params.skipEmptyBlockRows) {
@@ -147,8 +229,91 @@ Engine::runSpmv(const DenseVector &x, RunTiming *timing)
     if (curRow >= 0)
         t.cycles += _rcu.cache().write(CacheVec::Out, Index(curRow));
     t.cycles += uint64_t(_params.drainCycles());
+    _fcu.noteOps(fcuOps);
+    if (parFlops != 0.0)
+        _parFlops += parFlops;
+    if (usefulBytes != 0.0)
+        _usefulBytes += usefulBytes;
     ALR_TRACE("spmv: %zu paths, %llu cycles",
               _table->entries().size(),
+              (unsigned long long)t.cycles);
+    addTiming(timing, t);
+    return y;
+}
+
+DenseVector
+Engine::runSpmvScheduled(const ExecSchedule &sched, const DenseVector &x,
+                         RunTiming *timing)
+{
+    const Index omega = _params.omega;
+    const ExecSchedule &S = sched;
+    DenseVector y(_ld->rows(), 0.0);
+
+    // Functional pass: block-row groups touch disjoint output rows, so
+    // they may run in parallel; within a group the path order (and thus
+    // the FP accumulation order into y) is the interpreter's.
+    auto runGroup = [&](size_t pBegin, size_t pEnd,
+                        std::vector<Value> &xChunk) {
+        for (size_t i = pBegin; i < pEnd; ++i) {
+            Index c0 = S.blockCol[i] * omega;
+            Index nv = S.xValid[i];
+            for (Index lc = 0; lc < nv; ++lc)
+                xChunk[lc] = x[c0 + lc];
+            for (Index lc = nv; lc < omega; ++lc)
+                xChunk[lc] = 0.0;
+            for (size_t rr = S.rowBegin[i]; rr < S.rowBegin[i + 1];
+                 ++rr) {
+                const Value *v = &S.values[rr * omega];
+                Value acc = 0.0;
+                for (Index lc = 0; lc < omega; ++lc)
+                    acc += v[lc] * xChunk[lc];
+                y[S.rowIndex[rr]] += acc;
+            }
+        }
+    };
+    size_t groups = S.groupBegin.empty() ? 0 : S.groupBegin.size() - 1;
+    ThreadPool *pool = enginePool();
+    if (pool && S.parallelSafe && groups > 1) {
+        pool->parallelForChunks(0, groups, [&](size_t gb, size_t ge) {
+            std::vector<Value> xChunk(omega);
+            for (size_t g = gb; g < ge; ++g)
+                runGroup(S.groupBegin[g], S.groupBegin[g + 1], xChunk);
+        });
+    } else {
+        std::vector<Value> xChunk(omega);
+        runGroup(0, S.pathCount, xChunk);
+    }
+
+    // Timing walk: sequential, replaying the interpreter's exact cache
+    // access sequence (the cache is stateful across runs).
+    RunTiming t;
+    if (S.pathCount > 0) {
+        t.cycles += _rcu.reconfigure(S.dp[0]);
+        for (size_t i = 0; i < S.pathCount; ++i) {
+            t.cycles += S.cfgCycles[i];
+            t.cycles += S.fillCycles[i];
+            if (S.writeOutRow[i] >= 0)
+                t.cycles += _rcu.cache().write(CacheVec::Out,
+                                               Index(S.writeOutRow[i]));
+            t.cycles += _rcu.cache().read(S.operandVec[i], S.blockCol[i],
+                                          false);
+            t.cycles += S.streamCycles[i];
+            t.parCycles += S.streamCycles[i];
+        }
+        if (S.finalOutRow >= 0)
+            t.cycles += _rcu.cache().write(CacheVec::Out,
+                                           Index(S.finalOutRow));
+        _rcu.setConfigured(S.lastDp);
+        _rcu.noteReconfigs(S.reconfigCount, S.reconfigStall);
+        _memory.recordStream(S.totalStreamBytes);
+        _fcu.noteOps(S.fcuOps);
+        if (S.parFlops != 0.0)
+            _parFlops += S.parFlops;
+        if (S.usefulBytes != 0.0)
+            _usefulBytes += S.usefulBytes;
+    }
+    t.cycles += uint64_t(_params.drainCycles());
+    ALR_TRACE("spmv(sched): %zu paths, %llu cycles", S.pathCount,
               (unsigned long long)t.cycles);
     addTiming(timing, t);
     return y;
@@ -164,12 +329,17 @@ Engine::runSpmm(const std::vector<DenseVector> &xs, RunTiming *timing)
     for (const DenseVector &x : xs)
         ALR_ASSERT(x.size() == _ld->cols(), "operand length mismatch");
 
+    if (_params.useSchedule)
+        return runSpmmScheduled(*scheduleFor(), xs, timing);
+
     const Index omega = _params.omega;
     const size_t k = xs.size();
     std::vector<DenseVector> ys(k, DenseVector(_ld->rows(), 0.0));
     RunTiming t;
     bool filled = false;
     int64_t curRow = -1;
+    double parFlops = 0.0, usefulBytes = 0.0;
+    FcuOpCounts fcuOps;
 
     std::vector<Value> rowVals(omega);
     std::vector<DenseVector> chunks(k, DenseVector(omega, 0.0));
@@ -221,11 +391,12 @@ Engine::runSpmm(const std::vector<DenseVector> &xs, RunTiming *timing)
             ++occupied;
             for (size_t j = 0; j < k; ++j) {
                 ys[j][r] += _fcu.vectorReduce(rowVals, chunks[j],
-                                              VecOp::Mul, ReduceOp::Sum);
-                _parFlops += 2.0 * useful;
+                                              VecOp::Mul, ReduceOp::Sum,
+                                              {}, &fcuOps);
+                parFlops += 2.0 * useful;
             }
             // The payload is useful once; the reuse is the win.
-            _usefulBytes += double(useful) * sizeof(Value);
+            usefulBytes += double(useful) * sizeof(Value);
         }
         // The block streams once; its rows issue once per RHS.
         Index streamedRows =
@@ -242,6 +413,103 @@ Engine::runSpmm(const std::vector<DenseVector> &xs, RunTiming *timing)
     if (curRow >= 0) {
         for (size_t j = 0; j < k; ++j)
             t.cycles += _rcu.cache().write(CacheVec::Out, Index(curRow));
+    }
+    t.cycles += uint64_t(_params.drainCycles());
+    _fcu.noteOps(fcuOps);
+    if (parFlops != 0.0)
+        _parFlops += parFlops;
+    if (usefulBytes != 0.0)
+        _usefulBytes += usefulBytes;
+    addTiming(timing, t);
+    return ys;
+}
+
+std::vector<DenseVector>
+Engine::runSpmmScheduled(const ExecSchedule &sched,
+                         const std::vector<DenseVector> &xs,
+                         RunTiming *timing)
+{
+    const Index omega = _params.omega;
+    const size_t k = xs.size();
+    const ExecSchedule &S = sched;
+    std::vector<DenseVector> ys(k, DenseVector(_ld->rows(), 0.0));
+
+    // Functional pass (see runSpmvScheduled): the block streams once,
+    // its rows issue once per right-hand side.
+    auto runGroup = [&](size_t pBegin, size_t pEnd,
+                        std::vector<DenseVector> &chunks) {
+        for (size_t i = pBegin; i < pEnd; ++i) {
+            Index c0 = S.blockCol[i] * omega;
+            Index nv = S.xValid[i];
+            for (size_t j = 0; j < k; ++j) {
+                for (Index lc = 0; lc < nv; ++lc)
+                    chunks[j][lc] = xs[j][c0 + lc];
+                for (Index lc = nv; lc < omega; ++lc)
+                    chunks[j][lc] = 0.0;
+            }
+            for (size_t rr = S.rowBegin[i]; rr < S.rowBegin[i + 1];
+                 ++rr) {
+                const Value *v = &S.values[rr * omega];
+                Index r = S.rowIndex[rr];
+                for (size_t j = 0; j < k; ++j) {
+                    const DenseVector &xc = chunks[j];
+                    Value acc = 0.0;
+                    for (Index lc = 0; lc < omega; ++lc)
+                        acc += v[lc] * xc[lc];
+                    ys[j][r] += acc;
+                }
+            }
+        }
+    };
+    size_t groups = S.groupBegin.empty() ? 0 : S.groupBegin.size() - 1;
+    ThreadPool *pool = enginePool();
+    if (pool && S.parallelSafe && groups > 1) {
+        pool->parallelForChunks(0, groups, [&](size_t gb, size_t ge) {
+            std::vector<DenseVector> chunks(k, DenseVector(omega, 0.0));
+            for (size_t g = gb; g < ge; ++g)
+                runGroup(S.groupBegin[g], S.groupBegin[g + 1], chunks);
+        });
+    } else {
+        std::vector<DenseVector> chunks(k, DenseVector(omega, 0.0));
+        runGroup(0, S.pathCount, chunks);
+    }
+
+    RunTiming t;
+    if (S.pathCount > 0) {
+        t.cycles += _rcu.reconfigure(S.dp[0]);
+        for (size_t i = 0; i < S.pathCount; ++i) {
+            t.cycles += S.cfgCycles[i];
+            t.cycles += S.fillCycles[i];
+            if (S.writeOutRow[i] >= 0) {
+                for (size_t j = 0; j < k; ++j)
+                    t.cycles += _rcu.cache().write(
+                        CacheVec::Out, Index(S.writeOutRow[i]));
+            }
+            for (size_t j = 0; j < k; ++j)
+                t.cycles += _rcu.cache().read(S.operandVec[i],
+                                              S.blockCol[i], false);
+            uint64_t bc = std::max(S.spmmMemCycles[i],
+                                   uint64_t(S.streamedRows[i]) * k);
+            t.cycles += bc;
+            t.parCycles += bc;
+        }
+        if (S.finalOutRow >= 0) {
+            for (size_t j = 0; j < k; ++j)
+                t.cycles += _rcu.cache().write(CacheVec::Out,
+                                               Index(S.finalOutRow));
+        }
+        _rcu.setConfigured(S.lastDp);
+        _rcu.noteReconfigs(S.reconfigCount, S.reconfigStall);
+        _memory.recordStream(S.spmmStreamBytes);
+        FcuOpCounts scaled{S.fcuOps.alu * double(k),
+                           S.fcuOps.reduce * double(k),
+                           S.fcuOps.mul * double(k),
+                           S.fcuOps.add * double(k)};
+        _fcu.noteOps(scaled);
+        if (S.parFlops != 0.0)
+            _parFlops += S.parFlops * double(k);
+        if (S.usefulBytes != 0.0)
+            _usefulBytes += S.usefulBytes;
     }
     t.cycles += uint64_t(_params.drainCycles());
     addTiming(timing, t);
@@ -261,11 +529,19 @@ Engine::runSymgsSweep(const DenseVector &b, DenseVector &x,
     ALR_ASSERT(b.size() == _ld->rows() && x.size() == _ld->rows(),
                "operand length mismatch");
 
+    if (_params.useSchedule) {
+        runSymgsScheduled(*scheduleFor(), b, x, timing);
+        return;
+    }
+
     const Index omega = _params.omega;
     const DenseVector &diag = _ld->diagonal();
     bool backward = _table->direction() == GsSweep::Backward;
     RunTiming t;
     bool filled = false;
+    double parFlops = 0.0, seqFlops = 0.0, usefulBytes = 0.0;
+    double peOps = 0.0;
+    FcuOpCounts fcuOps;
 
     std::vector<Value> rowVals(omega), xChunk(omega), partials(omega);
 
@@ -326,9 +602,10 @@ Engine::runSymgsSweep(const DenseVector &b, DenseVector &x,
                 }
                 ++occupied;
                 partials[lr] = _fcu.vectorReduce(rowVals, xChunk,
-                                                 VecOp::Mul, ReduceOp::Sum);
-                _parFlops += 2.0 * useful;
-                _usefulBytes += double(useful) * sizeof(Value);
+                                                 VecOp::Mul, ReduceOp::Sum,
+                                                 {}, &fcuOps);
+                parFlops += 2.0 * useful;
+                usefulBytes += double(useful) * sizeof(Value);
             }
             if (_params.skipEmptyBlockRows) {
                 _memory.recordStream(uint64_t(occupied) * omega *
@@ -351,7 +628,7 @@ Engine::runSymgsSweep(const DenseVector &b, DenseVector &x,
             Index validRows = std::min<Index>(omega, _ld->rows() - r0);
             // b arrives through its FIFO, streamed once per sweep.
             _memory.recordStream(uint64_t(validRows) * sizeof(Value));
-            _usefulBytes += double(validRows) * sizeof(Value);
+            usefulBytes += double(validRows) * sizeof(Value);
 
             // The chain starts once this block row's partials are
             // through the tree and the previous chain link finished.
@@ -384,13 +661,12 @@ Engine::runSymgsSweep(const DenseVector &b, DenseVector &x,
                 }
                 Value sum = acc[lr] +
                             _fcu.vectorReduce(rowVals, xChunk, VecOp::Mul,
-                                              ReduceOp::Sum);
-                _rcu.peOp(); // subtract
-                _rcu.peOp(); // divide
+                                              ReduceOp::Sum, {}, &fcuOps);
+                peOps += 2.0; // subtract + divide
                 x[r] = (b[r] - sum) / diag[r];
                 chain += uint64_t(stepLat);
-                _seqFlops += 2.0 * useful + 2.0;
-                _usefulBytes += double(useful + 2) * sizeof(Value);
+                seqFlops += 2.0 * useful + 2.0;
+                usefulBytes += double(useful + 2) * sizeof(Value);
             }
             dep_t = start + chain + _rcu.cache().write(CacheVec::Xt, br);
             t.seqCycles += chain;
@@ -399,9 +675,114 @@ Engine::runSymgsSweep(const DenseVector &b, DenseVector &x,
     }
     t.parCycles = stream_t;
     t.cycles = std::max(stream_t, dep_t) + uint64_t(_params.drainCycles());
+    _fcu.noteOps(fcuOps);
+    _rcu.notePeOps(peOps);
+    if (parFlops != 0.0)
+        _parFlops += parFlops;
+    if (seqFlops != 0.0)
+        _seqFlops += seqFlops;
+    if (usefulBytes != 0.0)
+        _usefulBytes += usefulBytes;
     ALR_TRACE("symgs(%s): stream %llu cycles, chain %llu cycles",
               backward ? "bwd" : "fwd", (unsigned long long)stream_t,
               (unsigned long long)dep_t);
+    addTiming(timing, t);
+}
+
+void
+Engine::runSymgsScheduled(const ExecSchedule &sched, const DenseVector &b,
+                          DenseVector &x, RunTiming *timing)
+{
+    const Index omega = _params.omega;
+    const Index rows = _ld->rows();
+    const DenseVector &diag = _ld->diagonal();
+    const ExecSchedule &S = sched;
+    RunTiming t;
+
+    // Fused functional + timing pass: the sweep is inherently
+    // sequential (each diagonal chain updates x for the GEMV gathers
+    // that follow), so one walk replays the interpreter's exact cache
+    // and link-stack sequence while reading precompiled values.
+    uint64_t stream_t = 0; // streaming/pipelined front
+    uint64_t dep_t = 0;    // completion of the dependence chain
+
+    std::vector<Value> xChunk(omega), partials(omega);
+    if (S.pathCount > 0) {
+        stream_t += _rcu.reconfigure(S.dp[0]);
+        for (size_t i = 0; i < S.pathCount; ++i) {
+            stream_t += S.cfgCycles[i];
+            if (S.dp[i] == DataPathType::Gemv) {
+                stream_t += S.fillCycles[i];
+                stream_t += _rcu.cache().read(S.operandVec[i],
+                                              S.blockCol[i], false);
+                Index c0 = S.blockCol[i] * omega;
+                Index nv = S.xValid[i];
+                for (Index lc = 0; lc < nv; ++lc)
+                    xChunk[lc] = x[c0 + lc];
+                for (Index lc = nv; lc < omega; ++lc)
+                    xChunk[lc] = 0.0;
+                std::fill(partials.begin(), partials.end(), 0.0);
+                Index r0 = S.blockRow[i] * omega;
+                for (size_t rr = S.rowBegin[i]; rr < S.rowBegin[i + 1];
+                     ++rr) {
+                    const Value *v = &S.values[rr * omega];
+                    Value acc = 0.0;
+                    for (Index lc = 0; lc < omega; ++lc)
+                        acc += v[lc] * xChunk[lc];
+                    partials[S.rowIndex[rr] - r0] = acc;
+                }
+                stream_t += S.streamCycles[i];
+                _rcu.linkStack().push(partials);
+            } else {
+                Index br = S.blockRow[i];
+                Index r0 = br * omega;
+                stream_t += S.streamCycles[i];
+
+                uint64_t diag_read =
+                    _rcu.cache().read(CacheVec::Diag, br, true);
+                uint64_t start =
+                    std::max(stream_t +
+                                 uint64_t(_params.pipelineDepth()),
+                             dep_t) +
+                    diag_read;
+
+                DenseVector acc = _rcu.linkStack().popAccumulate(omega);
+                for (size_t rr = S.rowBegin[i]; rr < S.rowBegin[i + 1];
+                     ++rr) {
+                    Index r = S.rowIndex[rr];
+                    Index lr = r - r0;
+                    const Value *v = &S.values[rr * omega];
+                    Value dot = 0.0;
+                    for (Index lc = 0; lc < omega; ++lc) {
+                        Index c = r0 + lc;
+                        Value xv =
+                            (lc == lr || c >= rows) ? 0.0 : x[c];
+                        dot += v[lc] * xv;
+                    }
+                    Value sum = acc[lr] + dot;
+                    x[r] = (b[r] - sum) / diag[r];
+                }
+                dep_t = start + S.chainCycles[i] +
+                        _rcu.cache().write(CacheVec::Xt, br);
+                t.seqCycles += S.chainCycles[i];
+            }
+        }
+        _rcu.setConfigured(S.lastDp);
+        _rcu.noteReconfigs(S.reconfigCount, S.reconfigStall);
+        _memory.recordStream(S.totalStreamBytes);
+        _fcu.noteOps(S.fcuOps);
+        _rcu.notePeOps(S.peOps);
+        if (S.parFlops != 0.0)
+            _parFlops += S.parFlops;
+        if (S.seqFlops != 0.0)
+            _seqFlops += S.seqFlops;
+        if (S.usefulBytes != 0.0)
+            _usefulBytes += S.usefulBytes;
+    }
+    t.parCycles = stream_t;
+    t.cycles = std::max(stream_t, dep_t) + uint64_t(_params.drainCycles());
+    ALR_TRACE("symgs(sched): stream %llu cycles, chain %llu cycles",
+              (unsigned long long)stream_t, (unsigned long long)dep_t);
     addTiming(timing, t);
 }
 
@@ -452,6 +833,8 @@ Engine::relaxImpl(const DenseVector &dist, bool zero_addend,
     RunTiming t;
     bool filled = false;
     int64_t curRow = -1;
+    double parFlops = 0.0, usefulBytes = 0.0;
+    FcuOpCounts fcuOps;
 
     std::vector<Value> srcDist(omega), addend(omega);
     std::vector<uint8_t> valid(omega);
@@ -510,10 +893,10 @@ Engine::relaxImpl(const DenseVector &dist, bool zero_addend,
                 continue;
             ++occupied;
             Value m = _fcu.vectorReduce(srcDist, addend, VecOp::Add,
-                                        ReduceOp::Min, valid);
+                                        ReduceOp::Min, valid, &fcuOps);
             cand[r] = std::min(cand[r], m);
-            _parFlops += 2.0 * useful;
-            _usefulBytes += double(useful) * sizeof(Value);
+            parFlops += 2.0 * useful;
+            usefulBytes += double(useful) * sizeof(Value);
         }
         uint64_t bc;
         if (_params.skipEmptyBlockRows) {
@@ -532,6 +915,11 @@ Engine::relaxImpl(const DenseVector &dist, bool zero_addend,
         t.cycles += _rcu.cache().write(CacheVec::Out, Index(curRow));
     }
     t.cycles += uint64_t(_params.drainCycles());
+    _fcu.noteOps(fcuOps);
+    if (parFlops != 0.0)
+        _parFlops += parFlops;
+    if (usefulBytes != 0.0)
+        _usefulBytes += usefulBytes;
     addTiming(timing, t);
 
     DenseVector next(dist.size());
@@ -556,6 +944,8 @@ Engine::runPrRound(const DenseVector &rank,
     RunTiming t;
     bool filled = false;
     int64_t curRow = -1;
+    double parFlops = 0.0, usefulBytes = 0.0, peOps = 0.0;
+    FcuOpCounts fcuOps;
 
     std::vector<Value> contrib(omega), pattern(omega);
     for (const ConfigEntry &e : _table->entries()) {
@@ -585,7 +975,7 @@ Engine::runPrRound(const DenseVector &rank,
             Index src = c0 + lc;
             if (src < _ld->rows() && outdeg[src] > 0) {
                 contrib[lc] = rank[src] / Value(outdeg[src]);
-                _rcu.peOp(); // the phase-1 division (overlapped)
+                peOps += 1.0; // the phase-1 division (overlapped)
             } else {
                 contrib[lc] = 0.0;
             }
@@ -606,9 +996,9 @@ Engine::runPrRound(const DenseVector &rank,
                 continue;
             ++occupied;
             sums[r] += _fcu.vectorReduce(pattern, contrib, VecOp::Mul,
-                                         ReduceOp::Sum);
-            _parFlops += 2.0 * useful;
-            _usefulBytes += double(useful) * sizeof(Value);
+                                         ReduceOp::Sum, {}, &fcuOps);
+            parFlops += 2.0 * useful;
+            usefulBytes += double(useful) * sizeof(Value);
         }
         uint64_t bc;
         if (_params.skipEmptyBlockRows) {
@@ -625,6 +1015,12 @@ Engine::runPrRound(const DenseVector &rank,
     if (curRow >= 0)
         t.cycles += _rcu.cache().write(CacheVec::Out, Index(curRow));
     t.cycles += uint64_t(_params.drainCycles());
+    _fcu.noteOps(fcuOps);
+    _rcu.notePeOps(peOps);
+    if (parFlops != 0.0)
+        _parFlops += parFlops;
+    if (usefulBytes != 0.0)
+        _usefulBytes += usefulBytes;
     addTiming(timing, t);
     return sums;
 }

@@ -21,6 +21,7 @@
 #define ALR_ALRESCHA_SIM_ENGINE_HH
 
 #include <memory>
+#include <vector>
 
 #include "alrescha/config_table.hh"
 #include "alrescha/format.hh"
@@ -28,9 +29,12 @@
 #include "alrescha/sim/fcu.hh"
 #include "alrescha/sim/memory.hh"
 #include "alrescha/sim/rcu.hh"
+#include "alrescha/sim/schedule.hh"
 #include "common/stats.hh"
 
 namespace alr {
+
+class ThreadPool;
 
 /** Timing outcome of one engine run. */
 struct RunTiming
@@ -46,11 +50,37 @@ class Engine
 {
   public:
     explicit Engine(const AccelParams &params = {});
+    ~Engine();
 
     const AccelParams &params() const { return _params; }
 
     /** Attach the streamed matrix and its configuration table. */
     void program(const LocallyDenseMatrix *ld, const ConfigTable *table);
+
+    /**
+     * Compile (or fetch from the cache) the execution schedule for the
+     * programmed pair, so the first run after programming is already
+     * cheap.  Returns nullptr when the table kernel is not schedulable
+     * (graph rounds) or scheduling is disabled.
+     */
+    const ExecSchedule *prepareSchedule();
+
+    /**
+     * Drop every cached schedule.  Schedules are keyed on the identity
+     * of the programmed (matrix, table) pair; callers that destroy or
+     * mutate previously programmed objects must invalidate, or a new
+     * object at a recycled address could alias a stale entry
+     * (Accelerator does this on every load*).
+     */
+    void invalidateSchedules();
+
+    /** Schedule compilations since construction (cache diagnostics;
+     *  deliberately not a registered stat so stat dumps stay identical
+     *  to the interpreter's). */
+    uint64_t scheduleCompiles() const { return _scheduleCompiles; }
+
+    /** Number of schedules currently cached. */
+    size_t cachedSchedules() const { return _schedules.size(); }
 
     /** SpMV / graph tables: y = A x (table kernel SpMV). */
     DenseVector runSpmv(const DenseVector &x, RunTiming *timing = nullptr);
@@ -158,6 +188,21 @@ class Engine
 
     void addTiming(RunTiming *timing, const RunTiming &delta);
 
+    /** Cached-schedule lookup for the programmed pair (nullptr when the
+     *  kernel is not schedulable). */
+    const ExecSchedule *scheduleFor();
+
+    /** Pool for the scheduled functional pass (nullptr = run inline). */
+    ThreadPool *enginePool();
+
+    DenseVector runSpmvScheduled(const ExecSchedule &sched,
+                                 const DenseVector &x, RunTiming *timing);
+    std::vector<DenseVector>
+    runSpmmScheduled(const ExecSchedule &sched,
+                     const std::vector<DenseVector> &xs, RunTiming *timing);
+    void runSymgsScheduled(const ExecSchedule &sched, const DenseVector &b,
+                           DenseVector &x, RunTiming *timing);
+
     AccelParams _params;
     MemoryModel _memory;
     Fcu _fcu;
@@ -165,6 +210,23 @@ class Engine
 
     const LocallyDenseMatrix *_ld = nullptr;
     const ConfigTable *_table = nullptr;
+
+    /** Schedule cache: MRU list keyed on (ld, table) identity plus a
+     *  shape fingerprint to reject recycled addresses. */
+    struct ScheduleSlot
+    {
+        const LocallyDenseMatrix *ld = nullptr;
+        const ConfigTable *table = nullptr;
+        size_t entryCount = 0;
+        size_t blockCount = 0;
+        size_t streamLen = 0;
+        KernelType kernel = KernelType::SpMV;
+        Index omega = 0;
+        std::unique_ptr<ExecSchedule> sched;
+    };
+    std::vector<ScheduleSlot> _schedules;
+    uint64_t _scheduleCompiles = 0;
+    std::unique_ptr<ThreadPool> _privatePool;
 
     stats::Scalar _cycles;
     stats::Scalar _seqCycles;

@@ -10,12 +10,14 @@ namespace alr {
 Value
 Fcu::vectorReduce(std::span<const Value> a, std::span<const Value> b,
                   VecOp op, ReduceOp reduce,
-                  std::span<const uint8_t> lane_valid)
+                  std::span<const uint8_t> lane_valid, FcuOpCounts *counts)
 {
     ALR_ASSERT(a.size() == b.size(), "FCU lane-count mismatch");
     ALR_ASSERT(lane_valid.empty() || lane_valid.size() == a.size(),
                "lane-valid mask size mismatch");
 
+    FcuOpCounts local;
+    FcuOpCounts &c = counts ? *counts : local;
     Value acc = reduce == ReduceOp::Sum
                     ? 0.0
                     : std::numeric_limits<Value>::infinity();
@@ -25,19 +27,34 @@ Fcu::vectorReduce(std::span<const Value> a, std::span<const Value> b,
         Value v;
         if (op == VecOp::Mul) {
             v = a[lane] * b[lane];
-            ++_mulOps;
+            c.mul += 1.0;
         } else {
             v = a[lane] + b[lane];
-            ++_addOps;
+            c.add += 1.0;
         }
-        ++_aluOps;
+        c.alu += 1.0;
         if (reduce == ReduceOp::Sum)
             acc += v;
         else
             acc = std::min(acc, v);
-        ++_reduceOps;
+        c.reduce += 1.0;
     }
+    if (!counts)
+        noteOps(local);
     return acc;
+}
+
+void
+Fcu::noteOps(const FcuOpCounts &c)
+{
+    if (c.alu != 0.0)
+        _aluOps += c.alu;
+    if (c.reduce != 0.0)
+        _reduceOps += c.reduce;
+    if (c.mul != 0.0)
+        _mulOps += c.mul;
+    if (c.add != 0.0)
+        _addOps += c.add;
 }
 
 int

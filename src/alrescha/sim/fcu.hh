@@ -25,6 +25,19 @@ enum class VecOp : uint8_t { Mul, Add };
 /** Phase-2 reduction (Table 1). */
 enum class ReduceOp : uint8_t { Sum, Min };
 
+/**
+ * Plain-local FCU operation tally.  Engine run loops accumulate into
+ * one of these and flush it to the shared atomic counters once per run
+ * (Fcu::noteOps) instead of performing a CAS per lane.
+ */
+struct FcuOpCounts
+{
+    double alu = 0.0;
+    double reduce = 0.0;
+    double mul = 0.0;
+    double add = 0.0;
+};
+
 class Fcu
 {
   public:
@@ -35,10 +48,18 @@ class Fcu
      * reduce(op(a_i, b_i)) over lanes where @p lane_valid holds (absent
      * edges do not participate in a Min reduction).  @p lane_valid may
      * be empty, meaning all lanes participate.
+     *
+     * When @p counts is non-null the per-lane operation tallies go into
+     * it (the caller flushes them later via noteOps); otherwise the
+     * shared atomic counters are updated directly.
      */
     Value vectorReduce(std::span<const Value> a, std::span<const Value> b,
                        VecOp op, ReduceOp reduce,
-                       std::span<const uint8_t> lane_valid = {});
+                       std::span<const uint8_t> lane_valid = {},
+                       FcuOpCounts *counts = nullptr);
+
+    /** Add a batch of locally accumulated operation counts. */
+    void noteOps(const FcuOpCounts &c);
 
     /** Pipeline fill latency for a path using the given reduction. */
     int fillLatency(ReduceOp reduce) const;

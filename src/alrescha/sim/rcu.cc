@@ -45,6 +45,22 @@ Rcu::peOp()
 }
 
 void
+Rcu::notePeOps(double count)
+{
+    if (count != 0.0)
+        _peOps += count;
+}
+
+void
+Rcu::noteReconfigs(double count, double stall_cycles)
+{
+    if (count != 0.0)
+        _reconfigs += count;
+    if (stall_cycles != 0.0)
+        _reconfigStall += stall_cycles;
+}
+
+void
 Rcu::reset()
 {
     _cache.reset();

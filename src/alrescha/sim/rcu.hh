@@ -44,6 +44,22 @@ class Rcu
     /** A LUT PE operation (divide/subtract); returns its latency. */
     uint64_t peOp();
 
+    /** Add a batch of locally counted PE operations (schedule path). */
+    void notePeOps(double count);
+
+    /**
+     * Add a batch of locally counted reconfigurations and their exposed
+     * stall cycles without touching the switch state (schedule path).
+     */
+    void noteReconfigs(double count, double stall_cycles);
+
+    /**
+     * Declare the switch configured for @p dp without charging cycles;
+     * the schedule path uses this after replaying precomputed
+     * reconfiguration charges.
+     */
+    void setConfigured(DataPathType dp) { _current = dp; }
+
     double reconfigurations() const { return _reconfigs.value(); }
     double reconfigStallCycles() const { return _reconfigStall.value(); }
     double peOps() const { return _peOps.value(); }

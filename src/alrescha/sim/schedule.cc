@@ -1,0 +1,275 @@
+#include "alrescha/sim/schedule.hh"
+
+#include <algorithm>
+
+#include "alrescha/sim/memory.hh"
+#include "common/logging.hh"
+
+namespace alr {
+
+namespace {
+
+/**
+ * Mirror of Rcu::reconfigure for transitions whose predecessor is known
+ * at compile time: the drain always overlaps the switch rewrite, so the
+ * charge is drain + exposed and the stall stat counts only the exposed
+ * part.  (The first path of a run transitions from whatever the switch
+ * held after the previous run, so it is replayed at runtime instead.)
+ */
+struct ReconfigDelta
+{
+    uint32_t cycles = 0;
+    double count = 0.0;
+    double stall = 0.0;
+};
+
+ReconfigDelta
+reconfigDelta(const AccelParams &params, DataPathType from, DataPathType to)
+{
+    ReconfigDelta d;
+    if (from == to)
+        return d;
+    int drain = params.drainCycles();
+    int exposed = std::max(0, params.configCycles - drain);
+    d.cycles = uint32_t(drain + exposed);
+    d.count = 1.0;
+    d.stall = double(exposed);
+    return d;
+}
+
+} // namespace
+
+size_t
+ExecSchedule::bytes() const
+{
+    auto vecBytes = [](const auto &v) {
+        return v.capacity() * sizeof(v[0]);
+    };
+    return vecBytes(dp) + vecBytes(blockRow) + vecBytes(blockCol) +
+           vecBytes(operandVec) + vecBytes(cfgCycles) +
+           vecBytes(fillCycles) + vecBytes(writeOutRow) +
+           vecBytes(streamCycles) + vecBytes(streamedRows) +
+           vecBytes(spmmMemCycles) + vecBytes(xValid) +
+           vecBytes(validRows) + vecBytes(chainCycles) +
+           vecBytes(rowBegin) + vecBytes(rowIndex) + vecBytes(rowUseful) +
+           vecBytes(values) + vecBytes(groupBegin);
+}
+
+ExecSchedule
+compileSchedule(const LocallyDenseMatrix &ld, const ConfigTable &table,
+                const AccelParams &params)
+{
+    ALR_ASSERT(table.kernel() == KernelType::SpMV ||
+                   table.kernel() == KernelType::SymGS,
+               "only SpMV and SymGS tables are schedulable");
+    ALR_ASSERT(ld.omega() == table.omega(), "omega mismatch");
+
+    const Index omega = params.omega;
+    const Index rows = ld.rows();
+    const Index cols = ld.cols();
+    const bool spmv = table.kernel() == KernelType::SpMV;
+    const bool backward = table.direction() == GsSweep::Backward;
+    const MemoryModel mem(params);
+    const Fcu fcu(params);
+    const int fillSum = fcu.fillLatency(ReduceOp::Sum);
+    const int stepLat = params.aluLatency + 2 * params.peLatency;
+
+    ExecSchedule s;
+    s.kernel = table.kernel();
+    s.omega = omega;
+    s.pathCount = table.entries().size();
+
+    const size_t P = s.pathCount;
+    s.dp.resize(P);
+    s.blockRow.resize(P);
+    s.blockCol.resize(P);
+    s.operandVec.resize(P, CacheVec::Xt);
+    s.cfgCycles.resize(P, 0);
+    s.fillCycles.resize(P, 0);
+    s.writeOutRow.resize(P, -1);
+    s.streamCycles.resize(P, 0);
+    s.streamedRows.resize(P, 0);
+    s.spmmMemCycles.resize(P, 0);
+    s.xValid.resize(P, 0);
+    s.validRows.resize(P, 0);
+    s.chainCycles.resize(P, 0);
+    s.rowBegin.resize(P + 1, 0);
+
+    bool filled = false;
+    int64_t curRow = -1;
+    bool monotonic = true;
+
+    for (size_t i = 0; i < P; ++i) {
+        const ConfigEntry &e = table.entries()[i];
+        const LdBlockInfo &blk = ld.blocks()[e.blockId];
+        s.dp[i] = e.dp;
+        s.blockRow[i] = blk.blockRow;
+        s.blockCol[i] = blk.blockCol;
+        s.rowBegin[i] = s.rowIndex.size();
+
+        // Reconfiguration: the i-1 -> i transition is a compile-time
+        // fact; the run's first transition is replayed at runtime.
+        bool dpSwitch = i > 0 && e.dp != s.dp[i - 1];
+        if (i > 0) {
+            ReconfigDelta d = reconfigDelta(params, s.dp[i - 1], e.dp);
+            s.cfgCycles[i] = d.cycles;
+            s.reconfigCount += d.count;
+            s.reconfigStall += d.stall;
+        }
+        // The fill flag resets at run start and on every switch -- both
+        // compile-time facts, so the whole fill pattern is static.
+        if (i == 0 || dpSwitch)
+            filled = false;
+
+        bool diagPath = !spmv && e.dp == DataPathType::DSymgs;
+        const bool diagBlk =
+            ld.layout() == LdLayout::SymGs && blk.isDiagonal();
+        const int32_t *lut =
+            ld.payloadLut(diagBlk, blk.blockCol > blk.blockRow);
+        const Value *stream = ld.stream().data() + blk.offset;
+        const DenseVector &diag = ld.diagonal();
+
+        if (!diagPath) {
+            ALR_ASSERT(e.dp == DataPathType::Gemv,
+                       "unexpected data path in %s table",
+                       toString(table.kernel()));
+            if (!filled) {
+                s.fillCycles[i] = uint32_t(fillSum);
+                filled = true;
+            }
+            if (spmv) {
+                // Out-chunk writeback on block-row change.
+                if (int64_t(blk.blockRow) != curRow) {
+                    s.writeOutRow[i] = curRow;
+                    if (curRow >= 0 && int64_t(blk.blockRow) < curRow)
+                        monotonic = false;
+                    curRow = blk.blockRow;
+                }
+                s.operandVec[i] = CacheVec::Xt;
+            } else {
+                s.operandVec[i] = e.op == OperandPort::Port1
+                                      ? CacheVec::Xt
+                                      : CacheVec::Xprev;
+            }
+            Index c0 = blk.blockCol * omega;
+            s.xValid[i] =
+                Index(std::min<int64_t>(omega, int64_t(cols) - c0));
+
+            Index occupied = 0;
+            for (Index lr = 0; lr < omega; ++lr) {
+                Index r = blk.blockRow * omega + lr;
+                if (r >= rows)
+                    break;
+                Index useful = 0;
+                size_t base = s.values.size();
+                s.values.resize(base + omega);
+                for (Index lc = 0; lc < omega; ++lc) {
+                    int32_t pos = lut[size_t(lr) * omega + lc];
+                    Value v = pos >= 0 ? stream[pos]
+                                       : (r < rows ? diag[r] : 0.0);
+                    s.values[base + lc] = v;
+                    if (v != 0.0)
+                        ++useful;
+                }
+                if (useful == 0 && params.skipEmptyBlockRows) {
+                    s.values.resize(base);
+                    continue;
+                }
+                ++occupied;
+                s.rowIndex.push_back(r);
+                s.rowUseful.push_back(useful);
+                s.parFlops += 2.0 * useful;
+                s.usefulBytes += double(useful) * sizeof(Value);
+                s.fcuOps.mul += double(omega);
+                s.fcuOps.alu += double(omega);
+                s.fcuOps.reduce += double(omega);
+            }
+
+            uint64_t bytes, bc;
+            if (params.skipEmptyBlockRows) {
+                bytes = uint64_t(occupied) * omega * sizeof(Value);
+                bc = std::max<uint64_t>(occupied, mem.streamCycles(bytes));
+            } else {
+                bytes = uint64_t(blk.size) * sizeof(Value);
+                bc = std::max<uint64_t>(omega, mem.streamCycles(bytes));
+            }
+            s.streamCycles[i] = bc;
+            s.totalStreamBytes += bytes;
+
+            Index streamedRows =
+                params.skipEmptyBlockRows ? occupied : omega;
+            uint64_t spmmBytes =
+                uint64_t(streamedRows) * omega * sizeof(Value);
+            s.streamedRows[i] = streamedRows;
+            s.spmmMemCycles[i] = mem.streamCycles(spmmBytes);
+            s.spmmStreamBytes += spmmBytes;
+        } else {
+            // D-SymGS: the serialized diagonal chain.  Everything but
+            // the cache traffic and the x recurrence is static.
+            Index r0 = blk.blockRow * omega;
+            Index validRows = Index(
+                std::min<int64_t>(omega, int64_t(rows) - int64_t(r0)));
+            s.validRows[i] = validRows;
+            uint64_t blkBytes = uint64_t(blk.size) * sizeof(Value);
+            s.streamCycles[i] =
+                std::max<uint64_t>(omega, mem.streamCycles(blkBytes));
+            // Block payload plus the b operand through its FIFO.
+            s.totalStreamBytes +=
+                blkBytes + uint64_t(validRows) * sizeof(Value);
+            s.usefulBytes += double(validRows) * sizeof(Value);
+            s.chainCycles[i] = uint64_t(validRows) * uint64_t(stepLat);
+
+            // Chain steps in execution order (reversed for backward
+            // sweeps); the diagonal lane is pre-zeroed like the
+            // interpreter's operand rotation.
+            for (Index step = 0; step < omega; ++step) {
+                Index lr = backward ? omega - 1 - step : step;
+                Index r = r0 + lr;
+                if (r >= rows)
+                    continue;
+                Index useful = 0;
+                size_t base = s.values.size();
+                s.values.resize(base + omega);
+                for (Index lc = 0; lc < omega; ++lc) {
+                    if (lc == lr) {
+                        s.values[base + lc] = 0.0;
+                        continue;
+                    }
+                    int32_t pos = lut[size_t(lr) * omega + lc];
+                    Value v = pos >= 0 ? stream[pos] : diag[r];
+                    s.values[base + lc] = v;
+                    if (v != 0.0)
+                        ++useful;
+                }
+                s.rowIndex.push_back(r);
+                s.rowUseful.push_back(useful);
+                s.fcuOps.mul += double(omega);
+                s.fcuOps.alu += double(omega);
+                s.fcuOps.reduce += double(omega);
+                s.peOps += 2.0;
+                s.seqFlops += 2.0 * useful + 2.0;
+                s.usefulBytes += double(useful + 2) * sizeof(Value);
+            }
+            filled = false; // tree was used in single-shot mode
+        }
+    }
+    s.rowBegin[P] = s.rowIndex.size();
+    s.finalOutRow = spmv ? curRow : -1;
+    if (P > 0)
+        s.lastDp = s.dp[P - 1];
+
+    // Block-row groups: maximal runs of paths sharing a block row.
+    // When block rows never decrease, each output row belongs to
+    // exactly one group, so groups may execute in parallel.
+    s.groupBegin.push_back(0);
+    for (size_t i = 1; i < P; ++i) {
+        if (s.blockRow[i] != s.blockRow[i - 1])
+            s.groupBegin.push_back(i);
+    }
+    if (P > 0)
+        s.groupBegin.push_back(P);
+    s.parallelSafe = spmv && monotonic;
+    return s;
+}
+
+} // namespace alr

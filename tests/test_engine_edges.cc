@@ -174,7 +174,11 @@ TEST(Trace, CapturesEngineEvents)
 
     Rng rng(8);
     CsrMatrix a = gen::banded(32, 4, 0.8, rng);
-    Accelerator acc;
+    // Per-path events (each rcu reconfigure) come from the interpreter;
+    // the scheduled path precomputes those transitions.
+    AccelParams params;
+    params.useSchedule = false;
+    Accelerator acc(params);
     acc.loadPde(a);
     DenseVector b(32, 1.0), x(32, 0.0);
     acc.symgsSweep(b, x, GsSweep::Forward);
@@ -187,6 +191,26 @@ TEST(Trace, CapturesEngineEvents)
               std::string::npos);
     EXPECT_NE(log.find("symgs(fwd):"), std::string::npos);
     EXPECT_NE(log.find("spmv:"), std::string::npos);
+}
+
+TEST(Trace, CapturesScheduledRunSummaries)
+{
+    std::ostringstream os;
+    trace::setSink(&os);
+    ASSERT_TRUE(trace::enabled());
+
+    Rng rng(8);
+    CsrMatrix a = gen::banded(32, 4, 0.8, rng);
+    Accelerator acc; // useSchedule defaults to true
+    acc.loadPde(a);
+    DenseVector b(32, 1.0), x(32, 0.0);
+    acc.symgsSweep(b, x, GsSweep::Forward);
+    acc.spmv(x);
+    trace::setSink(nullptr);
+
+    std::string log = os.str();
+    EXPECT_NE(log.find("symgs(sched):"), std::string::npos);
+    EXPECT_NE(log.find("spmv(sched):"), std::string::npos);
 }
 
 TEST(Trace, SilentWhenDisabled)

@@ -1,0 +1,398 @@
+/**
+ * @file
+ * Schedule-compiler equivalence properties (ISSUE 2): for every
+ * schedulable kernel the compiled ExecSchedule must reproduce the
+ * interpreter bit for bit -- results, cycle counts, and the entire
+ * serialized stat dump -- across omegas, matrices, repeated runs
+ * (cross-run cache and switch state), and functional-pass thread
+ * counts.  Plus unit tests for the payload-position LUT and the
+ * schedule cache (reuse, invalidation, eviction).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "alrescha/accelerator.hh"
+#include "alrescha/sim/schedule.hh"
+#include "common/random.hh"
+#include "sparse/generators.hh"
+
+using namespace alr;
+
+namespace {
+
+/** The full serialized stat listing of an engine. */
+std::string
+statDump(Engine &e)
+{
+    std::ostringstream os;
+    e.statGroup().dump(os);
+    return os.str();
+}
+
+AccelParams
+makeParams(Index omega, bool use_schedule, int threads)
+{
+    AccelParams p;
+    p.omega = omega;
+    p.useSchedule = use_schedule;
+    p.engineThreads = threads;
+    return p;
+}
+
+void
+expectTimingEq(const RunTiming &a, const RunTiming &b, const char *what)
+{
+    EXPECT_EQ(a.cycles, b.cycles) << what;
+    EXPECT_EQ(a.seqCycles, b.seqCycles) << what;
+    EXPECT_EQ(a.parCycles, b.parCycles) << what;
+}
+
+struct Case
+{
+    Index omega;
+    int threads;
+    uint64_t seed;
+};
+
+class ScheduleEquivalence : public ::testing::TestWithParam<Case>
+{
+};
+
+} // namespace
+
+TEST_P(ScheduleEquivalence, SpmvBitIdentical)
+{
+    const Case c = GetParam();
+    Rng rng(c.seed);
+    CsrMatrix a = gen::randomSpd(97, 6, rng);
+    LocallyDenseMatrix ld =
+        LocallyDenseMatrix::encode(a, c.omega, LdLayout::Plain);
+    ConfigTable table = ConfigTable::convert(KernelType::SpMV, ld);
+
+    Engine ref(makeParams(c.omega, false, 1));
+    Engine sch(makeParams(c.omega, true, c.threads));
+    ref.program(&ld, &table);
+    sch.program(&ld, &table);
+
+    DenseVector x(a.cols());
+    for (size_t i = 0; i < x.size(); ++i)
+        x[i] = Value(i % 13) - 6.0;
+
+    // Repeated runs carry cache-line and switch state across runs.
+    for (int run = 0; run < 3; ++run) {
+        RunTiming tr, ts;
+        DenseVector yr = ref.runSpmv(x, &tr);
+        DenseVector ys = sch.runSpmv(x, &ts);
+        ASSERT_EQ(yr, ys) << "run " << run;
+        expectTimingEq(tr, ts, "spmv timing");
+    }
+    EXPECT_EQ(statDump(ref), statDump(sch));
+}
+
+TEST_P(ScheduleEquivalence, SpmmBitIdentical)
+{
+    const Case c = GetParam();
+    Rng rng(c.seed + 100);
+    CsrMatrix a = gen::blockStructured(96, c.omega, 3, 0.5, rng);
+    LocallyDenseMatrix ld =
+        LocallyDenseMatrix::encode(a, c.omega, LdLayout::Plain);
+    ConfigTable table = ConfigTable::convert(KernelType::SpMV, ld);
+
+    Engine ref(makeParams(c.omega, false, 1));
+    Engine sch(makeParams(c.omega, true, c.threads));
+    ref.program(&ld, &table);
+    sch.program(&ld, &table);
+
+    std::vector<DenseVector> xs(3, DenseVector(a.cols()));
+    for (size_t j = 0; j < xs.size(); ++j)
+        for (size_t i = 0; i < xs[j].size(); ++i)
+            xs[j][i] = Value((i * (j + 1)) % 17) - 8.0;
+
+    for (int run = 0; run < 3; ++run) {
+        RunTiming tr, ts;
+        auto yr = ref.runSpmm(xs, &tr);
+        auto ys = sch.runSpmm(xs, &ts);
+        ASSERT_EQ(yr, ys) << "run " << run;
+        expectTimingEq(tr, ts, "spmm timing");
+    }
+    EXPECT_EQ(statDump(ref), statDump(sch));
+}
+
+TEST_P(ScheduleEquivalence, SymgsBitIdentical)
+{
+    const Case c = GetParam();
+    Rng rng(c.seed + 200);
+    CsrMatrix a = gen::banded(101, 5, 0.7, rng);
+    LocallyDenseMatrix ld =
+        LocallyDenseMatrix::encode(a, c.omega, LdLayout::SymGs);
+    ConfigTable fwd = ConfigTable::convert(KernelType::SymGS, ld, true,
+                                           GsSweep::Forward);
+    ConfigTable bwd = ConfigTable::convert(KernelType::SymGS, ld, true,
+                                           GsSweep::Backward);
+
+    Engine ref(makeParams(c.omega, false, 1));
+    Engine sch(makeParams(c.omega, true, c.threads));
+
+    DenseVector b(a.rows(), 1.0);
+    DenseVector xr(a.rows(), 0.0), xs(a.rows(), 0.0);
+    // Alternate directions like a symmetric smoother; x evolves, so
+    // every sweep checks both the recurrence and the stream timing.
+    for (int run = 0; run < 4; ++run) {
+        const ConfigTable &t = run % 2 ? bwd : fwd;
+        ref.program(&ld, &t);
+        sch.program(&ld, &t);
+        RunTiming tr, ts;
+        ref.runSymgsSweep(b, xr, &tr);
+        sch.runSymgsSweep(b, xs, &ts);
+        ASSERT_EQ(xr, xs) << "sweep " << run;
+        expectTimingEq(tr, ts, "symgs timing");
+    }
+    EXPECT_EQ(statDump(ref), statDump(sch));
+}
+
+TEST_P(ScheduleEquivalence, MixedKernelsShareState)
+{
+    // Interleave SpMV-layout and SymGS runs through one engine pair:
+    // the schedule path must leave cache, link-stack, and switch state
+    // exactly where the interpreter would.
+    const Case c = GetParam();
+    Rng rng(c.seed + 300);
+    CsrMatrix a = gen::stencil2d(9, 9);
+    LocallyDenseMatrix ld =
+        LocallyDenseMatrix::encode(a, c.omega, LdLayout::SymGs);
+    ConfigTable spmv = ConfigTable::convert(KernelType::SpMV, ld);
+    ConfigTable fwd = ConfigTable::convert(KernelType::SymGS, ld, true,
+                                           GsSweep::Forward);
+
+    Engine ref(makeParams(c.omega, false, 1));
+    Engine sch(makeParams(c.omega, true, c.threads));
+
+    DenseVector b(a.rows(), 0.5);
+    DenseVector xr(a.rows(), 0.0), xs(a.rows(), 0.0);
+    for (int run = 0; run < 3; ++run) {
+        ref.program(&ld, &spmv);
+        sch.program(&ld, &spmv);
+        RunTiming tr, ts;
+        DenseVector yr = ref.runSpmv(b, &tr);
+        DenseVector ys = sch.runSpmv(b, &ts);
+        ASSERT_EQ(yr, ys);
+        expectTimingEq(tr, ts, "mixed spmv timing");
+
+        ref.program(&ld, &fwd);
+        sch.program(&ld, &fwd);
+        ref.runSymgsSweep(b, xr, &tr);
+        sch.runSymgsSweep(b, xs, &ts);
+        ASSERT_EQ(xr, xs);
+        expectTimingEq(tr, ts, "mixed symgs timing");
+    }
+    EXPECT_EQ(statDump(ref), statDump(sch));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OmegaThreads, ScheduleEquivalence,
+    ::testing::Values(Case{4, 1, 11}, Case{4, 2, 12}, Case{4, 8, 13},
+                      Case{8, 1, 14}, Case{8, 2, 15}, Case{8, 8, 16}),
+    [](const ::testing::TestParamInfo<Case> &info) {
+        return "w" + std::to_string(info.param.omega) + "_t" +
+               std::to_string(info.param.threads);
+    });
+
+TEST(ScheduleEquivalence, PcgFullSolveBitIdentical)
+{
+    Rng rng(42);
+    CsrMatrix a = gen::stencil2d(12, 12);
+
+    AccelParams pr = makeParams(8, false, 1);
+    AccelParams ps = makeParams(8, true, 1);
+    Accelerator ref(pr), sch(ps);
+    ref.loadPde(a);
+    sch.loadPde(a);
+
+    DenseVector b(a.rows(), 1.0);
+    PcgOptions opts;
+    opts.maxIterations = 25;
+    PcgResult r = ref.pcg(b, opts);
+    PcgResult s = sch.pcg(b, opts);
+
+    EXPECT_EQ(r.x, s.x);
+    EXPECT_EQ(r.iterations, s.iterations);
+    EXPECT_EQ(r.relResidual, s.relResidual);
+    EXPECT_EQ(r.history, s.history);
+    EXPECT_EQ(ref.report().cycles, sch.report().cycles);
+    EXPECT_EQ(statDump(ref.engine()), statDump(sch.engine()));
+}
+
+TEST(PayloadLut, MatchesPayloadPosition)
+{
+    for (Index omega : {Index(4), Index(8)}) {
+        for (LdLayout layout : {LdLayout::Plain, LdLayout::SymGs}) {
+            Rng rng(7);
+            CsrMatrix a = gen::banded(41, 4, 0.8, rng);
+            LocallyDenseMatrix ld =
+                LocallyDenseMatrix::encode(a, omega, layout);
+            // All three ordering cases agree with payloadPosition().
+            for (int diagBlk = 0; diagBlk < 2; ++diagBlk) {
+                for (int upper = 0; upper < 2; ++upper) {
+                    if (diagBlk && upper)
+                        continue; // diagonal blocks are never "upper"
+                    const int32_t *lut =
+                        ld.payloadLut(diagBlk != 0, upper != 0);
+                    for (Index lr = 0; lr < omega; ++lr) {
+                        for (Index lc = 0; lc < omega; ++lc) {
+                            bool sepDiag =
+                                layout == LdLayout::SymGs && diagBlk;
+                            int64_t want =
+                                LocallyDenseMatrix::payloadPosition(
+                                    layout, sepDiag, upper != 0, omega,
+                                    lr, lc);
+                            EXPECT_EQ(
+                                int64_t(lut[size_t(lr) * omega + lc]),
+                                want)
+                                << "layout " << int(layout) << " diag "
+                                << diagBlk << " upper " << upper;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(PayloadLut, BlockValueRoundTripsEveryBlock)
+{
+    Rng rng(21);
+    CsrMatrix a = gen::randomSpd(77, 5, rng);
+    for (LdLayout layout : {LdLayout::Plain, LdLayout::SymGs}) {
+        LocallyDenseMatrix ld = LocallyDenseMatrix::encode(a, 8, layout);
+        // decode() exercises blockValue for every stored element; the
+        // round-trip identity proves the LUT wrapper decodes the
+        // in-block ordering exactly.
+        CsrMatrix back = ld.decode();
+        EXPECT_EQ(back.rows(), a.rows());
+        EXPECT_EQ(back.vals(), a.vals());
+        EXPECT_EQ(back.colIdx(), a.colIdx());
+        EXPECT_EQ(back.rowPtr(), a.rowPtr());
+    }
+}
+
+TEST(ScheduleCache, CompiledOnceAcrossRuns)
+{
+    Rng rng(5);
+    CsrMatrix a = gen::randomSpd(64, 5, rng);
+    LocallyDenseMatrix ld =
+        LocallyDenseMatrix::encode(a, 8, LdLayout::Plain);
+    ConfigTable table = ConfigTable::convert(KernelType::SpMV, ld);
+
+    Engine e(makeParams(8, true, 1));
+    e.program(&ld, &table);
+    EXPECT_EQ(e.scheduleCompiles(), 0u);
+    DenseVector x(a.cols(), 1.0);
+    for (int i = 0; i < 5; ++i)
+        e.runSpmv(x);
+    EXPECT_EQ(e.scheduleCompiles(), 1u);
+    EXPECT_EQ(e.cachedSchedules(), 1u);
+
+    // prepareSchedule is idempotent on a warm cache.
+    EXPECT_NE(e.prepareSchedule(), nullptr);
+    EXPECT_EQ(e.scheduleCompiles(), 1u);
+}
+
+TEST(ScheduleCache, DistinctTablesGetDistinctSchedules)
+{
+    Rng rng(6);
+    CsrMatrix a = gen::banded(80, 4, 0.8, rng);
+    LocallyDenseMatrix ld =
+        LocallyDenseMatrix::encode(a, 8, LdLayout::SymGs);
+    ConfigTable fwd = ConfigTable::convert(KernelType::SymGS, ld, true,
+                                           GsSweep::Forward);
+    ConfigTable bwd = ConfigTable::convert(KernelType::SymGS, ld, true,
+                                           GsSweep::Backward);
+
+    Engine e(makeParams(8, true, 1));
+    DenseVector b(a.rows(), 1.0), x(a.rows(), 0.0);
+    for (int i = 0; i < 3; ++i) {
+        e.program(&ld, &fwd);
+        e.runSymgsSweep(b, x);
+        e.program(&ld, &bwd);
+        e.runSymgsSweep(b, x);
+    }
+    // One compile per table, re-used across all later sweeps.
+    EXPECT_EQ(e.scheduleCompiles(), 2u);
+    EXPECT_EQ(e.cachedSchedules(), 2u);
+}
+
+TEST(ScheduleCache, InvalidatedOnReload)
+{
+    Rng rng(9);
+    CsrMatrix a = gen::stencil2d(8, 8);
+    Accelerator acc(makeParams(8, true, 1));
+    acc.loadPde(a);
+    DenseVector x(a.cols(), 1.0);
+    acc.spmv(x);
+    EXPECT_EQ(acc.engine().scheduleCompiles(), 1u);
+
+    // Reloading destroys the old matrix/tables; the cache must drop
+    // them and compile fresh against the new objects.
+    acc.loadPde(a);
+    EXPECT_EQ(acc.engine().cachedSchedules(), 0u);
+    acc.spmv(x);
+    EXPECT_EQ(acc.engine().scheduleCompiles(), 2u);
+}
+
+TEST(ScheduleCache, EvictsBeyondCapacity)
+{
+    Rng rng(10);
+    CsrMatrix a = gen::randomSpd(48, 4, rng);
+    LocallyDenseMatrix ld =
+        LocallyDenseMatrix::encode(a, 8, LdLayout::Plain);
+    // Ten distinct tables against one matrix: the MRU cache keeps the
+    // most recent eight.
+    std::vector<ConfigTable> tables;
+    for (int i = 0; i < 10; ++i)
+        tables.push_back(ConfigTable::convert(KernelType::SpMV, ld));
+
+    Engine e(makeParams(8, true, 1));
+    DenseVector x(a.cols(), 1.0);
+    for (auto &t : tables) {
+        e.program(&ld, &t);
+        e.runSpmv(x);
+    }
+    EXPECT_EQ(e.scheduleCompiles(), 10u);
+    EXPECT_EQ(e.cachedSchedules(), 8u);
+
+    // The most recent table is still cached...
+    e.program(&ld, &tables.back());
+    e.runSpmv(x);
+    EXPECT_EQ(e.scheduleCompiles(), 10u);
+    // ...but the first one was evicted and recompiles.
+    e.program(&ld, &tables.front());
+    e.runSpmv(x);
+    EXPECT_EQ(e.scheduleCompiles(), 11u);
+}
+
+TEST(ScheduleCompile, RecordsMatchMatrixShape)
+{
+    Rng rng(3);
+    CsrMatrix a = gen::blockStructured(64, 8, 3, 0.6, rng);
+    LocallyDenseMatrix ld =
+        LocallyDenseMatrix::encode(a, 8, LdLayout::Plain);
+    ConfigTable table = ConfigTable::convert(KernelType::SpMV, ld);
+    AccelParams p = makeParams(8, true, 1);
+    ExecSchedule s = compileSchedule(ld, table, p);
+
+    EXPECT_EQ(s.pathCount, table.entries().size());
+    EXPECT_EQ(s.rowBegin.size(), s.pathCount + 1);
+    EXPECT_EQ(s.rowBegin.back(), s.rowIndex.size());
+    EXPECT_EQ(s.values.size(), s.rowIndex.size() * size_t(p.omega));
+    EXPECT_TRUE(s.parallelSafe);
+    EXPECT_GT(s.parFlops, 0.0);
+    EXPECT_GT(s.bytes(), 0u);
+    // Every gathered row belongs to its path's block row.
+    for (size_t i = 0; i < s.pathCount; ++i) {
+        for (size_t rr = s.rowBegin[i]; rr < s.rowBegin[i + 1]; ++rr) {
+            EXPECT_EQ(s.rowIndex[rr] / p.omega, s.blockRow[i]);
+        }
+    }
+}

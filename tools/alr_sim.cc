@@ -50,6 +50,7 @@ struct Options
     Index omega = 8;
     Index source = 0;
     bool rcm = false;
+    bool noSchedule = false;
     bool dumpStats = false;
     bool json = false;
     int maxIterations = 500;
@@ -66,7 +67,7 @@ usage()
         "                         bfs|sssp|pr|cc|eigen]\n"
         "               [--omega N] [--source V] [--rcm] [--stats] [--json]\n"
         "               [--iters N] [--threads N] [--save F.alr]\n"
-        "               [--trace F.log]\n"
+        "               [--trace F.log] [--no-schedule]\n"
         "  SPEC: stencil2d:N | stencil3d:N | banded:N | rmat:SCALE |\n"
         "        roadgrid:N | powerlaw:N\n");
     std::exit(2);
@@ -134,6 +135,8 @@ parse(int argc, char **argv)
                 usage();
         } else if (arg == "--rcm") {
             opt.rcm = true;
+        } else if (arg == "--no-schedule") {
+            opt.noSchedule = true;
         } else if (arg == "--stats") {
             opt.dumpStats = true;
         } else if (arg == "--json") {
@@ -219,6 +222,10 @@ main(int argc, char **argv)
 
     AccelParams params;
     params.omega = opt.omega;
+    // --no-schedule pins the engine to the per-iteration interpreter
+    // (the two modes are bit-identical; this exposes the slow path for
+    // debugging and for timing the schedule compiler's benefit).
+    params.useSchedule = !opt.noSchedule;
     Accelerator acc(params);
 
     CsrMatrix a;
