@@ -6,11 +6,19 @@
  * results, cycles, and stats (enforced by test_schedule); this harness
  * measures only how fast the simulator itself runs, which is what bounds
  * every iterative experiment in bench/.
+ *
+ * Part two (ISSUE 3): scalar vs SIMD replay of the compiled schedule on
+ * the three largest fig18 datasets -- same bit-identity contract, now
+ * across three engines (interpreter / scheduled-scalar / scheduled-SIMD),
+ * with a hard failure if results, cycles, or stat dumps diverge.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
 
+#include "alrescha/sim/replay.hh"
 #include "bench/bench_util.hh"
 #include "common/random.hh"
 #include "sparse/generators.hh"
@@ -47,6 +55,104 @@ solve(const CsrMatrix &a, const PcgOptions &opts, bool use_schedule)
     r.wall_ms = wallMsSince(t1);
     r.cycles = acc.report().cycles;
     return r;
+}
+
+std::string
+statDump(Accelerator &acc)
+{
+    std::ostringstream os;
+    acc.engine().statGroup().dump(os);
+    return os.str();
+}
+
+AccelParams
+spmvParams(bool use_schedule, bool simd)
+{
+    AccelParams p;
+    p.useSchedule = use_schedule;
+    p.simdReplay = simd;
+    p.engineThreads = 1; // single-threaded functional pass
+    return p;
+}
+
+/**
+ * Scalar-vs-SIMD replay sweep: the three largest fig18 datasets by nnz,
+ * SpMV replay timed single-threaded.  Returns false on any divergence
+ * between interpreter, scheduled-scalar, and scheduled-SIMD runs.
+ */
+bool
+replaySweep(int reps)
+{
+    std::printf("\n== Ablation: scalar vs SIMD schedule replay ==\n\n");
+    std::printf("SIMD kernels: %s; %d timed SpMV replays per mode, "
+                "1 thread\n\n",
+                replay::isaName(), reps);
+
+    std::vector<Dataset> all = scientificSuite();
+    for (Dataset &d : graphSuite())
+        all.push_back(std::move(d));
+    std::sort(all.begin(), all.end(),
+              [](const Dataset &x, const Dataset &y) {
+                  return x.matrix.nnz() > y.matrix.nnz();
+              });
+    all.resize(std::min<size_t>(3, all.size()));
+
+    Table table({"dataset", "nnz", "scalar ms/spmv", "simd ms/spmv",
+                 "speedup"});
+    std::vector<double> speedups;
+    bool ok = true;
+    for (const Dataset &d : all) {
+        Accelerator interp(spmvParams(false, false));
+        Accelerator scalar(spmvParams(true, false));
+        Accelerator simd(spmvParams(true, true));
+        interp.loadSpmvOnly(d.matrix);
+        scalar.loadSpmvOnly(d.matrix);
+        simd.loadSpmvOnly(d.matrix);
+
+        DenseVector x(d.matrix.cols());
+        for (size_t i = 0; i < x.size(); ++i)
+            x[i] = Value(i % 23) - 11.0;
+
+        // Bit-identity gate before timing anything: one run through
+        // each engine must agree on the result vector, the modeled
+        // cycles, and the entire serialized stat dump.
+        DenseVector yi = interp.spmv(x);
+        DenseVector yc = scalar.spmv(x);
+        DenseVector yv = simd.spmv(x);
+        if (yi != yc || yi != yv ||
+            interp.report().cycles != scalar.report().cycles ||
+            interp.report().cycles != simd.report().cycles ||
+            statDump(interp) != statDump(scalar) ||
+            statDump(interp) != statDump(simd)) {
+            std::printf("ERROR: %s: interpreter/scalar/simd replay "
+                        "diverged\n",
+                        d.name.c_str());
+            ok = false;
+            continue;
+        }
+
+        auto time = [&](Accelerator &acc) {
+            auto t0 = std::chrono::steady_clock::now();
+            for (int r = 0; r < reps; ++r)
+                acc.spmv(x);
+            return wallMsSince(t0) / reps;
+        };
+        double scalar_ms = time(scalar);
+        double simd_ms = time(simd);
+        double speedup = scalar_ms / simd_ms;
+        speedups.push_back(speedup);
+        table.addRow({d.name, std::to_string(d.matrix.nnz()),
+                      fmt(scalar_ms, 3), fmt(simd_ms, 3),
+                      fmt(speedup, 2) + "x"});
+    }
+    table.print();
+    if (!speedups.empty())
+        std::printf("\ngeo-mean SIMD replay speedup: %.2fx\n",
+                    geoMean(speedups));
+    if (ok)
+        std::printf("results, cycles, and stat dumps identical across "
+                    "interpreter/scalar/simd\n");
+    return ok;
 }
 
 } // namespace
@@ -96,5 +202,9 @@ main(int argc, char **argv)
         return 1;
     }
     std::printf("results, iterations, and cycle counts identical\n");
+
+    int reps = argc > 3 ? std::atoi(argv[3]) : 10;
+    if (!replaySweep(reps))
+        return 1;
     return 0;
 }

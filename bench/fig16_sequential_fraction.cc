@@ -7,6 +7,11 @@
  * sequential in proportion to how far its color falls short of filling
  * the machine; for Alrescha, sequential FLOPs are those executed by the
  * serialized D-SymGS data paths, measured by the engine.
+ *
+ * Also writes BENCH_symgs.json: one row per dataset with the measured
+ * symmetric-sweep wall time, modeled cycles, and streamed bytes, in the
+ * same row shape as BENCH_spmv.json so the CI perf-smoke job validates
+ * and regression-checks all bench outputs uniformly.
  */
 
 #include <cstdio>
@@ -26,6 +31,7 @@ main()
     GpuModel gpu;
     Accelerator acc;
     Table table({"dataset", "GPU seq %", "Alrescha seq %"});
+    JsonArray json_rows;
 
     double gpuSum = 0.0, alrSum = 0.0;
     auto suite = scientificSuite();
@@ -36,18 +42,40 @@ main()
         acc.resetStats();
         DenseVector b(d.matrix.rows(), 1.0);
         DenseVector x(d.matrix.rows(), 0.0);
+        auto start = std::chrono::steady_clock::now();
         acc.symgsSweep(b, x, GsSweep::Symmetric);
+        double wall_ms = wallMsSince(start);
         double alrFrac = acc.engine().sequentialOpFraction();
 
         gpuSum += gpuFrac;
         alrSum += alrFrac;
         table.addRow({d.name, fmt(100.0 * gpuFrac, 1),
                       fmt(100.0 * alrFrac, 1)});
+
+        JsonObject row;
+        row.add("name", d.name)
+            .add("suite", "scientific")
+            .add("wall_ms", wall_ms)
+            .add("cycles", acc.engine().totalCycles())
+            .add("bytes_streamed", acc.engine().memory().bytesStreamed())
+            .add("gpu_seq_pct", 100.0 * gpuFrac)
+            .add("alrescha_seq_pct", 100.0 * alrFrac);
+        json_rows.add(row, 2);
     }
     double n = double(suite.size());
     table.addRow({"average", fmt(100.0 * gpuSum / n, 1),
                   fmt(100.0 * alrSum / n, 1)});
     table.print();
+
+    JsonObject avg;
+    avg.add("gpu_seq_pct", 100.0 * gpuSum / n)
+        .add("alrescha_seq_pct", 100.0 * alrSum / n);
+    JsonObject root;
+    root.add("bench", "fig16_sequential_fraction")
+        .add("kernel", "symgs")
+        .raw("datasets", json_rows.dump(2))
+        .raw("average", avg.dump(2));
+    writeJsonFile("BENCH_symgs.json", root);
 
     std::printf("\npaper: the GPU implementation still averages 60.9%%\n"
                 "sequential operations after row reordering; Alrescha's\n"

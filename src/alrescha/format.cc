@@ -276,7 +276,9 @@ LocallyDenseMatrix::assemble(Index rows, Index cols, Index omega,
     ld._layout = layout;
     ld._blocks = std::move(blocks);
     ld._blockRowPtr = std::move(block_row_ptr);
-    ld._stream = std::move(stream);
+    // The payload crosses into aligned storage here (assemble's public
+    // signature stays a plain vector for encoder compatibility).
+    ld._stream.assign(stream.begin(), stream.end());
     ld._diag = std::move(diag);
     ld.buildLuts();
     return ld;
@@ -331,7 +333,8 @@ LocallyDenseMatrix::deserialize(std::istream &in)
         blk.size = bio::readPod<uint32_t>(in);
     }
     ld._blockRowPtr = bio::readVec<Index>(in);
-    ld._stream = bio::readVec<Value>(in);
+    DenseVector stream = bio::readVec<Value>(in);
+    ld._stream.assign(stream.begin(), stream.end());
     ld._diag = bio::readVec<Value>(in);
     if (ld._omega == 0 || ld._blockRowPtr.size() != ld._blockRows + 1)
         throw std::runtime_error("inconsistent locally-dense header");

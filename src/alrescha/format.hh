@@ -89,7 +89,9 @@ class LocallyDenseMatrix
     Index blockRows() const { return _blockRows; }
 
     const std::vector<LdBlockInfo> &blocks() const { return _blocks; }
-    const std::vector<Value> &stream() const { return _stream; }
+    /** Payload stream in consumption order; 64-byte-aligned storage so
+     *  chunk-granular consumers can load it at full ω width. */
+    const AlignedValueVector &stream() const { return _stream; }
 
     /** Separated diagonal (SymGs layout only; rows() entries). */
     const DenseVector &diagonal() const { return _diag; }
@@ -172,7 +174,7 @@ class LocallyDenseMatrix
     LdLayout _layout = LdLayout::Plain;
     std::vector<LdBlockInfo> _blocks;
     std::vector<Index> _blockRowPtr;
-    std::vector<Value> _stream;
+    AlignedValueVector _stream;
     DenseVector _diag;
     /** Payload-position LUTs: off-diagonal [non-upper, upper] + diag. */
     std::vector<int32_t> _lutOff[2];

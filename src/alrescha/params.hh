@@ -105,6 +105,16 @@ struct AccelParams
      */
     int engineThreads = 1;
 
+    /**
+     * Run the scheduled functional replay through the ω-specialized
+     * SIMD kernels when they were compiled in (CMake ALR_SIMD).  The
+     * scalar kernels implement the identical canonical reduction tree,
+     * so results are bit-for-bit the same either way; the toggle exists
+     * for the abl_schedule scalar-vs-SIMD sweep and for debugging.
+     * No effect in a portable (no-SIMD) build.
+     */
+    bool simdReplay = true;
+
     /** Bytes the memory system delivers per core cycle. */
     double bytesPerCycle() const { return memBandwidthGBs / clockGhz; }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "alrescha/sim/reduce.hh"
+#include "alrescha/sim/replay.hh"
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 #include "common/trace.hh"
@@ -117,6 +119,19 @@ Engine::enginePool()
     if (!_privatePool)
         _privatePool = std::make_unique<ThreadPool>(_params.engineThreads);
     return _privatePool.get();
+}
+
+Value *
+Engine::stageOperand(const ExecSchedule &S, const DenseVector &x)
+{
+    // Copy the operand once into the 64-byte-aligned, chunk-padded
+    // staging buffer the gather plan indexes; the zero tail stands in
+    // for the interpreter's per-lane out-of-range masking (see
+    // replay.cc for the bit-identity argument).
+    _xpad.resize(S.paddedOperand);
+    std::copy(x.begin(), x.end(), _xpad.begin());
+    std::fill(_xpad.begin() + std::ptrdiff_t(x.size()), _xpad.end(), 0.0);
+    return _xpad.data();
 }
 
 uint64_t
@@ -245,43 +260,25 @@ DenseVector
 Engine::runSpmvScheduled(const ExecSchedule &sched, const DenseVector &x,
                          RunTiming *timing)
 {
-    const Index omega = _params.omega;
     const ExecSchedule &S = sched;
     DenseVector y(_ld->rows(), 0.0);
 
     // Functional pass: block-row groups touch disjoint output rows, so
     // they may run in parallel; within a group the path order (and thus
-    // the FP accumulation order into y) is the interpreter's.
-    auto runGroup = [&](size_t pBegin, size_t pEnd,
-                        std::vector<Value> &xChunk) {
-        for (size_t i = pBegin; i < pEnd; ++i) {
-            Index c0 = S.blockCol[i] * omega;
-            Index nv = S.xValid[i];
-            for (Index lc = 0; lc < nv; ++lc)
-                xChunk[lc] = x[c0 + lc];
-            for (Index lc = nv; lc < omega; ++lc)
-                xChunk[lc] = 0.0;
-            for (size_t rr = S.rowBegin[i]; rr < S.rowBegin[i + 1];
-                 ++rr) {
-                const Value *v = &S.values[rr * omega];
-                Value acc = 0.0;
-                for (Index lc = 0; lc < omega; ++lc)
-                    acc += v[lc] * xChunk[lc];
-                y[S.rowIndex[rr]] += acc;
-            }
-        }
-    };
+    // the FP accumulation order into y) is the interpreter's.  The
+    // ω-wide work happens in the replay kernels against the staged
+    // operand, which parallel workers share read-only.
+    const Value *xpad = stageOperand(S, x);
+    const bool simd = _params.simdReplay;
     size_t groups = S.groupBegin.empty() ? 0 : S.groupBegin.size() - 1;
     ThreadPool *pool = enginePool();
     if (pool && S.parallelSafe && groups > 1) {
         pool->parallelForChunks(0, groups, [&](size_t gb, size_t ge) {
-            std::vector<Value> xChunk(omega);
-            for (size_t g = gb; g < ge; ++g)
-                runGroup(S.groupBegin[g], S.groupBegin[g + 1], xChunk);
+            replay::spmvPaths(S, xpad, y.data(), S.groupBegin[gb],
+                              S.groupBegin[ge], simd);
         });
     } else {
-        std::vector<Value> xChunk(omega);
-        runGroup(0, S.pathCount, xChunk);
+        replay::spmvPaths(S, xpad, y.data(), 0, S.pathCount, simd);
     }
 
     // Timing walk: sequential, replaying the interpreter's exact cache
@@ -429,49 +426,36 @@ Engine::runSpmmScheduled(const ExecSchedule &sched,
                          const std::vector<DenseVector> &xs,
                          RunTiming *timing)
 {
-    const Index omega = _params.omega;
     const size_t k = xs.size();
     const ExecSchedule &S = sched;
     std::vector<DenseVector> ys(k, DenseVector(_ld->rows(), 0.0));
 
     // Functional pass (see runSpmvScheduled): the block streams once,
-    // its rows issue once per right-hand side.
-    auto runGroup = [&](size_t pBegin, size_t pEnd,
-                        std::vector<DenseVector> &chunks) {
-        for (size_t i = pBegin; i < pEnd; ++i) {
-            Index c0 = S.blockCol[i] * omega;
-            Index nv = S.xValid[i];
-            for (size_t j = 0; j < k; ++j) {
-                for (Index lc = 0; lc < nv; ++lc)
-                    chunks[j][lc] = xs[j][c0 + lc];
-                for (Index lc = nv; lc < omega; ++lc)
-                    chunks[j][lc] = 0.0;
-            }
-            for (size_t rr = S.rowBegin[i]; rr < S.rowBegin[i + 1];
-                 ++rr) {
-                const Value *v = &S.values[rr * omega];
-                Index r = S.rowIndex[rr];
-                for (size_t j = 0; j < k; ++j) {
-                    const DenseVector &xc = chunks[j];
-                    Value acc = 0.0;
-                    for (Index lc = 0; lc < omega; ++lc)
-                        acc += v[lc] * xc[lc];
-                    ys[j][r] += acc;
-                }
-            }
-        }
-    };
+    // its rows issue once per right-hand side.  All k operands stage
+    // into one aligned buffer at a 64-byte-rounded stride so every
+    // per-RHS chunk load is a full-width aligned load.
+    const size_t stride = (S.paddedOperand + 7) & ~size_t(7);
+    _xpadMulti.resize(stride * k);
+    std::vector<const Value *> xp(k);
+    std::vector<Value *> yp(k);
+    for (size_t j = 0; j < k; ++j) {
+        Value *dst = _xpadMulti.data() + j * stride;
+        std::copy(xs[j].begin(), xs[j].end(), dst);
+        std::fill(dst + xs[j].size(), dst + stride, 0.0);
+        xp[j] = dst;
+        yp[j] = ys[j].data();
+    }
+    const bool simd = _params.simdReplay;
     size_t groups = S.groupBegin.empty() ? 0 : S.groupBegin.size() - 1;
     ThreadPool *pool = enginePool();
     if (pool && S.parallelSafe && groups > 1) {
         pool->parallelForChunks(0, groups, [&](size_t gb, size_t ge) {
-            std::vector<DenseVector> chunks(k, DenseVector(omega, 0.0));
-            for (size_t g = gb; g < ge; ++g)
-                runGroup(S.groupBegin[g], S.groupBegin[g + 1], chunks);
+            replay::spmmPaths(S, xp.data(), yp.data(), k,
+                              S.groupBegin[gb], S.groupBegin[ge], simd);
         });
     } else {
-        std::vector<DenseVector> chunks(k, DenseVector(omega, 0.0));
-        runGroup(0, S.pathCount, chunks);
+        replay::spmmPaths(S, xp.data(), yp.data(), k, 0, S.pathCount,
+                          simd);
     }
 
     RunTiming t;
@@ -702,11 +686,18 @@ Engine::runSymgsScheduled(const ExecSchedule &sched, const DenseVector &b,
     // Fused functional + timing pass: the sweep is inherently
     // sequential (each diagonal chain updates x for the GEMV gathers
     // that follow), so one walk replays the interpreter's exact cache
-    // and link-stack sequence while reading precompiled values.
+    // and link-stack sequence while reading precompiled values.  The
+    // iterate stages into the padded aligned buffer once and is the
+    // working vector for the whole sweep (the GEMV majority of the
+    // paths then runs through the ω-wide replay kernels); the diagonal
+    // chains stay scalar -- they are the serialized recurrence.
     uint64_t stream_t = 0; // streaming/pipelined front
     uint64_t dep_t = 0;    // completion of the dependence chain
 
-    std::vector<Value> xChunk(omega), partials(omega);
+    Value *xw = stageOperand(S, x);
+    const bool simd = _params.simdReplay;
+    std::vector<Value> partials(omega);
+    std::vector<Value> lanes(fcutree::ceilPow2(omega));
     if (S.pathCount > 0) {
         stream_t += _rcu.reconfigure(S.dp[0]);
         for (size_t i = 0; i < S.pathCount; ++i) {
@@ -715,22 +706,8 @@ Engine::runSymgsScheduled(const ExecSchedule &sched, const DenseVector &b,
                 stream_t += S.fillCycles[i];
                 stream_t += _rcu.cache().read(S.operandVec[i],
                                               S.blockCol[i], false);
-                Index c0 = S.blockCol[i] * omega;
-                Index nv = S.xValid[i];
-                for (Index lc = 0; lc < nv; ++lc)
-                    xChunk[lc] = x[c0 + lc];
-                for (Index lc = nv; lc < omega; ++lc)
-                    xChunk[lc] = 0.0;
                 std::fill(partials.begin(), partials.end(), 0.0);
-                Index r0 = S.blockRow[i] * omega;
-                for (size_t rr = S.rowBegin[i]; rr < S.rowBegin[i + 1];
-                     ++rr) {
-                    const Value *v = &S.values[rr * omega];
-                    Value acc = 0.0;
-                    for (Index lc = 0; lc < omega; ++lc)
-                        acc += v[lc] * xChunk[lc];
-                    partials[S.rowIndex[rr] - r0] = acc;
-                }
+                replay::symgsGemvPath(S, i, xw, partials.data(), simd);
                 stream_t += S.streamCycles[i];
                 _rcu.linkStack().push(partials);
             } else {
@@ -752,21 +729,23 @@ Engine::runSymgsScheduled(const ExecSchedule &sched, const DenseVector &b,
                     Index r = S.rowIndex[rr];
                     Index lr = r - r0;
                     const Value *v = &S.values[rr * omega];
-                    Value dot = 0.0;
-                    for (Index lc = 0; lc < omega; ++lc) {
-                        Index c = r0 + lc;
-                        Value xv =
-                            (lc == lr || c >= rows) ? 0.0 : x[c];
-                        dot += v[lc] * xv;
-                    }
+                    // The diagonal lane stays explicitly masked (the
+                    // interpreter zeroes value *and* operand there;
+                    // the padded buffer covers the matrix-edge lanes).
+                    for (Index lc = 0; lc < omega; ++lc)
+                        lanes[lc] =
+                            v[lc] * (lc == lr ? 0.0 : xw[r0 + lc]);
+                    Value dot = fcutree::sumTree(lanes.data(), omega);
                     Value sum = acc[lr] + dot;
-                    x[r] = (b[r] - sum) / diag[r];
+                    xw[r] = (b[r] - sum) / diag[r];
                 }
                 dep_t = start + S.chainCycles[i] +
                         _rcu.cache().write(CacheVec::Xt, br);
                 t.seqCycles += S.chainCycles[i];
             }
         }
+        std::copy(_xpad.begin(), _xpad.begin() + std::ptrdiff_t(rows),
+                  x.begin());
         _rcu.setConfigured(S.lastDp);
         _rcu.noteReconfigs(S.reconfigCount, S.reconfigStall);
         _memory.recordStream(S.totalStreamBytes);

@@ -195,6 +195,9 @@ class Engine
     /** Pool for the scheduled functional pass (nullptr = run inline). */
     ThreadPool *enginePool();
 
+    /** Stage @p x into the aligned, chunk-padded gather-plan buffer. */
+    Value *stageOperand(const ExecSchedule &S, const DenseVector &x);
+
     DenseVector runSpmvScheduled(const ExecSchedule &sched,
                                  const DenseVector &x, RunTiming *timing);
     std::vector<DenseVector>
@@ -227,6 +230,12 @@ class Engine
     std::vector<ScheduleSlot> _schedules;
     uint64_t _scheduleCompiles = 0;
     std::unique_ptr<ThreadPool> _privatePool;
+
+    /** Operand staging scratch for the scheduled replay (gather plan):
+     *  one padded vector, and k of them at an aligned stride for SpMM.
+     *  Reused across runs; parallel workers read them only. */
+    AlignedValueVector _xpad;
+    AlignedValueVector _xpadMulti;
 
     stats::Scalar _cycles;
     stats::Scalar _seqCycles;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <vector>
 
+#include "alrescha/sim/reduce.hh"
 #include "common/logging.hh"
 
 namespace alr {
@@ -18,27 +20,44 @@ Fcu::vectorReduce(std::span<const Value> a, std::span<const Value> b,
 
     FcuOpCounts local;
     FcuOpCounts &c = counts ? *counts : local;
-    Value acc = reduce == ReduceOp::Sum
-                    ? 0.0
-                    : std::numeric_limits<Value>::infinity();
-    for (size_t lane = 0; lane < a.size(); ++lane) {
-        if (!lane_valid.empty() && !lane_valid[lane])
+    const Index lanes = Index(a.size());
+    const Index width = fcutree::ceilPow2(lanes);
+    const Value identity = reduce == ReduceOp::Sum
+                               ? 0.0
+                               : std::numeric_limits<Value>::infinity();
+
+    // Phase 1: the lane ALUs.  Masked-out lanes (absent edges in a Min
+    // reduction) feed the tree the identity, like the pad lanes.
+    constexpr Index kStackLanes = 64;
+    Value stack[kStackLanes];
+    std::vector<Value> heap;
+    Value *p = stack;
+    if (width > kStackLanes) {
+        heap.resize(width);
+        p = heap.data();
+    }
+    for (Index lane = 0; lane < lanes; ++lane) {
+        if (!lane_valid.empty() && !lane_valid[lane]) {
+            p[lane] = identity;
             continue;
-        Value v;
+        }
         if (op == VecOp::Mul) {
-            v = a[lane] * b[lane];
+            p[lane] = a[lane] * b[lane];
             c.mul += 1.0;
         } else {
-            v = a[lane] + b[lane];
+            p[lane] = a[lane] + b[lane];
             c.add += 1.0;
         }
         c.alu += 1.0;
-        if (reduce == ReduceOp::Sum)
-            acc += v;
-        else
-            acc = std::min(acc, v);
         c.reduce += 1.0;
     }
+
+    // Phase 2: the reduce-engine tree, in the canonical order (see
+    // reduce.hh).  The per-valid-lane op tally above is the modeling
+    // convention the stats have always used; it is independent of the
+    // tree shape.
+    Value acc = reduce == ReduceOp::Sum ? fcutree::sumTree(p, lanes)
+                                        : fcutree::minTree(p, lanes);
     if (!counts)
         noteOps(local);
     return acc;

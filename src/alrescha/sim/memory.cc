@@ -8,6 +8,15 @@ uint64_t
 MemoryModel::streamCycles(uint64_t bytes) const
 {
     double bpc = _params.bytesPerCycle();
+    // double(bytes) rounds above 2^53 bytes, so ceil(double/double) can
+    // come out one cycle short near such boundaries.  When the
+    // bandwidth is a whole number of bytes per cycle (common in bench
+    // sweeps), exact integer ceil-division avoids the hazard; the
+    // fractional case stays in doubles (its cycle counts are far below
+    // the 2^53 loss threshold for any realistic byte count).
+    uint64_t ibpc = uint64_t(bpc);
+    if (double(ibpc) == bpc && ibpc > 0)
+        return (bytes + ibpc - 1) / ibpc;
     return uint64_t(std::ceil(double(bytes) / bpc));
 }
 

@@ -1,0 +1,382 @@
+/**
+ * @file
+ * Replay-kernel implementations (see replay.hh).
+ *
+ * This translation unit is the only one built with SIMD ISA flags
+ * (-mavx2) when ALR_SIMD detects support, together with
+ * -ffp-contract=off: a fused multiply-add would round once where the
+ * interpreter rounds twice and break the bit-identity contract.  The
+ * vector arithmetic uses GCC/Clang vector extensions, so the same
+ * source also builds (as scalars) on compilers without them -- the
+ * portable configuration simply never defines ALR_SIMD_AVX2.
+ *
+ * Bit-identity argument for the full-width gather-plan loads: the
+ * interpreter gathers each operand chunk per lane with out-of-range
+ * lanes forced to 0.0, while these kernels load ω lanes straight from
+ * the chunk-padded staging buffer.  The staged tail is 0.0 and every
+ * value lane past the matrix edge is 0.0 too (encode zero-fills
+ * blocks), so the products -- and the canonical tree over them -- are
+ * identical.
+ */
+
+#include "alrescha/sim/replay.hh"
+
+#include <cstring>
+#include <vector>
+
+#include "alrescha/sim/reduce.hh"
+
+namespace alr {
+namespace replay {
+namespace {
+
+/**
+ * Fixed-width scalar row dot in the canonical tree order.  W is a power
+ * of two, so no pad lanes are needed; the compiler fully unrolls.
+ */
+template <Index W>
+inline Value
+dotScalar(const Value *v, const Value *x)
+{
+    Value p[W];
+    for (Index l = 0; l < W; ++l)
+        p[l] = v[l] * x[l];
+    for (Index w = W; w > 1; w >>= 1)
+        for (Index i = 0; i < w / 2; ++i)
+            p[i] = p[2 * i] + p[2 * i + 1];
+    return p[0];
+}
+
+#if defined(ALR_SIMD_AVX2)
+
+typedef Value v2df __attribute__((vector_size(16)));
+typedef Value v4df __attribute__((vector_size(32)));
+
+inline v4df
+load4(const Value *p)
+{
+    v4df v;
+    std::memcpy(&v, p, sizeof v);
+    return v;
+}
+
+/**
+ * Canonical tree over eight lane products given as two 4-lane halves:
+ * level 1 combines adjacent lanes ((p0+p1), (p2+p3), ...) via an
+ * even/odd shuffle, levels 2 and 3 combine adjacent partials.  Each
+ * add below is one canonical-tree combine, so the result is
+ * bit-identical to the scalar tree.
+ */
+inline Value
+tree8(v4df pl, v4df ph)
+{
+    v4df e = __builtin_shufflevector(pl, ph, 0, 2, 4, 6);
+    v4df o = __builtin_shufflevector(pl, ph, 1, 3, 5, 7);
+    v4df a = e + o; // [l1_0, l1_1, l1_2, l1_3]
+    return (a[0] + a[1]) + (a[2] + a[3]);
+}
+
+/** Two ω=8 rows at once: returns {row dot, next-row dot}. */
+inline v2df
+tree8x2(v4df p0l, v4df p0h, v4df p1l, v4df p1h)
+{
+    v4df ea = __builtin_shufflevector(p0l, p1l, 0, 2, 4, 6);
+    v4df oa = __builtin_shufflevector(p0l, p1l, 1, 3, 5, 7);
+    v4df a = ea + oa; // [r:l1_0, r:l1_1, s:l1_0, s:l1_1]
+    v4df eb = __builtin_shufflevector(p0h, p1h, 0, 2, 4, 6);
+    v4df ob = __builtin_shufflevector(p0h, p1h, 1, 3, 5, 7);
+    v4df b = eb + ob; // [r:l1_2, r:l1_3, s:l1_2, s:l1_3]
+    v4df e2 = __builtin_shufflevector(a, b, 0, 4, 2, 6);
+    v4df o2 = __builtin_shufflevector(a, b, 1, 5, 3, 7);
+    v4df c = e2 + o2; // [r:l2_0, r:l2_1, s:l2_0, s:l2_1]
+    return v2df{c[0] + c[1], c[2] + c[3]};
+}
+
+inline Value
+tree4(v4df p)
+{
+    return (p[0] + p[1]) + (p[2] + p[3]);
+}
+
+/** Two ω=4 rows at once. */
+inline v2df
+tree4x2(v4df p0, v4df p1)
+{
+    v4df e = __builtin_shufflevector(p0, p1, 0, 2, 4, 6);
+    v4df o = __builtin_shufflevector(p0, p1, 1, 3, 5, 7);
+    v4df a = e + o; // [r:l1_0, r:l1_1, s:l1_0, s:l1_1]
+    return v2df{a[0] + a[1], a[2] + a[3]};
+}
+
+/** All row dots of one ω=8 path, two rows per iteration. */
+template <typename Sink>
+inline void
+pathRowsSimd8(const ExecSchedule &S, size_t i, const Value *x,
+              Sink &&sink)
+{
+    const Value *vals = S.values.data();
+    v4df xl = load4(x), xh = load4(x + 4);
+    size_t rr = S.rowBegin[i], re = S.rowBegin[i + 1];
+    for (; rr + 2 <= re; rr += 2) {
+        const Value *v = vals + rr * 8;
+        v2df d = tree8x2(load4(v) * xl, load4(v + 4) * xh,
+                         load4(v + 8) * xl, load4(v + 12) * xh);
+        sink(rr, d[0]);
+        sink(rr + 1, d[1]);
+    }
+    if (rr < re) {
+        const Value *v = vals + rr * 8;
+        sink(rr, tree8(load4(v) * xl, load4(v + 4) * xh));
+    }
+}
+
+/** All row dots of one ω=4 path, two rows per iteration. */
+template <typename Sink>
+inline void
+pathRowsSimd4(const ExecSchedule &S, size_t i, const Value *x,
+              Sink &&sink)
+{
+    const Value *vals = S.values.data();
+    v4df xv = load4(x);
+    size_t rr = S.rowBegin[i], re = S.rowBegin[i + 1];
+    for (; rr + 2 <= re; rr += 2) {
+        const Value *v = vals + rr * 4;
+        v2df d = tree4x2(load4(v) * xv, load4(v + 4) * xv);
+        sink(rr, d[0]);
+        sink(rr + 1, d[1]);
+    }
+    if (rr < re)
+        sink(rr, tree4(load4(vals + rr * 4) * xv));
+}
+
+#endif // ALR_SIMD_AVX2
+
+/** All row dots of one fixed-width scalar path. */
+template <Index W, typename Sink>
+inline void
+pathRowsScalar(const ExecSchedule &S, size_t i, const Value *x,
+               Sink &&sink)
+{
+    const Value *vals = S.values.data();
+    for (size_t rr = S.rowBegin[i]; rr < S.rowBegin[i + 1]; ++rr)
+        sink(rr, dotScalar<W>(vals + rr * W, x));
+}
+
+/** All row dots of one runtime-ω path (buf holds ceilPow2(ω) lanes). */
+template <typename Sink>
+inline void
+pathRowsGeneric(const ExecSchedule &S, size_t i, const Value *x,
+                Value *buf, Sink &&sink)
+{
+    const Index omega = S.omega;
+    const Value *vals = S.values.data();
+    for (size_t rr = S.rowBegin[i]; rr < S.rowBegin[i + 1]; ++rr) {
+        const Value *v = vals + rr * omega;
+        for (Index l = 0; l < omega; ++l)
+            buf[l] = v[l] * x[l];
+        sink(rr, fcutree::sumTree(buf, omega));
+    }
+}
+
+enum class Mode { Simd8, Simd4, Scalar8, Scalar4, Generic };
+
+inline Mode
+modeFor(Index omega, bool simd)
+{
+#if defined(ALR_SIMD_AVX2)
+    if (simd) {
+        if (omega == 8)
+            return Mode::Simd8;
+        if (omega == 4)
+            return Mode::Simd4;
+    }
+#else
+    (void)simd;
+#endif
+    if (omega == 8)
+        return Mode::Scalar8;
+    if (omega == 4)
+        return Mode::Scalar4;
+    return Mode::Generic;
+}
+
+} // namespace
+
+bool
+simdAvailable()
+{
+#if defined(ALR_SIMD_AVX2)
+    return true;
+#else
+    return false;
+#endif
+}
+
+const char *
+isaName()
+{
+    return simdAvailable() ? "avx2" : "scalar";
+}
+
+void
+spmvPaths(const ExecSchedule &S, const Value *xpad, Value *y,
+          size_t pBegin, size_t pEnd, bool simd)
+{
+    auto sinkFor = [y, &S](size_t) {
+        return [y, &S](size_t rr, Value d) { y[S.rowIndex[rr]] += d; };
+    };
+    switch (modeFor(S.omega, simd)) {
+#if defined(ALR_SIMD_AVX2)
+    case Mode::Simd8:
+        for (size_t i = pBegin; i < pEnd; ++i)
+            pathRowsSimd8(S, i, xpad + S.xOff[i], sinkFor(i));
+        return;
+    case Mode::Simd4:
+        for (size_t i = pBegin; i < pEnd; ++i)
+            pathRowsSimd4(S, i, xpad + S.xOff[i], sinkFor(i));
+        return;
+#else
+    case Mode::Simd8:
+    case Mode::Simd4:
+#endif
+    case Mode::Scalar8:
+        for (size_t i = pBegin; i < pEnd; ++i)
+            pathRowsScalar<8>(S, i, xpad + S.xOff[i], sinkFor(i));
+        return;
+    case Mode::Scalar4:
+        for (size_t i = pBegin; i < pEnd; ++i)
+            pathRowsScalar<4>(S, i, xpad + S.xOff[i], sinkFor(i));
+        return;
+    case Mode::Generic: {
+        std::vector<Value> buf(fcutree::ceilPow2(S.omega));
+        for (size_t i = pBegin; i < pEnd; ++i)
+            pathRowsGeneric(S, i, xpad + S.xOff[i], buf.data(),
+                            sinkFor(i));
+        return;
+    }
+    }
+}
+
+void
+spmmPaths(const ExecSchedule &S, const Value *const *xpads,
+          Value *const *ys, size_t k, size_t pBegin, size_t pEnd,
+          bool simd)
+{
+    const Value *vals = S.values.data();
+    switch (modeFor(S.omega, simd)) {
+#if defined(ALR_SIMD_AVX2)
+    case Mode::Simd8:
+        for (size_t i = pBegin; i < pEnd; ++i) {
+            const uint32_t off = S.xOff[i];
+            for (size_t rr = S.rowBegin[i]; rr < S.rowBegin[i + 1];
+                 ++rr) {
+                const Value *v = vals + rr * 8;
+                v4df vl = load4(v), vh = load4(v + 4);
+                const Index r = S.rowIndex[rr];
+                for (size_t j = 0; j < k; ++j) {
+                    const Value *x = xpads[j] + off;
+                    ys[j][r] +=
+                        tree8(vl * load4(x), vh * load4(x + 4));
+                }
+            }
+        }
+        return;
+    case Mode::Simd4:
+        for (size_t i = pBegin; i < pEnd; ++i) {
+            const uint32_t off = S.xOff[i];
+            for (size_t rr = S.rowBegin[i]; rr < S.rowBegin[i + 1];
+                 ++rr) {
+                v4df vv = load4(vals + rr * 4);
+                const Index r = S.rowIndex[rr];
+                for (size_t j = 0; j < k; ++j)
+                    ys[j][r] += tree4(vv * load4(xpads[j] + off));
+            }
+        }
+        return;
+#else
+    case Mode::Simd8:
+    case Mode::Simd4:
+#endif
+    case Mode::Scalar8:
+        for (size_t i = pBegin; i < pEnd; ++i) {
+            const uint32_t off = S.xOff[i];
+            for (size_t rr = S.rowBegin[i]; rr < S.rowBegin[i + 1];
+                 ++rr) {
+                const Value *v = vals + rr * 8;
+                const Index r = S.rowIndex[rr];
+                for (size_t j = 0; j < k; ++j)
+                    ys[j][r] += dotScalar<8>(v, xpads[j] + off);
+            }
+        }
+        return;
+    case Mode::Scalar4:
+        for (size_t i = pBegin; i < pEnd; ++i) {
+            const uint32_t off = S.xOff[i];
+            for (size_t rr = S.rowBegin[i]; rr < S.rowBegin[i + 1];
+                 ++rr) {
+                const Value *v = vals + rr * 4;
+                const Index r = S.rowIndex[rr];
+                for (size_t j = 0; j < k; ++j)
+                    ys[j][r] += dotScalar<4>(v, xpads[j] + off);
+            }
+        }
+        return;
+    case Mode::Generic: {
+        const Index omega = S.omega;
+        std::vector<Value> buf(fcutree::ceilPow2(omega));
+        for (size_t i = pBegin; i < pEnd; ++i) {
+            const uint32_t off = S.xOff[i];
+            for (size_t rr = S.rowBegin[i]; rr < S.rowBegin[i + 1];
+                 ++rr) {
+                const Value *v = vals + rr * omega;
+                const Index r = S.rowIndex[rr];
+                for (size_t j = 0; j < k; ++j) {
+                    const Value *x = xpads[j] + off;
+                    for (Index l = 0; l < omega; ++l)
+                        buf[l] = v[l] * x[l];
+                    ys[j][r] += fcutree::sumTree(buf.data(), omega);
+                }
+            }
+        }
+        return;
+    }
+    }
+}
+
+void
+symgsGemvPath(const ExecSchedule &S, size_t path, const Value *xpad,
+              Value *partials, bool simd)
+{
+    const Index r0 = S.blockRow[path] * S.omega;
+    auto sink = [partials, r0, &S](size_t rr, Value d) {
+        partials[S.rowIndex[rr] - r0] = d;
+    };
+    const Value *x = xpad + S.xOff[path];
+    switch (modeFor(S.omega, simd)) {
+#if defined(ALR_SIMD_AVX2)
+    case Mode::Simd8:
+        pathRowsSimd8(S, path, x, sink);
+        return;
+    case Mode::Simd4:
+        pathRowsSimd4(S, path, x, sink);
+        return;
+#else
+    case Mode::Simd8:
+    case Mode::Simd4:
+#endif
+    case Mode::Scalar8:
+        pathRowsScalar<8>(S, path, x, sink);
+        return;
+    case Mode::Scalar4:
+        pathRowsScalar<4>(S, path, x, sink);
+        return;
+    case Mode::Generic: {
+        std::vector<Value> buf(fcutree::ceilPow2(S.omega));
+        pathRowsGeneric(S, path, x, buf.data(), sink);
+        return;
+    }
+    }
+}
+
+} // namespace replay
+} // namespace alr

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * ω-specialized replay kernels for the scheduled functional pass.
+ *
+ * The schedule compiler resolves every block row into an ω-wide value
+ * record and a gather-plan offset into a chunk-padded operand buffer
+ * (ExecSchedule::xOff / paddedOperand), so replaying a path is nothing
+ * but full-width multiply-reduce work -- exactly the dense ω-lane
+ * streaming the FCU models.  These kernels execute it at that width:
+ * compile-time specializations for ω ∈ {4, 8} (SIMD when compiled in,
+ * unrolled scalar otherwise) and a generic runtime-ω fallback.
+ *
+ * Every arm reduces in the canonical pairwise tree order (reduce.hh),
+ * so the interpreter, the scheduled scalar path, and the SIMD path all
+ * produce bit-identical doubles; which arm runs is purely a wall-time
+ * choice (AccelParams::simdReplay, CMake ALR_SIMD).
+ */
+
+#ifndef ALR_ALRESCHA_SIM_REPLAY_HH
+#define ALR_ALRESCHA_SIM_REPLAY_HH
+
+#include <cstddef>
+
+#include "alrescha/sim/schedule.hh"
+
+namespace alr {
+namespace replay {
+
+/** True when the SIMD kernels were compiled in (CMake ALR_SIMD). */
+bool simdAvailable();
+
+/** ISA label for logs and benches: "avx2" or "scalar". */
+const char *isaName();
+
+/**
+ * Replay SpMV paths [pBegin, pEnd): accumulate each row record's dot
+ * product into y[rowIndex].  @p xpad is the operand staged to
+ * ExecSchedule::paddedOperand entries (tail zeroed).
+ */
+void spmvPaths(const ExecSchedule &S, const Value *xpad, Value *y,
+               size_t pBegin, size_t pEnd, bool simd);
+
+/**
+ * Replay SpMM paths [pBegin, pEnd) for @p k right-hand sides: each row
+ * record's values load once and reduce against every staged operand
+ * (ω×RHS register blocking).  @p xpads / @p ys are k pointers to staged
+ * operands / dense outputs.
+ */
+void spmmPaths(const ExecSchedule &S, const Value *const *xpads,
+               Value *const *ys, size_t k, size_t pBegin, size_t pEnd,
+               bool simd);
+
+/**
+ * Replay one SymGS GEMV path: scatter each row record's dot product to
+ * partials[rowIndex - blockRow * ω] (assignment; the caller pre-zeroes
+ * the lanes).  The serialized diagonal chain stays in the engine -- it
+ * is a recurrence, not data-parallel work.
+ */
+void symgsGemvPath(const ExecSchedule &S, size_t path, const Value *xpad,
+                   Value *partials, bool simd);
+
+} // namespace replay
+} // namespace alr
+
+#endif // ALR_ALRESCHA_SIM_REPLAY_HH

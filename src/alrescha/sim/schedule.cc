@@ -49,7 +49,7 @@ ExecSchedule::bytes() const
            vecBytes(operandVec) + vecBytes(cfgCycles) +
            vecBytes(fillCycles) + vecBytes(writeOutRow) +
            vecBytes(streamCycles) + vecBytes(streamedRows) +
-           vecBytes(spmmMemCycles) + vecBytes(xValid) +
+           vecBytes(spmmMemCycles) + vecBytes(xValid) + vecBytes(xOff) +
            vecBytes(validRows) + vecBytes(chainCycles) +
            vecBytes(rowBegin) + vecBytes(rowIndex) + vecBytes(rowUseful) +
            vecBytes(values) + vecBytes(groupBegin);
@@ -91,6 +91,7 @@ compileSchedule(const LocallyDenseMatrix &ld, const ConfigTable &table,
     s.streamedRows.resize(P, 0);
     s.spmmMemCycles.resize(P, 0);
     s.xValid.resize(P, 0);
+    s.xOff.resize(P, 0);
     s.validRows.resize(P, 0);
     s.chainCycles.resize(P, 0);
     s.rowBegin.resize(P + 1, 0);
@@ -154,6 +155,7 @@ compileSchedule(const LocallyDenseMatrix &ld, const ConfigTable &table,
             Index c0 = blk.blockCol * omega;
             s.xValid[i] =
                 Index(std::min<int64_t>(omega, int64_t(cols) - c0));
+            s.xOff[i] = c0;
 
             Index occupied = 0;
             for (Index lr = 0; lr < omega; ++lr) {
@@ -207,6 +209,7 @@ compileSchedule(const LocallyDenseMatrix &ld, const ConfigTable &table,
             // D-SymGS: the serialized diagonal chain.  Everything but
             // the cache traffic and the x recurrence is static.
             Index r0 = blk.blockRow * omega;
+            s.xOff[i] = r0;
             Index validRows = Index(
                 std::min<int64_t>(omega, int64_t(rows) - int64_t(r0)));
             s.validRows[i] = validRows;
@@ -254,6 +257,11 @@ compileSchedule(const LocallyDenseMatrix &ld, const ConfigTable &table,
         }
     }
     s.rowBegin[P] = s.rowIndex.size();
+    // The staged operand covers the SpMV operand (cols entries) or the
+    // SymGS iterate (rows entries), rounded up to whole chunks.
+    Index operandLen = spmv ? cols : std::max(rows, cols);
+    s.paddedOperand =
+        size_t((operandLen + omega - 1) / omega) * omega;
     s.finalOutRow = spmv ? curRow : -1;
     if (P > 0)
         s.lastDp = s.dp[P - 1];

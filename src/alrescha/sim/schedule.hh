@@ -79,6 +79,13 @@ struct ExecSchedule
     std::vector<uint64_t> spmmMemCycles;
     /** Valid lanes of the operand-chunk gather (bounds hoisted). */
     std::vector<Index> xValid;
+    /**
+     * Gather plan: element offset of path i's operand chunk inside the
+     * chunk-padded operand staging buffer (blockCol * omega, hoisted).
+     * Against a buffer of paddedOperand entries every chunk load is a
+     * full-width, in-bounds load -- no per-lane tail handling.
+     */
+    std::vector<uint32_t> xOff;
     /** D-SymGS diagonal paths: rows below the matrix edge. */
     std::vector<Index> validRows;
     /** D-SymGS diagonal paths: serialized chain cycles. */
@@ -91,8 +98,10 @@ struct ExecSchedule
     std::vector<Index> rowUseful; ///< non-zero lanes (diagnostics)
     /** Gathered block values, omega per record, in lane order; the
      *  diagonal lane of D-SymGS chain records is pre-zeroed exactly as
-     *  the interpreter zeroes it. */
-    std::vector<Value> values;
+     *  the interpreter zeroes it.  64-byte-aligned so the ω-specialized
+     *  replay kernels load whole records at full width (a record is one
+     *  cache line at the paper's ω = 8). */
+    AlignedValueVector values;
 
     // ---- block-row groups (independent GEMV path ranges) ----
     /** Path range of group g: [groupBegin[g], groupBegin[g+1]).  Two
@@ -119,6 +128,13 @@ struct ExecSchedule
     uint64_t totalStreamBytes = 0;
     /** Streamed payload bytes under SpMM accounting (row-granular). */
     uint64_t spmmStreamBytes = 0;
+    /**
+     * Length the operand vector must be staged to for the gather plan:
+     * the chunk count times omega (operand entries past the matrix edge
+     * are staged as 0.0, matching the interpreter's zero-filled chunk
+     * gather because the value lanes there are 0.0 too).
+     */
+    size_t paddedOperand = 0;
 
     /** Heap footprint, for curiosity and cache-size accounting. */
     size_t bytes() const;

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Minimal over-aligned allocator so hot value streams can live on
+ * cache-line (and SIMD-load) boundaries while still being ordinary
+ * std::vectors to the rest of the code.
+ */
+
+#ifndef ALR_COMMON_ALIGNED_HH
+#define ALR_COMMON_ALIGNED_HH
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace alr {
+
+/**
+ * std::allocator drop-in that over-aligns every allocation to @p Align
+ * bytes (a power of two, at least alignof(T)).  Two instances compare
+ * equal regardless of T, like std::allocator.
+ */
+template <typename T, std::size_t Align>
+struct AlignedAllocator
+{
+    static_assert((Align & (Align - 1)) == 0, "alignment must be pow2");
+    static_assert(Align >= alignof(T), "alignment below natural");
+
+    using value_type = T;
+
+    AlignedAllocator() noexcept = default;
+    template <typename U>
+    AlignedAllocator(const AlignedAllocator<U, Align> &) noexcept
+    {
+    }
+
+    template <typename U>
+    struct rebind
+    {
+        using other = AlignedAllocator<U, Align>;
+    };
+
+    T *allocate(std::size_t n)
+    {
+        if (n == 0)
+            return nullptr;
+        return static_cast<T *>(::operator new(
+            n * sizeof(T), std::align_val_t(Align)));
+    }
+
+    void deallocate(T *p, std::size_t) noexcept
+    {
+        ::operator delete(p, std::align_val_t(Align));
+    }
+
+    template <typename U>
+    bool operator==(const AlignedAllocator<U, Align> &) const noexcept
+    {
+        return true;
+    }
+    template <typename U>
+    bool operator!=(const AlignedAllocator<U, Align> &) const noexcept
+    {
+        return false;
+    }
+};
+
+/** A vector whose buffer starts on a 64-byte boundary. */
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T, 64>>;
+
+} // namespace alr
+
+#endif // ALR_COMMON_ALIGNED_HH

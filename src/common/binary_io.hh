@@ -38,9 +38,9 @@ readPod(std::istream &in)
     return v;
 }
 
-template <typename T>
+template <typename T, typename Alloc>
 void
-writeVec(std::ostream &out, const std::vector<T> &v)
+writeVec(std::ostream &out, const std::vector<T, Alloc> &v)
 {
     static_assert(std::is_trivially_copyable_v<T>);
     writePod<uint64_t>(out, v.size());

@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/aligned.hh"
+
 namespace alr {
 
 /** Row/column index type.  32 bits covers every dataset in the paper. */
@@ -19,6 +21,12 @@ using Value = double;
 
 /** A dense vector of Values. */
 using DenseVector = std::vector<Value>;
+
+/**
+ * A dense vector of Values whose buffer starts on a 64-byte boundary,
+ * for payload streams the ω-wide replay kernels load at full width.
+ */
+using AlignedValueVector = AlignedVector<Value>;
 
 /** One non-zero entry in coordinate form. */
 struct Triplet

@@ -11,11 +11,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <sstream>
 
 #include "alrescha/accelerator.hh"
+#include "alrescha/sim/replay.hh"
 #include "alrescha/sim/schedule.hh"
 #include "common/random.hh"
+#include "sparse/coo.hh"
 #include "sparse/generators.hh"
 
 using namespace alr;
@@ -32,12 +35,13 @@ statDump(Engine &e)
 }
 
 AccelParams
-makeParams(Index omega, bool use_schedule, int threads)
+makeParams(Index omega, bool use_schedule, int threads, bool simd = true)
 {
     AccelParams p;
     p.omega = omega;
     p.useSchedule = use_schedule;
     p.engineThreads = threads;
+    p.simdReplay = simd;
     return p;
 }
 
@@ -370,6 +374,234 @@ TEST(ScheduleCache, EvictsBeyondCapacity)
     e.program(&ld, &tables.front());
     e.runSpmv(x);
     EXPECT_EQ(e.scheduleCompiles(), 11u);
+}
+
+// ---------------------------------------------------------------------
+// SIMD replay equivalence (ISSUE 3): the ω-specialized SIMD kernels,
+// the scheduled scalar kernels, and the interpreter must agree bit for
+// bit -- results, cycles, and the whole stat dump.  On portable builds
+// simdReplay=true silently falls back to scalar, so these tests still
+// pin scalar/scalar/interpreter equality there.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Three engines programmed alike: interpreter, scheduled scalar,
+ *  scheduled SIMD. */
+struct EngineTriple
+{
+    Engine interp;
+    Engine scalar;
+    Engine simd;
+
+    EngineTriple(Index omega, int threads)
+        : interp(makeParams(omega, false, 1)),
+          scalar(makeParams(omega, true, threads, false)),
+          simd(makeParams(omega, true, threads, true))
+    {
+    }
+
+    void program(const LocallyDenseMatrix *ld, const ConfigTable *t)
+    {
+        interp.program(ld, t);
+        scalar.program(ld, t);
+        simd.program(ld, t);
+    }
+};
+
+class SimdReplayEquivalence : public ::testing::TestWithParam<Case>
+{
+};
+
+} // namespace
+
+TEST_P(SimdReplayEquivalence, SpmvRectangularNonMultipleOfOmega)
+{
+    // 97 x 61: both dimensions indivisible by omega, so every tail
+    // chunk exercises the zero-padded staging buffer.
+    const Case c = GetParam();
+    Rng rng(c.seed);
+    CsrMatrix a = gen::randomSparse(97, 61, 5, rng);
+    LocallyDenseMatrix ld =
+        LocallyDenseMatrix::encode(a, c.omega, LdLayout::Plain);
+    ConfigTable table = ConfigTable::convert(KernelType::SpMV, ld);
+
+    EngineTriple e(c.omega, c.threads);
+    e.program(&ld, &table);
+
+    DenseVector x(a.cols());
+    for (size_t i = 0; i < x.size(); ++i)
+        x[i] = Value(i % 7) - 3.5;
+
+    for (int run = 0; run < 3; ++run) {
+        RunTiming ti, tc, tv;
+        DenseVector yi = e.interp.runSpmv(x, &ti);
+        DenseVector yc = e.scalar.runSpmv(x, &tc);
+        DenseVector yv = e.simd.runSpmv(x, &tv);
+        ASSERT_EQ(yi, yc) << "run " << run;
+        ASSERT_EQ(yi, yv) << "run " << run;
+        expectTimingEq(ti, tc, "scalar spmv timing");
+        expectTimingEq(ti, tv, "simd spmv timing");
+    }
+    EXPECT_EQ(statDump(e.interp), statDump(e.scalar));
+    EXPECT_EQ(statDump(e.interp), statDump(e.simd));
+}
+
+TEST_P(SimdReplayEquivalence, SpmmRegisterBlocked)
+{
+    const Case c = GetParam();
+    Rng rng(c.seed + 400);
+    CsrMatrix a = gen::blockStructured(88, c.omega, 3, 0.5, rng);
+    LocallyDenseMatrix ld =
+        LocallyDenseMatrix::encode(a, c.omega, LdLayout::Plain);
+    ConfigTable table = ConfigTable::convert(KernelType::SpMV, ld);
+
+    EngineTriple e(c.omega, c.threads);
+    e.program(&ld, &table);
+
+    // k = 5 right-hand sides: odd count, so the register-blocked SpMM
+    // kernel sees a full set plus a remainder.
+    std::vector<DenseVector> xs(5, DenseVector(a.cols()));
+    for (size_t j = 0; j < xs.size(); ++j)
+        for (size_t i = 0; i < xs[j].size(); ++i)
+            xs[j][i] = Value((i * (2 * j + 1)) % 19) - 9.0;
+
+    for (int run = 0; run < 2; ++run) {
+        RunTiming ti, tc, tv;
+        auto yi = e.interp.runSpmm(xs, &ti);
+        auto yc = e.scalar.runSpmm(xs, &tc);
+        auto yv = e.simd.runSpmm(xs, &tv);
+        ASSERT_EQ(yi, yc) << "run " << run;
+        ASSERT_EQ(yi, yv) << "run " << run;
+        expectTimingEq(ti, tc, "scalar spmm timing");
+        expectTimingEq(ti, tv, "simd spmm timing");
+    }
+    EXPECT_EQ(statDump(e.interp), statDump(e.scalar));
+    EXPECT_EQ(statDump(e.interp), statDump(e.simd));
+}
+
+TEST_P(SimdReplayEquivalence, SymgsSweepsBothDirections)
+{
+    const Case c = GetParam();
+    Rng rng(c.seed + 500);
+    CsrMatrix a = gen::banded(101, 6, 0.7, rng);
+    LocallyDenseMatrix ld =
+        LocallyDenseMatrix::encode(a, c.omega, LdLayout::SymGs);
+    ConfigTable fwd = ConfigTable::convert(KernelType::SymGS, ld, true,
+                                           GsSweep::Forward);
+    ConfigTable bwd = ConfigTable::convert(KernelType::SymGS, ld, true,
+                                           GsSweep::Backward);
+
+    EngineTriple e(c.omega, c.threads);
+
+    DenseVector b(a.rows(), 1.0);
+    DenseVector xi(a.rows(), 0.0), xc(a.rows(), 0.0), xv(a.rows(), 0.0);
+    for (int run = 0; run < 4; ++run) {
+        const ConfigTable &t = run % 2 ? bwd : fwd;
+        e.program(&ld, &t);
+        RunTiming ti, tc, tv;
+        e.interp.runSymgsSweep(b, xi, &ti);
+        e.scalar.runSymgsSweep(b, xc, &tc);
+        e.simd.runSymgsSweep(b, xv, &tv);
+        ASSERT_EQ(xi, xc) << "sweep " << run;
+        ASSERT_EQ(xi, xv) << "sweep " << run;
+        expectTimingEq(ti, tc, "scalar symgs timing");
+        expectTimingEq(ti, tv, "simd symgs timing");
+    }
+    EXPECT_EQ(statDump(e.interp), statDump(e.scalar));
+    EXPECT_EQ(statDump(e.interp), statDump(e.simd));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OmegaThreads, SimdReplayEquivalence,
+    ::testing::Values(Case{4, 1, 31}, Case{4, 2, 32}, Case{4, 8, 33},
+                      Case{8, 1, 34}, Case{8, 2, 35}, Case{8, 8, 36}),
+    [](const ::testing::TestParamInfo<Case> &info) {
+        return "w" + std::to_string(info.param.omega) + "_t" +
+               std::to_string(info.param.threads);
+    });
+
+TEST(SimdReplay, EmptyMatrix)
+{
+    // Zero stored blocks: pathCount == 0, nothing staged, y all zero.
+    CsrMatrix a = CsrMatrix::fromCoo(CooMatrix(16, 16));
+    LocallyDenseMatrix ld =
+        LocallyDenseMatrix::encode(a, 8, LdLayout::Plain);
+    ConfigTable table = ConfigTable::convert(KernelType::SpMV, ld);
+
+    EngineTriple e(8, 2);
+    e.program(&ld, &table);
+    DenseVector x(16, 3.0);
+    DenseVector yi = e.interp.runSpmv(x);
+    DenseVector yv = e.simd.runSpmv(x);
+    EXPECT_EQ(yi, yv);
+    EXPECT_EQ(yv, DenseVector(16, 0.0));
+
+    std::vector<DenseVector> xs(2, x);
+    EXPECT_EQ(e.interp.runSpmm(xs), e.simd.runSpmm(xs));
+    EXPECT_EQ(statDump(e.interp), statDump(e.simd));
+}
+
+TEST(SimdReplay, SingleBlockRowSmallerThanOmega)
+{
+    // 5 x 5 at omega = 8: one block row, every lane loop is all tail.
+    CsrMatrix a = gen::tridiagonal(5);
+    LocallyDenseMatrix ld =
+        LocallyDenseMatrix::encode(a, 8, LdLayout::SymGs);
+    ConfigTable spmv = ConfigTable::convert(KernelType::SpMV, ld);
+    ConfigTable fwd = ConfigTable::convert(KernelType::SymGS, ld, true,
+                                           GsSweep::Forward);
+
+    EngineTriple e(8, 1);
+    e.program(&ld, &spmv);
+    DenseVector x{1.0, -2.0, 3.0, -4.0, 5.0};
+    DenseVector y = e.interp.runSpmv(x);
+    EXPECT_EQ(y, e.simd.runSpmv(x));
+    EXPECT_EQ(y, e.scalar.runSpmv(x));
+
+    e.program(&ld, &fwd);
+    DenseVector b(5, 1.0);
+    DenseVector xi(5, 0.0), xv(5, 0.0);
+    e.interp.runSymgsSweep(b, xi);
+    e.simd.runSymgsSweep(b, xv);
+    EXPECT_EQ(xi, xv);
+    EXPECT_EQ(statDump(e.interp), statDump(e.simd));
+}
+
+TEST(SimdReplay, GatherPlanInvariants)
+{
+    Rng rng(77);
+    CsrMatrix a = gen::randomSparse(97, 61, 5, rng);
+    for (Index omega : {Index(4), Index(8)}) {
+        LocallyDenseMatrix ld =
+            LocallyDenseMatrix::encode(a, omega, LdLayout::Plain);
+        ConfigTable table = ConfigTable::convert(KernelType::SpMV, ld);
+        ExecSchedule s =
+            compileSchedule(ld, table, makeParams(omega, true, 1));
+
+        // Value records are loadable at full vector width.
+        EXPECT_EQ(reinterpret_cast<uintptr_t>(s.values.data()) % 64, 0u);
+        // The staging length covers the operand in whole chunks.
+        EXPECT_EQ(s.paddedOperand % omega, 0u);
+        EXPECT_GE(s.paddedOperand, size_t(a.cols()));
+        EXPECT_LT(s.paddedOperand, size_t(a.cols()) + omega);
+        // GEMV chunk offsets point at the path's block column.
+        for (size_t i = 0; i < s.pathCount; ++i) {
+            if (s.dp[i] == DataPathType::Gemv) {
+                EXPECT_EQ(s.xOff[i], s.blockCol[i] * omega) << i;
+            }
+            EXPECT_LE(size_t(s.xOff[i]) + omega, s.paddedOperand) << i;
+        }
+    }
+}
+
+TEST(SimdReplay, IsaNameMatchesAvailability)
+{
+    if (replay::simdAvailable()) {
+        EXPECT_STREQ(replay::isaName(), "avx2");
+    } else {
+        EXPECT_STREQ(replay::isaName(), "scalar");
+    }
 }
 
 TEST(ScheduleCompile, RecordsMatchMatrixShape)

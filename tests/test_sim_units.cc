@@ -32,6 +32,25 @@ TEST(MemoryUnit, StreamCyclesCeilAgainstBandwidth)
     EXPECT_EQ(mem.streamCycles(1152), 10u);
 }
 
+TEST(MemoryUnit, StreamCyclesExactForIntegralBytesPerCycle)
+{
+    // 2 GB/s at 1 GHz = exactly 2 B/cycle: the cycle count must use
+    // exact integer ceil-division.  The old double-based rounding loses
+    // the low bits of byte counts above 2^53 -- (2^54 + 2) / 2 computed
+    // through doubles rounds the numerator to 2^54 and returns 2^53
+    // instead of 2^53 + 1.
+    AccelParams p;
+    p.clockGhz = 1.0;
+    p.memBandwidthGBs = 2.0;
+    MemoryModel mem(p);
+    EXPECT_EQ(mem.streamCycles(0), 0u);
+    EXPECT_EQ(mem.streamCycles(1), 1u);
+    EXPECT_EQ(mem.streamCycles(2), 1u);
+    EXPECT_EQ(mem.streamCycles(3), 2u);
+    EXPECT_EQ(mem.streamCycles((uint64_t(1) << 54) + 2),
+              (uint64_t(1) << 53) + 1);
+}
+
 TEST(MemoryUnit, TrafficAccounting)
 {
     MemoryModel mem(defaults());

@@ -51,10 +51,12 @@ struct Options
     Index source = 0;
     bool rcm = false;
     bool noSchedule = false;
+    bool noSimd = false;
     bool dumpStats = false;
     bool json = false;
     int maxIterations = 500;
     int threads = 0;
+    int engineThreads = 0;
 };
 
 void
@@ -66,8 +68,9 @@ usage()
         "               [--kernel spmv|symgs|pcg|bicgstab|gmres|\n"
         "                         bfs|sssp|pr|cc|eigen]\n"
         "               [--omega N] [--source V] [--rcm] [--stats] [--json]\n"
-        "               [--iters N] [--threads N] [--save F.alr]\n"
-        "               [--trace F.log] [--no-schedule]\n"
+        "               [--iters N] [--threads N] [--engine-threads N]\n"
+        "               [--save F.alr] [--trace F.log] [--no-schedule]\n"
+        "               [--no-simd]\n"
         "  SPEC: stencil2d:N | stencil3d:N | banded:N | rmat:SCALE |\n"
         "        roadgrid:N | powerlaw:N\n");
     std::exit(2);
@@ -133,6 +136,12 @@ parse(int argc, char **argv)
             opt.threads = std::atoi(next().c_str());
             if (opt.threads <= 0)
                 usage();
+        } else if (arg == "--engine-threads") {
+            opt.engineThreads = std::atoi(next().c_str());
+            if (opt.engineThreads <= 0)
+                usage();
+        } else if (arg == "--no-simd") {
+            opt.noSimd = true;
         } else if (arg == "--rcm") {
             opt.rcm = true;
         } else if (arg == "--no-schedule") {
@@ -226,6 +235,11 @@ main(int argc, char **argv)
     // (the two modes are bit-identical; this exposes the slow path for
     // debugging and for timing the schedule compiler's benefit).
     params.useSchedule = !opt.noSchedule;
+    // Functional-replay knobs: both are bit-identical to the defaults,
+    // exposed for timing the host-side replay cost in isolation.
+    if (opt.engineThreads > 0)
+        params.engineThreads = opt.engineThreads;
+    params.simdReplay = !opt.noSimd;
     Accelerator acc(params);
 
     CsrMatrix a;

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Diff fresh BENCH_*.json bench outputs against committed baselines.
+
+The modeled quantities (cycles, bytes_streamed) are deterministic
+functions of the simulated configuration -- any drift is a real change
+in simulator behavior and fails the comparison hard.  Host wall time is
+machine-dependent, so it is only sanity-checked against a loose ratio
+(catching zeros, garbage, and order-of-magnitude regressions, not CI
+machine jitter).
+
+usage: bench_compare.py [--wall-tolerance R] BASELINE_DIR FRESH_DIR FILE...
+
+Exit status 0 when every file matches, 1 on any mismatch.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    rows = {}
+    for row in doc.get("datasets", []):
+        key = (row.get("name"), row.get("suite"))
+        if key in rows:
+            raise SystemExit(f"{path}: duplicate dataset row {key}")
+        rows[key] = row
+    if not rows:
+        raise SystemExit(f"{path}: no dataset rows")
+    return rows
+
+
+def compare_file(name, base_dir, fresh_dir, wall_tol):
+    base_path = os.path.join(base_dir, name)
+    fresh_path = os.path.join(fresh_dir, name)
+    base = load_rows(base_path)
+    fresh = load_rows(fresh_path)
+
+    errors = []
+    for key in sorted(set(base) - set(fresh)):
+        errors.append(f"missing row {key} (present in baseline)")
+    for key in sorted(set(fresh) - set(base)):
+        errors.append(f"new row {key} (absent from baseline)")
+
+    for key in sorted(set(base) & set(fresh)):
+        b, f = base[key], fresh[key]
+        # Modeled, deterministic quantities: exact.
+        for field in ("cycles", "bytes_streamed"):
+            if b.get(field) != f.get(field):
+                errors.append(
+                    f"{key}: {field} drifted: baseline "
+                    f"{b.get(field)} vs fresh {f.get(field)}"
+                )
+        # Host wall time: loose ratio only.
+        bw, fw = b.get("wall_ms", 0), f.get("wall_ms", 0)
+        if bw <= 0 or fw <= 0:
+            errors.append(f"{key}: non-positive wall_ms ({bw} vs {fw})")
+        elif fw > bw * wall_tol or fw < bw / wall_tol:
+            errors.append(
+                f"{key}: wall_ms {fw:.3f} outside {wall_tol}x of "
+                f"baseline {bw:.3f}"
+            )
+
+    if errors:
+        print(f"{name}: FAIL")
+        for e in errors:
+            print(f"  {e}")
+        return False
+    print(f"{name}: ok ({len(base)} rows)")
+    return True
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--wall-tolerance",
+        type=float,
+        default=25.0,
+        metavar="R",
+        help="allowed wall_ms ratio vs baseline (default %(default)s)",
+    )
+    ap.add_argument("baseline_dir")
+    ap.add_argument("fresh_dir")
+    ap.add_argument("files", nargs="+", metavar="FILE")
+    args = ap.parse_args()
+    if args.wall_tolerance < 1.0:
+        ap.error("--wall-tolerance must be >= 1.0")
+
+    ok = True
+    for name in args.files:
+        ok &= compare_file(
+            name, args.baseline_dir, args.fresh_dir, args.wall_tolerance
+        )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
