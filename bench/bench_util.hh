@@ -244,6 +244,29 @@ writeJsonFile(const std::string &path, const JsonObject &root)
     return bool(out);
 }
 
+/**
+ * Modeled-counter sub-object for BENCH_*.json rows: deterministic
+ * functions of the simulated configuration, so the regression guard
+ * (tools/bench_compare.py) diffs them exactly, like cycles and
+ * bytes_streamed.
+ */
+inline JsonObject
+modeledStats(const Accelerator &acc)
+{
+    const Engine &e = acc.engine();
+    JsonObject s;
+    s.add("alu_ops", e.fcu().aluOps())
+        .add("reduce_ops", e.fcu().reduceOps())
+        .add("cache_hits", e.rcu().cache().hits())
+        .add("cache_misses", e.rcu().cache().misses())
+        .add("reconfigurations", e.rcu().reconfigurations())
+        .add("reconfig_stall_cycles", e.rcu().reconfigStallCycles())
+        .add("reconfig_hidden_frac", e.rcu().reconfigHiddenFraction())
+        .add("seq_flops", e.seqFlops())
+        .add("par_flops", e.parFlops());
+    return s;
+}
+
 /** Alrescha seconds for one PCG iteration (symmetric sweep + SpMV). */
 inline double
 alreschaPcgIterationSeconds(const CsrMatrix &a, Accelerator &acc)

@@ -59,7 +59,8 @@ main()
             .add("cycles", acc.engine().totalCycles())
             .add("bytes_streamed", acc.engine().memory().bytesStreamed())
             .add("gpu_seq_pct", 100.0 * gpuFrac)
-            .add("alrescha_seq_pct", 100.0 * alrFrac);
+            .add("alrescha_seq_pct", 100.0 * alrFrac)
+            .raw("stats", modeledStats(acc).dump(6));
         json_rows.add(row, 2);
     }
     double n = double(suite.size());

@@ -26,6 +26,7 @@ struct Measurement
     double wall_ms = 0.0;
     uint64_t cycles = 0;
     double bytes = 0.0;
+    std::string statsJson;
 };
 
 void
@@ -54,7 +55,8 @@ runSuite(const std::vector<Dataset> &suite, const char *label,
                    100.0 * os.cacheTimeFraction(d.matrix),
                    wallMsSince(start),
                    acc.engine().totalCycles(),
-                   acc.engine().memory().bytesStreamed()};
+                   acc.engine().memory().bytesStreamed(),
+                   modeledStats(acc).dump(6)};
     });
 
     std::vector<double> os_speedups;
@@ -73,7 +75,8 @@ runSuite(const std::vector<Dataset> &suite, const char *label,
             .add("bytes_streamed", m.bytes)
             .add("alrescha_speedup", m.alr_speedup)
             .add("outerspace_speedup", m.os_speedup)
-            .add("alrescha_cache_time_pct", m.alr_cache_pct);
+            .add("alrescha_cache_time_pct", m.alr_cache_pct)
+            .raw("stats", m.statsJson);
         json_rows.add(row, 2);
     }
     table.addRow({"geo-mean", fmt(geoMean(alr_speedups), 1),

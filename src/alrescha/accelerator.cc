@@ -1,5 +1,6 @@
 #include "alrescha/accelerator.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.hh"
@@ -360,6 +361,45 @@ Accelerator::report() const
     r.reconfigurations = _engine.rcu().reconfigurations();
     r.bytesFromMemory = _engine.memory().totalBytes();
     return r;
+}
+
+UtilizationReport
+Accelerator::utilization() const
+{
+    auto frac = [](double num, double den) {
+        return den > 0.0 ? num / den : 0.0;
+    };
+
+    UtilizationReport u;
+    u.cycles = _engine.totalCycles();
+    u.seconds = _engine.seconds();
+
+    const Fcu &fcu = _engine.fcu();
+    double omega = double(_params.omega);
+    u.aluOccupancy = frac(fcu.aluOps(), double(u.cycles) * omega);
+    // A binary tree over omega lanes has omega - 1 reduce engines.
+    u.treeOccupancy =
+        frac(fcu.reduceOps(), double(u.cycles) * (omega - 1.0));
+    u.bandwidthUtilization = _engine.bandwidthUtilization();
+    const CacheModel &cache = _engine.rcu().cache();
+    u.cacheHitRate = frac(cache.hits(), cache.hits() + cache.misses());
+    u.cacheTimeFraction = _engine.cacheTimeFraction();
+
+    u.sequentialOpFraction = _engine.sequentialOpFraction();
+    u.sequentialCycleFraction =
+        frac(double(_engine.seqCycles()),
+             double(_engine.seqCycles() + _engine.parCycles()));
+    u.reconfigHiddenFraction = _engine.rcu().reconfigHiddenFraction();
+
+    u.flops = _engine.seqFlops() + _engine.parFlops();
+    u.dramBytes = _engine.memory().totalBytes();
+    u.arithmeticIntensity = frac(u.flops, u.dramBytes);
+    u.achievedGflops = frac(u.flops, u.seconds) * 1e-9;
+    u.peakGflops = (2.0 * omega - 1.0) * _params.clockGhz;
+    u.attainableGflops =
+        std::min(u.peakGflops,
+                 _params.memBandwidthGBs * u.arithmeticIntensity);
+    return u;
 }
 
 } // namespace alr

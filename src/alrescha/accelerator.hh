@@ -46,6 +46,47 @@ struct AccelReport
     double bytesFromMemory = 0.0;
 };
 
+/**
+ * Utilization summary derived from the engine's telemetry: how busy
+ * each hardware resource was, where the run sat on the roofline, and
+ * the paper's headline fractions (Fig 16 sequential split, the §4.4
+ * reconfiguration-overlap claim) as single numbers.
+ */
+struct UtilizationReport
+{
+    uint64_t cycles = 0;
+    double seconds = 0.0;
+
+    /** Multiply-ALU occupancy: alu_ops / (cycles * omega). */
+    double aluOccupancy = 0.0;
+    /** Reduce-engine occupancy: reduce_ops / (cycles * (omega - 1)). */
+    double treeOccupancy = 0.0;
+    /** Useful traffic over the bandwidth-time product (Fig 15). */
+    double bandwidthUtilization = 0.0;
+    /** Local-cache hit rate: hits / (hits + misses). */
+    double cacheHitRate = 0.0;
+    /** Fraction of run time the cache port was busy (Fig 18). */
+    double cacheTimeFraction = 0.0;
+
+    /** Fig 16 split: sequential (D-SymGS) share of useful FLOPs... */
+    double sequentialOpFraction = 0.0;
+    /** ...and of modeled cycles (seq / (seq + par)). */
+    double sequentialCycleFraction = 0.0;
+    /** §4.4 overlap claim: switch config cycles hidden under drain. */
+    double reconfigHiddenFraction = 0.0;
+
+    /** Roofline position. */
+    double flops = 0.0;
+    double dramBytes = 0.0;
+    /** flops / dramBytes. */
+    double arithmeticIntensity = 0.0;
+    double achievedGflops = 0.0;
+    /** omega multiplies + (omega - 1) reduce adds per cycle. */
+    double peakGflops = 0.0;
+    /** Roofline ceiling at this intensity: min(peak, BW * AI). */
+    double attainableGflops = 0.0;
+};
+
 /** Result of an accelerated graph kernel. */
 struct GraphResult
 {
@@ -139,6 +180,8 @@ class Accelerator
 
     /** Telemetry accumulated since the last resetStats(). */
     AccelReport report() const;
+    /** Resource-occupancy / roofline view of the same telemetry. */
+    UtilizationReport utilization() const;
     void resetStats() { _engine.reset(); }
 
   private:

@@ -254,6 +254,7 @@ MultiAccelerator::report() const
         AccelReport er = p.accel->report();
         r.computeCycles = std::max(r.computeCycles, er.cycles);
         r.energyJoules += er.energyJoules;
+        r.runCycles.merge(p.accel->engine().runCycleDist());
     }
     r.commCycles = _commCycles;
     r.cycles = r.computeCycles + r.commCycles;

@@ -47,6 +47,14 @@ struct MultiReport
     /** Cycles spent broadcasting shared vectors + barriers. */
     uint64_t commCycles = 0;
     double energyJoules = 0.0;
+    /**
+     * Per-run cycle distribution folded across every engine with
+     * Distribution::merge() -- one readout covering the whole array
+     * instead of P per-engine dumps.  Its spread is the load-balance
+     * picture: a wide min..max means the row partitioning left some
+     * engines idle while the slowest one finished.
+     */
+    stats::Distribution runCycles;
 };
 
 class MultiAccelerator

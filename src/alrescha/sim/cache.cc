@@ -71,15 +71,25 @@ CacheModel::reset()
     _busyCycles.reset();
 }
 
+size_t
+CacheModel::occupancy() const
+{
+    size_t valid = 0;
+    for (const Line &line : _lines)
+        valid += line.valid ? 1 : 0;
+    return valid;
+}
+
 void
 CacheModel::registerStats(stats::StatGroup &group)
 {
-    group.registerScalar("cache.reads", &_reads, "chunk reads");
-    group.registerScalar("cache.writes", &_writes, "chunk writes");
-    group.registerScalar("cache.hits", &_hits, "line hits");
-    group.registerScalar("cache.misses", &_misses, "line misses");
-    group.registerScalar("cache.busy_cycles", &_busyCycles,
-                         "cycles the cache port was occupied");
+    _stats.registerScalar("reads", &_reads, "chunk reads");
+    _stats.registerScalar("writes", &_writes, "chunk writes");
+    _stats.registerScalar("hits", &_hits, "line hits");
+    _stats.registerScalar("misses", &_misses, "line misses");
+    _stats.registerScalar("busy_cycles", &_busyCycles,
+                          "cycles the cache port was occupied");
+    group.addChild(&_stats);
 }
 
 } // namespace alr

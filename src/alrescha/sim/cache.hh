@@ -55,7 +55,11 @@ class CacheModel
     /** Cycles the cache port was occupied (Fig 18's cache-time metric). */
     double busyCycles() const { return _busyCycles.value(); }
 
+    /** Valid lines currently resident (timeline occupancy counter). */
+    size_t occupancy() const;
+
     void reset();
+    /** Attach this model's "cache" stat sub-group to @p group. */
     void registerStats(stats::StatGroup &group);
 
   private:
@@ -72,6 +76,7 @@ class CacheModel
     MemoryModel *_memory;
     std::vector<Line> _lines;
 
+    stats::StatGroup _stats{"cache"};
     stats::Scalar _reads;
     stats::Scalar _writes;
     stats::Scalar _hits;

@@ -8,6 +8,7 @@
 #include "alrescha/sim/replay.hh"
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
+#include "common/timeline.hh"
 #include "common/trace.hh"
 
 namespace alr {
@@ -31,6 +32,8 @@ Engine::Engine(const AccelParams &params)
     _stats.registerScalar("useful_bytes", &_usefulBytes,
                           "streamed bytes carrying non-zero payload");
     _stats.registerScalar("runs", &_runs, "engine run invocations");
+    _stats.registerDistribution("run_cycles", &_runCycles,
+                                "cycles per engine run");
     _memory.registerStats(_stats);
     _fcu.registerStats(_stats);
     _rcu.registerStats(_stats);
@@ -161,8 +164,33 @@ Engine::addTiming(RunTiming *timing, const RunTiming &delta)
     _seqCycles += double(delta.seqCycles);
     _parCycles += double(delta.parCycles);
     ++_runs;
+    _runCycles.sample(double(delta.cycles));
+    if (_snapshotter)
+        _snapshotter->maybeSample(totalCycles());
     if (timing)
         *timing = delta;
+}
+
+void
+Engine::emitTimelineTail(uint64_t base, const RunTiming &t,
+                         const char *run_name)
+{
+    if (!timeline::enabled())
+        return;
+    if (run_name)
+        timeline::span(run_name, "datapath", timeline::kTidDataPath, base,
+                       t.cycles);
+    if (t.parCycles > 0)
+        timeline::span("stream", "memory", timeline::kTidMemory, base,
+                       t.parCycles);
+    uint64_t drain = uint64_t(_params.drainCycles());
+    if (t.cycles >= drain && drain > 0)
+        timeline::span("drain", "fcu", timeline::kTidFcu,
+                       base + t.cycles - drain, drain);
+    timeline::counter("cache_lines", base + t.cycles,
+                      double(_rcu.cache().occupancy()));
+    timeline::counter("link_depth", base + t.cycles,
+                      double(_rcu.linkStack().depth()));
 }
 
 DenseVector
@@ -176,6 +204,12 @@ Engine::runSpmv(const DenseVector &x, RunTiming *timing)
     if (_params.useSchedule)
         return runSpmvScheduled(*scheduleFor(), x, timing);
 
+    timeline::ScopedHostSpan hostSpan("spmv", "run");
+    const bool tlOn = timeline::enabled();
+    const uint64_t tlBase = totalCycles();
+    int64_t segStart = -1;
+    DataPathType segDp{};
+
     const Index omega = _params.omega;
     DenseVector y(_ld->rows(), 0.0);
     RunTiming t;
@@ -187,14 +221,31 @@ Engine::runSpmv(const DenseVector &x, RunTiming *timing)
     std::vector<Value> rowVals(omega), xChunk(omega);
     for (const ConfigEntry &e : _table->entries()) {
         const LdBlockInfo &blk = _ld->blocks()[e.blockId];
+        if (tlOn && segStart >= 0 && e.dp != segDp) {
+            timeline::span(toString(segDp), "datapath",
+                           timeline::kTidDataPath, tlBase + segStart,
+                           t.cycles - uint64_t(segStart));
+            segStart = -1;
+        }
         uint64_t cfg = _rcu.reconfigure(e.dp);
         if (cfg) {
+            if (tlOn)
+                timeline::span("reconfig", "rcu", timeline::kTidRcu,
+                               tlBase + t.cycles, cfg);
             t.cycles += cfg;
             filled = false;
         }
         if (!filled) {
-            t.cycles += uint64_t(_fcu.fillLatency(ReduceOp::Sum));
+            uint64_t fill = uint64_t(_fcu.fillLatency(ReduceOp::Sum));
+            if (tlOn)
+                timeline::span("fill", "fcu", timeline::kTidFcu,
+                               tlBase + t.cycles, fill);
+            t.cycles += fill;
             filled = true;
+        }
+        if (tlOn && segStart < 0) {
+            segStart = int64_t(t.cycles);
+            segDp = e.dp;
         }
         if (int64_t(blk.blockRow) != curRow) {
             if (curRow >= 0)
@@ -243,6 +294,9 @@ Engine::runSpmv(const DenseVector &x, RunTiming *timing)
     }
     if (curRow >= 0)
         t.cycles += _rcu.cache().write(CacheVec::Out, Index(curRow));
+    if (tlOn && segStart >= 0)
+        timeline::span(toString(segDp), "datapath", timeline::kTidDataPath,
+                       tlBase + segStart, t.cycles - uint64_t(segStart));
     t.cycles += uint64_t(_params.drainCycles());
     _fcu.noteOps(fcuOps);
     if (parFlops != 0.0)
@@ -252,6 +306,7 @@ Engine::runSpmv(const DenseVector &x, RunTiming *timing)
     ALR_TRACE("spmv: %zu paths, %llu cycles",
               _table->entries().size(),
               (unsigned long long)t.cycles);
+    emitTimelineTail(tlBase, t, nullptr);
     addTiming(timing, t);
     return y;
 }
@@ -262,6 +317,10 @@ Engine::runSpmvScheduled(const ExecSchedule &sched, const DenseVector &x,
 {
     const ExecSchedule &S = sched;
     DenseVector y(_ld->rows(), 0.0);
+
+    timeline::ScopedHostSpan hostSpan("spmv.sched", "run");
+    const bool tlOn = timeline::enabled();
+    const uint64_t tlBase = totalCycles();
 
     // Functional pass: block-row groups touch disjoint output rows, so
     // they may run in parallel; within a group the path order (and thus
@@ -274,6 +333,7 @@ Engine::runSpmvScheduled(const ExecSchedule &sched, const DenseVector &x,
     ThreadPool *pool = enginePool();
     if (pool && S.parallelSafe && groups > 1) {
         pool->parallelForChunks(0, groups, [&](size_t gb, size_t ge) {
+            timeline::ScopedHostSpan chunkSpan("spmv.groups", "worker");
             replay::spmvPaths(S, xpad, y.data(), S.groupBegin[gb],
                               S.groupBegin[ge], simd);
         });
@@ -284,11 +344,33 @@ Engine::runSpmvScheduled(const ExecSchedule &sched, const DenseVector &x,
     // Timing walk: sequential, replaying the interpreter's exact cache
     // access sequence (the cache is stateful across runs).
     RunTiming t;
+    int64_t segStart = -1;
+    DataPathType segDp{};
     if (S.pathCount > 0) {
-        t.cycles += _rcu.reconfigure(S.dp[0]);
+        uint64_t cfg0 = _rcu.reconfigure(S.dp[0]);
+        if (tlOn && cfg0)
+            timeline::span("reconfig", "rcu", timeline::kTidRcu, tlBase,
+                           cfg0);
+        t.cycles += cfg0;
         for (size_t i = 0; i < S.pathCount; ++i) {
+            if (tlOn && segStart >= 0 && S.dp[i] != segDp) {
+                timeline::span(toString(segDp), "datapath",
+                               timeline::kTidDataPath, tlBase + segStart,
+                               t.cycles - uint64_t(segStart));
+                segStart = -1;
+            }
+            if (tlOn && S.cfgCycles[i])
+                timeline::span("reconfig", "rcu", timeline::kTidRcu,
+                               tlBase + t.cycles, S.cfgCycles[i]);
             t.cycles += S.cfgCycles[i];
+            if (tlOn && S.fillCycles[i])
+                timeline::span("fill", "fcu", timeline::kTidFcu,
+                               tlBase + t.cycles, S.fillCycles[i]);
             t.cycles += S.fillCycles[i];
+            if (tlOn && segStart < 0) {
+                segStart = int64_t(t.cycles);
+                segDp = S.dp[i];
+            }
             if (S.writeOutRow[i] >= 0)
                 t.cycles += _rcu.cache().write(CacheVec::Out,
                                                Index(S.writeOutRow[i]));
@@ -309,9 +391,13 @@ Engine::runSpmvScheduled(const ExecSchedule &sched, const DenseVector &x,
         if (S.usefulBytes != 0.0)
             _usefulBytes += S.usefulBytes;
     }
+    if (tlOn && segStart >= 0)
+        timeline::span(toString(segDp), "datapath", timeline::kTidDataPath,
+                       tlBase + segStart, t.cycles - uint64_t(segStart));
     t.cycles += uint64_t(_params.drainCycles());
     ALR_TRACE("spmv(sched): %zu paths, %llu cycles", S.pathCount,
               (unsigned long long)t.cycles);
+    emitTimelineTail(tlBase, t, nullptr);
     addTiming(timing, t);
     return y;
 }
@@ -328,6 +414,9 @@ Engine::runSpmm(const std::vector<DenseVector> &xs, RunTiming *timing)
 
     if (_params.useSchedule)
         return runSpmmScheduled(*scheduleFor(), xs, timing);
+
+    timeline::ScopedHostSpan hostSpan("spmm", "run");
+    const uint64_t tlBase = totalCycles();
 
     const Index omega = _params.omega;
     const size_t k = xs.size();
@@ -417,6 +506,7 @@ Engine::runSpmm(const std::vector<DenseVector> &xs, RunTiming *timing)
         _parFlops += parFlops;
     if (usefulBytes != 0.0)
         _usefulBytes += usefulBytes;
+    emitTimelineTail(tlBase, t, "spmm");
     addTiming(timing, t);
     return ys;
 }
@@ -429,6 +519,9 @@ Engine::runSpmmScheduled(const ExecSchedule &sched,
     const size_t k = xs.size();
     const ExecSchedule &S = sched;
     std::vector<DenseVector> ys(k, DenseVector(_ld->rows(), 0.0));
+
+    timeline::ScopedHostSpan hostSpan("spmm.sched", "run");
+    const uint64_t tlBase = totalCycles();
 
     // Functional pass (see runSpmvScheduled): the block streams once,
     // its rows issue once per right-hand side.  All k operands stage
@@ -450,6 +543,7 @@ Engine::runSpmmScheduled(const ExecSchedule &sched,
     ThreadPool *pool = enginePool();
     if (pool && S.parallelSafe && groups > 1) {
         pool->parallelForChunks(0, groups, [&](size_t gb, size_t ge) {
+            timeline::ScopedHostSpan chunkSpan("spmm.groups", "worker");
             replay::spmmPaths(S, xp.data(), yp.data(), k,
                               S.groupBegin[gb], S.groupBegin[ge], simd);
         });
@@ -496,6 +590,7 @@ Engine::runSpmmScheduled(const ExecSchedule &sched,
             _usefulBytes += S.usefulBytes;
     }
     t.cycles += uint64_t(_params.drainCycles());
+    emitTimelineTail(tlBase, t, "spmm");
     addTiming(timing, t);
     return ys;
 }
@@ -517,6 +612,12 @@ Engine::runSymgsSweep(const DenseVector &b, DenseVector &x,
         runSymgsScheduled(*scheduleFor(), b, x, timing);
         return;
     }
+
+    timeline::ScopedHostSpan hostSpan("symgs", "run");
+    const bool tlOn = timeline::enabled();
+    const uint64_t tlBase = totalCycles();
+    int64_t segStart = -1;
+    DataPathType segDp{};
 
     const Index omega = _params.omega;
     const DenseVector &diag = _ld->diagonal();
@@ -547,16 +648,33 @@ Engine::runSymgsSweep(const DenseVector &b, DenseVector &x,
 
     for (const ConfigEntry &e : _table->entries()) {
         const LdBlockInfo &blk = _ld->blocks()[e.blockId];
+        if (tlOn && segStart >= 0 && e.dp != segDp) {
+            timeline::span(toString(segDp), "datapath",
+                           timeline::kTidDataPath, tlBase + segStart,
+                           stream_t - uint64_t(segStart));
+            segStart = -1;
+        }
         uint64_t cfg = _rcu.reconfigure(e.dp);
         if (cfg) {
+            if (tlOn)
+                timeline::span("reconfig", "rcu", timeline::kTidRcu,
+                               tlBase + stream_t, cfg);
             stream_t += cfg;
             filled = false;
         }
 
         if (e.dp == DataPathType::Gemv) {
             if (!filled) {
-                stream_t += uint64_t(_fcu.fillLatency(ReduceOp::Sum));
+                uint64_t fill = uint64_t(_fcu.fillLatency(ReduceOp::Sum));
+                if (tlOn)
+                    timeline::span("fill", "fcu", timeline::kTidFcu,
+                                   tlBase + stream_t, fill);
+                stream_t += fill;
                 filled = true;
+            }
+            if (tlOn && segStart < 0) {
+                segStart = int64_t(stream_t);
+                segDp = e.dp;
             }
             CacheVec vec = e.op == OperandPort::Port1 ? CacheVec::Xt
                                                       : CacheVec::Xprev;
@@ -600,9 +718,16 @@ Engine::runSymgsSweep(const DenseVector &b, DenseVector &x,
                 stream_t += streamBlockCycles(blk);
             }
             _rcu.linkStack().push(partials);
+            if (tlOn)
+                timeline::counter("link_depth", tlBase + stream_t,
+                                  double(_rcu.linkStack().depth()));
         } else {
             ALR_ASSERT(e.dp == DataPathType::DSymgs,
                        "unexpected data path in SymGS table");
+            if (tlOn && segStart < 0) {
+                segStart = int64_t(stream_t);
+                segDp = e.dp;
+            }
             // The diagonal block runs serialized: each row's result
             // rotates into the next row's operands (Fig 10).
             Index br = blk.blockRow;
@@ -655,8 +780,16 @@ Engine::runSymgsSweep(const DenseVector &b, DenseVector &x,
             dep_t = start + chain + _rcu.cache().write(CacheVec::Xt, br);
             t.seqCycles += chain;
             filled = false; // tree was used in single-shot mode
+            if (tlOn) {
+                timeline::span("d-symgs chain", "datapath",
+                               timeline::kTidChain, tlBase + start, chain);
+                timeline::counter("link_depth", tlBase + start, 0.0);
+            }
         }
     }
+    if (tlOn && segStart >= 0)
+        timeline::span(toString(segDp), "datapath", timeline::kTidDataPath,
+                       tlBase + segStart, stream_t - uint64_t(segStart));
     t.parCycles = stream_t;
     t.cycles = std::max(stream_t, dep_t) + uint64_t(_params.drainCycles());
     _fcu.noteOps(fcuOps);
@@ -670,6 +803,7 @@ Engine::runSymgsSweep(const DenseVector &b, DenseVector &x,
     ALR_TRACE("symgs(%s): stream %llu cycles, chain %llu cycles",
               backward ? "bwd" : "fwd", (unsigned long long)stream_t,
               (unsigned long long)dep_t);
+    emitTimelineTail(tlBase, t, nullptr);
     addTiming(timing, t);
 }
 
@@ -682,6 +816,12 @@ Engine::runSymgsScheduled(const ExecSchedule &sched, const DenseVector &b,
     const DenseVector &diag = _ld->diagonal();
     const ExecSchedule &S = sched;
     RunTiming t;
+
+    timeline::ScopedHostSpan hostSpan("symgs.sched", "run");
+    const bool tlOn = timeline::enabled();
+    const uint64_t tlBase = totalCycles();
+    int64_t segStart = -1;
+    DataPathType segDp{};
 
     // Fused functional + timing pass: the sweep is inherently
     // sequential (each diagonal chain updates x for the GEMV gathers
@@ -699,18 +839,46 @@ Engine::runSymgsScheduled(const ExecSchedule &sched, const DenseVector &b,
     std::vector<Value> partials(omega);
     std::vector<Value> lanes(fcutree::ceilPow2(omega));
     if (S.pathCount > 0) {
-        stream_t += _rcu.reconfigure(S.dp[0]);
+        uint64_t cfg0 = _rcu.reconfigure(S.dp[0]);
+        if (tlOn && cfg0)
+            timeline::span("reconfig", "rcu", timeline::kTidRcu, tlBase,
+                           cfg0);
+        stream_t += cfg0;
         for (size_t i = 0; i < S.pathCount; ++i) {
+            if (tlOn && segStart >= 0 && S.dp[i] != segDp) {
+                timeline::span(toString(segDp), "datapath",
+                               timeline::kTidDataPath, tlBase + segStart,
+                               stream_t - uint64_t(segStart));
+                segStart = -1;
+            }
+            if (tlOn && S.cfgCycles[i])
+                timeline::span("reconfig", "rcu", timeline::kTidRcu,
+                               tlBase + stream_t, S.cfgCycles[i]);
             stream_t += S.cfgCycles[i];
             if (S.dp[i] == DataPathType::Gemv) {
+                if (tlOn && S.fillCycles[i])
+                    timeline::span("fill", "fcu", timeline::kTidFcu,
+                                   tlBase + stream_t, S.fillCycles[i]);
                 stream_t += S.fillCycles[i];
+                if (tlOn && segStart < 0) {
+                    segStart = int64_t(stream_t);
+                    segDp = S.dp[i];
+                }
                 stream_t += _rcu.cache().read(S.operandVec[i],
                                               S.blockCol[i], false);
                 std::fill(partials.begin(), partials.end(), 0.0);
                 replay::symgsGemvPath(S, i, xw, partials.data(), simd);
                 stream_t += S.streamCycles[i];
                 _rcu.linkStack().push(partials);
+                if (tlOn)
+                    timeline::counter(
+                        "link_depth", tlBase + stream_t,
+                        double(_rcu.linkStack().depth()));
             } else {
+                if (tlOn && segStart < 0) {
+                    segStart = int64_t(stream_t);
+                    segDp = S.dp[i];
+                }
                 Index br = S.blockRow[i];
                 Index r0 = br * omega;
                 stream_t += S.streamCycles[i];
@@ -742,7 +910,19 @@ Engine::runSymgsScheduled(const ExecSchedule &sched, const DenseVector &b,
                 dep_t = start + S.chainCycles[i] +
                         _rcu.cache().write(CacheVec::Xt, br);
                 t.seqCycles += S.chainCycles[i];
+                if (tlOn) {
+                    timeline::span("d-symgs chain", "datapath",
+                                   timeline::kTidChain, tlBase + start,
+                                   S.chainCycles[i]);
+                    timeline::counter("link_depth", tlBase + start, 0.0);
+                }
             }
+        }
+        if (tlOn && segStart >= 0) {
+            timeline::span(toString(segDp), "datapath",
+                           timeline::kTidDataPath, tlBase + segStart,
+                           stream_t - uint64_t(segStart));
+            segStart = -1;
         }
         std::copy(_xpad.begin(), _xpad.begin() + std::ptrdiff_t(rows),
                   x.begin());
@@ -762,6 +942,7 @@ Engine::runSymgsScheduled(const ExecSchedule &sched, const DenseVector &b,
     t.cycles = std::max(stream_t, dep_t) + uint64_t(_params.drainCycles());
     ALR_TRACE("symgs(sched): stream %llu cycles, chain %llu cycles",
               (unsigned long long)stream_t, (unsigned long long)dep_t);
+    emitTimelineTail(tlBase, t, nullptr);
     addTiming(timing, t);
 }
 
@@ -807,6 +988,9 @@ Engine::relaxImpl(const DenseVector &dist, bool zero_addend,
     const Index omega = _params.omega;
     const bool hops = _table->kernel() == KernelType::BFS;
     constexpr Value inf = std::numeric_limits<Value>::infinity();
+
+    timeline::ScopedHostSpan hostSpan("relax", "run");
+    const uint64_t tlBase = totalCycles();
 
     DenseVector cand(_ld->rows(), inf);
     RunTiming t;
@@ -899,6 +1083,8 @@ Engine::relaxImpl(const DenseVector &dist, bool zero_addend,
         _parFlops += parFlops;
     if (usefulBytes != 0.0)
         _usefulBytes += usefulBytes;
+    emitTimelineTail(tlBase, t,
+                     zero_addend ? "d-cc" : (hops ? "d-bfs" : "d-sssp"));
     addTiming(timing, t);
 
     DenseVector next(dist.size());
@@ -917,6 +1103,9 @@ Engine::runPrRound(const DenseVector &rank,
     ALR_ASSERT(rank.size() == _ld->rows() &&
                    outdeg.size() == _ld->rows(),
                "operand length mismatch");
+
+    timeline::ScopedHostSpan hostSpan("pagerank", "run");
+    const uint64_t tlBase = totalCycles();
 
     const Index omega = _params.omega;
     DenseVector sums(_ld->rows(), 0.0);
@@ -1000,6 +1189,7 @@ Engine::runPrRound(const DenseVector &rank,
         _parFlops += parFlops;
     if (usefulBytes != 0.0)
         _usefulBytes += usefulBytes;
+    emitTimelineTail(tlBase, t, "d-pr");
     addTiming(timing, t);
     return sums;
 }
@@ -1048,6 +1238,7 @@ Engine::reset()
     _parFlops.reset();
     _usefulBytes.reset();
     _runs.reset();
+    _runCycles.reset();
 }
 
 } // namespace alr

@@ -177,6 +177,23 @@ class Engine
     void reset();
 
     stats::StatGroup &statGroup() { return _stats; }
+    const stats::StatGroup &statGroup() const { return _stats; }
+
+    /** Per-run cycle distribution (merged across engines at the
+     *  multi-engine readout). */
+    const stats::Distribution &runCycleDist() const { return _runCycles; }
+
+    /**
+     * Attach a snapshotter sampled after every run at the engine's
+     * cumulative cycle count (pass nullptr to detach).  The caller
+     * owns the snapshotter and must keep it alive while attached.
+     * Sampling is run-granular: rows land on the first run boundary at
+     * or past each interval multiple.
+     */
+    void setSnapshotter(stats::StatSnapshotter *snap)
+    {
+        _snapshotter = snap;
+    }
 
   private:
     DenseVector relaxImpl(const DenseVector &dist, bool zero_addend,
@@ -187,6 +204,16 @@ class Engine
     uint64_t streamRowsCycles(Index rows_streamed) const;
 
     void addTiming(RunTiming *timing, const RunTiming &delta);
+
+    /**
+     * Timeline: emit the per-run tail events (optional run-level data
+     * path span, the memory stream-front span, the final tree drain,
+     * and the cache/link occupancy counters).  @p base is the engine's
+     * cumulative cycle count when the run started.  No-op when the
+     * recorder is disabled.
+     */
+    void emitTimelineTail(uint64_t base, const RunTiming &t,
+                          const char *run_name);
 
     /** Cached-schedule lookup for the programmed pair (nullptr when the
      *  kernel is not schedulable). */
@@ -244,6 +271,9 @@ class Engine
     stats::Scalar _parFlops;
     stats::Scalar _usefulBytes;
     stats::Scalar _runs;
+    stats::Distribution _runCycles;
+
+    stats::StatSnapshotter *_snapshotter = nullptr;
 
     stats::StatGroup _stats;
 };

@@ -96,11 +96,12 @@ Fcu::reset()
 void
 Fcu::registerStats(stats::StatGroup &group)
 {
-    group.registerScalar("fcu.alu_ops", &_aluOps, "phase-1 ALU operations");
-    group.registerScalar("fcu.reduce_ops", &_reduceOps,
-                         "reduce-engine operations");
-    group.registerScalar("fcu.mul_ops", &_mulOps, "multiplications");
-    group.registerScalar("fcu.add_ops", &_addOps, "additions");
+    _stats.registerScalar("alu_ops", &_aluOps, "phase-1 ALU operations");
+    _stats.registerScalar("reduce_ops", &_reduceOps,
+                          "reduce-engine operations");
+    _stats.registerScalar("mul_ops", &_mulOps, "multiplications");
+    _stats.registerScalar("add_ops", &_addOps, "additions");
+    group.addChild(&_stats);
 }
 
 } // namespace alr

@@ -73,10 +73,12 @@ class Fcu
     double addOps() const { return _addOps.value(); }
 
     void reset();
+    /** Attach this model's "fcu" stat sub-group to @p group. */
     void registerStats(stats::StatGroup &group);
 
   private:
     AccelParams _params;
+    stats::StatGroup _stats{"fcu"};
     stats::Scalar _aluOps;
     stats::Scalar _reduceOps;
     stats::Scalar _mulOps;

@@ -41,10 +41,11 @@ LinkStack::reset()
 void
 LinkStack::registerStats(stats::StatGroup &group)
 {
-    group.registerScalar("link.pushes", &_pushes, "GEMV partials pushed");
-    group.registerScalar("link.pops", &_pops, "partials popped by D-SymGS");
-    group.registerScalar("link.max_depth", &_maxDepth,
-                         "deepest stack occupancy");
+    _stats.registerScalar("pushes", &_pushes, "GEMV partials pushed");
+    _stats.registerScalar("pops", &_pops, "partials popped by D-SymGS");
+    _stats.registerScalar("max_depth", &_maxDepth,
+                          "deepest stack occupancy");
+    group.addChild(&_stats);
 }
 
 } // namespace alr

@@ -37,10 +37,12 @@ class LinkStack
     double maxDepth() const { return _maxDepth.value(); }
 
     void reset();
+    /** Attach this model's "link" stat sub-group to @p group. */
     void registerStats(stats::StatGroup &group);
 
   private:
     std::vector<DenseVector> _stack;
+    stats::StatGroup _stats{"link"};
     stats::Scalar _pushes;
     stats::Scalar _pops;
     stats::Scalar _maxDepth;

@@ -45,10 +45,11 @@ MemoryModel::reset()
 void
 MemoryModel::registerStats(stats::StatGroup &group)
 {
-    group.registerScalar("mem.bytes_streamed", &_bytesStreamed,
-                         "sequential payload bytes streamed from DRAM");
-    group.registerScalar("mem.random_accesses", &_randomAccesses,
-                         "random line fetches (cache misses)");
+    _stats.registerScalar("bytes_streamed", &_bytesStreamed,
+                          "sequential payload bytes streamed from DRAM");
+    _stats.registerScalar("random_accesses", &_randomAccesses,
+                          "random line fetches (cache misses)");
+    group.addChild(&_stats);
 }
 
 } // namespace alr

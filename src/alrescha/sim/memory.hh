@@ -38,10 +38,13 @@ class MemoryModel
     double totalBytes() const;
 
     void reset();
+    /** Attach this model's "mem" stat sub-group to @p group. */
     void registerStats(stats::StatGroup &group);
+    stats::StatGroup &statGroup() { return _stats; }
 
   private:
     AccelParams _params;
+    stats::StatGroup _stats{"mem"};
     mutable stats::Scalar _bytesStreamed;
     mutable stats::Scalar _randomAccesses;
 };

@@ -64,7 +64,19 @@ class Rcu
     double reconfigStallCycles() const { return _reconfigStall.value(); }
     double peOps() const { return _peOps.value(); }
 
+    /**
+     * Fraction of switch-rewrite config cycles hidden under the
+     * reduction-tree drain (the paper's §4.4 overlap claim as a
+     * number): 1.0 when every reconfiguration was fully covered, and
+     * 1.0 vacuously when no path switch ever happened (GEMV-only
+     * runs).  The initial programming configuration is excluded — it
+     * has no drain to hide under.
+     */
+    double reconfigHiddenFraction() const;
+
     void reset();
+    /** Attach the "rcu" sub-group, plus the cache's and link stack's,
+     *  to @p group. */
     void registerStats(stats::StatGroup &group);
 
   private:
@@ -73,9 +85,14 @@ class Rcu
     LinkStack _linkStack;
     std::optional<DataPathType> _current;
 
+    stats::StatGroup _stats{"rcu"};
     stats::Scalar _reconfigs;
     stats::Scalar _reconfigStall;
     stats::Scalar _peOps;
+    /** Config cycles charged by switch rewrites (excludes the first,
+     *  programming-phase configuration), denominator of the hidden
+     *  fraction. */
+    stats::Scalar _switchConfigCycles;
 };
 
 } // namespace alr

@@ -1,12 +1,70 @@
 #include "common/stats.hh"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <iomanip>
 #include <limits>
 
 #include "common/logging.hh"
 
 namespace alr::stats {
+
+namespace {
+
+/** JSON string escaping for stat names and descriptions. */
+void
+jsonString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          case '\r': os << "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+/** Integers print without a fraction; everything else round-trips. */
+void
+jsonNumber(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        os << "null"; // JSON has no inf/nan
+        return;
+    }
+    if (v == std::floor(v) && std::abs(v) < 9.0e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+        os << buf;
+    } else {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        os << buf;
+    }
+}
+
+void
+pad(std::ostream &os, int indent)
+{
+    for (int i = 0; i < indent; ++i)
+        os << ' ';
+}
+
+} // namespace
 
 void
 Distribution::sample(double v)
@@ -21,12 +79,31 @@ Distribution::sample(double v)
     ++_count;
     _sum += v;
     _sqsum += v * v;
+    ++_buckets[bucketIndex(v)];
 }
 
 void
 Distribution::reset()
 {
     *this = Distribution();
+}
+
+void
+Distribution::merge(const Distribution &o)
+{
+    if (o._count == 0)
+        return;
+    if (_count == 0) {
+        *this = o;
+        return;
+    }
+    _count += o._count;
+    _sum += o._sum;
+    _sqsum += o._sqsum;
+    _min = std::min(_min, o._min);
+    _max = std::max(_max, o._max);
+    for (size_t b = 0; b < kBuckets; ++b)
+        _buckets[b] += o._buckets[b];
 }
 
 double
@@ -42,6 +119,34 @@ Distribution::variance() const
         return 0.0;
     double m = mean();
     return std::max(0.0, _sqsum / double(_count) - m * m);
+}
+
+size_t
+Distribution::bucketIndex(double v)
+{
+    if (!(v >= 1.0))
+        return 0;
+    int e = static_cast<int>(std::floor(std::log2(v)));
+    return std::min<size_t>(kBuckets - 1, size_t(e) + 1);
+}
+
+double
+Distribution::percentile(double p) const
+{
+    if (_count == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 100.0);
+    double threshold = p / 100.0 * double(_count);
+    uint64_t cum = 0;
+    for (size_t b = 0; b < kBuckets; ++b) {
+        cum += _buckets[b];
+        if (double(cum) >= threshold && cum > 0) {
+            // Upper edge of bucket b: bucket 0 is (-inf, 1).
+            double edge = b == 0 ? 1.0 : std::ldexp(1.0, int(b));
+            return std::clamp(edge, _min, _max);
+        }
+    }
+    return _max;
 }
 
 void
@@ -83,13 +188,26 @@ StatGroup::registerDistribution(const std::string &stat_name,
     _entries.emplace(stat_name, std::move(e));
 }
 
-double
-StatGroup::lookup(const std::string &stat_name) const
+void
+StatGroup::addChild(StatGroup *child)
 {
-    auto it = _entries.find(stat_name);
-    if (it == _entries.end())
-        panic("unknown stat '%s.%s'", _name.c_str(), stat_name.c_str());
-    const Entry &e = it->second;
+    ALR_ASSERT(child != nullptr, "null child group");
+    ALR_ASSERT(child != this, "group '%s' cannot be its own child",
+               _name.c_str());
+    for (StatGroup *c : _children) {
+        if (c == child)
+            return; // idempotent re-attach
+        ALR_ASSERT(c->name() != child->name(),
+                   "duplicate child group '%s'", child->name().c_str());
+    }
+    ALR_ASSERT(!_entries.count(child->name()),
+               "child group '%s' collides with a stat", child->name().c_str());
+    _children.push_back(child);
+}
+
+double
+StatGroup::evaluate(const Entry &e) const
+{
     if (e.scalar)
         return e.scalar->value();
     if (e.dist)
@@ -97,10 +215,36 @@ StatGroup::lookup(const std::string &stat_name) const
     return e.formula();
 }
 
+const StatGroup::Entry *
+StatGroup::find(const std::string &stat_name) const
+{
+    auto it = _entries.find(stat_name);
+    if (it != _entries.end())
+        return &it->second;
+    size_t dot = stat_name.find('.');
+    if (dot != std::string::npos) {
+        std::string head = stat_name.substr(0, dot);
+        for (const StatGroup *c : _children) {
+            if (c->name() == head)
+                return c->find(stat_name.substr(dot + 1));
+        }
+    }
+    return nullptr;
+}
+
+double
+StatGroup::lookup(const std::string &stat_name) const
+{
+    const Entry *e = find(stat_name);
+    if (!e)
+        panic("unknown stat '%s.%s'", _name.c_str(), stat_name.c_str());
+    return evaluate(*e);
+}
+
 bool
 StatGroup::has(const std::string &stat_name) const
 {
-    return _entries.count(stat_name) != 0;
+    return find(stat_name) != nullptr;
 }
 
 void
@@ -112,33 +256,194 @@ StatGroup::resetAll()
         if (e.dist)
             e.dist->reset();
     }
+    for (StatGroup *c : _children)
+        c->resetAll();
+}
+
+void
+StatGroup::gather(const std::string &prefix,
+                  std::vector<std::pair<std::string, const Entry *>> &out)
+    const
+{
+    for (const auto &[name, e] : _entries)
+        out.emplace_back(prefix + "." + name, &e);
+    for (const StatGroup *c : _children)
+        c->gather(prefix + "." + c->name(), out);
 }
 
 void
 StatGroup::dump(std::ostream &os) const
 {
-    for (const auto &[name, e] : _entries) {
-        os << std::left << std::setw(40) << (_name + "." + name);
-        if (e.scalar) {
-            os << std::setw(20) << e.scalar->value();
-        } else if (e.dist) {
-            os << "mean=" << e.dist->mean() << " min=" << e.dist->min()
-               << " max=" << e.dist->max() << " n=" << e.dist->count();
+    // Gather the whole subtree and sort by full dotted name so the
+    // rendering is byte-identical to the historical flat registration
+    // (one std::map keyed "mem.bytes_streamed" etc.).
+    std::vector<std::pair<std::string, const Entry *>> rows;
+    gather(_name, rows);
+    std::sort(rows.begin(), rows.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+    for (const auto &[name, e] : rows) {
+        os << std::left << std::setw(40) << name;
+        if (e->scalar) {
+            os << std::setw(20) << e->scalar->value();
+        } else if (e->dist) {
+            os << "mean=" << e->dist->mean() << " min=" << e->dist->min()
+               << " max=" << e->dist->max() << " n=" << e->dist->count();
         } else {
-            os << std::setw(20) << e.formula();
+            os << std::setw(20) << e->formula();
         }
-        os << " # " << e.desc << "\n";
+        os << " # " << e->desc << "\n";
     }
+}
+
+void
+StatGroup::dumpJson(std::ostream &os, int indent) const
+{
+    pad(os, indent);
+    os << "{\n";
+    pad(os, indent + 2);
+    os << "\"group\": ";
+    jsonString(os, _name);
+    os << ",\n";
+    pad(os, indent + 2);
+    os << "\"stats\": {";
+    bool first = true;
+    for (const auto &[name, e] : _entries) {
+        os << (first ? "\n" : ",\n");
+        first = false;
+        pad(os, indent + 4);
+        jsonString(os, name);
+        os << ": {\"value\": ";
+        jsonNumber(os, evaluate(e));
+        os << ", \"desc\": ";
+        jsonString(os, e.desc);
+        os << ", \"kind\": ";
+        if (e.scalar) {
+            os << "\"scalar\"";
+        } else if (e.dist) {
+            os << "\"distribution\""
+               << ", \"count\": ";
+            jsonNumber(os, double(e.dist->count()));
+            os << ", \"min\": ";
+            jsonNumber(os, e.dist->min());
+            os << ", \"max\": ";
+            jsonNumber(os, e.dist->max());
+            os << ", \"mean\": ";
+            jsonNumber(os, e.dist->mean());
+            os << ", \"variance\": ";
+            jsonNumber(os, e.dist->variance());
+            os << ", \"p50\": ";
+            jsonNumber(os, e.dist->percentile(50));
+            os << ", \"p90\": ";
+            jsonNumber(os, e.dist->percentile(90));
+            os << ", \"p99\": ";
+            jsonNumber(os, e.dist->percentile(99));
+        } else {
+            os << "\"formula\"";
+        }
+        os << "}";
+    }
+    if (!first) {
+        os << "\n";
+        pad(os, indent + 2);
+    }
+    os << "},\n";
+    pad(os, indent + 2);
+    os << "\"children\": [";
+    for (size_t i = 0; i < _children.size(); ++i) {
+        os << (i ? ",\n" : "\n");
+        _children[i]->dumpJson(os, indent + 4);
+    }
+    if (!_children.empty()) {
+        os << "\n";
+        pad(os, indent + 2);
+    }
+    os << "]\n";
+    pad(os, indent);
+    os << "}";
 }
 
 std::vector<std::string>
 StatGroup::statNames() const
 {
+    std::vector<std::pair<std::string, const Entry *>> rows;
+    gather("", rows);
     std::vector<std::string> names;
-    names.reserve(_entries.size());
-    for (const auto &[name, e] : _entries)
-        names.push_back(name);
+    names.reserve(rows.size());
+    for (const auto &[name, e] : rows)
+        names.push_back(name.substr(1)); // drop the leading "."
+    std::sort(names.begin(), names.end());
     return names;
+}
+
+StatSnapshotter::StatSnapshotter(const StatGroup &group,
+                                 uint64_t interval_cycles)
+    : _group(group), _interval(interval_cycles ? interval_cycles : 1),
+      _next(_interval), _names(group.statNames())
+{
+}
+
+void
+StatSnapshotter::sampleNow(uint64_t now_cycles)
+{
+    Row row;
+    row.cycle = now_cycles;
+    row.values.reserve(_names.size());
+    for (const std::string &name : _names)
+        row.values.push_back(_group.lookup(name));
+    _rows.push_back(std::move(row));
+}
+
+void
+StatSnapshotter::maybeSample(uint64_t now_cycles)
+{
+    if (now_cycles < _next)
+        return;
+    sampleNow(now_cycles);
+    _next = (now_cycles / _interval + 1) * _interval;
+}
+
+void
+StatSnapshotter::dumpJson(std::ostream &os) const
+{
+    os << "{\n  \"interval\": ";
+    jsonNumber(os, double(_interval));
+    os << ",\n  \"columns\": [";
+    for (size_t i = 0; i < _names.size(); ++i) {
+        os << (i ? ", " : "");
+        jsonString(os, _names[i]);
+    }
+    os << "],\n  \"rows\": [";
+    for (size_t r = 0; r < _rows.size(); ++r) {
+        os << (r ? ",\n" : "\n");
+        os << "    {\"cycle\": ";
+        jsonNumber(os, double(_rows[r].cycle));
+        os << ", \"values\": [";
+        for (size_t i = 0; i < _rows[r].values.size(); ++i) {
+            os << (i ? ", " : "");
+            jsonNumber(os, _rows[r].values[i]);
+        }
+        os << "]}";
+    }
+    os << (_rows.empty() ? "]" : "\n  ]") << "\n}\n";
+}
+
+void
+StatSnapshotter::dumpCsv(std::ostream &os) const
+{
+    os << "cycle";
+    for (const std::string &name : _names)
+        os << "," << name;
+    os << "\n";
+    for (const Row &row : _rows) {
+        os << row.cycle;
+        for (double v : row.values) {
+            os << ",";
+            char buf[40];
+            std::snprintf(buf, sizeof(buf), "%.17g", v);
+            os << buf;
+        }
+        os << "\n";
+    }
 }
 
 } // namespace alr::stats

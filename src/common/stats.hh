@@ -5,11 +5,28 @@
  * Simulator components own Scalar / Formula / Distribution stats registered
  * in a StatGroup; a StatGroup can be dumped as a human-readable table or
  * queried programmatically by benches and tests.
+ *
+ * Groups form a hierarchy: a component owns its own StatGroup (named
+ * "mem", "fcu", ...) and attaches it to its parent with addChild(), so
+ * the engine's root group renders the full dotted namespace
+ * ("alrescha.mem.bytes_streamed").  dump() output is byte-identical to
+ * the historical flat registration scheme: entries are gathered
+ * recursively and sorted by their full dotted name.
+ *
+ * Machine-readable export: dumpJson() renders the stable schema
+ *   {"group": name, "stats": {stat: {"value", "desc", "kind", ...}},
+ *    "children": [...]}
+ * where distributions add count/min/max/mean/variance and approximate
+ * p50/p90/p99 from log2-scale buckets.  StatSnapshotter samples a group
+ * every N modeled cycles into an in-memory time series dumped as JSON
+ * or CSV, turning cache hit rate, stream bandwidth, and link-stack
+ * depth into curves instead of end-of-run totals.
  */
 
 #ifndef ALR_COMMON_STATS_HH
 #define ALR_COMMON_STATS_HH
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -61,17 +78,29 @@ class Scalar
 
 /**
  * A running distribution: tracks count, sum, min, max, and sum of squares
- * so mean and variance are available without storing samples.
+ * so mean and variance are available without storing samples, plus
+ * log2-scale buckets for approximate percentiles.
  *
  * Unlike Scalar, sampling is not atomic: a Distribution must be owned
  * by one engine (one thread) at a time; parallel engines each own
- * their instance and results are merged at readout.
+ * their instance and results are merged at readout with merge().
  */
 class Distribution
 {
   public:
+    /** Log2-scale bucket count; bucket b holds samples in [2^(b-1), 2^b). */
+    static constexpr size_t kBuckets = 64;
+
     void sample(double v);
     void reset();
+
+    /**
+     * Fold another distribution into this one: counts, sums, extrema,
+     * and buckets all accumulate, so merging per-engine instances at
+     * readout is equivalent (for count/sum/min/max/mean/variance) to
+     * having sampled every value into one distribution.
+     */
+    void merge(const Distribution &o);
 
     uint64_t count() const { return _count; }
     double sum() const { return _sum; }
@@ -80,12 +109,26 @@ class Distribution
     double mean() const;
     double variance() const;
 
+    /**
+     * Approximate @p p-th percentile (0..100) from the log2 buckets:
+     * the upper edge of the bucket where the cumulative count crosses
+     * p% of the samples, clamped to [min(), max()].  Exact only when
+     * samples are powers of two; always within one bucket (2x) of the
+     * true value.  Returns 0 for an empty distribution.
+     */
+    double percentile(double p) const;
+
+    /** Bucket index a value lands in (exposed for tests). */
+    static size_t bucketIndex(double v);
+    const std::array<uint64_t, kBuckets> &buckets() const { return _buckets; }
+
   private:
     uint64_t _count = 0;
     double _sum = 0.0;
     double _sqsum = 0.0;
     double _min = 0.0;
     double _max = 0.0;
+    std::array<uint64_t, kBuckets> _buckets{};
 };
 
 /**
@@ -108,19 +151,49 @@ class StatGroup
     void registerDistribution(const std::string &stat_name,
                               Distribution *stat, const std::string &desc);
 
-    /** Look up any registered value by name (formulas are evaluated). */
+    /**
+     * Attach @p child as a sub-group: its stats render under
+     * "<this>.<child>.<stat>".  The child must outlive this group and
+     * its name must not collide with a registered stat or another
+     * child.  Re-attaching the same pointer under the same name is a
+     * no-op so components can re-register idempotently.
+     */
+    void addChild(StatGroup *child);
+
+    /**
+     * Look up any registered value by name (formulas are evaluated).
+     * Dotted names descend through children: "mem.bytes_streamed" on
+     * the root resolves in the "mem" child.
+     */
     double lookup(const std::string &stat_name) const;
-    /** True if @p stat_name was registered as any stat kind. */
+    /** True if @p stat_name was registered (dotted names descend). */
     bool has(const std::string &stat_name) const;
 
-    /** Reset all registered scalars and distributions. */
+    /** Reset all registered scalars and distributions, recursively. */
     void resetAll();
 
-    /** Render "group.stat  value  # desc" lines. */
+    /** Render "group.stat  value  # desc" lines for this group and all
+     *  descendants, sorted by full dotted name. */
     void dump(std::ostream &os) const;
 
+    /**
+     * Render the group as a JSON object with the stable schema
+     * {"group", "stats": {name: {"value", "desc", "kind"}}, "children"}.
+     * Distribution entries additionally carry count/min/max/mean/
+     * variance/p50/p90/p99; "value" is the mean.
+     */
+    void dumpJson(std::ostream &os, int indent = 0) const;
+
     const std::string &name() const { return _name; }
+
+    /**
+     * Names of every stat reachable from this group, child stats
+     * qualified with their dotted prefix ("mem.bytes_streamed"),
+     * sorted.  Each name round-trips through lookup().
+     */
     std::vector<std::string> statNames() const;
+
+    const std::vector<StatGroup *> &children() const { return _children; }
 
   private:
     struct Entry
@@ -131,8 +204,56 @@ class StatGroup
         std::string desc;
     };
 
+    double evaluate(const Entry &e) const;
+    void gather(const std::string &prefix,
+                std::vector<std::pair<std::string, const Entry *>> &out)
+        const;
+    const Entry *find(const std::string &stat_name) const;
+
     std::string _name;
     std::map<std::string, Entry> _entries;
+    std::vector<StatGroup *> _children;
+};
+
+/**
+ * Samples a StatGroup every N modeled cycles into an in-memory time
+ * series.  The driver calls maybeSample(now) at natural boundaries
+ * (the engine does so after each kernel run); one row is captured per
+ * call once `now` has crossed the next interval boundary, so the
+ * cadence is interval-aligned but run-granular — rows carry the actual
+ * cycle they were captured at.
+ */
+class StatSnapshotter
+{
+  public:
+    StatSnapshotter(const StatGroup &group, uint64_t interval_cycles);
+
+    /** Capture a row if @p now_cycles crossed the next boundary. */
+    void maybeSample(uint64_t now_cycles);
+    /** Capture a row unconditionally (initial/final sample). */
+    void sampleNow(uint64_t now_cycles);
+
+    size_t rows() const { return _rows.size(); }
+    uint64_t interval() const { return _interval; }
+    const std::vector<std::string> &names() const { return _names; }
+
+    /** {"interval": N, "columns": [...], "rows": [{"cycle", "values"}]} */
+    void dumpJson(std::ostream &os) const;
+    /** Header "cycle,<columns...>" then one CSV line per row. */
+    void dumpCsv(std::ostream &os) const;
+
+  private:
+    struct Row
+    {
+        uint64_t cycle;
+        std::vector<double> values;
+    };
+
+    const StatGroup &_group;
+    uint64_t _interval;
+    uint64_t _next;
+    std::vector<std::string> _names;
+    std::vector<Row> _rows;
 };
 
 } // namespace alr::stats

@@ -1,0 +1,212 @@
+#include "common/timeline.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace alr::timeline {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+} // namespace detail
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Ring
+{
+    std::mutex mutex;
+    std::vector<Event> buf;
+    size_t head = 0;     // next write slot
+    size_t count = 0;    // valid events (<= buf.size())
+    uint64_t dropped = 0;
+    Clock::time_point epoch = Clock::now();
+
+    Ring() { buf.resize(size_t(1) << 18); }
+};
+
+Ring &
+ring()
+{
+    static Ring r;
+    return r;
+}
+
+std::atomic<uint32_t> g_nextThreadId{1};
+
+} // namespace
+
+namespace detail {
+
+void
+record(const Event &ev)
+{
+    Ring &r = ring();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    if (r.buf.empty())
+        return;
+    if (r.count == r.buf.size())
+        ++r.dropped;
+    else
+        ++r.count;
+    r.buf[r.head] = ev;
+    r.head = (r.head + 1) % r.buf.size();
+}
+
+} // namespace detail
+
+void
+setEnabled(bool on)
+{
+    Ring &r = ring();
+    {
+        std::lock_guard<std::mutex> lock(r.mutex);
+        if (on)
+            r.epoch = Clock::now();
+    }
+    detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void
+setCapacity(size_t events)
+{
+    Ring &r = ring();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.buf.assign(events, Event{});
+    r.head = 0;
+    r.count = 0;
+    r.dropped = 0;
+}
+
+void
+reset()
+{
+    Ring &r = ring();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.head = 0;
+    r.count = 0;
+    r.dropped = 0;
+    r.epoch = Clock::now();
+}
+
+uint64_t
+dropped()
+{
+    Ring &r = ring();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    return r.dropped;
+}
+
+std::vector<Event>
+events()
+{
+    Ring &r = ring();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    std::vector<Event> out;
+    out.reserve(r.count);
+    size_t start = (r.head + r.buf.size() - r.count) % r.buf.size();
+    for (size_t i = 0; i < r.count; ++i)
+        out.push_back(r.buf[(start + i) % r.buf.size()]);
+    return out;
+}
+
+uint64_t
+hostNowUs()
+{
+    Ring &r = ring();
+    Clock::time_point epoch;
+    {
+        std::lock_guard<std::mutex> lock(r.mutex);
+        epoch = r.epoch;
+    }
+    auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+        Clock::now() - epoch);
+    return us.count() < 0 ? 0 : uint64_t(us.count());
+}
+
+uint32_t
+hostThreadId()
+{
+    thread_local uint32_t id =
+        g_nextThreadId.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+namespace {
+
+void
+jsonEscapeTo(std::ostream &os, const char *s)
+{
+    for (; s && *s; ++s) {
+        char c = *s;
+        if (c == '"' || c == '\\')
+            os << '\\' << c;
+        else if (static_cast<unsigned char>(c) >= 0x20)
+            os << c;
+    }
+}
+
+void
+metaEvent(std::ostream &os, uint32_t pid, int tid, const char *key,
+          const char *value, bool &first)
+{
+    os << (first ? "\n" : ",\n") << "    {\"ph\": \"M\", \"pid\": " << pid;
+    if (tid >= 0)
+        os << ", \"tid\": " << tid;
+    os << ", \"name\": \"" << key << "\", \"args\": {\"name\": \"";
+    jsonEscapeTo(os, value);
+    os << "\"}}";
+    first = false;
+}
+
+} // namespace
+
+void
+exportChromeTrace(std::ostream &os)
+{
+    os << "{\"traceEvents\": [";
+    bool first = true;
+    metaEvent(os, kPidModeled, -1, "process_name", "modeled (1us = 1 cycle)",
+              first);
+    metaEvent(os, kPidModeled, int(kTidDataPath), "thread_name", "data path",
+              first);
+    metaEvent(os, kPidModeled, int(kTidMemory), "thread_name", "memory",
+              first);
+    metaEvent(os, kPidModeled, int(kTidFcu), "thread_name", "fcu", first);
+    metaEvent(os, kPidModeled, int(kTidRcu), "thread_name", "rcu", first);
+    metaEvent(os, kPidModeled, int(kTidCounters), "thread_name", "counters",
+              first);
+    metaEvent(os, kPidModeled, int(kTidChain), "thread_name",
+              "d-symgs chain", first);
+    metaEvent(os, kPidHost, -1, "process_name", "host (wall clock)", first);
+
+    for (const Event &ev : events()) {
+        os << ",\n    {\"ph\": \"";
+        switch (ev.kind) {
+          case Event::Kind::Span: os << "X"; break;
+          case Event::Kind::Counter: os << "C"; break;
+          case Event::Kind::Instant: os << "i"; break;
+        }
+        os << "\", \"pid\": " << ev.pid << ", \"tid\": " << ev.tid
+           << ", \"ts\": " << ev.ts;
+        if (ev.kind == Event::Kind::Span)
+            os << ", \"dur\": " << ev.dur;
+        os << ", \"name\": \"";
+        jsonEscapeTo(os, ev.name);
+        os << "\", \"cat\": \"";
+        jsonEscapeTo(os, ev.cat ? ev.cat : "event");
+        os << "\"";
+        if (ev.kind == Event::Kind::Counter) {
+            char buf[40];
+            std::snprintf(buf, sizeof(buf), "%.17g", ev.value);
+            os << ", \"args\": {\"value\": " << buf << "}";
+        } else if (ev.kind == Event::Kind::Instant) {
+            os << ", \"s\": \"t\"";
+        }
+        os << "}";
+    }
+    os << "\n], \"displayTimeUnit\": \"ns\"}\n";
+}
+
+} // namespace alr::timeline

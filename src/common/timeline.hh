@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Cycle-attributed timeline: a process-wide span/counter event recorder
+ * exported as Chrome trace-event JSON (chrome://tracing, Perfetto).
+ *
+ * Two event clocks coexist, rendered as two Chrome "processes":
+ *
+ * - pid kPidModeled ("modeled"): timestamps are modeled accelerator
+ *   cycles (rendered by Perfetto as microseconds, so 1 us on screen ==
+ *   1 cycle).  Fixed tracks: data path (GEMV / D-SymGS spans), memory
+ *   (stream spans), FCU (fill / reduce-drain), RCU (reconfig spans),
+ *   plus counter tracks for link-stack depth and cache occupancy.
+ * - pid kPidHost ("host"): timestamps are wall-clock microseconds
+ *   since the recorder was enabled; one track per host thread
+ *   (engineThreads workers are tagged with a stable per-thread id), so
+ *   simulator-side parallelism is visible next to the modeled run.
+ *
+ * Recording is disabled by default and zero-cost when off: every emit
+ * helper is an inline relaxed-atomic load and branch, no locks, no
+ * allocation.  When enabled, events land in a fixed-capacity ring
+ * buffer under a mutex; once full, the oldest events are overwritten
+ * and dropped() counts the overwrites, so long runs keep the tail of
+ * the story instead of aborting or growing without bound.
+ *
+ * The recorder deliberately has no effect on simulation results: it
+ * only observes timestamps that the engine already computes.
+ */
+
+#ifndef ALR_COMMON_TIMELINE_HH
+#define ALR_COMMON_TIMELINE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+namespace alr::timeline {
+
+/** Chrome "process" ids: modeled-cycle clock vs host wall clock. */
+constexpr uint32_t kPidModeled = 1;
+constexpr uint32_t kPidHost = 2;
+
+/** Fixed tracks ("threads") inside the modeled process. */
+constexpr uint32_t kTidDataPath = 1;
+constexpr uint32_t kTidMemory = 2;
+constexpr uint32_t kTidFcu = 3;
+constexpr uint32_t kTidRcu = 4;
+constexpr uint32_t kTidCounters = 5;
+/** D-SymGS dependence chains: they overlap the streaming front (the
+ *  paper's overlap claim), so they get their own track instead of
+ *  producing partially-overlapping slices on the data-path track. */
+constexpr uint32_t kTidChain = 6;
+
+/** One recorded event.  Name/category must be string literals (the
+ *  recorder stores the pointers, not copies). */
+struct Event
+{
+    enum class Kind : uint8_t { Span, Counter, Instant };
+
+    const char *name = nullptr;
+    const char *cat = nullptr;
+    uint64_t ts = 0;   ///< cycles (modeled pid) or wall us (host pid)
+    uint64_t dur = 0;  ///< span length; 0 for counters/instants
+    double value = 0;  ///< counter value
+    uint32_t pid = kPidModeled;
+    uint32_t tid = 0;
+    Kind kind = Kind::Span;
+};
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+void record(const Event &ev);
+} // namespace detail
+
+/** True when the recorder is capturing (inline fast path). */
+inline bool
+enabled()
+{
+    return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/** Start/stop capturing.  Enabling (re)starts the host clock epoch. */
+void setEnabled(bool on);
+
+/** Resize the ring buffer (discards recorded events).  Default 1<<18. */
+void setCapacity(size_t events);
+
+/** Discard recorded events and the dropped count; keeps enabled state. */
+void reset();
+
+/** Events overwritten because the ring wrapped. */
+uint64_t dropped();
+
+/** Snapshot of the ring in record order (oldest first). */
+std::vector<Event> events();
+
+/** Wall-clock microseconds since the recorder was enabled (host pid). */
+uint64_t hostNowUs();
+
+/** Stable small integer id for the calling host thread. */
+uint32_t hostThreadId();
+
+/**
+ * Record a complete span [ts, ts+dur) on a modeled track.  No-op when
+ * disabled or dur would render as empty is fine (dur==0 spans are
+ * kept: Perfetto renders them as instants).
+ */
+inline void
+span(const char *name, const char *cat, uint32_t tid, uint64_t ts,
+     uint64_t dur)
+{
+    if (!enabled())
+        return;
+    detail::record({name, cat, ts, dur, 0.0, kPidModeled, tid,
+                    Event::Kind::Span});
+}
+
+/** Record a counter sample on the modeled counter track. */
+inline void
+counter(const char *name, uint64_t ts, double value)
+{
+    if (!enabled())
+        return;
+    detail::record({name, "counter", ts, 0, value, kPidModeled,
+                    kTidCounters, Event::Kind::Counter});
+}
+
+/** Record a wall-clock span on the calling host thread's track. */
+inline void
+hostSpan(const char *name, const char *cat, uint64_t start_us,
+         uint64_t end_us)
+{
+    if (!enabled())
+        return;
+    detail::record({name, cat, start_us,
+                    end_us > start_us ? end_us - start_us : 0, 0.0,
+                    kPidHost, hostThreadId(), Event::Kind::Span});
+}
+
+/**
+ * RAII host span: records the enclosing scope's wall time on the
+ * calling thread's track.  Cheap when disabled (one atomic load in the
+ * constructor, one in the destructor).
+ */
+class ScopedHostSpan
+{
+  public:
+    ScopedHostSpan(const char *name, const char *cat)
+        : _name(name), _cat(cat),
+          _start(enabled() ? hostNowUs() : 0),
+          _armed(enabled())
+    {
+    }
+    ~ScopedHostSpan()
+    {
+        if (_armed)
+            hostSpan(_name, _cat, _start, hostNowUs());
+    }
+    ScopedHostSpan(const ScopedHostSpan &) = delete;
+    ScopedHostSpan &operator=(const ScopedHostSpan &) = delete;
+
+  private:
+    const char *_name;
+    const char *_cat;
+    uint64_t _start;
+    bool _armed;
+};
+
+/**
+ * Serialize everything recorded so far as a Chrome trace-event JSON
+ * document ({"traceEvents": [...]}): "M" metadata naming the
+ * processes/tracks, "X" complete spans, "C" counters.  Loadable in
+ * chrome://tracing and Perfetto.
+ */
+void exportChromeTrace(std::ostream &os);
+
+} // namespace alr::timeline
+
+#endif // ALR_COMMON_TIMELINE_HH

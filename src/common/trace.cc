@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <mutex>
 #include <ostream>
+#include <string>
 
 namespace alr::trace {
 
@@ -36,12 +37,27 @@ emit(const char *fmt, ...)
     char line[1024];
     va_list args;
     va_start(args, fmt);
-    vsnprintf(line, sizeof(line), fmt, args);
+    va_list retry;
+    va_copy(retry, args);
+    int need = vsnprintf(line, sizeof(line), fmt, args);
     va_end(args);
+    // Lines longer than the stack buffer grow onto the heap instead of
+    // being silently truncated (the va_list was consumed by the first
+    // pass, so format again from the saved copy).
+    std::string long_line;
+    if (need >= int(sizeof(line))) {
+        long_line.resize(size_t(need) + 1);
+        vsnprintf(long_line.data(), long_line.size(), fmt, retry);
+        long_line.resize(size_t(need));
+    }
+    va_end(retry);
     // Engines may trace concurrently (multi-engine scale-out); keep
     // each event line intact.
     std::lock_guard<std::mutex> lock(emit_mutex);
-    *os << line << '\n';
+    if (!long_line.empty())
+        *os << long_line << '\n';
+    else
+        *os << line << '\n';
 }
 
 } // namespace alr::trace

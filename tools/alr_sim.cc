@@ -12,6 +12,8 @@
  *   alr_sim --gen stencil2d:64 --kernel spmv --save prog.alr
  *   alr_sim --image prog.alr --kernel spmv
  *   alr_sim --gen banded:4096 --kernel pcg --rcm --stats
+ *   alr_sim --gen stencil3d:24 --kernel pcg --timeline trace.json --report
+ *   alr_sim --gen stencil3d:24 --kernel pcg --stats-interval 100000 --json
  */
 
 #include <cstdio>
@@ -19,6 +21,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <set>
 #include <string>
 
@@ -27,6 +30,7 @@
 #include "kernels/eigen.hh"
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
+#include "common/timeline.hh"
 #include "common/trace.hh"
 #include "common/random.hh"
 #include "kernels/graph.hh"
@@ -46,6 +50,7 @@ struct Options
     std::string genSpec;
     std::string savePath;
     std::string tracePath;
+    std::string timelinePath;
     std::string kernel = "spmv";
     Index omega = 8;
     Index source = 0;
@@ -54,6 +59,8 @@ struct Options
     bool noSimd = false;
     bool dumpStats = false;
     bool json = false;
+    bool report = false;
+    long statsInterval = 0;
     int maxIterations = 500;
     int threads = 0;
     int engineThreads = 0;
@@ -68,6 +75,7 @@ usage()
         "               [--kernel spmv|symgs|pcg|bicgstab|gmres|\n"
         "                         bfs|sssp|pr|cc|eigen]\n"
         "               [--omega N] [--source V] [--rcm] [--stats] [--json]\n"
+        "               [--report] [--timeline F.json] [--stats-interval N]\n"
         "               [--iters N] [--threads N] [--engine-threads N]\n"
         "               [--save F.alr] [--trace F.log] [--no-schedule]\n"
         "               [--no-simd]\n"
@@ -150,6 +158,14 @@ parse(int argc, char **argv)
             opt.dumpStats = true;
         } else if (arg == "--json") {
             opt.json = true;
+        } else if (arg == "--report") {
+            opt.report = true;
+        } else if (arg == "--timeline") {
+            opt.timelinePath = next();
+        } else if (arg == "--stats-interval") {
+            opt.statsInterval = std::atol(next().c_str());
+            if (opt.statsInterval <= 0)
+                usage();
         } else {
             usage();
         }
@@ -161,28 +177,128 @@ parse(int argc, char **argv)
     return opt;
 }
 
+/** snprintf into an ostream (keeps the historical printf formats). */
 void
-printJsonReport(const Accelerator &acc, const Options &opt)
+jnum(std::ostream &os, const char *fmt, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), fmt, v);
+    os << buf;
+}
+
+/** The --report utilization summary as a JSON object. */
+void
+printJsonUtilization(std::ostream &os, const UtilizationReport &u,
+                     const char *pad)
+{
+    os << "{\n";
+    os << pad << "  \"cycles\": " << u.cycles << ",\n";
+    os << pad << "  \"alu_occupancy\": ";
+    jnum(os, "%.6f", u.aluOccupancy);
+    os << ",\n" << pad << "  \"tree_occupancy\": ";
+    jnum(os, "%.6f", u.treeOccupancy);
+    os << ",\n" << pad << "  \"bandwidth_utilization\": ";
+    jnum(os, "%.6f", u.bandwidthUtilization);
+    os << ",\n" << pad << "  \"cache_hit_rate\": ";
+    jnum(os, "%.6f", u.cacheHitRate);
+    os << ",\n" << pad << "  \"cache_time_fraction\": ";
+    jnum(os, "%.6f", u.cacheTimeFraction);
+    os << ",\n" << pad << "  \"sequential_op_fraction\": ";
+    jnum(os, "%.6f", u.sequentialOpFraction);
+    os << ",\n" << pad << "  \"sequential_cycle_fraction\": ";
+    jnum(os, "%.6f", u.sequentialCycleFraction);
+    os << ",\n" << pad << "  \"reconfig_hidden_frac\": ";
+    jnum(os, "%.6f", u.reconfigHiddenFraction);
+    os << ",\n" << pad << "  \"flops\": ";
+    jnum(os, "%.0f", u.flops);
+    os << ",\n" << pad << "  \"dram_bytes\": ";
+    jnum(os, "%.0f", u.dramBytes);
+    os << ",\n" << pad << "  \"arithmetic_intensity\": ";
+    jnum(os, "%.9g", u.arithmeticIntensity);
+    os << ",\n" << pad << "  \"achieved_gflops\": ";
+    jnum(os, "%.9g", u.achievedGflops);
+    os << ",\n" << pad << "  \"peak_gflops\": ";
+    jnum(os, "%.9g", u.peakGflops);
+    os << ",\n" << pad << "  \"attainable_gflops\": ";
+    jnum(os, "%.9g", u.attainableGflops);
+    os << "\n" << pad << "}";
+}
+
+/**
+ * The full --json document.  Stats, utilization, and snapshots embed
+ * as sub-objects so the output stays one valid JSON document (the old
+ * driver dumped the stats table after the closing brace, corrupting
+ * it).
+ */
+void
+printJsonReport(std::ostream &os, const Accelerator &acc,
+                const Options &opt, const stats::StatSnapshotter *snap)
 {
     AccelReport r = acc.report();
-    std::printf("{\n");
-    std::printf("  \"kernel\": \"%s\",\n", opt.kernel.c_str());
-    std::printf("  \"omega\": %u,\n", opt.omega);
-    std::printf("  \"cycles\": %llu,\n", (unsigned long long)r.cycles);
-    std::printf("  \"seconds\": %.9g,\n", r.seconds);
-    std::printf("  \"dram_bytes\": %.0f,\n", r.bytesFromMemory);
-    std::printf("  \"bandwidth_utilization\": %.6f,\n",
-                r.bandwidthUtilization);
-    std::printf("  \"sequential_op_fraction\": %.6f,\n",
-                r.sequentialOpFraction);
-    std::printf("  \"reconfigurations\": %.0f,\n", r.reconfigurations);
-    std::printf("  \"energy_joules\": %.9g,\n", r.energyJoules);
-    std::printf("  \"energy_breakdown\": {\"dram\": %.9g, "
-                "\"sram\": %.9g, \"compute\": %.9g, "
-                "\"reconfig\": %.9g, \"static\": %.9g}\n",
-                r.energy.dram, r.energy.sram, r.energy.compute,
-                r.energy.reconfig, r.energy.staticEnergy);
-    std::printf("}\n");
+    os << "{\n";
+    os << "  \"kernel\": \"" << opt.kernel << "\",\n";
+    os << "  \"omega\": " << opt.omega << ",\n";
+    os << "  \"cycles\": " << r.cycles << ",\n";
+    os << "  \"seconds\": ";
+    jnum(os, "%.9g", r.seconds);
+    os << ",\n  \"dram_bytes\": ";
+    jnum(os, "%.0f", r.bytesFromMemory);
+    os << ",\n  \"bandwidth_utilization\": ";
+    jnum(os, "%.6f", r.bandwidthUtilization);
+    os << ",\n  \"sequential_op_fraction\": ";
+    jnum(os, "%.6f", r.sequentialOpFraction);
+    os << ",\n  \"reconfigurations\": ";
+    jnum(os, "%.0f", r.reconfigurations);
+    os << ",\n  \"energy_joules\": ";
+    jnum(os, "%.9g", r.energyJoules);
+    os << ",\n  \"energy_breakdown\": {\"dram\": ";
+    jnum(os, "%.9g", r.energy.dram);
+    os << ", \"sram\": ";
+    jnum(os, "%.9g", r.energy.sram);
+    os << ", \"compute\": ";
+    jnum(os, "%.9g", r.energy.compute);
+    os << ", \"reconfig\": ";
+    jnum(os, "%.9g", r.energy.reconfig);
+    os << ", \"static\": ";
+    jnum(os, "%.9g", r.energy.staticEnergy);
+    os << "}";
+    if (opt.report) {
+        os << ",\n  \"utilization\": ";
+        printJsonUtilization(os, acc.utilization(), "  ");
+    }
+    if (opt.dumpStats) {
+        os << ",\n  \"stats\": ";
+        acc.engine().statGroup().dumpJson(os, 2);
+    }
+    if (snap) {
+        os << ",\n  \"snapshots\": ";
+        snap->dumpJson(os);
+    }
+    os << "\n}\n";
+}
+
+/** The --report utilization summary as a human-readable table. */
+void
+printUtilization(const Accelerator &acc)
+{
+    UtilizationReport u = acc.utilization();
+    std::printf("\nutilization:\n");
+    std::printf("  alu occupancy      %.1f%%\n", 100.0 * u.aluOccupancy);
+    std::printf("  reduce tree        %.1f%%\n", 100.0 * u.treeOccupancy);
+    std::printf("  memory bandwidth   %.1f%%\n",
+                100.0 * u.bandwidthUtilization);
+    std::printf("  cache hit rate     %.1f%%\n", 100.0 * u.cacheHitRate);
+    std::printf("  cache port busy    %.1f%%\n",
+                100.0 * u.cacheTimeFraction);
+    std::printf("  sequential         %.1f%% of flops, %.1f%% of cycles\n",
+                100.0 * u.sequentialOpFraction,
+                100.0 * u.sequentialCycleFraction);
+    std::printf("  reconfig hidden    %.1f%%\n",
+                100.0 * u.reconfigHiddenFraction);
+    std::printf("  roofline           %.3f flop/byte, %.2f of %.2f "
+                "attainable GFLOP/s (peak %.2f)\n",
+                u.arithmeticIntensity, u.achievedGflops,
+                u.attainableGflops, u.peakGflops);
 }
 
 void
@@ -226,6 +342,11 @@ main(int argc, char **argv)
         trace::setSink(&traceFile);
     }
 
+    // Arm the timeline recorder before any kernel runs so the whole
+    // modeled execution lands in the trace.
+    if (!opt.timelinePath.empty())
+        timeline::setEnabled(true);
+
     bool isGraph = opt.kernel == "bfs" || opt.kernel == "sssp" ||
                    opt.kernel == "pr" || opt.kernel == "cc";
 
@@ -242,6 +363,16 @@ main(int argc, char **argv)
     params.simdReplay = !opt.noSimd;
     Accelerator acc(params);
 
+    // Periodic stat snapshots: the engine samples after each run once
+    // the cumulative cycle count crosses an interval boundary.
+    std::unique_ptr<stats::StatSnapshotter> snap;
+    if (opt.statsInterval > 0) {
+        snap = std::make_unique<stats::StatSnapshotter>(
+            acc.engine().statGroup(), uint64_t(opt.statsInterval));
+        snap->sampleNow(0);
+        acc.engine().setSnapshotter(snap.get());
+    }
+
     CsrMatrix a;
     if (!opt.imagePath.empty()) {
         // Pre-built program image: decode the matrix back for the
@@ -249,9 +380,11 @@ main(int argc, char **argv)
         // kernels are available.
         ProgramImage image = loadProgramImageFile(opt.imagePath);
         a = image.matrix.decode();
-        std::printf("program image: omega=%u, %zu tables, %zu blocks\n",
-                    image.matrix.omega(), image.tables.size(),
-                    image.matrix.blocks().size());
+        if (!opt.json)
+            std::printf("program image: omega=%u, %zu tables, "
+                        "%zu blocks\n",
+                        image.matrix.omega(), image.tables.size(),
+                        image.matrix.blocks().size());
         if (image.matrix.layout() == LdLayout::SymGs)
             acc.loadPde(a);
         else if (isGraph)
@@ -291,7 +424,9 @@ main(int argc, char **argv)
                 ? buildSpmvProgram(a, opt.omega)
                 : buildPdeProgram(a, opt.omega);
         saveProgramImageFile(opt.savePath, image);
-        std::printf("saved program image to %s\n", opt.savePath.c_str());
+        if (!opt.json)
+            std::printf("saved program image to %s\n",
+                        opt.savePath.c_str());
     }
 
     if (opt.kernel == "spmv") {
@@ -364,17 +499,47 @@ main(int argc, char **argv)
         fatal("unknown kernel '%s'", opt.kernel.c_str());
     }
 
-    if (opt.json)
-        printJsonReport(acc, opt);
-    else
+    // Close the time series with the end-of-run state.
+    if (snap)
+        snap->sampleNow(acc.engine().totalCycles());
+
+    if (opt.json) {
+        std::fflush(stdout); // keep printf output ahead of the document
+        printJsonReport(std::cout, acc, opt, snap.get());
+        std::cout.flush();
+    } else {
         printReport(acc);
-    if (opt.dumpStats) {
-        std::printf("\n");
-        acc.engine().statGroup().dump(std::cout);
+        if (opt.report)
+            printUtilization(acc);
+        if (opt.dumpStats) {
+            std::printf("\n");
+            acc.engine().statGroup().dump(std::cout);
+        }
+        if (snap) {
+            std::printf("\n");
+            std::cout.flush();
+            snap->dumpCsv(std::cout);
+        }
+    }
+
+    if (!opt.timelinePath.empty()) {
+        timeline::setEnabled(false);
+        std::ofstream tf(opt.timelinePath);
+        if (!tf)
+            fatal("cannot create timeline file '%s'",
+                  opt.timelinePath.c_str());
+        timeline::exportChromeTrace(tf);
+        if (!opt.json)
+            std::printf("timeline written to %s (%llu events, %llu "
+                        "dropped)\n",
+                        opt.timelinePath.c_str(),
+                        (unsigned long long)timeline::events().size(),
+                        (unsigned long long)timeline::dropped());
     }
     if (!opt.tracePath.empty()) {
         trace::setSink(nullptr);
-        std::printf("trace written to %s\n", opt.tracePath.c_str());
+        if (!opt.json)
+            std::printf("trace written to %s\n", opt.tracePath.c_str());
     }
     return 0;
 }

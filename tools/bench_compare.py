@@ -54,6 +54,19 @@ def compare_file(name, base_dir, fresh_dir, wall_tol):
                     f"{key}: {field} drifted: baseline "
                     f"{b.get(field)} vs fresh {f.get(field)}"
                 )
+        # Modeled-counter sub-object ("stats"): every field exact.  A
+        # baseline written before the stats export predates the schema;
+        # its absence is tolerated so old baselines keep comparing.
+        bs, fs = b.get("stats"), f.get("stats")
+        if bs is not None and fs is None:
+            errors.append(f"{key}: stats sub-object missing from fresh")
+        elif bs is not None:
+            for field in sorted(set(bs) | set(fs)):
+                if bs.get(field) != fs.get(field):
+                    errors.append(
+                        f"{key}: stats.{field} drifted: baseline "
+                        f"{bs.get(field)} vs fresh {fs.get(field)}"
+                    )
         # Host wall time: loose ratio only.
         bw, fw = b.get("wall_ms", 0), f.get("wall_ms", 0)
         if bw <= 0 or fw <= 0:

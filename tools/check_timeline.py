@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Validate alr_sim observability artifacts.
+
+Checks a Chrome trace-event timeline (alr_sim --timeline out.json) and,
+optionally, a stats document (alr_sim --json --stats --report
+--stats-interval N > stats.json) against their documented schemas:
+
+- the timeline must json.load, hold a non-empty traceEvents list, and
+  every event needs ph/pid/name (plus ts/dur for complete spans, an
+  args.value for counters);
+- modeled spans (pid 1) must stay within [0, cycles] when the stats
+  document supplies the run's cycle count;
+- the stats document must carry the report fields, and any embedded
+  stats/utilization/snapshots sub-objects must match the schema the
+  stats package dumps.
+
+usage: check_timeline.py TIMELINE.json [--stats STATS.json]
+
+Exit status 0 when everything validates, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+PH_SPAN = "X"
+PH_COUNTER = "C"
+PH_META = "M"
+PH_INSTANT = "i"
+PID_MODELED = 1
+
+
+def fail(msg):
+    raise SystemExit(f"FAIL: {msg}")
+
+
+def check_stats_group(node, path="stats"):
+    for key in ("group", "stats"):
+        if key not in node:
+            fail(f"{path}: missing '{key}'")
+    if not isinstance(node["stats"], dict):
+        fail(f"{path}: 'stats' is not an object")
+    for name, entry in node["stats"].items():
+        for key in ("value", "desc", "kind"):
+            if key not in entry:
+                fail(f"{path}.{name}: missing '{key}'")
+        if entry["kind"] not in ("scalar", "formula", "distribution"):
+            fail(f"{path}.{name}: unknown kind '{entry['kind']}'")
+        if entry["kind"] == "distribution":
+            for key in ("count", "min", "max", "mean", "variance"):
+                if key not in entry:
+                    fail(f"{path}.{name}: distribution missing '{key}'")
+    for child in node.get("children", []):
+        check_stats_group(child, f"{path}.{child.get('group', '?')}")
+
+
+def check_stats(path):
+    with open(path) as f:
+        doc = json.load(f)
+    for key in ("kernel", "cycles", "seconds", "dram_bytes"):
+        if key not in doc:
+            fail(f"{path}: missing '{key}'")
+    if doc["cycles"] <= 0:
+        fail(f"{path}: non-positive cycles")
+
+    if "stats" in doc:
+        check_stats_group(doc["stats"])
+    if "utilization" in doc:
+        util = doc["utilization"]
+        for key in (
+            "alu_occupancy",
+            "tree_occupancy",
+            "bandwidth_utilization",
+            "cache_hit_rate",
+            "sequential_op_fraction",
+            "reconfig_hidden_frac",
+            "arithmetic_intensity",
+            "achieved_gflops",
+            "attainable_gflops",
+        ):
+            if key not in util:
+                fail(f"{path}: utilization missing '{key}'")
+        for key in ("alu_occupancy", "cache_hit_rate",
+                    "reconfig_hidden_frac"):
+            if not 0.0 <= util[key] <= 1.0:
+                fail(f"{path}: utilization.{key} outside [0, 1]")
+    if "snapshots" in doc:
+        snap = doc["snapshots"]
+        for key in ("interval", "columns", "rows"):
+            if key not in snap:
+                fail(f"{path}: snapshots missing '{key}'")
+        ncols = len(snap["columns"])
+        prev = -1
+        for row in snap["rows"]:
+            if len(row["values"]) != ncols:
+                fail(f"{path}: snapshot row width != column count")
+            if row["cycle"] < prev:
+                fail(f"{path}: snapshot cycles not monotone")
+            prev = row["cycle"]
+
+    print(
+        f"{path}: ok (cycles={doc['cycles']}"
+        + (f", {len(doc['snapshots']['rows'])} snapshot rows"
+           if "snapshots" in doc else "")
+        + ")"
+    )
+    return doc
+
+
+def check_timeline(path, cycles=None):
+    with open(path) as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not events:
+        fail(f"{path}: no traceEvents")
+
+    counts = {PH_SPAN: 0, PH_COUNTER: 0, PH_META: 0, PH_INSTANT: 0}
+    for i, ev in enumerate(events):
+        where = f"{path}: event {i}"
+        for key in ("ph", "pid", "name"):
+            if key not in ev:
+                fail(f"{where}: missing '{key}'")
+        ph = ev["ph"]
+        if ph not in counts:
+            fail(f"{where}: unknown ph '{ph}'")
+        counts[ph] += 1
+        if ph == PH_META:
+            continue
+        if "ts" not in ev or "tid" not in ev:
+            fail(f"{where}: missing 'ts'/'tid'")
+        if ev["ts"] < 0:
+            fail(f"{where}: negative ts")
+        if ph == PH_SPAN:
+            if "dur" not in ev or ev["dur"] < 0:
+                fail(f"{where}: span without non-negative dur")
+            if cycles is not None and ev["pid"] == PID_MODELED:
+                if ev["ts"] + ev["dur"] > cycles:
+                    fail(
+                        f"{where}: modeled span [{ev['ts']}, "
+                        f"{ev['ts'] + ev['dur']}] beyond run end "
+                        f"{cycles}"
+                    )
+        elif ph == PH_COUNTER:
+            if "value" not in ev.get("args", {}):
+                fail(f"{where}: counter without args.value")
+
+    if counts[PH_SPAN] == 0:
+        fail(f"{path}: no complete spans recorded")
+    if counts[PH_META] == 0:
+        fail(f"{path}: no metadata events (track names missing)")
+    print(
+        f"{path}: ok ({counts[PH_SPAN]} spans, "
+        f"{counts[PH_COUNTER]} counter samples, "
+        f"{counts[PH_META]} metadata events)"
+    )
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("timeline", help="Chrome trace JSON from --timeline")
+    ap.add_argument(
+        "--stats",
+        metavar="STATS.json",
+        help="alr_sim --json document; also bounds modeled spans",
+    )
+    args = ap.parse_args()
+
+    cycles = None
+    if args.stats:
+        cycles = check_stats(args.stats)["cycles"]
+    check_timeline(args.timeline, cycles)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
