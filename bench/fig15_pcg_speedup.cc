@@ -57,7 +57,8 @@ main()
             .add("alrescha_speedup", alr_x)
             .add("memristive_speedup", mem_x)
             .add("alrescha_bw_utilization",
-                 acc.report().bandwidthUtilization);
+                 acc.report().bandwidthUtilization)
+            .raw("stats", modeledStats(acc).dump(6));
         json_rows.add(row, 2);
     }
     table.addRow({"geo-mean", fmt(geoMean(alr_speedups), 1),

@@ -31,13 +31,16 @@ CacheModel::touch(CacheVec vec, Index chunk)
 }
 
 uint64_t
-CacheModel::read(CacheVec vec, Index chunk, bool on_critical_path)
+CacheModel::read(CacheVec vec, Index chunk, bool on_critical_path,
+                 bool *was_miss)
 {
     ++_reads;
     // Port occupancy: the SRAM is pipelined, accepting one access per
     // cycle; cacheLatency is the (hidden or exposed) access latency.
     _busyCycles += 1.0;
     uint64_t fill = touch(vec, chunk);
+    if (was_miss)
+        *was_miss = fill > 0;
     if (!on_critical_path) {
         // Prefetched: the miss costs bandwidth (the line fill shares
         // the pipe with the block stream), never latency.
@@ -50,12 +53,14 @@ CacheModel::read(CacheVec vec, Index chunk, bool on_critical_path)
 }
 
 uint64_t
-CacheModel::write(CacheVec vec, Index chunk)
+CacheModel::write(CacheVec vec, Index chunk, bool *was_miss)
 {
     ++_writes;
     _busyCycles += 1.0;
     // Writes are buffered; allocation happens off the critical path.
-    touch(vec, chunk);
+    uint64_t fill = touch(vec, chunk);
+    if (was_miss)
+        *was_miss = fill > 0;
     return 0;
 }
 

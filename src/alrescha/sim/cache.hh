@@ -41,11 +41,15 @@ class CacheModel
      * and the few contention cycles are returned for the engine to
      * charge against the stream.  Dependent reads (D-SymGS operands)
      * pay the access latency, plus the full DRAM fill on a miss.
+     *
+     * @p was_miss, when non-null, reports whether the access missed
+     * (profiler byte attribution); it does not affect the model.
      */
-    uint64_t read(CacheVec vec, Index chunk, bool on_critical_path);
+    uint64_t read(CacheVec vec, Index chunk, bool on_critical_path,
+                  bool *was_miss = nullptr);
 
-    /** Write a chunk back; writes allocate. */
-    uint64_t write(CacheVec vec, Index chunk);
+    /** Write a chunk back; writes allocate.  @p was_miss as in read. */
+    uint64_t write(CacheVec vec, Index chunk, bool *was_miss = nullptr);
 
     double reads() const { return _reads.value(); }
     double writes() const { return _writes.value(); }

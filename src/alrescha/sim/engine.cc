@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "alrescha/sim/profile.hh"
 #include "alrescha/sim/reduce.hh"
 #include "alrescha/sim/replay.hh"
 #include "common/logging.hh"
@@ -12,6 +13,8 @@
 #include "common/trace.hh"
 
 namespace alr {
+
+using profile::Cause;
 
 /** Cached schedules kept per engine before evicting the oldest. */
 constexpr size_t kMaxCachedSchedules = 8;
@@ -209,6 +212,8 @@ Engine::runSpmv(const DenseVector &x, RunTiming *timing)
     const uint64_t tlBase = totalCycles();
     int64_t segStart = -1;
     DataPathType segDp{};
+    profile::RunScope prof;
+    const uint64_t lineBytes = _params.cacheLineBytes;
 
     const Index omega = _params.omega;
     DenseVector y(_ld->rows(), 0.0);
@@ -227,11 +232,15 @@ Engine::runSpmv(const DenseVector &x, RunTiming *timing)
                            t.cycles - uint64_t(segStart));
             segStart = -1;
         }
-        uint64_t cfg = _rcu.reconfigure(e.dp);
+        uint64_t hidden = 0;
+        uint64_t cfg = _rcu.reconfigure(e.dp, &hidden);
         if (cfg) {
             if (tlOn)
                 timeline::span("reconfig", "rcu", timeline::kTidRcu,
                                tlBase + t.cycles, cfg);
+            prof.add(e.dp, blk.blockRow, Cause::ReconfigHidden, hidden);
+            prof.add(e.dp, blk.blockRow, Cause::ReconfigExposed,
+                     cfg - hidden);
             t.cycles += cfg;
             filled = false;
         }
@@ -240,6 +249,7 @@ Engine::runSpmv(const DenseVector &x, RunTiming *timing)
             if (tlOn)
                 timeline::span("fill", "fcu", timeline::kTidFcu,
                                tlBase + t.cycles, fill);
+            prof.add(e.dp, blk.blockRow, Cause::FcuCompute, fill);
             t.cycles += fill;
             filled = true;
         }
@@ -248,13 +258,23 @@ Engine::runSpmv(const DenseVector &x, RunTiming *timing)
             segDp = e.dp;
         }
         if (int64_t(blk.blockRow) != curRow) {
-            if (curRow >= 0)
+            if (curRow >= 0) {
+                bool wMiss = false;
                 t.cycles += _rcu.cache().write(CacheVec::Out,
-                                               Index(curRow));
+                                               Index(curRow), &wMiss);
+                if (wMiss)
+                    prof.add(e.dp, curRow, Cause::CacheMiss, 0,
+                             lineBytes);
+            }
             curRow = blk.blockRow;
         }
 
-        t.cycles += _rcu.cache().read(CacheVec::Xt, blk.blockCol, false);
+        bool xMiss = false;
+        uint64_t xRead =
+            _rcu.cache().read(CacheVec::Xt, blk.blockCol, false, &xMiss);
+        prof.add(e.dp, blk.blockRow, Cause::CacheMiss, xRead,
+                 xMiss ? lineBytes : 0);
+        t.cycles += xRead;
 
         Index c0 = blk.blockCol * omega;
         for (Index lc = 0; lc < omega; ++lc) {
@@ -280,24 +300,39 @@ Engine::runSpmv(const DenseVector &x, RunTiming *timing)
             parFlops += 2.0 * useful;
             usefulBytes += double(useful) * sizeof(Value);
         }
-        uint64_t bc;
+        uint64_t bc, streamedBytes;
         if (_params.skipEmptyBlockRows) {
-            _memory.recordStream(uint64_t(occupied) * omega *
-                                 sizeof(Value));
+            streamedBytes = uint64_t(occupied) * omega * sizeof(Value);
+            _memory.recordStream(streamedBytes);
             bc = streamRowsCycles(occupied);
         } else {
-            _memory.recordStream(uint64_t(blk.size) * sizeof(Value));
+            streamedBytes = uint64_t(blk.size) * sizeof(Value);
+            _memory.recordStream(streamedBytes);
             bc = streamBlockCycles(blk);
+        }
+        if (prof.on()) {
+            uint64_t memC = _memory.streamCycles(streamedBytes);
+            prof.add(e.dp, blk.blockRow, Cause::Stream, memC,
+                     streamedBytes);
+            prof.add(e.dp, blk.blockRow, Cause::FcuCompute, bc - memC);
         }
         t.cycles += bc;
         t.parCycles += bc;
     }
-    if (curRow >= 0)
-        t.cycles += _rcu.cache().write(CacheVec::Out, Index(curRow));
+    if (curRow >= 0) {
+        bool wMiss = false;
+        t.cycles +=
+            _rcu.cache().write(CacheVec::Out, Index(curRow), &wMiss);
+        if (wMiss)
+            prof.add(DataPathType::Gemv, curRow, Cause::CacheMiss, 0,
+                     lineBytes);
+    }
     if (tlOn && segStart >= 0)
         timeline::span(toString(segDp), "datapath", timeline::kTidDataPath,
                        tlBase + segStart, t.cycles - uint64_t(segStart));
     t.cycles += uint64_t(_params.drainCycles());
+    prof.add(DataPathType::Gemv, -1, Cause::TreeDrain,
+             uint64_t(_params.drainCycles()));
     _fcu.noteOps(fcuOps);
     if (parFlops != 0.0)
         _parFlops += parFlops;
@@ -321,6 +356,12 @@ Engine::runSpmvScheduled(const ExecSchedule &sched, const DenseVector &x,
     timeline::ScopedHostSpan hostSpan("spmv.sched", "run");
     const bool tlOn = timeline::enabled();
     const uint64_t tlBase = totalCycles();
+    profile::RunScope prof;
+    const uint64_t lineBytes = _params.cacheLineBytes;
+    // Compile-time reconfig charges are drain + exposed; the hidden
+    // share is the drain (see reconfigDelta in schedule.cc).
+    const uint64_t cfgExposed = uint64_t(
+        std::max(0, _params.configCycles - _params.drainCycles()));
 
     // Functional pass: block-row groups touch disjoint output rows, so
     // they may run in parallel; within a group the path order (and thus
@@ -347,10 +388,14 @@ Engine::runSpmvScheduled(const ExecSchedule &sched, const DenseVector &x,
     int64_t segStart = -1;
     DataPathType segDp{};
     if (S.pathCount > 0) {
-        uint64_t cfg0 = _rcu.reconfigure(S.dp[0]);
+        uint64_t hidden0 = 0;
+        uint64_t cfg0 = _rcu.reconfigure(S.dp[0], &hidden0);
         if (tlOn && cfg0)
             timeline::span("reconfig", "rcu", timeline::kTidRcu, tlBase,
                            cfg0);
+        prof.add(S.dp[0], S.blockRow[0], Cause::ReconfigHidden, hidden0);
+        prof.add(S.dp[0], S.blockRow[0], Cause::ReconfigExposed,
+                 cfg0 - hidden0);
         t.cycles += cfg0;
         for (size_t i = 0; i < S.pathCount; ++i) {
             if (tlOn && segStart >= 0 && S.dp[i] != segDp) {
@@ -362,26 +407,53 @@ Engine::runSpmvScheduled(const ExecSchedule &sched, const DenseVector &x,
             if (tlOn && S.cfgCycles[i])
                 timeline::span("reconfig", "rcu", timeline::kTidRcu,
                                tlBase + t.cycles, S.cfgCycles[i]);
+            if (S.cfgCycles[i]) {
+                prof.add(S.dp[i], S.blockRow[i], Cause::ReconfigHidden,
+                         S.cfgCycles[i] - cfgExposed);
+                prof.add(S.dp[i], S.blockRow[i], Cause::ReconfigExposed,
+                         cfgExposed);
+            }
             t.cycles += S.cfgCycles[i];
             if (tlOn && S.fillCycles[i])
                 timeline::span("fill", "fcu", timeline::kTidFcu,
                                tlBase + t.cycles, S.fillCycles[i]);
+            prof.add(S.dp[i], S.blockRow[i], Cause::FcuCompute,
+                     S.fillCycles[i]);
             t.cycles += S.fillCycles[i];
             if (tlOn && segStart < 0) {
                 segStart = int64_t(t.cycles);
                 segDp = S.dp[i];
             }
-            if (S.writeOutRow[i] >= 0)
-                t.cycles += _rcu.cache().write(CacheVec::Out,
-                                               Index(S.writeOutRow[i]));
-            t.cycles += _rcu.cache().read(S.operandVec[i], S.blockCol[i],
-                                          false);
+            if (S.writeOutRow[i] >= 0) {
+                bool wMiss = false;
+                t.cycles += _rcu.cache().write(
+                    CacheVec::Out, Index(S.writeOutRow[i]), &wMiss);
+                if (wMiss)
+                    prof.add(S.dp[i], S.writeOutRow[i], Cause::CacheMiss,
+                             0, lineBytes);
+            }
+            bool xMiss = false;
+            uint64_t xRead = _rcu.cache().read(S.operandVec[i],
+                                               S.blockCol[i], false,
+                                               &xMiss);
+            prof.add(S.dp[i], S.blockRow[i], Cause::CacheMiss, xRead,
+                     xMiss ? lineBytes : 0);
+            t.cycles += xRead;
+            prof.add(S.dp[i], S.blockRow[i], Cause::Stream,
+                     S.memCycles[i], S.streamBytes[i]);
+            prof.add(S.dp[i], S.blockRow[i], Cause::FcuCompute,
+                     S.streamCycles[i] - S.memCycles[i]);
             t.cycles += S.streamCycles[i];
             t.parCycles += S.streamCycles[i];
         }
-        if (S.finalOutRow >= 0)
+        if (S.finalOutRow >= 0) {
+            bool wMiss = false;
             t.cycles += _rcu.cache().write(CacheVec::Out,
-                                           Index(S.finalOutRow));
+                                           Index(S.finalOutRow), &wMiss);
+            if (wMiss)
+                prof.add(S.lastDp, S.finalOutRow, Cause::CacheMiss, 0,
+                         lineBytes);
+        }
         _rcu.setConfigured(S.lastDp);
         _rcu.noteReconfigs(S.reconfigCount, S.reconfigStall);
         _memory.recordStream(S.totalStreamBytes);
@@ -395,6 +467,8 @@ Engine::runSpmvScheduled(const ExecSchedule &sched, const DenseVector &x,
         timeline::span(toString(segDp), "datapath", timeline::kTidDataPath,
                        tlBase + segStart, t.cycles - uint64_t(segStart));
     t.cycles += uint64_t(_params.drainCycles());
+    prof.add(DataPathType::Gemv, -1, Cause::TreeDrain,
+             uint64_t(_params.drainCycles()));
     ALR_TRACE("spmv(sched): %zu paths, %llu cycles", S.pathCount,
               (unsigned long long)t.cycles);
     emitTimelineTail(tlBase, t, nullptr);
@@ -417,6 +491,8 @@ Engine::runSpmm(const std::vector<DenseVector> &xs, RunTiming *timing)
 
     timeline::ScopedHostSpan hostSpan("spmm", "run");
     const uint64_t tlBase = totalCycles();
+    profile::RunScope prof;
+    const uint64_t lineBytes = _params.cacheLineBytes;
 
     const Index omega = _params.omega;
     const size_t k = xs.size();
@@ -431,28 +507,45 @@ Engine::runSpmm(const std::vector<DenseVector> &xs, RunTiming *timing)
     std::vector<DenseVector> chunks(k, DenseVector(omega, 0.0));
     for (const ConfigEntry &e : _table->entries()) {
         const LdBlockInfo &blk = _ld->blocks()[e.blockId];
-        uint64_t cfg = _rcu.reconfigure(e.dp);
+        uint64_t hidden = 0;
+        uint64_t cfg = _rcu.reconfigure(e.dp, &hidden);
         if (cfg) {
+            prof.add(e.dp, blk.blockRow, Cause::ReconfigHidden, hidden);
+            prof.add(e.dp, blk.blockRow, Cause::ReconfigExposed,
+                     cfg - hidden);
             t.cycles += cfg;
             filled = false;
         }
         if (!filled) {
-            t.cycles += uint64_t(_fcu.fillLatency(ReduceOp::Sum));
+            uint64_t fill = uint64_t(_fcu.fillLatency(ReduceOp::Sum));
+            prof.add(e.dp, blk.blockRow, Cause::FcuCompute, fill);
+            t.cycles += fill;
             filled = true;
         }
         if (int64_t(blk.blockRow) != curRow) {
             if (curRow >= 0) {
-                for (size_t j = 0; j < k; ++j)
+                for (size_t j = 0; j < k; ++j) {
+                    bool wMiss = false;
                     t.cycles += _rcu.cache().write(CacheVec::Out,
-                                                   Index(curRow));
+                                                   Index(curRow), &wMiss);
+                    if (wMiss)
+                        prof.add(e.dp, curRow, Cause::CacheMiss, 0,
+                                 lineBytes);
+                }
             }
             curRow = blk.blockRow;
         }
 
         // One chunk read per RHS (distinct cache lines).
-        for (size_t j = 0; j < k; ++j)
-            t.cycles += _rcu.cache().read(CacheVec::Xt, blk.blockCol,
-                                          false);
+        for (size_t j = 0; j < k; ++j) {
+            bool xMiss = false;
+            uint64_t xRead = _rcu.cache().read(CacheVec::Xt,
+                                               blk.blockCol, false,
+                                               &xMiss);
+            prof.add(e.dp, blk.blockRow, Cause::CacheMiss, xRead,
+                     xMiss ? lineBytes : 0);
+            t.cycles += xRead;
+        }
 
         Index c0 = blk.blockCol * omega;
         for (size_t j = 0; j < k; ++j) {
@@ -487,20 +580,30 @@ Engine::runSpmm(const std::vector<DenseVector> &xs, RunTiming *timing)
         // The block streams once; its rows issue once per RHS.
         Index streamedRows =
             _params.skipEmptyBlockRows ? occupied : omega;
-        _memory.recordStream(uint64_t(streamedRows) * omega *
-                             sizeof(Value));
-        uint64_t mem = _memory.streamCycles(uint64_t(streamedRows) *
-                                            omega * sizeof(Value));
+        uint64_t streamedBytes =
+            uint64_t(streamedRows) * omega * sizeof(Value);
+        _memory.recordStream(streamedBytes);
+        uint64_t mem = _memory.streamCycles(streamedBytes);
         uint64_t issue = uint64_t(streamedRows) * k;
         uint64_t bc = std::max(mem, issue);
+        prof.add(e.dp, blk.blockRow, Cause::Stream, mem, streamedBytes);
+        prof.add(e.dp, blk.blockRow, Cause::FcuCompute, bc - mem);
         t.cycles += bc;
         t.parCycles += bc;
     }
     if (curRow >= 0) {
-        for (size_t j = 0; j < k; ++j)
-            t.cycles += _rcu.cache().write(CacheVec::Out, Index(curRow));
+        for (size_t j = 0; j < k; ++j) {
+            bool wMiss = false;
+            t.cycles += _rcu.cache().write(CacheVec::Out, Index(curRow),
+                                           &wMiss);
+            if (wMiss)
+                prof.add(DataPathType::Gemv, curRow, Cause::CacheMiss, 0,
+                         lineBytes);
+        }
     }
     t.cycles += uint64_t(_params.drainCycles());
+    prof.add(DataPathType::Gemv, -1, Cause::TreeDrain,
+             uint64_t(_params.drainCycles()));
     _fcu.noteOps(fcuOps);
     if (parFlops != 0.0)
         _parFlops += parFlops;
@@ -553,28 +656,67 @@ Engine::runSpmmScheduled(const ExecSchedule &sched,
     }
 
     RunTiming t;
+    profile::RunScope prof;
+    const uint64_t lineBytes = _params.cacheLineBytes;
+    const uint64_t cfgExposed = uint64_t(
+        std::max(0, _params.configCycles - _params.drainCycles()));
     if (S.pathCount > 0) {
-        t.cycles += _rcu.reconfigure(S.dp[0]);
+        uint64_t hidden0 = 0;
+        uint64_t cfg0 = _rcu.reconfigure(S.dp[0], &hidden0);
+        prof.add(S.dp[0], S.blockRow[0], Cause::ReconfigHidden, hidden0);
+        prof.add(S.dp[0], S.blockRow[0], Cause::ReconfigExposed,
+                 cfg0 - hidden0);
+        t.cycles += cfg0;
         for (size_t i = 0; i < S.pathCount; ++i) {
+            if (S.cfgCycles[i]) {
+                prof.add(S.dp[i], S.blockRow[i], Cause::ReconfigHidden,
+                         S.cfgCycles[i] - cfgExposed);
+                prof.add(S.dp[i], S.blockRow[i], Cause::ReconfigExposed,
+                         cfgExposed);
+            }
             t.cycles += S.cfgCycles[i];
+            prof.add(S.dp[i], S.blockRow[i], Cause::FcuCompute,
+                     S.fillCycles[i]);
             t.cycles += S.fillCycles[i];
             if (S.writeOutRow[i] >= 0) {
-                for (size_t j = 0; j < k; ++j)
+                for (size_t j = 0; j < k; ++j) {
+                    bool wMiss = false;
                     t.cycles += _rcu.cache().write(
-                        CacheVec::Out, Index(S.writeOutRow[i]));
+                        CacheVec::Out, Index(S.writeOutRow[i]), &wMiss);
+                    if (wMiss)
+                        prof.add(S.dp[i], S.writeOutRow[i],
+                                 Cause::CacheMiss, 0, lineBytes);
+                }
             }
-            for (size_t j = 0; j < k; ++j)
-                t.cycles += _rcu.cache().read(S.operandVec[i],
-                                              S.blockCol[i], false);
+            for (size_t j = 0; j < k; ++j) {
+                bool xMiss = false;
+                uint64_t xRead = _rcu.cache().read(S.operandVec[i],
+                                                   S.blockCol[i], false,
+                                                   &xMiss);
+                prof.add(S.dp[i], S.blockRow[i], Cause::CacheMiss, xRead,
+                         xMiss ? lineBytes : 0);
+                t.cycles += xRead;
+            }
             uint64_t bc = std::max(S.spmmMemCycles[i],
                                    uint64_t(S.streamedRows[i]) * k);
+            prof.add(S.dp[i], S.blockRow[i], Cause::Stream,
+                     S.spmmMemCycles[i],
+                     uint64_t(S.streamedRows[i]) * S.omega *
+                         sizeof(Value));
+            prof.add(S.dp[i], S.blockRow[i], Cause::FcuCompute,
+                     bc - S.spmmMemCycles[i]);
             t.cycles += bc;
             t.parCycles += bc;
         }
         if (S.finalOutRow >= 0) {
-            for (size_t j = 0; j < k; ++j)
-                t.cycles += _rcu.cache().write(CacheVec::Out,
-                                               Index(S.finalOutRow));
+            for (size_t j = 0; j < k; ++j) {
+                bool wMiss = false;
+                t.cycles += _rcu.cache().write(
+                    CacheVec::Out, Index(S.finalOutRow), &wMiss);
+                if (wMiss)
+                    prof.add(DataPathType::Gemv, S.finalOutRow,
+                             Cause::CacheMiss, 0, lineBytes);
+            }
         }
         _rcu.setConfigured(S.lastDp);
         _rcu.noteReconfigs(S.reconfigCount, S.reconfigStall);
@@ -590,6 +732,8 @@ Engine::runSpmmScheduled(const ExecSchedule &sched,
             _usefulBytes += S.usefulBytes;
     }
     t.cycles += uint64_t(_params.drainCycles());
+    prof.add(DataPathType::Gemv, -1, Cause::TreeDrain,
+             uint64_t(_params.drainCycles()));
     emitTimelineTail(tlBase, t, "spmm");
     addTiming(timing, t);
     return ys;
@@ -618,6 +762,8 @@ Engine::runSymgsSweep(const DenseVector &b, DenseVector &x,
     const uint64_t tlBase = totalCycles();
     int64_t segStart = -1;
     DataPathType segDp{};
+    profile::RunScope prof;
+    const uint64_t lineBytes = _params.cacheLineBytes;
 
     const Index omega = _params.omega;
     const DenseVector &diag = _ld->diagonal();
@@ -654,11 +800,15 @@ Engine::runSymgsSweep(const DenseVector &b, DenseVector &x,
                            stream_t - uint64_t(segStart));
             segStart = -1;
         }
-        uint64_t cfg = _rcu.reconfigure(e.dp);
+        uint64_t hidden = 0;
+        uint64_t cfg = _rcu.reconfigure(e.dp, &hidden);
         if (cfg) {
             if (tlOn)
                 timeline::span("reconfig", "rcu", timeline::kTidRcu,
                                tlBase + stream_t, cfg);
+            prof.add(e.dp, blk.blockRow, Cause::ReconfigHidden, hidden);
+            prof.add(e.dp, blk.blockRow, Cause::ReconfigExposed,
+                     cfg - hidden);
             stream_t += cfg;
             filled = false;
         }
@@ -669,6 +819,7 @@ Engine::runSymgsSweep(const DenseVector &b, DenseVector &x,
                 if (tlOn)
                     timeline::span("fill", "fcu", timeline::kTidFcu,
                                    tlBase + stream_t, fill);
+                prof.add(e.dp, blk.blockRow, Cause::FcuCompute, fill);
                 stream_t += fill;
                 filled = true;
             }
@@ -678,7 +829,12 @@ Engine::runSymgsSweep(const DenseVector &b, DenseVector &x,
             }
             CacheVec vec = e.op == OperandPort::Port1 ? CacheVec::Xt
                                                       : CacheVec::Xprev;
-            stream_t += _rcu.cache().read(vec, blk.blockCol, false);
+            bool xMiss = false;
+            uint64_t xRead =
+                _rcu.cache().read(vec, blk.blockCol, false, &xMiss);
+            prof.add(e.dp, blk.blockRow, Cause::CacheMiss, xRead,
+                     xMiss ? lineBytes : 0);
+            stream_t += xRead;
 
             Index c0 = blk.blockCol * omega;
             for (Index lc = 0; lc < omega; ++lc) {
@@ -709,14 +865,25 @@ Engine::runSymgsSweep(const DenseVector &b, DenseVector &x,
                 parFlops += 2.0 * useful;
                 usefulBytes += double(useful) * sizeof(Value);
             }
+            uint64_t bc, streamedBytes;
             if (_params.skipEmptyBlockRows) {
-                _memory.recordStream(uint64_t(occupied) * omega *
-                                     sizeof(Value));
-                stream_t += streamRowsCycles(occupied);
+                streamedBytes = uint64_t(occupied) * omega *
+                                sizeof(Value);
+                _memory.recordStream(streamedBytes);
+                bc = streamRowsCycles(occupied);
             } else {
-                _memory.recordStream(uint64_t(blk.size) * sizeof(Value));
-                stream_t += streamBlockCycles(blk);
+                streamedBytes = uint64_t(blk.size) * sizeof(Value);
+                _memory.recordStream(streamedBytes);
+                bc = streamBlockCycles(blk);
             }
+            if (prof.on()) {
+                uint64_t memC = _memory.streamCycles(streamedBytes);
+                prof.add(e.dp, blk.blockRow, Cause::Stream, memC,
+                         streamedBytes);
+                prof.add(e.dp, blk.blockRow, Cause::FcuCompute,
+                         bc - memC);
+            }
+            stream_t += bc;
             _rcu.linkStack().push(partials);
             if (tlOn)
                 timeline::counter("link_depth", tlBase + stream_t,
@@ -732,17 +899,32 @@ Engine::runSymgsSweep(const DenseVector &b, DenseVector &x,
             // rotates into the next row's operands (Fig 10).
             Index br = blk.blockRow;
             Index r0 = br * omega;
-            _memory.recordStream(uint64_t(blk.size) * sizeof(Value));
-            stream_t += streamBlockCycles(blk);
+            uint64_t blkBytes = uint64_t(blk.size) * sizeof(Value);
+            _memory.recordStream(blkBytes);
+            uint64_t bc = streamBlockCycles(blk);
+            stream_t += bc;
             Index validRows = std::min<Index>(omega, _ld->rows() - r0);
             // b arrives through its FIFO, streamed once per sweep.
             _memory.recordStream(uint64_t(validRows) * sizeof(Value));
             usefulBytes += double(validRows) * sizeof(Value);
+            if (prof.on()) {
+                uint64_t memC = _memory.streamCycles(blkBytes);
+                prof.add(e.dp, br, Cause::Stream, memC,
+                         blkBytes + uint64_t(validRows) * sizeof(Value));
+                prof.add(e.dp, br, Cause::FcuCompute, bc - memC);
+            }
 
             // The chain starts once this block row's partials are
             // through the tree and the previous chain link finished.
+            // The diagonal read is on the dependence timeline, so its
+            // latency lands in DSymgsWait; only its miss bytes are
+            // attributed here.
+            bool dMiss = false;
             uint64_t diag_read = _rcu.cache().read(CacheVec::Diag, br,
-                                                   true);
+                                                   true, &dMiss);
+            if (dMiss)
+                prof.add(e.dp, br, Cause::CacheMiss, 0, lineBytes);
+            uint64_t dep_in = dep_t;
             uint64_t start =
                 std::max(stream_t + uint64_t(_params.pipelineDepth()),
                          dep_t) +
@@ -777,7 +959,13 @@ Engine::runSymgsSweep(const DenseVector &b, DenseVector &x,
                 seqFlops += 2.0 * useful + 2.0;
                 usefulBytes += double(useful + 2) * sizeof(Value);
             }
-            dep_t = start + chain + _rcu.cache().write(CacheVec::Xt, br);
+            bool xwMiss = false;
+            uint64_t xtWrite = _rcu.cache().write(CacheVec::Xt, br,
+                                                  &xwMiss);
+            if (xwMiss)
+                prof.add(e.dp, br, Cause::CacheMiss, 0, lineBytes);
+            dep_t = start + chain + xtWrite;
+            prof.chain(br, stream_t, dep_in, start, chain, dep_t);
             t.seqCycles += chain;
             filled = false; // tree was used in single-shot mode
             if (tlOn) {
@@ -792,6 +980,10 @@ Engine::runSymgsSweep(const DenseVector &b, DenseVector &x,
                        tlBase + segStart, stream_t - uint64_t(segStart));
     t.parCycles = stream_t;
     t.cycles = std::max(stream_t, dep_t) + uint64_t(_params.drainCycles());
+    prof.add(DataPathType::DSymgs, -1, Cause::TreeDrain,
+             uint64_t(_params.drainCycles()));
+    prof.commitSymgs(stream_t, dep_t,
+                     uint64_t(_params.pipelineDepth()));
     _fcu.noteOps(fcuOps);
     _rcu.notePeOps(peOps);
     if (parFlops != 0.0)
@@ -822,6 +1014,10 @@ Engine::runSymgsScheduled(const ExecSchedule &sched, const DenseVector &b,
     const uint64_t tlBase = totalCycles();
     int64_t segStart = -1;
     DataPathType segDp{};
+    profile::RunScope prof;
+    const uint64_t lineBytes = _params.cacheLineBytes;
+    const uint64_t cfgExposed = uint64_t(
+        std::max(0, _params.configCycles - _params.drainCycles()));
 
     // Fused functional + timing pass: the sweep is inherently
     // sequential (each diagonal chain updates x for the GEMV gathers
@@ -839,10 +1035,14 @@ Engine::runSymgsScheduled(const ExecSchedule &sched, const DenseVector &b,
     std::vector<Value> partials(omega);
     std::vector<Value> lanes(fcutree::ceilPow2(omega));
     if (S.pathCount > 0) {
-        uint64_t cfg0 = _rcu.reconfigure(S.dp[0]);
+        uint64_t hidden0 = 0;
+        uint64_t cfg0 = _rcu.reconfigure(S.dp[0], &hidden0);
         if (tlOn && cfg0)
             timeline::span("reconfig", "rcu", timeline::kTidRcu, tlBase,
                            cfg0);
+        prof.add(S.dp[0], S.blockRow[0], Cause::ReconfigHidden, hidden0);
+        prof.add(S.dp[0], S.blockRow[0], Cause::ReconfigExposed,
+                 cfg0 - hidden0);
         stream_t += cfg0;
         for (size_t i = 0; i < S.pathCount; ++i) {
             if (tlOn && segStart >= 0 && S.dp[i] != segDp) {
@@ -854,20 +1054,37 @@ Engine::runSymgsScheduled(const ExecSchedule &sched, const DenseVector &b,
             if (tlOn && S.cfgCycles[i])
                 timeline::span("reconfig", "rcu", timeline::kTidRcu,
                                tlBase + stream_t, S.cfgCycles[i]);
+            if (S.cfgCycles[i]) {
+                prof.add(S.dp[i], S.blockRow[i], Cause::ReconfigHidden,
+                         S.cfgCycles[i] - cfgExposed);
+                prof.add(S.dp[i], S.blockRow[i], Cause::ReconfigExposed,
+                         cfgExposed);
+            }
             stream_t += S.cfgCycles[i];
             if (S.dp[i] == DataPathType::Gemv) {
                 if (tlOn && S.fillCycles[i])
                     timeline::span("fill", "fcu", timeline::kTidFcu,
                                    tlBase + stream_t, S.fillCycles[i]);
+                prof.add(S.dp[i], S.blockRow[i], Cause::FcuCompute,
+                         S.fillCycles[i]);
                 stream_t += S.fillCycles[i];
                 if (tlOn && segStart < 0) {
                     segStart = int64_t(stream_t);
                     segDp = S.dp[i];
                 }
-                stream_t += _rcu.cache().read(S.operandVec[i],
-                                              S.blockCol[i], false);
+                bool xMiss = false;
+                uint64_t xRead = _rcu.cache().read(S.operandVec[i],
+                                                   S.blockCol[i], false,
+                                                   &xMiss);
+                prof.add(S.dp[i], S.blockRow[i], Cause::CacheMiss, xRead,
+                         xMiss ? lineBytes : 0);
+                stream_t += xRead;
                 std::fill(partials.begin(), partials.end(), 0.0);
                 replay::symgsGemvPath(S, i, xw, partials.data(), simd);
+                prof.add(S.dp[i], S.blockRow[i], Cause::Stream,
+                         S.memCycles[i], S.streamBytes[i]);
+                prof.add(S.dp[i], S.blockRow[i], Cause::FcuCompute,
+                         S.streamCycles[i] - S.memCycles[i]);
                 stream_t += S.streamCycles[i];
                 _rcu.linkStack().push(partials);
                 if (tlOn)
@@ -881,10 +1098,19 @@ Engine::runSymgsScheduled(const ExecSchedule &sched, const DenseVector &b,
                 }
                 Index br = S.blockRow[i];
                 Index r0 = br * omega;
+                prof.add(S.dp[i], br, Cause::Stream, S.memCycles[i],
+                         S.streamBytes[i]);
+                prof.add(S.dp[i], br, Cause::FcuCompute,
+                         S.streamCycles[i] - S.memCycles[i]);
                 stream_t += S.streamCycles[i];
 
+                bool dMiss = false;
                 uint64_t diag_read =
-                    _rcu.cache().read(CacheVec::Diag, br, true);
+                    _rcu.cache().read(CacheVec::Diag, br, true, &dMiss);
+                if (dMiss)
+                    prof.add(S.dp[i], br, Cause::CacheMiss, 0,
+                             lineBytes);
+                uint64_t dep_in = dep_t;
                 uint64_t start =
                     std::max(stream_t +
                                  uint64_t(_params.pipelineDepth()),
@@ -907,8 +1133,15 @@ Engine::runSymgsScheduled(const ExecSchedule &sched, const DenseVector &b,
                     Value sum = acc[lr] + dot;
                     xw[r] = (b[r] - sum) / diag[r];
                 }
-                dep_t = start + S.chainCycles[i] +
-                        _rcu.cache().write(CacheVec::Xt, br);
+                bool xwMiss = false;
+                uint64_t xtWrite =
+                    _rcu.cache().write(CacheVec::Xt, br, &xwMiss);
+                if (xwMiss)
+                    prof.add(S.dp[i], br, Cause::CacheMiss, 0,
+                             lineBytes);
+                dep_t = start + S.chainCycles[i] + xtWrite;
+                prof.chain(br, stream_t, dep_in, start, S.chainCycles[i],
+                           dep_t);
                 t.seqCycles += S.chainCycles[i];
                 if (tlOn) {
                     timeline::span("d-symgs chain", "datapath",
@@ -940,6 +1173,10 @@ Engine::runSymgsScheduled(const ExecSchedule &sched, const DenseVector &b,
     }
     t.parCycles = stream_t;
     t.cycles = std::max(stream_t, dep_t) + uint64_t(_params.drainCycles());
+    prof.add(DataPathType::DSymgs, -1, Cause::TreeDrain,
+             uint64_t(_params.drainCycles()));
+    prof.commitSymgs(stream_t, dep_t,
+                     uint64_t(_params.pipelineDepth()));
     ALR_TRACE("symgs(sched): stream %llu cycles, chain %llu cycles",
               (unsigned long long)stream_t, (unsigned long long)dep_t);
     emitTimelineTail(tlBase, t, nullptr);
@@ -991,6 +1228,9 @@ Engine::relaxImpl(const DenseVector &dist, bool zero_addend,
 
     timeline::ScopedHostSpan hostSpan("relax", "run");
     const uint64_t tlBase = totalCycles();
+    profile::RunScope prof;
+    const uint64_t lineBytes = _params.cacheLineBytes;
+    DataPathType drainDp = DataPathType::Gemv;
 
     DenseVector cand(_ld->rows(), inf);
     RunTiming t;
@@ -1012,28 +1252,47 @@ Engine::relaxImpl(const DenseVector &dist, bool zero_addend,
         // any candidate, so the block never leaves memory.
         if (active_chunks && !(*active_chunks)[blk.blockCol])
             continue;
-        uint64_t cfg = _rcu.reconfigure(e.dp);
+        drainDp = e.dp;
+        uint64_t hidden = 0;
+        uint64_t cfg = _rcu.reconfigure(e.dp, &hidden);
         if (cfg) {
+            prof.add(e.dp, blk.blockRow, Cause::ReconfigHidden, hidden);
+            prof.add(e.dp, blk.blockRow, Cause::ReconfigExposed,
+                     cfg - hidden);
             t.cycles += cfg;
             filled = false;
         }
         if (!filled) {
-            t.cycles += uint64_t(_fcu.fillLatency(ReduceOp::Min));
+            uint64_t fill = uint64_t(_fcu.fillLatency(ReduceOp::Min));
+            prof.add(e.dp, blk.blockRow, Cause::FcuCompute, fill);
+            t.cycles += fill;
             filled = true;
         }
         if (int64_t(blk.blockRow) != curRow) {
             if (curRow >= 0) {
                 // Assign phase: compare with the old distance chunk and
                 // write back (Table 1, phase 3).
-                t.cycles += _rcu.cache().read(CacheVec::Out,
-                                              Index(curRow), false);
+                bool rMiss = false, wMiss = false;
+                uint64_t oRead = _rcu.cache().read(
+                    CacheVec::Out, Index(curRow), false, &rMiss);
+                prof.add(e.dp, curRow, Cause::CacheMiss, oRead,
+                         rMiss ? lineBytes : 0);
+                t.cycles += oRead;
                 t.cycles += _rcu.cache().write(CacheVec::Out,
-                                               Index(curRow));
+                                               Index(curRow), &wMiss);
+                if (wMiss)
+                    prof.add(e.dp, curRow, Cause::CacheMiss, 0,
+                             lineBytes);
             }
             curRow = blk.blockRow;
         }
 
-        t.cycles += _rcu.cache().read(CacheVec::Xt, blk.blockCol, false);
+        bool xMiss = false;
+        uint64_t xRead =
+            _rcu.cache().read(CacheVec::Xt, blk.blockCol, false, &xMiss);
+        prof.add(e.dp, blk.blockRow, Cause::CacheMiss, xRead,
+                 xMiss ? lineBytes : 0);
+        t.cycles += xRead;
 
         Index c0 = blk.blockCol * omega;
         Index occupied = 0;
@@ -1061,23 +1320,40 @@ Engine::relaxImpl(const DenseVector &dist, bool zero_addend,
             parFlops += 2.0 * useful;
             usefulBytes += double(useful) * sizeof(Value);
         }
-        uint64_t bc;
+        uint64_t bc, streamedBytes;
         if (_params.skipEmptyBlockRows) {
-            _memory.recordStream(uint64_t(occupied) * omega *
-                                 sizeof(Value));
+            streamedBytes = uint64_t(occupied) * omega * sizeof(Value);
+            _memory.recordStream(streamedBytes);
             bc = streamRowsCycles(occupied);
         } else {
-            _memory.recordStream(uint64_t(blk.size) * sizeof(Value));
+            streamedBytes = uint64_t(blk.size) * sizeof(Value);
+            _memory.recordStream(streamedBytes);
             bc = streamBlockCycles(blk);
+        }
+        if (prof.on()) {
+            uint64_t memC = _memory.streamCycles(streamedBytes);
+            prof.add(e.dp, blk.blockRow, Cause::Stream, memC,
+                     streamedBytes);
+            prof.add(e.dp, blk.blockRow, Cause::FcuCompute, bc - memC);
         }
         t.cycles += bc;
         t.parCycles += bc;
     }
     if (curRow >= 0) {
-        t.cycles += _rcu.cache().read(CacheVec::Out, Index(curRow), false);
-        t.cycles += _rcu.cache().write(CacheVec::Out, Index(curRow));
+        bool rMiss = false, wMiss = false;
+        uint64_t oRead = _rcu.cache().read(CacheVec::Out, Index(curRow),
+                                           false, &rMiss);
+        prof.add(drainDp, curRow, Cause::CacheMiss, oRead,
+                 rMiss ? lineBytes : 0);
+        t.cycles += oRead;
+        t.cycles +=
+            _rcu.cache().write(CacheVec::Out, Index(curRow), &wMiss);
+        if (wMiss)
+            prof.add(drainDp, curRow, Cause::CacheMiss, 0, lineBytes);
     }
     t.cycles += uint64_t(_params.drainCycles());
+    prof.add(drainDp, -1, Cause::TreeDrain,
+             uint64_t(_params.drainCycles()));
     _fcu.noteOps(fcuOps);
     if (parFlops != 0.0)
         _parFlops += parFlops;
@@ -1106,6 +1382,9 @@ Engine::runPrRound(const DenseVector &rank,
 
     timeline::ScopedHostSpan hostSpan("pagerank", "run");
     const uint64_t tlBase = totalCycles();
+    profile::RunScope prof;
+    const uint64_t lineBytes = _params.cacheLineBytes;
+    DataPathType drainDp = DataPathType::Gemv;
 
     const Index omega = _params.omega;
     DenseVector sums(_ld->rows(), 0.0);
@@ -1118,25 +1397,43 @@ Engine::runPrRound(const DenseVector &rank,
     std::vector<Value> contrib(omega), pattern(omega);
     for (const ConfigEntry &e : _table->entries()) {
         const LdBlockInfo &blk = _ld->blocks()[e.blockId];
-        uint64_t cfg = _rcu.reconfigure(e.dp);
+        drainDp = e.dp;
+        uint64_t hidden = 0;
+        uint64_t cfg = _rcu.reconfigure(e.dp, &hidden);
         if (cfg) {
+            prof.add(e.dp, blk.blockRow, Cause::ReconfigHidden, hidden);
+            prof.add(e.dp, blk.blockRow, Cause::ReconfigExposed,
+                     cfg - hidden);
             t.cycles += cfg;
             filled = false;
         }
         if (!filled) {
-            t.cycles += uint64_t(_fcu.fillLatency(ReduceOp::Sum));
+            uint64_t fill = uint64_t(_fcu.fillLatency(ReduceOp::Sum));
+            prof.add(e.dp, blk.blockRow, Cause::FcuCompute, fill);
+            t.cycles += fill;
             filled = true;
         }
         if (int64_t(blk.blockRow) != curRow) {
-            if (curRow >= 0)
+            if (curRow >= 0) {
+                bool wMiss = false;
                 t.cycles += _rcu.cache().write(CacheVec::Out,
-                                               Index(curRow));
+                                               Index(curRow), &wMiss);
+                if (wMiss)
+                    prof.add(e.dp, curRow, Cause::CacheMiss, 0,
+                             lineBytes);
+            }
             curRow = blk.blockRow;
         }
 
         // rank chunk (port1) and out-degree chunk (port2, Table 1).
-        t.cycles += _rcu.cache().read(CacheVec::Xt, blk.blockCol, false);
-        t.cycles += _rcu.cache().read(CacheVec::Aux, blk.blockCol, false);
+        for (CacheVec vec : {CacheVec::Xt, CacheVec::Aux}) {
+            bool rdMiss = false;
+            uint64_t rd =
+                _rcu.cache().read(vec, blk.blockCol, false, &rdMiss);
+            prof.add(e.dp, blk.blockRow, Cause::CacheMiss, rd,
+                     rdMiss ? lineBytes : 0);
+            t.cycles += rd;
+        }
 
         Index c0 = blk.blockCol * omega;
         for (Index lc = 0; lc < omega; ++lc) {
@@ -1168,21 +1465,35 @@ Engine::runPrRound(const DenseVector &rank,
             parFlops += 2.0 * useful;
             usefulBytes += double(useful) * sizeof(Value);
         }
-        uint64_t bc;
+        uint64_t bc, streamedBytes;
         if (_params.skipEmptyBlockRows) {
-            _memory.recordStream(uint64_t(occupied) * omega *
-                                 sizeof(Value));
+            streamedBytes = uint64_t(occupied) * omega * sizeof(Value);
+            _memory.recordStream(streamedBytes);
             bc = streamRowsCycles(occupied);
         } else {
-            _memory.recordStream(uint64_t(blk.size) * sizeof(Value));
+            streamedBytes = uint64_t(blk.size) * sizeof(Value);
+            _memory.recordStream(streamedBytes);
             bc = streamBlockCycles(blk);
+        }
+        if (prof.on()) {
+            uint64_t memC = _memory.streamCycles(streamedBytes);
+            prof.add(e.dp, blk.blockRow, Cause::Stream, memC,
+                     streamedBytes);
+            prof.add(e.dp, blk.blockRow, Cause::FcuCompute, bc - memC);
         }
         t.cycles += bc;
         t.parCycles += bc;
     }
-    if (curRow >= 0)
-        t.cycles += _rcu.cache().write(CacheVec::Out, Index(curRow));
+    if (curRow >= 0) {
+        bool wMiss = false;
+        t.cycles +=
+            _rcu.cache().write(CacheVec::Out, Index(curRow), &wMiss);
+        if (wMiss)
+            prof.add(drainDp, curRow, Cause::CacheMiss, 0, lineBytes);
+    }
     t.cycles += uint64_t(_params.drainCycles());
+    prof.add(drainDp, -1, Cause::TreeDrain,
+             uint64_t(_params.drainCycles()));
     _fcu.noteOps(fcuOps);
     _rcu.notePeOps(peOps);
     if (parFlops != 0.0)

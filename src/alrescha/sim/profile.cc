@@ -1,0 +1,366 @@
+#include "alrescha/sim/profile.hh"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <mutex>
+
+#include "alrescha/sim/replay.hh"
+#include "common/version.hh"
+
+namespace alr::profile {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+} // namespace detail
+
+namespace {
+
+/** Bucket key: dp in the top byte, block row (+1 so -1 encodes) in the
+ *  middle 48 bits, cause in the low byte. */
+uint64_t
+key(DataPathType dp, int64_t row, Cause cause)
+{
+    return (uint64_t(dp) << 56) |
+           (uint64_t(row + 1) & 0xffffffffffffull) << 8 |
+           uint64_t(cause);
+}
+
+BucketRow
+decode(uint64_t k, const Bucket &b)
+{
+    BucketRow r;
+    r.dp = DataPathType(k >> 56);
+    r.blockRow = int64_t((k >> 8) & 0xffffffffffffull) - 1;
+    r.cause = Cause(k & 0xff);
+    r.cycles = b.cycles;
+    r.bytes = b.bytes;
+    return r;
+}
+
+struct Store
+{
+    std::mutex mutex;
+    std::unordered_map<uint64_t, Bucket> buckets;
+    std::unordered_map<int64_t, CriticalRow> critical;
+    uint64_t runs = 0;
+    uint64_t longestChainCycles = 0;
+    int64_t longestChainFirstRow = -1;
+    int64_t longestChainLastRow = -1;
+};
+
+Store &
+store()
+{
+    static Store s;
+    return s;
+}
+
+bool
+rowLess(const BucketRow &a, const BucketRow &b)
+{
+    if (a.dp != b.dp)
+        return uint8_t(a.dp) < uint8_t(b.dp);
+    if (a.blockRow != b.blockRow)
+        return a.blockRow < b.blockRow;
+    return uint8_t(a.cause) < uint8_t(b.cause);
+}
+
+} // namespace
+
+const char *
+toString(Cause c)
+{
+    switch (c) {
+      case Cause::Stream:          return "stream";
+      case Cause::FcuCompute:      return "fcu_compute";
+      case Cause::TreeDrain:       return "tree_drain";
+      case Cause::ReconfigHidden:  return "reconfig_hidden";
+      case Cause::ReconfigExposed: return "reconfig_exposed";
+      case Cause::CacheMiss:       return "cache_miss";
+      case Cause::CacheAccess:     return "cache_access";
+      case Cause::DSymgsWait:      return "dsymgs_wait";
+      case Cause::kCount:          break;
+    }
+    return "?";
+}
+
+void
+setEnabled(bool on)
+{
+    detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void
+reset()
+{
+    Store &s = store();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.buckets.clear();
+    s.critical.clear();
+    s.runs = 0;
+    s.longestChainCycles = 0;
+    s.longestChainFirstRow = -1;
+    s.longestChainLastRow = -1;
+}
+
+RunScope::~RunScope()
+{
+    commit();
+}
+
+void
+RunScope::add(DataPathType dp, int64_t block_row, Cause cause,
+              uint64_t cycles, uint64_t bytes)
+{
+    if (!_on || (cycles == 0 && bytes == 0))
+        return;
+    Bucket &b = _buckets[key(dp, block_row, cause)];
+    b.cycles += cycles;
+    b.bytes += bytes;
+}
+
+void
+RunScope::chain(int64_t block_row, uint64_t stream_t, uint64_t dep_in,
+                uint64_t start, uint64_t chain_cycles, uint64_t dep_out)
+{
+    if (!_on)
+        return;
+    _chains.push_back(
+        {block_row, stream_t, dep_in, start, chain_cycles, dep_out});
+}
+
+void
+RunScope::commit()
+{
+    if (!_on || _done)
+        return;
+    _done = true;
+    Store &s = store();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    ++s.runs;
+    for (const auto &[k, b] : _buckets) {
+        Bucket &g = s.buckets[k];
+        g.cycles += b.cycles;
+        g.bytes += b.bytes;
+    }
+}
+
+void
+RunScope::commitSymgs(uint64_t stream_t, uint64_t dep_t,
+                      uint64_t pipeline_depth)
+{
+    if (!_on || _done)
+        return;
+
+    // Distribute the exposed dependence-chain cycles backward over the
+    // chains that produced them: the last chain ends the run, so it
+    // absorbs first; earlier chains absorb what remains up to their own
+    // serialized contribution.  A chain's contribution is everything
+    // past the point where it could have started for free: its whole
+    // span past dep_in when the previous link bound it, or past its own
+    // pipeline-fill point when the stream did.  The distribution is
+    // exact by construction: takes sum to W.
+    uint64_t W = dep_t > stream_t ? dep_t - stream_t : 0;
+    uint64_t remaining = W;
+    for (size_t i = _chains.size(); i-- > 0 && remaining > 0;) {
+        ChainRec &c = _chains[i];
+        uint64_t freeStart = c.streamT + pipeline_depth;
+        uint64_t bound = std::max(c.depIn, freeStart);
+        uint64_t contrib = c.depOut > bound ? c.depOut - bound : 0;
+        uint64_t take = std::min(remaining, contrib);
+        c.wait = take;
+        remaining -= take;
+        add(DataPathType::DSymgs, c.blockRow, Cause::DSymgsWait, take);
+    }
+    // Numerically impossible to leave a remainder (the last chain's
+    // contribution reaches back at least to the stream front), but the
+    // invariant is load-bearing: never drop cycles.
+    if (remaining > 0)
+        add(DataPathType::DSymgs,
+            _chains.empty() ? -1 : _chains.back().blockRow,
+            Cause::DSymgsWait, remaining);
+
+    Store &s = store();
+    {
+        std::lock_guard<std::mutex> lock(s.mutex);
+        // Critical-path aggregates per block row.
+        for (const ChainRec &c : _chains) {
+            CriticalRow &r = s.critical[c.blockRow];
+            r.blockRow = c.blockRow;
+            ++r.chains;
+            r.chainCycles += c.chainCycles;
+            r.waitCycles += c.wait;
+            uint64_t freeStart = c.streamT + pipeline_depth;
+            if (c.depIn > freeStart) {
+                r.startStallCycles += c.depIn - freeStart;
+                ++r.depBoundChains;
+            } else {
+                r.slackCycles += freeStart - c.depIn;
+            }
+        }
+        // Longest run of consecutive dependence-bound chains: the
+        // serialized critical path through the link-stack recurrence.
+        // A segment starts at any chain and extends while each next
+        // chain's start is bound by the previous link's completion.
+        size_t i = 0;
+        while (i < _chains.size()) {
+            size_t j = i + 1;
+            while (j < _chains.size() &&
+                   _chains[j].depIn >
+                       _chains[j].streamT + pipeline_depth)
+                ++j;
+            uint64_t len =
+                _chains[j - 1].depOut - _chains[i].depIn;
+            if (len > s.longestChainCycles) {
+                s.longestChainCycles = len;
+                s.longestChainFirstRow = _chains[i].blockRow;
+                s.longestChainLastRow = _chains[j - 1].blockRow;
+            }
+            i = j;
+        }
+    }
+    commit();
+}
+
+Snapshot
+snapshot()
+{
+    Store &s = store();
+    Snapshot out;
+    std::lock_guard<std::mutex> lock(s.mutex);
+    out.buckets.reserve(s.buckets.size());
+    for (const auto &[k, b] : s.buckets) {
+        out.buckets.push_back(decode(k, b));
+        out.attributedCycles += b.cycles;
+        out.attributedBytes += b.bytes;
+    }
+    std::sort(out.buckets.begin(), out.buckets.end(), rowLess);
+    out.critical.reserve(s.critical.size());
+    for (const auto &[row, r] : s.critical)
+        out.critical.push_back(r);
+    std::sort(out.critical.begin(), out.critical.end(),
+              [](const CriticalRow &a, const CriticalRow &b) {
+                  return a.blockRow < b.blockRow;
+              });
+    out.runs = s.runs;
+    out.longestChainCycles = s.longestChainCycles;
+    out.longestChainFirstRow = s.longestChainFirstRow;
+    out.longestChainLastRow = s.longestChainLastRow;
+    return out;
+}
+
+uint64_t
+attributedCycles()
+{
+    Store &s = store();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    uint64_t total = 0;
+    for (const auto &[k, b] : s.buckets)
+        total += b.cycles;
+    return total;
+}
+
+void
+exportJson(std::ostream &os, const ExportMeta &meta)
+{
+    Snapshot snap = snapshot();
+    os << "{\n";
+    os << "  \"version\": {\"git\": \"" << version::gitDescribe()
+       << "\", \"simd_build\": \"" << version::simdBuild()
+       << "\", \"simd_runtime\": \"" << replay::isaName()
+       << "\", \"omega_specializations\": \""
+       << replay::omegaSpecializations() << "\"},\n";
+    os << "  \"kernel\": \"" << meta.kernel << "\",\n";
+    os << "  \"omega\": " << meta.omega << ",\n";
+    os << "  \"total_cycles\": " << meta.totalCycles << ",\n";
+    os << "  \"attributed_cycles\": " << snap.attributedCycles << ",\n";
+    os << "  \"attributed_bytes\": " << snap.attributedBytes << ",\n";
+    os << "  \"runs\": " << snap.runs << ",\n";
+    os << "  \"buckets\": [";
+    for (size_t i = 0; i < snap.buckets.size(); ++i) {
+        const BucketRow &r = snap.buckets[i];
+        os << (i ? ",\n    " : "\n    ");
+        os << "{\"dp\": \"" << toString(r.dp) << "\", \"block_row\": "
+           << r.blockRow << ", \"cause\": \"" << toString(r.cause)
+           << "\", \"cycles\": " << r.cycles << ", \"bytes\": "
+           << r.bytes << "}";
+    }
+    os << (snap.buckets.empty() ? "]" : "\n  ]") << ",\n";
+    os << "  \"critical_path\": {\n";
+    os << "    \"longest_chain_cycles\": " << snap.longestChainCycles
+       << ",\n";
+    os << "    \"longest_chain_rows\": [" << snap.longestChainFirstRow
+       << ", " << snap.longestChainLastRow << "],\n";
+    os << "    \"per_block_row\": [";
+    for (size_t i = 0; i < snap.critical.size(); ++i) {
+        const CriticalRow &r = snap.critical[i];
+        os << (i ? ",\n      " : "\n      ");
+        os << "{\"block_row\": " << r.blockRow << ", \"chains\": "
+           << r.chains << ", \"chain_cycles\": " << r.chainCycles
+           << ", \"wait_cycles\": " << r.waitCycles
+           << ", \"start_stall_cycles\": " << r.startStallCycles
+           << ", \"slack_cycles\": " << r.slackCycles
+           << ", \"dep_bound_chains\": " << r.depBoundChains << "}";
+    }
+    os << (snap.critical.empty() ? "]" : "\n    ]") << "\n";
+    os << "  }\n";
+    os << "}\n";
+}
+
+void
+exportCsv(std::ostream &os)
+{
+    Snapshot snap = snapshot();
+    // Heatmap layout: one row per block row, one column per cause
+    // (cycles, summed over data paths).
+    std::map<int64_t, std::array<uint64_t, size_t(Cause::kCount)>> rows;
+    for (const BucketRow &r : snap.buckets)
+        rows[r.blockRow][size_t(r.cause)] += r.cycles;
+    os << "block_row";
+    for (size_t c = 0; c < size_t(Cause::kCount); ++c)
+        os << "," << toString(Cause(c));
+    os << ",total\n";
+    for (const auto &[row, cells] : rows) {
+        os << row;
+        uint64_t total = 0;
+        for (size_t c = 0; c < size_t(Cause::kCount); ++c) {
+            os << "," << cells[c];
+            total += cells[c];
+        }
+        os << "," << total << "\n";
+    }
+}
+
+void
+exportFolded(std::ostream &os)
+{
+    Snapshot snap = snapshot();
+    for (const BucketRow &r : snap.buckets) {
+        if (r.cycles == 0)
+            continue;
+        os << toString(r.dp) << ";";
+        if (r.blockRow < 0)
+            os << "run";
+        else
+            os << "row_" << r.blockRow;
+        os << ";" << toString(r.cause) << " " << r.cycles << "\n";
+    }
+}
+
+std::vector<BucketRow>
+hotspots(size_t k)
+{
+    Snapshot snap = snapshot();
+    std::sort(snap.buckets.begin(), snap.buckets.end(),
+              [](const BucketRow &a, const BucketRow &b) {
+                  if (a.cycles != b.cycles)
+                      return a.cycles > b.cycles;
+                  return rowLess(a, b);
+              });
+    if (snap.buckets.size() > k)
+        snap.buckets.resize(k);
+    return snap.buckets;
+}
+
+} // namespace alr::profile

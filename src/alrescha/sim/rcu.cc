@@ -12,8 +12,10 @@ Rcu::Rcu(const AccelParams &params, MemoryModel *memory)
 }
 
 uint64_t
-Rcu::reconfigure(DataPathType dp)
+Rcu::reconfigure(DataPathType dp, uint64_t *hidden_out)
 {
+    if (hidden_out)
+        *hidden_out = 0;
     if (_current && *_current == dp)
         return 0;
 
@@ -24,6 +26,8 @@ Rcu::reconfigure(DataPathType dp)
         int drain = _params.drainCycles();
         int exposed = std::max(0, _params.configCycles - drain);
         charged = uint64_t(drain + exposed);
+        if (hidden_out)
+            *hidden_out = uint64_t(drain);
         _reconfigStall += double(exposed);
         _switchConfigCycles += double(_params.configCycles);
         ++_reconfigs;

@@ -30,8 +30,14 @@ class Rcu
      * Switch the configurable switch to @p dp.  Returns the cycles
      * charged: zero when already configured; otherwise the reduction
      * tree drain time plus any exposed reconfiguration cycles.
+     *
+     * @p hidden_out, when non-null, reports the portion of the charge
+     * that represents config time hidden under the reduction-tree
+     * drain (the drain itself on a path switch; zero for the initial
+     * programming configuration, which has no drain to hide under).
+     * Profiler-only; does not affect the model.
      */
-    uint64_t reconfigure(DataPathType dp);
+    uint64_t reconfigure(DataPathType dp, uint64_t *hidden_out = nullptr);
 
     /** Currently configured data path, if any. */
     std::optional<DataPathType> configured() const { return _current; }

@@ -218,6 +218,12 @@ isaName()
     return simdAvailable() ? "avx2" : "scalar";
 }
 
+const char *
+omegaSpecializations()
+{
+    return "4,8";
+}
+
 void
 spmvPaths(const ExecSchedule &S, const Value *xpad, Value *y,
           size_t pBegin, size_t pEnd, bool simd)

@@ -32,6 +32,10 @@ bool simdAvailable();
 /** ISA label for logs and benches: "avx2" or "scalar". */
 const char *isaName();
 
+/** Comma-separated ω values with compile-time specialized kernels
+ *  (other widths fall back to the generic runtime-ω arm). */
+const char *omegaSpecializations();
+
 /**
  * Replay SpMV paths [pBegin, pEnd): accumulate each row record's dot
  * product into y[rowIndex].  @p xpad is the operand staged to

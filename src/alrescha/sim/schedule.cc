@@ -48,7 +48,8 @@ ExecSchedule::bytes() const
     return vecBytes(dp) + vecBytes(blockRow) + vecBytes(blockCol) +
            vecBytes(operandVec) + vecBytes(cfgCycles) +
            vecBytes(fillCycles) + vecBytes(writeOutRow) +
-           vecBytes(streamCycles) + vecBytes(streamedRows) +
+           vecBytes(streamCycles) + vecBytes(memCycles) +
+           vecBytes(streamBytes) + vecBytes(streamedRows) +
            vecBytes(spmmMemCycles) + vecBytes(xValid) + vecBytes(xOff) +
            vecBytes(validRows) + vecBytes(chainCycles) +
            vecBytes(rowBegin) + vecBytes(rowIndex) + vecBytes(rowUseful) +
@@ -88,6 +89,8 @@ compileSchedule(const LocallyDenseMatrix &ld, const ConfigTable &table,
     s.fillCycles.resize(P, 0);
     s.writeOutRow.resize(P, -1);
     s.streamCycles.resize(P, 0);
+    s.memCycles.resize(P, 0);
+    s.streamBytes.resize(P, 0);
     s.streamedRows.resize(P, 0);
     s.spmmMemCycles.resize(P, 0);
     s.xValid.resize(P, 0);
@@ -196,6 +199,8 @@ compileSchedule(const LocallyDenseMatrix &ld, const ConfigTable &table,
                 bc = std::max<uint64_t>(omega, mem.streamCycles(bytes));
             }
             s.streamCycles[i] = bc;
+            s.memCycles[i] = mem.streamCycles(bytes);
+            s.streamBytes[i] = bytes;
             s.totalStreamBytes += bytes;
 
             Index streamedRows =
@@ -216,7 +221,10 @@ compileSchedule(const LocallyDenseMatrix &ld, const ConfigTable &table,
             uint64_t blkBytes = uint64_t(blk.size) * sizeof(Value);
             s.streamCycles[i] =
                 std::max<uint64_t>(omega, mem.streamCycles(blkBytes));
+            s.memCycles[i] = mem.streamCycles(blkBytes);
             // Block payload plus the b operand through its FIFO.
+            s.streamBytes[i] =
+                blkBytes + uint64_t(validRows) * sizeof(Value);
             s.totalStreamBytes +=
                 blkBytes + uint64_t(validRows) * sizeof(Value);
             s.usefulBytes += double(validRows) * sizeof(Value);

@@ -73,6 +73,13 @@ struct ExecSchedule
     std::vector<int64_t> writeOutRow;
     /** Stream-cycle term of this path (SpMV bc / SymGS stream term). */
     std::vector<uint64_t> streamCycles;
+    /** Memory-side component of streamCycles (pure bandwidth term);
+     *  streamCycles - memCycles is the issue-bound excess.  Profiler
+     *  stream/compute split; unused by the timing walk itself. */
+    std::vector<uint64_t> memCycles;
+    /** Payload bytes this path streams (diag paths include the b
+     *  operand); profiler byte attribution. */
+    std::vector<uint64_t> streamBytes;
     /** Rows that cross the bus (SpMM issue term basis). */
     std::vector<Index> streamedRows;
     /** SpMM memory-side stream cycles (streamedRows * omega doubles). */

@@ -135,7 +135,13 @@ Distribution::percentile(double p) const
 {
     if (_count == 0)
         return 0.0;
-    p = std::clamp(p, 0.0, 100.0);
+    // The distribution's exact extrema beat the bucket approximation at
+    // the endpoints (and p = 0 would otherwise report the first
+    // nonempty bucket's upper edge, above the true minimum).
+    if (p <= 0.0)
+        return _min;
+    if (p >= 100.0)
+        return _max;
     double threshold = p / 100.0 * double(_count);
     uint64_t cum = 0;
     for (size_t b = 0; b < kBuckets; ++b) {

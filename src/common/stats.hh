@@ -114,7 +114,9 @@ class Distribution
      * the upper edge of the bucket where the cumulative count crosses
      * p% of the samples, clamped to [min(), max()].  Exact only when
      * samples are powers of two; always within one bucket (2x) of the
-     * true value.  Returns 0 for an empty distribution.
+     * true value.  Edge cases are exact: an empty distribution reports
+     * 0, p <= 0 reports min(), p >= 100 reports max(), and a
+     * single-sample distribution reports that sample for every p.
      */
     double percentile(double p) const;
 

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Build provenance, stamped at configure time (src/common/version.cc.in
+ * -> the generated version.cc in the build tree).  Exposed through
+ * alr_sim --version and embedded in --json / --profile artifacts so
+ * results are comparable across builds.
+ */
+
+#ifndef ALR_COMMON_VERSION_HH
+#define ALR_COMMON_VERSION_HH
+
+namespace alr::version {
+
+/** `git describe --always --dirty` of the source tree ("unknown" when
+ *  the build was configured outside a git checkout). */
+const char *gitDescribe();
+
+/** SIMD configuration the replay kernels were compiled with:
+ *  "avx2" or "scalar" (CMake ALR_SIMD). */
+const char *simdBuild();
+
+} // namespace alr::version
+
+#endif // ALR_COMMON_VERSION_HH

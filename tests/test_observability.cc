@@ -267,6 +267,34 @@ TEST(Distribution, PercentileApproximatesFromBuckets)
     EXPECT_LE(p50, 64.0);
 }
 
+TEST(Distribution, PercentileEdgeCases)
+{
+    stats::Distribution empty;
+    EXPECT_DOUBLE_EQ(empty.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(empty.percentile(50.0), 0.0);
+    EXPECT_DOUBLE_EQ(empty.percentile(100.0), 0.0);
+
+    // A single sample is every percentile, including one that falls
+    // mid-bucket (6 lives in [4, 8), whose upper edge is 8).
+    stats::Distribution one;
+    one.sample(6.0);
+    EXPECT_DOUBLE_EQ(one.percentile(0.0), 6.0);
+    EXPECT_DOUBLE_EQ(one.percentile(50.0), 6.0);
+    EXPECT_DOUBLE_EQ(one.percentile(100.0), 6.0);
+
+    // The endpoints report the exact extrema, not bucket edges: with
+    // samples {0.5, 100}, p=0 must be 0.5 (bucket 0's upper edge is 1)
+    // and p=100 must be 100 (its bucket's upper edge is 128).  Out-of-
+    // range p clamps to the endpoints.
+    stats::Distribution d;
+    d.sample(0.5);
+    d.sample(100.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0.0), 0.5);
+    EXPECT_DOUBLE_EQ(d.percentile(-5.0), 0.5);
+    EXPECT_DOUBLE_EQ(d.percentile(100.0), 100.0);
+    EXPECT_DOUBLE_EQ(d.percentile(250.0), 100.0);
+}
+
 // ---------------------------------------------------------------------
 // Hierarchical stats + JSON export
 

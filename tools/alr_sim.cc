@@ -23,12 +23,16 @@
 #include <iostream>
 #include <memory>
 #include <set>
+#include <sstream>
 #include <string>
 
 #include "alrescha/accelerator.hh"
 #include "alrescha/program_image.hh"
+#include "alrescha/sim/profile.hh"
+#include "alrescha/sim/replay.hh"
 #include "kernels/eigen.hh"
 #include "common/logging.hh"
+#include "common/version.hh"
 #include "common/thread_pool.hh"
 #include "common/timeline.hh"
 #include "common/trace.hh"
@@ -51,6 +55,9 @@ struct Options
     std::string savePath;
     std::string tracePath;
     std::string timelinePath;
+    std::string profilePath;
+    std::string profileCsvPath;
+    std::string profileFoldedPath;
     std::string kernel = "spmv";
     Index omega = 8;
     Index source = 0;
@@ -76,12 +83,35 @@ usage()
         "                         bfs|sssp|pr|cc|eigen]\n"
         "               [--omega N] [--source V] [--rcm] [--stats] [--json]\n"
         "               [--report] [--timeline F.json] [--stats-interval N]\n"
+        "               [--profile F.json] [--profile-csv F.csv]\n"
+        "               [--profile-folded F.folded]\n"
         "               [--iters N] [--threads N] [--engine-threads N]\n"
         "               [--save F.alr] [--trace F.log] [--no-schedule]\n"
-        "               [--no-simd]\n"
+        "               [--no-simd] [--version]\n"
         "  SPEC: stencil2d:N | stencil3d:N | banded:N | rmat:SCALE |\n"
-        "        roadgrid:N | powerlaw:N\n");
+        "        roadgrid:N | powerlaw:N\n"
+        "  --stats           dump the hierarchical stat tree\n"
+        "  --json            emit one JSON document on stdout\n"
+        "  --report          utilization summary + profile hotspots\n"
+        "  --timeline F      Perfetto-loadable cycle timeline\n"
+        "  --stats-interval  run-granular stat snapshots every N cycles\n"
+        "  --profile F       cycle-accounting profile (JSON)\n"
+        "  --profile-csv F   per-block-row cause heatmap (CSV)\n"
+        "  --profile-folded  flamegraph.pl-compatible folded stacks\n"
+        "  --no-schedule     interpreter engine (no compiled schedules)\n"
+        "  --no-simd         scalar replay kernels\n"
+        "  --version         print build provenance and exit\n");
     std::exit(2);
+}
+
+void
+printVersion()
+{
+    std::printf("alr_sim %s (simd build %s, runtime %s, "
+                "omega specializations %s)\n",
+                version::gitDescribe(), version::simdBuild(),
+                replay::isaName(), replay::omegaSpecializations());
+    std::exit(0);
 }
 
 CsrMatrix
@@ -162,6 +192,14 @@ parse(int argc, char **argv)
             opt.report = true;
         } else if (arg == "--timeline") {
             opt.timelinePath = next();
+        } else if (arg == "--profile") {
+            opt.profilePath = next();
+        } else if (arg == "--profile-csv") {
+            opt.profileCsvPath = next();
+        } else if (arg == "--profile-folded") {
+            opt.profileFoldedPath = next();
+        } else if (arg == "--version") {
+            printVersion();
         } else if (arg == "--stats-interval") {
             opt.statsInterval = std::atol(next().c_str());
             if (opt.statsInterval <= 0)
@@ -262,6 +300,22 @@ printJsonReport(std::ostream &os, const Accelerator &acc,
     os << ", \"static\": ";
     jnum(os, "%.9g", r.energy.staticEnergy);
     os << "}";
+    os << ",\n  \"version\": {\"git\": \"" << version::gitDescribe()
+       << "\", \"simd_build\": \"" << version::simdBuild()
+       << "\", \"simd_runtime\": \"" << replay::isaName()
+       << "\", \"omega_specializations\": \""
+       << replay::omegaSpecializations() << "\"}";
+    if (profile::enabled()) {
+        // Embed the profile document verbatim; it is self-contained
+        // JSON, so nesting it keeps the output one valid document.
+        std::ostringstream ps;
+        profile::exportJson(
+            ps, {opt.kernel, opt.omega, acc.engine().totalCycles()});
+        std::string doc = ps.str();
+        while (!doc.empty() && doc.back() == '\n')
+            doc.pop_back();
+        os << ",\n  \"profile\": " << doc;
+    }
     if (opt.report) {
         os << ",\n  \"utilization\": ";
         printJsonUtilization(os, acc.utilization(), "  ");
@@ -299,6 +353,32 @@ printUtilization(const Accelerator &acc)
                 "attainable GFLOP/s (peak %.2f)\n",
                 u.arithmeticIntensity, u.achievedGflops,
                 u.attainableGflops, u.peakGflops);
+}
+
+/** The --report hotspot table: hottest cycle-accounting buckets. */
+void
+printHotspots(const Accelerator &acc, size_t k)
+{
+    std::vector<profile::BucketRow> hot = profile::hotspots(k);
+    if (hot.empty())
+        return;
+    uint64_t total = acc.engine().totalCycles();
+    std::printf("\nhotspots (top %zu buckets):\n", hot.size());
+    std::printf("  %-8s %9s %-17s %12s %6s %12s\n", "dp", "block_row",
+                "cause", "cycles", "%", "bytes");
+    for (const profile::BucketRow &r : hot) {
+        char row[24];
+        if (r.blockRow < 0)
+            std::snprintf(row, sizeof(row), "run");
+        else
+            std::snprintf(row, sizeof(row), "%lld",
+                          (long long)r.blockRow);
+        std::printf("  %-8s %9s %-17s %12llu %5.1f%% %12llu\n",
+                    toString(r.dp), row, profile::toString(r.cause),
+                    (unsigned long long)r.cycles,
+                    total ? 100.0 * double(r.cycles) / double(total) : 0.0,
+                    (unsigned long long)r.bytes);
+    }
 }
 
 void
@@ -346,6 +426,14 @@ main(int argc, char **argv)
     // modeled execution lands in the trace.
     if (!opt.timelinePath.empty())
         timeline::setEnabled(true);
+
+    // Likewise the cycle-accounting profiler: any profile export, or a
+    // --report (which prints the hotspot table), records every run.
+    bool profiling = !opt.profilePath.empty() ||
+                     !opt.profileCsvPath.empty() ||
+                     !opt.profileFoldedPath.empty() || opt.report;
+    if (profiling)
+        profile::setEnabled(true);
 
     bool isGraph = opt.kernel == "bfs" || opt.kernel == "sssp" ||
                    opt.kernel == "pr" || opt.kernel == "cc";
@@ -509,8 +597,10 @@ main(int argc, char **argv)
         std::cout.flush();
     } else {
         printReport(acc);
-        if (opt.report)
+        if (opt.report) {
             printUtilization(acc);
+            printHotspots(acc, 10);
+        }
         if (opt.dumpStats) {
             std::printf("\n");
             acc.engine().statGroup().dump(std::cout);
@@ -520,6 +610,31 @@ main(int argc, char **argv)
             std::cout.flush();
             snap->dumpCsv(std::cout);
         }
+    }
+
+    if (profiling) {
+        profile::ExportMeta meta{opt.kernel, opt.omega,
+                                 acc.engine().totalCycles()};
+        auto writeTo = [&](const std::string &path, auto emit,
+                           const char *what) {
+            if (path.empty())
+                return;
+            std::ofstream pf(path);
+            if (!pf)
+                fatal("cannot create %s file '%s'", what, path.c_str());
+            emit(pf);
+            if (!opt.json)
+                std::printf("%s written to %s\n", what, path.c_str());
+        };
+        writeTo(opt.profilePath,
+                [&](std::ostream &os) { profile::exportJson(os, meta); },
+                "profile");
+        writeTo(opt.profileCsvPath,
+                [&](std::ostream &os) { profile::exportCsv(os); },
+                "profile heatmap");
+        writeTo(opt.profileFoldedPath,
+                [&](std::ostream &os) { profile::exportFolded(os); },
+                "folded stacks");
     }
 
     if (!opt.timelinePath.empty()) {

@@ -9,6 +9,13 @@ machine-dependent, so it is only sanity-checked against a loose ratio
 machine jitter).
 
 usage: bench_compare.py [--wall-tolerance R] BASELINE_DIR FRESH_DIR FILE...
+       bench_compare.py --profile-diff [--top K] OLD.json NEW.json
+
+--profile-diff compares two cycle-accounting profiles (alr_sim
+--profile) instead of bench directories: it ranks the per-(dp,
+block_row, cause) cycle deltas largest-regression-first so a cycle
+change surfaces as the buckets that moved, not just a new total.  The
+diff is informational (always exit 0 unless a file is malformed).
 
 Exit status 0 when every file matches, 1 on any mismatch.
 """
@@ -86,8 +93,68 @@ def compare_file(name, base_dir, fresh_dir, wall_tol):
     return True
 
 
+def load_profile_buckets(path):
+    with open(path) as f:
+        doc = json.load(f)
+    # Accept a full --json document with an embedded profile, too.
+    if "profile" in doc and "buckets" not in doc:
+        doc = doc["profile"]
+    if "buckets" not in doc:
+        raise SystemExit(f"{path}: not a profile document (no buckets)")
+    buckets = {}
+    for b in doc["buckets"]:
+        buckets[(b["dp"], b["block_row"], b["cause"])] = (
+            b["cycles"], b["bytes"])
+    return doc, buckets
+
+
+def profile_diff(old_path, new_path, top):
+    old_doc, old = load_profile_buckets(old_path)
+    new_doc, new = load_profile_buckets(new_path)
+
+    total_delta = new_doc["total_cycles"] - old_doc["total_cycles"]
+    print(f"total cycles: {old_doc['total_cycles']} -> "
+          f"{new_doc['total_cycles']} ({total_delta:+d})")
+
+    deltas = []
+    for key in set(old) | set(new):
+        oc = old.get(key, (0, 0))[0]
+        nc = new.get(key, (0, 0))[0]
+        if oc != nc:
+            deltas.append((nc - oc, oc, nc, key))
+    if not deltas:
+        print("no bucket drifted")
+        return
+    # Regressions (cycles gained) first, then improvements; the biggest
+    # mover of each sign leads its group.
+    deltas.sort(key=lambda d: (-d[0], d[3]))
+    shown = deltas[:top]
+    print(f"{len(deltas)} buckets drifted (top {len(shown)}):")
+    print(f"  {'delta':>10} {'old':>10} {'new':>10}  bucket")
+    for delta, oc, nc, (dp, row, cause) in shown:
+        row_s = "run" if row < 0 else f"row {row}"
+        print(f"  {delta:>+10d} {oc:>10d} {nc:>10d}  "
+              f"{dp} / {row_s} / {cause}")
+    if len(deltas) > len(shown):
+        rest = sum(d[0] for d in deltas[len(shown):])
+        print(f"  ... {len(deltas) - len(shown)} more buckets "
+              f"({rest:+d} cycles)")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--profile-diff",
+        action="store_true",
+        help="diff two --profile documents instead of bench dirs",
+    )
+    ap.add_argument(
+        "--top",
+        type=int,
+        default=20,
+        metavar="K",
+        help="buckets to show in --profile-diff (default %(default)s)",
+    )
     ap.add_argument(
         "--wall-tolerance",
         type=float,
@@ -97,10 +164,18 @@ def main():
     )
     ap.add_argument("baseline_dir")
     ap.add_argument("fresh_dir")
-    ap.add_argument("files", nargs="+", metavar="FILE")
+    ap.add_argument("files", nargs="*", metavar="FILE")
     args = ap.parse_args()
     if args.wall_tolerance < 1.0:
         ap.error("--wall-tolerance must be >= 1.0")
+
+    if args.profile_diff:
+        if args.files:
+            ap.error("--profile-diff takes exactly OLD.json NEW.json")
+        profile_diff(args.baseline_dir, args.fresh_dir, args.top)
+        return 0
+    if not args.files:
+        ap.error("FILE... required without --profile-diff")
 
     ok = True
     for name in args.files:

@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Validate an alr_sim cycle-accounting profile.
+
+Checks a profile document (alr_sim --profile out.json, or the "profile"
+sub-object of an alr_sim --json document) against its schema and the
+conservation contract:
+
+- the document must carry version provenance, the run meta block
+  (kernel, omega, total_cycles), the bucket list, and the critical-path
+  section;
+- every bucket needs dp/block_row/cause/cycles/bytes with a known cause
+  label, and the list must be sorted (dp, block_row, cause) with no
+  duplicate keys;
+- conservation is exact, not approximate: attributed_cycles must equal
+  both the sum over buckets and the run's total_cycles, and
+  attributed_bytes must equal the byte sum over buckets;
+- the critical-path section needs the longest-chain fields and
+  per-block-row rows whose wait cycles sum to the dsymgs_wait buckets.
+
+usage: check_profile.py PROFILE.json [--kernel NAME]
+
+Exit status 0 when everything validates, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+CAUSES = (
+    "stream",
+    "fcu_compute",
+    "tree_drain",
+    "reconfig_hidden",
+    "reconfig_exposed",
+    "cache_miss",
+    "cache_access",
+    "dsymgs_wait",
+)
+
+DPS = ("GEMV", "D-SymGS", "D-BFS", "D-SSSP", "D-PR")
+
+
+def fail(msg):
+    raise SystemExit(f"FAIL: {msg}")
+
+
+def check_profile(path, doc, kernel=None):
+    for key in ("version", "kernel", "omega", "total_cycles",
+                "attributed_cycles", "attributed_bytes", "runs",
+                "buckets", "critical_path"):
+        if key not in doc:
+            fail(f"{path}: missing '{key}'")
+    for key in ("git", "simd_build", "simd_runtime",
+                "omega_specializations"):
+        if key not in doc["version"]:
+            fail(f"{path}: version missing '{key}'")
+    if kernel is not None and doc["kernel"] != kernel:
+        fail(f"{path}: kernel '{doc['kernel']}', expected '{kernel}'")
+    if doc["omega"] <= 0:
+        fail(f"{path}: non-positive omega")
+    if doc["runs"] <= 0:
+        fail(f"{path}: no runs recorded")
+
+    cause_rank = {c: i for i, c in enumerate(CAUSES)}
+    dp_rank = {d: i for i, d in enumerate(DPS)}
+    cycle_sum = 0
+    byte_sum = 0
+    wait_sum = 0
+    prev_key = None
+    for i, b in enumerate(doc["buckets"]):
+        where = f"{path}: bucket {i}"
+        for key in ("dp", "block_row", "cause", "cycles", "bytes"):
+            if key not in b:
+                fail(f"{where}: missing '{key}'")
+        if b["dp"] not in dp_rank:
+            fail(f"{where}: unknown dp '{b['dp']}'")
+        if b["cause"] not in cause_rank:
+            fail(f"{where}: unknown cause '{b['cause']}'")
+        if b["block_row"] < -1:
+            fail(f"{where}: block_row below -1")
+        if b["cycles"] < 0 or b["bytes"] < 0:
+            fail(f"{where}: negative cycles/bytes")
+        if b["cycles"] == 0 and b["bytes"] == 0:
+            fail(f"{where}: empty bucket exported")
+        sort_key = (dp_rank[b["dp"]], b["block_row"],
+                    cause_rank[b["cause"]])
+        if prev_key is not None and sort_key <= prev_key:
+            fail(f"{where}: buckets not sorted or duplicate key")
+        prev_key = sort_key
+        cycle_sum += b["cycles"]
+        byte_sum += b["bytes"]
+        if b["cause"] == "dsymgs_wait":
+            wait_sum += b["cycles"]
+
+    # The conservation contract: exact equality, no tolerance.
+    if cycle_sum != doc["attributed_cycles"]:
+        fail(f"{path}: bucket cycle sum {cycle_sum} != attributed_cycles "
+             f"{doc['attributed_cycles']}")
+    if cycle_sum != doc["total_cycles"]:
+        fail(f"{path}: attributed cycles {cycle_sum} != total_cycles "
+             f"{doc['total_cycles']} (conservation violated)")
+    if byte_sum != doc["attributed_bytes"]:
+        fail(f"{path}: bucket byte sum {byte_sum} != attributed_bytes "
+             f"{doc['attributed_bytes']}")
+
+    cp = doc["critical_path"]
+    for key in ("longest_chain_cycles", "longest_chain_rows",
+                "per_block_row"):
+        if key not in cp:
+            fail(f"{path}: critical_path missing '{key}'")
+    if len(cp["longest_chain_rows"]) != 2:
+        fail(f"{path}: longest_chain_rows is not a [first, last] pair")
+    row_wait = 0
+    prev_row = None
+    for r in cp["per_block_row"]:
+        where = f"{path}: critical_path row {r.get('block_row', '?')}"
+        for key in ("block_row", "chains", "chain_cycles", "wait_cycles",
+                    "start_stall_cycles", "slack_cycles",
+                    "dep_bound_chains"):
+            if key not in r:
+                fail(f"{where}: missing '{key}'")
+        if prev_row is not None and r["block_row"] <= prev_row:
+            fail(f"{where}: rows not sorted by block_row")
+        prev_row = r["block_row"]
+        if r["dep_bound_chains"] > r["chains"]:
+            fail(f"{where}: more dependence-bound chains than chains")
+        row_wait += r["wait_cycles"]
+    if row_wait != wait_sum:
+        fail(f"{path}: critical-path wait sum {row_wait} != dsymgs_wait "
+             f"bucket sum {wait_sum}")
+    if cp["per_block_row"] and cp["longest_chain_cycles"] <= 0:
+        fail(f"{path}: chains recorded but longest_chain_cycles is 0")
+
+    print(f"{path}: ok (kernel={doc['kernel']}, "
+          f"{len(doc['buckets'])} buckets, "
+          f"{cycle_sum} cycles conserved, "
+          f"{len(cp['per_block_row'])} critical-path rows)")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("profile", help="profile JSON from --profile")
+    ap.add_argument("--kernel", help="expected kernel name")
+    args = ap.parse_args()
+
+    with open(args.profile) as f:
+        doc = json.load(f)
+    # Accept a full --json document with an embedded profile, too.
+    if "profile" in doc and "buckets" not in doc:
+        doc = doc["profile"]
+    check_profile(args.profile, doc, args.kernel)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
