@@ -31,6 +31,11 @@ main()
     Table table({"engines", "SpMV speedup", "SpMV comm %", "PR speedup",
                  "PR comm %"});
 
+    // The baselines are the first sweep point's cycles, captured
+    // explicitly on the first iteration: testing the *value* against
+    // 0.0 would re-capture (and so misassign) the baseline on any
+    // later point whose predecessor reported zero cycles.
+    bool haveBase = false;
     double spmvBase = 0.0, prBase = 0.0;
     PageRankOptions prOpts;
     prOpts.maxIterations = 10;
@@ -44,22 +49,24 @@ main()
         multi.loadSpmv(a);
         multi.spmv(x);
         MultiReport rs = multi.report();
-        if (spmvBase == 0.0)
-            spmvBase = double(rs.cycles);
 
         MultiAccelerator multig(p);
         multig.loadGraph(g);
         multig.pagerank(prOpts);
         MultiReport rg = multig.report();
-        if (prBase == 0.0)
+
+        if (!haveBase) {
+            haveBase = true;
+            spmvBase = double(rs.cycles);
             prBase = double(rg.cycles);
+        }
 
         table.addRow(
             {std::to_string(engines),
-             fmt(spmvBase / double(rs.cycles), 2),
-             fmt(100.0 * double(rs.commCycles) / double(rs.cycles), 1),
-             fmt(prBase / double(rg.cycles), 2),
-             fmt(100.0 * double(rg.commCycles) / double(rg.cycles), 1)});
+             fmt(rs.cycles ? spmvBase / double(rs.cycles) : 0.0, 2),
+             fmt(100.0 * rs.commFraction(), 1),
+             fmt(rg.cycles ? prBase / double(rg.cycles) : 0.0, 2),
+             fmt(100.0 * rg.commFraction(), 1)});
     }
     table.print();
 

@@ -117,6 +117,15 @@ class ConfigTable
     /** Throws std::runtime_error on malformed input. */
     static ConfigTable deserialize(std::istream &in);
 
+    /**
+     * Monotonic identity of this conversion (see
+     * LocallyDenseMatrix::generation()): schedule caches key on this
+     * so a table rebuilt in place -- or reallocated at a recycled
+     * address -- never replays a schedule compiled from its
+     * predecessor.
+     */
+    uint64_t generation() const { return _generation; }
+
   private:
     KernelType _kernel = KernelType::SpMV;
     GsSweep _direction = GsSweep::Forward;
@@ -124,6 +133,7 @@ class ConfigTable
     Index _omega = 0;
     Index _n = 0;
     std::vector<ConfigEntry> _entries;
+    uint64_t _generation = detail::nextObjectGeneration();
 };
 
 } // namespace alr

@@ -1,6 +1,7 @@
 #include "alrescha/format.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 
 #include "common/binary_io.hh"
@@ -9,6 +10,17 @@
 #include "sparse/coo.hh"
 
 namespace alr {
+
+namespace detail {
+
+uint64_t
+nextObjectGeneration()
+{
+    static std::atomic<uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+} // namespace detail
 
 int64_t
 LocallyDenseMatrix::payloadPosition(LdLayout layout, bool diagonal,

@@ -38,6 +38,18 @@ namespace alr {
 
 class ThreadPool;
 
+namespace detail {
+/**
+ * Process-wide monotonic generation counter for cache-keyed objects
+ * (locally-dense matrices, configuration tables).  Each freshly built
+ * object takes the next value, so a consumer keyed on generations can
+ * never confuse a freed-and-reallocated object at a recycled address
+ * with the one it compiled against -- pointer identity can alias,
+ * generations cannot.
+ */
+uint64_t nextObjectGeneration();
+} // namespace detail
+
 /** Which payload arrangement the matrix was encoded with. */
 enum class LdLayout { Plain, SymGs };
 
@@ -128,6 +140,15 @@ class LocallyDenseMatrix
     /** Number of represented (logical) non-zeros. */
     Index scalarNnz() const { return _nnz; }
 
+    /**
+     * Monotonic identity of this encoding, taken at construction and
+     * carried by assignment.  Schedule caches key on this instead of
+     * the object address: re-encoding into the same object (or a new
+     * object reallocated at a recycled address) yields a new
+     * generation, so a stale compiled schedule can never be replayed.
+     */
+    uint64_t generation() const { return _generation; }
+
     /** Metadata bytes: block-row pointers + block-column indices. */
     size_t metadataBytes() const;
 
@@ -179,6 +200,7 @@ class LocallyDenseMatrix
     /** Payload-position LUTs: off-diagonal [non-upper, upper] + diag. */
     std::vector<int32_t> _lutOff[2];
     std::vector<int32_t> _lutDiag;
+    uint64_t _generation = detail::nextObjectGeneration();
 };
 
 } // namespace alr

@@ -55,6 +55,30 @@ struct MultiReport
      * engines idle while the slowest one finished.
      */
     stats::Distribution runCycles;
+
+    /**
+     * Communication share of total cycles, guarded: a report with no
+     * cycles (nothing ran yet, or a degenerate partition where every
+     * engine got zero rows) is 0 communication, not a division by
+     * zero.
+     */
+    double commFraction() const
+    {
+        return cycles > 0 ? double(commCycles) / double(cycles) : 0.0;
+    }
+
+    /**
+     * Load-imbalance ratio max/min over the per-run cycle
+     * distribution, guarded: with no recorded runs (or a zero-cycle
+     * minimum, possible when a partition owns no rows) the partition
+     * is trivially "balanced" and the ratio is 1.
+     */
+    double imbalance() const
+    {
+        if (runCycles.count() == 0 || runCycles.min() <= 0.0)
+            return 1.0;
+        return runCycles.max() / runCycles.min();
+    }
 };
 
 class MultiAccelerator

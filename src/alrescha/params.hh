@@ -101,7 +101,8 @@ struct AccelParams
      * GEMV block-row groups.  1 runs inline (default); 0 uses the
      * process-wide pool; N > 1 a private pool.  Results are
      * thread-count independent (block-row partitions touch disjoint
-     * output rows and the timing walk stays sequential).
+     * output rows; the timing walk stays sequential unless
+     * parallelTiming opts it in).
      */
     int engineThreads = 1;
 
@@ -114,6 +115,19 @@ struct AccelParams
      * No effect in a portable (no-SIMD) build.
      */
     bool simdReplay = true;
+
+    /**
+     * Extend engineThreads to the modeled timing walk: partition the
+     * scheduled cycle walk by block rows, replay partitions in
+     * parallel against shadow cache state, and combine cycles, stats,
+     * timeline spans, and profile buckets in a deterministic ordered
+     * reduction.  Results, cycle counts, stat dumps, timelines, and
+     * profiles are bit-for-bit identical to the serial walk at any
+     * thread count; false keeps the sequential walk as the reference
+     * path.  The ALR_PARALLEL_TIMING environment variable (non-empty,
+     * not "0") forces this on for every engine.
+     */
+    bool parallelTiming = false;
 
     /** Bytes the memory system delivers per core cycle. */
     double bytesPerCycle() const { return memBandwidthGBs / clockGhz; }

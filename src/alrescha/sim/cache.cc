@@ -16,8 +16,8 @@ CacheModel::CacheModel(const AccelParams &params, MemoryModel *memory)
 uint64_t
 CacheModel::touch(CacheVec vec, Index chunk)
 {
-    // Direct-mapped: hash (vec, chunk) onto a line.
-    size_t idx = (size_t(vec) * 0x9e3779b9u + chunk) % _lines.size();
+    // Direct-mapped: hash (vec, chunk) onto a line (lineIndex()).
+    size_t idx = lineIndex(vec, chunk);
     Line &line = _lines[idx];
     if (line.valid && line.vec == vec && line.chunk == chunk) {
         ++_hits;

@@ -66,11 +66,11 @@ class Engine
     const ExecSchedule *prepareSchedule();
 
     /**
-     * Drop every cached schedule.  Schedules are keyed on the identity
-     * of the programmed (matrix, table) pair; callers that destroy or
-     * mutate previously programmed objects must invalidate, or a new
-     * object at a recycled address could alias a stale entry
-     * (Accelerator does this on every load*).
+     * Drop every cached schedule.  Schedules are keyed on the
+     * generation counters of the programmed (matrix, table) pair, so a
+     * new object at a recycled address can never alias a stale entry;
+     * invalidation is now only a way to release the cached memory
+     * eagerly (Accelerator still does this on every load*).
      */
     void invalidateSchedules();
 
@@ -233,6 +233,17 @@ class Engine
     void runSymgsScheduled(const ExecSchedule &sched, const DenseVector &b,
                            DenseVector &x, RunTiming *timing);
 
+    /**
+     * Level-scheduled functional D-SymGS sweep (parallelTiming): per
+     * level, run the GEMV gathers in parallel, drive the link stack
+     * serially in path order, then run the diagonal chains in parallel
+     * (they touch disjoint iterate chunks).  Bit-identical to the fused
+     * serial walk's functional effect on @p xw and the link-stack
+     * stats; touches no timing state.
+     */
+    void runSymgsLevels(const ExecSchedule &S, const DenseVector &b,
+                        Value *xw, bool simd);
+
     AccelParams _params;
     MemoryModel _memory;
     Fcu _fcu;
@@ -241,12 +252,18 @@ class Engine
     const LocallyDenseMatrix *_ld = nullptr;
     const ConfigTable *_table = nullptr;
 
-    /** Schedule cache: MRU list keyed on (ld, table) identity plus a
-     *  shape fingerprint to reject recycled addresses. */
+    /**
+     * Schedule cache: MRU list keyed on the (matrix, table) generation
+     * counters.  Generations are monotonic per constructed object, so
+     * -- unlike the pointer-identity key this replaces -- a matrix or
+     * table freed and reallocated at the same address can never hit a
+     * schedule compiled from its predecessor.  The shape fingerprint
+     * is kept as a belt-and-braces consistency check.
+     */
     struct ScheduleSlot
     {
-        const LocallyDenseMatrix *ld = nullptr;
-        const ConfigTable *table = nullptr;
+        uint64_t ldGen = 0;
+        uint64_t tableGen = 0;
         size_t entryCount = 0;
         size_t blockCount = 0;
         size_t streamLen = 0;

@@ -118,6 +118,28 @@ struct ExecSchedule
      *  rows and the functional pass may run them in parallel. */
     bool parallelSafe = false;
 
+    // ---- timing-walk partitions (parallelTiming) ----
+    /**
+     * Path range of timing partition p: [partBegin[p], partBegin[p+1]).
+     * The boundaries are a pure function of the schedule (fixed fan-out
+     * of kTimingPartitions, never the thread count), so the partitioned
+     * walk replays the identical decomposition -- and therefore the
+     * identical combined numbers -- at any pool size.
+     */
+    std::vector<size_t> partBegin;
+
+    // ---- D-SymGS levels (parallelTiming functional pass) ----
+    /**
+     * Level range of level l: [levelBegin[l], levelBegin[l+1]), SymGS
+     * schedules only.  A level is a maximal path range in which no GEMV
+     * gather reads a chunk written by a diagonal chain of the same
+     * range, so all gathers of a level may run in parallel before its
+     * chains; levels execute in order (barriers).  Derived from the
+     * same chain dependence structure the critical-path extractor
+     * walks.
+     */
+    std::vector<size_t> levelBegin;
+
     // ---- per-run constants ----
     int64_t finalOutRow = -1;
     DataPathType lastDp = DataPathType::Gemv;
@@ -156,6 +178,13 @@ struct ExecSchedule
 ExecSchedule compileSchedule(const LocallyDenseMatrix &ld,
                              const ConfigTable &table,
                              const AccelParams &params);
+
+/**
+ * Fan-out of the partitioned timing walk.  A schedule constant (not a
+ * thread count): partitions are combined in index order, so any pool
+ * size walks the same partitions and reduces them identically.
+ */
+constexpr size_t kTimingPartitions = 32;
 
 } // namespace alr
 

@@ -152,5 +152,43 @@ TEST(Multi, MoreEnginesThanBlockRowsStillCorrect)
         EXPECT_NEAR(got[i], want[i], 1e-12);
 }
 
+TEST(Multi, DerivedRatiosAreGuardedOnEmptyReports)
+{
+    // A report from an array that has run nothing must not divide by
+    // zero: the communication share is 0 and the imbalance trivially 1.
+    MultiAccelerator multi(withEngines(4));
+    MultiReport r = multi.report();
+    EXPECT_EQ(r.cycles, 0u);
+    EXPECT_EQ(r.commFraction(), 0.0);
+    EXPECT_EQ(r.imbalance(), 1.0);
+}
+
+TEST(Multi, DerivedRatiosWithMoreEnginesThanRows)
+{
+    // rows < engines leaves some partitions empty (zero rows => zero
+    // run cycles), which used to blow up the max/min imbalance ratio
+    // and the comm share of an all-idle report.  The guarded accessors
+    // must stay finite and the run itself correct.
+    Rng rng(9);
+    CsrMatrix a = gen::randomSpd(8, 3, rng); // 1 block row, 6 engines
+    MultiAccelerator multi(withEngines(6));
+    multi.loadSpmv(a);
+    DenseVector x(8, 1.0);
+    DenseVector want = spmv(a, x);
+    DenseVector got = multi.spmv(x);
+    for (Index i = 0; i < 8; ++i)
+        EXPECT_NEAR(got[i], want[i], 1e-12);
+
+    MultiReport r = multi.report();
+    EXPECT_GE(r.commFraction(), 0.0);
+    EXPECT_LE(r.commFraction(), 1.0);
+    EXPECT_GE(r.imbalance(), 1.0);
+    EXPECT_TRUE(std::isfinite(r.imbalance()));
+    if (r.cycles > 0) {
+        EXPECT_EQ(r.commFraction(),
+                  double(r.commCycles) / double(r.cycles));
+    }
+}
+
 } // namespace
 } // namespace alr

@@ -1,0 +1,541 @@
+/**
+ * @file
+ * Partitioned parallel timing walk tests (ISSUE 6): the parallel walk
+ * must be bit-identical to the serial scheduled walk -- results, cycle
+ * counts, full stat dumps, profile buckets, and modeled timeline
+ * events -- at every pool size, because partition boundaries are
+ * schedule constants and the combine is an ordered reduction.  Plus
+ * the profiler conservation invariant under partitioning, D-SymGS
+ * level-schedule equivalence on a matrix with real multi-chain
+ * parallelism, partition-boundary determinism, and the
+ * ALR_PARALLEL_TIMING environment override.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "alrescha/accelerator.hh"
+#include "alrescha/sim/profile.hh"
+#include "alrescha/sim/schedule.hh"
+#include "common/random.hh"
+#include "common/timeline.hh"
+#include "sparse/coo.hh"
+#include "sparse/generators.hh"
+
+using namespace alr;
+
+namespace {
+
+/** The full serialized stat listing of an engine. */
+std::string
+statDump(Engine &e)
+{
+    std::ostringstream os;
+    e.statGroup().dump(os);
+    return os.str();
+}
+
+AccelParams
+makeParams(Index omega, int threads, bool parallel, bool simd = true)
+{
+    AccelParams p;
+    p.omega = omega;
+    p.useSchedule = true;
+    p.engineThreads = threads;
+    p.simdReplay = simd;
+    p.parallelTiming = parallel;
+    return p;
+}
+
+void
+expectTimingEq(const RunTiming &a, const RunTiming &b, const char *what)
+{
+    EXPECT_EQ(a.cycles, b.cycles) << what;
+    EXPECT_EQ(a.seqCycles, b.seqCycles) << what;
+    EXPECT_EQ(a.parCycles, b.parCycles) << what;
+}
+
+/** The env override forces the parallel walk on for every engine; the
+ *  equivalence tests need their reference engines genuinely serial. */
+struct ScopedUnsetParallelEnv
+{
+    ScopedUnsetParallelEnv()
+    {
+        if (const char *env = std::getenv("ALR_PARALLEL_TIMING")) {
+            saved = env;
+            had = true;
+            unsetenv("ALR_PARALLEL_TIMING");
+        }
+    }
+    ~ScopedUnsetParallelEnv()
+    {
+        if (had)
+            setenv("ALR_PARALLEL_TIMING", saved.c_str(), 1);
+    }
+    std::string saved;
+    bool had = false;
+};
+
+struct ProfileGuard
+{
+    ProfileGuard()
+    {
+        profile::reset();
+        profile::setEnabled(true);
+    }
+    ~ProfileGuard()
+    {
+        profile::setEnabled(false);
+        profile::reset();
+    }
+};
+
+struct TimelineGuard
+{
+    TimelineGuard()
+    {
+        timeline::reset();
+        timeline::setEnabled(true);
+    }
+    ~TimelineGuard()
+    {
+        timeline::setEnabled(false);
+        timeline::reset();
+    }
+};
+
+void
+expectSameBuckets(const profile::Snapshot &a, const profile::Snapshot &b,
+                  const std::string &what)
+{
+    ASSERT_EQ(a.buckets.size(), b.buckets.size()) << what;
+    for (size_t i = 0; i < a.buckets.size(); ++i) {
+        const profile::BucketRow &ra = a.buckets[i];
+        const profile::BucketRow &rb = b.buckets[i];
+        EXPECT_EQ(ra.dp, rb.dp) << what << " bucket " << i;
+        EXPECT_EQ(ra.blockRow, rb.blockRow) << what << " bucket " << i;
+        EXPECT_EQ(ra.cause, rb.cause) << what << " bucket " << i;
+        EXPECT_EQ(ra.cycles, rb.cycles)
+            << what << " bucket " << i << " (" << toString(ra.dp)
+            << ", row " << ra.blockRow << ", "
+            << profile::toString(ra.cause) << ")";
+        EXPECT_EQ(ra.bytes, rb.bytes)
+            << what << " bucket " << i << " (" << toString(ra.dp)
+            << ", row " << ra.blockRow << ", "
+            << profile::toString(ra.cause) << ")";
+    }
+}
+
+/** Modeled-pid events only: host spans (worker wall clocks) legitimately
+ *  differ between serial and pooled execution. */
+std::vector<timeline::Event>
+modeledEvents()
+{
+    std::vector<timeline::Event> out;
+    for (const timeline::Event &e : timeline::events())
+        if (e.pid == timeline::kPidModeled)
+            out.push_back(e);
+    return out;
+}
+
+void
+expectSameModeledEvents(const std::vector<timeline::Event> &a,
+                        const std::vector<timeline::Event> &b,
+                        const std::string &what)
+{
+    ASSERT_EQ(a.size(), b.size()) << what;
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_STREQ(a[i].name, b[i].name) << what << " event " << i;
+        EXPECT_STREQ(a[i].cat, b[i].cat) << what << " event " << i;
+        EXPECT_EQ(a[i].ts, b[i].ts)
+            << what << " event " << i << " (" << a[i].name << ")";
+        EXPECT_EQ(a[i].dur, b[i].dur)
+            << what << " event " << i << " (" << a[i].name << ")";
+        EXPECT_EQ(a[i].value, b[i].value) << what << " event " << i;
+        EXPECT_EQ(a[i].tid, b[i].tid) << what << " event " << i;
+        EXPECT_EQ(a[i].kind, b[i].kind) << what << " event " << i;
+    }
+}
+
+struct Case
+{
+    Index omega;
+    int threads;
+    uint64_t seed;
+};
+
+class PwalkEquivalence : public ::testing::TestWithParam<Case>
+{
+  protected:
+    ScopedUnsetParallelEnv envGuard;
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Bit-identity thread sweep: the parallel walk at pool sizes 1/2/4/8
+// must reproduce the serial scheduled walk exactly -- results, all
+// three cycle counters, and the entire serialized stat dump -- with
+// cache and switch state carried across repeated runs.
+
+TEST_P(PwalkEquivalence, SpmvBitIdentical)
+{
+    const Case c = GetParam();
+    Rng rng(c.seed);
+    CsrMatrix a = gen::randomSpd(97, 6, rng);
+    LocallyDenseMatrix ld =
+        LocallyDenseMatrix::encode(a, c.omega, LdLayout::Plain);
+    ConfigTable table = ConfigTable::convert(KernelType::SpMV, ld);
+
+    Engine ser(makeParams(c.omega, 1, false));
+    Engine par(makeParams(c.omega, c.threads, true));
+    ser.program(&ld, &table);
+    par.program(&ld, &table);
+
+    DenseVector x(a.cols());
+    for (size_t i = 0; i < x.size(); ++i)
+        x[i] = Value(i % 13) - 6.0;
+
+    for (int run = 0; run < 3; ++run) {
+        RunTiming ts, tp;
+        DenseVector ys = ser.runSpmv(x, &ts);
+        DenseVector yp = par.runSpmv(x, &tp);
+        ASSERT_EQ(ys, yp) << "run " << run;
+        expectTimingEq(ts, tp, "spmv timing");
+    }
+    EXPECT_EQ(statDump(ser), statDump(par));
+}
+
+TEST_P(PwalkEquivalence, SpmmBitIdentical)
+{
+    const Case c = GetParam();
+    Rng rng(c.seed + 100);
+    CsrMatrix a = gen::blockStructured(96, c.omega, 3, 0.5, rng);
+    LocallyDenseMatrix ld =
+        LocallyDenseMatrix::encode(a, c.omega, LdLayout::Plain);
+    ConfigTable table = ConfigTable::convert(KernelType::SpMV, ld);
+
+    Engine ser(makeParams(c.omega, 1, false));
+    Engine par(makeParams(c.omega, c.threads, true));
+    ser.program(&ld, &table);
+    par.program(&ld, &table);
+
+    std::vector<DenseVector> xs(3, DenseVector(a.cols()));
+    for (size_t j = 0; j < xs.size(); ++j)
+        for (size_t i = 0; i < xs[j].size(); ++i)
+            xs[j][i] = Value((i * (j + 1)) % 17) - 8.0;
+
+    for (int run = 0; run < 3; ++run) {
+        RunTiming ts, tp;
+        auto ys = ser.runSpmm(xs, &ts);
+        auto yp = par.runSpmm(xs, &tp);
+        ASSERT_EQ(ys, yp) << "run " << run;
+        expectTimingEq(ts, tp, "spmm timing");
+    }
+    EXPECT_EQ(statDump(ser), statDump(par));
+}
+
+TEST_P(PwalkEquivalence, SymgsBitIdentical)
+{
+    const Case c = GetParam();
+    Rng rng(c.seed + 200);
+    CsrMatrix a = gen::banded(101, 5, 0.7, rng);
+    LocallyDenseMatrix ld =
+        LocallyDenseMatrix::encode(a, c.omega, LdLayout::SymGs);
+    ConfigTable fwd = ConfigTable::convert(KernelType::SymGS, ld, true,
+                                           GsSweep::Forward);
+    ConfigTable bwd = ConfigTable::convert(KernelType::SymGS, ld, true,
+                                           GsSweep::Backward);
+
+    Engine ser(makeParams(c.omega, 1, false));
+    Engine par(makeParams(c.omega, c.threads, true));
+
+    DenseVector b(a.rows(), 1.0);
+    DenseVector xs(a.rows(), 0.0), xp(a.rows(), 0.0);
+    for (int run = 0; run < 4; ++run) {
+        const ConfigTable &t = run % 2 ? bwd : fwd;
+        ser.program(&ld, &t);
+        par.program(&ld, &t);
+        RunTiming ts, tp;
+        ser.runSymgsSweep(b, xs, &ts);
+        par.runSymgsSweep(b, xp, &tp);
+        ASSERT_EQ(xs, xp) << "sweep " << run;
+        expectTimingEq(ts, tp, "symgs timing");
+    }
+    EXPECT_EQ(statDump(ser), statDump(par));
+}
+
+TEST_P(PwalkEquivalence, MixedKernelsShareState)
+{
+    // Interleave SpMV and SymGS through one engine pair: the partition
+    // combine must leave cache, link-stack, and switch state exactly
+    // where the serial walk would, or the next kernel diverges.
+    const Case c = GetParam();
+    CsrMatrix a = gen::stencil2d(9, 9);
+    LocallyDenseMatrix ld =
+        LocallyDenseMatrix::encode(a, c.omega, LdLayout::SymGs);
+    ConfigTable spmv = ConfigTable::convert(KernelType::SpMV, ld);
+    ConfigTable fwd = ConfigTable::convert(KernelType::SymGS, ld, true,
+                                           GsSweep::Forward);
+
+    Engine ser(makeParams(c.omega, 1, false));
+    Engine par(makeParams(c.omega, c.threads, true));
+
+    DenseVector b(a.rows(), 0.5);
+    DenseVector xs(a.rows(), 0.0), xp(a.rows(), 0.0);
+    for (int run = 0; run < 3; ++run) {
+        ser.program(&ld, &spmv);
+        par.program(&ld, &spmv);
+        RunTiming ts, tp;
+        DenseVector ys = ser.runSpmv(b, &ts);
+        DenseVector yp = par.runSpmv(b, &tp);
+        ASSERT_EQ(ys, yp);
+        expectTimingEq(ts, tp, "mixed spmv timing");
+
+        ser.program(&ld, &fwd);
+        par.program(&ld, &fwd);
+        ser.runSymgsSweep(b, xs, &ts);
+        par.runSymgsSweep(b, xp, &tp);
+        ASSERT_EQ(xs, xp);
+        expectTimingEq(ts, tp, "mixed symgs timing");
+    }
+    EXPECT_EQ(statDump(ser), statDump(par));
+}
+
+// ---------------------------------------------------------------------
+// Profiler under partitioning: every bucket identical to the serial
+// walk, and the conservation invariant (attributed cycles == engine
+// cycles, attributed bytes == memory traffic) holds because the combine
+// re-emits attribution from one serial scan.
+
+TEST_P(PwalkEquivalence, ProfileBucketsIdenticalAndConserved)
+{
+    ProfileGuard guard;
+    const Case c = GetParam();
+    Rng rng(c.seed + 400);
+    CsrMatrix a = gen::blockStructured(96, 8, 4, 0.7, rng);
+
+    auto runProfiled = [&](const AccelParams &params, const char *kernel,
+                           uint64_t *cycles, double *bytes) {
+        profile::reset();
+        Accelerator acc(params);
+        if (std::strcmp(kernel, "spmv") == 0) {
+            acc.loadSpmvOnly(a);
+            acc.spmv(DenseVector(a.cols(), 1.0));
+        } else {
+            acc.loadPde(a);
+            DenseVector b(a.rows(), 1.0), x(a.rows(), 0.0);
+            acc.symgsSweep(b, x, GsSweep::Symmetric);
+        }
+        *cycles = acc.engine().totalCycles();
+        *bytes = acc.engine().memory().totalBytes();
+        return profile::snapshot();
+    };
+
+    for (const char *kernel : {"spmv", "symgs"}) {
+        uint64_t cs = 0, cp = 0;
+        double bs = 0.0, bp = 0.0;
+        profile::Snapshot ss =
+            runProfiled(makeParams(c.omega, 1, false), kernel, &cs, &bs);
+        profile::Snapshot sp = runProfiled(
+            makeParams(c.omega, c.threads, true), kernel, &cp, &bp);
+        std::string what = std::string(kernel) + " omega " +
+                           std::to_string(c.omega) + " threads " +
+                           std::to_string(c.threads);
+        expectSameBuckets(ss, sp, what);
+        EXPECT_EQ(cs, cp) << what;
+        EXPECT_EQ(sp.attributedCycles, cp) << what;
+        EXPECT_EQ(double(sp.attributedBytes), bp) << what;
+        EXPECT_GT(sp.buckets.size(), 0u) << what;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Timeline under partitioning: the modeled event stream (spans and
+// counters on the modeled pid) is identical in content AND order, since
+// the combine's serial scan re-emits it exactly as the serial walk
+// would have.  Host-pid worker spans are excluded: wall-clock tracks
+// legitimately differ across pool sizes.
+
+TEST_P(PwalkEquivalence, ModeledTimelineIdentical)
+{
+    const Case c = GetParam();
+    Rng rng(c.seed + 500);
+    CsrMatrix a = gen::banded(101, 5, 0.7, rng);
+    LocallyDenseMatrix ld =
+        LocallyDenseMatrix::encode(a, c.omega, LdLayout::SymGs);
+    ConfigTable spmv = ConfigTable::convert(KernelType::SpMV, ld);
+    ConfigTable fwd = ConfigTable::convert(KernelType::SymGS, ld, true,
+                                           GsSweep::Forward);
+
+    auto capture = [&](const AccelParams &params) {
+        TimelineGuard guard;
+        Engine e(params);
+        DenseVector b(a.rows(), 0.5);
+        DenseVector x(a.rows(), 0.0);
+        for (int run = 0; run < 2; ++run) {
+            e.program(&ld, &spmv);
+            e.runSpmv(b, nullptr);
+            e.program(&ld, &fwd);
+            e.runSymgsSweep(b, x, nullptr);
+        }
+        return modeledEvents();
+    };
+
+    std::vector<timeline::Event> ser =
+        capture(makeParams(c.omega, 1, false));
+    std::vector<timeline::Event> par =
+        capture(makeParams(c.omega, c.threads, true));
+    ASSERT_GT(ser.size(), 0u);
+    expectSameModeledEvents(ser, par,
+                            "threads " + std::to_string(c.threads));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OmegaThreads, PwalkEquivalence,
+    ::testing::Values(Case{4, 1, 21}, Case{4, 2, 22}, Case{4, 4, 23},
+                      Case{4, 8, 24}, Case{8, 1, 25}, Case{8, 2, 26},
+                      Case{8, 4, 27}, Case{8, 8, 28}),
+    [](const ::testing::TestParamInfo<Case> &info) {
+        return "w" + std::to_string(info.param.omega) + "_t" +
+               std::to_string(info.param.threads);
+    });
+
+// ---------------------------------------------------------------------
+// Level scheduling with real parallelism: a block-diagonal matrix whose
+// blocks coincide with the chunks has fully independent diagonal
+// chains, so they all land in ONE level and the pool genuinely runs
+// them concurrently -- and the result must still match the serial walk
+// bit for bit.
+
+TEST(PwalkSymgsLevels, BlockDiagonalChainsRunConcurrently)
+{
+    ScopedUnsetParallelEnv envGuard;
+    const Index omega = 8;
+    const Index blocks = 12;
+    CooMatrix coo(blocks * omega, blocks * omega);
+    for (Index bi = 0; bi < blocks; ++bi)
+        for (Index r = 0; r < omega; ++r)
+            for (Index cc = 0; cc < omega; ++cc) {
+                Index gr = bi * omega + r;
+                Index gc = bi * omega + cc;
+                // Diagonally dominant so the sweep is well-posed.
+                coo.add(gr, gc,
+                        gr == gc ? 16.0 + double(bi)
+                                 : 0.25 + 0.01 * double(r + cc));
+            }
+    CsrMatrix a = CsrMatrix::fromCoo(coo);
+    LocallyDenseMatrix ld =
+        LocallyDenseMatrix::encode(a, omega, LdLayout::SymGs);
+    ConfigTable fwd = ConfigTable::convert(KernelType::SymGS, ld, true,
+                                           GsSweep::Forward);
+
+    // The level structure is the parallelism proof: every chain is
+    // independent, so the compiler must produce a single level.
+    AccelParams params = makeParams(omega, 8, true);
+    ExecSchedule S = compileSchedule(ld, fwd, params);
+    ASSERT_GE(S.levelBegin.size(), 2u);
+    EXPECT_EQ(S.levelBegin.size(), 2u)
+        << "independent chains should share one level";
+
+    Engine ser(makeParams(omega, 1, false));
+    Engine par(params);
+    ser.program(&ld, &fwd);
+    par.program(&ld, &fwd);
+
+    DenseVector b(a.rows(), 1.0);
+    DenseVector xs(a.rows(), 0.0), xp(a.rows(), 0.0);
+    for (int sweep = 0; sweep < 3; ++sweep) {
+        RunTiming ts, tp;
+        ser.runSymgsSweep(b, xs, &ts);
+        par.runSymgsSweep(b, xp, &tp);
+        ASSERT_EQ(xs, xp) << "sweep " << sweep;
+        expectTimingEq(ts, tp, "block-diagonal symgs timing");
+    }
+    EXPECT_EQ(statDump(ser), statDump(par));
+}
+
+// A banded matrix chains its chunks together (each chain reads its
+// predecessor's chunk), so levels must be genuine barriers; the sweep
+// still matches the serial walk even though every level holds work.
+
+TEST(PwalkSymgsLevels, ChainedLevelsPartitionThePathSequence)
+{
+    ScopedUnsetParallelEnv envGuard;
+    Rng rng(9);
+    CsrMatrix a = gen::banded(101, 5, 0.7, rng);
+    LocallyDenseMatrix ld =
+        LocallyDenseMatrix::encode(a, 8, LdLayout::SymGs);
+    ConfigTable fwd = ConfigTable::convert(KernelType::SymGS, ld, true,
+                                           GsSweep::Forward);
+
+    AccelParams params = makeParams(8, 4, true);
+    ExecSchedule S = compileSchedule(ld, fwd, params);
+    ASSERT_GE(S.levelBegin.size(), 2u);
+    EXPECT_EQ(S.levelBegin.front(), 0u);
+    EXPECT_EQ(S.levelBegin.back(), S.pathCount);
+    for (size_t l = 0; l + 1 < S.levelBegin.size(); ++l)
+        EXPECT_LT(S.levelBegin[l], S.levelBegin[l + 1])
+            << "empty level " << l;
+    // The band couples neighbouring chunks, so the chain dependence is
+    // real and the compiler must emit more than one level.
+    EXPECT_GT(S.levelBegin.size(), 2u);
+}
+
+// ---------------------------------------------------------------------
+// Partition boundaries are schedule constants: recompiling under
+// different thread counts yields the identical decomposition, which is
+// the root of the determinism guarantee.
+
+TEST(PwalkPartitions, BoundariesAreScheduleConstantsNotThreadCounts)
+{
+    ScopedUnsetParallelEnv envGuard;
+    Rng rng(5);
+    CsrMatrix a = gen::blockStructured(256, 8, 6, 0.6, rng);
+    LocallyDenseMatrix ld =
+        LocallyDenseMatrix::encode(a, 8, LdLayout::Plain);
+    ConfigTable table = ConfigTable::convert(KernelType::SpMV, ld);
+
+    ExecSchedule s1 = compileSchedule(ld, table, makeParams(8, 1, true));
+    ExecSchedule s8 = compileSchedule(ld, table, makeParams(8, 8, true));
+
+    ASSERT_GE(s1.partBegin.size(), 2u);
+    EXPECT_EQ(s1.partBegin, s8.partBegin);
+    EXPECT_LE(s1.partBegin.size(), kTimingPartitions + 1);
+    EXPECT_EQ(s1.partBegin.front(), 0u);
+    EXPECT_EQ(s1.partBegin.back(), s1.pathCount);
+    for (size_t p = 0; p + 1 < s1.partBegin.size(); ++p)
+        EXPECT_LT(s1.partBegin[p], s1.partBegin[p + 1])
+            << "empty partition " << p;
+}
+
+// ---------------------------------------------------------------------
+// The environment override: ALR_PARALLEL_TIMING forces the walk on for
+// engines constructed while it is set (the CI lever), and "0" / unset
+// leave the programmatic choice alone.
+
+TEST(PwalkEnv, EnvVarForcesParallelTimingOn)
+{
+    ScopedUnsetParallelEnv envGuard;
+
+    Engine off(makeParams(8, 1, false));
+    EXPECT_FALSE(off.params().parallelTiming);
+
+    setenv("ALR_PARALLEL_TIMING", "1", 1);
+    Engine forced(makeParams(8, 1, false));
+    EXPECT_TRUE(forced.params().parallelTiming);
+
+    setenv("ALR_PARALLEL_TIMING", "0", 1);
+    Engine zero(makeParams(8, 1, false));
+    EXPECT_FALSE(zero.params().parallelTiming);
+
+    Engine prog(makeParams(8, 1, true));
+    EXPECT_TRUE(prog.params().parallelTiming);
+
+    unsetenv("ALR_PARALLEL_TIMING");
+}

@@ -376,6 +376,50 @@ TEST(ScheduleCache, EvictsBeyondCapacity)
     EXPECT_EQ(e.scheduleCompiles(), 11u);
 }
 
+TEST(ScheduleCache, ReassignedObjectsDoNotAliasStaleSchedules)
+{
+    // Regression: the cache used to key slots on the (ld, table)
+    // pointer pair.  A matrix/table rebuilt *in place* (or a new object
+    // allocated at a recycled address) has the same pointers but
+    // different payload, and the stale schedule replayed the OLD
+    // matrix's values.  Generation keys make every construction
+    // distinct, so the rebuild below must recompile and produce the new
+    // matrix's result.
+    Rng rng(11);
+    CsrMatrix a = gen::randomSpd(64, 5, rng);
+    CsrMatrix a2 = a; // same shape...
+    for (Value &v : a2.vals()) // ...different payload
+        v *= 2.0;
+
+    LocallyDenseMatrix ld =
+        LocallyDenseMatrix::encode(a, 8, LdLayout::Plain);
+    ConfigTable table = ConfigTable::convert(KernelType::SpMV, ld);
+
+    Engine e(makeParams(8, true, 1));
+    e.program(&ld, &table);
+    DenseVector x(a.cols(), 1.0);
+    DenseVector y1 = e.runSpmv(x);
+    EXPECT_EQ(e.scheduleCompiles(), 1u);
+
+    // Rebuild at the same addresses with the same shape.
+    ld = LocallyDenseMatrix::encode(a2, 8, LdLayout::Plain);
+    table = ConfigTable::convert(KernelType::SpMV, ld);
+    e.program(&ld, &table);
+    DenseVector y2 = e.runSpmv(x);
+    EXPECT_EQ(e.scheduleCompiles(), 2u)
+        << "stale schedule served for a rebuilt matrix/table pair";
+
+    // The result must be the doubled matrix's, not the cached one's.
+    Engine fresh(makeParams(8, true, 1));
+    LocallyDenseMatrix ld2 =
+        LocallyDenseMatrix::encode(a2, 8, LdLayout::Plain);
+    ConfigTable table2 = ConfigTable::convert(KernelType::SpMV, ld2);
+    fresh.program(&ld2, &table2);
+    EXPECT_EQ(y2, fresh.runSpmv(x));
+    for (Index i = 0; i < a.rows(); ++i)
+        EXPECT_EQ(y2[i], 2.0 * y1[i]);
+}
+
 // ---------------------------------------------------------------------
 // SIMD replay equivalence (ISSUE 3): the ω-specialized SIMD kernels,
 // the scheduled scalar kernels, and the interpreter must agree bit for

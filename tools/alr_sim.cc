@@ -64,6 +64,7 @@ struct Options
     bool rcm = false;
     bool noSchedule = false;
     bool noSimd = false;
+    bool parallelTiming = false;
     bool dumpStats = false;
     bool json = false;
     bool report = false;
@@ -86,6 +87,7 @@ usage()
         "               [--profile F.json] [--profile-csv F.csv]\n"
         "               [--profile-folded F.folded]\n"
         "               [--iters N] [--threads N] [--engine-threads N]\n"
+        "               [--parallel-timing]\n"
         "               [--save F.alr] [--trace F.log] [--no-schedule]\n"
         "               [--no-simd] [--version]\n"
         "  SPEC: stencil2d:N | stencil3d:N | banded:N | rmat:SCALE |\n"
@@ -100,6 +102,8 @@ usage()
         "  --profile-folded  flamegraph.pl-compatible folded stacks\n"
         "  --no-schedule     interpreter engine (no compiled schedules)\n"
         "  --no-simd         scalar replay kernels\n"
+        "  --parallel-timing partitioned timing walk on the engine\n"
+        "                    threads (bit-identical to the serial walk)\n"
         "  --version         print build provenance and exit\n");
     std::exit(2);
 }
@@ -178,6 +182,8 @@ parse(int argc, char **argv)
             opt.engineThreads = std::atoi(next().c_str());
             if (opt.engineThreads <= 0)
                 usage();
+        } else if (arg == "--parallel-timing") {
+            opt.parallelTiming = true;
         } else if (arg == "--no-simd") {
             opt.noSimd = true;
         } else if (arg == "--rcm") {
@@ -449,6 +455,10 @@ main(int argc, char **argv)
     if (opt.engineThreads > 0)
         params.engineThreads = opt.engineThreads;
     params.simdReplay = !opt.noSimd;
+    // Partitioned timing walk on the engine threads; bit-identical to
+    // the serial walk at any thread count (ALR_PARALLEL_TIMING=1 is
+    // the environment equivalent).
+    params.parallelTiming = opt.parallelTiming;
     Accelerator acc(params);
 
     // Periodic stat snapshots: the engine samples after each run once

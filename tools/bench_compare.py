@@ -26,9 +26,12 @@ import os
 import sys
 
 
-def load_rows(path):
+def load_doc(path):
     with open(path) as f:
-        doc = json.load(f)
+        return json.load(f)
+
+
+def rows_of(doc, path):
     rows = {}
     for row in doc.get("datasets", []):
         key = (row.get("name"), row.get("suite"))
@@ -43,10 +46,22 @@ def load_rows(path):
 def compare_file(name, base_dir, fresh_dir, wall_tol):
     base_path = os.path.join(base_dir, name)
     fresh_path = os.path.join(fresh_dir, name)
-    base = load_rows(base_path)
-    fresh = load_rows(fresh_path)
+    base_doc = load_doc(base_path)
+    fresh_doc = load_doc(fresh_path)
+    base = rows_of(base_doc, base_path)
+    fresh = rows_of(fresh_doc, fresh_path)
 
     errors = []
+    # Schema drift fails loudly: every top-level key of the baseline
+    # document must still exist in the fresh output.  A silently
+    # dropped key would otherwise pass every per-field comparison below
+    # (both sides report "absent") while the bench lost an artifact.
+    for k in sorted(set(base_doc) - set(fresh_doc)):
+        errors.append(
+            f"top-level key '{k}' present in baseline but missing "
+            f"from fresh output"
+        )
+
     for key in sorted(set(base) - set(fresh)):
         errors.append(f"missing row {key} (present in baseline)")
     for key in sorted(set(fresh) - set(base)):
@@ -54,12 +69,21 @@ def compare_file(name, base_dir, fresh_dir, wall_tol):
 
     for key in sorted(set(base) & set(fresh)):
         b, f = base[key], fresh[key]
-        # Modeled, deterministic quantities: exact.
+        # Modeled, deterministic quantities: exact, and a field the
+        # baseline recorded must exist in the fresh row -- "missing"
+        # must never compare equal to "missing".
         for field in ("cycles", "bytes_streamed"):
-            if b.get(field) != f.get(field):
+            if field not in b:
+                continue  # baseline predates the field
+            if field not in f:
+                errors.append(
+                    f"{key}: {field} missing from fresh run "
+                    f"(baseline {b[field]})"
+                )
+            elif b[field] != f[field]:
                 errors.append(
                     f"{key}: {field} drifted: baseline "
-                    f"{b.get(field)} vs fresh {f.get(field)}"
+                    f"{b[field]} vs fresh {f[field]}"
                 )
         # Modeled-counter sub-object ("stats"): every field exact.  A
         # baseline written before the stats export predates the schema;

@@ -5,6 +5,11 @@
 #   2. TSan build, the parallel-pipeline tests (thread pool, parallel
 #      encode/convert determinism, multi-engine scale-out) with a high
 #      thread count to provoke races.
+#   3. The same TSan build re-run over the schedule/profile/pwalk
+#      suites with ALR_PARALLEL_TIMING=1, which forces every engine
+#      through the partitioned parallel timing walk -- the shadow
+#      replay, ordered combine, and level-scheduled D-SymGS all execute
+#      on the pool under the race detector.
 #
 # Usage: tools/check_sanitizers.sh [build-dir-prefix]
 # Exits non-zero on any build failure, test failure, or sanitizer report.
@@ -40,5 +45,16 @@ ALR_THREADS=8 TSAN_OPTIONS="halt_on_error=1" run_suite "${prefix}-tsan" \
     "-fsanitize=thread" \
     "TSan" \
     -R 'ThreadPool|ParallelPipeline|Multi|Mmio'
+
+# Re-run the timing-sensitive suites through the partitioned parallel
+# timing walk (same TSan build; ALR_PARALLEL_TIMING=1 flips every
+# engine over without touching the tests).  The pwalk suite sweeps pool
+# sizes itself; the schedule/profile suites prove the walk stays
+# bit-identical while racing.
+echo "== TSan (ALR_PARALLEL_TIMING=1): testing parallel timing walk =="
+(cd "${prefix}-tsan" && \
+    ALR_PARALLEL_TIMING=1 ALR_THREADS=8 TSAN_OPTIONS="halt_on_error=1" \
+    ctest --output-on-failure -j "${jobs}" \
+        -R 'Pwalk|ScheduleEquivalence|Profile|Multi')
 
 echo "== sanitizers: all passes clean =="
