@@ -7,16 +7,21 @@
  * measures only how fast the simulator itself runs, which is what bounds
  * every iterative experiment in bench/.
  *
- * Part two (ISSUE 3): scalar vs SIMD replay of the compiled schedule on
- * the three largest fig18 datasets -- same bit-identity contract, now
- * across three engines (interpreter / scheduled-scalar / scheduled-SIMD),
- * with a hard failure if results, cycles, or stat dumps diverge.
+ * Part two (ISSUE 3, reworked in ISSUE 7): replay of the compiled
+ * schedule on the three largest fig18 datasets under every --simd mode
+ * the machine can actually run, plus the constant-folded specialization
+ * A/B -- specialized replay versus the per-call dispatch wrappers
+ * (specializeReplay=false), which replay exactly like the PR 3 SIMD
+ * baseline.  Same bit-identity contract across all engines, with a
+ * hard failure if results, cycles, or stat dumps diverge.
  */
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <sstream>
+#include <string>
 
 #include "alrescha/sim/replay.hh"
 #include "bench/bench_util.hh"
@@ -67,27 +72,43 @@ statDump(Accelerator &acc)
 }
 
 AccelParams
-spmvParams(bool use_schedule, bool simd)
+spmvParams(bool use_schedule, SimdMode mode, bool specialize = true)
 {
     AccelParams p;
     p.useSchedule = use_schedule;
-    p.simdReplay = simd;
+    p.simdMode = mode;
+    p.specializeReplay = specialize;
     p.engineThreads = 1; // single-threaded functional pass
     return p;
 }
 
+/** The --simd modes this machine runs natively (no fallback). */
+std::vector<SimdMode>
+runnableModes()
+{
+    std::vector<SimdMode> modes;
+    for (SimdMode m : {SimdMode::Scalar, SimdMode::Sse2, SimdMode::Avx2,
+                       SimdMode::Avx512, SimdMode::Neon}) {
+        if (std::string(replay::selectedName(m)) == replay::toString(m))
+            modes.push_back(m);
+    }
+    return modes;
+}
+
 /**
- * Scalar-vs-SIMD replay sweep: the three largest fig18 datasets by nnz,
- * SpMV replay timed single-threaded.  Returns false on any divergence
- * between interpreter, scheduled-scalar, and scheduled-SIMD runs.
+ * Replay sweep: the three largest fig18 datasets by nnz, SpMV replay
+ * timed single-threaded under every runnable --simd mode, plus the
+ * per-call-dispatch baseline (specializeReplay=false at --simd auto;
+ * the PR 3-style replay loop) against the specialized auto replay.
+ * Returns false on any divergence across all engines.
  */
 bool
 replaySweep(int reps)
 {
-    std::printf("\n== Ablation: scalar vs SIMD schedule replay ==\n\n");
-    std::printf("SIMD kernels: %s; %d timed SpMV replays per mode, "
-                "1 thread\n\n",
-                replay::isaName(), reps);
+    std::printf("\n== Ablation: schedule replay by --simd mode ==\n\n");
+    std::printf("compiled ISAs: %s; auto selects %s; %d timed SpMV "
+                "replays per mode, 1 thread\n\n",
+                replay::compiledIsas(), replay::isaName(), reps);
 
     std::vector<Dataset> all = scientificSuite();
     for (Dataset &d : graphSuite())
@@ -98,17 +119,29 @@ replaySweep(int reps)
               });
     all.resize(std::min<size_t>(3, all.size()));
 
-    Table table({"dataset", "nnz", "scalar ms/spmv", "simd ms/spmv",
-                 "speedup"});
-    std::vector<double> speedups;
+    const std::vector<SimdMode> modes = runnableModes();
+    std::vector<std::string> headers = {"dataset", "nnz"};
+    for (SimdMode m : modes)
+        headers.push_back(std::string(replay::toString(m)) + " ms");
+    headers.push_back("dispatch ms"); // per-call wrappers, auto ISA
+    headers.push_back("spec/disp");   // specialization win, same ISA
+    Table table(headers);
+
+    std::vector<double> simd_speedups; // widest mode vs forced scalar
+    std::vector<double> spec_speedups; // specialized vs dispatch, auto
     bool ok = true;
     for (const Dataset &d : all) {
-        Accelerator interp(spmvParams(false, false));
-        Accelerator scalar(spmvParams(true, false));
-        Accelerator simd(spmvParams(true, true));
+        Accelerator interp(spmvParams(false, SimdMode::Auto));
+        Accelerator dispatch(
+            spmvParams(true, SimdMode::Auto, /*specialize=*/false));
+        std::vector<std::unique_ptr<Accelerator>> accs;
+        for (SimdMode m : modes)
+            accs.push_back(
+                std::make_unique<Accelerator>(spmvParams(true, m)));
         interp.loadSpmvOnly(d.matrix);
-        scalar.loadSpmvOnly(d.matrix);
-        simd.loadSpmvOnly(d.matrix);
+        dispatch.loadSpmvOnly(d.matrix);
+        for (auto &acc : accs)
+            acc->loadSpmvOnly(d.matrix);
 
         DenseVector x(d.matrix.cols());
         for (size_t i = 0; i < x.size(); ++i)
@@ -118,15 +151,16 @@ replaySweep(int reps)
         // each engine must agree on the result vector, the modeled
         // cycles, and the entire serialized stat dump.
         DenseVector yi = interp.spmv(x);
-        DenseVector yc = scalar.spmv(x);
-        DenseVector yv = simd.spmv(x);
-        if (yi != yc || yi != yv ||
-            interp.report().cycles != scalar.report().cycles ||
-            interp.report().cycles != simd.report().cycles ||
-            statDump(interp) != statDump(scalar) ||
-            statDump(interp) != statDump(simd)) {
-            std::printf("ERROR: %s: interpreter/scalar/simd replay "
-                        "diverged\n",
+        auto diverges = [&](Accelerator &acc) {
+            return yi != acc.spmv(x) ||
+                   interp.report().cycles != acc.report().cycles ||
+                   statDump(interp) != statDump(acc);
+        };
+        bool diverged = diverges(dispatch);
+        for (auto &acc : accs)
+            diverged = diverges(*acc) || diverged;
+        if (diverged) {
+            std::printf("ERROR: %s: replay modes diverged\n",
                         d.name.c_str());
             ok = false;
             continue;
@@ -138,21 +172,37 @@ replaySweep(int reps)
                 acc.spmv(x);
             return wallMsSince(t0) / reps;
         };
-        double scalar_ms = time(scalar);
-        double simd_ms = time(simd);
-        double speedup = scalar_ms / simd_ms;
-        speedups.push_back(speedup);
-        table.addRow({d.name, std::to_string(d.matrix.nnz()),
-                      fmt(scalar_ms, 3), fmt(simd_ms, 3),
-                      fmt(speedup, 2) + "x"});
+        std::vector<std::string> row = {d.name,
+                                        std::to_string(d.matrix.nnz())};
+        double scalar_ms = 0.0, widest_ms = 0.0;
+        for (size_t i = 0; i < accs.size(); ++i) {
+            double ms = time(*accs[i]);
+            if (modes[i] == SimdMode::Scalar)
+                scalar_ms = ms;
+            widest_ms = ms; // modes are ordered narrowest to widest
+            row.push_back(fmt(ms, 3));
+        }
+        double dispatch_ms = time(dispatch);
+        double spec = dispatch_ms / widest_ms;
+        row.push_back(fmt(dispatch_ms, 3));
+        row.push_back(fmt(spec, 2) + "x");
+        table.addRow(row);
+        spec_speedups.push_back(spec);
+        if (scalar_ms > 0.0 && widest_ms > 0.0 && modes.size() > 1)
+            simd_speedups.push_back(scalar_ms / widest_ms);
     }
     table.print();
-    if (!speedups.empty())
-        std::printf("\ngeo-mean SIMD replay speedup: %.2fx\n",
-                    geoMean(speedups));
+    if (!simd_speedups.empty())
+        std::printf("\ngeo-mean SIMD replay speedup (widest vs forced "
+                    "scalar): %.2fx\n",
+                    geoMean(simd_speedups));
+    if (!spec_speedups.empty())
+        std::printf("geo-mean specialization speedup (stamped kernels "
+                    "vs per-call dispatch, same ISA): %.2fx\n",
+                    geoMean(spec_speedups));
     if (ok)
         std::printf("results, cycles, and stat dumps identical across "
-                    "interpreter/scalar/simd\n");
+                    "all replay modes\n");
     return ok;
 }
 
@@ -177,7 +227,7 @@ timelineOverhead(int reps)
             return x.matrix.nnz() < y.matrix.nnz();
         });
 
-    Accelerator acc(spmvParams(true, true));
+    Accelerator acc(spmvParams(true, SimdMode::Auto));
     acc.loadSpmvOnly(largest->matrix);
     DenseVector x(largest->matrix.cols());
     for (size_t i = 0; i < x.size(); ++i)

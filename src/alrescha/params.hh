@@ -14,6 +14,26 @@
 namespace alr {
 
 /**
+ * Replay ISA selection for the scheduled functional pass.  Auto picks
+ * the widest compiled-in ISA the machine executes (cpuid/HWCAP,
+ * overridable via the ALR_SIMD_FORCE environment variable); Scalar
+ * forces the portable kernels on any build; a forced ISA that was not
+ * compiled in or is not executable falls back down the chain
+ * (avx512 -> avx2 -> sse2 -> neon -> scalar), never crashes.  Every
+ * choice is bit-identical -- the kernels share one canonical
+ * reduction tree -- so the mode is purely a wall-clock knob.
+ */
+enum class SimdMode : uint8_t
+{
+    Auto,
+    Scalar,
+    Sse2,
+    Avx2,
+    Avx512,
+    Neon,
+};
+
+/**
  * Accelerator configuration.  Defaults reproduce Table 5: double
  * precision, 2.5 GHz, 1 KB local cache with 64 B lines at 4 cycles,
  * 3-cycle ALUs, 3-cycle sum / 1-cycle min reduce engines, 12 GB GDDR5 at
@@ -107,14 +127,24 @@ struct AccelParams
     int engineThreads = 1;
 
     /**
-     * Run the scheduled functional replay through the ω-specialized
-     * SIMD kernels when they were compiled in (CMake ALR_SIMD).  The
-     * scalar kernels implement the identical canonical reduction tree,
-     * so results are bit-for-bit the same either way; the toggle exists
-     * for the abl_schedule scalar-vs-SIMD sweep and for debugging.
-     * No effect in a portable (no-SIMD) build.
+     * Replay ISA for the scheduled functional pass (alr_sim --simd=).
+     * Dispatch happens once, at schedule-compile time: the selected
+     * kernel table's entry points are stamped into the ExecSchedule.
+     * Every mode is bit-for-bit identical (shared canonical reduction
+     * tree); the knob exists for the abl_schedule ISA sweep, for
+     * forcing the portable path, and for debugging.
      */
-    bool simdReplay = true;
+    SimdMode simdMode = SimdMode::Auto;
+
+    /**
+     * Stamp ω- and row-layout-specialized replay entry points into the
+     * compiled schedule (zero switches and zero indirect table reads
+     * in the replayed loop body).  false keeps the per-call
+     * runtime-dispatch wrappers -- the PR 3-style baseline -- as the
+     * reference; results are bit-identical either way.  Bench/debug
+     * knob (abl_schedule measures the specialization win with it).
+     */
+    bool specializeReplay = true;
 
     /**
      * Extend engineThreads to the modeled timing walk: partition the

@@ -9,7 +9,6 @@
 #include "alrescha/sim/profile.hh"
 #include "alrescha/sim/pwalk.hh"
 #include "alrescha/sim/reduce.hh"
-#include "alrescha/sim/replay.hh"
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 #include "common/timeline.hh"
@@ -381,17 +380,16 @@ Engine::runSpmvScheduled(const ExecSchedule &sched, const DenseVector &x,
     // ω-wide work happens in the replay kernels against the staged
     // operand, which parallel workers share read-only.
     const Value *xpad = stageOperand(S, x);
-    const bool simd = _params.simdReplay;
     size_t groups = S.groupBegin.empty() ? 0 : S.groupBegin.size() - 1;
     ThreadPool *pool = enginePool();
     if (pool && S.parallelSafe && groups > 1) {
         pool->parallelForChunks(0, groups, [&](size_t gb, size_t ge) {
             timeline::ScopedHostSpan chunkSpan("spmv.groups", "worker");
-            replay::spmvPaths(S, xpad, y.data(), S.groupBegin[gb],
-                              S.groupBegin[ge], simd);
+            S.fns.spmv(S, xpad, y.data(), S.groupBegin[gb],
+                       S.groupBegin[ge]);
         });
     } else {
-        replay::spmvPaths(S, xpad, y.data(), 0, S.pathCount, simd);
+        S.fns.spmv(S, xpad, y.data(), 0, S.pathCount);
     }
 
     // Timing walk: replays the interpreter's exact cache access
@@ -679,18 +677,16 @@ Engine::runSpmmScheduled(const ExecSchedule &sched,
         xp[j] = dst;
         yp[j] = ys[j].data();
     }
-    const bool simd = _params.simdReplay;
     size_t groups = S.groupBegin.empty() ? 0 : S.groupBegin.size() - 1;
     ThreadPool *pool = enginePool();
     if (pool && S.parallelSafe && groups > 1) {
         pool->parallelForChunks(0, groups, [&](size_t gb, size_t ge) {
             timeline::ScopedHostSpan chunkSpan("spmm.groups", "worker");
-            replay::spmmPaths(S, xp.data(), yp.data(), k,
-                              S.groupBegin[gb], S.groupBegin[ge], simd);
+            S.fns.spmm(S, xp.data(), yp.data(), k, S.groupBegin[gb],
+                       S.groupBegin[ge]);
         });
     } else {
-        replay::spmmPaths(S, xp.data(), yp.data(), k, 0, S.pathCount,
-                          simd);
+        S.fns.spmm(S, xp.data(), yp.data(), k, 0, S.pathCount);
     }
 
     RunTiming t;
@@ -1095,7 +1091,6 @@ Engine::runSymgsScheduled(const ExecSchedule &sched, const DenseVector &b,
     uint64_t dep_t = 0;    // completion of the dependence chain
 
     Value *xw = stageOperand(S, x);
-    const bool simd = _params.simdReplay;
     if (_params.parallelTiming) {
         // Parallel sweep: the functional pass runs level-scheduled over
         // the diagonal-chain dependence structure (gathers of a level
@@ -1105,7 +1100,7 @@ Engine::runSymgsScheduled(const ExecSchedule &sched, const DenseVector &b,
         // number matches the fused serial walk bit for bit.
         if (S.pathCount > 0) {
             size_t depth0 = _rcu.linkStack().depth();
-            runSymgsLevels(S, b, xw, simd);
+            runSymgsLevels(S, b, xw);
             pwalk::Ctx ctx{_params, _rcu, _memory, enginePool(), tlBase};
             pwalk::SymgsTiming st = pwalk::symgsWalk(ctx, S, depth0, prof);
             stream_t = st.streamT;
@@ -1187,7 +1182,7 @@ Engine::runSymgsScheduled(const ExecSchedule &sched, const DenseVector &b,
                          xMiss ? lineBytes : 0);
                 stream_t += xRead;
                 std::fill(partials.begin(), partials.end(), 0.0);
-                replay::symgsGemvPath(S, i, xw, partials.data(), simd);
+                S.fns.symgs(S, i, xw, partials.data());
                 prof.add(S.dp[i], S.blockRow[i], Cause::Stream,
                          S.memCycles[i], S.streamBytes[i]);
                 prof.add(S.dp[i], S.blockRow[i], Cause::FcuCompute,
@@ -1292,7 +1287,7 @@ Engine::runSymgsScheduled(const ExecSchedule &sched, const DenseVector &b,
 
 void
 Engine::runSymgsLevels(const ExecSchedule &S, const DenseVector &b,
-                       Value *xw, bool simd)
+                       Value *xw)
 {
     const Index omega = _params.omega;
     const DenseVector &diag = _ld->diagonal();
@@ -1310,9 +1305,8 @@ Engine::runSymgsLevels(const ExecSchedule &S, const DenseVector &b,
         slab.assign((le - lb) * omega, 0.0);
         auto gather = [&](size_t i) {
             if (S.dp[i] == DataPathType::Gemv)
-                replay::symgsGemvPath(S, i, xw,
-                                      slab.data() + (i - lb) * omega,
-                                      simd);
+                S.fns.symgs(S, i, xw,
+                            slab.data() + (i - lb) * omega);
         };
         if (pool && le - lb > 1) {
             pool->parallelFor(lb, le, [&](size_t i) {

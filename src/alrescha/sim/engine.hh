@@ -242,7 +242,7 @@ class Engine
      * stats; touches no timing state.
      */
     void runSymgsLevels(const ExecSchedule &S, const DenseVector &b,
-                        Value *xw, bool simd);
+                        Value *xw);
 
     AccelParams _params;
     MemoryModel _memory;

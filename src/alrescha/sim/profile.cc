@@ -268,7 +268,9 @@ exportJson(std::ostream &os, const ExportMeta &meta)
     os << "{\n";
     os << "  \"version\": {\"git\": \"" << version::gitDescribe()
        << "\", \"simd_build\": \"" << version::simdBuild()
-       << "\", \"simd_runtime\": \"" << replay::isaName()
+       << "\", \"simd_runtime\": \""
+       << (meta.simdRuntime.empty() ? replay::isaName()
+                                    : meta.simdRuntime.c_str())
        << "\", \"omega_specializations\": \""
        << replay::omegaSpecializations() << "\"},\n";
     os << "  \"kernel\": \"" << meta.kernel << "\",\n";

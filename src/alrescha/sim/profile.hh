@@ -218,6 +218,8 @@ struct ExportMeta
     Index omega = 0;
     /** The engine's cumulative modeled cycles (conservation anchor). */
     uint64_t totalCycles = 0;
+    /** Runtime-selected replay ISA; empty = resolve --simd auto here. */
+    std::string simdRuntime;
 };
 
 /**

@@ -1,14 +1,18 @@
 /**
  * @file
- * Replay-kernel implementations (see replay.hh).
+ * Replay dispatcher: the portable scalar kernel table, the runtime-ω
+ * generic arms, the per-call dispatch wrappers (the unspecialized
+ * baseline), and the ISA selection logic (see replay.hh).
  *
- * This translation unit is the only one built with SIMD ISA flags
- * (-mavx2) when ALR_SIMD detects support, together with
- * -ffp-contract=off: a fused multiply-add would round once where the
- * interpreter rounds twice and break the bit-identity contract.  The
- * vector arithmetic uses GCC/Clang vector extensions, so the same
- * source also builds (as scalars) on compilers without them -- the
- * portable configuration simply never defines ALR_SIMD_AVX2.
+ * This TU compiles with no ISA flags -- the portable scalar table
+ * instantiates replay_body.hh at ALR_REPLAY_LANES = 0, which uses no
+ * vector extensions at all -- and, like every replay TU, with
+ * -ffp-contract=off (the whole project builds with it; a fused
+ * multiply-add would round once where the canonical tree rounds twice
+ * and break the bit-identity contract).  The vector ISA tables live
+ * in their own TUs (replay_sse2/avx2/avx512/neon.cc), each compiled
+ * with exactly its -m flags; CMake defines ALR_REPLAY_HAVE_* here for
+ * each one it compiled, and the dispatcher only references those.
  *
  * Bit-identity argument for the full-width gather-plan loads: the
  * interpreter gathers each operand chunk per lane with out-of-range
@@ -21,148 +25,44 @@
 
 #include "alrescha/sim/replay.hh"
 
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <vector>
 
 #include "alrescha/sim/reduce.hh"
+#include "alrescha/sim/replay_isa.hh"
+
+#define ALR_REPLAY_NS portable
+#define ALR_REPLAY_LANES 0
+#include "alrescha/sim/replay_body.hh"
 
 namespace alr {
 namespace replay {
 namespace {
 
-/**
- * Fixed-width scalar row dot in the canonical tree order.  W is a power
- * of two, so no pad lanes are needed; the compiler fully unrolls.
- */
-template <Index W>
-inline Value
-dotScalar(const Value *v, const Value *x)
+/** Scratch for the runtime-ω generic arms: stack for the common small
+ *  widths, heap past that.  (The specialized kernels need none.) */
+struct GenericBuf
 {
-    Value p[W];
-    for (Index l = 0; l < W; ++l)
-        p[l] = v[l] * x[l];
-    for (Index w = W; w > 1; w >>= 1)
-        for (Index i = 0; i < w / 2; ++i)
-            p[i] = p[2 * i] + p[2 * i + 1];
-    return p[0];
-}
-
-#if defined(ALR_SIMD_AVX2)
-
-typedef Value v2df __attribute__((vector_size(16)));
-typedef Value v4df __attribute__((vector_size(32)));
-
-inline v4df
-load4(const Value *p)
-{
-    v4df v;
-    std::memcpy(&v, p, sizeof v);
-    return v;
-}
-
-/**
- * Canonical tree over eight lane products given as two 4-lane halves:
- * level 1 combines adjacent lanes ((p0+p1), (p2+p3), ...) via an
- * even/odd shuffle, levels 2 and 3 combine adjacent partials.  Each
- * add below is one canonical-tree combine, so the result is
- * bit-identical to the scalar tree.
- */
-inline Value
-tree8(v4df pl, v4df ph)
-{
-    v4df e = __builtin_shufflevector(pl, ph, 0, 2, 4, 6);
-    v4df o = __builtin_shufflevector(pl, ph, 1, 3, 5, 7);
-    v4df a = e + o; // [l1_0, l1_1, l1_2, l1_3]
-    return (a[0] + a[1]) + (a[2] + a[3]);
-}
-
-/** Two ω=8 rows at once: returns {row dot, next-row dot}. */
-inline v2df
-tree8x2(v4df p0l, v4df p0h, v4df p1l, v4df p1h)
-{
-    v4df ea = __builtin_shufflevector(p0l, p1l, 0, 2, 4, 6);
-    v4df oa = __builtin_shufflevector(p0l, p1l, 1, 3, 5, 7);
-    v4df a = ea + oa; // [r:l1_0, r:l1_1, s:l1_0, s:l1_1]
-    v4df eb = __builtin_shufflevector(p0h, p1h, 0, 2, 4, 6);
-    v4df ob = __builtin_shufflevector(p0h, p1h, 1, 3, 5, 7);
-    v4df b = eb + ob; // [r:l1_2, r:l1_3, s:l1_2, s:l1_3]
-    v4df e2 = __builtin_shufflevector(a, b, 0, 4, 2, 6);
-    v4df o2 = __builtin_shufflevector(a, b, 1, 5, 3, 7);
-    v4df c = e2 + o2; // [r:l2_0, r:l2_1, s:l2_0, s:l2_1]
-    return v2df{c[0] + c[1], c[2] + c[3]};
-}
-
-inline Value
-tree4(v4df p)
-{
-    return (p[0] + p[1]) + (p[2] + p[3]);
-}
-
-/** Two ω=4 rows at once. */
-inline v2df
-tree4x2(v4df p0, v4df p1)
-{
-    v4df e = __builtin_shufflevector(p0, p1, 0, 2, 4, 6);
-    v4df o = __builtin_shufflevector(p0, p1, 1, 3, 5, 7);
-    v4df a = e + o; // [r:l1_0, r:l1_1, s:l1_0, s:l1_1]
-    return v2df{a[0] + a[1], a[2] + a[3]};
-}
-
-/** All row dots of one ω=8 path, two rows per iteration. */
-template <typename Sink>
-inline void
-pathRowsSimd8(const ExecSchedule &S, size_t i, const Value *x,
-              Sink &&sink)
-{
-    const Value *vals = S.values.data();
-    v4df xl = load4(x), xh = load4(x + 4);
-    size_t rr = S.rowBegin[i], re = S.rowBegin[i + 1];
-    for (; rr + 2 <= re; rr += 2) {
-        const Value *v = vals + rr * 8;
-        v2df d = tree8x2(load4(v) * xl, load4(v + 4) * xh,
-                         load4(v + 8) * xl, load4(v + 12) * xh);
-        sink(rr, d[0]);
-        sink(rr + 1, d[1]);
+    explicit GenericBuf(Index omega)
+    {
+        size_t n = fcutree::ceilPow2(omega);
+        if (n <= sizeof(stack) / sizeof(stack[0])) {
+            p = stack;
+        } else {
+            heap.resize(n);
+            p = heap.data();
+        }
     }
-    if (rr < re) {
-        const Value *v = vals + rr * 8;
-        sink(rr, tree8(load4(v) * xl, load4(v + 4) * xh));
-    }
-}
+    Value *p;
+    Value stack[16];
+    std::vector<Value> heap;
+};
 
-/** All row dots of one ω=4 path, two rows per iteration. */
-template <typename Sink>
-inline void
-pathRowsSimd4(const ExecSchedule &S, size_t i, const Value *x,
-              Sink &&sink)
-{
-    const Value *vals = S.values.data();
-    v4df xv = load4(x);
-    size_t rr = S.rowBegin[i], re = S.rowBegin[i + 1];
-    for (; rr + 2 <= re; rr += 2) {
-        const Value *v = vals + rr * 4;
-        v2df d = tree4x2(load4(v) * xv, load4(v + 4) * xv);
-        sink(rr, d[0]);
-        sink(rr + 1, d[1]);
-    }
-    if (rr < re)
-        sink(rr, tree4(load4(vals + rr * 4) * xv));
-}
-
-#endif // ALR_SIMD_AVX2
-
-/** All row dots of one fixed-width scalar path. */
-template <Index W, typename Sink>
-inline void
-pathRowsScalar(const ExecSchedule &S, size_t i, const Value *x,
-               Sink &&sink)
-{
-    const Value *vals = S.values.data();
-    for (size_t rr = S.rowBegin[i]; rr < S.rowBegin[i + 1]; ++rr)
-        sink(rr, dotScalar<W>(vals + rr * W, x));
-}
-
-/** All row dots of one runtime-ω path (buf holds ceilPow2(ω) lanes). */
+/** All row dots of one runtime-ω path (buf holds ceilPow2(ω) lanes;
+ *  sumTree zeroes its own pad lanes). */
 template <typename Sink>
 inline void
 pathRowsGeneric(const ExecSchedule &S, size_t i, const Value *x,
@@ -171,41 +71,200 @@ pathRowsGeneric(const ExecSchedule &S, size_t i, const Value *x,
     const Index omega = S.omega;
     const Value *vals = S.values.data();
     for (size_t rr = S.rowBegin[i]; rr < S.rowBegin[i + 1]; ++rr) {
-        const Value *v = vals + rr * omega;
+        const Value *v = vals + rr * size_t(omega);
         for (Index l = 0; l < omega; ++l)
             buf[l] = v[l] * x[l];
         sink(rr, fcutree::sumTree(buf, omega));
     }
 }
 
-enum class Mode { Simd8, Simd4, Scalar8, Scalar4, Generic };
+// ---- runtime-ω generic arms (any ω; always scalar) ----
 
-inline Mode
-modeFor(Index omega, bool simd)
+void
+spmvGeneric(const ExecSchedule &S, const Value *xpad, Value *y,
+            size_t pBegin, size_t pEnd)
 {
-#if defined(ALR_SIMD_AVX2)
-    if (simd) {
-        if (omega == 8)
-            return Mode::Simd8;
-        if (omega == 4)
-            return Mode::Simd4;
+    GenericBuf buf(S.omega);
+    for (size_t i = pBegin; i < pEnd; ++i)
+        pathRowsGeneric(S, i, xpad + S.xOff[i], buf.p,
+                        [y, &S](size_t rr, Value d) {
+                            y[S.rowIndex[rr]] += d;
+                        });
+}
+
+void
+spmmGeneric(const ExecSchedule &S, const Value *const *xpads,
+            Value *const *ys, size_t k, size_t pBegin, size_t pEnd)
+{
+    const Index omega = S.omega;
+    const Value *vals = S.values.data();
+    GenericBuf buf(omega);
+    for (size_t i = pBegin; i < pEnd; ++i) {
+        const uint32_t off = S.xOff[i];
+        for (size_t rr = S.rowBegin[i]; rr < S.rowBegin[i + 1]; ++rr) {
+            const Value *v = vals + rr * size_t(omega);
+            const Index r = S.rowIndex[rr];
+            for (size_t j = 0; j < k; ++j) {
+                const Value *x = xpads[j] + off;
+                for (Index l = 0; l < omega; ++l)
+                    buf.p[l] = v[l] * x[l];
+                ys[j][r] += fcutree::sumTree(buf.p, omega);
+            }
+        }
     }
-#else
-    (void)simd;
+}
+
+void
+symgsGeneric(const ExecSchedule &S, size_t path, const Value *xpad,
+             Value *partials)
+{
+    const Index r0 = S.blockRow[path] * S.omega;
+    GenericBuf buf(S.omega);
+    pathRowsGeneric(S, path, xpad + S.xOff[path], buf.p,
+                    [partials, r0, &S](size_t rr, Value d) {
+                        partials[S.rowIndex[rr] - r0] = d;
+                    });
+}
+
+// ---- per-call dispatch wrappers (the unspecialized baseline) ----
+//
+// These mirror the pre-specialization structure: one ω switch and one
+// table indirection per entry call (per *path* for SymGS).  Stamped
+// when specializeReplay is off or ω has no compile-time arm; also the
+// A-side of abl_schedule's specialization measurement.
+
+inline const detail::KernelTable *
+tableOf(const ExecSchedule &S)
+{
+    return S.replayTable ? S.replayTable : detail::scalarTable();
+}
+
+void
+spmvAuto(const ExecSchedule &S, const Value *xpad, Value *y,
+         size_t pBegin, size_t pEnd)
+{
+    int oi = detail::omegaIndex(S.omega);
+    if (oi < 0)
+        return spmvGeneric(S, xpad, y, pBegin, pEnd);
+    tableOf(S)->spmv[oi][0](S, xpad, y, pBegin, pEnd);
+}
+
+void
+spmmAuto(const ExecSchedule &S, const Value *const *xpads,
+         Value *const *ys, size_t k, size_t pBegin, size_t pEnd)
+{
+    int oi = detail::omegaIndex(S.omega);
+    if (oi < 0)
+        return spmmGeneric(S, xpads, ys, k, pBegin, pEnd);
+    tableOf(S)->spmm[oi][0](S, xpads, ys, k, pBegin, pEnd);
+}
+
+void
+symgsAuto(const ExecSchedule &S, size_t path, const Value *xpad,
+          Value *partials)
+{
+    int oi = detail::omegaIndex(S.omega);
+    if (oi < 0)
+        return symgsGeneric(S, path, xpad, partials);
+    tableOf(S)->symgs[oi][0](S, path, xpad, partials);
+}
+
+// ---- runtime ISA availability ----
+
+/** CPU executes @p mode's instructions (compiled-in or not). */
+bool
+cpuSupports(SimdMode mode)
+{
+    switch (mode) {
+    case SimdMode::Scalar:
+        return true;
+#if defined(__x86_64__) || defined(__i386__)
+    case SimdMode::Sse2:
+        return true; // x86-64 baseline
+    case SimdMode::Avx2:
+        return __builtin_cpu_supports("avx2") != 0;
+    case SimdMode::Avx512:
+        return __builtin_cpu_supports("avx512f") != 0;
+#elif defined(__aarch64__)
+    case SimdMode::Neon:
+        return true; // aarch64 baseline
 #endif
-    if (omega == 8)
-        return Mode::Scalar8;
-    if (omega == 4)
-        return Mode::Scalar4;
-    return Mode::Generic;
+    default:
+        return false;
+    }
+}
+
+/** The table for @p mode when its TU was compiled in, else null. */
+const detail::KernelTable *
+compiledTable(SimdMode mode)
+{
+    switch (mode) {
+    case SimdMode::Scalar:
+        return detail::scalarTable();
+#if defined(ALR_REPLAY_HAVE_SSE2)
+    case SimdMode::Sse2:
+        return detail::sse2Table();
+#endif
+#if defined(ALR_REPLAY_HAVE_AVX2)
+    case SimdMode::Avx2:
+        return detail::avx2Table();
+#endif
+#if defined(ALR_REPLAY_HAVE_AVX512)
+    case SimdMode::Avx512:
+        return detail::avx512Table();
+#endif
+#if defined(ALR_REPLAY_HAVE_NEON)
+    case SimdMode::Neon:
+        return detail::neonTable();
+#endif
+    default:
+        return nullptr;
+    }
+}
+
+void
+warnFallback(SimdMode wanted, const char *got)
+{
+    static std::atomic<bool> warned{false};
+    if (warned.exchange(true))
+        return;
+    std::fprintf(stderr,
+                 "alrescha: replay ISA '%s' unavailable "
+                 "(not compiled in or not supported by this CPU); "
+                 "falling back to '%s'\n",
+                 toString(wanted), got);
+}
+
+void
+warnBadForce(const char *text)
+{
+    static std::atomic<bool> warned{false};
+    if (warned.exchange(true))
+        return;
+    std::fprintf(stderr,
+                 "alrescha: ignoring invalid ALR_SIMD_FORCE='%s' "
+                 "(want auto|scalar|sse2|avx2|avx512|neon)\n",
+                 text);
 }
 
 } // namespace
 
+namespace detail {
+
+const KernelTable *
+scalarTable()
+{
+    static const KernelTable t = portable::makeTable("scalar");
+    return &t;
+}
+
+} // namespace detail
+
 bool
 simdAvailable()
 {
-#if defined(ALR_SIMD_AVX2)
+#if defined(ALR_REPLAY_HAVE_SSE2) || defined(ALR_REPLAY_HAVE_AVX2) || \
+    defined(ALR_REPLAY_HAVE_AVX512) || defined(ALR_REPLAY_HAVE_NEON)
     return true;
 #else
     return false;
@@ -213,174 +272,137 @@ simdAvailable()
 }
 
 const char *
-isaName()
+compiledIsas()
 {
-    return simdAvailable() ? "avx2" : "scalar";
+    return "scalar"
+#if defined(ALR_REPLAY_HAVE_SSE2)
+           ",sse2"
+#endif
+#if defined(ALR_REPLAY_HAVE_AVX2)
+           ",avx2"
+#endif
+#if defined(ALR_REPLAY_HAVE_AVX512)
+           ",avx512"
+#endif
+#if defined(ALR_REPLAY_HAVE_NEON)
+           ",neon"
+#endif
+        ;
 }
 
 const char *
 omegaSpecializations()
 {
-    return "4,8";
+    return "2,4,8";
 }
 
-void
-spmvPaths(const ExecSchedule &S, const Value *xpad, Value *y,
-          size_t pBegin, size_t pEnd, bool simd)
+const char *
+toString(SimdMode mode)
 {
-    auto sinkFor = [y, &S](size_t) {
-        return [y, &S](size_t rr, Value d) { y[S.rowIndex[rr]] += d; };
+    switch (mode) {
+    case SimdMode::Auto:
+        return "auto";
+    case SimdMode::Scalar:
+        return "scalar";
+    case SimdMode::Sse2:
+        return "sse2";
+    case SimdMode::Avx2:
+        return "avx2";
+    case SimdMode::Avx512:
+        return "avx512";
+    case SimdMode::Neon:
+        return "neon";
+    }
+    return "scalar";
+}
+
+bool
+parseSimdMode(const char *text, SimdMode *mode)
+{
+    struct Entry
+    {
+        const char *name;
+        SimdMode mode;
     };
-    switch (modeFor(S.omega, simd)) {
-#if defined(ALR_SIMD_AVX2)
-    case Mode::Simd8:
-        for (size_t i = pBegin; i < pEnd; ++i)
-            pathRowsSimd8(S, i, xpad + S.xOff[i], sinkFor(i));
-        return;
-    case Mode::Simd4:
-        for (size_t i = pBegin; i < pEnd; ++i)
-            pathRowsSimd4(S, i, xpad + S.xOff[i], sinkFor(i));
-        return;
-#else
-    case Mode::Simd8:
-    case Mode::Simd4:
-#endif
-    case Mode::Scalar8:
-        for (size_t i = pBegin; i < pEnd; ++i)
-            pathRowsScalar<8>(S, i, xpad + S.xOff[i], sinkFor(i));
-        return;
-    case Mode::Scalar4:
-        for (size_t i = pBegin; i < pEnd; ++i)
-            pathRowsScalar<4>(S, i, xpad + S.xOff[i], sinkFor(i));
-        return;
-    case Mode::Generic: {
-        std::vector<Value> buf(fcutree::ceilPow2(S.omega));
-        for (size_t i = pBegin; i < pEnd; ++i)
-            pathRowsGeneric(S, i, xpad + S.xOff[i], buf.data(),
-                            sinkFor(i));
-        return;
-    }
-    }
-}
-
-void
-spmmPaths(const ExecSchedule &S, const Value *const *xpads,
-          Value *const *ys, size_t k, size_t pBegin, size_t pEnd,
-          bool simd)
-{
-    const Value *vals = S.values.data();
-    switch (modeFor(S.omega, simd)) {
-#if defined(ALR_SIMD_AVX2)
-    case Mode::Simd8:
-        for (size_t i = pBegin; i < pEnd; ++i) {
-            const uint32_t off = S.xOff[i];
-            for (size_t rr = S.rowBegin[i]; rr < S.rowBegin[i + 1];
-                 ++rr) {
-                const Value *v = vals + rr * 8;
-                v4df vl = load4(v), vh = load4(v + 4);
-                const Index r = S.rowIndex[rr];
-                for (size_t j = 0; j < k; ++j) {
-                    const Value *x = xpads[j] + off;
-                    ys[j][r] +=
-                        tree8(vl * load4(x), vh * load4(x + 4));
-                }
-            }
-        }
-        return;
-    case Mode::Simd4:
-        for (size_t i = pBegin; i < pEnd; ++i) {
-            const uint32_t off = S.xOff[i];
-            for (size_t rr = S.rowBegin[i]; rr < S.rowBegin[i + 1];
-                 ++rr) {
-                v4df vv = load4(vals + rr * 4);
-                const Index r = S.rowIndex[rr];
-                for (size_t j = 0; j < k; ++j)
-                    ys[j][r] += tree4(vv * load4(xpads[j] + off));
-            }
-        }
-        return;
-#else
-    case Mode::Simd8:
-    case Mode::Simd4:
-#endif
-    case Mode::Scalar8:
-        for (size_t i = pBegin; i < pEnd; ++i) {
-            const uint32_t off = S.xOff[i];
-            for (size_t rr = S.rowBegin[i]; rr < S.rowBegin[i + 1];
-                 ++rr) {
-                const Value *v = vals + rr * 8;
-                const Index r = S.rowIndex[rr];
-                for (size_t j = 0; j < k; ++j)
-                    ys[j][r] += dotScalar<8>(v, xpads[j] + off);
-            }
-        }
-        return;
-    case Mode::Scalar4:
-        for (size_t i = pBegin; i < pEnd; ++i) {
-            const uint32_t off = S.xOff[i];
-            for (size_t rr = S.rowBegin[i]; rr < S.rowBegin[i + 1];
-                 ++rr) {
-                const Value *v = vals + rr * 4;
-                const Index r = S.rowIndex[rr];
-                for (size_t j = 0; j < k; ++j)
-                    ys[j][r] += dotScalar<4>(v, xpads[j] + off);
-            }
-        }
-        return;
-    case Mode::Generic: {
-        const Index omega = S.omega;
-        std::vector<Value> buf(fcutree::ceilPow2(omega));
-        for (size_t i = pBegin; i < pEnd; ++i) {
-            const uint32_t off = S.xOff[i];
-            for (size_t rr = S.rowBegin[i]; rr < S.rowBegin[i + 1];
-                 ++rr) {
-                const Value *v = vals + rr * omega;
-                const Index r = S.rowIndex[rr];
-                for (size_t j = 0; j < k; ++j) {
-                    const Value *x = xpads[j] + off;
-                    for (Index l = 0; l < omega; ++l)
-                        buf[l] = v[l] * x[l];
-                    ys[j][r] += fcutree::sumTree(buf.data(), omega);
-                }
-            }
-        }
-        return;
-    }
-    }
-}
-
-void
-symgsGemvPath(const ExecSchedule &S, size_t path, const Value *xpad,
-              Value *partials, bool simd)
-{
-    const Index r0 = S.blockRow[path] * S.omega;
-    auto sink = [partials, r0, &S](size_t rr, Value d) {
-        partials[S.rowIndex[rr] - r0] = d;
+    static const Entry table[] = {
+        {"auto", SimdMode::Auto},     {"scalar", SimdMode::Scalar},
+        {"sse2", SimdMode::Sse2},     {"avx2", SimdMode::Avx2},
+        {"avx512", SimdMode::Avx512}, {"neon", SimdMode::Neon},
     };
-    const Value *x = xpad + S.xOff[path];
-    switch (modeFor(S.omega, simd)) {
-#if defined(ALR_SIMD_AVX2)
-    case Mode::Simd8:
-        pathRowsSimd8(S, path, x, sink);
-        return;
-    case Mode::Simd4:
-        pathRowsSimd4(S, path, x, sink);
-        return;
-#else
-    case Mode::Simd8:
-    case Mode::Simd4:
-#endif
-    case Mode::Scalar8:
-        pathRowsScalar<8>(S, path, x, sink);
-        return;
-    case Mode::Scalar4:
-        pathRowsScalar<4>(S, path, x, sink);
-        return;
-    case Mode::Generic: {
-        std::vector<Value> buf(fcutree::ceilPow2(S.omega));
-        pathRowsGeneric(S, path, x, buf.data(), sink);
-        return;
+    for (const Entry &e : table) {
+        if (std::strcmp(text, e.name) == 0) {
+            *mode = e.mode;
+            return true;
+        }
     }
+    return false;
+}
+
+const detail::KernelTable *
+select(SimdMode mode)
+{
+    // The env override is resolved per call, not cached: tests flip it
+    // between engine constructions to simulate machines without the
+    // compiled-in ISA.
+    if (mode == SimdMode::Auto) {
+        if (const char *e = std::getenv("ALR_SIMD_FORCE");
+            e != nullptr && *e != '\0') {
+            SimdMode forced;
+            if (parseSimdMode(e, &forced))
+                mode = forced;
+            else
+                warnBadForce(e);
+        }
+    }
+    // Widest-first fallback chain; a forced mode starts the walk at
+    // its own position, so it never silently upgrades.
+    static const SimdMode chain[] = {SimdMode::Avx512, SimdMode::Avx2,
+                                     SimdMode::Sse2, SimdMode::Neon,
+                                     SimdMode::Scalar};
+    bool walking = mode == SimdMode::Auto;
+    for (SimdMode c : chain) {
+        if (!walking) {
+            if (c != mode)
+                continue;
+            walking = true;
+        }
+        const detail::KernelTable *t = compiledTable(c);
+        if (t != nullptr && cpuSupports(c)) {
+            if (mode != SimdMode::Auto && c != mode)
+                warnFallback(mode, t->name);
+            return t;
+        }
+    }
+    return detail::scalarTable();
+}
+
+const char *
+isaName()
+{
+    return select(SimdMode::Auto)->name;
+}
+
+const char *
+selectedName(SimdMode mode)
+{
+    return select(mode)->name;
+}
+
+void
+specialize(ExecSchedule &S, const AccelParams &params)
+{
+    const detail::KernelTable *t = select(params.simdMode);
+    S.replayTable = t;
+    const int oi = detail::omegaIndex(S.omega);
+    if (params.specializeReplay && oi >= 0) {
+        const int ci = S.contiguousRows ? 1 : 0;
+        S.fns.spmv = t->spmv[oi][ci];
+        S.fns.spmm = t->spmm[oi][ci];
+        S.fns.symgs = t->symgs[oi][ci];
+    } else {
+        S.fns.spmv = &spmvAuto;
+        S.fns.spmm = &spmmAuto;
+        S.fns.symgs = &symgsAuto;
     }
 }
 

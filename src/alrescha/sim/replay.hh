@@ -1,67 +1,93 @@
 /**
  * @file
- * ω-specialized replay kernels for the scheduled functional pass.
+ * Replay kernel dispatch + specialization for the scheduled
+ * functional pass.
  *
  * The schedule compiler resolves every block row into an ω-wide value
  * record and a gather-plan offset into a chunk-padded operand buffer
- * (ExecSchedule::xOff / paddedOperand), so replaying a path is nothing
- * but full-width multiply-reduce work -- exactly the dense ω-lane
- * streaming the FCU models.  These kernels execute it at that width:
- * compile-time specializations for ω ∈ {4, 8} (SIMD when compiled in,
- * unrolled scalar otherwise) and a generic runtime-ω fallback.
+ * (ExecSchedule::xOff / paddedOperand), so replaying a path is pure
+ * full-width multiply-reduce work -- exactly the dense ω-lane
+ * streaming the FCU models.  This layer executes it at native width:
+ *
+ *  - Stage 1 (runtime ISA dispatch): one width-agnostic kernel core
+ *    (replay_body.hh) is instantiated per compiled-in ISA --
+ *    SSE2/AVX2/AVX-512/NEON, each in its own TU with matching -m
+ *    flags -- plus a portable scalar arm.  select() picks the widest
+ *    table the machine executes via cpuid/HWCAP, overridable with
+ *    AccelParams::simdMode (alr_sim --simd=) or the ALR_SIMD_FORCE
+ *    environment variable; an unavailable choice falls back down the
+ *    chain, never crashes.
+ *  - Stage 2 (schedule-time specialization): specialize() stamps the
+ *    per-(ω, kernel, row-layout) entry points straight into the
+ *    ExecSchedule, so the replayed loop body carries zero switches
+ *    and zero indirect table reads.  ω outside {2, 4, 8} (or
+ *    AccelParams::specializeReplay = false) stamps per-call dispatch
+ *    wrappers backed by a runtime-ω generic arm instead.
  *
  * Every arm reduces in the canonical pairwise tree order (reduce.hh),
- * so the interpreter, the scheduled scalar path, and the SIMD path all
- * produce bit-identical doubles; which arm runs is purely a wall-time
- * choice (AccelParams::simdReplay, CMake ALR_SIMD).
+ * so the interpreter, the scheduled scalar path, and every dispatched
+ * ISA produce bit-identical doubles; which arm runs is purely a
+ * wall-time choice.
  */
 
 #ifndef ALR_ALRESCHA_SIM_REPLAY_HH
 #define ALR_ALRESCHA_SIM_REPLAY_HH
 
-#include <cstddef>
-
-#include "alrescha/sim/schedule.hh"
+#include "alrescha/params.hh"
+#include "alrescha/sim/replay_fns.hh"
 
 namespace alr {
 namespace replay {
 
-/** True when the SIMD kernels were compiled in (CMake ALR_SIMD). */
+namespace detail {
+struct KernelTable;
+}
+
+/** True when at least one vector ISA was compiled in (CMake ALR_SIMD);
+ *  the scalar arm exists in every build. */
 bool simdAvailable();
 
-/** ISA label for logs and benches: "avx2" or "scalar". */
+/** Comma-separated ISAs compiled into this binary, e.g.
+ *  "scalar,sse2,avx2,avx512" (build provenance). */
+const char *compiledIsas();
+
+/** ISA the Auto dispatch selects on this machine right now (honors
+ *  ALR_SIMD_FORCE): "avx512", "avx2", "sse2", "neon" or "scalar". */
 const char *isaName();
+
+/** ISA that @p mode resolves to on this machine (== toString(mode)
+ *  when the request is satisfiable, else the fallback's name). */
+const char *selectedName(SimdMode mode);
 
 /** Comma-separated ω values with compile-time specialized kernels
  *  (other widths fall back to the generic runtime-ω arm). */
 const char *omegaSpecializations();
 
-/**
- * Replay SpMV paths [pBegin, pEnd): accumulate each row record's dot
- * product into y[rowIndex].  @p xpad is the operand staged to
- * ExecSchedule::paddedOperand entries (tail zeroed).
- */
-void spmvPaths(const ExecSchedule &S, const Value *xpad, Value *y,
-               size_t pBegin, size_t pEnd, bool simd);
+/** Mode spelling used by --simd= / ALR_SIMD_FORCE. */
+const char *toString(SimdMode mode);
+
+/** Parse a --simd= / ALR_SIMD_FORCE spelling ("auto", "scalar",
+ *  "sse2", "avx2", "avx512", "neon"); false on unknown input. */
+bool parseSimdMode(const char *text, SimdMode *mode);
 
 /**
- * Replay SpMM paths [pBegin, pEnd) for @p k right-hand sides: each row
- * record's values load once and reduce against every staged operand
- * (ω×RHS register blocking).  @p xpads / @p ys are k pointers to staged
- * operands / dense outputs.
+ * Runtime dispatch: the kernel table for @p mode on this machine.
+ * Auto (or a forced ISA that is not compiled in / not executable)
+ * walks the chain avx512 -> avx2 -> sse2 -> neon -> scalar and
+ * returns the first available table -- never null, never a table the
+ * CPU cannot execute.
  */
-void spmmPaths(const ExecSchedule &S, const Value *const *xpads,
-               Value *const *ys, size_t k, size_t pBegin, size_t pEnd,
-               bool simd);
+const detail::KernelTable *select(SimdMode mode);
 
 /**
- * Replay one SymGS GEMV path: scatter each row record's dot product to
- * partials[rowIndex - blockRow * ω] (assignment; the caller pre-zeroes
- * the lanes).  The serialized diagonal chain stays in the engine -- it
- * is a recurrence, not data-parallel work.
+ * Stamp the replay entry points for @p S into S.fns (and the selected
+ * table into S.replayTable): the per-(ω, kernel, row-layout)
+ * specialization when ω ∈ {2, 4, 8} and params.specializeReplay, the
+ * per-call dispatch wrappers otherwise.  Called by compileSchedule as
+ * its final step; requires S.omega / S.contiguousRows / S.blockRow
+ * etc. to be final.
  */
-void symgsGemvPath(const ExecSchedule &S, size_t path, const Value *xpad,
-                   Value *partials, bool simd);
+void specialize(ExecSchedule &S, const AccelParams &params);
 
 } // namespace replay
 } // namespace alr

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * AVX2 instantiation of the replay kernel core (4 lanes).  Compiled
+ * with -mavx2 -ffp-contract=off; see replay_body.hh for the
+ * bit-identity argument.
+ */
+
+#define ALR_REPLAY_NS isa_avx2
+#define ALR_REPLAY_LANES 4
+#include "alrescha/sim/replay_body.hh"
+
+namespace alr {
+namespace replay {
+namespace detail {
+
+const KernelTable *
+avx2Table()
+{
+    static const KernelTable t = isa_avx2::makeTable("avx2");
+    return &t;
+}
+
+} // namespace detail
+} // namespace replay
+} // namespace alr

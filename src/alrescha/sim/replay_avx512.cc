@@ -1,0 +1,25 @@
+/**
+ * @file
+ * AVX-512 instantiation of the replay kernel core (8 lanes: one ω=8
+ * row record per vector).  Compiled with -mavx512f -ffp-contract=off;
+ * see replay_body.hh for the bit-identity argument.
+ */
+
+#define ALR_REPLAY_NS isa_avx512
+#define ALR_REPLAY_LANES 8
+#include "alrescha/sim/replay_body.hh"
+
+namespace alr {
+namespace replay {
+namespace detail {
+
+const KernelTable *
+avx512Table()
+{
+    static const KernelTable t = isa_avx512::makeTable("avx512");
+    return &t;
+}
+
+} // namespace detail
+} // namespace replay
+} // namespace alr

@@ -1,0 +1,396 @@
+/**
+ * @file
+ * Width-agnostic replay kernel core (textual template, one inclusion
+ * per ISA translation unit).  The including TU defines:
+ *
+ *   ALR_REPLAY_NS     -- a unique namespace (ODR isolation: every TU
+ *                        compiles with different ISA flags, so nothing
+ *                        here may collide across TUs)
+ *   ALR_REPLAY_LANES  -- native vector lane count for Value (2 for
+ *                        SSE2/NEON, 4 for AVX2, 8 for AVX-512), or 0
+ *                        for the portable scalar instantiation that
+ *                        uses no vector extensions at all
+ *
+ * and gets a makeTable() that fills a detail::KernelTable with fully
+ * specialized entry points over ω ∈ {2, 4, 8} × {scattered,
+ * contiguous} row layouts for SpMV, SpMM and the SymGS GEMV path.
+ *
+ * Bit-identity: every arm computes each row dot in the canonical
+ * pairwise tree order (reduce.hh) -- products p are combined level by
+ * level as p[i] = p[2i] + p[2i+1].  The vector arms realize the same
+ * dependency DAG with even/odd shuffles:
+ *
+ *  - a row's ω products live in N = ω/C vectors of C = min(ω, lanes)
+ *    lanes, in lane order;
+ *  - combining vector pairs as evens(a,b) + odds(a,b) adds exactly
+ *    the adjacent product pairs of one tree level (treeAcross);
+ *  - within the last vector, evens(v) + odds(v) keeps combining
+ *    adjacent partials until one lane remains (treeWithin);
+ *  - the two-rows-at-once variant (pairDot) first reduces each row to
+ *    one vector of partials, then interleaves the remaining levels of
+ *    both rows in concatenated halves -- every add is still one
+ *    canonical combine of a single row.
+ *
+ * Because each add maps 1:1 onto a canonical-tree combine, any lane
+ * count yields bit-identical doubles to the scalar tree -- the ISA is
+ * purely a wall-clock choice.  The TU must be compiled with
+ * -ffp-contract=off (a fused multiply-add would round once where the
+ * tree rounds twice).
+ *
+ * Full-width loads are safe and exact: operand chunks come from the
+ * chunk-padded staging buffer (gather plan, tail zeroed) and value
+ * records are ω-wide with zero-filled edge lanes, so pad products are
+ * +0.0 and the tree over them matches the interpreter's (reduce.hh
+ * signed-zero note).
+ */
+
+#if !defined(ALR_REPLAY_NS) || !defined(ALR_REPLAY_LANES)
+#error "replay_body.hh needs ALR_REPLAY_NS and ALR_REPLAY_LANES defined"
+#endif
+
+#include <cstring>
+
+#include "alrescha/sim/replay_isa.hh"
+#include "alrescha/sim/schedule.hh"
+
+namespace alr {
+namespace replay {
+namespace ALR_REPLAY_NS {
+namespace {
+
+constexpr int kLanes = ALR_REPLAY_LANES;
+
+#if ALR_REPLAY_LANES > 0
+
+// ---------------------------------------------------------------- //
+// Vector machinery (GCC/Clang vector extensions).  Only widths up   //
+// to kLanes are ever instantiated, so each TU stays within the      //
+// vector size its ISA flags cover.                                  //
+// ---------------------------------------------------------------- //
+
+template <int W> struct VecOf
+{
+    typedef Value type __attribute__((vector_size(W * sizeof(Value))));
+};
+template <int W> using Vec = typename VecOf<W>::type;
+
+template <typename V>
+constexpr int kLanesOf = int(sizeof(V) / sizeof(Value));
+
+template <int W>
+inline Vec<W>
+loadv(const Value *p)
+{
+    Vec<W> v;
+    std::memcpy(&v, p, sizeof v);
+    return v;
+}
+
+/** Even / odd lanes of one vector (half width). */
+template <typename V>
+inline Vec<kLanesOf<V> / 2>
+evens(V a)
+{
+    if constexpr (kLanesOf<V> == 2)
+        return __builtin_shufflevector(a, a, 0);
+    else if constexpr (kLanesOf<V> == 4)
+        return __builtin_shufflevector(a, a, 0, 2);
+    else
+        return __builtin_shufflevector(a, a, 0, 2, 4, 6);
+}
+
+template <typename V>
+inline Vec<kLanesOf<V> / 2>
+odds(V a)
+{
+    if constexpr (kLanesOf<V> == 2)
+        return __builtin_shufflevector(a, a, 1);
+    else if constexpr (kLanesOf<V> == 4)
+        return __builtin_shufflevector(a, a, 1, 3);
+    else
+        return __builtin_shufflevector(a, a, 1, 3, 5, 7);
+}
+
+/** Even / odd lanes across a vector pair (same width). */
+template <typename V>
+inline V
+evens2(V a, V b)
+{
+    if constexpr (kLanesOf<V> == 2)
+        return __builtin_shufflevector(a, b, 0, 2);
+    else if constexpr (kLanesOf<V> == 4)
+        return __builtin_shufflevector(a, b, 0, 2, 4, 6);
+    else
+        return __builtin_shufflevector(a, b, 0, 2, 4, 6, 8, 10, 12, 14);
+}
+
+template <typename V>
+inline V
+odds2(V a, V b)
+{
+    if constexpr (kLanesOf<V> == 2)
+        return __builtin_shufflevector(a, b, 1, 3);
+    else if constexpr (kLanesOf<V> == 4)
+        return __builtin_shufflevector(a, b, 1, 3, 5, 7);
+    else
+        return __builtin_shufflevector(a, b, 1, 3, 5, 7, 9, 11, 13, 15);
+}
+
+/** Canonical tree inside one vector of adjacent partials. */
+template <typename V>
+inline Value
+treeWithin(V v)
+{
+    if constexpr (kLanesOf<V> == 2)
+        return v[0] + v[1];
+    else
+        return treeWithin(evens(v) + odds(v));
+}
+
+/** Combine N product vectors down to one vector of partials (each
+ *  step is one full tree level: adjacent pairs across the array). */
+template <int N, typename V>
+inline V
+acrossToVec(const V *p)
+{
+    if constexpr (N == 1)
+        return p[0];
+    else {
+        V q[N / 2];
+        for (int j = 0; j < N / 2; ++j)
+            q[j] = evens2(p[2 * j], p[2 * j + 1]) +
+                   odds2(p[2 * j], p[2 * j + 1]);
+        return acrossToVec<N / 2>(q);
+    }
+}
+
+/** One row dot: N product vectors -> canonical tree scalar. */
+template <int N, typename V>
+inline Value
+treeAcross(const V *p)
+{
+    return treeWithin(acrossToVec<N>(p));
+}
+
+/** Collapse a two-row partial vector (concatenated halves, one row
+ *  per half) to {row0 dot, row1 dot}.  Halves stay independent: with
+ *  half length >= 2 the even/odd lanes of the whole vector are the
+ *  per-half even/odd lanes concatenated, and at length 1 the final
+ *  combine adds each row's last partial pair. */
+template <typename V>
+inline Vec<2>
+pairCollapse(V s)
+{
+    if constexpr (kLanesOf<V> == 2)
+        return s;
+    else
+        return pairCollapse(evens(s) + odds(s));
+}
+
+/** Two rows at once: {dot(pu), dot(pw)}, every add canonical. */
+template <int N, typename V>
+inline Vec<2>
+pairDot(const V *pu, const V *pw)
+{
+    V u = acrossToVec<N>(pu);
+    V w = acrossToVec<N>(pw);
+    return pairCollapse(evens2(u, w) + odds2(u, w));
+}
+
+/**
+ * All row dots of one path at compile-time ω, two rows per iteration
+ * (fills the shuffle ports; the pair epilogue shares work between the
+ * rows).  The operand chunk loads once into registers for the whole
+ * path.  sink(rr, dot) receives rows in record order.
+ */
+template <Index Omega, typename Sink>
+inline void
+pathRows(const ExecSchedule &S, size_t i, const Value *x, Sink &&sink)
+{
+    constexpr int C = kLanes < int(Omega) ? kLanes : int(Omega);
+    constexpr int N = int(Omega) / C;
+    const Value *vals = S.values.data();
+    Vec<C> xv[N];
+    for (int j = 0; j < N; ++j)
+        xv[j] = loadv<C>(x + j * C);
+    size_t rr = S.rowBegin[i];
+    const size_t re = S.rowBegin[i + 1];
+    for (; rr + 2 <= re; rr += 2) {
+        const Value *v = vals + rr * size_t(Omega);
+        Vec<C> pu[N], pw[N];
+        for (int j = 0; j < N; ++j)
+            pu[j] = loadv<C>(v + j * C) * xv[j];
+        for (int j = 0; j < N; ++j)
+            pw[j] = loadv<C>(v + size_t(Omega) + j * C) * xv[j];
+        Vec<2> d = pairDot<N>(pu, pw);
+        sink(rr, d[0]);
+        sink(rr + 1, d[1]);
+    }
+    if (rr < re) {
+        const Value *v = vals + rr * size_t(Omega);
+        Vec<C> p[N];
+        for (int j = 0; j < N; ++j)
+            p[j] = loadv<C>(v + j * C) * xv[j];
+        sink(rr, treeAcross<N>(p));
+    }
+}
+
+/** One row dot against a fresh operand chunk (SpMM inner loop: the
+ *  row's value vectors are hoisted, the operand varies per RHS). */
+template <Index Omega>
+inline Value
+rowDotX(const Vec<(kLanes < int(Omega) ? kLanes : int(Omega))> *vv,
+        const Value *x)
+{
+    constexpr int C = kLanes < int(Omega) ? kLanes : int(Omega);
+    constexpr int N = int(Omega) / C;
+    Vec<C> p[N];
+    for (int j = 0; j < N; ++j)
+        p[j] = vv[j] * loadv<C>(x + j * C);
+    return treeAcross<N>(p);
+}
+
+#else // ALR_REPLAY_LANES == 0
+
+// ---------------------------------------------------------------- //
+// Portable scalar instantiation: plain C++, no vector extensions.  //
+// Same canonical tree, fully unrolled at compile-time ω.           //
+// ---------------------------------------------------------------- //
+
+template <Index W>
+inline Value
+dotScalar(const Value *v, const Value *x)
+{
+    Value p[W];
+    for (Index l = 0; l < W; ++l)
+        p[l] = v[l] * x[l];
+    for (Index w = W; w > 1; w >>= 1)
+        for (Index i = 0; i < w / 2; ++i)
+            p[i] = p[2 * i] + p[2 * i + 1];
+    return p[0];
+}
+
+template <Index Omega, typename Sink>
+inline void
+pathRows(const ExecSchedule &S, size_t i, const Value *x, Sink &&sink)
+{
+    const Value *vals = S.values.data();
+    for (size_t rr = S.rowBegin[i]; rr < S.rowBegin[i + 1]; ++rr)
+        sink(rr, dotScalar<Omega>(vals + rr * size_t(Omega), x));
+}
+
+#endif // ALR_REPLAY_LANES
+
+// ---------------------------------------------------------------- //
+// Specialized drivers.  Contig folds the row indirection: when the  //
+// schedule's GEMV-path rows are consecutive, the row index is       //
+// base + offset and ExecSchedule::rowIndex is read once per path.   //
+// ---------------------------------------------------------------- //
+
+template <Index Omega, bool Contig>
+void
+spmvPathsT(const ExecSchedule &S, const Value *xpad, Value *y,
+           size_t pBegin, size_t pEnd)
+{
+    const Index *rowIndex = S.rowIndex.data();
+    for (size_t i = pBegin; i < pEnd; ++i) {
+        const size_t rr0 = S.rowBegin[i];
+        if (rr0 == S.rowBegin[i + 1])
+            continue;
+        const Value *x = xpad + S.xOff[i];
+        if constexpr (Contig) {
+            Value *yp = y + rowIndex[rr0];
+            pathRows<Omega>(S, i, x, [yp, rr0](size_t rr, Value d) {
+                yp[rr - rr0] += d;
+            });
+        } else {
+            pathRows<Omega>(S, i, x, [y, rowIndex](size_t rr, Value d) {
+                y[rowIndex[rr]] += d;
+            });
+        }
+    }
+}
+
+template <Index Omega, bool Contig>
+void
+spmmPathsT(const ExecSchedule &S, const Value *const *xpads,
+           Value *const *ys, size_t k, size_t pBegin, size_t pEnd)
+{
+    const Index *rowIndex = S.rowIndex.data();
+    const Value *vals = S.values.data();
+    for (size_t i = pBegin; i < pEnd; ++i) {
+        const uint32_t off = S.xOff[i];
+        const size_t rr0 = S.rowBegin[i];
+        const size_t re = S.rowBegin[i + 1];
+        const Index base = rr0 < re && Contig ? rowIndex[rr0] : 0;
+        for (size_t rr = rr0; rr < re; ++rr) {
+            const Value *v = vals + rr * size_t(Omega);
+            const Index r =
+                Contig ? Index(base + Index(rr - rr0)) : rowIndex[rr];
+#if ALR_REPLAY_LANES > 0
+            constexpr int C = kLanes < int(Omega) ? kLanes : int(Omega);
+            constexpr int N = int(Omega) / C;
+            Vec<C> vv[N];
+            for (int j = 0; j < N; ++j)
+                vv[j] = loadv<C>(v + j * C);
+            for (size_t j = 0; j < k; ++j)
+                ys[j][r] += rowDotX<Omega>(vv, xpads[j] + off);
+#else
+            for (size_t j = 0; j < k; ++j)
+                ys[j][r] += dotScalar<Omega>(v, xpads[j] + off);
+#endif
+        }
+    }
+}
+
+template <Index Omega, bool Contig>
+void
+symgsPathT(const ExecSchedule &S, size_t path, const Value *xpad,
+           Value *partials)
+{
+    const size_t rr0 = S.rowBegin[path];
+    if (rr0 == S.rowBegin[path + 1])
+        return;
+    const Value *x = xpad + S.xOff[path];
+    const Index r0 = S.blockRow[path] * Omega;
+    const Index *rowIndex = S.rowIndex.data();
+    if constexpr (Contig) {
+        Value *pp = partials + (rowIndex[rr0] - r0);
+        pathRows<Omega>(S, path, x, [pp, rr0](size_t rr, Value d) {
+            pp[rr - rr0] = d;
+        });
+    } else {
+        pathRows<Omega>(S, path, x,
+                        [partials, r0, rowIndex](size_t rr, Value d) {
+                            partials[rowIndex[rr] - r0] = d;
+                        });
+    }
+}
+
+template <Index Omega>
+inline void
+fillOmega(detail::KernelTable &t, int oi)
+{
+    t.spmv[oi][0] = &spmvPathsT<Omega, false>;
+    t.spmv[oi][1] = &spmvPathsT<Omega, true>;
+    t.spmm[oi][0] = &spmmPathsT<Omega, false>;
+    t.spmm[oi][1] = &spmmPathsT<Omega, true>;
+    t.symgs[oi][0] = &symgsPathT<Omega, false>;
+    t.symgs[oi][1] = &symgsPathT<Omega, true>;
+}
+
+inline detail::KernelTable
+makeTable(const char *name)
+{
+    detail::KernelTable t;
+    t.name = name;
+    fillOmega<2>(t, 0);
+    fillOmega<4>(t, 1);
+    fillOmega<8>(t, 2);
+    return t;
+}
+
+} // namespace
+} // namespace ALR_REPLAY_NS
+} // namespace replay
+} // namespace alr

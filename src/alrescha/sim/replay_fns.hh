@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Replay entry-point signatures stamped into ExecSchedule.
+ *
+ * compileSchedule resolves the replay kernels once -- per (runtime
+ * ISA, ω, row-layout shape) -- and stores the chosen function pointers
+ * here, so the engine's hot loops call straight into a fully
+ * specialized body: no per-call ω switch, no ISA branch, no table
+ * reads.  Kept separate from replay.hh so schedule.hh can embed the
+ * pointers without an include cycle (the signatures only need a
+ * forward-declared ExecSchedule).
+ */
+
+#ifndef ALR_ALRESCHA_SIM_REPLAY_FNS_HH
+#define ALR_ALRESCHA_SIM_REPLAY_FNS_HH
+
+#include <cstddef>
+
+#include "sparse/types.hh"
+
+namespace alr {
+
+struct ExecSchedule;
+
+namespace replay {
+
+namespace detail {
+struct KernelTable;
+}
+
+/** Replay SpMV paths [pBegin, pEnd): accumulate each row record's dot
+ *  product into y[row].  @p xpad is the operand staged to
+ *  ExecSchedule::paddedOperand entries (tail zeroed). */
+using SpmvFn = void (*)(const ExecSchedule &S, const Value *xpad,
+                        Value *y, size_t pBegin, size_t pEnd);
+
+/** Replay SpMM paths [pBegin, pEnd) for @p k right-hand sides (ω×RHS
+ *  register blocking over k staged operands / outputs). */
+using SpmmFn = void (*)(const ExecSchedule &S, const Value *const *xpads,
+                        Value *const *ys, size_t k, size_t pBegin,
+                        size_t pEnd);
+
+/** Replay one SymGS GEMV path: scatter each row record's dot product
+ *  to partials[row - blockRow * ω] (assignment; caller pre-zeroes). */
+using SymgsFn = void (*)(const ExecSchedule &S, size_t path,
+                         const Value *xpad, Value *partials);
+
+/** The resolved entry points, stamped by replay::specialize. */
+struct Fns
+{
+    SpmvFn spmv = nullptr;
+    SpmmFn spmm = nullptr;
+    SymgsFn symgs = nullptr;
+};
+
+} // namespace replay
+} // namespace alr
+
+#endif // ALR_ALRESCHA_SIM_REPLAY_FNS_HH

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * NEON instantiation of the replay kernel core (2 double lanes;
+ * aarch64 baseline, so no extra -m flags).  Compiled with
+ * -ffp-contract=off -- essential here, since aarch64 has baseline FMA
+ * and GCC's default -ffp-contract=fast would fuse tree combines; see
+ * replay_body.hh for the bit-identity argument.
+ */
+
+#define ALR_REPLAY_NS isa_neon
+#define ALR_REPLAY_LANES 2
+#include "alrescha/sim/replay_body.hh"
+
+namespace alr {
+namespace replay {
+namespace detail {
+
+const KernelTable *
+neonTable()
+{
+    static const KernelTable t = isa_neon::makeTable("neon");
+    return &t;
+}
+
+} // namespace detail
+} // namespace replay
+} // namespace alr

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * SSE2 instantiation of the replay kernel core (2 lanes; x86-64
+ * baseline).  Compiled with -msse2 -ffp-contract=off; see
+ * replay_body.hh for the bit-identity argument.
+ */
+
+#define ALR_REPLAY_NS isa_sse2
+#define ALR_REPLAY_LANES 2
+#include "alrescha/sim/replay_body.hh"
+
+namespace alr {
+namespace replay {
+namespace detail {
+
+const KernelTable *
+sse2Table()
+{
+    static const KernelTable t = isa_sse2::makeTable("sse2");
+    return &t;
+}
+
+} // namespace detail
+} // namespace replay
+} // namespace alr

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "alrescha/sim/memory.hh"
+#include "alrescha/sim/replay.hh"
 #include "common/logging.hh"
 
 namespace alr {
@@ -325,6 +326,27 @@ compileSchedule(const LocallyDenseMatrix &ld, const ConfigTable &table,
         }
         s.levelBegin.push_back(P);
     }
+
+    // Row-layout shape for the replay specialization: when no GEMV
+    // path skipped a row (skipEmptyBlockRows never fired inside a
+    // path), row indices are consecutive per path and the specialized
+    // kernels fold the rowIndex indirection to base + offset.
+    s.contiguousRows = true;
+    for (size_t i = 0; i < P && s.contiguousRows; ++i) {
+        if (s.dp[i] != DataPathType::Gemv)
+            continue;
+        for (size_t rr = s.rowBegin[i] + 1; rr < s.rowBegin[i + 1]; ++rr) {
+            if (s.rowIndex[rr] != s.rowIndex[rr - 1] + 1) {
+                s.contiguousRows = false;
+                break;
+            }
+        }
+    }
+
+    // Stamp the replay entry points: runtime ISA dispatch happens
+    // here, once per compiled schedule, so the engine's hot loops
+    // call fully resolved kernels.
+    replay::specialize(s, params);
     return s;
 }
 

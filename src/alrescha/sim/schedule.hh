@@ -44,6 +44,7 @@
 #include "alrescha/params.hh"
 #include "alrescha/sim/cache.hh"
 #include "alrescha/sim/fcu.hh"
+#include "alrescha/sim/replay_fns.hh"
 
 namespace alr {
 
@@ -139,6 +140,25 @@ struct ExecSchedule
      * walks.
      */
     std::vector<size_t> levelBegin;
+
+    // ---- stamped replay specialization (replay::specialize) ----
+    /**
+     * Resolved replay entry points: the fully specialized
+     * per-(runtime ISA, ω, row-layout) kernels when ω ∈ {2, 4, 8} and
+     * params.specializeReplay, else per-call dispatch wrappers.  The
+     * engine's functional pass calls these blind -- no ω switch, no
+     * ISA branch in the replayed loop.
+     */
+    replay::Fns fns;
+    /** Kernel table the dispatch selected (the wrappers re-index it
+     *  per call; provenance via its name). */
+    const replay::detail::KernelTable *replayTable = nullptr;
+    /**
+     * Every GEMV path's rows are consecutive (no row skipped inside
+     * any path), so a row's output index folds to base + offset and
+     * the specialized kernels skip the rowIndex indirection.
+     */
+    bool contiguousRows = false;
 
     // ---- per-run constants ----
     int64_t finalOutRow = -1;

@@ -15,8 +15,9 @@ namespace alr::version {
  *  the build was configured outside a git checkout). */
 const char *gitDescribe();
 
-/** SIMD configuration the replay kernels were compiled with:
- *  "avx2" or "scalar" (CMake ALR_SIMD). */
+/** Comma-joined list of replay kernel ISAs compiled into this build,
+ *  e.g. "scalar,sse2,avx2,avx512" (CMake ALR_SIMD probes; the ISA a
+ *  run actually uses is replay::selectedName). */
 const char *simdBuild();
 
 } // namespace alr::version

@@ -48,7 +48,7 @@ makeParams(Index omega, bool use_schedule, bool simd)
     AccelParams p;
     p.omega = omega;
     p.useSchedule = use_schedule;
-    p.simdReplay = simd;
+    p.simdMode = simd ? SimdMode::Auto : SimdMode::Scalar;
     return p;
 }
 
@@ -329,7 +329,7 @@ TEST(ProfileExport, JsonCsvAndFoldedAreConsistent)
         runProfiled(a, "symgs", makeParams(8, true, true), &cycles);
 
     std::ostringstream js;
-    profile::exportJson(js, {"symgs", 8, cycles});
+    profile::exportJson(js, {"symgs", 8, cycles, ""});
     const std::string doc = js.str();
     EXPECT_NE(doc.find("\"kernel\": \"symgs\""), std::string::npos);
     EXPECT_NE(doc.find("\"total_cycles\": " + std::to_string(cycles)),

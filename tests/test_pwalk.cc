@@ -47,7 +47,7 @@ makeParams(Index omega, int threads, bool parallel, bool simd = true)
     p.omega = omega;
     p.useSchedule = true;
     p.engineThreads = threads;
-    p.simdReplay = simd;
+    p.simdMode = simd ? SimdMode::Auto : SimdMode::Scalar;
     p.parallelTiming = parallel;
     return p;
 }

@@ -1,0 +1,383 @@
+/**
+ * @file
+ * Runtime replay dispatch and constant-folded specialization (ISSUE 7):
+ *
+ *  - every --simd mode the machine runs must replay bit-identically to
+ *    the interpreter (results, cycles, the whole stat dump);
+ *  - irregular shapes (omega not in {2,4,8}, empty schedules, a single
+ *    block row) must take the Generic fallback under every mode;
+ *  - forcing an unavailable ISA (params or ALR_SIMD_FORCE) must fall
+ *    back down the dispatch chain with a warning, never crash;
+ *  - compileSchedule must stamp the specialized entry points (and the
+ *    per-call wrappers when specializeReplay is off) and detect
+ *    contiguous row layouts;
+ *  - the build must keep FP contraction off: a reduction whose result
+ *    is exact 0.0 under separate rounding would come out nonzero if
+ *    the compiler fused the product into the tree add as an FMA.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "alrescha/accelerator.hh"
+#include "alrescha/sim/replay.hh"
+#include "alrescha/sim/replay_isa.hh"
+#include "alrescha/sim/schedule.hh"
+#include "common/random.hh"
+#include "sparse/coo.hh"
+#include "sparse/generators.hh"
+
+using namespace alr;
+
+namespace {
+
+std::string
+statDump(Engine &e)
+{
+    std::ostringstream os;
+    e.statGroup().dump(os);
+    return os.str();
+}
+
+AccelParams
+makeParams(Index omega, bool use_schedule, SimdMode mode,
+           bool specialize = true)
+{
+    AccelParams p;
+    p.omega = omega;
+    p.useSchedule = use_schedule;
+    p.engineThreads = 1;
+    p.simdMode = mode;
+    p.specializeReplay = specialize;
+    return p;
+}
+
+/** Every SimdMode, including ones this machine cannot run. */
+const std::vector<SimdMode> kAllModes = {
+    SimdMode::Auto,   SimdMode::Scalar, SimdMode::Sse2,
+    SimdMode::Avx2,   SimdMode::Avx512, SimdMode::Neon,
+};
+
+/** Modes that resolve to their own table here (no fallback). */
+std::vector<SimdMode>
+runnableModes()
+{
+    std::vector<SimdMode> modes = {SimdMode::Auto};
+    for (SimdMode m : kAllModes) {
+        if (m != SimdMode::Auto &&
+            std::string(replay::selectedName(m)) == replay::toString(m))
+            modes.push_back(m);
+    }
+    return modes;
+}
+
+/**
+ * Run SpMV, SpMM, and a SymGS sweep through an interpreter engine and
+ * a scheduled engine at @p mode; every result, cycle count, and the
+ * serialized stat dumps must agree exactly.
+ */
+void
+expectModeBitIdentical(const CsrMatrix &a, Index omega, SimdMode mode,
+                       bool specialize = true)
+{
+    SCOPED_TRACE(std::string("mode=") + replay::toString(mode) +
+                 " omega=" + std::to_string(omega));
+    LocallyDenseMatrix ld =
+        LocallyDenseMatrix::encode(a, omega, LdLayout::SymGs);
+    ConfigTable spmv = ConfigTable::convert(KernelType::SpMV, ld);
+    ConfigTable symgs = ConfigTable::convert(KernelType::SymGS, ld, true,
+                                             GsSweep::Forward);
+
+    Engine ref(makeParams(omega, false, SimdMode::Scalar));
+    Engine sch(makeParams(omega, true, mode, specialize));
+
+    DenseVector x(a.cols());
+    for (size_t i = 0; i < x.size(); ++i)
+        x[i] = Value(i % 13) - 6.0;
+
+    ref.program(&ld, &spmv);
+    sch.program(&ld, &spmv);
+    for (int run = 0; run < 2; ++run) {
+        RunTiming tr, ts;
+        DenseVector yr = ref.runSpmv(x, &tr);
+        DenseVector ys = sch.runSpmv(x, &ts);
+        ASSERT_EQ(yr, ys) << "spmv run " << run;
+        EXPECT_EQ(tr.cycles, ts.cycles) << "spmv run " << run;
+    }
+    std::vector<DenseVector> xs(3, x);
+    for (size_t j = 0; j < xs.size(); ++j)
+        for (size_t i = 0; i < xs[j].size(); ++i)
+            xs[j][i] = Value((i * (j + 2)) % 17) - 8.0;
+    ASSERT_EQ(ref.runSpmm(xs), sch.runSpmm(xs));
+
+    ref.program(&ld, &symgs);
+    sch.program(&ld, &symgs);
+    DenseVector b(a.rows(), 1.0);
+    DenseVector xr(a.rows(), 0.0), xv(a.rows(), 0.0);
+    for (int run = 0; run < 2; ++run) {
+        RunTiming tr, ts;
+        ref.runSymgsSweep(b, xr, &tr);
+        sch.runSymgsSweep(b, xv, &ts);
+        ASSERT_EQ(xr, xv) << "symgs sweep " << run;
+        EXPECT_EQ(tr.cycles, ts.cycles) << "symgs sweep " << run;
+    }
+    EXPECT_EQ(statDump(ref), statDump(sch));
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Per-mode equivalence at the specialized omegas.
+// ---------------------------------------------------------------------
+
+TEST(ReplayDispatch, EveryRunnableModeBitIdentical)
+{
+    Rng rng(41);
+    CsrMatrix a = gen::banded(101, 5, 0.7, rng);
+    for (SimdMode mode : runnableModes())
+        for (Index omega : {Index(2), Index(4), Index(8)})
+            expectModeBitIdentical(a, omega, mode);
+}
+
+TEST(ReplayDispatch, UnspecializedWrappersBitIdentical)
+{
+    // specializeReplay=false replays through the per-call dispatch
+    // wrappers (the PR 3-style loop) -- same bits, just slower.
+    Rng rng(42);
+    CsrMatrix a = gen::banded(97, 6, 0.6, rng);
+    for (Index omega : {Index(2), Index(4), Index(8)})
+        expectModeBitIdentical(a, omega, SimdMode::Auto,
+                               /*specialize=*/false);
+}
+
+// ---------------------------------------------------------------------
+// Generic fallback at irregular shapes, under every forced mode.
+// ---------------------------------------------------------------------
+
+TEST(ReplayDispatch, IrregularOmegaUsesGenericArm)
+{
+    // omega=6 has no specialized kernel: compileSchedule must stamp
+    // the wrappers and the wrappers must take the runtime-omega arm.
+    Rng rng(43);
+    CsrMatrix a = gen::banded(89, 4, 0.8, rng);
+    for (SimdMode mode : kAllModes)
+        expectModeBitIdentical(a, 6, mode);
+}
+
+TEST(ReplayDispatch, EmptyScheduleEveryMode)
+{
+    CsrMatrix a = CsrMatrix::fromCoo(CooMatrix(16, 16));
+    LocallyDenseMatrix ld =
+        LocallyDenseMatrix::encode(a, 8, LdLayout::Plain);
+    ConfigTable table = ConfigTable::convert(KernelType::SpMV, ld);
+    for (SimdMode mode : kAllModes) {
+        Engine e(makeParams(8, true, mode));
+        e.program(&ld, &table);
+        DenseVector x(16, 3.0);
+        EXPECT_EQ(e.runSpmv(x), DenseVector(16, 0.0))
+            << replay::toString(mode);
+    }
+}
+
+TEST(ReplayDispatch, SingleBlockRowEveryMode)
+{
+    // One omega-wide block row: exactly one path, one group.
+    CooMatrix coo(8, 8);
+    for (Index r = 0; r < 8; ++r)
+        for (Index c = 0; c < 8; ++c)
+            coo.add(r, c, Value(r + 1) + Value(c) * 0.25);
+    CsrMatrix a = CsrMatrix::fromCoo(coo);
+    for (SimdMode mode : kAllModes)
+        expectModeBitIdentical(a, 8, mode);
+}
+
+// ---------------------------------------------------------------------
+// Forced-mode fallback: never crash, always land on a runnable table.
+// ---------------------------------------------------------------------
+
+TEST(ReplayDispatch, ForcedModesNeverCrash)
+{
+    // Every forced mode must resolve to some runnable table -- on this
+    // machine that may mean falling back down the chain (e.g. neon on
+    // x86 lands on scalar) -- and then replay bit-identically.
+    Rng rng(44);
+    CsrMatrix a = gen::banded(67, 4, 0.7, rng);
+    for (SimdMode mode : kAllModes) {
+        const char *name = replay::selectedName(mode);
+        ASSERT_NE(name, nullptr);
+        EXPECT_FALSE(std::string(name).empty());
+        expectModeBitIdentical(a, 8, mode);
+    }
+}
+
+TEST(ReplayDispatch, ForcedModeNeverUpgrades)
+{
+    // A forced narrow mode must not resolve to a wider ISA: forcing
+    // sse2 can fall back to scalar (non-x86 builds) but never to avx2.
+    std::string sse2 = replay::selectedName(SimdMode::Sse2);
+    EXPECT_TRUE(sse2 == "sse2" || sse2 == "scalar") << sse2;
+    std::string avx2 = replay::selectedName(SimdMode::Avx2);
+    EXPECT_TRUE(avx2 == "avx2" || avx2 == "sse2" || avx2 == "scalar")
+        << avx2;
+    EXPECT_STREQ(replay::selectedName(SimdMode::Scalar), "scalar");
+}
+
+TEST(ReplayDispatch, EnvForceAppliesToAutoOnly)
+{
+    // ALR_SIMD_FORCE=scalar retargets --simd auto but must not touch
+    // an explicitly forced mode; bogus values are ignored with a
+    // warning.  select() re-reads the variable on every call.
+    ASSERT_EQ(setenv("ALR_SIMD_FORCE", "scalar", 1), 0);
+    EXPECT_STREQ(replay::isaName(), "scalar");
+    // An explicitly forced mode ignores the env override.
+    EXPECT_STREQ(replay::selectedName(SimdMode::Scalar), "scalar");
+    if (std::string(replay::selectedName(SimdMode::Sse2)) == "sse2") {
+        EXPECT_STREQ(replay::selectedName(SimdMode::Sse2), "sse2");
+    }
+    ASSERT_EQ(setenv("ALR_SIMD_FORCE", "bogus-isa", 1), 0);
+    std::string isa = replay::isaName(); // warns once, keeps auto
+    EXPECT_NE(std::string(replay::compiledIsas()).find(isa),
+              std::string::npos);
+    ASSERT_EQ(unsetenv("ALR_SIMD_FORCE"), 0);
+
+    // A run under a forced-unavailable env mode must still work.
+    ASSERT_EQ(setenv("ALR_SIMD_FORCE", "neon", 1), 0);
+    Rng rng(45);
+    CsrMatrix a = gen::banded(53, 4, 0.8, rng);
+    expectModeBitIdentical(a, 8, SimdMode::Auto);
+    ASSERT_EQ(unsetenv("ALR_SIMD_FORCE"), 0);
+}
+
+// ---------------------------------------------------------------------
+// Specialization stamping.
+// ---------------------------------------------------------------------
+
+TEST(ReplaySpecialize, StampsSpecializedEntryPoints)
+{
+    Rng rng(46);
+    CsrMatrix a = gen::blockStructured(64, 8, 3, 0.6, rng);
+    LocallyDenseMatrix ld =
+        LocallyDenseMatrix::encode(a, 8, LdLayout::Plain);
+    ConfigTable table = ConfigTable::convert(KernelType::SpMV, ld);
+    AccelParams p = makeParams(8, true, SimdMode::Auto);
+    ExecSchedule s = compileSchedule(ld, table, p);
+
+    ASSERT_NE(s.replayTable, nullptr);
+    ASSERT_NE(s.fns.spmv, nullptr);
+    ASSERT_NE(s.fns.spmm, nullptr);
+    ASSERT_NE(s.fns.symgs, nullptr);
+    // omega=8 -> index 2; the stamped pointer must be the table slot
+    // for the detected row layout.
+    int ci = s.contiguousRows ? 1 : 0;
+    EXPECT_EQ(s.fns.spmv, s.replayTable->spmv[2][ci]);
+    EXPECT_EQ(s.fns.spmm, s.replayTable->spmm[2][ci]);
+    EXPECT_EQ(s.fns.symgs, s.replayTable->symgs[2][ci]);
+
+    // Unspecialized: wrappers, not table slots.
+    p.specializeReplay = false;
+    ExecSchedule w = compileSchedule(ld, table, p);
+    ASSERT_NE(w.fns.spmv, nullptr);
+    EXPECT_NE(w.fns.spmv, w.replayTable->spmv[2][0]);
+    EXPECT_NE(w.fns.spmv, w.replayTable->spmv[2][1]);
+}
+
+TEST(ReplaySpecialize, DetectsContiguousRows)
+{
+    // Fully dense blocks: every row of every block occupied, so paths
+    // cover consecutive rows and the contiguous kernels apply.
+    CooMatrix dense(16, 16);
+    for (Index r = 0; r < 16; ++r)
+        for (Index c = 0; c < 16; ++c)
+            dense.add(r, c, 1.0 + Value(r * 16 + c) * 0.01);
+    CsrMatrix ad = CsrMatrix::fromCoo(dense);
+    LocallyDenseMatrix ldd =
+        LocallyDenseMatrix::encode(ad, 8, LdLayout::Plain);
+    ConfigTable td = ConfigTable::convert(KernelType::SpMV, ldd);
+    AccelParams p = makeParams(8, true, SimdMode::Auto);
+    EXPECT_TRUE(compileSchedule(ldd, td, p).contiguousRows);
+
+    // A block that skips a row: rows 0 and 2 occupied, row 1 empty --
+    // the path's rows are not consecutive, so the scattered kernels
+    // must be stamped, and they must still replay bit-identically.
+    CooMatrix gap(16, 16);
+    for (Index c = 0; c < 16; ++c) {
+        gap.add(0, c, 1.0 + Value(c));
+        gap.add(2, c, 2.0 + Value(c)); // row 1 of block 0 empty
+    }
+    CsrMatrix ag = CsrMatrix::fromCoo(gap);
+    LocallyDenseMatrix ldg =
+        LocallyDenseMatrix::encode(ag, 8, LdLayout::Plain);
+    ConfigTable tg = ConfigTable::convert(KernelType::SpMV, ldg);
+    ExecSchedule sg = compileSchedule(ldg, tg, p);
+    EXPECT_FALSE(sg.contiguousRows);
+
+    Engine ref(makeParams(8, false, SimdMode::Scalar));
+    Engine sch(makeParams(8, true, SimdMode::Auto));
+    ref.program(&ldg, &tg);
+    sch.program(&ldg, &tg);
+    DenseVector x(16);
+    for (size_t i = 0; i < x.size(); ++i)
+        x[i] = Value(i) - 7.5;
+    EXPECT_EQ(ref.runSpmv(x), sch.runSpmv(x));
+}
+
+// ---------------------------------------------------------------------
+// FP contraction stays off (satellite 1).
+// ---------------------------------------------------------------------
+
+TEST(ReplayContract, NoFusedMultiplyAddInReductions)
+{
+    // Row 0 holds [1 + 2^-30, -1]; x = [1 - 2^-30, 1].  The product
+    // (1 + 2^-30)(1 - 2^-30) = 1 - 2^-60 rounds to exactly 1.0 in
+    // binary64, so the tree sum 1.0 + (-1.0) is exactly 0.0.  If the
+    // compiler contracted the product into the tree add as an FMA the
+    // unrounded 1 - 2^-60 would survive into the add and y[0] would be
+    // about -2^-60, not 0.0.  This must hold in every replay mode and
+    // the interpreter -- -ffp-contract=off is project-wide.
+    const Value eps = std::ldexp(1.0, -30); // 2^-30
+    CooMatrix coo(2, 2);
+    coo.add(0, 0, 1.0 + eps);
+    coo.add(0, 1, -1.0);
+    coo.add(1, 1, 1.0);
+    CsrMatrix a = CsrMatrix::fromCoo(coo);
+    DenseVector x = {1.0 - eps, 1.0};
+
+    for (SimdMode mode : kAllModes) {
+        for (bool use_schedule : {false, true}) {
+            Engine e(makeParams(2, use_schedule, mode));
+            LocallyDenseMatrix ld =
+                LocallyDenseMatrix::encode(a, 2, LdLayout::Plain);
+            ConfigTable t = ConfigTable::convert(KernelType::SpMV, ld);
+            e.program(&ld, &t);
+            DenseVector y = e.runSpmv(x);
+            EXPECT_EQ(y[0], 0.0)
+                << replay::toString(mode)
+                << (use_schedule ? " scheduled" : " interpreter");
+            EXPECT_EQ(y[1], 1.0);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Provenance strings.
+// ---------------------------------------------------------------------
+
+TEST(ReplayDispatch, ProvenanceStrings)
+{
+    std::string compiled = replay::compiledIsas();
+    EXPECT_EQ(compiled.rfind("scalar", 0), 0u) << compiled;
+    for (SimdMode m : kAllModes) {
+        ASSERT_NE(replay::toString(m), nullptr);
+        SimdMode parsed;
+        ASSERT_TRUE(replay::parseSimdMode(replay::toString(m), &parsed));
+        EXPECT_EQ(parsed, m);
+    }
+    SimdMode parsed;
+    EXPECT_FALSE(replay::parseSimdMode("avx99", &parsed));
+    EXPECT_STREQ(replay::omegaSpecializations(), "2,4,8");
+}

@@ -41,7 +41,7 @@ makeParams(Index omega, bool use_schedule, int threads, bool simd = true)
     p.omega = omega;
     p.useSchedule = use_schedule;
     p.engineThreads = threads;
-    p.simdReplay = simd;
+    p.simdMode = simd ? SimdMode::Auto : SimdMode::Scalar;
     return p;
 }
 
@@ -424,7 +424,7 @@ TEST(ScheduleCache, ReassignedObjectsDoNotAliasStaleSchedules)
 // SIMD replay equivalence (ISSUE 3): the ω-specialized SIMD kernels,
 // the scheduled scalar kernels, and the interpreter must agree bit for
 // bit -- results, cycles, and the whole stat dump.  On portable builds
-// simdReplay=true silently falls back to scalar, so these tests still
+// SimdMode::Auto resolves to the scalar table, so these tests still
 // pin scalar/scalar/interpreter equality there.
 // ---------------------------------------------------------------------
 
@@ -641,11 +641,19 @@ TEST(SimdReplay, GatherPlanInvariants)
 
 TEST(SimdReplay, IsaNameMatchesAvailability)
 {
-    if (replay::simdAvailable()) {
-        EXPECT_STREQ(replay::isaName(), "avx2");
-    } else {
-        EXPECT_STREQ(replay::isaName(), "scalar");
+    // isaName() resolves --simd auto: one of the compiled-in ISAs, and
+    // "scalar" exactly when no vector ISA both compiled in and runs
+    // here.  compiledIsas() always leads with the scalar fallback.
+    std::string compiled = replay::compiledIsas();
+    EXPECT_EQ(compiled.rfind("scalar", 0), 0u) << compiled;
+    std::string isa = replay::isaName();
+    EXPECT_NE(compiled.find(isa), std::string::npos)
+        << isa << " not in " << compiled;
+    if (!replay::simdAvailable()) {
+        EXPECT_EQ(isa, "scalar");
     }
+    // Forcing scalar always lands on scalar, on every build.
+    EXPECT_STREQ(replay::selectedName(SimdMode::Scalar), "scalar");
 }
 
 TEST(ScheduleCompile, RecordsMatchMatrixShape)

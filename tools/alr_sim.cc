@@ -63,7 +63,7 @@ struct Options
     Index source = 0;
     bool rcm = false;
     bool noSchedule = false;
-    bool noSimd = false;
+    SimdMode simdMode = SimdMode::Auto;
     bool parallelTiming = false;
     bool dumpStats = false;
     bool json = false;
@@ -89,7 +89,7 @@ usage()
         "               [--iters N] [--threads N] [--engine-threads N]\n"
         "               [--parallel-timing]\n"
         "               [--save F.alr] [--trace F.log] [--no-schedule]\n"
-        "               [--no-simd] [--version]\n"
+        "               [--simd MODE] [--version]\n"
         "  SPEC: stencil2d:N | stencil3d:N | banded:N | rmat:SCALE |\n"
         "        roadgrid:N | powerlaw:N\n"
         "  --stats           dump the hierarchical stat tree\n"
@@ -101,7 +101,12 @@ usage()
         "  --profile-csv F   per-block-row cause heatmap (CSV)\n"
         "  --profile-folded  flamegraph.pl-compatible folded stacks\n"
         "  --no-schedule     interpreter engine (no compiled schedules)\n"
-        "  --no-simd         scalar replay kernels\n"
+        "  --simd MODE       replay kernel ISA: auto (default; widest\n"
+        "                    the CPU runs), scalar, sse2, avx2, avx512,\n"
+        "                    neon; forced modes fall back down the chain\n"
+        "                    with a warning when unavailable\n"
+        "                    (--no-simd is kept as an alias for\n"
+        "                    --simd scalar)\n"
         "  --parallel-timing partitioned timing walk on the engine\n"
         "                    threads (bit-identical to the serial walk)\n"
         "  --version         print build provenance and exit\n");
@@ -116,6 +121,13 @@ printVersion()
                 version::gitDescribe(), version::simdBuild(),
                 replay::isaName(), replay::omegaSpecializations());
     std::exit(0);
+}
+
+/** The ISA the replay actually runs under opt's --simd mode. */
+const char *
+runtimeIsa(const Options &opt)
+{
+    return replay::selectedName(opt.simdMode);
 }
 
 CsrMatrix
@@ -184,8 +196,15 @@ parse(int argc, char **argv)
                 usage();
         } else if (arg == "--parallel-timing") {
             opt.parallelTiming = true;
+        } else if (arg == "--simd") {
+            std::string mode = next();
+            if (!replay::parseSimdMode(mode.c_str(), &opt.simdMode)) {
+                std::fprintf(stderr, "alr_sim: unknown --simd mode '%s'\n",
+                             mode.c_str());
+                usage();
+            }
         } else if (arg == "--no-simd") {
-            opt.noSimd = true;
+            opt.simdMode = SimdMode::Scalar;
         } else if (arg == "--rcm") {
             opt.rcm = true;
         } else if (arg == "--no-schedule") {
@@ -308,15 +327,16 @@ printJsonReport(std::ostream &os, const Accelerator &acc,
     os << "}";
     os << ",\n  \"version\": {\"git\": \"" << version::gitDescribe()
        << "\", \"simd_build\": \"" << version::simdBuild()
-       << "\", \"simd_runtime\": \"" << replay::isaName()
+       << "\", \"simd_runtime\": \"" << runtimeIsa(opt)
        << "\", \"omega_specializations\": \""
        << replay::omegaSpecializations() << "\"}";
     if (profile::enabled()) {
         // Embed the profile document verbatim; it is self-contained
         // JSON, so nesting it keeps the output one valid document.
         std::ostringstream ps;
-        profile::exportJson(
-            ps, {opt.kernel, opt.omega, acc.engine().totalCycles()});
+        profile::exportJson(ps, {opt.kernel, opt.omega,
+                                 acc.engine().totalCycles(),
+                                 runtimeIsa(opt)});
         std::string doc = ps.str();
         while (!doc.empty() && doc.back() == '\n')
             doc.pop_back();
@@ -454,7 +474,7 @@ main(int argc, char **argv)
     // exposed for timing the host-side replay cost in isolation.
     if (opt.engineThreads > 0)
         params.engineThreads = opt.engineThreads;
-    params.simdReplay = !opt.noSimd;
+    params.simdMode = opt.simdMode;
     // Partitioned timing walk on the engine threads; bit-identical to
     // the serial walk at any thread count (ALR_PARALLEL_TIMING=1 is
     // the environment equivalent).
@@ -624,7 +644,8 @@ main(int argc, char **argv)
 
     if (profiling) {
         profile::ExportMeta meta{opt.kernel, opt.omega,
-                                 acc.engine().totalCycles()};
+                                 acc.engine().totalCycles(),
+                                 runtimeIsa(opt)};
         auto writeTo = [&](const std::string &path, auto emit,
                            const char *what) {
             if (path.empty())

@@ -8,7 +8,8 @@ machine-dependent, so it is only sanity-checked against a loose ratio
 (catching zeros, garbage, and order-of-magnitude regressions, not CI
 machine jitter).
 
-usage: bench_compare.py [--wall-tolerance R] BASELINE_DIR FRESH_DIR FILE...
+usage: bench_compare.py [--wall-tolerance R] [--wall-ratio]
+                        BASELINE_DIR FRESH_DIR FILE...
        bench_compare.py --profile-diff [--top K] OLD.json NEW.json
 
 --profile-diff compares two cycle-accounting profiles (alr_sim
@@ -43,7 +44,7 @@ def rows_of(doc, path):
     return rows
 
 
-def compare_file(name, base_dir, fresh_dir, wall_tol):
+def compare_file(name, base_dir, fresh_dir, wall_tol, wall_ratio=False):
     base_path = os.path.join(base_dir, name)
     fresh_path = os.path.join(fresh_dir, name)
     base_doc = load_doc(base_path)
@@ -107,6 +108,19 @@ def compare_file(name, base_dir, fresh_dir, wall_tol):
                 f"{key}: wall_ms {fw:.3f} outside {wall_tol}x of "
                 f"baseline {bw:.3f}"
             )
+
+    # Informational wall-clock ratio column (fresh / baseline).  Host
+    # wall time is machine-dependent, so the ratio never gates -- it
+    # exists to make replay-speed changes visible next to the exact
+    # modeled-counter comparison above.
+    if wall_ratio:
+        print(f"{name}: wall-clock ratio (fresh/baseline, loose)")
+        print(f"  {'ratio':>7} {'base ms':>10} {'fresh ms':>10}  dataset")
+        for key in sorted(set(base) & set(fresh)):
+            bw = base[key].get("wall_ms", 0)
+            fw = fresh[key].get("wall_ms", 0)
+            ratio = f"{fw / bw:7.2f}" if bw > 0 else "    n/a"
+            print(f"  {ratio} {bw:>10.3f} {fw:>10.3f}  {key[0]}")
 
     if errors:
         print(f"{name}: FAIL")
@@ -180,6 +194,12 @@ def main():
         help="buckets to show in --profile-diff (default %(default)s)",
     )
     ap.add_argument(
+        "--wall-ratio",
+        action="store_true",
+        help="print a per-dataset wall-clock ratio column "
+        "(fresh/baseline); informational only, never gates",
+    )
+    ap.add_argument(
         "--wall-tolerance",
         type=float,
         default=25.0,
@@ -204,7 +224,8 @@ def main():
     ok = True
     for name in args.files:
         ok &= compare_file(
-            name, args.baseline_dir, args.fresh_dir, args.wall_tolerance
+            name, args.baseline_dir, args.fresh_dir, args.wall_tolerance,
+            args.wall_ratio
         )
     return 0 if ok else 1
 

@@ -39,6 +39,20 @@ run_suite "${prefix}-asan" \
     "-fsanitize=address,undefined -fno-sanitize-recover=all" \
     "ASan+UBSan"
 
+# Re-run the replay dispatch/specialization suites under every forced
+# ISA (same ASan+UBSan build): each pass pushes the auto-dispatched
+# engines through a different kernel table, so misaligned vector
+# loads, bad function-pointer stamps, or out-of-bounds row records in
+# any per-ISA TU trip UBSan here even when auto would pick another
+# table.  Unavailable ISAs exercise the fallback path instead -- also
+# worth sanitizing.
+for isa in scalar sse2 avx2 avx512 neon; do
+    echo "== ASan+UBSan (ALR_SIMD_FORCE=${isa}): replay dispatch =="
+    (cd "${prefix}-asan" && \
+        ALR_SIMD_FORCE="${isa}" ctest --output-on-failure -j "${jobs}" \
+            -R 'ReplayDispatch|ReplaySpecialize|ReplayContract|SimdReplay')
+done
+
 # Thread-sanitizer pass over the parallel pipeline.  ALR_THREADS=8
 # forces real concurrency even on small CI machines.
 ALR_THREADS=8 TSAN_OPTIONS="halt_on_error=1" run_suite "${prefix}-tsan" \
