@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/binary_io.hh"
+#include "common/hash.hh"
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 
@@ -195,6 +196,12 @@ ConfigTable::serialize(std::ostream &out) const
         bio::writePod<uint8_t>(out, uint8_t(e.op));
         bio::writePod<uint32_t>(out, e.blockId);
     }
+}
+
+uint64_t
+ConfigTable::contentHash() const
+{
+    return hash::ofSerialized([&](std::ostream &os) { serialize(os); });
 }
 
 ConfigTable

@@ -118,6 +118,13 @@ class ConfigTable
     static ConfigTable deserialize(std::istream &in);
 
     /**
+     * 64-bit digest of the canonical serialized bytes (see
+     * LocallyDenseMatrix::contentHash()): the restart-stable identity
+     * the persisted schedule cache keys on.
+     */
+    uint64_t contentHash() const;
+
+    /**
      * Monotonic identity of this conversion (see
      * LocallyDenseMatrix::generation()): schedule caches key on this
      * so a table rebuilt in place -- or reallocated at a recycled

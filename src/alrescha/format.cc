@@ -5,6 +5,7 @@
 #include <map>
 
 #include "common/binary_io.hh"
+#include "common/hash.hh"
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 #include "sparse/coo.hh"
@@ -319,6 +320,12 @@ LocallyDenseMatrix::serialize(std::ostream &out) const
     bio::writeVec(out, _blockRowPtr);
     bio::writeVec(out, _stream);
     bio::writeVec(out, _diag);
+}
+
+uint64_t
+LocallyDenseMatrix::contentHash() const
+{
+    return hash::ofSerialized([&](std::ostream &os) { serialize(os); });
 }
 
 LocallyDenseMatrix

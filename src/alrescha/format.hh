@@ -164,6 +164,14 @@ class LocallyDenseMatrix
     static LocallyDenseMatrix deserialize(std::istream &in);
 
     /**
+     * 64-bit digest of the canonical serialized bytes: a content
+     * identity that -- unlike generation() -- survives process
+     * restarts, so the persisted schedule cache can key on it.  Two
+     * encodings hash equal iff their serialized forms are identical.
+     */
+    uint64_t contentHash() const;
+
+    /**
      * Payload position of in-block element (lr, lc) under the format's
      * ordering rules, or -1 when the element lives in the separated
      * diagonal.  Exposed for alternative encoders (StreamingEncoder).

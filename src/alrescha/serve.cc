@@ -1,0 +1,355 @@
+#include "alrescha/serve.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/request_queue.hh"
+
+namespace alr {
+
+const char *
+toString(ServeOp op)
+{
+    switch (op) {
+      case ServeOp::Spmv:  return "spmv";
+      case ServeOp::Symgs: return "symgs";
+      case ServeOp::Pcg:   return "pcg";
+    }
+    return "?";
+}
+
+std::vector<ServeRequest>
+generateTrace(const TraceParams &params,
+              const std::vector<uint8_t> &pde_mask)
+{
+    ALR_ASSERT(!pde_mask.empty(), "empty fleet");
+    Rng rng(params.seed);
+    ZipfSampler zipf(uint32_t(pde_mask.size()), params.zipfS);
+
+    double wsum =
+        params.spmvWeight + params.symgsWeight + params.pcgWeight;
+    ALR_ASSERT(wsum > 0.0, "op mix weights sum to zero");
+    double pSpmv = params.spmvWeight / wsum;
+    double pSymgs = params.symgsWeight / wsum;
+
+    std::vector<ServeRequest> trace;
+    trace.reserve(params.requests);
+    uint32_t prevMatrix = 0;
+    for (uint32_t i = 0; i < params.requests; ++i) {
+        ServeRequest r;
+        r.id = i;
+        // Bursty arrivals: with probability `burstiness` the stream
+        // stays on the previous matrix (clients issue runs of work
+        // against one operator); otherwise draw fresh from the Zipf
+        // popularity distribution.
+        r.matrix = (i > 0 && rng.nextDouble() < params.burstiness)
+                       ? prevMatrix
+                       : zipf.sample(rng);
+        prevMatrix = r.matrix;
+        double u = rng.nextDouble();
+        r.op = u < pSpmv              ? ServeOp::Spmv
+               : u < pSpmv + pSymgs   ? ServeOp::Symgs
+                                      : ServeOp::Pcg;
+        if (!pde_mask[r.matrix])
+            r.op = ServeOp::Spmv; // entry carries no SymGS/PCG tables
+        trace.push_back(r);
+    }
+    return trace;
+}
+
+ServeFleet::ServeFleet(const AccelParams &params) : _params(params) {}
+
+void
+ServeFleet::add(const std::string &name, const CsrMatrix &a, bool pde)
+{
+    auto e = std::make_unique<Entry>();
+    e->name = name;
+    e->acc = std::make_unique<Accelerator>(_params);
+    e->pde = pde;
+    if (pde)
+        e->acc->loadPde(a);
+    else
+        e->acc->loadSpmvOnly(a);
+    _entries.push_back(std::move(e));
+}
+
+std::vector<uint8_t>
+ServeFleet::pdeMask() const
+{
+    std::vector<uint8_t> mask;
+    mask.reserve(_entries.size());
+    for (const auto &e : _entries)
+        mask.push_back(e->pde ? 1 : 0);
+    return mask;
+}
+
+void
+ServeFleet::warmSchedules()
+{
+    for (const auto &e : _entries) {
+        Accelerator &acc = *e->acc;
+        Engine &eng = acc.engine();
+        eng.program(&acc.matrix(), &acc.table(KernelType::SpMV));
+        eng.prepareSchedule();
+        if (e->pde) {
+            eng.program(&acc.matrix(),
+                        &acc.table(KernelType::SymGS, GsSweep::Forward));
+            eng.prepareSchedule();
+            eng.program(&acc.matrix(),
+                        &acc.table(KernelType::SymGS, GsSweep::Backward));
+            eng.prepareSchedule();
+        }
+    }
+}
+
+uint64_t
+ServeFleet::scheduleCompiles() const
+{
+    uint64_t total = 0;
+    for (const auto &e : _entries)
+        total += e->acc->engine().scheduleCompiles();
+    return total;
+}
+
+uint64_t
+ServeFleet::totalCycles() const
+{
+    uint64_t total = 0;
+    for (const auto &e : _entries)
+        total += e->acc->engine().totalCycles();
+    return total;
+}
+
+size_t
+ServeFleet::saveScheduleCaches(const std::string &dir) const
+{
+    size_t saved = 0;
+    for (const auto &e : _entries) {
+        if (e->acc->engine().saveScheduleCacheFile(dir + "/" + e->name +
+                                                   ".sched"))
+            ++saved;
+    }
+    return saved;
+}
+
+size_t
+ServeFleet::restoreScheduleCaches(const std::string &dir)
+{
+    size_t restored = 0;
+    for (const auto &e : _entries) {
+        if (e->acc->engine().loadScheduleCacheFile(dir + "/" + e->name +
+                                                    ".sched"))
+            ++restored;
+    }
+    return restored;
+}
+
+std::vector<ServeWorkItem>
+buildServePlan(const std::vector<ServeRequest> &trace,
+               uint32_t batch_window)
+{
+    std::vector<ServeWorkItem> plan;
+    std::vector<uint8_t> claimed(trace.size(), 0);
+    std::vector<uint64_t> nextSeq;
+    auto seqFor = [&](uint32_t matrix) {
+        if (matrix >= nextSeq.size())
+            nextSeq.resize(matrix + 1, 0);
+        return nextSeq[matrix]++;
+    };
+
+    for (size_t i = 0; i < trace.size(); ++i) {
+        if (claimed[i])
+            continue;
+        const ServeRequest &r = trace[i];
+        ServeWorkItem item;
+        item.matrix = r.matrix;
+        item.op = r.op;
+        item.requestIds.push_back(r.id);
+        if (r.op == ServeOp::Spmv && batch_window > 1) {
+            // The anchor absorbs same-matrix SpMVs from the next
+            // (batch_window - 1) arrivals: the window models how long
+            // admission may hold a request to coalesce it, and also
+            // caps the batch size.
+            for (size_t j = i + 1;
+                 j < trace.size() && j < i + batch_window &&
+                 item.requestIds.size() < batch_window;
+                 ++j) {
+                if (claimed[j] || trace[j].matrix != r.matrix ||
+                    trace[j].op != ServeOp::Spmv)
+                    continue;
+                claimed[j] = 1;
+                item.requestIds.push_back(trace[j].id);
+            }
+        }
+        item.seq = seqFor(r.matrix);
+        plan.push_back(std::move(item));
+    }
+    return plan;
+}
+
+DenseVector
+serveRequestRhs(uint64_t seed, uint32_t id, Index n)
+{
+    Rng rng(seed ^ (uint64_t(id) * 0x9e3779b97f4a7c15ULL));
+    DenseVector x(n);
+    for (Index i = 0; i < n; ++i)
+        x[i] = rng.nextDouble(-1.0, 1.0);
+    return x;
+}
+
+namespace {
+
+double
+checksumOf(const DenseVector &v)
+{
+    double acc = 0.0;
+    for (Value x : v)
+        acc += x;
+    return acc;
+}
+
+/** Per-worker tallies, merged under a lock at the end. */
+struct WorkerTally
+{
+    uint64_t completed = 0;
+    stats::Distribution latencyNs;
+    stats::Distribution batchSize;
+};
+
+struct QueuedItem
+{
+    ServeWorkItem work;
+    std::chrono::steady_clock::time_point admitted;
+};
+
+} // namespace
+
+ServeResult
+serve(ServeFleet &fleet, const std::vector<ServeRequest> &trace,
+      const ServeConfig &cfg)
+{
+    ServeResult res;
+    res.checksums.assign(trace.size(), 0.0);
+    res.modeledCycles.assign(trace.size(), 0.0);
+    if (cfg.keepResults)
+        res.results.resize(trace.size());
+
+    std::vector<ServeWorkItem> plan =
+        buildServePlan(trace, cfg.batchWindow);
+    res.workItems = plan.size();
+
+    RequestQueue<QueuedItem> queue(cfg.queueDepth);
+    int threads = std::max(1, cfg.threads);
+    std::mutex tallyMutex;
+    auto start = std::chrono::steady_clock::now();
+
+    auto runItem = [&](const ServeWorkItem &item, WorkerTally &tally) {
+        ServeFleet::Entry &entry = fleet.entry(item.matrix);
+        Accelerator &acc = *entry.acc;
+        const Index n = acc.matrix().rows();
+        const size_t k = item.requestIds.size();
+
+        // Per-matrix plan-order gate: the entry's lock serializes runs
+        // on this accelerator, and the sequence check replays them in
+        // plan order at any thread count (modeled counters depend on
+        // run order via the cache and RCU switch state).
+        std::unique_lock<std::mutex> lock(entry.mutex);
+        entry.turn.wait(lock, [&] { return entry.nextSeq == item.seq; });
+
+        uint64_t before = acc.engine().totalCycles();
+        if (item.op == ServeOp::Spmv && k > 1) {
+            std::vector<DenseVector> xs;
+            xs.reserve(k);
+            for (uint32_t id : item.requestIds)
+                xs.push_back(serveRequestRhs(cfg.rhsSeed, id, n));
+            std::vector<DenseVector> ys = acc.spmm(xs);
+            for (size_t j = 0; j < k; ++j) {
+                res.checksums[item.requestIds[j]] = checksumOf(ys[j]);
+                if (cfg.keepResults)
+                    res.results[item.requestIds[j]] = std::move(ys[j]);
+            }
+        } else if (item.op == ServeOp::Spmv) {
+            uint32_t id = item.requestIds[0];
+            DenseVector y = acc.spmv(serveRequestRhs(cfg.rhsSeed, id, n));
+            res.checksums[id] = checksumOf(y);
+            if (cfg.keepResults)
+                res.results[id] = std::move(y);
+        } else if (item.op == ServeOp::Symgs) {
+            uint32_t id = item.requestIds[0];
+            DenseVector b = serveRequestRhs(cfg.rhsSeed, id, n);
+            DenseVector x(n, 0.0);
+            acc.symgsSweep(b, x, GsSweep::Symmetric);
+            res.checksums[id] = checksumOf(x);
+            if (cfg.keepResults)
+                res.results[id] = std::move(x);
+        } else {
+            uint32_t id = item.requestIds[0];
+            PcgOptions opts;
+            opts.maxIterations = cfg.pcgIterations;
+            PcgResult sol = acc.pcg(serveRequestRhs(cfg.rhsSeed, id, n), opts);
+            res.checksums[id] = checksumOf(sol.x);
+            if (cfg.keepResults)
+                res.results[id] = std::move(sol.x);
+        }
+        uint64_t delta = acc.engine().totalCycles() - before;
+
+        entry.nextSeq = item.seq + 1;
+        entry.turn.notify_all();
+        lock.unlock();
+
+        // Batched latency attribution: the batch's modeled cycles
+        // divide evenly across its coalesced requests
+        // (docs/MODELING.md); wall latency is shared, not divided.
+        double perReq = double(delta) / double(k);
+        for (uint32_t id : item.requestIds)
+            res.modeledCycles[id] = perReq;
+        if (item.op == ServeOp::Spmv)
+            tally.batchSize.sample(double(k));
+        tally.completed += k;
+    };
+
+    auto worker = [&]() {
+        WorkerTally tally;
+        QueuedItem qi;
+        while (queue.pop(qi)) {
+            runItem(qi.work, tally);
+            double ns = double(std::chrono::duration_cast<
+                                   std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now() -
+                                   qi.admitted)
+                                   .count());
+            for (size_t j = 0; j < qi.work.requestIds.size(); ++j)
+                tally.latencyNs.sample(ns);
+        }
+        std::lock_guard<std::mutex> g(tallyMutex);
+        res.completed += tally.completed;
+        res.latencyNs.merge(tally.latencyNs);
+        res.batchSize.merge(tally.batchSize);
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(size_t(threads));
+    for (int t = 0; t < threads; ++t)
+        pool.emplace_back(worker);
+
+    // The caller's thread is the dispatcher: admission blocks when the
+    // bounded queue is full (back-pressure under a burst).
+    for (ServeWorkItem &item : plan)
+        queue.push({std::move(item), std::chrono::steady_clock::now()});
+    queue.close();
+    for (std::thread &t : pool)
+        t.join();
+
+    res.wallMs = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+    res.requestsPerSec =
+        res.wallMs > 0.0 ? double(res.completed) / (res.wallMs / 1e3)
+                         : 0.0;
+    return res;
+}
+
+} // namespace alr

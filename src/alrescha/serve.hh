@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Program-once/run-many serving (ROADMAP item 2): a fleet of loaded
+ * matrices, schedules compiled once (or restored from a persisted
+ * cache -- zero compiles on a warm start), draining a concurrent
+ * request stream of mixed SpMV/SymGS/PCG ops through a bounded
+ * admission queue, with same-matrix SpMV requests coalesced into
+ * register-blocked SpMM batches.
+ *
+ * Determinism contract (the equivalence suite pins all of it):
+ *  - the batching plan is a pure function of (trace, batchWindow) --
+ *    never of thread count, queue depth, or timing;
+ *  - per-matrix work executes in plan order (a per-matrix sequence
+ *    gate), so each accelerator sees the identical run sequence at any
+ *    thread count: per-request results AND modeled counters are
+ *    bit-identical whether the stream drains on 1 thread or 16;
+ *  - a coalesced SpMV request's result is bit-identical to its
+ *    unbatched run (the SpMM replay issues each RHS through the same
+ *    canonical reduction tree as SpMV);
+ *  - with batching off, the drained stream is bit-identical -- results
+ *    and modeled counters -- to a plain serial loop over the same
+ *    requests.
+ * Batching does change the fleet's modeled totals (that is the win:
+ * the matrix streams once per batch); per-request modeled latency is
+ * attributed as batch cycles / batch size (docs/MODELING.md).
+ */
+
+#ifndef ALR_ALRESCHA_SERVE_HH
+#define ALR_ALRESCHA_SERVE_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "alrescha/accelerator.hh"
+#include "common/stats.hh"
+
+namespace alr {
+
+/** Operations a serving request can ask for. */
+enum class ServeOp : uint8_t { Spmv, Symgs, Pcg };
+
+const char *toString(ServeOp op);
+
+/** One request in arrival order. */
+struct ServeRequest
+{
+    uint32_t id = 0;     ///< dense trace position, 0..n-1
+    uint32_t matrix = 0; ///< fleet index
+    ServeOp op = ServeOp::Spmv;
+};
+
+/** Knobs of the replayable trace generator. */
+struct TraceParams
+{
+    uint32_t requests = 1000;
+    /** Zipf exponent of matrix popularity (0 = uniform). */
+    double zipfS = 1.0;
+    uint64_t seed = 42;
+    /** Probability the next request re-targets the previous matrix:
+     *  bursty same-matrix arrivals, the regime batching exploits. */
+    double burstiness = 0.5;
+    /** Op mix weights (normalized internally). */
+    double spmvWeight = 0.85;
+    double symgsWeight = 0.10;
+    double pcgWeight = 0.05;
+};
+
+/**
+ * Generate a replayable request trace: seeded Zipf over matrices,
+ * bursty arrivals, mixed ops.  @p pde_mask flags which fleet entries
+ * carry SymGS/PCG tables; requests drawn for entries without them are
+ * forced to SpMV.  Pure function of its arguments.
+ */
+std::vector<ServeRequest> generateTrace(const TraceParams &params,
+                                        const std::vector<uint8_t> &pde_mask);
+
+/**
+ * The fleet: one long-lived Accelerator per matrix.  Each entry runs
+ * under its own lock (an Engine is single-driver), so distinct
+ * matrices serve concurrently while one matrix's requests serialize
+ * in plan order.
+ */
+class ServeFleet
+{
+  public:
+    explicit ServeFleet(const AccelParams &params = {});
+
+    /** Load @p a as fleet entry @p name; @p pde selects the PDE load
+     *  path (SymGS/PCG-capable) vs SpMV-only. */
+    void add(const std::string &name, const CsrMatrix &a, bool pde);
+
+    size_t size() const { return _entries.size(); }
+    Accelerator &at(size_t i) { return *_entries[i]->acc; }
+    const Accelerator &at(size_t i) const { return *_entries[i]->acc; }
+    const std::string &nameOf(size_t i) const { return _entries[i]->name; }
+    bool isPde(size_t i) const { return _entries[i]->pde; }
+    std::vector<uint8_t> pdeMask() const;
+
+    /**
+     * Compile (or claim from a restored cache) every schedule the
+     * serving ops replay: the SpMV table always, plus both SymGS
+     * sweeps for PDE entries.  Pure warm-up -- touches no stats.
+     */
+    void warmSchedules();
+
+    /** Total compileSchedule calls across the fleet. */
+    uint64_t scheduleCompiles() const;
+    /** Total modeled cycles across the fleet. */
+    uint64_t totalCycles() const;
+
+    /**
+     * Persist every entry's schedule cache as <dir>/<name>.sched (next
+     * to where alr_serve saves <name>.alr program images).  Returns
+     * the number of entries saved.
+     */
+    size_t saveScheduleCaches(const std::string &dir) const;
+    /** Restore <dir>/<name>.sched for every entry; missing files are
+     *  skipped (cold entries compile as usual).  Returns the number of
+     *  files restored. */
+    size_t restoreScheduleCaches(const std::string &dir);
+
+    /** Per-entry lock + in-order execution gate (used by serve()). */
+    struct Entry
+    {
+        std::string name;
+        std::unique_ptr<Accelerator> acc;
+        bool pde = false;
+        std::mutex mutex;
+        std::condition_variable turn;
+        uint64_t nextSeq = 0;
+    };
+    Entry &entry(size_t i) { return *_entries[i]; }
+
+  private:
+    AccelParams _params;
+    std::vector<std::unique_ptr<Entry>> _entries;
+};
+
+/** Serving-loop knobs. */
+struct ServeConfig
+{
+    /** Worker threads draining the queue. */
+    int threads = 1;
+    /** Bounded admission-queue depth (producer back-pressure). */
+    size_t queueDepth = 64;
+    /**
+     * Batching window: how far ahead in the arrival stream same-matrix
+     * SpMV requests may be coalesced into one SpMM batch (also the
+     * maximum batch size).  <= 1 disables batching.
+     */
+    uint32_t batchWindow = 1;
+    /** PCG iteration cap per request (serving-sized solves). */
+    int pcgIterations = 20;
+    /** Seed for the per-request deterministic RHS vectors. */
+    uint64_t rhsSeed = 7;
+    /** Keep full per-request result vectors (equivalence tests). */
+    bool keepResults = false;
+};
+
+/** One work item of the deterministic batching plan. */
+struct ServeWorkItem
+{
+    uint32_t matrix = 0;
+    ServeOp op = ServeOp::Spmv;
+    /** Coalesced request ids, in arrival order (>1 only for SpMV). */
+    std::vector<uint32_t> requestIds;
+    /** Per-matrix sequence number (in-order execution gate). */
+    uint64_t seq = 0;
+};
+
+/**
+ * The batching plan: walk the trace in arrival order; each SpMV
+ * request not yet claimed anchors a batch and absorbs same-matrix
+ * SpMV requests from the next (batchWindow - 1) arrivals; SymGS/PCG
+ * requests run alone.  Pure function of (trace, batchWindow).
+ */
+std::vector<ServeWorkItem> buildServePlan(
+    const std::vector<ServeRequest> &trace, uint32_t batch_window);
+
+/** Outcome of draining one trace. */
+struct ServeResult
+{
+    uint64_t completed = 0;
+    uint64_t workItems = 0;
+    double wallMs = 0.0;
+    double requestsPerSec = 0.0;
+    /** Wall-clock admission-to-completion latency per request, ns. */
+    stats::Distribution latencyNs;
+    /** Coalesced request count per executed SpMV batch. */
+    stats::Distribution batchSize;
+    /** Per-request result checksum (sum of the output vector),
+     *  indexed by request id. */
+    std::vector<double> checksums;
+    /** Per-request modeled cycles: the run's cycles, divided evenly
+     *  across a batch's coalesced requests (docs/MODELING.md). */
+    std::vector<double> modeledCycles;
+    /** Full result vectors, keepResults only (indexed by id). */
+    std::vector<DenseVector> results;
+};
+
+/** The RHS vector served for request @p id: a pure function of
+ *  (seed, id, n), so an unbatched reference run can reproduce any
+ *  request's input exactly. */
+DenseVector serveRequestRhs(uint64_t seed, uint32_t id, Index n);
+
+/**
+ * Drain @p trace against @p fleet: requests flow through a bounded
+ * admission queue to cfg.threads workers; per-matrix work executes in
+ * plan order (see the determinism contract above).  The RHS of
+ * request r is serveRequestRhs(cfg.rhsSeed, r.id, n).
+ */
+ServeResult serve(ServeFleet &fleet, const std::vector<ServeRequest> &trace,
+                  const ServeConfig &cfg);
+
+} // namespace alr
+
+#endif // ALR_ALRESCHA_SERVE_HH

@@ -6,9 +6,16 @@
 #include <cstring>
 #include <limits>
 
+#include <fstream>
+#include <sstream>
+
 #include "alrescha/sim/profile.hh"
 #include "alrescha/sim/pwalk.hh"
 #include "alrescha/sim/reduce.hh"
+#include "alrescha/sim/replay.hh"
+#include "alrescha/sim/schedule_io.hh"
+#include "common/binary_io.hh"
+#include "common/hash.hh"
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 #include "common/timeline.hh"
@@ -18,8 +25,10 @@ namespace alr {
 
 using profile::Cause;
 
-/** Cached schedules kept per engine before evicting the oldest. */
-constexpr size_t kMaxCachedSchedules = 8;
+/** Header of the persisted schedule-cache format ("Alrescha schedule
+ *  cache", version 1).  Bump on any layout change. */
+constexpr uint32_t kSchedCacheMagic = 0xA15ECAC1;
+constexpr uint32_t kSchedCacheVersion = 1;
 
 Engine::Engine(const AccelParams &params)
     : _params(params), _memory(params), _fcu(params),
@@ -46,6 +55,8 @@ Engine::Engine(const AccelParams &params)
     _stats.registerScalar("useful_bytes", &_usefulBytes,
                           "streamed bytes carrying non-zero payload");
     _stats.registerScalar("runs", &_runs, "engine run invocations");
+    _stats.registerScalar("schedule_evictions", &_scheduleEvictions,
+                          "schedules evicted from the MRU cache");
     _stats.registerDistribution("run_cycles", &_runCycles,
                                 "cycles per engine run");
     _memory.registerStats(_stats);
@@ -74,6 +85,7 @@ Engine::scheduleFor()
     if (_table->kernel() != KernelType::SpMV &&
         _table->kernel() != KernelType::SymGS)
         return nullptr;
+    std::lock_guard<std::mutex> lock(_scheduleMutex);
     for (size_t i = 0; i < _schedules.size(); ++i) {
         ScheduleSlot &slot = _schedules[i];
         if (slot.ldGen != _ld->generation() ||
@@ -95,20 +107,51 @@ Engine::scheduleFor()
         return _schedules.front().sched.get();
     }
 
+    // Generation miss: content hashes (computed only here, never on
+    // the hit path) may still match a restored schedule -- the warm
+    // start claims it without compiling.
     ScheduleSlot slot;
     slot.ldGen = _ld->generation();
     slot.tableGen = _table->generation();
+    slot.ldHash = _ld->contentHash();
+    slot.tableHash = _table->contentHash();
     slot.entryCount = _table->entries().size();
     slot.blockCount = _ld->blocks().size();
     slot.streamLen = _ld->stream().size();
     slot.kernel = _table->kernel();
     slot.omega = _ld->omega();
-    slot.sched = std::make_unique<ExecSchedule>(
-        compileSchedule(*_ld, *_table, _params));
-    ++_scheduleCompiles;
+    for (size_t i = 0; i < _restored.size(); ++i) {
+        ScheduleSlot &r = _restored[i];
+        if (r.ldHash != slot.ldHash || r.tableHash != slot.tableHash)
+            continue;
+        if (r.entryCount != slot.entryCount ||
+            r.blockCount != slot.blockCount ||
+            r.streamLen != slot.streamLen || r.kernel != slot.kernel ||
+            r.omega != slot.omega) {
+            // A matching hash over different shapes is either a
+            // collision or a corrupted entry that slipped past the
+            // parser; either way the compile path is the safe answer.
+            warn("restored schedule hash matched a different shape; "
+                 "recompiling");
+            continue;
+        }
+        slot.sched = std::move(r.sched);
+        _restored.erase(_restored.begin() + std::ptrdiff_t(i));
+        break;
+    }
+    if (!slot.sched) {
+        slot.sched = std::make_unique<ExecSchedule>(
+            compileSchedule(*_ld, *_table, _params));
+        ++_scheduleCompiles;
+    }
     _schedules.insert(_schedules.begin(), std::move(slot));
-    if (_schedules.size() > kMaxCachedSchedules)
+    size_t capacity = _params.scheduleCacheCapacity < 1
+                          ? 1
+                          : size_t(_params.scheduleCacheCapacity);
+    if (_schedules.size() > capacity) {
         _schedules.pop_back();
+        _scheduleEvictions += 1.0;
+    }
     return _schedules.front().sched.get();
 }
 
@@ -123,7 +166,133 @@ Engine::prepareSchedule()
 void
 Engine::invalidateSchedules()
 {
+    std::lock_guard<std::mutex> lock(_scheduleMutex);
     _schedules.clear();
+    _restored.clear();
+}
+
+bool
+Engine::saveScheduleCache(std::ostream &out) const
+{
+    std::lock_guard<std::mutex> lock(_scheduleMutex);
+    // Serialize the body first so the header can carry its checksum:
+    // structural validation alone cannot catch a flipped byte inside a
+    // serialized double, but the digest catches any corruption.
+    std::ostringstream body;
+    bio::writePod<uint32_t>(body, uint32_t(_schedules.size()));
+    for (const ScheduleSlot &slot : _schedules) {
+        bio::writePod<uint64_t>(body, slot.ldHash);
+        bio::writePod<uint64_t>(body, slot.tableHash);
+        bio::writePod<uint64_t>(body, uint64_t(slot.entryCount));
+        bio::writePod<uint64_t>(body, uint64_t(slot.blockCount));
+        bio::writePod<uint64_t>(body, uint64_t(slot.streamLen));
+        bio::writePod<uint8_t>(body, uint8_t(slot.kernel));
+        bio::writePod<uint32_t>(body, slot.omega);
+        serializeSchedule(body, *slot.sched);
+    }
+    const std::string bytes = body.str();
+    bio::writePod<uint32_t>(out, kSchedCacheMagic);
+    bio::writePod<uint32_t>(out, kSchedCacheVersion);
+    bio::writePod<uint64_t>(out, scheduleParamsFingerprint(_params));
+    bio::writePod<uint64_t>(out, uint64_t(bytes.size()));
+    bio::writePod<uint64_t>(out, hash::fnv1a(bytes.data(), bytes.size()));
+    out.write(bytes.data(), std::streamsize(bytes.size()));
+    if (!out) {
+        warn("failed writing schedule cache");
+        return false;
+    }
+    return true;
+}
+
+bool
+Engine::saveScheduleCacheFile(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+        warn("cannot create schedule cache '%s'", path.c_str());
+        return false;
+    }
+    return saveScheduleCache(out);
+}
+
+bool
+Engine::loadScheduleCache(std::istream &in)
+{
+    // Parse everything into a staging vector first: a file that goes
+    // bad halfway contributes nothing (recompile-only fallback), never
+    // a half-restored pool.
+    std::vector<ScheduleSlot> staged;
+    try {
+        if (bio::readPod<uint32_t>(in) != kSchedCacheMagic)
+            throw std::runtime_error("not an Alrescha schedule cache");
+        if (bio::readPod<uint32_t>(in) != kSchedCacheVersion)
+            throw std::runtime_error("schedule cache version mismatch");
+        if (bio::readPod<uint64_t>(in) !=
+            scheduleParamsFingerprint(_params))
+            throw std::runtime_error(
+                "schedule cache was compiled under different "
+                "accelerator parameters");
+        uint64_t bodyLen = bio::readPod<uint64_t>(in);
+        uint64_t bodyHash = bio::readPod<uint64_t>(in);
+        if (bodyLen > (uint64_t(1) << 34))
+            throw std::runtime_error("implausible schedule cache size");
+        std::string bytes(size_t(bodyLen), '\0');
+        in.read(bytes.data(), std::streamsize(bytes.size()));
+        if (size_t(in.gcount()) != bytes.size())
+            throw std::runtime_error("truncated schedule cache");
+        if (hash::fnv1a(bytes.data(), bytes.size()) != bodyHash)
+            throw std::runtime_error("schedule cache checksum mismatch");
+        std::istringstream body(bytes);
+        uint32_t count = bio::readPod<uint32_t>(body);
+        if (count > 4096)
+            throw std::runtime_error("implausible schedule count");
+        for (uint32_t i = 0; i < count; ++i) {
+            ScheduleSlot slot;
+            slot.ldHash = bio::readPod<uint64_t>(body);
+            slot.tableHash = bio::readPod<uint64_t>(body);
+            slot.entryCount = size_t(bio::readPod<uint64_t>(body));
+            slot.blockCount = size_t(bio::readPod<uint64_t>(body));
+            slot.streamLen = size_t(bio::readPod<uint64_t>(body));
+            slot.kernel = KernelType(bio::readPod<uint8_t>(body));
+            slot.omega = bio::readPod<uint32_t>(body);
+            slot.sched =
+                std::make_unique<ExecSchedule>(deserializeSchedule(body));
+            // Function pointers do not serialize: re-stamp the replay
+            // entry points for this process's ISA and knobs, making
+            // the restored schedule indistinguishable from a fresh
+            // compile.
+            replay::specialize(*slot.sched, _params);
+            staged.push_back(std::move(slot));
+        }
+    } catch (const std::exception &e) {
+        warn("schedule cache unusable (%s); will recompile", e.what());
+        return false;
+    }
+
+    std::lock_guard<std::mutex> lock(_scheduleMutex);
+    for (ScheduleSlot &slot : staged) {
+        // Last load wins on a duplicate key; the pool stays bounded by
+        // what callers load, not by lookup traffic.
+        auto dup = std::find_if(
+            _restored.begin(), _restored.end(), [&](const ScheduleSlot &r) {
+                return r.ldHash == slot.ldHash &&
+                       r.tableHash == slot.tableHash;
+            });
+        if (dup != _restored.end())
+            *dup = std::move(slot);
+        else
+            _restored.push_back(std::move(slot));
+    }
+    return true;
+}
+
+bool
+Engine::loadScheduleCacheFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false; // cold start: no cache yet, not an error
+    return loadScheduleCache(in);
 }
 
 ThreadPool *
@@ -1730,6 +1899,7 @@ Engine::reset()
     _parFlops.reset();
     _usefulBytes.reset();
     _runs.reset();
+    _scheduleEvictions.reset();
     _runCycles.reset();
 }
 

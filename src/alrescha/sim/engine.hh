@@ -20,7 +20,10 @@
 #ifndef ALR_ALRESCHA_SIM_ENGINE_HH
 #define ALR_ALRESCHA_SIM_ENGINE_HH
 
+#include <iosfwd>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <vector>
 
 #include "alrescha/config_table.hh"
@@ -80,7 +83,46 @@ class Engine
     uint64_t scheduleCompiles() const { return _scheduleCompiles; }
 
     /** Number of schedules currently cached. */
-    size_t cachedSchedules() const { return _schedules.size(); }
+    size_t cachedSchedules() const
+    {
+        std::lock_guard<std::mutex> lock(_scheduleMutex);
+        return _schedules.size();
+    }
+
+    /** Schedules evicted from the MRU cache since construction. */
+    uint64_t scheduleEvictions() const
+    {
+        return uint64_t(_scheduleEvictions.value());
+    }
+
+    /**
+     * Persist the MRU schedule cache (front-to-back) in the versioned
+     * binary cache format: content-hash keys plus the complete
+     * compiled state of each schedule.  Returns false (after warn) on
+     * a write failure.
+     */
+    bool saveScheduleCache(std::ostream &out) const;
+    bool saveScheduleCacheFile(const std::string &path) const;
+
+    /**
+     * Restore a persisted cache into the restored-schedule pool.  A
+     * later cache miss whose (matrix, table) content hashes match a
+     * pool entry promotes it into the MRU cache -- re-stamped through
+     * replay::specialize -- instead of compiling, so a warm start
+     * performs zero compileSchedule calls.  Magic/version/params
+     * mismatches, truncation, and corruption warn and return false
+     * (the engine then recompiles as usual); a missing file returns
+     * false silently (a cold start is not an error).
+     */
+    bool loadScheduleCache(std::istream &in);
+    bool loadScheduleCacheFile(const std::string &path);
+
+    /** Restored schedules waiting to be claimed by a cache miss. */
+    size_t restoredSchedules() const
+    {
+        std::lock_guard<std::mutex> lock(_scheduleMutex);
+        return _restored.size();
+    }
 
     /** SpMV / graph tables: y = A x (table kernel SpMV). */
     DenseVector runSpmv(const DenseVector &x, RunTiming *timing = nullptr);
@@ -258,12 +300,25 @@ class Engine
      * -- unlike the pointer-identity key this replaces -- a matrix or
      * table freed and reallocated at the same address can never hit a
      * schedule compiled from its predecessor.  The shape fingerprint
-     * is kept as a belt-and-braces consistency check.
+     * is kept as a belt-and-braces consistency check.  Content hashes
+     * (stable across restarts, unlike generations) key the persisted
+     * form of the cache; they are computed once per miss, so hits stay
+     * hash-free.
+     *
+     * All cache state (_schedules, _restored, _scheduleCompiles, the
+     * eviction stat) is guarded by _scheduleMutex: concurrent lookups
+     * through prepareSchedule are safe.  A pointer returned by a
+     * lookup stays valid until that schedule is evicted or
+     * invalidated, so engines shared across threads need a capacity
+     * covering the concurrent working set (the serving layer sizes it
+     * to the fleet).
      */
     struct ScheduleSlot
     {
         uint64_t ldGen = 0;
         uint64_t tableGen = 0;
+        uint64_t ldHash = 0;
+        uint64_t tableHash = 0;
         size_t entryCount = 0;
         size_t blockCount = 0;
         size_t streamLen = 0;
@@ -272,6 +327,10 @@ class Engine
         std::unique_ptr<ExecSchedule> sched;
     };
     std::vector<ScheduleSlot> _schedules;
+    /** Deserialized schedules not yet claimed by a miss: generations
+     *  are unknown (0) until a content-hash match promotes one. */
+    std::vector<ScheduleSlot> _restored;
+    mutable std::mutex _scheduleMutex;
     uint64_t _scheduleCompiles = 0;
     std::unique_ptr<ThreadPool> _privatePool;
 
@@ -288,6 +347,7 @@ class Engine
     stats::Scalar _parFlops;
     stats::Scalar _usefulBytes;
     stats::Scalar _runs;
+    stats::Scalar _scheduleEvictions;
     stats::Distribution _runCycles;
 
     stats::StatSnapshotter *_snapshotter = nullptr;

@@ -1,0 +1,185 @@
+#include "alrescha/sim/schedule_io.hh"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "common/binary_io.hh"
+#include "common/hash.hh"
+
+namespace alr {
+
+namespace {
+
+// Per-schedule framing inside a cache file.  Bump on any layout
+// change: version-mismatched files fall back to recompile.
+constexpr uint32_t kScheduleTag = 0x5C4ED001; // "SCHED" v1
+
+} // namespace
+
+void
+serializeSchedule(std::ostream &out, const ExecSchedule &s)
+{
+    bio::writePod<uint32_t>(out, kScheduleTag);
+    bio::writePod<uint8_t>(out, uint8_t(s.kernel));
+    bio::writePod<uint32_t>(out, s.omega);
+    bio::writePod<uint64_t>(out, uint64_t(s.pathCount));
+
+    bio::writeVec(out, s.dp);
+    bio::writeVec(out, s.blockRow);
+    bio::writeVec(out, s.blockCol);
+    bio::writeVec(out, s.operandVec);
+    bio::writeVec(out, s.cfgCycles);
+    bio::writeVec(out, s.fillCycles);
+    bio::writeVec(out, s.writeOutRow);
+    bio::writeVec(out, s.streamCycles);
+    bio::writeVec(out, s.memCycles);
+    bio::writeVec(out, s.streamBytes);
+    bio::writeVec(out, s.streamedRows);
+    bio::writeVec(out, s.spmmMemCycles);
+    bio::writeVec(out, s.xValid);
+    bio::writeVec(out, s.xOff);
+    bio::writeVec(out, s.validRows);
+    bio::writeVec(out, s.chainCycles);
+    bio::writeVec(out, s.rowBegin);
+
+    bio::writeVec(out, s.rowIndex);
+    bio::writeVec(out, s.rowUseful);
+    bio::writeVec(out, s.values);
+
+    bio::writeVec(out, s.groupBegin);
+    bio::writePod<uint8_t>(out, s.parallelSafe ? 1 : 0);
+    bio::writeVec(out, s.partBegin);
+    bio::writeVec(out, s.levelBegin);
+    bio::writePod<uint8_t>(out, s.contiguousRows ? 1 : 0);
+
+    bio::writePod<int64_t>(out, s.finalOutRow);
+    bio::writePod<uint8_t>(out, uint8_t(s.lastDp));
+    bio::writePod<double>(out, s.reconfigCount);
+    bio::writePod<double>(out, s.reconfigStall);
+    bio::writePod<double>(out, s.parFlops);
+    bio::writePod<double>(out, s.seqFlops);
+    bio::writePod<double>(out, s.usefulBytes);
+    bio::writePod<double>(out, s.fcuOps.alu);
+    bio::writePod<double>(out, s.fcuOps.reduce);
+    bio::writePod<double>(out, s.fcuOps.mul);
+    bio::writePod<double>(out, s.fcuOps.add);
+    bio::writePod<double>(out, s.peOps);
+    bio::writePod<uint64_t>(out, s.totalStreamBytes);
+    bio::writePod<uint64_t>(out, s.spmmStreamBytes);
+    bio::writePod<uint64_t>(out, uint64_t(s.paddedOperand));
+}
+
+ExecSchedule
+deserializeSchedule(std::istream &in)
+{
+    if (bio::readPod<uint32_t>(in) != kScheduleTag)
+        throw std::runtime_error("bad schedule tag");
+
+    ExecSchedule s;
+    uint8_t kernel = bio::readPod<uint8_t>(in);
+    if (kernel != uint8_t(KernelType::SpMV) &&
+        kernel != uint8_t(KernelType::SymGS))
+        throw std::runtime_error("unschedulable kernel in cache");
+    s.kernel = KernelType(kernel);
+    s.omega = bio::readPod<uint32_t>(in);
+    s.pathCount = size_t(bio::readPod<uint64_t>(in));
+
+    bio::readVecInto(in, s.dp);
+    bio::readVecInto(in, s.blockRow);
+    bio::readVecInto(in, s.blockCol);
+    bio::readVecInto(in, s.operandVec);
+    bio::readVecInto(in, s.cfgCycles);
+    bio::readVecInto(in, s.fillCycles);
+    bio::readVecInto(in, s.writeOutRow);
+    bio::readVecInto(in, s.streamCycles);
+    bio::readVecInto(in, s.memCycles);
+    bio::readVecInto(in, s.streamBytes);
+    bio::readVecInto(in, s.streamedRows);
+    bio::readVecInto(in, s.spmmMemCycles);
+    bio::readVecInto(in, s.xValid);
+    bio::readVecInto(in, s.xOff);
+    bio::readVecInto(in, s.validRows);
+    bio::readVecInto(in, s.chainCycles);
+    bio::readVecInto(in, s.rowBegin);
+
+    bio::readVecInto(in, s.rowIndex);
+    bio::readVecInto(in, s.rowUseful);
+    bio::readVecInto(in, s.values);
+
+    bio::readVecInto(in, s.groupBegin);
+    s.parallelSafe = bio::readPod<uint8_t>(in) != 0;
+    bio::readVecInto(in, s.partBegin);
+    bio::readVecInto(in, s.levelBegin);
+    s.contiguousRows = bio::readPod<uint8_t>(in) != 0;
+
+    s.finalOutRow = bio::readPod<int64_t>(in);
+    uint8_t lastDp = bio::readPod<uint8_t>(in);
+    if (lastDp > uint8_t(DataPathType::DPr))
+        throw std::runtime_error("bad data-path tag in cache");
+    s.lastDp = DataPathType(lastDp);
+    s.reconfigCount = bio::readPod<double>(in);
+    s.reconfigStall = bio::readPod<double>(in);
+    s.parFlops = bio::readPod<double>(in);
+    s.seqFlops = bio::readPod<double>(in);
+    s.usefulBytes = bio::readPod<double>(in);
+    s.fcuOps.alu = bio::readPod<double>(in);
+    s.fcuOps.reduce = bio::readPod<double>(in);
+    s.fcuOps.mul = bio::readPod<double>(in);
+    s.fcuOps.add = bio::readPod<double>(in);
+    s.peOps = bio::readPod<double>(in);
+    s.totalStreamBytes = bio::readPod<uint64_t>(in);
+    s.spmmStreamBytes = bio::readPod<uint64_t>(in);
+    s.paddedOperand = size_t(bio::readPod<uint64_t>(in));
+
+    // Structural sanity: every per-path vector must cover pathCount and
+    // the row ranges must stay inside the row records.  A file that
+    // parses but violates these is corrupt; throwing here turns it into
+    // the same warn-and-recompile path as a truncated one.
+    auto check = [&](bool ok) {
+        if (!ok)
+            throw std::runtime_error("inconsistent schedule in cache");
+    };
+    check(s.dp.size() == s.pathCount);
+    check(s.blockRow.size() == s.pathCount);
+    check(s.blockCol.size() == s.pathCount);
+    check(s.operandVec.size() == s.pathCount);
+    check(s.cfgCycles.size() == s.pathCount);
+    check(s.fillCycles.size() == s.pathCount);
+    check(s.writeOutRow.size() == s.pathCount);
+    check(s.streamCycles.size() == s.pathCount);
+    check(s.rowBegin.size() == s.pathCount + (s.pathCount ? 1 : 0));
+    if (!s.rowBegin.empty())
+        check(s.rowBegin.back() == s.rowIndex.size());
+    check(s.values.size() == s.rowIndex.size() * size_t(s.omega));
+    for (DataPathType dp : s.dp) {
+        check(dp <= DataPathType::DPr);
+    }
+    return s;
+}
+
+uint64_t
+scheduleParamsFingerprint(const AccelParams &p)
+{
+    // Only the schedule-shaping knobs participate; see the header for
+    // why thread counts and SIMD/specialization modes are excluded.
+    uint64_t h = hash::kFnvOffset;
+    h = hash::fnv1aPod(p.omega, h);
+    h = hash::fnv1aPod(p.clockGhz, h);
+    h = hash::fnv1aPod(p.memBandwidthGBs, h);
+    h = hash::fnv1aPod(p.dramLatency, h);
+    h = hash::fnv1aPod(p.cacheBytes, h);
+    h = hash::fnv1aPod(p.cacheLineBytes, h);
+    h = hash::fnv1aPod(p.cacheLatency, h);
+    h = hash::fnv1aPod(p.aluLatency, h);
+    h = hash::fnv1aPod(p.reSumLatency, h);
+    h = hash::fnv1aPod(p.reMinLatency, h);
+    h = hash::fnv1aPod(p.peLatency, h);
+    h = hash::fnv1aPod(p.configCycles, h);
+    h = hash::fnv1aPod(uint8_t(p.reorderDataPaths), h);
+    h = hash::fnv1aPod(uint8_t(p.skipEmptyBlockRows), h);
+    h = hash::fnv1aPod(uint8_t(p.frontierSkipping), h);
+    return h;
+}
+
+} // namespace alr

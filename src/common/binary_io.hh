@@ -50,6 +50,28 @@ writeVec(std::ostream &out, const std::vector<T, Alloc> &v)
     }
 }
 
+/**
+ * Read a length-prefixed vector into @p v (any allocator -- the
+ * aligned payload vectors deserialize without a bounce copy).
+ */
+template <typename T, typename Alloc>
+void
+readVecInto(std::istream &in, std::vector<T, Alloc> &v,
+            uint64_t max_elems = uint64_t(1) << 32)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t n = readPod<uint64_t>(in);
+    if (n > max_elems)
+        throw std::runtime_error("binary vector implausibly large");
+    v.resize(static_cast<size_t>(n));
+    if (n) {
+        in.read(reinterpret_cast<char *>(v.data()),
+                std::streamsize(n * sizeof(T)));
+        if (!in)
+            throw std::runtime_error("binary stream truncated");
+    }
+}
+
 template <typename T>
 std::vector<T>
 readVec(std::istream &in, uint64_t max_elems = uint64_t(1) << 32)

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Content hashing for cache keys that must survive process restarts.
+ *
+ * The in-process schedule cache keys on monotonic generation counters,
+ * which are meaningless across runs; the persisted cache keys on a
+ * 64-bit FNV-1a digest of each object's canonical serialized bytes
+ * instead.  The serializers are already byte-for-byte deterministic
+ * (the parallel-encode tests depend on it), so hashing the serialized
+ * stream gives a stable content identity without a second traversal.
+ */
+
+#ifndef ALR_COMMON_HASH_HH
+#define ALR_COMMON_HASH_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <streambuf>
+
+namespace alr::hash {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x00000100000001b3ULL;
+
+/** Fold @p len bytes into an FNV-1a state. */
+inline uint64_t
+fnv1a(const void *data, size_t len, uint64_t state = kFnvOffset)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < len; ++i) {
+        state ^= p[i];
+        state *= kFnvPrime;
+    }
+    return state;
+}
+
+/** Fold one trivially-copyable value into an FNV-1a state. */
+template <typename T>
+uint64_t
+fnv1aPod(const T &v, uint64_t state = kFnvOffset)
+{
+    return fnv1a(&v, sizeof(T), state);
+}
+
+/**
+ * A streambuf that hashes everything written to it and stores nothing:
+ * point an std::ostream at one and any existing serialize(ostream&)
+ * doubles as a content-hash function at zero allocation cost.
+ */
+class HashingStreambuf : public std::streambuf
+{
+  public:
+    uint64_t digest() const { return _state; }
+
+  protected:
+    int_type overflow(int_type ch) override
+    {
+        if (ch != traits_type::eof()) {
+            unsigned char b = static_cast<unsigned char>(ch);
+            _state = fnv1a(&b, 1, _state);
+        }
+        return ch;
+    }
+
+    std::streamsize xsputn(const char *s, std::streamsize n) override
+    {
+        _state = fnv1a(s, size_t(n), _state);
+        return n;
+    }
+
+  private:
+    uint64_t _state = kFnvOffset;
+};
+
+/** Hash whatever @p serialize_fn writes to the provided stream. */
+template <typename Fn>
+uint64_t
+ofSerialized(Fn &&serialize_fn)
+{
+    HashingStreambuf buf;
+    std::ostream os(&buf);
+    serialize_fn(os);
+    return buf.digest();
+}
+
+} // namespace alr::hash
+
+#endif // ALR_COMMON_HASH_HH

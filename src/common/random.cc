@@ -98,6 +98,36 @@ Rng::nextBool(double p)
     return nextDouble() < p;
 }
 
+ZipfSampler::ZipfSampler(uint32_t n, double s)
+{
+    ALR_ASSERT(n > 0, "empty Zipf support");
+    ALR_ASSERT(s >= 0.0, "negative Zipf exponent");
+    _cdf.resize(n);
+    double acc = 0.0;
+    for (uint32_t k = 0; k < n; ++k) {
+        acc += 1.0 / std::pow(double(k) + 1.0, s);
+        _cdf[k] = acc;
+    }
+    for (double &c : _cdf)
+        c /= acc;
+    _cdf.back() = 1.0; // guard against rounding in the last bucket
+}
+
+uint32_t
+ZipfSampler::sample(Rng &rng) const
+{
+    double u = rng.nextDouble();
+    uint32_t lo = 0, hi = uint32_t(_cdf.size()) - 1;
+    while (lo < hi) {
+        uint32_t mid = lo + (hi - lo) / 2;
+        if (_cdf[mid] < u)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
 std::vector<uint32_t>
 Rng::permutation(uint32_t n)
 {

@@ -49,6 +49,28 @@ class Rng
     double _spare = 0.0;
 };
 
+/**
+ * Zipf-distributed sampling over {0, .., n-1}: item k is drawn with
+ * probability proportional to 1 / (k+1)^s.  The CDF is precomputed
+ * once (O(n)) and each draw is a binary search (O(log n)), so a
+ * request-trace generator can draw millions of matrix ids cheaply.
+ * s = 0 degenerates to uniform; larger s concentrates traffic on the
+ * head -- the classic serving-workload popularity skew.
+ */
+class ZipfSampler
+{
+  public:
+    ZipfSampler(uint32_t n, double s);
+
+    uint32_t n() const { return uint32_t(_cdf.size()); }
+
+    /** Draw one item using @p rng. */
+    uint32_t sample(Rng &rng) const;
+
+  private:
+    std::vector<double> _cdf;
+};
+
 } // namespace alr
 
 #endif // ALR_COMMON_RANDOM_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Bounded blocking MPMC queue: the admission queue of the serving
+ * layer.  Producers block once the queue holds @p capacity items
+ * (back-pressure instead of unbounded growth under a burst); consumers
+ * block until an item arrives or the queue is closed and drained.
+ * close() wakes everyone: pending items are still delivered, then
+ * pop() returns false -- the shutdown handshake.
+ */
+
+#ifndef ALR_COMMON_REQUEST_QUEUE_HH
+#define ALR_COMMON_REQUEST_QUEUE_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace alr {
+
+template <typename T>
+class RequestQueue
+{
+  public:
+    explicit RequestQueue(size_t capacity) : _capacity(capacity)
+    {
+        ALR_ASSERT(capacity > 0, "queue capacity must be positive");
+    }
+
+    /** Block until there is room, then enqueue.  Returns false when
+     *  the queue was closed instead (the item is dropped). */
+    bool push(T item)
+    {
+        std::unique_lock<std::mutex> lock(_mutex);
+        _notFull.wait(lock, [&] {
+            return _items.size() < _capacity || _closed;
+        });
+        if (_closed)
+            return false;
+        _items.push_back(std::move(item));
+        _notEmpty.notify_one();
+        return true;
+    }
+
+    /** Enqueue iff there is room right now (admission control that
+     *  sheds load instead of blocking). */
+    bool tryPush(T item)
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        if (_closed || _items.size() >= _capacity)
+            return false;
+        _items.push_back(std::move(item));
+        _notEmpty.notify_one();
+        return true;
+    }
+
+    /** Block until an item is available (true) or the queue is closed
+     *  and drained (false). */
+    bool pop(T &out)
+    {
+        std::unique_lock<std::mutex> lock(_mutex);
+        _notEmpty.wait(lock, [&] { return !_items.empty() || _closed; });
+        if (_items.empty())
+            return false;
+        out = std::move(_items.front());
+        _items.pop_front();
+        _notFull.notify_one();
+        return true;
+    }
+
+    /** Stop admissions; consumers drain what is queued, then pop()
+     *  returns false. */
+    void close()
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _closed = true;
+        _notEmpty.notify_all();
+        _notFull.notify_all();
+    }
+
+    size_t size() const
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        return _items.size();
+    }
+
+    bool closed() const
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        return _closed;
+    }
+
+  private:
+    const size_t _capacity;
+    mutable std::mutex _mutex;
+    std::condition_variable _notEmpty;
+    std::condition_variable _notFull;
+    std::deque<T> _items;
+    bool _closed = false;
+};
+
+} // namespace alr
+
+#endif // ALR_COMMON_REQUEST_QUEUE_HH

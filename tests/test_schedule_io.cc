@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Persistent schedule cache (ISSUE 8): content-hash keys, the
+ * versioned on-disk format, warm starts with zero compiles, and the
+ * recompile fallback on every corruption the loader can meet.  A
+ * restored schedule must be indistinguishable from a compiled one --
+ * results, cycles, and the whole stat dump bit for bit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "alrescha/accelerator.hh"
+#include "alrescha/sim/replay.hh"
+#include "alrescha/sim/schedule.hh"
+#include "alrescha/sim/schedule_io.hh"
+#include "common/random.hh"
+#include "sparse/generators.hh"
+
+using namespace alr;
+
+namespace {
+
+std::string
+statDump(Engine &e)
+{
+    std::ostringstream os;
+    e.statGroup().dump(os);
+    return os.str();
+}
+
+AccelParams
+makeParams(Index omega = 8)
+{
+    AccelParams p;
+    p.omega = omega;
+    p.useSchedule = true;
+    return p;
+}
+
+/** A small SpMV problem (matrix + table) owned together. */
+struct Problem
+{
+    CsrMatrix a;
+    LocallyDenseMatrix ld;
+    ConfigTable table;
+
+    explicit Problem(uint64_t seed, Index omega = 8)
+        : a([&] {
+              Rng rng(seed);
+              return gen::randomSpd(73, 5, rng);
+          }()),
+          ld(LocallyDenseMatrix::encode(a, omega, LdLayout::Plain)),
+          table(ConfigTable::convert(KernelType::SpMV, ld))
+    {
+    }
+};
+
+} // namespace
+
+TEST(ContentHash, StableAcrossIdenticalObjects)
+{
+    // Two encodings of the same matrix hash identically even though
+    // they are distinct objects with distinct generations -- that is
+    // what makes the persisted cache restart-stable.
+    Problem p1(42), p2(42);
+    EXPECT_EQ(p1.ld.contentHash(), p2.ld.contentHash());
+    EXPECT_EQ(p1.table.contentHash(), p2.table.contentHash());
+
+    Problem other(43);
+    EXPECT_NE(p1.ld.contentHash(), other.ld.contentHash());
+}
+
+TEST(ContentHash, PayloadChangesTheHash)
+{
+    Rng rng(7);
+    CsrMatrix a = gen::randomSpd(48, 4, rng);
+    CsrMatrix a2 = a;
+    a2.vals()[0] *= 2.0; // same shape, one value differs
+    auto ld = LocallyDenseMatrix::encode(a, 8, LdLayout::Plain);
+    auto ld2 = LocallyDenseMatrix::encode(a2, 8, LdLayout::Plain);
+    EXPECT_NE(ld.contentHash(), ld2.contentHash());
+}
+
+TEST(ScheduleSerialization, RoundTripReplaysBitIdentically)
+{
+    Problem p(11);
+    AccelParams params = makeParams();
+    ExecSchedule s = compileSchedule(p.ld, p.table, params);
+
+    std::stringstream ss;
+    serializeSchedule(ss, s);
+    ExecSchedule back = deserializeSchedule(ss);
+    replay::specialize(back, params);
+
+    // Flat fields and every vector round-trip exactly.
+    EXPECT_EQ(back.kernel, s.kernel);
+    EXPECT_EQ(back.omega, s.omega);
+    EXPECT_EQ(back.pathCount, s.pathCount);
+    EXPECT_EQ(back.dp, s.dp);
+    EXPECT_EQ(back.rowIndex, s.rowIndex);
+    EXPECT_EQ(back.values, s.values);
+    EXPECT_EQ(back.rowBegin, s.rowBegin);
+    EXPECT_EQ(back.streamCycles, s.streamCycles);
+    EXPECT_EQ(back.totalStreamBytes, s.totalStreamBytes);
+    EXPECT_EQ(back.parFlops, s.parFlops);
+    EXPECT_EQ(back.paddedOperand, s.paddedOperand);
+}
+
+TEST(ScheduleCachePersistence, WarmStartCompilesNothing)
+{
+    Problem p(21);
+    AccelParams params = makeParams();
+    DenseVector x(p.a.cols());
+    for (size_t i = 0; i < x.size(); ++i)
+        x[i] = Value(i % 11) - 5.0;
+
+    // Cold engine: compile, run, persist.
+    Engine cold(params);
+    cold.program(&p.ld, &p.table);
+    DenseVector yCold = cold.runSpmv(x);
+    EXPECT_EQ(cold.scheduleCompiles(), 1u);
+    std::stringstream ss;
+    ASSERT_TRUE(cold.saveScheduleCache(ss));
+
+    // Warm engine: restore, program a *fresh copy* of the same matrix
+    // (new generations, same content), run.  Zero compiles.
+    Problem fresh(21);
+    Engine warm(params);
+    ASSERT_TRUE(warm.loadScheduleCache(ss));
+    EXPECT_EQ(warm.restoredSchedules(), 1u);
+    warm.program(&fresh.ld, &fresh.table);
+    EXPECT_NE(warm.prepareSchedule(), nullptr);
+    EXPECT_EQ(warm.scheduleCompiles(), 0u);
+
+    // The restored schedule replays bit-identically: results, cycles,
+    // and the entire stat dump.
+    DenseVector yWarm = warm.runSpmv(x);
+    EXPECT_EQ(yCold, yWarm);
+    EXPECT_EQ(cold.totalCycles(), warm.totalCycles());
+    EXPECT_EQ(statDump(cold), statDump(warm));
+    EXPECT_EQ(warm.scheduleCompiles(), 0u);
+}
+
+TEST(ScheduleCachePersistence, MultiTableFleetRoundTrip)
+{
+    // A PDE accelerator persists all three schedules (SpMV + both
+    // SymGS sweeps) and a rebuilt accelerator restores every one.
+    CsrMatrix a = gen::stencil2d(9, 9);
+    AccelParams params = makeParams();
+
+    Accelerator cold(params);
+    cold.loadPde(a);
+    DenseVector b(a.rows(), 1.0), xc(a.rows(), 0.0);
+    cold.spmv(b);
+    cold.symgsSweep(b, xc, GsSweep::Symmetric);
+    EXPECT_EQ(cold.engine().scheduleCompiles(), 3u);
+    std::stringstream ss;
+    ASSERT_TRUE(cold.engine().saveScheduleCache(ss));
+
+    Accelerator warm(params);
+    warm.loadPde(a);
+    ASSERT_TRUE(warm.engine().loadScheduleCache(ss));
+    EXPECT_EQ(warm.engine().restoredSchedules(), 3u);
+    DenseVector xw(a.rows(), 0.0);
+    DenseVector yw = warm.spmv(b);
+    warm.symgsSweep(b, xw, GsSweep::Symmetric);
+    EXPECT_EQ(warm.engine().scheduleCompiles(), 0u);
+    EXPECT_EQ(xc, xw);
+    EXPECT_EQ(cold.engine().totalCycles(), warm.engine().totalCycles());
+    EXPECT_EQ(statDump(cold.engine()), statDump(warm.engine()));
+}
+
+TEST(ScheduleCachePersistence, FileRoundTripAndMissingFile)
+{
+    Problem p(31);
+    Engine e(makeParams());
+    e.program(&p.ld, &p.table);
+    e.prepareSchedule();
+
+    std::string path = ::testing::TempDir() + "sched_cache_rt.sched";
+    ASSERT_TRUE(e.saveScheduleCacheFile(path));
+
+    Engine warm(makeParams());
+    EXPECT_TRUE(warm.loadScheduleCacheFile(path));
+    EXPECT_EQ(warm.restoredSchedules(), 1u);
+
+    // A missing file is a cold start, not an error.
+    Engine cold2(makeParams());
+    EXPECT_FALSE(cold2.loadScheduleCacheFile(path + ".does-not-exist"));
+    EXPECT_EQ(cold2.restoredSchedules(), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(ScheduleCachePersistence, CorruptionFallsBackToRecompile)
+{
+    Problem p(41);
+    Engine e(makeParams());
+    e.program(&p.ld, &p.table);
+    e.prepareSchedule();
+    std::stringstream good;
+    ASSERT_TRUE(e.saveScheduleCache(good));
+    const std::string bytes = good.str();
+
+    auto loadFails = [&](std::string mutated) {
+        std::stringstream ss(std::move(mutated));
+        Engine fresh(makeParams());
+        bool ok = fresh.loadScheduleCache(ss);
+        EXPECT_EQ(fresh.restoredSchedules(), 0u);
+        return !ok;
+    };
+
+    // Wrong magic.
+    {
+        std::string bad = bytes;
+        bad[0] = char(bad[0] + 1);
+        EXPECT_TRUE(loadFails(bad));
+    }
+    // Truncated at every interesting boundary.
+    EXPECT_TRUE(loadFails(bytes.substr(0, 3)));
+    EXPECT_TRUE(loadFails(bytes.substr(0, 16)));
+    EXPECT_TRUE(loadFails(bytes.substr(0, bytes.size() / 2)));
+    EXPECT_TRUE(loadFails(bytes.substr(0, bytes.size() - 1)));
+    // A flipped byte anywhere -- header fields or deep inside a
+    // serialized double -- fails the body checksum (or a header gate)
+    // and the loader rejects the whole file.
+    for (size_t off : {size_t(9), size_t(20), size_t(40),
+                       bytes.size() / 2, bytes.size() - 2}) {
+        std::string bad = bytes;
+        bad[off] = char(bad[off] ^ 0x5a);
+        EXPECT_TRUE(loadFails(bad)) << "offset " << off;
+    }
+    // Empty stream.
+    EXPECT_TRUE(loadFails(""));
+
+    // After any failed load the engine recompiles and still computes
+    // the right answer.
+    Engine fresh(makeParams());
+    std::stringstream trunc(bytes.substr(0, bytes.size() / 2));
+    EXPECT_FALSE(fresh.loadScheduleCache(trunc));
+    Problem same(41);
+    fresh.program(&same.ld, &same.table);
+    DenseVector x(p.a.cols(), 1.0);
+    Engine ref(makeParams());
+    Problem refp(41);
+    ref.program(&refp.ld, &refp.table);
+    EXPECT_EQ(fresh.runSpmv(x), ref.runSpmv(x));
+    EXPECT_EQ(fresh.scheduleCompiles(), 1u);
+}
+
+TEST(ScheduleCachePersistence, ParamsFingerprintMismatchRejected)
+{
+    Problem p(51);
+    Engine e(makeParams(8));
+    e.program(&p.ld, &p.table);
+    e.prepareSchedule();
+    std::stringstream ss;
+    ASSERT_TRUE(e.saveScheduleCache(ss));
+
+    // A different omega reshapes every schedule: the fingerprint gate
+    // rejects the whole file and the engine recompiles.
+    AccelParams other = makeParams(8);
+    other.cacheBytes *= 2;
+    Engine warm(other);
+    EXPECT_FALSE(warm.loadScheduleCache(ss));
+    EXPECT_EQ(warm.restoredSchedules(), 0u);
+
+    EXPECT_NE(scheduleParamsFingerprint(makeParams(8)),
+              scheduleParamsFingerprint(other));
+}
+
+TEST(ScheduleCachePersistence, StaleHashRecompilesInsteadOfAliasing)
+{
+    // Persist a cache for matrix A, restore it, then serve matrix B
+    // (same shape, different payload): the content hash must miss and
+    // the engine must compile B's schedule, never replay A's.
+    Rng rng(61);
+    CsrMatrix a = gen::randomSpd(64, 5, rng);
+    CsrMatrix b = a;
+    for (Value &v : b.vals())
+        v *= 3.0;
+
+    AccelParams params = makeParams();
+    auto ldA = LocallyDenseMatrix::encode(a, 8, LdLayout::Plain);
+    auto tableA = ConfigTable::convert(KernelType::SpMV, ldA);
+    Engine cold(params);
+    cold.program(&ldA, &tableA);
+    cold.prepareSchedule();
+    std::stringstream ss;
+    ASSERT_TRUE(cold.saveScheduleCache(ss));
+
+    auto ldB = LocallyDenseMatrix::encode(b, 8, LdLayout::Plain);
+    auto tableB = ConfigTable::convert(KernelType::SpMV, ldB);
+    Engine warm(params);
+    ASSERT_TRUE(warm.loadScheduleCache(ss));
+    warm.program(&ldB, &tableB);
+    DenseVector x(b.cols(), 1.0);
+    DenseVector y = warm.runSpmv(x);
+    EXPECT_EQ(warm.scheduleCompiles(), 1u)
+        << "restored schedule served for a different matrix";
+
+    Engine ref(params);
+    ref.program(&ldB, &tableB);
+    EXPECT_EQ(y, ref.runSpmv(x));
+}
+
+TEST(ScheduleCacheCapacity, ParamBoundsTheCacheAndCountsEvictions)
+{
+    Rng rng(71);
+    CsrMatrix a = gen::randomSpd(48, 4, rng);
+    auto ld = LocallyDenseMatrix::encode(a, 8, LdLayout::Plain);
+    std::vector<ConfigTable> tables;
+    for (int i = 0; i < 5; ++i)
+        tables.push_back(ConfigTable::convert(KernelType::SpMV, ld));
+
+    AccelParams params = makeParams();
+    params.scheduleCacheCapacity = 2;
+    Engine e(params);
+    DenseVector x(a.cols(), 1.0);
+    for (auto &t : tables) {
+        e.program(&ld, &t);
+        e.runSpmv(x);
+    }
+    EXPECT_EQ(e.scheduleCompiles(), 5u);
+    EXPECT_EQ(e.cachedSchedules(), 2u);
+    EXPECT_EQ(e.scheduleEvictions(), 3u);
+
+    // The eviction count is a registered stat, visible in the dump.
+    EXPECT_NE(statDump(e).find("schedule_evictions"), std::string::npos);
+}
+
+TEST(ScheduleCacheCapacity, RestoredPoolSurvivesEviction)
+{
+    // Capacity 1 with two restored schedules: each program() switch
+    // evicts the other's slot, but promotion out of the restored pool
+    // happened at most once per table -- after both promotions the
+    // evicted schedule is gone and must recompile (correct, counted).
+    CsrMatrix a = gen::stencil2d(8, 8);
+    AccelParams params = makeParams();
+    Accelerator cold(params);
+    cold.loadPde(a);
+    DenseVector b(a.rows(), 1.0), x0(a.rows(), 0.0);
+    cold.spmv(b);
+    cold.symgsSweep(b, x0, GsSweep::Forward);
+    std::stringstream ss;
+    ASSERT_TRUE(cold.engine().saveScheduleCache(ss));
+
+    AccelParams tiny = params;
+    tiny.scheduleCacheCapacity = 1;
+    Accelerator warm(tiny);
+    warm.loadPde(a);
+    ASSERT_TRUE(warm.engine().loadScheduleCache(ss));
+    EXPECT_EQ(warm.engine().restoredSchedules(), 2u);
+
+    DenseVector xw(a.rows(), 0.0);
+    warm.spmv(b);                               // restore #1
+    warm.symgsSweep(b, xw, GsSweep::Forward);   // restore #2, evicts #1
+    EXPECT_EQ(warm.engine().scheduleCompiles(), 0u);
+    warm.spmv(b); // evicted and no longer in the pool: recompile
+    EXPECT_EQ(warm.engine().scheduleCompiles(), 1u);
+    EXPECT_GE(warm.engine().scheduleEvictions(), 1u);
+}

@@ -1,0 +1,403 @@
+/**
+ * @file
+ * Serving-mode properties (ISSUE 8): replayable trace generation, the
+ * deterministic batching plan, and the equivalence contract -- batched
+ * serving stays bit-identical per request to the unbatched engine, the
+ * unbatched stream matches a plain serial loop, and every modeled
+ * number is invariant under the worker thread count.  Plus the bounded
+ * admission queue and concurrent schedule-cache lookups (the
+ * ServeConcurrency suite runs under TSan in CI).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <sstream>
+#include <thread>
+
+#include "alrescha/serve.hh"
+#include "common/random.hh"
+#include "common/request_queue.hh"
+#include "sparse/generators.hh"
+
+using namespace alr;
+
+namespace {
+
+std::string
+statDump(Engine &e)
+{
+    std::ostringstream os;
+    e.statGroup().dump(os);
+    return os.str();
+}
+
+/** Three small PDE matrices with distinct structure. */
+std::vector<CsrMatrix>
+testMatrices()
+{
+    Rng rng(3);
+    return {gen::stencil2d(8, 8), gen::banded(49, 4, 0.8, rng),
+            gen::randomSpd(37, 4, rng)};
+}
+
+ServeFleet
+makeFleet(const AccelParams &params = {})
+{
+    ServeFleet fleet(params);
+    std::vector<CsrMatrix> ms = testMatrices();
+    for (size_t i = 0; i < ms.size(); ++i)
+        fleet.add("m" + std::to_string(i), ms[i], true);
+    fleet.warmSchedules();
+    return fleet;
+}
+
+TraceParams
+smallTrace(uint32_t requests = 40)
+{
+    TraceParams tp;
+    tp.requests = requests;
+    tp.burstiness = 0.5;
+    tp.pcgWeight = 0.05;
+    return tp;
+}
+
+/** Drain the trace the trivial way: one accelerator per matrix, the
+ *  requests run serially in arrival order.  The ground truth the
+ *  serving loop must reproduce bit for bit. */
+struct SerialReference
+{
+    std::vector<std::unique_ptr<Accelerator>> accs;
+    std::vector<DenseVector> results;
+
+    SerialReference(const std::vector<CsrMatrix> &ms,
+                    const std::vector<ServeRequest> &trace,
+                    const ServeConfig &cfg, const AccelParams &params = {})
+    {
+        for (const CsrMatrix &m : ms) {
+            accs.push_back(std::make_unique<Accelerator>(params));
+            accs.back()->loadPde(m);
+        }
+        results.resize(trace.size());
+        for (const ServeRequest &r : trace) {
+            Accelerator &acc = *accs[r.matrix];
+            Index n = acc.matrix().rows();
+            DenseVector rhs = serveRequestRhs(cfg.rhsSeed, r.id, n);
+            if (r.op == ServeOp::Spmv) {
+                results[r.id] = acc.spmv(rhs);
+            } else if (r.op == ServeOp::Symgs) {
+                DenseVector x(n, 0.0);
+                acc.symgsSweep(rhs, x, GsSweep::Symmetric);
+                results[r.id] = std::move(x);
+            } else {
+                PcgOptions opts;
+                opts.maxIterations = cfg.pcgIterations;
+                results[r.id] = acc.pcg(rhs, opts).x;
+            }
+        }
+    }
+};
+
+} // namespace
+
+TEST(ServeTrace, DeterministicAndSeedSensitive)
+{
+    std::vector<uint8_t> mask{1, 1, 1, 1};
+    TraceParams tp = smallTrace(200);
+    std::vector<ServeRequest> t1 = generateTrace(tp, mask);
+    std::vector<ServeRequest> t2 = generateTrace(tp, mask);
+    ASSERT_EQ(t1.size(), t2.size());
+    for (size_t i = 0; i < t1.size(); ++i) {
+        EXPECT_EQ(t1[i].id, uint32_t(i));
+        EXPECT_EQ(t1[i].matrix, t2[i].matrix);
+        EXPECT_EQ(t1[i].op, t2[i].op);
+        EXPECT_LT(t1[i].matrix, mask.size());
+    }
+
+    tp.seed += 1;
+    std::vector<ServeRequest> t3 = generateTrace(tp, mask);
+    bool differs = false;
+    for (size_t i = 0; i < t1.size(); ++i)
+        differs |= t1[i].matrix != t3[i].matrix || t1[i].op != t3[i].op;
+    EXPECT_TRUE(differs);
+}
+
+TEST(ServeTrace, ZipfSkewsTowardTheHeadAndMaskForcesSpmv)
+{
+    std::vector<uint8_t> mask{1, 0, 1, 0};
+    TraceParams tp = smallTrace(2000);
+    tp.zipfS = 1.2;
+    tp.burstiness = 0.0;
+    std::vector<ServeRequest> trace = generateTrace(tp, mask);
+
+    std::vector<uint32_t> counts(mask.size(), 0);
+    for (const ServeRequest &r : trace) {
+        ++counts[r.matrix];
+        if (!mask[r.matrix])
+            EXPECT_EQ(r.op, ServeOp::Spmv);
+    }
+    // Matrix 0 is the Zipf head: strictly most popular.
+    EXPECT_GT(counts[0], counts[1]);
+    EXPECT_GT(counts[0], counts[2]);
+    EXPECT_GT(counts[0], counts[3]);
+}
+
+TEST(ServePlan, WindowOnePreservesArrivalOrder)
+{
+    std::vector<uint8_t> mask{1, 1, 1};
+    std::vector<ServeRequest> trace = generateTrace(smallTrace(60), mask);
+    std::vector<ServeWorkItem> plan = buildServePlan(trace, 1);
+    ASSERT_EQ(plan.size(), trace.size());
+    std::vector<uint64_t> seq(mask.size(), 0);
+    for (size_t i = 0; i < plan.size(); ++i) {
+        EXPECT_EQ(plan[i].requestIds.size(), 1u);
+        EXPECT_EQ(plan[i].requestIds[0], trace[i].id);
+        EXPECT_EQ(plan[i].matrix, trace[i].matrix);
+        EXPECT_EQ(plan[i].op, trace[i].op);
+        EXPECT_EQ(plan[i].seq, seq[plan[i].matrix]++);
+    }
+}
+
+TEST(ServePlan, CoalescesOnlySameMatrixSpmvWithinWindow)
+{
+    std::vector<uint8_t> mask{1, 1, 1};
+    std::vector<ServeRequest> trace = generateTrace(smallTrace(200), mask);
+    const uint32_t window = 6;
+    std::vector<ServeWorkItem> plan = buildServePlan(trace, window);
+
+    // Every request appears exactly once across the plan.
+    std::vector<int> seen(trace.size(), 0);
+    for (const ServeWorkItem &item : plan) {
+        EXPECT_LE(item.requestIds.size(), size_t(window));
+        if (item.op != ServeOp::Spmv)
+            EXPECT_EQ(item.requestIds.size(), 1u);
+        uint32_t anchor = item.requestIds.front();
+        for (uint32_t id : item.requestIds) {
+            ++seen[id];
+            EXPECT_EQ(trace[id].matrix, item.matrix);
+            if (item.requestIds.size() > 1) {
+                EXPECT_EQ(trace[id].op, ServeOp::Spmv);
+                // Window bound: absorbed ids arrive within window-1 of
+                // the anchor.
+                EXPECT_LT(id - anchor, window);
+            }
+        }
+    }
+    for (size_t i = 0; i < seen.size(); ++i)
+        EXPECT_EQ(seen[i], 1) << "request " << i;
+
+    // The plan is a pure function of (trace, window).
+    std::vector<ServeWorkItem> again = buildServePlan(trace, window);
+    ASSERT_EQ(plan.size(), again.size());
+    for (size_t i = 0; i < plan.size(); ++i) {
+        EXPECT_EQ(plan[i].requestIds, again[i].requestIds);
+        EXPECT_EQ(plan[i].seq, again[i].seq);
+    }
+    // Batching actually happened on this bursty trace.
+    EXPECT_LT(plan.size(), trace.size());
+}
+
+TEST(ServeEquivalence, UnbatchedServeMatchesSerialLoop)
+{
+    std::vector<CsrMatrix> ms = testMatrices();
+    std::vector<ServeRequest> trace =
+        generateTrace(smallTrace(), {1, 1, 1});
+    ServeConfig cfg;
+    cfg.batchWindow = 1;
+    cfg.keepResults = true;
+    cfg.pcgIterations = 4;
+
+    ServeFleet fleet = makeFleet();
+    ServeResult res = serve(fleet, trace, cfg);
+    SerialReference ref(ms, trace, cfg);
+
+    ASSERT_EQ(res.completed, trace.size());
+    for (size_t i = 0; i < trace.size(); ++i)
+        EXPECT_EQ(res.results[i], ref.results[i]) << "request " << i;
+    // Modeled counters match the serial loop engine for engine: the
+    // serving layer added queuing, threads, and locks but changed no
+    // modeled number.
+    for (size_t m = 0; m < ms.size(); ++m) {
+        EXPECT_EQ(fleet.at(m).engine().totalCycles(),
+                  ref.accs[m]->engine().totalCycles());
+        EXPECT_EQ(statDump(fleet.at(m).engine()),
+                  statDump(ref.accs[m]->engine()));
+    }
+}
+
+TEST(ServeEquivalence, BatchedResultsBitIdenticalPerRequest)
+{
+    std::vector<ServeRequest> trace =
+        generateTrace(smallTrace(60), {1, 1, 1});
+    ServeConfig off;
+    off.batchWindow = 1;
+    off.keepResults = true;
+    off.pcgIterations = 4;
+    ServeConfig on = off;
+    on.batchWindow = 8;
+
+    ServeFleet f1 = makeFleet();
+    ServeResult r1 = serve(f1, trace, off);
+    ServeFleet f2 = makeFleet();
+    ServeResult r2 = serve(f2, trace, on);
+
+    EXPECT_LT(r2.workItems, r1.workItems); // coalescing happened
+    for (size_t i = 0; i < trace.size(); ++i)
+        EXPECT_EQ(r1.results[i], r2.results[i]) << "request " << i;
+    // Batching reduces the fleet's modeled cycles (the matrix streams
+    // once per batch) -- that is the serving win, measured, not free.
+    EXPECT_LT(f2.totalCycles(), f1.totalCycles());
+}
+
+TEST(ServeEquivalence, ThreadCountInvariant)
+{
+    std::vector<ServeRequest> trace =
+        generateTrace(smallTrace(60), {1, 1, 1});
+    ServeConfig cfg;
+    cfg.batchWindow = 4;
+    cfg.keepResults = true;
+    cfg.pcgIterations = 4;
+
+    ServeConfig cfg4 = cfg;
+    cfg4.threads = 4;
+    cfg4.queueDepth = 3; // exercise producer back-pressure too
+
+    ServeFleet f1 = makeFleet();
+    ServeResult r1 = serve(f1, trace, cfg);
+    ServeFleet f4 = makeFleet();
+    ServeResult r4 = serve(f4, trace, cfg4);
+
+    EXPECT_EQ(r1.completed, r4.completed);
+    EXPECT_EQ(r1.workItems, r4.workItems);
+    EXPECT_EQ(r1.checksums, r4.checksums);
+    EXPECT_EQ(r1.modeledCycles, r4.modeledCycles);
+    for (size_t i = 0; i < trace.size(); ++i)
+        EXPECT_EQ(r1.results[i], r4.results[i]) << "request " << i;
+    for (size_t m = 0; m < f1.size(); ++m) {
+        EXPECT_EQ(f1.at(m).engine().totalCycles(),
+                  f4.at(m).engine().totalCycles());
+        EXPECT_EQ(statDump(f1.at(m).engine()),
+                  statDump(f4.at(m).engine()));
+    }
+}
+
+TEST(ServeFleetTest, WarmSchedulesCompilesEverythingOnce)
+{
+    ServeFleet fleet = makeFleet();
+    // Three PDE entries x three tables each.
+    EXPECT_EQ(fleet.scheduleCompiles(), 9u);
+    ServeConfig cfg;
+    cfg.pcgIterations = 2;
+    std::vector<ServeRequest> trace =
+        generateTrace(smallTrace(30), fleet.pdeMask());
+    serve(fleet, trace, cfg);
+    // Serving replays the warm schedules; nothing recompiles.
+    EXPECT_EQ(fleet.scheduleCompiles(), 9u);
+}
+
+TEST(ServeFleetTest, CacheRoundTripThroughDirectory)
+{
+    std::string dir = ::testing::TempDir() + "serve_caches";
+    std::filesystem::create_directories(dir);
+
+    ServeFleet cold = makeFleet();
+    EXPECT_EQ(cold.saveScheduleCaches(dir), cold.size());
+
+    ServeFleet warm;
+    std::vector<CsrMatrix> ms = testMatrices();
+    for (size_t i = 0; i < ms.size(); ++i)
+        warm.add("m" + std::to_string(i), ms[i], true);
+    EXPECT_EQ(warm.restoreScheduleCaches(dir), warm.size());
+    warm.warmSchedules();
+    EXPECT_EQ(warm.scheduleCompiles(), 0u) << "warm start compiled";
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ServeConcurrency, RequestQueueBoundsAndDrains)
+{
+    RequestQueue<int> q(2);
+    EXPECT_TRUE(q.tryPush(1));
+    EXPECT_TRUE(q.tryPush(2));
+    EXPECT_FALSE(q.tryPush(3)) << "capacity must bound admissions";
+    EXPECT_EQ(q.size(), 2u);
+
+    int v = 0;
+    EXPECT_TRUE(q.pop(v));
+    EXPECT_EQ(v, 1);
+    EXPECT_TRUE(q.push(3));
+    q.close();
+    EXPECT_FALSE(q.push(4)) << "closed queue must refuse admissions";
+    EXPECT_TRUE(q.pop(v));
+    EXPECT_EQ(v, 2);
+    EXPECT_TRUE(q.pop(v));
+    EXPECT_EQ(v, 3) << "pending items drain after close";
+    EXPECT_FALSE(q.pop(v)) << "drained + closed pops false";
+}
+
+TEST(ServeConcurrency, ProducersAndConsumersSeeEveryItem)
+{
+    RequestQueue<int> q(4);
+    constexpr int kItems = 2000;
+    std::atomic<long> sum{0};
+    std::atomic<int> count{0};
+
+    std::vector<std::thread> consumers;
+    for (int t = 0; t < 3; ++t) {
+        consumers.emplace_back([&] {
+            int v;
+            while (q.pop(v)) {
+                sum += v;
+                ++count;
+            }
+        });
+    }
+    std::vector<std::thread> producers;
+    for (int t = 0; t < 2; ++t) {
+        producers.emplace_back([&, t] {
+            for (int i = t; i < kItems; i += 2)
+                ASSERT_TRUE(q.push(i));
+        });
+    }
+    for (auto &t : producers)
+        t.join();
+    q.close();
+    for (auto &t : consumers)
+        t.join();
+
+    EXPECT_EQ(count.load(), kItems);
+    EXPECT_EQ(sum.load(), long(kItems) * (kItems - 1) / 2);
+}
+
+TEST(ServeConcurrency, ParallelScheduleLookupsAreSafe)
+{
+    // Many threads hammer prepareSchedule() on one programmed engine:
+    // the cache mutex must serialize the MRU reorder (this test runs
+    // under TSan in CI) and exactly one compile must happen.
+    Rng rng(17);
+    CsrMatrix a = gen::randomSpd(64, 5, rng);
+    auto ld = LocallyDenseMatrix::encode(a, 8, LdLayout::Plain);
+    auto table = ConfigTable::convert(KernelType::SpMV, ld);
+
+    AccelParams params;
+    params.omega = 8;
+    Engine e(params);
+    e.program(&ld, &table);
+
+    std::vector<std::thread> threads;
+    std::atomic<int> nulls{0};
+    for (int t = 0; t < 8; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < 50; ++i) {
+                if (!e.prepareSchedule())
+                    ++nulls;
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(nulls.load(), 0);
+    EXPECT_EQ(e.scheduleCompiles(), 1u);
+    EXPECT_EQ(e.cachedSchedules(), 1u);
+}

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * alr_serve: program-once/run-many serving driver.
+ *
+ * Load a fleet of matrices, warm (or restore from --cache-dir) their
+ * compiled schedules, then drain a replayable Zipf request trace of
+ * mixed SpMV/SymGS/PCG ops across worker threads, coalescing
+ * same-matrix SpMV requests into SpMM batches.  Examples:
+ *
+ *   alr_serve --fleet 6 --requests 2000 --batch-window 8 --threads 4
+ *   alr_serve --fleet 6 --cache-dir /tmp/fleet    # cold: compiles+saves
+ *   alr_serve --fleet 6 --cache-dir /tmp/fleet    # warm: zero compiles
+ *   alr_serve --fleet 4 --zipf 1.2 --burstiness 0.7 --json
+ *
+ * The JSON document reports schedule_compiles_warm (0 on a warm start
+ * -- the CI cold-vs-warm step asserts exactly that), the batch-size
+ * histogram, and p50/p95/p99 request latency.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "alrescha/serve.hh"
+#include "common/logging.hh"
+#include "common/version.hh"
+#include "datasets/suites.hh"
+
+using namespace alr;
+
+namespace {
+
+struct Options
+{
+    int fleet = 4;
+    Index scale = 1;
+    TraceParams trace;
+    ServeConfig cfg;
+    std::string cacheDir;
+    int scheduleCache = 0;
+    Index omega = 8;
+    bool json = false;
+};
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: alr_serve [--fleet N] [--scale N] [--omega N]\n"
+        "                 [--requests N] [--zipf S] [--seed X]\n"
+        "                 [--burstiness P] [--threads N]\n"
+        "                 [--batch-window N] [--queue N] [--pcg-iters N]\n"
+        "                 [--schedule-cache N] [--cache-dir DIR] [--json]\n"
+        "  --fleet N          serve the first N scientific-suite matrices\n"
+        "  --scale N          dataset scale multiplier\n"
+        "  --requests N       trace length (default 1000)\n"
+        "  --zipf S           matrix-popularity Zipf exponent (default 1)\n"
+        "  --burstiness P     P(next request repeats the previous matrix)\n"
+        "  --threads N        worker threads draining the queue\n"
+        "  --batch-window N   SpMV coalescing window / max batch size\n"
+        "                     (<= 1 disables batching)\n"
+        "  --queue N          bounded admission-queue depth\n"
+        "  --schedule-cache N engine schedule-cache capacity per matrix\n"
+        "  --cache-dir DIR    restore <DIR>/<name>.sched before warming,\n"
+        "                     save refreshed caches after (a second run\n"
+        "                     against the same DIR warm-starts with zero\n"
+        "                     schedule compiles)\n"
+        "  --json             emit one JSON document on stdout\n");
+    std::exit(2);
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--fleet") {
+            opt.fleet = std::atoi(next().c_str());
+            if (opt.fleet <= 0)
+                usage();
+        } else if (arg == "--scale") {
+            opt.scale = Index(std::atoi(next().c_str()));
+            if (opt.scale == 0)
+                usage();
+        } else if (arg == "--omega") {
+            opt.omega = Index(std::atoi(next().c_str()));
+            if (opt.omega == 0)
+                usage();
+        } else if (arg == "--requests") {
+            opt.trace.requests = uint32_t(std::atol(next().c_str()));
+        } else if (arg == "--zipf") {
+            opt.trace.zipfS = std::atof(next().c_str());
+        } else if (arg == "--seed") {
+            opt.trace.seed = uint64_t(std::atoll(next().c_str()));
+        } else if (arg == "--burstiness") {
+            opt.trace.burstiness = std::atof(next().c_str());
+        } else if (arg == "--threads") {
+            opt.cfg.threads = std::atoi(next().c_str());
+            if (opt.cfg.threads <= 0)
+                usage();
+        } else if (arg == "--batch-window") {
+            opt.cfg.batchWindow = uint32_t(std::atoi(next().c_str()));
+        } else if (arg == "--queue") {
+            opt.cfg.queueDepth = size_t(std::atol(next().c_str()));
+            if (opt.cfg.queueDepth == 0)
+                usage();
+        } else if (arg == "--pcg-iters") {
+            opt.cfg.pcgIterations = std::atoi(next().c_str());
+            if (opt.cfg.pcgIterations <= 0)
+                usage();
+        } else if (arg == "--schedule-cache") {
+            opt.scheduleCache = std::atoi(next().c_str());
+            if (opt.scheduleCache <= 0)
+                usage();
+        } else if (arg == "--cache-dir") {
+            opt.cacheDir = next();
+        } else if (arg == "--json") {
+            opt.json = true;
+        } else {
+            usage();
+        }
+    }
+    return opt;
+}
+
+void
+jnum(std::ostream &os, const char *fmt, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), fmt, v);
+    os << buf;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parse(argc, argv);
+
+    AccelParams params;
+    params.omega = opt.omega;
+    // A fleet entry replays up to three schedules (SpMV + both SymGS
+    // sweeps); make sure the default capacity covers them all so
+    // serving never thrashes the cache.
+    params.scheduleCacheCapacity =
+        opt.scheduleCache > 0 ? opt.scheduleCache : 8;
+
+    ServeFleet fleet(params);
+    std::vector<Dataset> suite = scientificSuite(opt.scale);
+    if (size_t(opt.fleet) > suite.size())
+        fatal("--fleet %d exceeds the %zu scientific-suite matrices",
+              opt.fleet, suite.size());
+    for (int i = 0; i < opt.fleet; ++i)
+        fleet.add(suite[size_t(i)].name, suite[size_t(i)].matrix, true);
+
+    size_t restored = 0;
+    if (!opt.cacheDir.empty())
+        restored = fleet.restoreScheduleCaches(opt.cacheDir);
+
+    uint64_t compilesBefore = fleet.scheduleCompiles();
+    fleet.warmSchedules();
+    uint64_t warmCompiles = fleet.scheduleCompiles() - compilesBefore;
+
+    if (!opt.cacheDir.empty())
+        fleet.saveScheduleCaches(opt.cacheDir);
+
+    std::vector<ServeRequest> trace =
+        generateTrace(opt.trace, fleet.pdeMask());
+    ServeResult res = serve(fleet, trace, opt.cfg);
+
+    uint64_t evictions = 0;
+    for (size_t i = 0; i < fleet.size(); ++i)
+        evictions += fleet.at(i).engine().scheduleEvictions();
+
+    if (opt.json) {
+        std::ostream &os = std::cout;
+        os << "{\n";
+        os << "  \"fleet\": " << fleet.size() << ",\n";
+        os << "  \"requests\": " << trace.size() << ",\n";
+        os << "  \"completed\": " << res.completed << ",\n";
+        os << "  \"work_items\": " << res.workItems << ",\n";
+        os << "  \"batch_window\": " << opt.cfg.batchWindow << ",\n";
+        os << "  \"threads\": " << opt.cfg.threads << ",\n";
+        os << "  \"schedules_restored\": " << restored << ",\n";
+        os << "  \"schedule_compiles_warm\": " << warmCompiles << ",\n";
+        os << "  \"schedule_compiles_total\": " << fleet.scheduleCompiles()
+           << ",\n";
+        os << "  \"schedule_evictions\": " << evictions << ",\n";
+        os << "  \"modeled_cycles\": " << fleet.totalCycles() << ",\n";
+        os << "  \"wall_ms\": ";
+        jnum(os, "%.3f", res.wallMs);
+        os << ",\n  \"requests_per_sec\": ";
+        jnum(os, "%.1f", res.requestsPerSec);
+        os << ",\n  \"latency_ns\": {\"p50\": ";
+        jnum(os, "%.0f", res.latencyNs.percentile(50));
+        os << ", \"p95\": ";
+        jnum(os, "%.0f", res.latencyNs.percentile(95));
+        os << ", \"p99\": ";
+        jnum(os, "%.0f", res.latencyNs.percentile(99));
+        os << "},\n  \"batch_size\": {\"batches\": "
+           << res.batchSize.count() << ", \"mean\": ";
+        jnum(os, "%.3f", res.batchSize.mean());
+        os << ", \"max\": ";
+        jnum(os, "%.0f", res.batchSize.max());
+        os << "},\n  \"version\": {\"git\": \"" << version::gitDescribe()
+           << "\"}\n";
+        os << "}\n";
+        std::cout.flush();
+    } else {
+        std::printf("fleet: %zu matrices (scale %u, omega %u)\n",
+                    fleet.size(), opt.scale, opt.omega);
+        for (size_t i = 0; i < fleet.size(); ++i)
+            std::printf("  [%zu] %-16s %u x %u, %u nnz\n", i,
+                        fleet.nameOf(i).c_str(), fleet.at(i).matrix().rows(),
+                        fleet.at(i).matrix().rows(),
+                        suite[i].matrix.nnz());
+        if (!opt.cacheDir.empty())
+            std::printf("schedule caches: %zu restored from %s\n", restored,
+                        opt.cacheDir.c_str());
+        std::printf("warm-up: %llu schedule compiles%s\n",
+                    (unsigned long long)warmCompiles,
+                    warmCompiles == 0 ? " (warm start)" : "");
+        std::printf("trace: %zu requests, zipf %.2f, burstiness %.2f, "
+                    "seed %llu\n",
+                    trace.size(), opt.trace.zipfS, opt.trace.burstiness,
+                    (unsigned long long)opt.trace.seed);
+        std::printf("served %llu requests as %llu work items "
+                    "(window %u, %d threads)\n",
+                    (unsigned long long)res.completed,
+                    (unsigned long long)res.workItems, opt.cfg.batchWindow,
+                    opt.cfg.threads);
+        std::printf("  %.1f req/s, wall %.1f ms\n", res.requestsPerSec,
+                    res.wallMs);
+        std::printf("  latency p50 %.0f us, p95 %.0f us, p99 %.0f us\n",
+                    res.latencyNs.percentile(50) / 1e3,
+                    res.latencyNs.percentile(95) / 1e3,
+                    res.latencyNs.percentile(99) / 1e3);
+        if (res.batchSize.count())
+            std::printf("  spmv batches: %llu, mean size %.2f, max %.0f\n",
+                        (unsigned long long)res.batchSize.count(),
+                        res.batchSize.mean(), res.batchSize.max());
+        std::printf("  modeled cycles %llu, evictions %llu\n",
+                    (unsigned long long)fleet.totalCycles(),
+                    (unsigned long long)evictions);
+    }
+    return 0;
+}

@@ -72,6 +72,7 @@ struct Options
     int maxIterations = 500;
     int threads = 0;
     int engineThreads = 0;
+    int scheduleCache = 0;
 };
 
 void
@@ -87,7 +88,7 @@ usage()
         "               [--profile F.json] [--profile-csv F.csv]\n"
         "               [--profile-folded F.folded]\n"
         "               [--iters N] [--threads N] [--engine-threads N]\n"
-        "               [--parallel-timing]\n"
+        "               [--parallel-timing] [--schedule-cache N]\n"
         "               [--save F.alr] [--trace F.log] [--no-schedule]\n"
         "               [--simd MODE] [--version]\n"
         "  SPEC: stencil2d:N | stencil3d:N | banded:N | rmat:SCALE |\n"
@@ -109,6 +110,8 @@ usage()
         "                    --simd scalar)\n"
         "  --parallel-timing partitioned timing walk on the engine\n"
         "                    threads (bit-identical to the serial walk)\n"
+        "  --schedule-cache  compiled-schedule MRU cache capacity\n"
+        "                    (default 8; evictions recompile)\n"
         "  --version         print build provenance and exit\n");
     std::exit(2);
 }
@@ -193,6 +196,10 @@ parse(int argc, char **argv)
         } else if (arg == "--engine-threads") {
             opt.engineThreads = std::atoi(next().c_str());
             if (opt.engineThreads <= 0)
+                usage();
+        } else if (arg == "--schedule-cache") {
+            opt.scheduleCache = std::atoi(next().c_str());
+            if (opt.scheduleCache <= 0)
                 usage();
         } else if (arg == "--parallel-timing") {
             opt.parallelTiming = true;
@@ -479,6 +486,8 @@ main(int argc, char **argv)
     // the serial walk at any thread count (ALR_PARALLEL_TIMING=1 is
     // the environment equivalent).
     params.parallelTiming = opt.parallelTiming;
+    if (opt.scheduleCache > 0)
+        params.scheduleCacheCapacity = opt.scheduleCache;
     Accelerator acc(params);
 
     // Periodic stat snapshots: the engine samples after each run once
