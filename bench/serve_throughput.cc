@@ -12,6 +12,8 @@
 
 #include "alrescha/serve.hh"
 #include "bench/bench_util.hh"
+#include "common/metrics.hh"
+#include "common/timeline.hh"
 
 using namespace alr;
 using namespace alr::bench;
@@ -54,6 +56,45 @@ runPass(const std::vector<Dataset> &suite, const TraceParams &tp,
 
     Pass p;
     p.res = serve(fleet, trace, cfg);
+    p.cycles = fleet.totalCycles();
+    p.compiles = fleet.scheduleCompiles();
+    for (size_t i = 0; i < fleet.size(); ++i) {
+        p.bytes += fleet.at(i).engine().memory().bytesStreamed();
+        p.evictions += fleet.at(i).engine().scheduleEvictions();
+    }
+    return p;
+}
+
+/** The batched SpMV pass again with the full serve observability
+ *  surface live -- request-plane tracing (pid-masked to the host and
+ *  serve planes, exactly as alr_serve configures it) plus a bound
+ *  metrics registry.  The zero-perturbation contract says the modeled
+ *  outputs must be bit-identical to the untraced pass and the wall
+ *  overhead modest; main() gates both. */
+Pass
+runObservedPass(const std::vector<Dataset> &suite, const TraceParams &tp,
+                uint32_t batch_window, metrics::Registry &registry)
+{
+    ServeFleet fleet = makeFleet(suite);
+    std::vector<ServeRequest> trace = generateTrace(tp, fleet.pdeMask());
+    ServeConfig cfg;
+    cfg.threads = 1;
+    cfg.batchWindow = batch_window;
+    cfg.pcgIterations = 8;
+    cfg.metrics = &registry;
+
+    timeline::reset();
+    timeline::setPidMask((1u << timeline::kPidHost) |
+                         (1u << timeline::kPidServe));
+    timeline::setEnabled(true);
+
+    Pass p;
+    p.res = serve(fleet, trace, cfg);
+
+    timeline::setEnabled(false);
+    timeline::setPidMask(~0u);
+    timeline::reset();
+
     p.cycles = fleet.totalCycles();
     p.compiles = fleet.scheduleCompiles();
     for (size_t i = 0; i < fleet.size(); ++i) {
@@ -132,9 +173,40 @@ main()
     Pass off = runPass(suite, spmvTrace, 1);
     Pass on = runPass(suite, spmvTrace, 8);
     Pass mixed = runPass(suite, mixedTrace, 8);
+    metrics::Registry registry;
+    Pass obs = runObservedPass(suite, spmvTrace, 8, registry);
 
     double speedup =
         off.res.wallMs > 0.0 ? off.res.wallMs / on.res.wallMs : 0.0;
+
+    // Zero-perturbation gate (hard): the observed pass replays the
+    // same trace, so every per-request checksum, every per-request
+    // modeled cycle count, and the fleet cycle total must be
+    // bit-identical with observability on.
+    if (obs.res.checksums != on.res.checksums ||
+        obs.res.modeledCycles != on.res.modeledCycles ||
+        obs.cycles != on.cycles) {
+        std::printf("ERROR: observability perturbed the modeled "
+                    "results (checksums/cycles differ)\n");
+        return 1;
+    }
+    double done = 0.0;
+    if (!registry.lookup("serve_requests_completed", {}, &done) ||
+        uint64_t(done) != obs.res.completed) {
+        std::printf("ERROR: metrics registry completed=%g, drain "
+                    "completed=%llu\n", done,
+                    (unsigned long long)obs.res.completed);
+        return 1;
+    }
+
+    // Wall overhead of tracing + live metrics on the serve path.  The
+    // headline target is a few percent; the hard gate is generous
+    // (same 25%% bound abl_schedule uses for the timeline) so a noisy
+    // single-core CI runner cannot flake it.
+    double overhead =
+        on.res.wallMs > 0.0
+            ? (obs.res.wallMs - on.res.wallMs) / on.res.wallMs
+            : 0.0;
 
     Table table({"pass", "req/s", "work items", "mean batch",
                  "modeled Mcyc", "p95 us"});
@@ -150,20 +222,30 @@ main()
     addRow("spmv batch off", off);
     addRow("spmv batch on", on);
     addRow("mixed batch on", mixed);
+    addRow("spmv batch on +obs", obs);
     table.print();
     std::printf("\nbatching speedup (single-thread wall): %.2fx\n",
                 speedup);
+    std::printf("observability overhead (tracing + metrics): %.1f%%\n",
+                overhead * 100.0);
+    if (overhead > 0.25) {
+        std::printf("ERROR: serve-path observability overhead %.1f%% "
+                    "exceeds the 25%% gate\n", overhead * 100.0);
+        return 1;
+    }
 
     JsonArray rows;
     rows.add(rowOf("spmv_batch_off", off), 2);
     rows.add(rowOf("spmv_batch_on", on), 2);
     rows.add(rowOf("mixed", mixed), 2);
+    rows.add(rowOf("spmv_batch_on_observed", obs), 2);
 
     JsonObject root;
     root.add("bench", "serve_throughput")
         .add("fleet", kFleet)
         .raw("datasets", rows.dump(2))
         .add("batch_speedup_wall", speedup)
+        .add("observability_overhead_wall", overhead)
         .raw("batch_size_histogram", histogramJson(on.res.batchSize));
     writeJsonFile("BENCH_serve.json", root);
 

@@ -1,12 +1,14 @@
 #include "alrescha/serve.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <thread>
 
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "common/request_queue.hh"
+#include "common/timeline.hh"
 
 namespace alr {
 
@@ -225,6 +227,48 @@ struct QueuedItem
     std::chrono::steady_clock::time_point admitted;
 };
 
+/** Request-plane metric handles, registered once before the workers
+ *  start so the hot path never takes the registry lock. */
+struct ServeMetrics
+{
+    metrics::Counter *completed = nullptr;
+    metrics::Histogram *latencyUs = nullptr;
+    metrics::Histogram *queueWaitUs = nullptr;
+    metrics::Histogram *batchSize = nullptr;
+    metrics::Gauge *queueDepth = nullptr;
+    std::vector<metrics::Histogram *> latencyPerMatrix;
+
+    void bind(metrics::Registry &reg, const ServeFleet &fleet)
+    {
+        completed = &reg.counter("serve_requests_completed",
+                                 "requests drained to completion");
+        latencyUs = &reg.histogram(
+            "serve_latency_us",
+            "admission-to-completion wall latency per request, us");
+        queueWaitUs = &reg.histogram(
+            "serve_queue_wait_us",
+            "admission-to-dequeue wall wait per request, us");
+        batchSize = &reg.histogram(
+            "serve_batch_size",
+            "coalesced requests per executed SpMV batch");
+        queueDepth = &reg.gauge("serve_queue_depth",
+                                "admission-queue depth right now");
+        latencyPerMatrix.reserve(fleet.size());
+        for (size_t i = 0; i < fleet.size(); ++i)
+            latencyPerMatrix.push_back(&reg.histogram(
+                "serve_latency_us",
+                "admission-to-completion wall latency per request, us",
+                {{"matrix", fleet.nameOf(i)}}));
+    }
+};
+
+double
+usBetween(std::chrono::steady_clock::time_point a,
+          std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
 } // namespace
 
 ServeResult
@@ -234,16 +278,36 @@ serve(ServeFleet &fleet, const std::vector<ServeRequest> &trace,
     ServeResult res;
     res.checksums.assign(trace.size(), 0.0);
     res.modeledCycles.assign(trace.size(), 0.0);
+    res.latencyUs.assign(trace.size(), 0.0);
+    res.queueWaitUs.assign(trace.size(), 0.0);
     if (cfg.keepResults)
         res.results.resize(trace.size());
 
+    // Request-plane track names + plan span.  Everything below guards
+    // on timeline::enabled() per item, so a run with tracing off pays
+    // exactly one relaxed atomic load per site and records nothing.
+    if (timeline::enabled())
+        for (size_t i = 0; i < fleet.size(); ++i)
+            timeline::setTrackName(
+                timeline::kPidServe,
+                timeline::kTidServeAccBase + uint32_t(i), fleet.nameOf(i));
+
+    uint64_t planStartUs = timeline::enabled() ? timeline::hostNowUs() : 0;
     std::vector<ServeWorkItem> plan =
         buildServePlan(trace, cfg.batchWindow);
     res.workItems = plan.size();
+    if (timeline::enabled())
+        timeline::hostSpan("plan", "serve", planStartUs,
+                           timeline::hostNowUs());
+
+    ServeMetrics sm;
+    if (cfg.metrics != nullptr)
+        sm.bind(*cfg.metrics, fleet);
 
     RequestQueue<QueuedItem> queue(cfg.queueDepth);
     int threads = std::max(1, cfg.threads);
     std::mutex tallyMutex;
+    std::atomic<int64_t> inFlight{0};
     auto start = std::chrono::steady_clock::now();
 
     auto runItem = [&](const ServeWorkItem &item, WorkerTally &tally) {
@@ -256,8 +320,17 @@ serve(ServeFleet &fleet, const std::vector<ServeRequest> &trace,
         // on this accelerator, and the sequence check replays them in
         // plan order at any thread count (modeled counters depend on
         // run order via the cache and RCU switch state).
+        const bool tracing = timeline::enabled();
+        uint64_t gateUs = tracing ? timeline::hostNowUs() : 0;
         std::unique_lock<std::mutex> lock(entry.mutex);
         entry.turn.wait(lock, [&] { return entry.nextSeq == item.seq; });
+
+        uint64_t replayUs = 0;
+        if (tracing) {
+            replayUs = timeline::hostNowUs();
+            timeline::hostSpan("gate", "serve", gateUs, replayUs);
+            timeline::serveCounter("batch_occupancy", replayUs, double(k));
+        }
 
         uint64_t before = acc.engine().totalCycles();
         if (item.op == ServeOp::Spmv && k > 1) {
@@ -300,6 +373,21 @@ serve(ServeFleet &fleet, const std::vector<ServeRequest> &trace,
         entry.turn.notify_all();
         lock.unlock();
 
+        if (tracing) {
+            uint64_t endUs = timeline::hostNowUs();
+            const char *opName =
+                item.op == ServeOp::Spmv && k > 1 ? "spmv-batch"
+                                                  : toString(item.op);
+            // Same replay window on two tracks: the worker that ran it
+            // (host process) and the accelerator it ran on (serve
+            // process) -- per-worker and per-accelerator views of one
+            // request plane.
+            timeline::hostSpan(opName, "serve", replayUs, endUs);
+            timeline::serveSpan(opName, "serve",
+                                timeline::kTidServeAccBase + item.matrix,
+                                replayUs, endUs);
+        }
+
         // Batched latency attribution: the batch's modeled cycles
         // divide evenly across its coalesced requests
         // (docs/MODELING.md); wall latency is shared, not divided.
@@ -315,14 +403,48 @@ serve(ServeFleet &fleet, const std::vector<ServeRequest> &trace,
         WorkerTally tally;
         QueuedItem qi;
         while (queue.pop(qi)) {
+            auto dequeued = std::chrono::steady_clock::now();
+            if (timeline::enabled()) {
+                uint64_t nowUs = timeline::hostNowUs();
+                timeline::serveCounter("queue_depth", nowUs,
+                                       double(queue.size()));
+                timeline::serveCounter(
+                    "in_flight", nowUs,
+                    double(inFlight.fetch_add(1,
+                                              std::memory_order_relaxed) +
+                           1));
+            }
             runItem(qi.work, tally);
-            double ns = double(std::chrono::duration_cast<
-                                   std::chrono::nanoseconds>(
-                                   std::chrono::steady_clock::now() -
-                                   qi.admitted)
-                                   .count());
-            for (size_t j = 0; j < qi.work.requestIds.size(); ++j)
+            auto done = std::chrono::steady_clock::now();
+            if (timeline::enabled())
+                timeline::serveCounter(
+                    "in_flight", timeline::hostNowUs(),
+                    double(inFlight.fetch_sub(1,
+                                              std::memory_order_relaxed) -
+                           1));
+
+            // Exact per-request samples: a coalesced request shares its
+            // batch's wall clock (the batch is one replay).  Distinct
+            // ids index a preallocated vector, so workers never race.
+            const size_t k = qi.work.requestIds.size();
+            double waitUs = usBetween(qi.admitted, dequeued);
+            double e2eUs = usBetween(qi.admitted, done);
+            double ns = e2eUs * 1e3;
+            for (uint32_t id : qi.work.requestIds) {
+                res.queueWaitUs[id] = waitUs;
+                res.latencyUs[id] = e2eUs;
                 tally.latencyNs.sample(ns);
+            }
+            if (sm.completed != nullptr) {
+                sm.completed->add(double(k));
+                for (size_t j = 0; j < k; ++j) {
+                    sm.latencyUs->observe(e2eUs);
+                    sm.queueWaitUs->observe(waitUs);
+                    sm.latencyPerMatrix[qi.work.matrix]->observe(e2eUs);
+                }
+                if (qi.work.op == ServeOp::Spmv)
+                    sm.batchSize->observe(double(k));
+            }
         }
         std::lock_guard<std::mutex> g(tallyMutex);
         res.completed += tally.completed;
@@ -337,8 +459,19 @@ serve(ServeFleet &fleet, const std::vector<ServeRequest> &trace,
 
     // The caller's thread is the dispatcher: admission blocks when the
     // bounded queue is full (back-pressure under a burst).
-    for (ServeWorkItem &item : plan)
+    for (ServeWorkItem &item : plan) {
+        bool tracing = timeline::enabled();
+        uint64_t admitUs = tracing ? timeline::hostNowUs() : 0;
         queue.push({std::move(item), std::chrono::steady_clock::now()});
+        if (tracing) {
+            uint64_t enqueueUs = timeline::hostNowUs();
+            timeline::hostSpan("admit", "serve", admitUs, enqueueUs);
+            timeline::serveCounter("queue_depth", enqueueUs,
+                                   double(queue.size()));
+        }
+        if (sm.queueDepth != nullptr)
+            sm.queueDepth->set(double(queue.size()));
+    }
     queue.close();
     for (std::thread &t : pool)
         t.join();
@@ -349,7 +482,88 @@ serve(ServeFleet &fleet, const std::vector<ServeRequest> &trace,
     res.requestsPerSec =
         res.wallMs > 0.0 ? double(res.completed) / (res.wallMs / 1e3)
                          : 0.0;
+    res.queueHighWater = queue.highWater();
+    res.queueBlockedPushes = queue.blockedPushes();
+    res.queueRejects = queue.rejects();
+
+    // Drain-time registry publication: queue pressure plus per-matrix
+    // engine-side cumulative counters (cheap, and exact at the moment
+    // the stream finished).
+    if (cfg.metrics != nullptr) {
+        metrics::Registry &reg = *cfg.metrics;
+        reg.counter("serve_work_items", "executed plan items (batches)")
+            .add(double(res.workItems));
+        reg.counter("serve_queue_blocked_pushes",
+                    "admissions that blocked on a full queue")
+            .add(double(res.queueBlockedPushes));
+        reg.counter("serve_admission_rejects",
+                    "tryPush admissions shed on a full/closed queue")
+            .add(double(res.queueRejects));
+        reg.gauge("serve_queue_high_water",
+                  "deepest the admission queue has been")
+            .set(double(res.queueHighWater));
+        sm.queueDepth->set(0.0);
+        for (size_t i = 0; i < fleet.size(); ++i) {
+            const Engine &eng = fleet.at(i).engine();
+            metrics::Labels labels = {{"matrix", fleet.nameOf(i)}};
+            reg.gauge("serve_modeled_cycles",
+                      "cumulative modeled cycles on this accelerator",
+                      labels)
+                .set(double(eng.totalCycles()));
+            reg.gauge("serve_modeled_dram_bytes",
+                      "cumulative modeled DRAM traffic, bytes", labels)
+                .set(eng.memory().totalBytes());
+            reg.gauge("serve_schedule_hits",
+                      "schedule-cache hits (incl. warm-start claims)",
+                      labels)
+                .set(double(eng.scheduleHits()));
+            reg.gauge("serve_schedule_compiles",
+                      "schedule compilations", labels)
+                .set(double(eng.scheduleCompiles()));
+            reg.gauge("serve_schedule_evictions",
+                      "schedules evicted from the MRU cache", labels)
+                .set(double(eng.scheduleEvictions()));
+        }
+    }
     return res;
+}
+
+SloReport
+computeSlo(const ServeResult &res, const std::vector<ServeRequest> &trace,
+           const ServeFleet &fleet, double slo_us, double objective)
+{
+    ALR_ASSERT(res.latencyUs.size() == trace.size(),
+               "latency samples do not match the trace");
+    SloReport report;
+    report.sloUs = slo_us;
+    report.objective = objective;
+
+    auto fill = [&](SloBucket &b, std::vector<double> samples) {
+        b.requests = samples.size();
+        if (slo_us > 0.0)
+            for (double v : samples)
+                (v <= slo_us ? b.good : b.bad) += 1;
+        else
+            b.good = b.requests;
+        b.p50 = metrics::exactPercentile(samples, 50.0);
+        b.p95 = metrics::exactPercentile(samples, 95.0);
+        b.p99 = metrics::exactPercentile(samples, 99.0);
+        b.p999 = metrics::exactPercentile(std::move(samples), 99.9);
+    };
+
+    report.total.name = "all";
+    fill(report.total, res.latencyUs);
+
+    std::vector<std::vector<double>> perMatrix(fleet.size());
+    for (const ServeRequest &r : trace)
+        if (r.matrix < perMatrix.size())
+            perMatrix[r.matrix].push_back(res.latencyUs[r.id]);
+    report.perMatrix.resize(fleet.size());
+    for (size_t i = 0; i < fleet.size(); ++i) {
+        report.perMatrix[i].name = fleet.nameOf(i);
+        fill(report.perMatrix[i], std::move(perMatrix[i]));
+    }
+    return report;
 }
 
 } // namespace alr

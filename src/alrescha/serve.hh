@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "alrescha/accelerator.hh"
+#include "common/metrics.hh"
 #include "common/stats.hh"
 
 namespace alr {
@@ -159,6 +160,16 @@ struct ServeConfig
     uint64_t rhsSeed = 7;
     /** Keep full per-request result vectors (equivalence tests). */
     bool keepResults = false;
+    /**
+     * Live metrics sink (nullable).  When set, workers observe queue
+     * wait / end-to-end latency / batch size into the registry as they
+     * complete requests, and serve() publishes queue pressure and
+     * per-matrix engine counters (modeled cycles/bytes, schedule-cache
+     * hits/compiles/evictions) at drain time -- so a watcher sampling
+     * the registry mid-run sees live progress.  Never perturbs modeled
+     * state: the registry only observes values serve() computes anyway.
+     */
+    metrics::Registry *metrics = nullptr;
 };
 
 /** One work item of the deterministic batching plan. */
@@ -200,7 +211,74 @@ struct ServeResult
     std::vector<double> modeledCycles;
     /** Full result vectors, keepResults only (indexed by id). */
     std::vector<DenseVector> results;
+    /** Exact wall-clock admission-to-completion latency per request,
+     *  microseconds, indexed by id (a batch's requests share their
+     *  batch's wall latency).  Feeds exact SLO percentiles -- unlike
+     *  latencyNs, never bucketed. */
+    std::vector<double> latencyUs;
+    /** Exact wall-clock admission-to-dequeue wait per request,
+     *  microseconds, indexed by id. */
+    std::vector<double> queueWaitUs;
+    /** Admission-queue pressure over the drain. */
+    size_t queueHighWater = 0;
+    uint64_t queueBlockedPushes = 0;
+    uint64_t queueRejects = 0;
 };
+
+/** Exact-latency percentile row of an SLO report: the whole stream
+ *  ("all") or one matrix's slice of it. */
+struct SloBucket
+{
+    std::string name;
+    uint64_t requests = 0;
+    /** Requests with latency <= / > the SLO target (good == requests
+     *  when no target was set). */
+    uint64_t good = 0;
+    uint64_t bad = 0;
+    /** Exact percentiles over this slice's latencyUs samples. */
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double p999 = 0.0;
+};
+
+/** SLO accounting over a drained trace's exact latency samples. */
+struct SloReport
+{
+    /** Latency target, us (<= 0: no target; everything counts good). */
+    double sloUs = 0.0;
+    /** Availability objective the burn rate is measured against. */
+    double objective = 0.99;
+    SloBucket total;
+    /** One bucket per fleet entry, fleet order (empty slices kept, so
+     *  rows line up with the fleet). */
+    std::vector<SloBucket> perMatrix;
+
+    double badFraction() const
+    {
+        return total.requests == 0
+                   ? 0.0
+                   : double(total.bad) / double(total.requests);
+    }
+    /** Error-budget burn rate: badFraction / (1 - objective); 1.0
+     *  means exactly consuming the budget, > 1 burning it down. */
+    double burnRate() const
+    {
+        double budget = 1.0 - objective;
+        return budget > 0.0 ? badFraction() / budget : 0.0;
+    }
+};
+
+/**
+ * SLO accounting from exact per-request samples (res.latencyUs --
+ * never the log2-bucketed distribution): good/bad counts against
+ * @p slo_us, burn rate against @p objective, and exact
+ * p50/p95/p99/p99.9 overall and per matrix.
+ */
+SloReport computeSlo(const ServeResult &res,
+                     const std::vector<ServeRequest> &trace,
+                     const ServeFleet &fleet, double slo_us,
+                     double objective = 0.99);
 
 /** The RHS vector served for request @p id: a pure function of
  *  (seed, id, n), so an unbatched reference run can reproduce any

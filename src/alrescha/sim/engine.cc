@@ -104,6 +104,7 @@ Engine::scheduleFor()
         if (i != 0)
             std::rotate(_schedules.begin(), _schedules.begin() + i,
                         _schedules.begin() + i + 1);
+        ++_scheduleHits;
         return _schedules.front().sched.get();
     }
 
@@ -137,6 +138,7 @@ Engine::scheduleFor()
         }
         slot.sched = std::move(r.sched);
         _restored.erase(_restored.begin() + std::ptrdiff_t(i));
+        ++_scheduleHits; // warm-start claim: served without a compile
         break;
     }
     if (!slot.sched) {

@@ -82,6 +82,16 @@ class Engine
      *  to the interpreter's). */
     uint64_t scheduleCompiles() const { return _scheduleCompiles; }
 
+    /** Schedule-cache hits since construction: generation matches plus
+     *  restored-pool promotions (warm-start claims).  Like
+     *  scheduleCompiles, not a registered stat -- the serve metrics
+     *  registry reads it instead. */
+    uint64_t scheduleHits() const
+    {
+        std::lock_guard<std::mutex> lock(_scheduleMutex);
+        return _scheduleHits;
+    }
+
     /** Number of schedules currently cached. */
     size_t cachedSchedules() const
     {
@@ -332,6 +342,7 @@ class Engine
     std::vector<ScheduleSlot> _restored;
     mutable std::mutex _scheduleMutex;
     uint64_t _scheduleCompiles = 0;
+    uint64_t _scheduleHits = 0;
     std::unique_ptr<ThreadPool> _privatePool;
 
     /** Operand staging scratch for the scheduled replay (gather plan):

@@ -29,7 +29,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ostream>
 #include <vector>
+
+#include "common/version.hh"
 
 #include "alrescha/sim/reduce.hh"
 #include "alrescha/sim/replay_isa.hh"
@@ -386,6 +389,15 @@ const char *
 selectedName(SimdMode mode)
 {
     return select(mode)->name;
+}
+
+void
+writeVersionJson(std::ostream &os, SimdMode mode)
+{
+    os << "{\"git\": \"" << version::gitDescribe() << "\", \"simd_build\": \""
+       << version::simdBuild() << "\", \"simd_runtime\": \""
+       << selectedName(mode) << "\", \"omega_specializations\": \""
+       << omegaSpecializations() << "\"}";
 }
 
 void

@@ -6,6 +6,11 @@
  * block until an item arrives or the queue is closed and drained.
  * close() wakes everyone: pending items are still delivered, then
  * pop() returns false -- the shutdown handshake.
+ *
+ * The queue also keeps observability counters under its own lock --
+ * high-water depth, pushes that had to block on a full queue, tryPush
+ * rejections (shed load) -- so the serving metrics registry can report
+ * admission pressure without any extra synchronization.
  */
 
 #ifndef ALR_COMMON_REQUEST_QUEUE_HH
@@ -13,6 +18,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <utility>
@@ -35,12 +41,15 @@ class RequestQueue
     bool push(T item)
     {
         std::unique_lock<std::mutex> lock(_mutex);
+        if (_items.size() >= _capacity && !_closed)
+            ++_blockedPushes; // producer hit back-pressure
         _notFull.wait(lock, [&] {
             return _items.size() < _capacity || _closed;
         });
         if (_closed)
             return false;
         _items.push_back(std::move(item));
+        noteDepth();
         _notEmpty.notify_one();
         return true;
     }
@@ -50,9 +59,12 @@ class RequestQueue
     bool tryPush(T item)
     {
         std::lock_guard<std::mutex> lock(_mutex);
-        if (_closed || _items.size() >= _capacity)
+        if (_closed || _items.size() >= _capacity) {
+            ++_rejects;
             return false;
+        }
         _items.push_back(std::move(item));
+        noteDepth();
         _notEmpty.notify_one();
         return true;
     }
@@ -93,13 +105,43 @@ class RequestQueue
         return _closed;
     }
 
+    /** Deepest the queue has been since construction. */
+    size_t highWater() const
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        return _highWater;
+    }
+
+    /** Pushes that found the queue full and had to block. */
+    uint64_t blockedPushes() const
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        return _blockedPushes;
+    }
+
+    /** tryPush calls rejected (queue full or closed): shed admissions. */
+    uint64_t rejects() const
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        return _rejects;
+    }
+
   private:
+    void noteDepth()
+    {
+        if (_items.size() > _highWater)
+            _highWater = _items.size();
+    }
+
     const size_t _capacity;
     mutable std::mutex _mutex;
     std::condition_variable _notEmpty;
     std::condition_variable _notFull;
     std::deque<T> _items;
     bool _closed = false;
+    size_t _highWater = 0;
+    uint64_t _blockedPushes = 0;
+    uint64_t _rejects = 0;
 };
 
 } // namespace alr

@@ -2,13 +2,19 @@
 
 #include <chrono>
 #include <cstdio>
+#include <map>
 #include <mutex>
+#include <string>
 
 namespace alr::timeline {
 
 namespace detail {
 std::atomic<bool> g_enabled{false};
 } // namespace detail
+
+namespace {
+std::atomic<uint32_t> g_pidMask{~0u};
+} // namespace
 
 namespace {
 
@@ -35,6 +41,22 @@ ring()
 
 std::atomic<uint32_t> g_nextThreadId{1};
 
+/** Dynamic track names ((pid, tid) -> name), emitted as "M" metadata
+ *  at export.  Own mutex: names are export metadata, not events, and
+ *  must survive ring reset()/setCapacity(). */
+struct TrackNames
+{
+    std::mutex mutex;
+    std::map<std::pair<uint32_t, uint32_t>, std::string> names;
+};
+
+TrackNames &
+trackNames()
+{
+    static TrackNames t;
+    return t;
+}
+
 } // namespace
 
 namespace detail {
@@ -42,6 +64,8 @@ namespace detail {
 void
 record(const Event &ev)
 {
+    if ((g_pidMask.load(std::memory_order_relaxed) >> ev.pid & 1u) == 0)
+        return;
     Ring &r = ring();
     std::lock_guard<std::mutex> lock(r.mutex);
     if (r.buf.empty())
@@ -66,6 +90,12 @@ setEnabled(bool on)
             r.epoch = Clock::now();
     }
     detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void
+setPidMask(uint32_t mask)
+{
+    g_pidMask.store(mask, std::memory_order_relaxed);
 }
 
 void
@@ -133,6 +163,14 @@ hostThreadId()
     return id;
 }
 
+void
+setTrackName(uint32_t pid, uint32_t tid, const std::string &name)
+{
+    TrackNames &t = trackNames();
+    std::lock_guard<std::mutex> lock(t.mutex);
+    t.names[{pid, tid}] = name;
+}
+
 namespace {
 
 void
@@ -180,6 +218,17 @@ exportChromeTrace(std::ostream &os)
     metaEvent(os, kPidModeled, int(kTidChain), "thread_name",
               "d-symgs chain", first);
     metaEvent(os, kPidHost, -1, "process_name", "host (wall clock)", first);
+    metaEvent(os, kPidServe, -1, "process_name",
+              "serve (request plane, wall clock)", first);
+    metaEvent(os, kPidServe, int(kTidServeCounters), "thread_name",
+              "serve counters", first);
+    {
+        TrackNames &t = trackNames();
+        std::lock_guard<std::mutex> lock(t.mutex);
+        for (const auto &[key, name] : t.names)
+            metaEvent(os, key.first, int(key.second), "thread_name",
+                      name.c_str(), first);
+    }
 
     for (const Event &ev : events()) {
         os << ",\n    {\"ph\": \"";

@@ -32,13 +32,16 @@
 #include <atomic>
 #include <cstdint>
 #include <ostream>
+#include <string>
 #include <vector>
 
 namespace alr::timeline {
 
-/** Chrome "process" ids: modeled-cycle clock vs host wall clock. */
+/** Chrome "process" ids: modeled-cycle clock vs host wall clock, plus
+ *  the serving request plane (wall clock, one track per accelerator). */
 constexpr uint32_t kPidModeled = 1;
 constexpr uint32_t kPidHost = 2;
+constexpr uint32_t kPidServe = 3;
 
 /** Fixed tracks ("threads") inside the modeled process. */
 constexpr uint32_t kTidDataPath = 1;
@@ -50,6 +53,13 @@ constexpr uint32_t kTidCounters = 5;
  *  paper's overlap claim), so they get their own track instead of
  *  producing partially-overlapping slices on the data-path track. */
 constexpr uint32_t kTidChain = 6;
+
+/** Fixed tracks inside the serve process: counters (queue depth,
+ *  in-flight, batch occupancy) on track 1, per-accelerator request
+ *  tracks from kTidServeAccBase + fleet index (named at runtime via
+ *  setTrackName). */
+constexpr uint32_t kTidServeCounters = 1;
+constexpr uint32_t kTidServeAccBase = 16;
 
 /** One recorded event.  Name/category must be string literals (the
  *  recorder stores the pointers, not copies). */
@@ -82,6 +92,17 @@ enabled()
 /** Start/stop capturing.  Enabling (re)starts the host clock epoch. */
 void setEnabled(bool on);
 
+/**
+ * Restrict recording to the processes whose bit (1 << pid) is set in
+ * @p mask (default: all).  alr_serve records only the request plane
+ * ((1 << kPidHost) | (1 << kPidServe)): a drain replays the engine
+ * hundreds of times, and the modeled events of every replay would
+ * otherwise flood the ring and bury the request story.  Filtering
+ * happens inside record(), after the enabled() fast path, so runs with
+ * tracing off still pay exactly one relaxed atomic load per site.
+ */
+void setPidMask(uint32_t mask);
+
 /** Resize the ring buffer (discards recorded events).  Default 1<<18. */
 void setCapacity(size_t events);
 
@@ -99,6 +120,16 @@ uint64_t hostNowUs();
 
 /** Stable small integer id for the calling host thread. */
 uint32_t hostThreadId();
+
+/**
+ * Name a dynamic track (pid, tid) for the exported trace: serve-plane
+ * accelerator tracks carry their fleet entry's matrix name.  The name
+ * is copied (unlike event names, which must be literals); re-setting
+ * overwrites.  Works whether or not the recorder is enabled -- track
+ * names are export metadata, not events, so they do not consume ring
+ * capacity and survive reset().
+ */
+void setTrackName(uint32_t pid, uint32_t tid, const std::string &name);
 
 /**
  * Record a complete span [ts, ts+dur) on a modeled track.  No-op when
@@ -135,6 +166,34 @@ hostSpan(const char *name, const char *cat, uint64_t start_us,
     detail::record({name, cat, start_us,
                     end_us > start_us ? end_us - start_us : 0, 0.0,
                     kPidHost, hostThreadId(), Event::Kind::Span});
+}
+
+/**
+ * Record a wall-clock span on a serve-plane track (request lifecycle:
+ * queue wait, batch runs per accelerator).  Timestamps share the host
+ * clock (hostNowUs), so worker tracks and accelerator tracks line up
+ * in Perfetto.
+ */
+inline void
+serveSpan(const char *name, const char *cat, uint32_t tid,
+          uint64_t start_us, uint64_t end_us)
+{
+    if (!enabled())
+        return;
+    detail::record({name, cat, start_us,
+                    end_us > start_us ? end_us - start_us : 0, 0.0,
+                    kPidServe, tid, Event::Kind::Span});
+}
+
+/** Record a counter sample on the serve counter track (queue depth,
+ *  in-flight requests, batch occupancy). */
+inline void
+serveCounter(const char *name, uint64_t ts_us, double value)
+{
+    if (!enabled())
+        return;
+    detail::record({name, "counter", ts_us, 0, value, kPidServe,
+                    kTidServeCounters, Event::Kind::Counter});
 }
 
 /**

@@ -4,7 +4,9 @@
  * and the deterministic PRNG.
  */
 
+#include <cmath>
 #include <sstream>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -167,6 +169,49 @@ TEST(Rng, BernoulliTracksProbability)
     for (int i = 0; i < n; ++i)
         hits += rng.nextBool(0.3);
     EXPECT_NEAR(double(hits) / n, 0.3, 0.02);
+}
+
+TEST(Zipf, RankFrequencySlopeTracksTheExponent)
+{
+    // P(k) ~ 1/(k+1)^s, so log(freq) vs log(rank+1) is a line of
+    // slope -s.  Fit it over the head ranks (plenty of mass there;
+    // the tail is sampling noise) for two skews on either side of 1.
+    for (double s : {0.8, 1.2}) {
+        Rng rng(99);
+        ZipfSampler zipf(64, s);
+        std::vector<uint64_t> freq(zipf.n(), 0);
+        constexpr int kDraws = 200000;
+        for (int i = 0; i < kDraws; ++i)
+            ++freq[zipf.sample(rng)];
+
+        constexpr int kHead = 16;
+        double sx = 0, sy = 0, sxx = 0, sxy = 0;
+        for (int k = 0; k < kHead; ++k) {
+            ASSERT_GT(freq[k], 0u) << "s=" << s << " rank " << k;
+            double x = std::log(double(k + 1));
+            double y = std::log(double(freq[k]));
+            sx += x;
+            sy += y;
+            sxx += x * x;
+            sxy += x * y;
+        }
+        double slope =
+            (kHead * sxy - sx * sy) / (kHead * sxx - sx * sx);
+        EXPECT_NEAR(slope, -s, 0.12) << "s=" << s;
+    }
+}
+
+TEST(Zipf, ZeroExponentIsUniform)
+{
+    Rng rng(7);
+    ZipfSampler zipf(16, 0.0);
+    std::vector<uint64_t> freq(zipf.n(), 0);
+    constexpr int kDraws = 160000;
+    for (int i = 0; i < kDraws; ++i)
+        ++freq[zipf.sample(rng)];
+    for (uint32_t k = 0; k < zipf.n(); ++k)
+        EXPECT_NEAR(double(freq[k]) / kDraws, 1.0 / zipf.n(), 0.01)
+            << "rank " << k;
 }
 
 } // namespace

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <sstream>
 #include <thread>
@@ -19,6 +20,7 @@
 #include "alrescha/serve.hh"
 #include "common/random.hh"
 #include "common/request_queue.hh"
+#include "common/timeline.hh"
 #include "sparse/generators.hh"
 
 using namespace alr;
@@ -400,4 +402,267 @@ TEST(ServeConcurrency, ParallelScheduleLookupsAreSafe)
     EXPECT_EQ(nulls.load(), 0);
     EXPECT_EQ(e.scheduleCompiles(), 1u);
     EXPECT_EQ(e.cachedSchedules(), 1u);
+}
+
+TEST(ServeQueueEdges, CloseWakesProducerBlockedOnFull)
+{
+    RequestQueue<int> q(1);
+    ASSERT_TRUE(q.push(1));
+
+    std::atomic<bool> returned{false};
+    std::atomic<bool> accepted{true};
+    std::thread producer([&] {
+        accepted = q.push(2); // blocks: the queue is at capacity
+        returned = true;
+    });
+    // Wait until the producer has actually hit back-pressure.
+    while (q.blockedPushes() == 0 && !returned)
+        std::this_thread::yield();
+    EXPECT_FALSE(returned.load()) << "push must block on a full queue";
+
+    q.close();
+    producer.join();
+    EXPECT_FALSE(accepted.load()) << "close must drop the blocked push";
+    EXPECT_EQ(q.blockedPushes(), 1u);
+
+    // The item admitted before close still drains.
+    int v = 0;
+    EXPECT_TRUE(q.pop(v));
+    EXPECT_EQ(v, 1);
+    EXPECT_FALSE(q.pop(v));
+}
+
+TEST(ServeQueueEdges, CloseWakesConsumersBlockedOnEmpty)
+{
+    RequestQueue<int> q(4);
+    std::atomic<int> done{0};
+    std::vector<std::thread> consumers;
+    for (int i = 0; i < 3; ++i)
+        consumers.emplace_back([&] {
+            int v = 0;
+            EXPECT_FALSE(q.pop(v)) << "empty + closed must pop false";
+            ++done;
+        });
+    // Give the consumers a moment to block on the empty queue; close
+    // must wake every one of them either way.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    q.close();
+    for (auto &t : consumers)
+        t.join();
+    EXPECT_EQ(done.load(), 3);
+}
+
+TEST(ServeQueueEdges, AdmissionCountersTrackPressure)
+{
+    RequestQueue<int> q(2);
+    EXPECT_TRUE(q.tryPush(1));
+    EXPECT_TRUE(q.tryPush(2));
+    EXPECT_FALSE(q.tryPush(3));
+    EXPECT_FALSE(q.tryPush(4));
+    EXPECT_EQ(q.rejects(), 2u) << "shed admissions must be counted";
+    EXPECT_EQ(q.highWater(), 2u);
+    EXPECT_EQ(q.blockedPushes(), 0u);
+
+    int v = 0;
+    EXPECT_TRUE(q.pop(v));
+    q.close();
+    // Push after close: refused, dropped, and never counted as a
+    // blocked (back-pressured) admission.
+    EXPECT_FALSE(q.push(9));
+    EXPECT_FALSE(q.tryPush(9));
+    EXPECT_EQ(q.rejects(), 3u);
+    EXPECT_EQ(q.blockedPushes(), 0u);
+    EXPECT_EQ(q.highWater(), 2u);
+}
+
+TEST(ServeObservability, TracingAndMetricsDoNotPerturbResults)
+{
+    TraceParams tp = smallTrace(60);
+    ServeConfig cfg;
+    cfg.threads = 2;
+    cfg.batchWindow = 4;
+
+    ServeFleet plain = makeFleet();
+    std::vector<ServeRequest> trace = generateTrace(tp, plain.pdeMask());
+    ServeResult base = serve(plain, trace, cfg);
+
+    // Same trace, fresh fleet, full observability on: request-plane
+    // tracing plus a live metrics registry.
+    ServeFleet observed = makeFleet();
+    metrics::Registry reg;
+    ServeConfig ocfg = cfg;
+    ocfg.metrics = &reg;
+    timeline::reset();
+    timeline::setEnabled(true);
+    ServeResult obs = serve(observed, trace, ocfg);
+    timeline::setEnabled(false);
+    timeline::reset();
+
+    ASSERT_EQ(base.checksums.size(), obs.checksums.size());
+    for (size_t i = 0; i < base.checksums.size(); ++i) {
+        EXPECT_EQ(base.checksums[i], obs.checksums[i]) << "request " << i;
+        EXPECT_EQ(base.modeledCycles[i], obs.modeledCycles[i])
+            << "request " << i;
+    }
+    EXPECT_EQ(plain.totalCycles(), observed.totalCycles());
+    for (size_t i = 0; i < plain.size(); ++i)
+        EXPECT_EQ(statDump(plain.at(i).engine()),
+                  statDump(observed.at(i).engine()))
+            << "fleet entry " << i;
+}
+
+TEST(ServeObservability, TimelineRecordsTheRequestPlane)
+{
+    ServeFleet fleet = makeFleet();
+    std::vector<ServeRequest> trace =
+        generateTrace(smallTrace(30), fleet.pdeMask());
+    ServeConfig cfg;
+    cfg.threads = 2;
+    cfg.batchWindow = 4;
+
+    timeline::reset();
+    timeline::setEnabled(true);
+    serve(fleet, trace, cfg);
+    timeline::setEnabled(false);
+
+    bool accSpan = false, serveCounter = false, workerSpan = false;
+    for (const timeline::Event &e : timeline::events()) {
+        if (e.pid == timeline::kPidServe) {
+            if (e.kind == timeline::Event::Kind::Span &&
+                e.tid >= timeline::kTidServeAccBase)
+                accSpan = true;
+            if (e.kind == timeline::Event::Kind::Counter &&
+                e.tid == timeline::kTidServeCounters)
+                serveCounter = true;
+        } else if (e.pid == timeline::kPidHost &&
+                   e.kind == timeline::Event::Kind::Span) {
+            workerSpan = true;
+        }
+    }
+    EXPECT_TRUE(accSpan) << "no per-accelerator request spans";
+    EXPECT_TRUE(serveCounter) << "no queue/in-flight/batch counters";
+    EXPECT_TRUE(workerSpan) << "no per-worker spans";
+
+    std::ostringstream os;
+    timeline::exportChromeTrace(os);
+    std::string doc = os.str();
+    EXPECT_NE(doc.find("serve (request plane, wall clock)"),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"m0\""), std::string::npos)
+        << "accelerator track not named after its matrix";
+    timeline::reset();
+}
+
+TEST(ServeObservability, MetricsRegistryCountsMatchTheDrain)
+{
+    ServeFleet fleet = makeFleet();
+    std::vector<ServeRequest> trace =
+        generateTrace(smallTrace(50), fleet.pdeMask());
+    metrics::Registry reg;
+    ServeConfig cfg;
+    cfg.threads = 2;
+    cfg.batchWindow = 4;
+    cfg.metrics = &reg;
+    ServeResult res = serve(fleet, trace, cfg);
+    ASSERT_EQ(res.completed, trace.size());
+
+    double v = 0.0;
+    ASSERT_TRUE(reg.lookup("serve_requests_completed", {}, &v));
+    EXPECT_EQ(uint64_t(v), res.completed);
+    ASSERT_TRUE(reg.lookup("serve_latency_us", {}, &v));
+    EXPECT_EQ(uint64_t(v), res.completed)
+        << "latency histogram must hold one sample per request";
+    ASSERT_TRUE(reg.lookup("serve_queue_wait_us", {}, &v));
+    EXPECT_EQ(uint64_t(v), res.completed);
+
+    uint64_t perMatrix = 0;
+    for (size_t i = 0; i < fleet.size(); ++i) {
+        metrics::Labels labels = {{"matrix", fleet.nameOf(i)}};
+        ASSERT_TRUE(reg.lookup("serve_latency_us", labels, &v));
+        perMatrix += uint64_t(v);
+        ASSERT_TRUE(reg.lookup("serve_schedule_hits", labels, &v));
+        ASSERT_TRUE(reg.lookup("serve_modeled_cycles", labels, &v));
+        EXPECT_EQ(uint64_t(v), fleet.at(i).engine().totalCycles());
+    }
+    EXPECT_EQ(perMatrix, res.completed)
+        << "per-matrix label sets must partition the stream";
+
+    // Exact per-request samples back the SLO accounting.
+    ASSERT_EQ(res.latencyUs.size(), trace.size());
+    ASSERT_EQ(res.queueWaitUs.size(), trace.size());
+    for (size_t i = 0; i < trace.size(); ++i) {
+        EXPECT_GT(res.latencyUs[i], 0.0) << "request " << i;
+        EXPECT_LE(res.queueWaitUs[i], res.latencyUs[i]) << "request " << i;
+    }
+    EXPECT_GE(res.queueHighWater, 1u);
+}
+
+TEST(ServeSlo, AccountingFromExactSamples)
+{
+    ServeFleet fleet = makeFleet();
+    std::vector<ServeRequest> trace =
+        generateTrace(smallTrace(50), fleet.pdeMask());
+    ServeConfig cfg;
+    cfg.threads = 2;
+    cfg.batchWindow = 4;
+    ServeResult res = serve(fleet, trace, cfg);
+
+    SloReport generous = computeSlo(res, trace, fleet, 1e12);
+    EXPECT_EQ(generous.total.requests, trace.size());
+    EXPECT_EQ(generous.total.good, trace.size());
+    EXPECT_EQ(generous.total.bad, 0u);
+    EXPECT_DOUBLE_EQ(generous.burnRate(), 0.0);
+    EXPECT_LE(generous.total.p50, generous.total.p95);
+    EXPECT_LE(generous.total.p95, generous.total.p99);
+    EXPECT_LE(generous.total.p99, generous.total.p999);
+
+    SloReport strict = computeSlo(res, trace, fleet, 1e-6);
+    EXPECT_EQ(strict.total.good + strict.total.bad, trace.size());
+    EXPECT_EQ(strict.total.bad, trace.size())
+        << "every real latency exceeds a 1 picosecond target";
+    EXPECT_DOUBLE_EQ(strict.badFraction(), 1.0);
+    EXPECT_NEAR(strict.burnRate(), 100.0, 1e-9);
+
+    ASSERT_EQ(strict.perMatrix.size(), fleet.size());
+    uint64_t reqs = 0, good = 0, bad = 0;
+    for (const SloBucket &b : strict.perMatrix) {
+        reqs += b.requests;
+        good += b.good;
+        bad += b.bad;
+    }
+    EXPECT_EQ(reqs, trace.size());
+    EXPECT_EQ(good + bad, trace.size());
+}
+
+TEST(ServeSlo, HandComputedCountsAndBurnRate)
+{
+    ServeFleet fleet = makeFleet();
+    std::vector<ServeRequest> trace(4);
+    for (uint32_t i = 0; i < 4; ++i) {
+        trace[i].id = i;
+        trace[i].matrix = i % 2;
+    }
+    ServeResult res;
+    res.completed = 4;
+    res.latencyUs = {1.0, 2.0, 3.0, 4.0};
+
+    SloReport r = computeSlo(res, trace, fleet, 2.5, 0.95);
+    EXPECT_EQ(r.total.good, 2u);
+    EXPECT_EQ(r.total.bad, 2u);
+    EXPECT_DOUBLE_EQ(r.badFraction(), 0.5);
+    EXPECT_NEAR(r.burnRate(), 0.5 / 0.05, 1e-9);
+    EXPECT_DOUBLE_EQ(r.total.p50, 2.5);
+
+    // Matrix 0 saw latencies {1, 3}; matrix 1 saw {2, 4}; matrix 2
+    // served nothing but keeps its row so fleet indexing holds.
+    ASSERT_EQ(r.perMatrix.size(), fleet.size());
+    EXPECT_EQ(r.perMatrix[0].requests, 2u);
+    EXPECT_EQ(r.perMatrix[0].good, 1u);
+    EXPECT_EQ(r.perMatrix[0].bad, 1u);
+    EXPECT_DOUBLE_EQ(r.perMatrix[0].p50, 2.0);
+    EXPECT_EQ(r.perMatrix[1].requests, 2u);
+    EXPECT_DOUBLE_EQ(r.perMatrix[1].p50, 3.0);
+    EXPECT_EQ(r.perMatrix[2].requests, 0u);
+    EXPECT_EQ(r.perMatrix[2].good, 0u);
+    EXPECT_EQ(r.perMatrix[2].bad, 0u);
 }

@@ -11,21 +11,37 @@
  *   alr_serve --fleet 6 --cache-dir /tmp/fleet    # cold: compiles+saves
  *   alr_serve --fleet 6 --cache-dir /tmp/fleet    # warm: zero compiles
  *   alr_serve --fleet 4 --zipf 1.2 --burstiness 0.7 --json
+ *   alr_serve --timeline serve.json --metrics-out m.json \
+ *             --metrics-interval 250 --slo-us 5000 --json
  *
  * The JSON document reports schedule_compiles_warm (0 on a warm start
  * -- the CI cold-vs-warm step asserts exactly that), the batch-size
- * histogram, and p50/p95/p99 request latency.
+ * histogram, exact p50/p95/p99/p99.9 request latency overall and per
+ * matrix, and SLO good/bad counts + burn rate against --slo-us.
+ * --timeline records the request plane (one track per worker and per
+ * accelerator) as Perfetto-loadable JSON; --metrics-out snapshots the
+ * live metrics registry (JSON + Prometheus text next to it) every
+ * --metrics-interval ms while the drain runs, atomically renamed so a
+ * watcher never reads a torn file.
  */
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "alrescha/serve.hh"
+#include "alrescha/sim/replay.hh"
 #include "common/logging.hh"
+#include "common/metrics.hh"
+#include "common/timeline.hh"
 #include "common/version.hh"
 #include "datasets/suites.hh"
 
@@ -43,6 +59,13 @@ struct Options
     int scheduleCache = 0;
     Index omega = 8;
     bool json = false;
+    std::string timelinePath;
+    std::string metricsOut;
+    /** Snapshot period, ms; 0 = only the final snapshot. */
+    double metricsIntervalMs = 0.0;
+    /** SLO latency target, us; 0 = no target (all requests good). */
+    double sloUs = 0.0;
+    double sloObjective = 0.99;
 };
 
 void
@@ -55,6 +78,9 @@ usage()
         "                 [--burstiness P] [--threads N]\n"
         "                 [--batch-window N] [--queue N] [--pcg-iters N]\n"
         "                 [--schedule-cache N] [--cache-dir DIR] [--json]\n"
+        "                 [--timeline F.json] [--metrics-out F.json]\n"
+        "                 [--metrics-interval MS] [--slo-us US]\n"
+        "                 [--slo-objective P]\n"
         "  --fleet N          serve the first N scientific-suite matrices\n"
         "  --scale N          dataset scale multiplier\n"
         "  --requests N       trace length (default 1000)\n"
@@ -69,7 +95,18 @@ usage()
         "                     save refreshed caches after (a second run\n"
         "                     against the same DIR warm-starts with zero\n"
         "                     schedule compiles)\n"
-        "  --json             emit one JSON document on stdout\n");
+        "  --json             emit one JSON document on stdout\n"
+        "  --timeline F       Perfetto-loadable request-plane timeline\n"
+        "                     (one track per worker and per accelerator)\n"
+        "  --metrics-out F    live metrics snapshots: JSON to F,\n"
+        "                     Prometheus text exposition to F.prom,\n"
+        "                     each atomically renamed into place\n"
+        "  --metrics-interval MS  snapshot period while serving\n"
+        "                     (default: only a final snapshot)\n"
+        "  --slo-us US        latency SLO target; reports good/bad\n"
+        "                     counts and burn rate from exact samples\n"
+        "  --slo-objective P  availability objective for the burn rate\n"
+        "                     (default 0.99)\n");
     std::exit(2);
 }
 
@@ -126,6 +163,22 @@ parse(int argc, char **argv)
             opt.cacheDir = next();
         } else if (arg == "--json") {
             opt.json = true;
+        } else if (arg == "--timeline") {
+            opt.timelinePath = next();
+        } else if (arg == "--metrics-out") {
+            opt.metricsOut = next();
+        } else if (arg == "--metrics-interval") {
+            opt.metricsIntervalMs = std::atof(next().c_str());
+            if (opt.metricsIntervalMs <= 0.0)
+                usage();
+        } else if (arg == "--slo-us") {
+            opt.sloUs = std::atof(next().c_str());
+            if (opt.sloUs <= 0.0)
+                usage();
+        } else if (arg == "--slo-objective") {
+            opt.sloObjective = std::atof(next().c_str());
+            if (opt.sloObjective <= 0.0 || opt.sloObjective >= 1.0)
+                usage();
         } else {
             usage();
         }
@@ -177,7 +230,57 @@ main(int argc, char **argv)
 
     std::vector<ServeRequest> trace =
         generateTrace(opt.trace, fleet.pdeMask());
+
+    metrics::Registry registry;
+    std::string promPath =
+        opt.metricsOut.empty() ? "" : opt.metricsOut + ".prom";
+    if (!opt.metricsOut.empty())
+        opt.cfg.metrics = &registry;
+
+    // Periodic snapshot publisher: samples the live registry while the
+    // workers drain, so a watcher tailing --metrics-out sees progress
+    // mid-run.  The final (post-drain) snapshot is always written.
+    std::thread snapshotThread;
+    std::mutex snapMutex;
+    std::condition_variable snapCv;
+    bool snapStop = false;
+    if (!opt.metricsOut.empty() && opt.metricsIntervalMs > 0.0) {
+        snapshotThread = std::thread([&] {
+            std::unique_lock<std::mutex> lock(snapMutex);
+            auto period = std::chrono::duration<double, std::milli>(
+                opt.metricsIntervalMs);
+            while (!snapCv.wait_for(lock, period, [&] { return snapStop; }))
+                registry.writeSnapshotFiles(opt.metricsOut, promPath);
+        });
+    }
+
+    // Arm the request-plane recorder just before the drain so the trace
+    // is one serve run, not warm-up noise.  Only host + serve events:
+    // the drain replays the engine hundreds of times, and per-replay
+    // modeled events would flood the ring and bury the request story.
+    if (!opt.timelinePath.empty()) {
+        timeline::setPidMask((1u << timeline::kPidHost) |
+                             (1u << timeline::kPidServe));
+        timeline::setEnabled(true);
+    }
+
     ServeResult res = serve(fleet, trace, opt.cfg);
+
+    if (!opt.timelinePath.empty())
+        timeline::setEnabled(false);
+    if (snapshotThread.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(snapMutex);
+            snapStop = true;
+        }
+        snapCv.notify_all();
+        snapshotThread.join();
+    }
+    if (!opt.metricsOut.empty())
+        registry.writeSnapshotFiles(opt.metricsOut, promPath);
+
+    SloReport slo =
+        computeSlo(res, trace, fleet, opt.sloUs, opt.sloObjective);
 
     uint64_t evictions = 0;
     for (size_t i = 0; i < fleet.size(); ++i)
@@ -208,14 +311,50 @@ main(int argc, char **argv)
         jnum(os, "%.0f", res.latencyNs.percentile(95));
         os << ", \"p99\": ";
         jnum(os, "%.0f", res.latencyNs.percentile(99));
-        os << "},\n  \"batch_size\": {\"batches\": "
+        os << "}";
+        auto sloBucket = [&](const SloBucket &b) {
+            os << "{\"name\": \"" << b.name
+               << "\", \"requests\": " << b.requests
+               << ", \"good\": " << b.good << ", \"bad\": " << b.bad
+               << ", \"latency_us\": {\"p50\": ";
+            jnum(os, "%.3f", b.p50);
+            os << ", \"p95\": ";
+            jnum(os, "%.3f", b.p95);
+            os << ", \"p99\": ";
+            jnum(os, "%.3f", b.p99);
+            os << ", \"p99.9\": ";
+            jnum(os, "%.3f", b.p999);
+            os << "}}";
+        };
+        // Exact-sample percentiles (not the log2-bucketed latency_ns
+        // block above) plus SLO accounting, overall and per matrix.
+        os << ",\n  \"slo\": {\"target_us\": ";
+        jnum(os, "%.3f", slo.sloUs);
+        os << ", \"objective\": ";
+        jnum(os, "%.6g", slo.objective);
+        os << ", \"bad_fraction\": ";
+        jnum(os, "%.9g", slo.badFraction());
+        os << ", \"burn_rate\": ";
+        jnum(os, "%.9g", slo.burnRate());
+        os << ",\n    \"total\": ";
+        sloBucket(slo.total);
+        os << ",\n    \"per_matrix\": [";
+        for (size_t i = 0; i < slo.perMatrix.size(); ++i) {
+            os << (i ? ",\n      " : "\n      ");
+            sloBucket(slo.perMatrix[i]);
+        }
+        os << "\n    ]}";
+        os << ",\n  \"queue\": {\"high_water\": " << res.queueHighWater
+           << ", \"blocked_pushes\": " << res.queueBlockedPushes
+           << ", \"rejects\": " << res.queueRejects << "}";
+        os << ",\n  \"batch_size\": {\"batches\": "
            << res.batchSize.count() << ", \"mean\": ";
         jnum(os, "%.3f", res.batchSize.mean());
         os << ", \"max\": ";
         jnum(os, "%.0f", res.batchSize.max());
-        os << "},\n  \"version\": {\"git\": \"" << version::gitDescribe()
-           << "\"}\n";
-        os << "}\n";
+        os << "},\n  \"version\": ";
+        replay::writeVersionJson(os, params.simdMode);
+        os << "\n}\n";
         std::cout.flush();
     } else {
         std::printf("fleet: %zu matrices (scale %u, omega %u)\n",
@@ -242,10 +381,20 @@ main(int argc, char **argv)
                     opt.cfg.threads);
         std::printf("  %.1f req/s, wall %.1f ms\n", res.requestsPerSec,
                     res.wallMs);
-        std::printf("  latency p50 %.0f us, p95 %.0f us, p99 %.0f us\n",
-                    res.latencyNs.percentile(50) / 1e3,
-                    res.latencyNs.percentile(95) / 1e3,
-                    res.latencyNs.percentile(99) / 1e3);
+        std::printf("  latency p50 %.1f us, p95 %.1f us, p99 %.1f us, "
+                    "p99.9 %.1f us (exact)\n",
+                    slo.total.p50, slo.total.p95, slo.total.p99,
+                    slo.total.p999);
+        if (opt.sloUs > 0.0)
+            std::printf("  slo %.0f us: %llu good, %llu bad "
+                        "(%.4f%% bad, burn rate %.2f @ %.2f%%)\n",
+                        opt.sloUs, (unsigned long long)slo.total.good,
+                        (unsigned long long)slo.total.bad,
+                        slo.badFraction() * 100.0, slo.burnRate(),
+                        opt.sloObjective * 100.0);
+        std::printf("  queue: high water %zu, blocked pushes %llu\n",
+                    res.queueHighWater,
+                    (unsigned long long)res.queueBlockedPushes);
         if (res.batchSize.count())
             std::printf("  spmv batches: %llu, mean size %.2f, max %.0f\n",
                         (unsigned long long)res.batchSize.count(),
@@ -254,5 +403,23 @@ main(int argc, char **argv)
                     (unsigned long long)fleet.totalCycles(),
                     (unsigned long long)evictions);
     }
+
+    if (!opt.timelinePath.empty()) {
+        std::ofstream tf(opt.timelinePath);
+        if (!tf)
+            fatal("cannot create timeline file '%s'",
+                  opt.timelinePath.c_str());
+        timeline::exportChromeTrace(tf);
+        if (!opt.json)
+            std::printf("timeline written to %s (%llu events, %llu "
+                        "dropped)\n",
+                        opt.timelinePath.c_str(),
+                        (unsigned long long)timeline::events().size(),
+                        (unsigned long long)timeline::dropped());
+    }
+    if (!opt.metricsOut.empty() && !opt.json)
+        std::printf("metrics written to %s (+ %s, %llu snapshots)\n",
+                    opt.metricsOut.c_str(), promPath.c_str(),
+                    (unsigned long long)registry.snapshots());
     return 0;
 }

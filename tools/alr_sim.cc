@@ -332,11 +332,8 @@ printJsonReport(std::ostream &os, const Accelerator &acc,
     os << ", \"static\": ";
     jnum(os, "%.9g", r.energy.staticEnergy);
     os << "}";
-    os << ",\n  \"version\": {\"git\": \"" << version::gitDescribe()
-       << "\", \"simd_build\": \"" << version::simdBuild()
-       << "\", \"simd_runtime\": \"" << runtimeIsa(opt)
-       << "\", \"omega_specializations\": \""
-       << replay::omegaSpecializations() << "\"}";
+    os << ",\n  \"version\": ";
+    replay::writeVersionJson(os, opt.simdMode);
     if (profile::enabled()) {
         // Embed the profile document verbatim; it is self-contained
         // JSON, so nesting it keeps the output one valid document.

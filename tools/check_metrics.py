@@ -1,0 +1,231 @@
+#!/usr/bin/env python3
+"""Validate alr_serve observability artifacts.
+
+Checks a metrics-registry snapshot (alr_serve --metrics-out m.json)
+and, optionally, the serve report (alr_serve --json > serve.json)
+against their documented schemas and cross-document invariants:
+
+- the snapshot must json.load, carry a positive "snapshot" sequence
+  number and a "metrics" list; every metric needs name/type/labels,
+  counters/gauges a numeric value, histograms count/sum/min/max/mean,
+  a "window" block with exact percentiles, and monotone non-empty
+  "buckets";
+- the Prometheus sibling (m.json.prom), when present, must expose one
+  value line per counter/gauge and cumulative le-bucket lines ending
+  in '+Inf' per histogram, with _count matching the JSON count;
+- against the report: the latency and queue-wait histogram counts must
+  equal the completed request count (and the per-matrix label sets
+  must sum to it), SLO good + bad must equal completed, queue wait can
+  never exceed end-to-end latency (sum and max), and the exact
+  percentiles must be monotone p50 <= p95 <= p99 <= p99.9.
+
+usage: check_metrics.py METRICS.json [--prom METRICS.prom]
+                        [--report SERVE.json]
+
+Exit status 0 when everything validates, 1 otherwise.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+TYPES = ("counter", "gauge", "histogram")
+REL_TOL = 1e-9
+
+
+def fail(msg):
+    raise SystemExit(f"FAIL: {msg}")
+
+
+def label_key(labels):
+    return tuple(sorted(labels.items()))
+
+
+def check_histogram(m, where):
+    for key in ("count", "sum", "min", "max", "mean"):
+        if not isinstance(m.get(key), (int, float)):
+            fail(f"{where}: histogram missing numeric '{key}'")
+    window = m.get("window")
+    if not isinstance(window, dict):
+        fail(f"{where}: histogram missing 'window'")
+    for key in ("count", "p50", "p95", "p99", "p99.9"):
+        if not isinstance(window.get(key), (int, float)):
+            fail(f"{where}: window missing numeric '{key}'")
+    if window["count"] > m["count"]:
+        fail(f"{where}: window count exceeds cumulative count")
+    buckets = m.get("buckets")
+    if not isinstance(buckets, dict):
+        fail(f"{where}: histogram missing 'buckets'")
+    if m["count"] > 0:
+        if not buckets:
+            fail(f"{where}: non-empty histogram has no buckets")
+        total = sum(buckets.values())
+        if total != m["count"]:
+            fail(f"{where}: bucket counts sum to {total}, "
+                 f"count is {m['count']}")
+    if m["count"] > 0 and not (m["min"] <= m["mean"] <= m["max"]):
+        fail(f"{where}: min <= mean <= max violated")
+
+
+def load_metrics(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+    if not isinstance(doc.get("snapshot"), int) or doc["snapshot"] < 1:
+        fail(f"{path}: missing positive 'snapshot' sequence number")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, list) or not metrics:
+        fail(f"{path}: missing non-empty 'metrics' list")
+    by_name = {}
+    for m in metrics:
+        name = m.get("name")
+        if not name:
+            fail(f"{path}: metric without a name")
+        where = f"{path}: {name}"
+        if m.get("type") not in TYPES:
+            fail(f"{where}: bad type {m.get('type')!r}")
+        labels = m.get("labels")
+        if not isinstance(labels, dict):
+            fail(f"{where}: missing 'labels' object")
+        if m["type"] == "histogram":
+            check_histogram(m, where)
+        elif not isinstance(m.get("value"), (int, float)):
+            fail(f"{where}: missing numeric 'value'")
+        family = by_name.setdefault(name, {})
+        key = label_key(labels)
+        if key in family:
+            fail(f"{where}: duplicate label set {labels}")
+        family[key] = m
+    return by_name
+
+
+def metric(by_name, name, labels=()):
+    family = by_name.get(name)
+    if family is None:
+        fail(f"required metric '{name}' is absent")
+    m = family.get(tuple(sorted(labels)))
+    if m is None:
+        fail(f"metric '{name}' has no label set {dict(labels)}")
+    return m
+
+
+def check_prometheus(path, by_name):
+    try:
+        with open(path) as f:
+            text = f.read()
+    except OSError as e:
+        fail(f"{path}: {e}")
+    for family_name, family in by_name.items():
+        for key, m in family.items():
+            if m["type"] == "histogram":
+                pattern = rf'^{re.escape(family_name)}_count(\{{[^}}]*\}})? '
+                counts = [
+                    line for line in text.splitlines()
+                    if re.match(pattern, line)
+                ]
+                if not counts:
+                    fail(f"{path}: no {family_name}_count line")
+                bucket_inf = rf'^{re.escape(family_name)}_bucket.*le="\+Inf"'
+                if not any(re.match(bucket_inf, line)
+                           for line in text.splitlines()):
+                    fail(f"{path}: no +Inf bucket for {family_name}")
+            else:
+                if f"# TYPE {family_name} {m['type']}" not in text:
+                    fail(f"{path}: no TYPE line for {family_name}")
+
+
+def check_percentiles(block, where):
+    order = [block[k] for k in ("p50", "p95", "p99", "p99.9")]
+    if order != sorted(order):
+        fail(f"{where}: percentiles not monotone: {order}")
+
+
+def check_report(report_path, by_name):
+    try:
+        with open(report_path) as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{report_path}: {e}")
+
+    completed = report.get("completed")
+    if not isinstance(completed, int):
+        fail(f"{report_path}: missing integer 'completed'")
+
+    lat = metric(by_name, "serve_latency_us")
+    wait = metric(by_name, "serve_queue_wait_us")
+    if lat["count"] != completed:
+        fail(f"latency histogram count {lat['count']} != "
+             f"completed {completed}")
+    if wait["count"] != completed:
+        fail(f"queue-wait histogram count {wait['count']} != "
+             f"completed {completed}")
+    done = metric(by_name, "serve_requests_completed")
+    if done["value"] != completed:
+        fail(f"serve_requests_completed {done['value']} != "
+             f"completed {completed}")
+
+    per_matrix = sum(
+        m["count"]
+        for key, m in by_name.get("serve_latency_us", {}).items() if key)
+    if per_matrix != completed:
+        fail(f"per-matrix latency counts sum to {per_matrix}, "
+             f"completed is {completed}")
+
+    # Per-request wait <= latency implies both the sums and the maxima
+    # order the same way (max wait belongs to *some* request whose
+    # latency bounds it).
+    tol = 1 + REL_TOL
+    if wait["sum"] > lat["sum"] * tol:
+        fail(f"queue-wait sum {wait['sum']} exceeds latency sum "
+             f"{lat['sum']}")
+    if wait["max"] > lat["max"] * tol:
+        fail(f"queue-wait max {wait['max']} exceeds latency max "
+             f"{lat['max']}")
+
+    slo = report.get("slo")
+    if not isinstance(slo, dict):
+        fail(f"{report_path}: missing 'slo' block")
+    total = slo.get("total", {})
+    if total.get("good", -1) + total.get("bad", -1) != completed:
+        fail(f"slo good {total.get('good')} + bad {total.get('bad')} "
+             f"!= completed {completed}")
+    check_percentiles(total["latency_us"], "slo.total")
+    good = bad = 0
+    for row in slo.get("per_matrix", []):
+        good += row["good"]
+        bad += row["bad"]
+        if row["requests"]:
+            check_percentiles(row["latency_us"],
+                              f"slo.per_matrix[{row['name']}]")
+    if good + bad != completed:
+        fail(f"per-matrix slo counts sum to {good}+{bad}, "
+             f"completed is {completed}")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("metrics", help="alr_serve --metrics-out snapshot")
+    ap.add_argument("--prom", help="Prometheus text sibling to validate")
+    ap.add_argument("--report", help="alr_serve --json report to "
+                    "cross-check invariants against")
+    args = ap.parse_args()
+
+    by_name = load_metrics(args.metrics)
+    if args.prom:
+        check_prometheus(args.prom, by_name)
+    if args.report:
+        check_report(args.report, by_name)
+
+    families = len(by_name)
+    count = sum(len(f) for f in by_name.values())
+    print(f"OK: {args.metrics}: {count} metrics in {families} families"
+          + (", prometheus ok" if args.prom else "")
+          + (", report invariants ok" if args.report else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
