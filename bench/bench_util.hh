@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "alrescha/accelerator.hh"
+#include "common/version.hh"
 #include "datasets/suites.hh"
 
 namespace alr::bench {
@@ -178,6 +179,21 @@ class JsonObject
         return raw(key, std::to_string(v));
     }
 
+    bool has(const std::string &key) const
+    {
+        for (const auto &[k, v] : _members)
+            if (k == key)
+                return true;
+        return false;
+    }
+
+    /** Insert a member at the front (schema_version stamping). */
+    JsonObject &prepend(const std::string &key, int v)
+    {
+        _members.emplace(_members.begin(), key, std::to_string(v));
+        return *this;
+    }
+
     std::string
     dump(int indent = 0) const
     {
@@ -230,7 +246,9 @@ class JsonArray
 };
 
 /** Write @p root to @p path (with trailing newline); prints the path so
- *  bench logs show where the machine-readable copy landed. */
+ *  bench logs show where the machine-readable copy landed.  Every BENCH
+ *  artifact is stamped with the repo-wide schema_version (prepended
+ *  here so individual benches cannot forget it). */
 inline bool
 writeJsonFile(const std::string &path, const JsonObject &root)
 {
@@ -239,7 +257,13 @@ writeJsonFile(const std::string &path, const JsonObject &root)
         std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
         return false;
     }
-    out << root.dump() << "\n";
+    if (root.has("schema_version")) {
+        out << root.dump() << "\n";
+    } else {
+        JsonObject stamped = root;
+        stamped.prepend("schema_version", version::kJsonSchemaVersion);
+        out << stamped.dump() << "\n";
+    }
     std::printf("wrote %s\n", path.c_str());
     return bool(out);
 }

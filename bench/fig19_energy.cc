@@ -2,8 +2,15 @@
  * @file
  * Figure 19: Alrescha's energy-consumption improvement over the CPU
  * and GPU baselines for SpMV across both suites.
+ *
+ * Also writes BENCH_energy.json: one row per dataset with the measured
+ * cycles/bytes, the modeled-counter stats sub-object, and the full
+ * per-component EnergyBreakdown (joules), so the paper's fig 19
+ * headline -- energy -- is regression-locked and diffable with
+ * tools/alr_diff exactly like cycles and bytes.
  */
 
+#include <chrono>
 #include <cstdio>
 
 #include "baselines/cpu_model.hh"
@@ -15,9 +22,24 @@ using namespace alr::bench;
 
 namespace {
 
+/** The per-component breakdown as a BENCH row sub-object (joules). */
+JsonObject
+energyJson(const EnergyBreakdown &e)
+{
+    JsonObject out;
+    out.add("dram", e.dram)
+        .add("sram", e.sram)
+        .add("compute", e.compute)
+        .add("reconfig", e.reconfig)
+        .add("static", e.staticEnergy)
+        .add("total", e.total());
+    return out;
+}
+
 void
 runSuite(const std::vector<Dataset> &suite, const char *label,
-         std::vector<double> &vsCpu, std::vector<double> &vsGpu)
+         std::vector<double> &vsCpu, std::vector<double> &vsGpu,
+         JsonArray &jsonRows)
 {
     CpuModel cpu;
     GpuModel gpu;
@@ -27,8 +49,11 @@ runSuite(const std::vector<Dataset> &suite, const char *label,
     Table table({"dataset", "Alrescha uJ", "GPU uJ", "CPU uJ",
                  "vs GPU x", "vs CPU x"});
     for (const Dataset &d : suite) {
+        auto start = std::chrono::steady_clock::now();
         alreschaSpmvSeconds(d.matrix, acc);
-        double alr_e = acc.report().energyJoules;
+        double wall_ms = wallMsSince(start);
+        AccelReport r = acc.report();
+        double alr_e = r.energyJoules;
         double gpu_e = gpu.energyJoules(gpu.spmvSeconds(d.matrix));
         double cpu_e = cpu.energyJoules(cpu.spmvSeconds(d.matrix));
 
@@ -37,6 +62,21 @@ runSuite(const std::vector<Dataset> &suite, const char *label,
         table.addRow({d.name, fmt(alr_e * 1e6, 1), fmt(gpu_e * 1e6, 1),
                       fmt(cpu_e * 1e6, 1), fmt(gpu_e / alr_e, 1),
                       fmt(cpu_e / alr_e, 1)});
+
+        JsonObject row;
+        row.add("name", d.name)
+            .add("suite", label)
+            .add("wall_ms", wall_ms)
+            .add("cycles", acc.engine().totalCycles())
+            .add("bytes_streamed", acc.engine().memory().bytesStreamed())
+            .add("alrescha_uj", alr_e * 1e6)
+            .add("gpu_uj", gpu_e * 1e6)
+            .add("cpu_uj", cpu_e * 1e6)
+            .add("vs_gpu", gpu_e / alr_e)
+            .add("vs_cpu", cpu_e / alr_e)
+            .raw("energy", energyJson(r.energy).dump(6))
+            .raw("stats", modeledStats(acc).dump(6));
+        jsonRows.add(row, 2);
     }
     table.print();
     std::printf("\n");
@@ -51,12 +91,22 @@ main()
                 "and GPU (SpMV) ==\n\n");
 
     std::vector<double> vsCpu, vsGpu;
-    runSuite(scientificSuite(), "scientific", vsCpu, vsGpu);
-    runSuite(graphSuite(), "graph", vsCpu, vsGpu);
+    JsonArray jsonRows;
+    runSuite(scientificSuite(), "scientific", vsCpu, vsGpu, jsonRows);
+    runSuite(graphSuite(), "graph", vsCpu, vsGpu, jsonRows);
 
     std::printf("Geometric means: %sx vs GPU, %sx vs CPU\n",
                 fmt(geoMean(vsGpu), 1).c_str(),
                 fmt(geoMean(vsCpu), 1).c_str());
+
+    JsonObject root;
+    root.add("bench", "fig19_energy")
+        .add("kernel", "spmv")
+        .raw("datasets", jsonRows.dump(2))
+        .add("geo_mean_vs_gpu", geoMean(vsGpu))
+        .add("geo_mean_vs_cpu", geoMean(vsCpu));
+    writeJsonFile("BENCH_energy.json", root);
+
     std::printf("\npaper: 14x less energy than the GPU and 74x less than\n"
                 "the CPU on average, driven by the small reconfigurable\n"
                 "hardware and metadata-free streaming.\n");

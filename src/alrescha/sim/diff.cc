@@ -1,0 +1,867 @@
+#include "alrescha/sim/diff.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "common/version.hh"
+
+namespace alr::diff {
+
+namespace {
+
+/**
+ * Flatten every numeric leaf of @p v into @p out as dotted-path ->
+ * value.  Strings/bools/nulls are skipped (they diff as provenance or
+ * not at all); array elements path as ".N" (emitters order them
+ * deterministically).
+ */
+void
+walkNumeric(const std::string &prefix, const json::Value &v,
+            std::map<std::string, double> &out)
+{
+    if (v.isNumber()) {
+        out[prefix] = v.asDouble();
+        return;
+    }
+    if (v.isObject()) {
+        for (const auto &[k, m] : v.members())
+            walkNumeric(prefix.empty() ? k : prefix + "." + k, m, out);
+        return;
+    }
+    if (v.isArray()) {
+        for (size_t i = 0; i < v.elements().size(); ++i)
+            walkNumeric(prefix + "." + std::to_string(i),
+                        v.elements()[i], out);
+    }
+}
+
+/**
+ * Flatten a stats dump tree ({group, stats: {name: {value, ...}},
+ * children: [...]}) using group names (not array indexes) as the path,
+ * so a diff row reads "engine.fcu.alu_ops" rather than "children.2...".
+ * The "value" member maps to the stat's own path; distribution moments
+ * keep their member suffix.
+ */
+void
+walkStatsTree(const std::string &prefix, const json::Value &v,
+              std::map<std::string, double> &out)
+{
+    if (!v.isObject())
+        return;
+    std::string group = v.stringAt("group");
+    std::string base =
+        prefix.empty() ? group
+                       : (group.empty() ? prefix : prefix + "." + group);
+    if (const json::Value *stats = v.find("stats"); stats && stats->isObject()) {
+        for (const auto &[name, stat] : stats->members()) {
+            if (!stat.isObject())
+                continue;
+            for (const auto &[k, m] : stat.members()) {
+                if (!m.isNumber())
+                    continue;
+                std::string path = base + "." + name;
+                if (k != "value")
+                    path += "." + k;
+                out[path] = m.asDouble();
+            }
+        }
+    }
+    if (const json::Value *kids = v.find("children"); kids && kids->isArray())
+        for (const json::Value &child : kids->elements())
+            walkStatsTree(base, child, out);
+}
+
+/** Emit ValueDeltas for every path whose value changed; absent side
+ *  counts as 0. */
+void
+diffMaps(const std::map<std::string, double> &o,
+         const std::map<std::string, double> &n,
+         std::vector<ValueDelta> *out)
+{
+    for (const auto &[path, ov] : o) {
+        auto it = n.find(path);
+        double nv = it == n.end() ? 0.0 : it->second;
+        if (ov != nv)
+            out->push_back({path, ov, nv});
+    }
+    for (const auto &[path, nv] : n)
+        if (!o.count(path) && nv != 0.0)
+            out->push_back({path, 0.0, nv});
+}
+
+/** Key for aligning profile buckets across runs. */
+struct BucketKey
+{
+    std::string dp;
+    int64_t blockRow;
+    std::string cause;
+
+    bool operator<(const BucketKey &o) const
+    {
+        if (dp != o.dp)
+            return dp < o.dp;
+        if (blockRow != o.blockRow)
+            return blockRow < o.blockRow;
+        return cause < o.cause;
+    }
+};
+
+struct BucketVal
+{
+    int64_t cycles = 0, bytes = 0;
+};
+
+void
+collectBuckets(const json::Value &profileDoc,
+               std::map<BucketKey, BucketVal> &out)
+{
+    const json::Value *arr = profileDoc.find("buckets");
+    if (!arr || !arr->isArray())
+        return;
+    for (const json::Value &b : arr->elements()) {
+        BucketKey k{b.stringAt("dp"), b.intAt("block_row", -1),
+                    b.stringAt("cause")};
+        BucketVal &v = out[k];
+        v.cycles += b.intAt("cycles");
+        v.bytes += b.intAt("bytes");
+    }
+}
+
+/**
+ * Align two profile documents' buckets into @p row.  Returns true when
+ * the bucket cycle deltas (over the full aligned key set, unchanged
+ * buckets contributing zero) sum exactly to totalNew - totalOld -- the
+ * cross-run conservation invariant.
+ */
+bool
+diffBuckets(const json::Value &oldProf, const json::Value &newProf,
+            RowDiff *row)
+{
+    std::map<BucketKey, BucketVal> o, n;
+    collectBuckets(oldProf, o);
+    collectBuckets(newProf, n);
+
+    int64_t sumDelta = 0;
+    for (const auto &[k, ov] : o) {
+        auto it = n.find(k);
+        BucketVal nv = it == n.end() ? BucketVal{} : it->second;
+        sumDelta += nv.cycles - ov.cycles;
+        if (ov.cycles != nv.cycles || ov.bytes != nv.bytes)
+            row->buckets.push_back({k.dp, k.blockRow, k.cause, ov.cycles,
+                                    nv.cycles, ov.bytes, nv.bytes});
+    }
+    for (const auto &[k, nv] : n) {
+        if (o.count(k))
+            continue;
+        sumDelta += nv.cycles;
+        if (nv.cycles != 0 || nv.bytes != 0)
+            row->buckets.push_back(
+                {k.dp, k.blockRow, k.cause, 0, nv.cycles, 0, nv.bytes});
+    }
+    int64_t totalDelta = newProf.intAt("total_cycles") -
+                         oldProf.intAt("total_cycles");
+    return sumDelta == totalDelta;
+}
+
+/** Compare the string members of two "version" blocks (and the kernel
+ *  / omega identity fields) as provenance deltas. */
+void
+diffProvenance(const json::Value &o, const json::Value &n, Document *d)
+{
+    auto field = [&](const char *key) {
+        const json::Value *ov = o.find(key), *nv = n.find(key);
+        std::string os = ov ? (ov->isString() ? ov->asString()
+                                              : json::dump(*ov))
+                            : std::string();
+        std::string ns = nv ? (nv->isString() ? nv->asString()
+                                              : json::dump(*nv))
+                            : std::string();
+        if (os != ns)
+            d->provenance.push_back({key, os, ns});
+    };
+    const json::Value *ov = o.find("version");
+    const json::Value *nv = n.find("version");
+    if (ov || nv) {
+        json::Value empty = json::Value::object();
+        const json::Value &a = ov ? *ov : empty;
+        const json::Value &b = nv ? *nv : empty;
+        std::map<std::string, const json::Value *> keys;
+        for (const auto &[k, m] : a.members())
+            keys.emplace(k, nullptr);
+        for (const auto &[k, m] : b.members())
+            keys.emplace(k, nullptr);
+        for (const auto &[k, unused] : keys) {
+            const json::Value *av = a.find(k), *bv = b.find(k);
+            std::string as = av && av->isString() ? av->asString() : "";
+            std::string bs = bv && bv->isString() ? bv->asString() : "";
+            if (as != bs)
+                d->provenance.push_back({"version." + k, as, bs});
+        }
+    }
+    field("kernel");
+    field("bench");
+    if (o.intAt("omega", -1) != n.intAt("omega", -1))
+        d->provenance.push_back(
+            {"omega", std::to_string(o.intAt("omega", -1)),
+             std::to_string(n.intAt("omega", -1))});
+}
+
+void
+diffProfileDocs(const json::Value &o, const json::Value &n, Document *d)
+{
+    RowDiff row;
+    row.name = n.stringAt("kernel", o.stringAt("kernel", "run"));
+    row.oldCycles = o.intAt("total_cycles");
+    row.newCycles = n.intAt("total_cycles");
+    row.oldBytes = o.intAt("attributed_bytes");
+    row.newBytes = n.intAt("attributed_bytes");
+    if (!diffBuckets(o, n, &row))
+        d->conserved = false;
+
+    std::map<std::string, double> om, nm;
+    for (const char *k : {"attributed_cycles", "runs"}) {
+        om[k] = o.numberAt(k);
+        nm[k] = n.numberAt(k);
+    }
+    if (const json::Value *c = o.find("critical_path"))
+        walkNumeric("critical_path", *c, om);
+    if (const json::Value *c = n.find("critical_path"))
+        walkNumeric("critical_path", *c, nm);
+    diffMaps(om, nm, &row.stats);
+
+    if (row.changed())
+        d->rows.push_back(std::move(row));
+}
+
+void
+diffSimDocs(const json::Value &o, const json::Value &n, Document *d)
+{
+    RowDiff row;
+    row.name = n.stringAt("kernel", o.stringAt("kernel", "run"));
+    row.oldCycles = o.intAt("cycles");
+    row.newCycles = n.intAt("cycles");
+    row.oldBytes = int64_t(o.numberAt("dram_bytes"));
+    row.newBytes = int64_t(n.numberAt("dram_bytes"));
+    row.oldEnergy = o.numberAt("energy_joules");
+    row.newEnergy = n.numberAt("energy_joules");
+
+    // Energy components: exact alignment of the breakdown sub-object.
+    {
+        std::map<std::string, double> om, nm;
+        if (const json::Value *e = o.find("energy_breakdown"))
+            walkNumeric("", *e, om);
+        if (const json::Value *e = n.find("energy_breakdown"))
+            walkNumeric("", *e, nm);
+        diffMaps(om, nm, &row.energy);
+    }
+
+    // Scalar report fields + utilization + the full stat tree.
+    {
+        std::map<std::string, double> om, nm;
+        for (const char *k :
+             {"seconds", "bandwidth_utilization",
+              "sequential_op_fraction", "reconfigurations"}) {
+            if (o.find(k))
+                om[k] = o.numberAt(k);
+            if (n.find(k))
+                nm[k] = n.numberAt(k);
+        }
+        if (const json::Value *u = o.find("utilization"))
+            walkNumeric("utilization", *u, om);
+        if (const json::Value *u = n.find("utilization"))
+            walkNumeric("utilization", *u, nm);
+        if (const json::Value *s = o.find("stats"))
+            walkStatsTree("", *s, om);
+        if (const json::Value *s = n.find("stats"))
+            walkStatsTree("", *s, nm);
+        diffMaps(om, nm, &row.stats);
+    }
+
+    // Embedded profile: bucket-level attribution + conservation
+    // against the sim document's own cycle delta (report cycles and
+    // profile total_cycles are the same engine counter).
+    const json::Value *op = o.find("profile");
+    const json::Value *np = n.find("profile");
+    if (op && np && !diffBuckets(*op, *np, &row))
+        d->conserved = false;
+
+    if (row.changed())
+        d->rows.push_back(std::move(row));
+}
+
+void
+diffBenchDocs(const json::Value &o, const json::Value &n, Document *d)
+{
+    auto rowsOf = [](const json::Value &doc) {
+        std::map<std::string, const json::Value *> out;
+        if (const json::Value *a = doc.find("datasets");
+            a && a->isArray())
+            for (const json::Value &r : a->elements())
+                out.emplace(r.stringAt("name"), &r);
+        return out;
+    };
+    std::map<std::string, const json::Value *> om = rowsOf(o);
+    std::map<std::string, const json::Value *> nm = rowsOf(n);
+
+    auto benchRow = [](const std::string &name, const json::Value *ov,
+                       const json::Value *nv) {
+        RowDiff row;
+        row.name = name;
+        row.onlyOld = nv == nullptr;
+        row.onlyNew = ov == nullptr;
+        std::map<std::string, double> of, nf;
+        auto side = [](const json::Value *v, RowDiff *r, bool isNew,
+                       std::map<std::string, double> &flat) {
+            if (!v)
+                return;
+            (isNew ? r->newCycles : r->oldCycles) = v->intAt("cycles");
+            (isNew ? r->newBytes : r->oldBytes) =
+                v->intAt("bytes_streamed");
+            double joules = 0.0;
+            if (const json::Value *e = v->find("energy"))
+                joules = e->numberAt("total");
+            (isNew ? r->newEnergy : r->oldEnergy) = joules;
+            // Every other numeric member diffs as a named value.
+            // wall_ms is host wall clock -- nondeterministic, never a
+            // modeled regression -- so it is excluded by design.
+            for (const auto &[k, m] : v->members()) {
+                if (k == "cycles" || k == "bytes_streamed" ||
+                    k == "wall_ms" || k == "name" || k == "suite")
+                    continue;
+                if (k == "energy") {
+                    walkNumeric("energy", m, flat);
+                    continue;
+                }
+                walkNumeric(k, m, flat);
+            }
+        };
+        side(ov, &row, false, of);
+        side(nv, &row, true, nf);
+        std::vector<ValueDelta> all;
+        diffMaps(of, nf, &all);
+        for (ValueDelta &vd : all) {
+            if (vd.path.rfind("energy.", 0) == 0)
+                row.energy.push_back(vd);
+            else
+                row.stats.push_back(vd);
+        }
+        return row;
+    };
+
+    for (const auto &[name, ov] : om) {
+        auto it = nm.find(name);
+        RowDiff row =
+            benchRow(name, ov, it == nm.end() ? nullptr : it->second);
+        if (row.changed())
+            d->rows.push_back(std::move(row));
+    }
+    for (const auto &[name, nv] : nm) {
+        if (om.count(name))
+            continue;
+        RowDiff row = benchRow(name, nullptr, nv);
+        if (row.changed())
+            d->rows.push_back(std::move(row));
+    }
+
+    // Root-level aggregates (geo_mean_speedup and friends).
+    std::map<std::string, double> orf, nrf;
+    for (const auto &[k, m] : o.members())
+        if (m.isNumber() && k != "schema_version")
+            orf[k] = m.asDouble();
+    for (const auto &[k, m] : n.members())
+        if (m.isNumber() && k != "schema_version")
+            nrf[k] = m.asDouble();
+    RowDiff root;
+    root.name = "(root)";
+    diffMaps(orf, nrf, &root.stats);
+    if (root.changed())
+        d->rows.push_back(std::move(root));
+}
+
+void
+diffMetricsDocs(const json::Value &o, const json::Value &n, Document *d)
+{
+    auto flatten = [](const json::Value &doc,
+                      std::map<std::string, double> &out) {
+        out["snapshot"] = doc.numberAt("snapshot");
+        const json::Value *arr = doc.find("metrics");
+        if (!arr || !arr->isArray())
+            return;
+        for (const json::Value &m : arr->elements()) {
+            std::string key = m.stringAt("name");
+            if (const json::Value *labels = m.find("labels");
+                labels && !labels->members().empty()) {
+                key += "{";
+                bool first = true;
+                for (const auto &[lk, lv] : labels->members()) {
+                    if (!first)
+                        key += ",";
+                    key += lk + "=" +
+                           (lv.isString() ? lv.asString()
+                                          : json::dump(lv));
+                    first = false;
+                }
+                key += "}";
+            }
+            for (const auto &[k, v] : m.members()) {
+                if (k == "name" || k == "labels" || k == "type" ||
+                    k == "help")
+                    continue;
+                walkNumeric(key + "." + k, v, out);
+            }
+        }
+    };
+    std::map<std::string, double> om, nm;
+    flatten(o, om);
+    flatten(n, nm);
+    RowDiff row;
+    row.name = "metrics";
+    diffMaps(om, nm, &row.stats);
+    if (row.changed())
+        d->rows.push_back(std::move(row));
+}
+
+bool
+ruleValue(const FailRule &rule, double delta, double oldBase)
+{
+    double mag = std::fabs(delta);
+    if (!rule.relative)
+        return mag > rule.threshold;
+    if (oldBase == 0.0)
+        return mag > 0.0; // no base to scale by: any drift trips
+    return mag > rule.threshold / 100.0 * std::fabs(oldBase);
+}
+
+std::string
+fmtDelta(double v)
+{
+    char buf[64];
+    if (v == std::floor(v) && std::fabs(v) < 1e15)
+        std::snprintf(buf, sizeof(buf), "%+lld", (long long)v);
+    else
+        std::snprintf(buf, sizeof(buf), "%+.6g", v);
+    return buf;
+}
+
+std::string
+fmtPct(double delta, double base)
+{
+    if (base == 0.0)
+        return "";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " (%+.3f%%)", 100.0 * delta / base);
+    return buf;
+}
+
+} // namespace
+
+const char *
+toString(ArtifactKind k)
+{
+    switch (k) {
+      case ArtifactKind::Profile: return "profile";
+      case ArtifactKind::Sim:     return "sim";
+      case ArtifactKind::Bench:   return "bench";
+      case ArtifactKind::Metrics: return "metrics";
+      case ArtifactKind::Unknown: return "unknown";
+    }
+    return "?";
+}
+
+ArtifactKind
+classify(const json::Value &doc)
+{
+    if (!doc.isObject())
+        return ArtifactKind::Unknown;
+    if (doc.find("buckets") && doc.find("total_cycles"))
+        return ArtifactKind::Profile;
+    if (doc.find("datasets"))
+        return ArtifactKind::Bench;
+    if (doc.find("metrics") && doc.find("snapshot"))
+        return ArtifactKind::Metrics;
+    if (doc.find("cycles") && doc.find("kernel"))
+        return ArtifactKind::Sim;
+    return ArtifactKind::Unknown;
+}
+
+bool
+diff(const json::Value &oldDoc, const json::Value &newDoc, Document *out,
+     std::string *err)
+{
+    *out = Document{};
+    ArtifactKind ok = classify(oldDoc), nk = classify(newDoc);
+    if (ok == ArtifactKind::Unknown || nk == ArtifactKind::Unknown) {
+        *err = "unrecognized artifact (expected a profile, sim report, "
+               "BENCH, or metrics document)";
+        return false;
+    }
+    if (ok != nk) {
+        *err = std::string("artifact kinds differ: old is ") +
+               toString(ok) + ", new is " + toString(nk);
+        return false;
+    }
+    out->kind = ok;
+    out->oldSchema = oldDoc.intAt("schema_version", 0);
+    out->newSchema = newDoc.intAt("schema_version", 0);
+    if (out->oldSchema != out->newSchema) {
+        *err = "schema_version mismatch: old is " +
+               std::to_string(out->oldSchema) + ", new is " +
+               std::to_string(out->newSchema) +
+               " (0 = legacy artifact without the field); regenerate "
+               "both sides with the same build";
+        return false;
+    }
+
+    diffProvenance(oldDoc, newDoc, out);
+    switch (ok) {
+      case ArtifactKind::Profile:
+          diffProfileDocs(oldDoc, newDoc, out);
+          break;
+      case ArtifactKind::Sim:
+          diffSimDocs(oldDoc, newDoc, out);
+          break;
+      case ArtifactKind::Bench:
+          diffBenchDocs(oldDoc, newDoc, out);
+          break;
+      case ArtifactKind::Metrics:
+          diffMetricsDocs(oldDoc, newDoc, out);
+          break;
+      case ArtifactKind::Unknown:
+          break;
+    }
+
+    for (const RowDiff &r : out->rows) {
+        out->totalCycleDelta += r.cycleDelta();
+        out->totalByteDelta += r.byteDelta();
+        out->totalEnergyDelta += r.energyDelta();
+    }
+    return true;
+}
+
+void
+writeText(std::ostream &os, const Document &d, size_t topK)
+{
+    os << "artifact: " << toString(d.kind) << " (schema "
+       << d.newSchema << ")\n";
+    if (d.empty()) {
+        os << "no differences\n";
+        return;
+    }
+    if (!d.conserved)
+        os << "WARNING: bucket deltas do NOT sum to the total cycle "
+              "delta (conservation violated)\n";
+    for (const ProvenanceDelta &p : d.provenance)
+        os << "provenance " << p.key << ": \"" << p.oldText
+           << "\" -> \"" << p.newText << "\"\n";
+
+    int64_t oldCycles = 0, oldBytes = 0;
+    double oldEnergy = 0.0;
+    for (const RowDiff &r : d.rows) {
+        oldCycles += r.oldCycles;
+        oldBytes += r.oldBytes;
+        oldEnergy += r.oldEnergy;
+    }
+    os << "totals: cycles " << fmtDelta(double(d.totalCycleDelta))
+       << fmtPct(double(d.totalCycleDelta), double(oldCycles))
+       << ", bytes " << fmtDelta(double(d.totalByteDelta))
+       << fmtPct(double(d.totalByteDelta), double(oldBytes));
+    if (d.totalEnergyDelta != 0.0 || oldEnergy != 0.0)
+        os << ", energy " << fmtDelta(d.totalEnergyDelta * 1e6)
+           << " uJ" << fmtPct(d.totalEnergyDelta, oldEnergy);
+    os << "\n";
+
+    // Rows ranked by |cycle delta| (bench artifacts have many; profile
+    // and sim have one).
+    std::vector<const RowDiff *> rows;
+    for (const RowDiff &r : d.rows)
+        rows.push_back(&r);
+    std::sort(rows.begin(), rows.end(),
+              [](const RowDiff *a, const RowDiff *b) {
+                  return std::llabs(a->cycleDelta()) >
+                         std::llabs(b->cycleDelta());
+              });
+    for (const RowDiff *r : rows) {
+        os << "\n" << r->name;
+        if (r->onlyOld)
+            os << " [only in old]";
+        if (r->onlyNew)
+            os << " [only in new]";
+        os << ": cycles " << r->oldCycles << " -> " << r->newCycles
+           << " (" << fmtDelta(double(r->cycleDelta()))
+           << fmtPct(double(r->cycleDelta()), double(r->oldCycles))
+           << "), bytes " << fmtDelta(double(r->byteDelta()));
+        if (r->energyDelta() != 0.0)
+            os << ", energy " << fmtDelta(r->energyDelta() * 1e6)
+               << " uJ";
+        os << "\n";
+
+        if (!r->buckets.empty()) {
+            // Waterfall: buckets ranked by |cycle delta|, with the
+            // cumulative share of the total row delta.
+            std::vector<const BucketDelta *> hot;
+            for (const BucketDelta &b : r->buckets)
+                hot.push_back(&b);
+            std::sort(hot.begin(), hot.end(),
+                      [](const BucketDelta *a, const BucketDelta *b) {
+                          return std::llabs(a->cycleDelta()) >
+                                 std::llabs(b->cycleDelta());
+                      });
+            os << "  top movers (of " << hot.size()
+               << " changed buckets):\n";
+            int64_t cum = 0;
+            size_t shown = std::min(topK, hot.size());
+            for (size_t i = 0; i < shown; ++i) {
+                const BucketDelta *b = hot[i];
+                cum += b->cycleDelta();
+                char row[24];
+                if (b->blockRow < 0)
+                    std::snprintf(row, sizeof(row), "run");
+                else
+                    std::snprintf(row, sizeof(row), "row %lld",
+                                  (long long)b->blockRow);
+                char line[160];
+                std::snprintf(line, sizeof(line),
+                              "  %+12lld cyc  %-8s %-9s %-16s "
+                              "(%llu -> %llu",
+                              (long long)b->cycleDelta(),
+                              b->dp.c_str(), row, b->cause.c_str(),
+                              (unsigned long long)b->oldCycles,
+                              (unsigned long long)b->newCycles);
+                os << line;
+                if (b->byteDelta() != 0)
+                    os << ", bytes " << fmtDelta(double(b->byteDelta()));
+                os << ")  cum " << fmtDelta(double(cum)) << "\n";
+            }
+            if (shown < hot.size())
+                os << "  ... " << hot.size() - shown
+                   << " more changed buckets\n";
+        }
+        if (!r->energy.empty()) {
+            os << "  energy components:\n";
+            for (const ValueDelta &e : r->energy)
+                os << "    " << e.path << ": " << e.oldValue << " -> "
+                   << e.newValue << " (" << fmtDelta(e.delta())
+                   << fmtPct(e.delta(), e.oldValue) << ")\n";
+        }
+        if (!r->stats.empty()) {
+            size_t shown = std::min(topK, r->stats.size());
+            os << "  changed values (" << r->stats.size() << "):\n";
+            // Rank by |relative change| when a base exists, else
+            // magnitude, so the interesting movers surface first.
+            std::vector<const ValueDelta *> vs;
+            for (const ValueDelta &v : r->stats)
+                vs.push_back(&v);
+            std::sort(vs.begin(), vs.end(),
+                      [](const ValueDelta *a, const ValueDelta *b) {
+                          return std::fabs(a->delta()) >
+                                 std::fabs(b->delta());
+                      });
+            for (size_t i = 0; i < shown; ++i)
+                os << "    " << vs[i]->path << ": " << vs[i]->oldValue
+                   << " -> " << vs[i]->newValue << " ("
+                   << fmtDelta(vs[i]->delta())
+                   << fmtPct(vs[i]->delta(), vs[i]->oldValue) << ")\n";
+            if (shown < r->stats.size())
+                os << "    ... " << r->stats.size() - shown
+                   << " more\n";
+        }
+    }
+}
+
+void
+writeJson(std::ostream &os, const Document &d)
+{
+    using json::Value;
+    Value root = Value::object();
+    root.set("schema_version",
+             Value(int64_t(version::kJsonSchemaVersion)));
+    root.set("artifact_kind", Value(std::string(toString(d.kind))));
+    root.set("artifact_schema", Value(d.newSchema));
+    root.set("empty", Value(d.empty()));
+    root.set("conserved", Value(d.conserved));
+
+    Value totals = Value::object();
+    totals.set("cycles", Value(d.totalCycleDelta));
+    totals.set("bytes", Value(d.totalByteDelta));
+    totals.set("energy_joules", Value(d.totalEnergyDelta));
+    root.set("totals", std::move(totals));
+
+    Value prov = Value::array();
+    for (const ProvenanceDelta &p : d.provenance) {
+        Value e = Value::object();
+        e.set("key", Value(p.key));
+        e.set("old", Value(p.oldText));
+        e.set("new", Value(p.newText));
+        prov.append(std::move(e));
+    }
+    root.set("provenance", std::move(prov));
+
+    Value rows = Value::array();
+    for (const RowDiff &r : d.rows) {
+        Value row = Value::object();
+        row.set("name", Value(r.name));
+        if (r.onlyOld)
+            row.set("only_old", Value(true));
+        if (r.onlyNew)
+            row.set("only_new", Value(true));
+        auto triple = [](int64_t o, int64_t n) {
+            Value t = Value::object();
+            t.set("old", Value(o));
+            t.set("new", Value(n));
+            t.set("delta", Value(n - o));
+            return t;
+        };
+        row.set("cycles", triple(r.oldCycles, r.newCycles));
+        row.set("bytes", triple(r.oldBytes, r.newBytes));
+        if (r.oldEnergy != 0.0 || r.newEnergy != 0.0) {
+            Value t = Value::object();
+            t.set("old", Value(r.oldEnergy));
+            t.set("new", Value(r.newEnergy));
+            t.set("delta", Value(r.energyDelta()));
+            row.set("energy_joules", std::move(t));
+        }
+        if (!r.buckets.empty()) {
+            Value buckets = Value::array();
+            for (const BucketDelta &b : r.buckets) {
+                Value e = Value::object();
+                e.set("dp", Value(b.dp));
+                e.set("block_row", Value(b.blockRow));
+                e.set("cause", Value(b.cause));
+                e.set("cycles", triple(b.oldCycles, b.newCycles));
+                e.set("bytes", triple(b.oldBytes, b.newBytes));
+                buckets.append(std::move(e));
+            }
+            row.set("buckets", std::move(buckets));
+        }
+        auto valueList = [](const std::vector<ValueDelta> &vs) {
+            Value arr = Value::array();
+            for (const ValueDelta &v : vs) {
+                Value e = Value::object();
+                e.set("path", Value(v.path));
+                e.set("old", Value(v.oldValue));
+                e.set("new", Value(v.newValue));
+                e.set("delta", Value(v.delta()));
+                arr.append(std::move(e));
+            }
+            return arr;
+        };
+        if (!r.energy.empty())
+            row.set("energy_components", valueList(r.energy));
+        if (!r.stats.empty())
+            row.set("values", valueList(r.stats));
+        rows.append(std::move(row));
+    }
+    root.set("rows", std::move(rows));
+    json::dump(os, root);
+    os << "\n";
+}
+
+void
+writeFolded(std::ostream &pos, std::ostream &neg, const Document &d)
+{
+    for (const RowDiff &r : d.rows) {
+        if (!r.buckets.empty()) {
+            for (const BucketDelta &b : r.buckets) {
+                int64_t delta = b.cycleDelta();
+                if (delta == 0)
+                    continue;
+                std::ostream &os = delta > 0 ? pos : neg;
+                os << r.name << ";" << b.dp << ";";
+                if (b.blockRow < 0)
+                    os << "run";
+                else
+                    os << "row_" << b.blockRow;
+                os << ";" << b.cause << " " << std::llabs(delta)
+                   << "\n";
+            }
+        } else if (r.cycleDelta() != 0) {
+            // No bucket attribution (bench rows): fold the row-level
+            // cycle delta so bench diffs still render.
+            std::ostream &os = r.cycleDelta() > 0 ? pos : neg;
+            os << r.name << ";cycles " << std::llabs(r.cycleDelta())
+               << "\n";
+        }
+    }
+}
+
+bool
+parseFailRule(const std::string &spec, FailRule *out, std::string *err)
+{
+    size_t gt = spec.find('>');
+    if (gt == std::string::npos) {
+        *err = "bad --fail-on '" + spec +
+               "': expected METRIC>NUMBER[%] (e.g. 'cycles>0.1%')";
+        return false;
+    }
+    std::string metric = spec.substr(0, gt);
+    std::string number = spec.substr(gt + 1);
+    if (metric == "cycles")
+        out->metric = FailRule::Metric::Cycles;
+    else if (metric == "bytes")
+        out->metric = FailRule::Metric::Bytes;
+    else if (metric == "energy")
+        out->metric = FailRule::Metric::Energy;
+    else {
+        *err = "bad --fail-on metric '" + metric +
+               "': one of cycles, bytes, energy";
+        return false;
+    }
+    out->relative = false;
+    if (!number.empty() && number.back() == '%') {
+        out->relative = true;
+        number.pop_back();
+    }
+    char *end = nullptr;
+    out->threshold = std::strtod(number.c_str(), &end);
+    if (number.empty() || !end || *end != '\0' ||
+        out->threshold < 0.0 || !std::isfinite(out->threshold)) {
+        *err = "bad --fail-on threshold '" + number + "'";
+        return false;
+    }
+    return true;
+}
+
+bool
+exceeds(const Document &d, const FailRule &rule)
+{
+    for (const RowDiff &r : d.rows) {
+        if (r.onlyOld || r.onlyNew)
+            return true; // appearing/vanishing rows always gate
+        double delta = 0.0, base = 0.0;
+        switch (rule.metric) {
+          case FailRule::Metric::Cycles:
+              delta = double(r.cycleDelta());
+              base = double(r.oldCycles);
+              break;
+          case FailRule::Metric::Bytes:
+              delta = double(r.byteDelta());
+              base = double(r.oldBytes);
+              break;
+          case FailRule::Metric::Energy:
+              delta = r.energyDelta();
+              base = r.oldEnergy;
+              break;
+        }
+        if (ruleValue(rule, delta, base))
+            return true;
+    }
+    return false;
+}
+
+std::string
+describe(const FailRule &rule)
+{
+    const char *metric =
+        rule.metric == FailRule::Metric::Cycles  ? "cycles"
+        : rule.metric == FailRule::Metric::Bytes ? "bytes"
+                                                 : "energy";
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "|%s delta| > %g%s per row", metric,
+                  rule.threshold, rule.relative ? "%" : "");
+    return buf;
+}
+
+} // namespace alr::diff

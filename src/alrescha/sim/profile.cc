@@ -266,6 +266,8 @@ exportJson(std::ostream &os, const ExportMeta &meta)
 {
     Snapshot snap = snapshot();
     os << "{\n";
+    os << "  \"schema_version\": " << version::kJsonSchemaVersion
+       << ",\n";
     os << "  \"version\": {\"git\": \"" << version::gitDescribe()
        << "\", \"simd_build\": \"" << version::simdBuild()
        << "\", \"simd_runtime\": \""

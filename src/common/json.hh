@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Strict JSON reader and writer for the observability artifacts.
+ *
+ * Every tool in this repo emits JSON (alr_sim --json, --profile, the
+ * metrics snapshots, BENCH_*.json); this is the matching *reader*, so
+ * cross-run tooling (alr_diff, the in-process A/B harness) can consume
+ * those artifacts without shelling out to python.  It is a DOM parser
+ * tuned for correctness, not speed:
+ *
+ * - **Strict**: rejects everything RFC 8259 rejects -- trailing
+ *   content, bad escapes, lone surrogates, raw control characters,
+ *   leading zeros, bare fractions ("1." / ".5"), empty exponents,
+ *   non-finite results -- plus duplicate object keys, which the RFC
+ *   merely frowns at but which always indicate a corrupt artifact
+ *   here.  Errors carry the byte offset.
+ * - **Round-trippable**: parse(dump(x)) == x for every value this
+ *   repo emits.  Objects preserve insertion order; integers that fit
+ *   int64 stay integers; other numbers are doubles printed with 17
+ *   significant digits (exact double round trip).
+ *
+ * Not a general-purpose serialization layer: the writers in
+ * bench_util.hh / the stats package remain the emitting side; this is
+ * the consuming side.
+ */
+
+#ifndef ALR_COMMON_JSON_HH
+#define ALR_COMMON_JSON_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace alr::json {
+
+class Value;
+
+enum class Kind : uint8_t
+{
+    Null,
+    Bool,
+    Int,    ///< integer literal that fits int64
+    Double, ///< any other number
+    String,
+    Array,
+    Object,
+};
+
+/** Stable lowercase label ("null", "object", ...). */
+const char *toString(Kind k);
+
+/**
+ * A parsed JSON value.  Plain tagged value type: copyable, movable,
+ * equality-comparable (numeric equality across Int/Double so a double
+ * that prints integral still compares equal after a round trip).
+ */
+class Value
+{
+  public:
+    Value() = default;
+    explicit Value(bool b) : _kind(Kind::Bool), _bool(b) {}
+    explicit Value(int64_t i) : _kind(Kind::Int), _int(i) {}
+    explicit Value(double d) : _kind(Kind::Double), _double(d) {}
+    explicit Value(std::string s)
+        : _kind(Kind::String), _string(std::move(s))
+    {
+    }
+
+    static Value array() { Value v; v._kind = Kind::Array; return v; }
+    static Value object() { Value v; v._kind = Kind::Object; return v; }
+
+    Kind kind() const { return _kind; }
+    bool isNull() const { return _kind == Kind::Null; }
+    bool isBool() const { return _kind == Kind::Bool; }
+    bool isNumber() const
+    {
+        return _kind == Kind::Int || _kind == Kind::Double;
+    }
+    bool isInt() const { return _kind == Kind::Int; }
+    bool isString() const { return _kind == Kind::String; }
+    bool isArray() const { return _kind == Kind::Array; }
+    bool isObject() const { return _kind == Kind::Object; }
+
+    /** Typed accessors; the caller checks the kind first (ALR code
+     *  style: these assert in debug, return zero values in release). */
+    bool asBool() const { return _kind == Kind::Bool && _bool; }
+    int64_t asInt() const;
+    double asDouble() const;
+    const std::string &asString() const { return _string; }
+
+    const std::vector<Value> &elements() const { return _elements; }
+    std::vector<Value> &elements() { return _elements; }
+    void append(Value v) { _elements.push_back(std::move(v)); }
+
+    /** Object members in insertion order. */
+    const std::vector<std::pair<std::string, Value>> &members() const
+    {
+        return _objMembers;
+    }
+
+    /** Object lookup; nullptr when absent (or not an object). */
+    const Value *find(std::string_view key) const;
+
+    /** Append a member (no duplicate check; the parser enforces). */
+    void set(std::string key, Value v);
+
+    /** Convenience typed lookups with defaults. */
+    int64_t intAt(std::string_view key, int64_t def = 0) const;
+    double numberAt(std::string_view key, double def = 0.0) const;
+    std::string stringAt(std::string_view key,
+                         const std::string &def = {}) const;
+
+    bool operator==(const Value &o) const;
+    bool operator!=(const Value &o) const { return !(*this == o); }
+
+  private:
+    Kind _kind = Kind::Null;
+    bool _bool = false;
+    int64_t _int = 0;
+    double _double = 0.0;
+    std::string _string;
+    std::vector<Value> _elements;
+    std::vector<std::pair<std::string, Value>> _objMembers;
+};
+
+/** Result of a parse: ok + value, or error text + byte offset. */
+struct Parsed
+{
+    bool ok = false;
+    Value value;
+    std::string error;
+    size_t offset = 0;
+
+    explicit operator bool() const { return ok; }
+};
+
+/** Parse one complete JSON document (strict; see file comment). */
+Parsed parse(std::string_view text);
+
+/** Read and parse a file; on failure returns ok=false with the path
+ *  prefixed to the error. */
+Parsed parseFile(const std::string &path);
+
+/**
+ * Serialize with 2-space indentation.  dump() and parse() are inverse:
+ * parse(dump(v)) == v, and doubles keep their exact bit pattern
+ * (printed %.17g, suffixed ".0" when they would read back integral).
+ */
+void dump(std::ostream &os, const Value &v, int indent = 0);
+std::string dump(const Value &v);
+
+} // namespace alr::json
+
+#endif // ALR_COMMON_JSON_HH

@@ -1,5 +1,7 @@
 #include "common/metrics.hh"
 
+#include "common/version.hh"
+
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -297,7 +299,8 @@ Registry::sorted() const
 void
 Registry::writeJson(std::ostream &os) const
 {
-    os << "{\n  \"snapshot\": " << _snapshots.load()
+    os << "{\n  \"schema_version\": " << version::kJsonSchemaVersion
+       << ",\n  \"snapshot\": " << _snapshots.load()
        << ",\n  \"metrics\": [";
     bool first = true;
     for (const Metric *m : sorted()) {

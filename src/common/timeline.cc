@@ -1,5 +1,7 @@
 #include "common/timeline.hh"
 
+#include "common/version.hh"
+
 #include <chrono>
 #include <cstdio>
 #include <map>
@@ -203,7 +205,8 @@ metaEvent(std::ostream &os, uint32_t pid, int tid, const char *key,
 void
 exportChromeTrace(std::ostream &os)
 {
-    os << "{\"traceEvents\": [";
+    os << "{\"schema_version\": " << version::kJsonSchemaVersion
+       << ", \"traceEvents\": [";
     bool first = true;
     metaEvent(os, kPidModeled, -1, "process_name", "modeled (1us = 1 cycle)",
               first);

@@ -289,6 +289,8 @@ main(int argc, char **argv)
     if (opt.json) {
         std::ostream &os = std::cout;
         os << "{\n";
+        os << "  \"schema_version\": " << version::kJsonSchemaVersion
+           << ",\n";
         os << "  \"fleet\": " << fleet.size() << ",\n";
         os << "  \"requests\": " << trace.size() << ",\n";
         os << "  \"completed\": " << res.completed << ",\n";

@@ -14,6 +14,15 @@
  *   alr_sim --gen banded:4096 --kernel pcg --rcm --stats
  *   alr_sim --gen stencil3d:24 --kernel pcg --timeline trace.json --report
  *   alr_sim --gen stencil3d:24 --kernel pcg --stats-interval 100000 --json
+ *
+ * In-process A/B: run the same kernel on the same matrix twice --
+ * baseline flags vs baseline + overrides -- and print the attributed
+ * diff (per-bucket cycle deltas, stat deltas, energy deltas):
+ *
+ *   alr_sim --gen stencil3d:24 --kernel pcg --ab "--omega 16"
+ *   alr_sim --gen banded:4096 --kernel spmv --ab "--no-schedule" --json
+ *   alr_sim --gen stencil2d:64 --kernel spmv --ab "--rcm" \
+ *           --fail-on 'cycles>0.1%'
  */
 
 #include <cstdio>
@@ -25,12 +34,16 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "alrescha/accelerator.hh"
 #include "alrescha/program_image.hh"
+#include "alrescha/report.hh"
+#include "alrescha/sim/diff.hh"
 #include "alrescha/sim/profile.hh"
 #include "alrescha/sim/replay.hh"
 #include "kernels/eigen.hh"
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "common/version.hh"
 #include "common/thread_pool.hh"
@@ -73,6 +86,9 @@ struct Options
     int threads = 0;
     int engineThreads = 0;
     int scheduleCache = 0;
+    bool ab = false;          ///< --ab given (possibly empty overrides)
+    std::string abOverrides;  ///< variant flag string
+    std::string failOn;       ///< --fail-on threshold (A/B gate)
 };
 
 void
@@ -90,7 +106,8 @@ usage()
         "               [--iters N] [--threads N] [--engine-threads N]\n"
         "               [--parallel-timing] [--schedule-cache N]\n"
         "               [--save F.alr] [--trace F.log] [--no-schedule]\n"
-        "               [--simd MODE] [--version]\n"
+        "               [--simd MODE] [--ab \"FLAGS\"] [--fail-on RULE]\n"
+        "               [--version]\n"
         "  SPEC: stencil2d:N | stencil3d:N | banded:N | rmat:SCALE |\n"
         "        roadgrid:N | powerlaw:N\n"
         "  --stats           dump the hierarchical stat tree\n"
@@ -112,6 +129,14 @@ usage()
         "                    threads (bit-identical to the serial walk)\n"
         "  --schedule-cache  compiled-schedule MRU cache capacity\n"
         "                    (default 8; evictions recompile)\n"
+        "  --ab \"FLAGS\"      in-process A/B: rerun with FLAGS applied\n"
+        "                    on top of the baseline flags (same matrix,\n"
+        "                    same process) and print the attributed\n"
+        "                    cycle/stat/energy diff; engine and kernel\n"
+        "                    knobs only (--omega, --simd, --rcm,\n"
+        "                    --no-schedule, ...), no file I/O flags\n"
+        "  --fail-on RULE    with --ab: exit 1 when the diff exceeds\n"
+        "                    METRIC>NUM[%%], e.g. 'cycles>0.1%%'\n"
         "  --version         print build provenance and exit\n");
     std::exit(2);
 }
@@ -124,13 +149,6 @@ printVersion()
                 version::gitDescribe(), version::simdBuild(),
                 replay::isaName(), replay::omegaSpecializations());
     std::exit(0);
-}
-
-/** The ISA the replay actually runs under opt's --simd mode. */
-const char *
-runtimeIsa(const Options &opt)
-{
-    return replay::selectedName(opt.simdMode);
 }
 
 CsrMatrix
@@ -160,17 +178,39 @@ generate(const std::string &spec)
     fatal("unknown generator '%s'", name.c_str());
 }
 
-Options
-parse(int argc, char **argv)
+/**
+ * Apply one flag vector to @p opt.  The main command line and the --ab
+ * override string share this; overrides (@p variant) are restricted to
+ * engine/kernel knobs -- flags that change file I/O, the input matrix,
+ * or the report shape would make the two sides incomparable and are
+ * rejected with a clear error instead of silently diverging.
+ */
+void
+applyArgs(Options &opt, const std::vector<std::string> &args,
+          bool variant)
 {
-    Options opt;
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
+    for (size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
         auto next = [&]() -> std::string {
-            if (i + 1 >= argc)
+            if (i + 1 >= args.size()) {
+                if (variant)
+                    fatal("--ab: flag '%s' needs a value", arg.c_str());
                 usage();
-            return argv[++i];
+            }
+            return args[++i];
         };
+        if (variant &&
+            (arg == "--matrix" || arg == "--image" || arg == "--gen" ||
+             arg == "--save" || arg == "--trace" ||
+             arg == "--timeline" || arg == "--profile" ||
+             arg == "--profile-csv" || arg == "--profile-folded" ||
+             arg == "--ab" || arg == "--fail-on" || arg == "--json" ||
+             arg == "--stats" || arg == "--report" ||
+             arg == "--stats-interval" || arg == "--version")) {
+            fatal("--ab override '%s' not allowed: only engine/kernel "
+                  "knobs may differ between the two sides",
+                  arg.c_str());
+        }
         if (arg == "--matrix") {
             opt.matrixPath = next();
         } else if (arg == "--image") {
@@ -230,6 +270,11 @@ parse(int argc, char **argv)
             opt.profileCsvPath = next();
         } else if (arg == "--profile-folded") {
             opt.profileFoldedPath = next();
+        } else if (arg == "--ab") {
+            opt.ab = true;
+            opt.abOverrides = next();
+        } else if (arg == "--fail-on") {
+            opt.failOn = next();
         } else if (arg == "--version") {
             printVersion();
         } else if (arg == "--stats-interval") {
@@ -237,128 +282,171 @@ parse(int argc, char **argv)
             if (opt.statsInterval <= 0)
                 usage();
         } else {
+            if (variant)
+                fatal("--ab: unknown override flag '%s'", arg.c_str());
             usage();
         }
     }
+}
+
+/** Whitespace-split an --ab override string into flag tokens. */
+std::vector<std::string>
+tokenize(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::istringstream in(text);
+    std::string tok;
+    while (in >> tok)
+        out.push_back(tok);
+    return out;
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options opt;
+    std::vector<std::string> args(argv + 1, argv + argc);
+    applyArgs(opt, args, false);
     int sources = !opt.matrixPath.empty() + !opt.imagePath.empty() +
                   !opt.genSpec.empty();
     if (sources != 1)
         usage();
+    if (!opt.failOn.empty() && !opt.ab)
+        fatal("--fail-on needs --ab (file-vs-file gating is alr_diff)");
     return opt;
 }
 
-/** snprintf into an ostream (keeps the historical printf formats). */
-void
-jnum(std::ostream &os, const char *fmt, double v)
+bool
+isGraphKernel(const Options &opt)
 {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), fmt, v);
-    os << buf;
+    return opt.kernel == "bfs" || opt.kernel == "sssp" ||
+           opt.kernel == "pr" || opt.kernel == "cc";
 }
 
-/** The --report utilization summary as a JSON object. */
-void
-printJsonUtilization(std::ostream &os, const UtilizationReport &u,
-                     const char *pad)
+/** AccelParams for one side of a run (shared by normal and A/B). */
+AccelParams
+paramsFrom(const Options &opt)
 {
-    os << "{\n";
-    os << pad << "  \"cycles\": " << u.cycles << ",\n";
-    os << pad << "  \"alu_occupancy\": ";
-    jnum(os, "%.6f", u.aluOccupancy);
-    os << ",\n" << pad << "  \"tree_occupancy\": ";
-    jnum(os, "%.6f", u.treeOccupancy);
-    os << ",\n" << pad << "  \"bandwidth_utilization\": ";
-    jnum(os, "%.6f", u.bandwidthUtilization);
-    os << ",\n" << pad << "  \"cache_hit_rate\": ";
-    jnum(os, "%.6f", u.cacheHitRate);
-    os << ",\n" << pad << "  \"cache_time_fraction\": ";
-    jnum(os, "%.6f", u.cacheTimeFraction);
-    os << ",\n" << pad << "  \"sequential_op_fraction\": ";
-    jnum(os, "%.6f", u.sequentialOpFraction);
-    os << ",\n" << pad << "  \"sequential_cycle_fraction\": ";
-    jnum(os, "%.6f", u.sequentialCycleFraction);
-    os << ",\n" << pad << "  \"reconfig_hidden_frac\": ";
-    jnum(os, "%.6f", u.reconfigHiddenFraction);
-    os << ",\n" << pad << "  \"flops\": ";
-    jnum(os, "%.0f", u.flops);
-    os << ",\n" << pad << "  \"dram_bytes\": ";
-    jnum(os, "%.0f", u.dramBytes);
-    os << ",\n" << pad << "  \"arithmetic_intensity\": ";
-    jnum(os, "%.9g", u.arithmeticIntensity);
-    os << ",\n" << pad << "  \"achieved_gflops\": ";
-    jnum(os, "%.9g", u.achievedGflops);
-    os << ",\n" << pad << "  \"peak_gflops\": ";
-    jnum(os, "%.9g", u.peakGflops);
-    os << ",\n" << pad << "  \"attainable_gflops\": ";
-    jnum(os, "%.9g", u.attainableGflops);
-    os << "\n" << pad << "}";
+    AccelParams params;
+    params.omega = opt.omega;
+    // --no-schedule pins the engine to the per-iteration interpreter
+    // (the two modes are bit-identical; this exposes the slow path for
+    // debugging and for timing the schedule compiler's benefit).
+    params.useSchedule = !opt.noSchedule;
+    // Functional-replay knobs: both are bit-identical to the defaults,
+    // exposed for timing the host-side replay cost in isolation.
+    if (opt.engineThreads > 0)
+        params.engineThreads = opt.engineThreads;
+    params.simdMode = opt.simdMode;
+    // Partitioned timing walk on the engine threads; bit-identical to
+    // the serial walk at any thread count (ALR_PARALLEL_TIMING=1 is
+    // the environment equivalent).
+    params.parallelTiming = opt.parallelTiming;
+    if (opt.scheduleCache > 0)
+        params.scheduleCacheCapacity = opt.scheduleCache;
+    return params;
 }
 
-/**
- * The full --json document.  Stats, utilization, and snapshots embed
- * as sub-objects so the output stays one valid JSON document (the old
- * driver dumped the stats table after the closing brace, corrupting
- * it).
- */
+/** Load @p a into @p acc through the kernel-appropriate path.
+ *  @p symgsImage: the matrix came from a SymGs-layout program image. */
 void
-printJsonReport(std::ostream &os, const Accelerator &acc,
-                const Options &opt, const stats::StatSnapshotter *snap)
+programAccelerator(Accelerator &acc, const CsrMatrix &a,
+                   const Options &opt, bool symgsImage, bool fromImage)
 {
-    AccelReport r = acc.report();
-    os << "{\n";
-    os << "  \"kernel\": \"" << opt.kernel << "\",\n";
-    os << "  \"omega\": " << opt.omega << ",\n";
-    os << "  \"cycles\": " << r.cycles << ",\n";
-    os << "  \"seconds\": ";
-    jnum(os, "%.9g", r.seconds);
-    os << ",\n  \"dram_bytes\": ";
-    jnum(os, "%.0f", r.bytesFromMemory);
-    os << ",\n  \"bandwidth_utilization\": ";
-    jnum(os, "%.6f", r.bandwidthUtilization);
-    os << ",\n  \"sequential_op_fraction\": ";
-    jnum(os, "%.6f", r.sequentialOpFraction);
-    os << ",\n  \"reconfigurations\": ";
-    jnum(os, "%.0f", r.reconfigurations);
-    os << ",\n  \"energy_joules\": ";
-    jnum(os, "%.9g", r.energyJoules);
-    os << ",\n  \"energy_breakdown\": {\"dram\": ";
-    jnum(os, "%.9g", r.energy.dram);
-    os << ", \"sram\": ";
-    jnum(os, "%.9g", r.energy.sram);
-    os << ", \"compute\": ";
-    jnum(os, "%.9g", r.energy.compute);
-    os << ", \"reconfig\": ";
-    jnum(os, "%.9g", r.energy.reconfig);
-    os << ", \"static\": ";
-    jnum(os, "%.9g", r.energy.staticEnergy);
-    os << "}";
-    os << ",\n  \"version\": ";
-    replay::writeVersionJson(os, opt.simdMode);
-    if (profile::enabled()) {
-        // Embed the profile document verbatim; it is self-contained
-        // JSON, so nesting it keeps the output one valid document.
-        std::ostringstream ps;
-        profile::exportJson(ps, {opt.kernel, opt.omega,
-                                 acc.engine().totalCycles(),
-                                 runtimeIsa(opt)});
-        std::string doc = ps.str();
-        while (!doc.empty() && doc.back() == '\n')
-            doc.pop_back();
-        os << ",\n  \"profile\": " << doc;
+    if (fromImage) {
+        if (symgsImage)
+            acc.loadPde(a);
+        else if (isGraphKernel(opt))
+            acc.loadGraph(a.transposed()); // image stored adj^T
+        else
+            acc.loadSpmvOnly(a);
+        return;
     }
-    if (opt.report) {
-        os << ",\n  \"utilization\": ";
-        printJsonUtilization(os, acc.utilization(), "  ");
+    if (isGraphKernel(opt))
+        acc.loadGraph(a);
+    else if (opt.kernel == "spmv" || opt.kernel == "bicgstab" ||
+             opt.kernel == "gmres" || opt.kernel == "eigen")
+        acc.loadSpmvOnly(a);
+    else
+        acc.loadPde(a);
+}
+
+/** Run opt.kernel once on the programmed accelerator; @p summary gets
+ *  the one-line human result. */
+void
+runKernelOnce(Accelerator &acc, const CsrMatrix &a, const Options &opt,
+              std::string *summary)
+{
+    char line[160];
+    line[0] = '\0';
+    if (opt.kernel == "spmv") {
+        DenseVector x(a.cols(), 1.0);
+        DenseVector y = acc.spmv(x);
+        Value checksum = 0.0;
+        for (Value v : y)
+            checksum += v;
+        std::snprintf(line, sizeof(line), "spmv checksum %.6g",
+                      checksum);
+    } else if (opt.kernel == "symgs") {
+        DenseVector b(a.rows(), 1.0), x(a.rows(), 0.0);
+        acc.symgsSweep(b, x, GsSweep::Symmetric);
+        std::snprintf(line, sizeof(line),
+                      "symgs sweep done, x[0] = %.6g", x[0]);
+    } else if (opt.kernel == "pcg") {
+        DenseVector b(a.rows(), 1.0);
+        PcgOptions po;
+        po.maxIterations = opt.maxIterations;
+        PcgResult res = acc.pcg(b, po);
+        std::snprintf(line, sizeof(line),
+                      "pcg: %s in %d iterations, residual %.3e",
+                      res.converged ? "converged" : "NOT converged",
+                      res.iterations, res.relResidual);
+    } else if (opt.kernel == "bfs") {
+        GraphResult res = acc.bfs(opt.source);
+        Index reached = 0;
+        for (Value d : res.values)
+            reached += d != kInf;
+        std::snprintf(line, sizeof(line), "bfs: %u reached in %d rounds",
+                      reached, res.rounds);
+    } else if (opt.kernel == "sssp") {
+        GraphResult res = acc.sssp(opt.source);
+        std::snprintf(line, sizeof(line), "sssp: %d rounds", res.rounds);
+    } else if (opt.kernel == "pr") {
+        GraphResult res = acc.pagerank();
+        std::snprintf(line, sizeof(line), "pagerank: %d rounds",
+                      res.rounds);
+    } else if (opt.kernel == "cc") {
+        GraphResult res = acc.connectedComponents();
+        std::set<long> roots;
+        for (Value v : res.values)
+            roots.insert(long(v));
+        std::snprintf(line, sizeof(line), "components: %zu in %d rounds",
+                      roots.size(), res.rounds);
+    } else if (opt.kernel == "bicgstab") {
+        KrylovResult res = acc.bicgstab(DenseVector(a.rows(), 1.0));
+        std::snprintf(line, sizeof(line),
+                      "bicgstab: %s in %d iterations, residual %.3e",
+                      res.converged ? "converged" : "NOT converged",
+                      res.iterations, res.relResidual);
+    } else if (opt.kernel == "gmres") {
+        KrylovResult res = acc.gmres(DenseVector(a.rows(), 1.0));
+        std::snprintf(line, sizeof(line),
+                      "gmres: %s in %d iterations, residual %.3e",
+                      res.converged ? "converged" : "NOT converged",
+                      res.iterations, res.relResidual);
+    } else if (opt.kernel == "eigen") {
+        auto fn = [&acc](const DenseVector &x) { return acc.spmv(x); };
+        LanczosResult res = lanczosWith(fn, a.rows());
+        std::snprintf(line, sizeof(line),
+                      "lanczos: lambda in [%.6g, %.6g], cond %.3g "
+                      "(%d steps)",
+                      res.lambdaMin, res.lambdaMax, res.conditionNumber,
+                      res.steps);
+    } else {
+        fatal("unknown kernel '%s'", opt.kernel.c_str());
     }
-    if (opt.dumpStats) {
-        os << ",\n  \"stats\": ";
-        acc.engine().statGroup().dumpJson(os, 2);
-    }
-    if (snap) {
-        os << ",\n  \"snapshots\": ";
-        snap->dumpJson(os);
-    }
-    os << "\n}\n";
+    if (summary)
+        *summary = line;
 }
 
 /** The --report utilization summary as a human-readable table. */
@@ -426,10 +514,115 @@ printReport(const Accelerator &acc)
                 100.0 * r.sequentialOpFraction);
     std::printf("reconfigurations     %.0f\n", r.reconfigurations);
     std::printf("energy               %.3f uJ (dram %.1f%%, sram %.1f%%, "
-                "compute %.1f%%)\n",
+                "compute %.1f%%, reconfig %.1f%%, static %.1f%%)\n",
                 r.energyJoules * 1e6, 100.0 * r.energy.dram / r.energyJoules,
                 100.0 * r.energy.sram / r.energyJoules,
-                100.0 * r.energy.compute / r.energyJoules);
+                100.0 * r.energy.compute / r.energyJoules,
+                100.0 * r.energy.reconfig / r.energyJoules,
+                100.0 * r.energy.staticEnergy / r.energyJoules);
+}
+
+/**
+ * One side of the A/B comparison: fresh accelerator from @p opt's
+ * params, the kernel run on (a per-side copy of) the shared matrix,
+ * captured as the full-fat report document -- stats, utilization, and
+ * cycle-accounting profile always embedded, so the diff can attribute
+ * every delta.  The profiler is reset around each side so buckets
+ * never bleed across.
+ */
+std::string
+runAbSide(const CsrMatrix &base, const Options &opt)
+{
+    profile::reset();
+    profile::setEnabled(true);
+    CsrMatrix a = base;
+    if (opt.rcm)
+        a = a.permuted(reverseCuthillMcKee(a));
+    Accelerator acc(paramsFrom(opt));
+    programAccelerator(acc, a, opt, /*symgsImage=*/false,
+                       /*fromImage=*/false);
+    runKernelOnce(acc, a, opt, nullptr);
+
+    SimReportOptions ro;
+    ro.kernel = opt.kernel;
+    ro.omega = opt.omega;
+    ro.simdMode = opt.simdMode;
+    ro.utilization = true;
+    ro.stats = true;
+    std::ostringstream doc;
+    writeSimReportJson(doc, acc, ro);
+    profile::setEnabled(false);
+    profile::reset();
+    return doc.str();
+}
+
+/** The --ab driver: baseline vs baseline+overrides, attributed diff. */
+int
+runAb(const Options &baseline)
+{
+    if (!baseline.savePath.empty() || !baseline.tracePath.empty() ||
+        !baseline.timelinePath.empty() ||
+        !baseline.profilePath.empty() ||
+        !baseline.profileCsvPath.empty() ||
+        !baseline.profileFoldedPath.empty() ||
+        baseline.statsInterval > 0)
+        fatal("--ab cannot be combined with file-output flags "
+              "(--save/--trace/--timeline/--profile*/--stats-interval)");
+    if (!baseline.imagePath.empty())
+        fatal("--ab needs a rebuildable matrix source (--gen or "
+              "--matrix), not a pre-built --image");
+
+    Options variant = baseline;
+    variant.ab = false;
+    applyArgs(variant, tokenize(baseline.abOverrides), true);
+
+    CsrMatrix a = !baseline.matrixPath.empty()
+                      ? CsrMatrix::fromCoo(
+                            readMatrixMarketFile(baseline.matrixPath))
+                      : generate(baseline.genSpec);
+
+    // Baseline --rcm permutes inside runAbSide per side, so both sides
+    // see the same raw matrix here.
+    std::string oldDoc = runAbSide(a, baseline);
+    std::string newDoc = runAbSide(a, variant);
+
+    json::Parsed po = json::parse(oldDoc);
+    json::Parsed pn = json::parse(newDoc);
+    if (!po || !pn)
+        fatal("internal: A/B report document failed to parse: %s",
+              (po ? pn.error : po.error).c_str());
+
+    diff::Document d;
+    std::string err;
+    if (!diff::diff(po.value, pn.value, &d, &err))
+        fatal("A/B diff failed: %s", err.c_str());
+
+    if (baseline.json)
+        diff::writeJson(std::cout, d);
+    else {
+        std::printf("A/B: baseline vs \"%s\"\n",
+                    baseline.abOverrides.c_str());
+        diff::writeText(std::cout, d);
+    }
+    std::cout.flush();
+
+    if (!d.conserved) {
+        std::fprintf(stderr,
+                     "alr_sim: A/B conservation violated (bucket "
+                     "deltas do not sum to the cycle delta)\n");
+        return 3;
+    }
+    if (!baseline.failOn.empty()) {
+        diff::FailRule rule;
+        if (!diff::parseFailRule(baseline.failOn, &rule, &err))
+            fatal("%s", err.c_str());
+        if (diff::exceeds(d, rule)) {
+            std::fprintf(stderr, "alr_sim: A/B diff exceeds %s\n",
+                         diff::describe(rule).c_str());
+            return 1;
+        }
+    }
+    return 0;
 }
 
 } // namespace
@@ -443,6 +636,9 @@ main(int argc, char **argv)
     // beats hardware concurrency.
     if (opt.threads > 0)
         ThreadPool::setGlobalThreadCount(opt.threads);
+
+    if (opt.ab)
+        return runAb(opt);
 
     std::ofstream traceFile;
     if (!opt.tracePath.empty()) {
@@ -465,27 +661,9 @@ main(int argc, char **argv)
     if (profiling)
         profile::setEnabled(true);
 
-    bool isGraph = opt.kernel == "bfs" || opt.kernel == "sssp" ||
-                   opt.kernel == "pr" || opt.kernel == "cc";
+    bool isGraph = isGraphKernel(opt);
 
-    AccelParams params;
-    params.omega = opt.omega;
-    // --no-schedule pins the engine to the per-iteration interpreter
-    // (the two modes are bit-identical; this exposes the slow path for
-    // debugging and for timing the schedule compiler's benefit).
-    params.useSchedule = !opt.noSchedule;
-    // Functional-replay knobs: both are bit-identical to the defaults,
-    // exposed for timing the host-side replay cost in isolation.
-    if (opt.engineThreads > 0)
-        params.engineThreads = opt.engineThreads;
-    params.simdMode = opt.simdMode;
-    // Partitioned timing walk on the engine threads; bit-identical to
-    // the serial walk at any thread count (ALR_PARALLEL_TIMING=1 is
-    // the environment equivalent).
-    params.parallelTiming = opt.parallelTiming;
-    if (opt.scheduleCache > 0)
-        params.scheduleCacheCapacity = opt.scheduleCache;
-    Accelerator acc(params);
+    Accelerator acc(paramsFrom(opt));
 
     // Periodic stat snapshots: the engine samples after each run once
     // the cumulative cycle count crosses an interval boundary.
@@ -498,23 +676,20 @@ main(int argc, char **argv)
     }
 
     CsrMatrix a;
-    if (!opt.imagePath.empty()) {
+    bool fromImage = !opt.imagePath.empty();
+    bool symgsImage = false;
+    if (fromImage) {
         // Pre-built program image: decode the matrix back for the
         // host-side checks, then reload through the normal path so all
         // kernels are available.
         ProgramImage image = loadProgramImageFile(opt.imagePath);
         a = image.matrix.decode();
+        symgsImage = image.matrix.layout() == LdLayout::SymGs;
         if (!opt.json)
             std::printf("program image: omega=%u, %zu tables, "
                         "%zu blocks\n",
                         image.matrix.omega(), image.tables.size(),
                         image.matrix.blocks().size());
-        if (image.matrix.layout() == LdLayout::SymGs)
-            acc.loadPde(a);
-        else if (isGraph)
-            acc.loadGraph(a.transposed()); // image stored adj^T
-        else
-            acc.loadSpmvOnly(a);
     } else {
         a = !opt.matrixPath.empty()
                 ? CsrMatrix::fromCoo(readMatrixMarketFile(opt.matrixPath))
@@ -524,14 +699,8 @@ main(int argc, char **argv)
             a = a.permuted(perm);
             inform("applied RCM reordering");
         }
-        if (isGraph)
-            acc.loadGraph(a);
-        else if (opt.kernel == "spmv" || opt.kernel == "bicgstab" ||
-                 opt.kernel == "gmres" || opt.kernel == "eigen")
-            acc.loadSpmvOnly(a);
-        else
-            acc.loadPde(a);
     }
+    programAccelerator(acc, a, opt, symgsImage, fromImage);
 
     if (!opt.json) {
         PatternStats ps = analyzePattern(a, opt.omega);
@@ -553,75 +722,10 @@ main(int argc, char **argv)
                         opt.savePath.c_str());
     }
 
-    if (opt.kernel == "spmv") {
-        DenseVector x(a.cols(), 1.0);
-        DenseVector y = acc.spmv(x);
-        Value checksum = 0.0;
-        for (Value v : y)
-            checksum += v;
-        if (!opt.json)
-            std::printf("spmv checksum %.6g\n", checksum);
-    } else if (opt.kernel == "symgs") {
-        DenseVector b(a.rows(), 1.0), x(a.rows(), 0.0);
-        acc.symgsSweep(b, x, GsSweep::Symmetric);
-        if (!opt.json)
-            std::printf("symgs sweep done, x[0] = %.6g\n", x[0]);
-    } else if (opt.kernel == "pcg") {
-        DenseVector b(a.rows(), 1.0);
-        PcgOptions po;
-        po.maxIterations = opt.maxIterations;
-        PcgResult res = acc.pcg(b, po);
-        if (!opt.json)
-            std::printf("pcg: %s in %d iterations, residual %.3e\n",
-                        res.converged ? "converged" : "NOT converged",
-                        res.iterations, res.relResidual);
-    } else if (opt.kernel == "bfs") {
-        GraphResult res = acc.bfs(opt.source);
-        Index reached = 0;
-        for (Value d : res.values)
-            reached += d != kInf;
-        if (!opt.json)
-            std::printf("bfs: %u reached in %d rounds\n", reached,
-                        res.rounds);
-    } else if (opt.kernel == "sssp") {
-        GraphResult res = acc.sssp(opt.source);
-        if (!opt.json)
-            std::printf("sssp: %d rounds\n", res.rounds);
-    } else if (opt.kernel == "pr") {
-        GraphResult res = acc.pagerank();
-        if (!opt.json)
-            std::printf("pagerank: %d rounds\n", res.rounds);
-    } else if (opt.kernel == "cc") {
-        GraphResult res = acc.connectedComponents();
-        std::set<long> roots;
-        for (Value v : res.values)
-            roots.insert(long(v));
-        if (!opt.json)
-            std::printf("components: %zu in %d rounds\n", roots.size(),
-                        res.rounds);
-    } else if (opt.kernel == "bicgstab") {
-        KrylovResult res = acc.bicgstab(DenseVector(a.rows(), 1.0));
-        if (!opt.json)
-            std::printf("bicgstab: %s in %d iterations, residual %.3e\n",
-                        res.converged ? "converged" : "NOT converged",
-                        res.iterations, res.relResidual);
-    } else if (opt.kernel == "gmres") {
-        KrylovResult res = acc.gmres(DenseVector(a.rows(), 1.0));
-        if (!opt.json)
-            std::printf("gmres: %s in %d iterations, residual %.3e\n",
-                        res.converged ? "converged" : "NOT converged",
-                        res.iterations, res.relResidual);
-    } else if (opt.kernel == "eigen") {
-        auto fn = [&acc](const DenseVector &x) { return acc.spmv(x); };
-        LanczosResult res = lanczosWith(fn, a.rows());
-        if (!opt.json)
-            std::printf("lanczos: lambda in [%.6g, %.6g], cond %.3g "
-                        "(%d steps)\n",
-                        res.lambdaMin, res.lambdaMax,
-                        res.conditionNumber, res.steps);
-    } else {
-        fatal("unknown kernel '%s'", opt.kernel.c_str());
-    }
+    std::string summary;
+    runKernelOnce(acc, a, opt, &summary);
+    if (!opt.json && !summary.empty())
+        std::printf("%s\n", summary.c_str());
 
     // Close the time series with the end-of-run state.
     if (snap)
@@ -629,7 +733,14 @@ main(int argc, char **argv)
 
     if (opt.json) {
         std::fflush(stdout); // keep printf output ahead of the document
-        printJsonReport(std::cout, acc, opt, snap.get());
+        SimReportOptions ro;
+        ro.kernel = opt.kernel;
+        ro.omega = opt.omega;
+        ro.simdMode = opt.simdMode;
+        ro.utilization = opt.report;
+        ro.stats = opt.dumpStats;
+        ro.snapshots = snap.get();
+        writeSimReportJson(std::cout, acc, ro);
         std::cout.flush();
     } else {
         printReport(acc);
@@ -651,7 +762,7 @@ main(int argc, char **argv)
     if (profiling) {
         profile::ExportMeta meta{opt.kernel, opt.omega,
                                  acc.engine().totalCycles(),
-                                 runtimeIsa(opt)};
+                                 replay::selectedName(opt.simdMode)};
         auto writeTo = [&](const std::string &path, auto emit,
                            const char *what) {
             if (path.empty())

@@ -99,6 +99,19 @@ def compare_file(name, base_dir, fresh_dir, wall_tol, wall_ratio=False):
                         f"{key}: stats.{field} drifted: baseline "
                         f"{bs.get(field)} vs fresh {fs.get(field)}"
                     )
+        # Per-component energy sub-object ("energy"): deterministic
+        # model output, so exact like the modeled counters.  Absent in
+        # benches that predate the energy export.
+        be, fe = b.get("energy"), f.get("energy")
+        if be is not None and fe is None:
+            errors.append(f"{key}: energy sub-object missing from fresh")
+        elif be is not None:
+            for field in sorted(set(be) | set(fe)):
+                if be.get(field) != fe.get(field):
+                    errors.append(
+                        f"{key}: energy.{field} drifted: baseline "
+                        f"{be.get(field)} vs fresh {fe.get(field)}"
+                    )
         # Host wall time: loose ratio only.
         bw, fw = b.get("wall_ms", 0), f.get("wall_ms", 0)
         if bw <= 0 or fw <= 0:

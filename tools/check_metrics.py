@@ -33,9 +33,19 @@ import sys
 TYPES = ("counter", "gauge", "histogram")
 REL_TOL = 1e-9
 
+# Every JSON artifact the simulator emits is stamped with this version;
+# a mismatch means the document was produced by an incompatible build.
+SCHEMA_VERSION = 1
+
 
 def fail(msg):
     raise SystemExit(f"FAIL: {msg}")
+
+
+def check_schema_version(path, doc):
+    v = doc.get("schema_version")
+    if v != SCHEMA_VERSION:
+        fail(f"{path}: schema_version {v!r}, expected {SCHEMA_VERSION}")
 
 
 def label_key(labels):
@@ -74,6 +84,7 @@ def load_metrics(path):
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         fail(f"{path}: {e}")
+    check_schema_version(path, doc)
     if not isinstance(doc.get("snapshot"), int) or doc["snapshot"] < 1:
         fail(f"{path}: missing positive 'snapshot' sequence number")
     metrics = doc.get("metrics")
@@ -149,6 +160,7 @@ def check_report(report_path, by_name):
             report = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         fail(f"{report_path}: {e}")
+    check_schema_version(report_path, report)
 
     completed = report.get("completed")
     if not isinstance(completed, int):

@@ -39,12 +39,23 @@ CAUSES = (
 
 DPS = ("GEMV", "D-SymGS", "D-BFS", "D-SSSP", "D-PR")
 
+# Every JSON artifact the simulator emits is stamped with this version;
+# a mismatch means the document was produced by an incompatible build.
+SCHEMA_VERSION = 1
+
 
 def fail(msg):
     raise SystemExit(f"FAIL: {msg}")
 
 
+def check_schema_version(path, doc):
+    v = doc.get("schema_version")
+    if v != SCHEMA_VERSION:
+        fail(f"{path}: schema_version {v!r}, expected {SCHEMA_VERSION}")
+
+
 def check_profile(path, doc, kernel=None):
+    check_schema_version(path, doc)
     for key in ("version", "kernel", "omega", "total_cycles",
                 "attributed_cycles", "attributed_bytes", "runs",
                 "buckets", "critical_path"):
@@ -145,8 +156,10 @@ def main():
 
     with open(args.profile) as f:
         doc = json.load(f)
-    # Accept a full --json document with an embedded profile, too.
+    # Accept a full --json document with an embedded profile, too.  The
+    # outer sim document carries its own schema_version stamp.
     if "profile" in doc and "buckets" not in doc:
+        check_schema_version(args.profile, doc)
         doc = doc["profile"]
     check_profile(args.profile, doc, args.kernel)
     return 0

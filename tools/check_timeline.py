@@ -29,9 +29,19 @@ PH_META = "M"
 PH_INSTANT = "i"
 PID_MODELED = 1
 
+# Every JSON artifact the simulator emits is stamped with this version;
+# a mismatch means the document was produced by an incompatible build.
+SCHEMA_VERSION = 1
+
 
 def fail(msg):
     raise SystemExit(f"FAIL: {msg}")
+
+
+def check_schema_version(path, doc):
+    v = doc.get("schema_version")
+    if v != SCHEMA_VERSION:
+        fail(f"{path}: schema_version {v!r}, expected {SCHEMA_VERSION}")
 
 
 def check_stats_group(node, path="stats"):
@@ -57,6 +67,7 @@ def check_stats_group(node, path="stats"):
 def check_stats(path):
     with open(path) as f:
         doc = json.load(f)
+    check_schema_version(path, doc)
     for key in ("kernel", "cycles", "seconds", "dram_bytes"):
         if key not in doc:
             fail(f"{path}: missing '{key}'")
@@ -110,6 +121,7 @@ def check_stats(path):
 def check_timeline(path, cycles=None):
     with open(path) as f:
         doc = json.load(f)
+    check_schema_version(path, doc)
     events = doc.get("traceEvents")
     if not events:
         fail(f"{path}: no traceEvents")
